@@ -1,0 +1,98 @@
+//! Microbenchmarks of the UNSM algorithms (Section 5 ablations at the
+//! abstract level): eager vs lazy MarginalGreedy, the §5.1 ratio pruning,
+//! and the Greedy/LazyGreedy pair, on Profitted Max Coverage and random
+//! coverage-minus-cost instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mqo_submod::algorithms::greedy::{greedy, lazy_greedy, Config as GreedyConfig};
+use mqo_submod::algorithms::lazy::lazy_marginal_greedy;
+use mqo_submod::algorithms::marginal_greedy::{marginal_greedy, Config};
+use mqo_submod::bitset::BitSet;
+use mqo_submod::decompose::Decomposition;
+use mqo_submod::function::SetFunction;
+use mqo_submod::instances::profitted::ProfittedMaxCoverage;
+use mqo_submod::instances::random::{random_coverage_minus_cost, CoverageParams};
+
+fn bench_marginal_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("marginal_greedy_variants");
+    for n_sets in [32usize, 96, 192] {
+        let f = random_coverage_minus_cost(
+            CoverageParams {
+                n_sets,
+                n_items: 4 * n_sets,
+                density: 0.1,
+                ..Default::default()
+            },
+            1.0,
+            7,
+        );
+        let d = Decomposition::canonical(&f);
+        let full = BitSet::full(n_sets);
+        group.bench_with_input(BenchmarkId::new("eager", n_sets), &n_sets, |b, _| {
+            b.iter(|| marginal_greedy(&f, &d, &full, Config::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("lazy", n_sets), &n_sets, |b, _| {
+            b.iter(|| lazy_marginal_greedy(&f, &d, &full, Config::default()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("eager_no_pruning", n_sets),
+            &n_sets,
+            |b, _| {
+                b.iter(|| {
+                    marginal_greedy(
+                        &f,
+                        &d,
+                        &full,
+                        Config {
+                            prune_ratio_below_one: false,
+                            ..Default::default()
+                        },
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_greedy_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_variants");
+    for n_sets in [32usize, 96] {
+        let f = random_coverage_minus_cost(
+            CoverageParams {
+                n_sets,
+                n_items: 4 * n_sets,
+                density: 0.1,
+                ..Default::default()
+            },
+            1.0,
+            11,
+        );
+        let full = BitSet::full(n_sets);
+        group.bench_with_input(BenchmarkId::new("eager", n_sets), &n_sets, |b, _| {
+            b.iter(|| greedy(&f, &full, GreedyConfig::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("lazy", n_sets), &n_sets, |b, _| {
+            b.iter(|| lazy_greedy(&f, &full, GreedyConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_profitted(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profitted_max_coverage");
+    for blocks in [8usize, 16] {
+        let inst = ProfittedMaxCoverage::hard_instance(blocks, 6, 3, 2.0);
+        let n = inst.universe();
+        let d = Decomposition::canonical(&inst);
+        let full = BitSet::full(n);
+        group.bench_with_input(BenchmarkId::new("marginal_greedy", n), &n, |b, _| {
+            b.iter(|| marginal_greedy(&inst, &d, &full, Config::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_marginal_variants, bench_greedy_variants, bench_profitted);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Example 1 / Figure 1 of the paper, reproduced exactly.
+//!
+//! Two queries — `A ⋈ B ⋈ C` and `B ⋈ C ⋈ D` — under the illustrative unit
+//! cost model (10 per base-relation access, 100 per join, 10 per
+//! materialization write and per re-read). The locally optimal plans cost
+//! 460 in total; sharing `B ⋈ C` brings the consolidated cost to 370.
+
+use mqo_catalog::{Catalog, TableBuilder};
+use mqo_core::batch::BatchDag;
+use mqo_core::consolidated::ConsolidatedPlan;
+use mqo_core::strategies::{optimize, Strategy};
+use mqo_volcano::cost::UnitCostModel;
+use mqo_volcano::rules::RuleSet;
+use mqo_volcano::{DagContext, PlanNode, Predicate};
+
+fn main() {
+    let mut cat = Catalog::new();
+    for (name, rows) in [("a", 1000.0), ("b", 1000.0), ("c", 1000.0), ("d", 1000.0)] {
+        cat.add_table(
+            TableBuilder::new(name, rows)
+                .key_column(format!("{name}_key"), 8)
+                .column(format!("{name}_fk"), rows, (0, rows as i64 - 1), 8)
+                .primary_key(&[&format!("{name}_key")])
+                .build(),
+        );
+    }
+    let mut ctx = DagContext::new(cat);
+    let a = ctx.instance_by_name("a", 0);
+    let b = ctx.instance_by_name("b", 0);
+    let c = ctx.instance_by_name("c", 0);
+    let d = ctx.instance_by_name("d", 0);
+    let p_ab = Predicate::join(ctx.col(a, "a_key"), ctx.col(b, "b_fk"));
+    let p_bc = Predicate::join(ctx.col(b, "b_key"), ctx.col(c, "c_fk"));
+    let p_bd = Predicate::join(ctx.col(b, "b_key"), ctx.col(d, "d_fk"));
+
+    let q1 = PlanNode::scan(a)
+        .join(PlanNode::scan(b), p_ab)
+        .join(PlanNode::scan(c), p_bc.clone());
+    let q2 = PlanNode::scan(b)
+        .join(PlanNode::scan(c), p_bc)
+        .join(PlanNode::scan(d), p_bd);
+
+    let batch = BatchDag::build(ctx, &[q1, q2], &RuleSet::joins_only());
+    let cm = UnitCostModel;
+
+    let volcano = optimize(&batch, &cm, Strategy::Volcano);
+    let marginal = optimize(&batch, &cm, Strategy::MarginalGreedy);
+
+    println!("Example 1 (Figure 1):");
+    println!("  no sharing (locally optimal plans): {:>5.0}", volcano.total_cost);
+    println!("  sharing B ⋈ C (consolidated plan):  {:>5.0}", marginal.total_cost);
+    assert_eq!(volcano.total_cost, 460.0);
+    assert_eq!(marginal.total_cost, 370.0);
+    assert_eq!(marginal.materialized.len(), 1);
+
+    let plan = ConsolidatedPlan::extract(&batch, &cm, &marginal.materialized);
+    println!("\nConsolidated plan:\n{}", plan.render(&batch));
+}

@@ -1,0 +1,79 @@
+//! String interning: maps string constants (region names, market segments,
+//! order priorities, ...) to stable `i64` codes so predicates over string
+//! columns hash and compare exactly.
+
+use std::collections::HashMap;
+
+/// An insertion-ordered string ↔ `i64` dictionary.
+#[derive(Clone, Debug, Default)]
+pub struct Dictionary {
+    codes: HashMap<String, i64>,
+    strings: Vec<String>,
+}
+
+impl Dictionary {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its code (existing or freshly assigned).
+    pub fn intern(&mut self, s: &str) -> i64 {
+        if let Some(&code) = self.codes.get(s) {
+            return code;
+        }
+        let code = self.strings.len() as i64;
+        self.codes.insert(s.to_owned(), code);
+        self.strings.push(s.to_owned());
+        code
+    }
+
+    /// Looks up the code of `s` without interning.
+    pub fn code(&self, s: &str) -> Option<i64> {
+        self.codes.get(s).copied()
+    }
+
+    /// Reverse lookup.
+    pub fn string(&self, code: i64) -> Option<&str> {
+        usize::try_from(code)
+            .ok()
+            .and_then(|i| self.strings.get(i))
+            .map(String::as_str)
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern("ASIA");
+        let b = d.intern("EUROPE");
+        assert_ne!(a, b);
+        assert_eq!(d.intern("ASIA"), a);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut d = Dictionary::new();
+        let code = d.intern("BUILDING");
+        assert_eq!(d.string(code), Some("BUILDING"));
+        assert_eq!(d.code("BUILDING"), Some(code));
+        assert_eq!(d.code("MISSING"), None);
+        assert_eq!(d.string(99), None);
+        assert_eq!(d.string(-1), None);
+    }
+}

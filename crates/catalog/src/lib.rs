@@ -1,0 +1,321 @@
+//! Relational catalog and statistics.
+//!
+//! The optimizer never touches data: like the paper's experiments, it works
+//! purely from catalog statistics ("standard techniques were used for
+//! estimating costs, using statistics about relations", Section 6). A
+//! [`Catalog`] holds base tables with row counts, per-column distinct
+//! counts and value ranges, tuple widths, and clustered primary-key
+//! indices. Scale factors are applied by the workload crates when building
+//! a catalog (e.g. TPCD at 1 GB vs 100 GB).
+//!
+//! All values are encoded into `i64`: integers directly, dates as day
+//! numbers, and strings through the catalog's [`Dictionary`]. This keeps
+//! predicate fingerprinting exact (no floating-point keys in the memo).
+
+pub mod dictionary;
+pub mod stats;
+
+pub use dictionary::Dictionary;
+pub use stats::{ColumnStats, TableStats};
+
+use std::collections::HashMap;
+
+/// Identifies a base table in a [`Catalog`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub u32);
+
+/// Identifies a column of a base table: table plus column position.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColumnRef {
+    pub table: TableId,
+    pub column: u32,
+}
+
+/// A column definition plus its statistics.
+#[derive(Clone, Debug)]
+pub struct Column {
+    /// Column name (unique within its table).
+    pub name: String,
+    /// Statistics used for selectivity estimation.
+    pub stats: ColumnStats,
+    /// Width in bytes contributed to the tuple.
+    pub width: u32,
+}
+
+/// A base table: columns, cardinality, and index information.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Table name (unique within the catalog).
+    pub name: String,
+    /// Columns in declaration order.
+    pub columns: Vec<Column>,
+    /// Estimated number of rows.
+    pub rows: f64,
+    /// Positions of the primary-key columns, in key order. The experiments
+    /// assume "a clustered index on the primary keys for all the base
+    /// relations" (Section 6.1); when non-empty, the table is stored
+    /// clustered on this key.
+    pub primary_key: Vec<u32>,
+}
+
+impl Table {
+    /// Total tuple width in bytes.
+    pub fn tuple_width(&self) -> u32 {
+        self.columns.iter().map(|c| c.width).sum()
+    }
+
+    /// Total table size in bytes.
+    pub fn size_bytes(&self) -> f64 {
+        self.rows * f64::from(self.tuple_width())
+    }
+
+    /// Looks up a column position by name.
+    pub fn column_index(&self, name: &str) -> Option<u32> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| i as u32)
+    }
+
+    /// Whether the table has a clustered index whose leading key column is
+    /// `column` (index position within this table).
+    pub fn clustered_on(&self, column: u32) -> bool {
+        self.primary_key.first() == Some(&column)
+    }
+}
+
+/// A catalog of base tables plus the string dictionary.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    tables: Vec<Table>,
+    by_name: HashMap<String, TableId>,
+    dict: Dictionary,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a table, returning its id. Panics on duplicate names.
+    pub fn add_table(&mut self, table: Table) -> TableId {
+        assert!(
+            !self.by_name.contains_key(&table.name),
+            "duplicate table name {:?}",
+            table.name
+        );
+        let id = TableId(self.tables.len() as u32);
+        self.by_name.insert(table.name.clone(), id);
+        self.tables.push(table);
+        id
+    }
+
+    /// Looks up a table by id.
+    pub fn table(&self, id: TableId) -> &Table {
+        &self.tables[id.0 as usize]
+    }
+
+    /// Looks up a table id by name.
+    pub fn table_id(&self, name: &str) -> Option<TableId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Looks up a column by qualified reference.
+    pub fn column(&self, col: ColumnRef) -> &Column {
+        &self.table(col.table).columns[col.column as usize]
+    }
+
+    /// Resolves `"table"."column"` into a [`ColumnRef`].
+    pub fn resolve(&self, table: &str, column: &str) -> Option<ColumnRef> {
+        let table_id = self.table_id(table)?;
+        let column = self.table(table_id).column_index(column)?;
+        Some(ColumnRef {
+            table: table_id,
+            column,
+        })
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the catalog has no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Iterates over `(id, table)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TableId, &Table)> {
+        self.tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TableId(i as u32), t))
+    }
+
+    /// The string dictionary (interning string constants as `i64` codes).
+    pub fn dict(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// Mutable access to the dictionary (used while building workloads).
+    pub fn dict_mut(&mut self) -> &mut Dictionary {
+        &mut self.dict
+    }
+}
+
+/// Convenience builder for tables.
+#[derive(Debug)]
+pub struct TableBuilder {
+    name: String,
+    columns: Vec<Column>,
+    rows: f64,
+    primary_key: Vec<u32>,
+}
+
+impl TableBuilder {
+    /// Starts a table with the given name and row count.
+    pub fn new(name: impl Into<String>, rows: f64) -> Self {
+        TableBuilder {
+            name: name.into(),
+            columns: Vec::new(),
+            rows,
+            primary_key: Vec::new(),
+        }
+    }
+
+    /// Adds a column with explicit stats.
+    pub fn column(
+        mut self,
+        name: impl Into<String>,
+        distinct: f64,
+        range: (i64, i64),
+        width: u32,
+    ) -> Self {
+        self.columns.push(Column {
+            name: name.into(),
+            stats: ColumnStats::new(distinct, range.0, range.1),
+            width,
+        });
+        self
+    }
+
+    /// Adds a key-like column: distinct count equals the row count and the
+    /// domain is `[0, rows)`.
+    pub fn key_column(self, name: impl Into<String>, width: u32) -> Self {
+        let rows = self.rows;
+        self.column(name, rows, (0, rows.max(1.0) as i64 - 1), width)
+    }
+
+    /// Declares the primary key by column names (must already be added).
+    /// The table is stored clustered on this key.
+    pub fn primary_key(mut self, names: &[&str]) -> Self {
+        self.primary_key = names
+            .iter()
+            .map(|n| {
+                self.columns
+                    .iter()
+                    .position(|c| &c.name == n)
+                    .unwrap_or_else(|| panic!("primary key column {n:?} not found"))
+                    as u32
+            })
+            .collect();
+        self
+    }
+
+    /// Finishes the table.
+    pub fn build(self) -> Table {
+        assert!(!self.columns.is_empty(), "table must have columns");
+        Table {
+            name: self.name,
+            columns: self.columns,
+            rows: self.rows,
+            primary_key: self.primary_key,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add_table(
+            TableBuilder::new("part", 200_000.0)
+                .key_column("p_partkey", 4)
+                .column("p_type", 150.0, (0, 149), 25)
+                .column("p_size", 50.0, (1, 50), 4)
+                .primary_key(&["p_partkey"])
+                .build(),
+        );
+        cat.add_table(
+            TableBuilder::new("supplier", 10_000.0)
+                .key_column("s_suppkey", 4)
+                .column("s_nationkey", 25.0, (0, 24), 4)
+                .primary_key(&["s_suppkey"])
+                .build(),
+        );
+        cat
+    }
+
+    #[test]
+    fn lookup_by_name_and_id() {
+        let cat = sample_catalog();
+        let part = cat.table_id("part").unwrap();
+        assert_eq!(cat.table(part).name, "part");
+        assert_eq!(cat.table(part).rows, 200_000.0);
+        assert!(cat.table_id("lineitem").is_none());
+    }
+
+    #[test]
+    fn resolve_columns() {
+        let cat = sample_catalog();
+        let c = cat.resolve("part", "p_size").unwrap();
+        assert_eq!(cat.column(c).name, "p_size");
+        assert_eq!(cat.column(c).stats.distinct, 50.0);
+        assert!(cat.resolve("part", "nope").is_none());
+        assert!(cat.resolve("nope", "p_size").is_none());
+    }
+
+    #[test]
+    fn tuple_width_and_size() {
+        let cat = sample_catalog();
+        let part = cat.table(cat.table_id("part").unwrap());
+        assert_eq!(part.tuple_width(), 33);
+        assert_eq!(part.size_bytes(), 200_000.0 * 33.0);
+    }
+
+    #[test]
+    fn clustered_index_detection() {
+        let cat = sample_catalog();
+        let part = cat.table(cat.table_id("part").unwrap());
+        assert!(part.clustered_on(0));
+        assert!(!part.clustered_on(1));
+    }
+
+    #[test]
+    fn key_column_stats() {
+        let cat = sample_catalog();
+        let supp = cat.table(cat.table_id("supplier").unwrap());
+        assert_eq!(supp.columns[0].stats.distinct, 10_000.0);
+        assert_eq!(supp.columns[0].stats.max, 9_999);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate table name")]
+    fn duplicate_table_panics() {
+        let mut cat = sample_catalog();
+        cat.add_table(TableBuilder::new("part", 1.0).key_column("x", 4).build());
+    }
+
+    #[test]
+    #[should_panic(expected = "primary key column")]
+    fn missing_pk_column_panics() {
+        TableBuilder::new("t", 1.0)
+            .key_column("a", 4)
+            .primary_key(&["b"])
+            .build();
+    }
+}

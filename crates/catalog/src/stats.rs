@@ -1,0 +1,189 @@
+//! Column and table statistics used by selectivity and cardinality
+//! estimation (the "standard techniques ... using statistics about
+//! relations" of Section 6).
+
+/// Statistics of a single column: distinct-value count and value range over
+/// the `i64`-encoded domain. Values are assumed uniformly distributed over
+/// `[min, max]` with `distinct` distinct values — the textbook model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ColumnStats {
+    /// Estimated number of distinct values, `V(A, R)`.
+    pub distinct: f64,
+    /// Minimum encoded value.
+    pub min: i64,
+    /// Maximum encoded value.
+    pub max: i64,
+}
+
+impl ColumnStats {
+    /// Builds stats; `distinct` is clamped to at least 1 and the range is
+    /// normalized so `min <= max`.
+    pub fn new(distinct: f64, min: i64, max: i64) -> Self {
+        let (min, max) = if min <= max { (min, max) } else { (max, min) };
+        ColumnStats {
+            distinct: distinct.max(1.0),
+            min,
+            max,
+        }
+    }
+
+    /// Width of the value range (at least 1 to avoid division by zero for
+    /// single-valued columns).
+    pub fn span(&self) -> f64 {
+        ((self.max - self.min) as f64).max(1.0)
+    }
+
+    /// Selectivity of `col = v`: `1 / distinct` if `v` is inside the range,
+    /// else 0.
+    pub fn eq_selectivity(&self, v: i64) -> f64 {
+        if v < self.min || v > self.max {
+            0.0
+        } else {
+            1.0 / self.distinct
+        }
+    }
+
+    /// Selectivity of `col < v` under the uniform assumption.
+    pub fn lt_selectivity(&self, v: i64) -> f64 {
+        if v <= self.min {
+            0.0
+        } else if v > self.max {
+            1.0
+        } else {
+            ((v - self.min) as f64 / self.span()).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Selectivity of `col > v` under the uniform assumption.
+    pub fn gt_selectivity(&self, v: i64) -> f64 {
+        if v >= self.max {
+            0.0
+        } else if v < self.min {
+            1.0
+        } else {
+            ((self.max - v) as f64 / self.span()).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Selectivity of `col IN {v_1, ..., v_k}`: `k/distinct` capped at 1,
+    /// counting only in-range values.
+    pub fn in_selectivity(&self, values: &[i64]) -> f64 {
+        let k = values
+            .iter()
+            .filter(|&&v| v >= self.min && v <= self.max)
+            .count() as f64;
+        (k / self.distinct).min(1.0)
+    }
+
+    /// Restricts the stats to a filtered output of `fraction` of the rows:
+    /// distinct count shrinks, range is kept (conservative).
+    pub fn scaled(&self, out_rows: f64) -> Self {
+        ColumnStats {
+            distinct: self.distinct.min(out_rows).max(1.0),
+            min: self.min,
+            max: self.max,
+        }
+    }
+}
+
+/// Statistics of a (base or derived) table.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TableStats {
+    /// Estimated row count.
+    pub rows: f64,
+    /// Tuple width in bytes.
+    pub width: u32,
+}
+
+impl TableStats {
+    /// Builds table stats; rows are clamped non-negative.
+    pub fn new(rows: f64, width: u32) -> Self {
+        TableStats {
+            rows: rows.max(0.0),
+            width,
+        }
+    }
+
+    /// Size in bytes.
+    pub fn bytes(&self) -> f64 {
+        self.rows * f64::from(self.width)
+    }
+
+    /// Number of blocks of `block_size` bytes needed (at least 1 for a
+    /// non-empty result).
+    pub fn blocks(&self, block_size: u32) -> f64 {
+        if self.rows <= 0.0 {
+            0.0
+        } else {
+            (self.bytes() / f64::from(block_size)).ceil().max(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_selectivity_inside_and_outside() {
+        let s = ColumnStats::new(10.0, 0, 99);
+        assert_eq!(s.eq_selectivity(5), 0.1);
+        assert_eq!(s.eq_selectivity(-1), 0.0);
+        assert_eq!(s.eq_selectivity(100), 0.0);
+    }
+
+    #[test]
+    fn range_selectivities() {
+        let s = ColumnStats::new(100.0, 0, 100);
+        assert_eq!(s.lt_selectivity(0), 0.0);
+        assert_eq!(s.lt_selectivity(50), 0.5);
+        assert_eq!(s.lt_selectivity(101), 1.0);
+        assert_eq!(s.gt_selectivity(100), 0.0);
+        assert_eq!(s.gt_selectivity(50), 0.5);
+        assert_eq!(s.gt_selectivity(-1), 1.0);
+    }
+
+    #[test]
+    fn in_selectivity_counts_in_range() {
+        let s = ColumnStats::new(4.0, 0, 3);
+        assert_eq!(s.in_selectivity(&[0, 2]), 0.5);
+        assert_eq!(s.in_selectivity(&[0, 99]), 0.25);
+        assert_eq!(s.in_selectivity(&[0, 1, 2, 3, 3]), 1.0);
+    }
+
+    #[test]
+    fn degenerate_single_value_column() {
+        let s = ColumnStats::new(1.0, 7, 7);
+        assert_eq!(s.eq_selectivity(7), 1.0);
+        assert_eq!(s.lt_selectivity(7), 0.0);
+        assert_eq!(s.gt_selectivity(7), 0.0);
+    }
+
+    #[test]
+    fn scaled_shrinks_distinct() {
+        let s = ColumnStats::new(1000.0, 0, 9999);
+        let scaled = s.scaled(10.0);
+        assert_eq!(scaled.distinct, 10.0);
+        assert_eq!(scaled.min, 0);
+        let tiny = s.scaled(0.1);
+        assert_eq!(tiny.distinct, 1.0);
+    }
+
+    #[test]
+    fn table_stats_blocks() {
+        let t = TableStats::new(1000.0, 100);
+        assert_eq!(t.bytes(), 100_000.0);
+        assert_eq!(t.blocks(4096), 25.0);
+        let empty = TableStats::new(0.0, 100);
+        assert_eq!(empty.blocks(4096), 0.0);
+        let tiny = TableStats::new(1.0, 8);
+        assert_eq!(tiny.blocks(4096), 1.0);
+    }
+
+    #[test]
+    fn reversed_range_is_normalized() {
+        let s = ColumnStats::new(5.0, 10, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 10);
+    }
+}

@@ -1,0 +1,221 @@
+//! Batch construction: the combined rooted DAG and the shareable-node
+//! universe.
+//!
+//! A batch of queries is inserted into one memo (hash-consing unifies
+//! common subexpressions across queries), expanded to fixpoint under the
+//! transformation rules, and topped with the dummy root operator
+//! (Section 2.2). The *shareable* equivalence nodes — those with more than
+//! one parent operator node in the expanded DAG, excluding base-relation
+//! scans and the root — form the ground set the MQO algorithms search over
+//! ("it is sufficient to search only over the set of shareable equivalence
+//! nodes").
+
+use mqo_volcano::logical::LogicalOp;
+use mqo_volcano::memo::{GroupId, Memo};
+use mqo_volcano::rules::{expand, ExpansionStats, RuleSet};
+use mqo_volcano::{DagContext, PlanNode};
+
+/// A fully expanded combined DAG for a batch of queries.
+#[derive(Debug)]
+pub struct BatchDag {
+    /// The expanded memo.
+    pub memo: Memo,
+    /// The dummy batch root.
+    pub root: GroupId,
+    /// Root group of each query, in submission order.
+    pub query_roots: Vec<GroupId>,
+    /// The shareable equivalence nodes (the MQO ground set); index order is
+    /// the universe element order used by the set-function layer.
+    pub shareable: Vec<GroupId>,
+    /// Expansion statistics.
+    pub expansion: ExpansionStats,
+}
+
+impl BatchDag {
+    /// Builds, expands, and roots the combined DAG for `queries`.
+    pub fn build(ctx: DagContext, queries: &[PlanNode], rules: &RuleSet) -> Self {
+        let mut memo = Memo::new(ctx);
+        for q in queries {
+            let root = memo.insert_plan(q);
+            memo.add_query_root(root);
+        }
+        let expansion = expand(&mut memo, rules);
+        let root = memo.build_batch_root();
+        let query_roots = memo.roots();
+        let shareable = find_shareable(&memo, root);
+        BatchDag {
+            memo,
+            root,
+            query_roots,
+            shareable,
+            expansion,
+        }
+    }
+
+    /// Number of shareable nodes (the `n` of the paper's analysis).
+    pub fn universe_size(&self) -> usize {
+        self.shareable.len()
+    }
+}
+
+/// Shareable nodes: reachable from the batch root, with at least two
+/// distinct live parent operator nodes, excluding bare scans (materializing
+/// a base relation is never useful — it already resides on disk) and the
+/// root itself.
+fn find_shareable(memo: &Memo, root: GroupId) -> Vec<GroupId> {
+    let mut reachable = memo.reachable(root);
+    reachable.sort_unstable();
+    reachable
+        .into_iter()
+        .filter(|&g| {
+            if g == root {
+                return false;
+            }
+            let is_bare_scan = memo
+                .group_exprs(g)
+                .all(|e| matches!(memo.expr(e).op, LogicalOp::Scan(_)));
+            if is_bare_scan {
+                return false;
+            }
+            // Shareability needs >= 2 references, counted with multiplicity:
+            // one parent expression can reference the group twice (e.g. the
+            // batch root when the same query is submitted twice, or a
+            // self-join of a shared view).
+            let references: usize = memo
+                .group_parents(g)
+                .into_iter()
+                .map(|e| {
+                    memo.expr(e)
+                        .children
+                        .iter()
+                        .filter(|&&c| memo.find(c) == g)
+                        .count()
+                })
+                .sum();
+            references >= 2
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqo_catalog::{Catalog, TableBuilder};
+    use mqo_volcano::{Constraint, Predicate};
+
+    fn ctx() -> DagContext {
+        let mut cat = Catalog::new();
+        for (name, rows) in [("a", 1000.0), ("b", 2000.0), ("c", 500.0), ("d", 800.0)] {
+            cat.add_table(
+                TableBuilder::new(name, rows)
+                    .key_column(format!("{name}_key"), 4)
+                    .column(format!("{name}_fk"), rows / 10.0, (0, (rows as i64) / 10 - 1), 4)
+                    .column(format!("{name}_x"), 10.0, (0, 9), 4)
+                    .primary_key(&[&format!("{name}_key")])
+                    .build(),
+            );
+        }
+        DagContext::new(cat)
+    }
+
+    /// Example 1's structure: Q1 = A⋈B⋈C, Q2 = B⋈C⋈D.
+    fn example1_queries(ctx: &mut DagContext) -> Vec<PlanNode> {
+        let a = ctx.instance_by_name("a", 0);
+        let b = ctx.instance_by_name("b", 0);
+        let c = ctx.instance_by_name("c", 0);
+        let d = ctx.instance_by_name("d", 0);
+        let p_ab = Predicate::join(ctx.col(a, "a_key"), ctx.col(b, "b_fk"));
+        let p_bc = Predicate::join(ctx.col(b, "b_key"), ctx.col(c, "c_fk"));
+        let p_bd = Predicate::join(ctx.col(b, "b_key"), ctx.col(d, "d_fk"));
+        let q1 = PlanNode::scan(a)
+            .join(PlanNode::scan(b), p_ab)
+            .join(PlanNode::scan(c), p_bc.clone());
+        let q2 = PlanNode::scan(b)
+            .join(PlanNode::scan(c), p_bc)
+            .join(PlanNode::scan(d), p_bd);
+        vec![q1, q2]
+    }
+
+    #[test]
+    fn batch_has_root_and_query_roots() {
+        let mut ctx = ctx();
+        let queries = example1_queries(&mut ctx);
+        let batch = BatchDag::build(ctx, &queries, &RuleSet::joins_only());
+        assert_eq!(batch.query_roots.len(), 2);
+        assert_ne!(batch.query_roots[0], batch.query_roots[1]);
+        let root_children = batch.memo.group_children(batch.root);
+        assert_eq!(root_children.len(), 2);
+    }
+
+    #[test]
+    fn shared_join_is_shareable() {
+        let mut ctx = ctx();
+        let queries = example1_queries(&mut ctx);
+        let batch = BatchDag::build(ctx, &queries, &RuleSet::joins_only());
+        // The B⋈C group is a child of joins in both queries: must be in the
+        // shareable universe.
+        let bc = batch
+            .shareable
+            .iter()
+            .copied()
+            .find(|&g| {
+                let leaves = &batch.memo.props(g).leaves;
+                leaves.len() == 2
+            });
+        assert!(bc.is_some(), "B⋈C (a 2-leaf group) must be shareable");
+    }
+
+    #[test]
+    fn scans_and_root_excluded() {
+        let mut ctx = ctx();
+        let queries = example1_queries(&mut ctx);
+        let batch = BatchDag::build(ctx, &queries, &RuleSet::joins_only());
+        assert!(!batch.shareable.contains(&batch.root));
+        for &g in &batch.shareable {
+            let all_scans = batch
+                .memo
+                .group_exprs(g)
+                .all(|e| matches!(batch.memo.expr(e).op, LogicalOp::Scan(_)));
+            assert!(!all_scans, "bare scan group {g:?} must not be shareable");
+        }
+    }
+
+    #[test]
+    fn selects_with_shared_subsumer_are_shareable() {
+        let mut ctx = ctx();
+        let a = ctx.instance_by_name("a", 0);
+        let ax = ctx.col(a, "a_x");
+        let akey = ctx.col(a, "a_key");
+        let b = ctx.instance_by_name("b", 0);
+        let p_ab = Predicate::join(ctx.col(a, "a_key"), ctx.col(b, "b_fk"));
+        // Two single-table queries with different constants, joined against
+        // b so the select groups have parents.
+        let q1 = PlanNode::scan(a)
+            .select(Predicate::on(ax, Constraint::eq(3)))
+            .join(PlanNode::scan(b), p_ab.clone());
+        let q2 = PlanNode::scan(a)
+            .select(Predicate::on(ax, Constraint::eq(5)))
+            .join(PlanNode::scan(b), p_ab);
+        let _ = akey;
+        let batch = BatchDag::build(ctx, &[q1, q2], &RuleSet::default());
+        // The subsumer σ_{x∈{3,5}}(a) has two derivation parents: shareable.
+        let has_subsumer = batch.shareable.iter().any(|&g| {
+            batch.memo.group_exprs(g).any(|e| {
+                matches!(&batch.memo.expr(e).op, LogicalOp::Select(p)
+                    if p.constraints.values().any(|c| c.in_list.as_ref().is_some_and(|v| v.len() == 2)))
+            })
+        });
+        assert!(has_subsumer, "IN-subsumer must be shareable");
+    }
+
+    #[test]
+    fn universe_is_deterministic() {
+        let mut ctx1 = ctx();
+        let q1 = example1_queries(&mut ctx1);
+        let b1 = BatchDag::build(ctx1, &q1, &RuleSet::default());
+        let mut ctx2 = ctx();
+        let q2 = example1_queries(&mut ctx2);
+        let b2 = BatchDag::build(ctx2, &q2, &RuleSet::default());
+        assert_eq!(b1.shareable, b2.shareable);
+    }
+}

@@ -1,0 +1,137 @@
+//! Consolidated-plan extraction: turns a chosen materialized set into the
+//! full physical artifact — the production plan of every materialized node
+//! plus the per-query plans reading them — for display and inspection.
+
+use mqo_volcano::cost::CostModel;
+use mqo_volcano::memo::GroupId;
+use mqo_volcano::optimizer::{MatOverlay, Optimizer, PlanTable};
+use mqo_volcano::physical::{PhysPlan, SortOrder};
+use mqo_volcano::plan::render_plan;
+
+use crate::batch::BatchDag;
+
+/// The full consolidated evaluation plan for a batch.
+#[derive(Debug)]
+pub struct ConsolidatedPlan {
+    /// `(group, production plan)` for each materialized node, in
+    /// materialization order.
+    pub materializations: Vec<(GroupId, PhysPlan)>,
+    /// One plan per query, reading materialized nodes where beneficial.
+    pub query_plans: Vec<PhysPlan>,
+    /// Total cost: productions + writes + query plans.
+    pub total_cost: f64,
+}
+
+impl ConsolidatedPlan {
+    /// Extracts the consolidated plan for `materialized` using the
+    /// reference (uncompiled) optimizer.
+    pub fn extract(batch: &BatchDag, cm: &dyn CostModel, materialized: &[GroupId]) -> Self {
+        let opt = Optimizer::new(&batch.memo, cm);
+        let overlay = MatOverlay::new(&batch.memo, materialized.iter().copied());
+        let mut total = 0.0;
+
+        let mut materializations = Vec::with_capacity(materialized.len());
+        for &g in materialized {
+            let g = batch.memo.find(g);
+            let produce_overlay = overlay.excluding(g);
+            let mut table = PlanTable::new();
+            let cost = opt.best_use_cost(g, &produce_overlay, &mut table);
+            let plan = opt.extract_plan(g, &SortOrder::none(), &produce_overlay, &mut table);
+            total += cost + opt.write_cost(g);
+            materializations.push((g, plan));
+        }
+
+        let mut query_plans = Vec::with_capacity(batch.query_roots.len());
+        for &q in &batch.query_roots {
+            let mut table = PlanTable::new();
+            let cost = opt.best_use_cost(q, &overlay, &mut table);
+            let plan = opt.extract_plan(q, &SortOrder::none(), &overlay, &mut table);
+            total += cost;
+            query_plans.push(plan);
+        }
+
+        ConsolidatedPlan {
+            materializations,
+            query_plans,
+            total_cost: total,
+        }
+    }
+
+    /// Renders the whole consolidated plan as text.
+    pub fn render(&self, batch: &BatchDag) -> String {
+        let mut out = String::new();
+        for (g, plan) in &self.materializations {
+            out.push_str(&format!("== materialize group {} ==\n", g.0));
+            out.push_str(&render_plan(plan, &batch.memo));
+        }
+        for (i, plan) in self.query_plans.iter().enumerate() {
+            out.push_str(&format!("== query {} ==\n", i + 1));
+            out.push_str(&render_plan(plan, &batch.memo));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::{optimize, Strategy};
+    use mqo_catalog::{Catalog, TableBuilder};
+    use mqo_volcano::cost::DiskCostModel;
+    use mqo_volcano::rules::RuleSet;
+    use mqo_volcano::{Constraint, DagContext, PlanNode, Predicate};
+
+    fn batch() -> BatchDag {
+        let mut cat = Catalog::new();
+        for (name, rows) in [("a", 50_000.0), ("b", 100_000.0), ("c", 25_000.0)] {
+            cat.add_table(
+                TableBuilder::new(name, rows)
+                    .key_column(format!("{name}_key"), 4)
+                    .column(format!("{name}_fk"), rows / 50.0, (0, (rows as i64) / 50 - 1), 4)
+                    .column(format!("{name}_x"), 100.0, (0, 99), 8)
+                    .primary_key(&[&format!("{name}_key")])
+                    .build(),
+            );
+        }
+        let mut ctx = DagContext::new(cat);
+        let a = ctx.instance_by_name("a", 0);
+        let b = ctx.instance_by_name("b", 0);
+        let c = ctx.instance_by_name("c", 0);
+        let p_ab = Predicate::join(ctx.col(a, "a_key"), ctx.col(b, "b_fk"));
+        let p_bc = Predicate::join(ctx.col(b, "b_key"), ctx.col(c, "c_fk"));
+        let sel = Predicate::on(ctx.col(b, "b_x"), Constraint::eq(7));
+        let q1 = PlanNode::scan(a).join(PlanNode::scan(b).select(sel.clone()), p_ab);
+        let q2 = PlanNode::scan(b).select(sel).join(PlanNode::scan(c), p_bc);
+        BatchDag::build(ctx, &[q1, q2], &RuleSet::default())
+    }
+
+    #[test]
+    fn consolidated_cost_matches_engine_bc() {
+        let b = batch();
+        let cm = DiskCostModel::paper();
+        let report = optimize(&b, &cm, Strategy::MarginalGreedy);
+        let plan = ConsolidatedPlan::extract(&b, &cm, &report.materialized);
+        assert!(
+            (plan.total_cost - report.total_cost).abs() < 1e-6 * (1.0 + report.total_cost),
+            "extracted {} vs engine {}",
+            plan.total_cost,
+            report.total_cost
+        );
+        assert_eq!(plan.query_plans.len(), 2);
+        assert_eq!(plan.materializations.len(), report.materialized.len());
+    }
+
+    #[test]
+    fn render_mentions_materializations_and_queries() {
+        let b = batch();
+        let cm = DiskCostModel::paper();
+        let report = optimize(&b, &cm, Strategy::Greedy);
+        let plan = ConsolidatedPlan::extract(&b, &cm, &report.materialized);
+        let text = plan.render(&b);
+        assert!(text.contains("== query 1 =="));
+        assert!(text.contains("== query 2 =="));
+        if !report.materialized.is_empty() {
+            assert!(text.contains("== materialize group"));
+        }
+    }
+}

@@ -1,0 +1,802 @@
+//! The `bestCost(Q, S)` oracle, compiled for speed.
+//!
+//! The greedy algorithms evaluate `bc(X ∪ {x})` for many candidates `x` per
+//! iteration, so this engine compiles the expanded memo once — interesting
+//! sort orders per group, physical implementation options with fixed
+//! per-operator costs, dense topological indexing — and then evaluates any
+//! materialized set with a bottom-up array DP:
+//!
+//! ```text
+//! compute[g][o] = min over options (op cost + Σ use[child][o_child]),
+//!                 and for o ≠ none also compute[g][none] + sort(g)
+//! use[g][o]     = g ∈ S ? read[g][o] : compute[g][o]
+//! bc(S)         = compute[root][none] + Σ_{s∈S} (compute[s][none] + write[s])
+//! ```
+//!
+//! `compute[s]` uses the `use` costs of everything below `s`, so producing a
+//! materialized node automatically exploits other materialized nodes — the
+//! same semantics as Pyro's `bestCost` (which includes the cost of
+//! computing and materializing the chosen set).
+//!
+//! On top of the full DP sits the *incremental* evaluator (the third
+//! optimization of Section 5.1, inherited from Roy et al.): relative to a
+//! committed base set, evaluating a candidate set only recomputes the
+//! ancestor cone of the groups whose membership changed.
+
+use std::collections::{BTreeSet, HashMap};
+
+use mqo_submod::bitset::BitSet;
+use mqo_volcano::cost::CostModel;
+use mqo_volcano::logical::LogicalOp;
+use mqo_volcano::memo::{GroupId, Memo};
+use mqo_volcano::physical::SortOrder;
+
+/// One physical implementation option, compiled: a constant operator cost
+/// plus references to child `(group, order)` states.
+#[derive(Clone, Debug)]
+struct CompiledOption {
+    op_cost: f64,
+    /// `(dense group index, order index within that group)`.
+    children: Vec<(u32, u8)>,
+    /// Output order of this implementation (used to determine the natural
+    /// storage order of materialized results).
+    out: OutOrder,
+}
+
+/// Output order of a compiled option: fixed, or inherited from the first
+/// child's natural order (order-preserving operators like Filter).
+#[derive(Clone, Debug)]
+enum OutOrder {
+    Fixed(SortOrder),
+    InheritChild0,
+}
+
+/// Compiled per-group state.
+#[derive(Debug)]
+struct CompiledGroup {
+    /// Interesting orders; index 0 is always the unordered requirement.
+    orders: Vec<SortOrder>,
+    /// Implementation options per order index.
+    options: Vec<Vec<CompiledOption>>,
+    /// Cost of reading the materialized result per order index.
+    read: Vec<f64>,
+    /// Cost of writing the result once.
+    write: f64,
+    /// Cost of sorting the result (for enforcers).
+    sort: f64,
+    /// Parent groups (dense indices), deduplicated.
+    parents: Vec<u32>,
+}
+
+/// The compiled `bestCost` engine.
+pub struct BestCostEngine {
+    /// Dense index (= topological position) → group.
+    dense_groups: Vec<GroupId>,
+    /// Raw group slot → dense index (only representatives are valid).
+    dense_of: HashMap<GroupId, u32>,
+    compiled: Vec<CompiledGroup>,
+    /// Dense index of the batch root.
+    root: u32,
+    /// Universe: element `i` of the shareable set ↔ dense index.
+    universe_dense: Vec<u32>,
+    /// Base state: the committed materialized set (as a bitset over the
+    /// universe) and its DP solution.
+    base_set: BitSet,
+    base_compute: Vec<Vec<f64>>,
+    base_use: Vec<Vec<f64>>,
+    /// Dense index → universe element (u32::MAX when not in the universe).
+    elem_of_dense: Vec<u32>,
+    /// Evaluation counters.
+    full_evals: u64,
+    incremental_evals: u64,
+    /// When true, every evaluation runs the full DP (ablation switch).
+    pub force_full: bool,
+}
+
+impl BestCostEngine {
+    /// Compiles the engine for a memo, cost model, and shareable universe.
+    pub fn new(memo: &Memo, cm: &dyn CostModel, root: GroupId, universe: &[GroupId]) -> Self {
+        let topo = memo.topo_order();
+        let dense_of: HashMap<GroupId, u32> = topo
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| (g, i as u32))
+            .collect();
+        let n = topo.len();
+
+        // 1. Interesting orders per group: demanded by join/aggregate
+        // parents, propagated down through order-preserving selects.
+        let mut orders: Vec<BTreeSet<SortOrder>> = vec![BTreeSet::new(); n];
+        for set in &mut orders {
+            set.insert(SortOrder::none());
+        }
+        for e in memo.expr_ids() {
+            let expr = memo.expr(e);
+            match &expr.op {
+                LogicalOp::Join(pred) => {
+                    let l = memo.find(expr.children[0]);
+                    let r = memo.find(expr.children[1]);
+                    if let Some((lk, rk)) = join_keys(memo, pred, l, r) {
+                        orders[dense_of[&l] as usize].insert(SortOrder::on(lk));
+                        orders[dense_of[&r] as usize].insert(SortOrder::on(rk));
+                    }
+                }
+                LogicalOp::Aggregate(spec) if !spec.is_scalar() => {
+                    let c = memo.find(expr.children[0]);
+                    orders[dense_of[&c] as usize].insert(SortOrder::on(spec.group_by.clone()));
+                }
+                _ => {}
+            }
+        }
+        // Propagate demands down through selects until fixpoint.
+        loop {
+            let mut changed = false;
+            for e in memo.expr_ids() {
+                let expr = memo.expr(e);
+                if !matches!(expr.op, LogicalOp::Select(_)) {
+                    continue;
+                }
+                let g = dense_of[&memo.group_of(e)] as usize;
+                let c = dense_of[&memo.find(expr.children[0])] as usize;
+                if g == c {
+                    continue;
+                }
+                let parent_orders: Vec<SortOrder> = orders[g].iter().cloned().collect();
+                for o in parent_orders {
+                    if orders[c].insert(o) {
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let orders: Vec<Vec<SortOrder>> = orders
+            .into_iter()
+            .map(|set| {
+                let mut v: Vec<SortOrder> = set.into_iter().collect();
+                // BTreeSet order puts the empty order first already, but be
+                // explicit: index 0 must be the unordered requirement.
+                if let Some(pos) = v.iter().position(SortOrder::is_none) {
+                    v.swap(0, pos);
+                }
+                v
+            })
+            .collect();
+
+        // 2. Compile options per (group, order index).
+        let blocks: Vec<f64> = topo
+            .iter()
+            .map(|&g| memo.props(g).blocks(cm.block_size()))
+            .collect();
+        let mut compiled: Vec<CompiledGroup> = Vec::with_capacity(n);
+        for (gi, &g) in topo.iter().enumerate() {
+            let g_orders = &orders[gi];
+            let mut options: Vec<Vec<CompiledOption>> = vec![Vec::new(); g_orders.len()];
+            for e in memo.group_exprs(g) {
+                compile_expr(
+                    memo,
+                    cm,
+                    e,
+                    gi,
+                    &dense_of,
+                    &orders,
+                    &blocks,
+                    &mut options,
+                );
+            }
+            // Read costs are finalized after the natural storage orders are
+            // known (see below); start with the plain read cost.
+            let read: Vec<f64> = vec![cm.materialize_read(blocks[gi]); g_orders.len()];
+            compiled.push(CompiledGroup {
+                orders: g_orders.clone(),
+                options,
+                read,
+                write: cm.materialize_write(blocks[gi]),
+                sort: cm.sort(blocks[gi]),
+                parents: Vec::new(),
+            });
+        }
+        // Parent adjacency (dense).
+        for (gi, &g) in topo.iter().enumerate() {
+            let mut parents: Vec<u32> = memo
+                .group_parents(g)
+                .into_iter()
+                .map(|e| dense_of[&memo.group_of(e)])
+                .filter(|&p| p as usize != gi)
+                .collect();
+            parents.sort_unstable();
+            parents.dedup();
+            compiled[gi].parents = parents;
+        }
+
+        let universe_dense: Vec<u32> = universe
+            .iter()
+            .map(|g| dense_of[&memo.find(*g)])
+            .collect();
+        let mut elem_of_dense = vec![u32::MAX; n];
+        for (i, &d) in universe_dense.iter().enumerate() {
+            elem_of_dense[d as usize] = i as u32;
+        }
+
+        let mut engine = BestCostEngine {
+            dense_groups: topo,
+            dense_of,
+            compiled,
+            root: 0,
+            universe_dense,
+            base_set: BitSet::empty(universe.len()),
+            base_compute: Vec::new(),
+            base_use: Vec::new(),
+            elem_of_dense,
+            full_evals: 0,
+            incremental_evals: 0,
+            force_full: false,
+        };
+        engine.root = engine.dense_of[&memo.find(root)];
+        // Solve the no-materialization state once; the winning production
+        // plans determine the natural order each result would be stored in
+        // (materialized results are written out by their cheapest production
+        // plan; consumers whose demanded order is a prefix of the stored
+        // order read them without sorting).
+        let (compute, use_) = engine.full_solve(&BitSet::empty(universe.len()));
+        let natural = engine.resolve_natural_orders(&use_);
+        for (gi, nat) in natural.iter().enumerate() {
+            let sort = engine.compiled[gi].sort;
+            let orders = engine.compiled[gi].orders.clone();
+            for (j, req) in orders.iter().enumerate() {
+                if !nat.satisfies(req) {
+                    engine.compiled[gi].read[j] += sort;
+                }
+            }
+        }
+        engine.base_compute = compute;
+        engine.base_use = use_;
+        engine
+    }
+
+    /// Resolves the natural output order of each group's winning
+    /// (unordered-requirement) production plan, bottom-up. `use_` must be
+    /// the solved state for `S = ∅`.
+    fn resolve_natural_orders(&self, use_: &[Vec<f64>]) -> Vec<SortOrder> {
+        let n = self.compiled.len();
+        let mut natural: Vec<SortOrder> = Vec::with_capacity(n);
+        for (d, cg) in self.compiled.iter().enumerate() {
+            let mut best: Option<(f64, &CompiledOption)> = None;
+            for opt in &cg.options[0] {
+                let mut cost = opt.op_cost;
+                for &(child, jc) in &opt.children {
+                    cost += use_[child as usize][jc as usize];
+                }
+                if best.is_none_or(|(b, _)| cost < b) {
+                    best = Some((cost, opt));
+                }
+            }
+            let order = match best {
+                Some((_, opt)) => match &opt.out {
+                    OutOrder::Fixed(o) => o.clone(),
+                    OutOrder::InheritChild0 => {
+                        let child = opt.children[0].0 as usize;
+                        debug_assert!(child < d, "children precede parents");
+                        natural[child].clone()
+                    }
+                },
+                None => SortOrder::none(),
+            };
+            natural.push(order);
+        }
+        natural
+    }
+
+    /// The shareable universe size.
+    pub fn universe_size(&self) -> usize {
+        self.universe_dense.len()
+    }
+
+    /// The group at a dense (topological) index — diagnostics helper.
+    pub fn dense_group(&self, d: usize) -> GroupId {
+        self.dense_groups[d]
+    }
+
+    /// Number of compiled `(group, order)` DP states.
+    pub fn n_states(&self) -> usize {
+        self.compiled.iter().map(|c| c.orders.len()).sum()
+    }
+
+    /// `(full, incremental)` evaluation counts.
+    pub fn eval_counts(&self) -> (u64, u64) {
+        (self.full_evals, self.incremental_evals)
+    }
+
+    /// `bc(∅)`'s dense state is the committed base right after construction.
+    pub fn bc(&mut self, set: &BitSet) -> f64 {
+        debug_assert_eq!(set.universe(), self.universe_dense.len());
+        if self.force_full {
+            self.full_evals += 1;
+            let (compute, _) = self.full_solve(set);
+            return self.total_from(set, |g, j| compute[g][j]);
+        }
+        let diff: Vec<usize> = symmetric_difference(set, &self.base_set);
+        if diff.is_empty() {
+            self.incremental_evals += 1;
+            return self.total_from(set, |g, j| self.base_compute[g][j]);
+        }
+        if diff.len() > 4 {
+            // Too far from base: rebase (full solve) and answer from it.
+            self.rebase(set);
+            return self.total_from(set, |g, j| self.base_compute[g][j]);
+        }
+        self.incremental_evals += 1;
+        let overlay = self.overlay_solve(set, &diff);
+        self.total_from(set, |g, j| {
+            overlay
+                .get(&(g as u32))
+                .map(|(c, _)| c[j])
+                .unwrap_or(self.base_compute[g][j])
+        })
+    }
+
+    /// Commits `set` as the new base state.
+    pub fn rebase(&mut self, set: &BitSet) {
+        self.full_evals += 1;
+        let (compute, use_) = self.full_solve(set);
+        self.base_compute = compute;
+        self.base_use = use_;
+        self.base_set = set.clone();
+    }
+
+    /// `bc(S)` from per-group compute costs.
+    fn total_from(&self, set: &BitSet, compute: impl Fn(usize, usize) -> f64) -> f64 {
+        let mut total = compute(self.root as usize, 0);
+        for e in set.iter() {
+            let d = self.universe_dense[e] as usize;
+            total += compute(d, 0) + self.compiled[d].write;
+        }
+        total
+    }
+
+    /// Whether dense group `d` is materialized under `set`.
+    fn in_set(&self, d: usize, set: &BitSet) -> bool {
+        let e = self.elem_of_dense[d];
+        e != u32::MAX && set.contains(e as usize)
+    }
+
+    /// Full bottom-up DP.
+    fn full_solve(&self, set: &BitSet) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let n = self.compiled.len();
+        let mut compute: Vec<Vec<f64>> = Vec::with_capacity(n);
+        let mut use_: Vec<Vec<f64>> = Vec::with_capacity(n);
+        for d in 0..n {
+            let (c_vec, u_vec) = self.solve_group(d, set, |g, j| use_[g][j]);
+            compute.push(c_vec);
+            use_.push(u_vec);
+        }
+        (compute, use_)
+    }
+
+    /// Solves one group given resolved child `use` costs.
+    fn solve_group(
+        &self,
+        d: usize,
+        set: &BitSet,
+        child_use: impl Fn(usize, usize) -> f64,
+    ) -> (Vec<f64>, Vec<f64>) {
+        let cg = &self.compiled[d];
+        let k = cg.orders.len();
+        let mut c_vec = vec![f64::INFINITY; k];
+        for j in 0..k {
+            let mut best = f64::INFINITY;
+            for opt in &cg.options[j] {
+                let mut cost = opt.op_cost;
+                for &(child, jc) in &opt.children {
+                    cost += child_use(child as usize, jc as usize);
+                }
+                if cost < best {
+                    best = cost;
+                }
+            }
+            if j > 0 {
+                let enforced = c_vec[0] + cg.sort;
+                if enforced < best {
+                    best = enforced;
+                }
+            }
+            c_vec[j] = best;
+        }
+        // A consumer "may or may not use the materialized nodes"
+        // (Section 2.4): reading is an *option*, recomputation remains
+        // available when cheaper.
+        let materialized = self.in_set(d, set);
+        let u_vec = (0..k)
+            .map(|j| {
+                if materialized {
+                    cg.read[j].min(c_vec[j])
+                } else {
+                    c_vec[j]
+                }
+            })
+            .collect();
+        (c_vec, u_vec)
+    }
+
+    /// Overlay DP: recompute only the cone above the changed groups.
+    fn overlay_solve(
+        &self,
+        set: &BitSet,
+        changed_elems: &[usize],
+    ) -> HashMap<u32, (Vec<f64>, Vec<f64>)> {
+        let mut overlay: HashMap<u32, (Vec<f64>, Vec<f64>)> = HashMap::new();
+        // Dense index == topological position, so a BTreeSet processes the
+        // dirty cone bottom-up.
+        let mut dirty: BTreeSet<u32> = changed_elems
+            .iter()
+            .map(|&e| self.universe_dense[e])
+            .collect();
+        while let Some(d) = dirty.pop_first() {
+            let du = d as usize;
+            let (c_vec, u_vec) = self.solve_group(du, set, |g, j| {
+                overlay
+                    .get(&(g as u32))
+                    .map(|(_, u)| u[j])
+                    .unwrap_or(self.base_use[g][j])
+            });
+            let changed = u_vec != self.base_use[du];
+            overlay.insert(d, (c_vec, u_vec));
+            if changed {
+                for &p in &self.compiled[du].parents {
+                    if !overlay.contains_key(&p) {
+                        dirty.insert(p);
+                    }
+                }
+            }
+        }
+        overlay
+    }
+}
+
+/// Spanning merge-join keys (same logic as the volcano optimizer, inlined
+/// here for compilation).
+fn join_keys(
+    memo: &Memo,
+    pred: &mqo_volcano::Predicate,
+    l: GroupId,
+    r: GroupId,
+) -> Option<(Vec<mqo_volcano::ColId>, Vec<mqo_volcano::ColId>)> {
+    let mut lk = Vec::new();
+    let mut rk = Vec::new();
+    for &(a, b) in &pred.equi {
+        if memo.group_covers(l, a) && memo.group_covers(r, b) {
+            lk.push(a);
+            rk.push(b);
+        } else if memo.group_covers(l, b) && memo.group_covers(r, a) {
+            lk.push(b);
+            rk.push(a);
+        }
+    }
+    if lk.is_empty() {
+        None
+    } else {
+        Some((lk, rk))
+    }
+}
+
+/// Compiles the physical options of one memo expression into the per-order
+/// option lists of its group.
+#[allow(clippy::too_many_arguments)]
+fn compile_expr(
+    memo: &Memo,
+    cm: &dyn CostModel,
+    e: mqo_volcano::ExprId,
+    gi: usize,
+    dense_of: &HashMap<GroupId, u32>,
+    orders: &[Vec<SortOrder>],
+    blocks: &[f64],
+    options: &mut [Vec<CompiledOption>],
+) {
+    let expr = memo.expr(e);
+    let g_orders = &orders[gi];
+    match &expr.op {
+        LogicalOp::Scan(inst) => {
+            let out = SortOrder::on(memo.ctx().clustered_order(*inst));
+            let op_cost = cm.table_scan(blocks[gi]);
+            for (j, req) in g_orders.iter().enumerate() {
+                if out.satisfies(req) {
+                    options[j].push(CompiledOption {
+                        op_cost,
+                        children: vec![],
+                        out: OutOrder::Fixed(out.clone()),
+                    });
+                }
+            }
+        }
+        LogicalOp::Select(pred) => {
+            let c = memo.find(expr.children[0]);
+            let ci = dense_of[&c] as usize;
+            // Filter: child takes the same requirement.
+            let filter_cost = cm.filter(blocks[ci]);
+            for (j, req) in g_orders.iter().enumerate() {
+                let jc = orders[ci]
+                    .iter()
+                    .position(|o| o == req)
+                    .expect("demand propagated to select child");
+                options[j].push(CompiledOption {
+                    op_cost: filter_cost,
+                    children: vec![(ci as u32, jc as u8)],
+                    out: OutOrder::InheritChild0,
+                });
+            }
+            // Clustered-index scan.
+            for ce in memo.group_exprs(c) {
+                let LogicalOp::Scan(inst) = memo.expr(ce).op else {
+                    continue;
+                };
+                let pk_order = memo.ctx().clustered_order(inst);
+                let Some(&lead) = pk_order.first() else { continue };
+                let Some(constraint) = pred.constraints.get(&lead) else {
+                    continue;
+                };
+                let frac = constraint.selectivity(&memo.ctx().col_stats(lead));
+                let matched = (blocks[ci] * frac).ceil().max(1.0);
+                let op_cost = cm.index_scan(matched) + cm.filter(matched);
+                let out = SortOrder::on(pk_order);
+                for (j, req) in g_orders.iter().enumerate() {
+                    if out.satisfies(req) {
+                        options[j].push(CompiledOption {
+                            op_cost,
+                            children: vec![],
+                            out: OutOrder::Fixed(out.clone()),
+                        });
+                    }
+                }
+            }
+        }
+        LogicalOp::Join(pred) => {
+            let l = memo.find(expr.children[0]);
+            let r = memo.find(expr.children[1]);
+            let (li, ri) = (dense_of[&l] as usize, dense_of[&r] as usize);
+            let keys = join_keys(memo, pred, l, r);
+            for swapped in [false, true] {
+                let (oi, ii) = if swapped { (ri, li) } else { (li, ri) };
+                // Block nested loops (unordered output): order index 0 only.
+                let nl_cost = cm.nl_join(blocks[oi], blocks[ii], blocks[gi]);
+                options[0].push(CompiledOption {
+                    op_cost: nl_cost,
+                    children: vec![(oi as u32, 0), (ii as u32, 0)],
+                    out: OutOrder::Fixed(SortOrder::none()),
+                });
+                // Merge join.
+                if let Some((lk, rk)) = &keys {
+                    let (ok, ik) = if swapped {
+                        (rk.clone(), lk.clone())
+                    } else {
+                        (lk.clone(), rk.clone())
+                    };
+                    let out = SortOrder::on(ok.clone());
+                    let jo = orders[oi]
+                        .iter()
+                        .position(|o| *o == out)
+                        .expect("join key order registered for outer child");
+                    let ji = orders[ii]
+                        .iter()
+                        .position(|o| *o == SortOrder::on(ik.clone()))
+                        .expect("join key order registered for inner child");
+                    let op_cost = cm.merge_join(blocks[oi], blocks[ii], blocks[gi]);
+                    for (j, req) in g_orders.iter().enumerate() {
+                        if out.satisfies(req) {
+                            options[j].push(CompiledOption {
+                                op_cost,
+                                children: vec![(oi as u32, jo as u8), (ii as u32, ji as u8)],
+                                out: OutOrder::Fixed(out.clone()),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        LogicalOp::Aggregate(spec) => {
+            let c = memo.find(expr.children[0]);
+            let ci = dense_of[&c] as usize;
+            if spec.is_scalar() {
+                let op_cost = cm.scalar_agg(blocks[ci]);
+                // One row satisfies every ordering requirement.
+                for opts in options.iter_mut() {
+                    opts.push(CompiledOption {
+                        op_cost,
+                        children: vec![(ci as u32, 0)],
+                        out: OutOrder::Fixed(SortOrder::none()),
+                    });
+                }
+            } else {
+                let gb = SortOrder::on(spec.group_by.clone());
+                let jc = orders[ci]
+                    .iter()
+                    .position(|o| *o == gb)
+                    .expect("group-by order registered for aggregate child");
+                let op_cost = cm.sort_agg(blocks[ci], blocks[gi]);
+                for (j, req) in g_orders.iter().enumerate() {
+                    if gb.satisfies(req) {
+                        options[j].push(CompiledOption {
+                            op_cost,
+                            children: vec![(ci as u32, jc as u8)],
+                            out: OutOrder::Fixed(gb.clone()),
+                        });
+                    }
+                }
+            }
+        }
+        LogicalOp::Root => {
+            let children: Vec<(u32, u8)> = expr
+                .children
+                .iter()
+                .map(|&c| (dense_of[&memo.find(c)], 0u8))
+                .collect();
+            options[0].push(CompiledOption {
+                op_cost: 0.0,
+                children,
+                out: OutOrder::Fixed(SortOrder::none()),
+            });
+        }
+    }
+}
+
+/// Indices present in exactly one of the two sets.
+fn symmetric_difference(a: &BitSet, b: &BitSet) -> Vec<usize> {
+    let mut out: Vec<usize> = a.difference(b).iter().collect();
+    out.extend(b.difference(a).iter());
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::BatchDag;
+    use mqo_catalog::{Catalog, TableBuilder};
+    use mqo_volcano::cost::DiskCostModel;
+    use mqo_volcano::optimizer::{MatOverlay, Optimizer, PlanTable};
+    use mqo_volcano::rules::RuleSet;
+    use mqo_volcano::{Constraint, DagContext, PlanNode, Predicate};
+
+    fn build_batch() -> BatchDag {
+        let mut cat = Catalog::new();
+        for (name, rows) in [("a", 20_000.0), ("b", 40_000.0), ("c", 10_000.0), ("d", 8_000.0)] {
+            cat.add_table(
+                TableBuilder::new(name, rows)
+                    .key_column(format!("{name}_key"), 4)
+                    .column(format!("{name}_fk"), rows / 20.0, (0, (rows as i64) / 20 - 1), 4)
+                    .column(format!("{name}_x"), 50.0, (0, 49), 8)
+                    .primary_key(&[&format!("{name}_key")])
+                    .build(),
+            );
+        }
+        let mut ctx = DagContext::new(cat);
+        let a = ctx.instance_by_name("a", 0);
+        let b = ctx.instance_by_name("b", 0);
+        let c = ctx.instance_by_name("c", 0);
+        let d = ctx.instance_by_name("d", 0);
+        let p_ab = Predicate::join(ctx.col(a, "a_key"), ctx.col(b, "b_fk"));
+        let p_bc = Predicate::join(ctx.col(b, "b_key"), ctx.col(c, "c_fk"));
+        let p_bd = Predicate::join(ctx.col(b, "b_key"), ctx.col(d, "d_fk"));
+        let sel = Predicate::on(ctx.col(c, "c_x"), Constraint::le(25));
+        let q1 = PlanNode::scan(a)
+            .join(PlanNode::scan(b), p_ab)
+            .join(PlanNode::scan(c).select(sel.clone()), p_bc.clone());
+        let q2 = PlanNode::scan(b)
+            .join(PlanNode::scan(c).select(sel), p_bc)
+            .join(PlanNode::scan(d), p_bd);
+        BatchDag::build(ctx, &[q1, q2], &RuleSet::default())
+    }
+
+    #[test]
+    fn engine_matches_reference_optimizer_on_empty_set() {
+        let batch = build_batch();
+        let cm = DiskCostModel::paper();
+        let mut engine =
+            BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
+        let bc_empty = engine.bc(&BitSet::empty(batch.universe_size()));
+
+        let opt = Optimizer::new(&batch.memo, &cm);
+        let mut table = PlanTable::new();
+        let reference = opt.best_use_cost(batch.root, &MatOverlay::empty(), &mut table);
+        assert!(
+            (bc_empty - reference).abs() < 1e-6,
+            "engine {bc_empty} vs reference {reference}"
+        );
+    }
+
+    #[test]
+    fn engine_matches_reference_on_singletons() {
+        let batch = build_batch();
+        let cm = DiskCostModel::paper();
+        let mut engine =
+            BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
+        let opt = Optimizer::new(&batch.memo, &cm);
+        let n = batch.universe_size();
+        assert!(n > 0);
+        for e in 0..n {
+            let set = BitSet::from_iter(n, [e]);
+            let bc = engine.bc(&set);
+            // Reference: buc(root | {g}) + produce(g) + write(g).
+            let g = batch.shareable[e];
+            let overlay = MatOverlay::new(&batch.memo, [g]);
+            let mut t1 = PlanTable::new();
+            let buc = opt.best_use_cost(batch.root, &overlay, &mut t1);
+            let produce = opt.produce_cost(g, &overlay);
+            let reference = buc + produce + opt.write_cost(g);
+            assert!(
+                (bc - reference).abs() < 1e-6,
+                "element {e}: engine {bc} vs reference {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_matches_full() {
+        let batch = build_batch();
+        let cm = DiskCostModel::paper();
+        let mut inc = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
+        let mut full = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
+        full.force_full = true;
+        let n = batch.universe_size();
+        // Deterministic pseudo-random subsets.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for _ in 0..40 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let mut set = BitSet::empty(n);
+            for e in 0..n {
+                if (state >> (e % 64)) & 1 == 1 && e % 3 != 0 {
+                    set.insert(e);
+                }
+            }
+            let a = inc.bc(&set);
+            let b = full.bc(&set);
+            assert!((a - b).abs() < 1e-6, "incremental {a} vs full {b}");
+        }
+    }
+
+    #[test]
+    fn bc_empty_is_locally_optimal_cost() {
+        // bc(∅) must not exceed the cost of any particular plan; a weak
+        // sanity bound: it is positive and finite.
+        let batch = build_batch();
+        let cm = DiskCostModel::paper();
+        let mut engine =
+            BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
+        let bc = engine.bc(&BitSet::empty(batch.universe_size()));
+        assert!(bc.is_finite() && bc > 0.0);
+    }
+
+    #[test]
+    fn materializing_shared_node_helps_somewhere() {
+        // In this batch σ(c) (or b⋈σ(c)) is shared; at least one singleton
+        // must beat bc(∅).
+        let batch = build_batch();
+        let cm = DiskCostModel::paper();
+        let mut engine =
+            BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
+        let n = batch.universe_size();
+        let empty = engine.bc(&BitSet::empty(n));
+        let best_single = (0..n)
+            .map(|e| engine.bc(&BitSet::from_iter(n, [e])))
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            best_single < empty,
+            "no single materialization helps: best {best_single} vs empty {empty}"
+        );
+    }
+
+    #[test]
+    fn rebase_keeps_answers_consistent() {
+        let batch = build_batch();
+        let cm = DiskCostModel::paper();
+        let mut engine =
+            BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
+        let n = batch.universe_size();
+        let set = BitSet::from_iter(n, (0..n).filter(|e| e % 2 == 0));
+        let before = engine.bc(&set);
+        engine.rebase(&set);
+        let after = engine.bc(&set);
+        assert!((before - after).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,47 @@
+//! Multi-query optimization as unconstrained normalized submodular
+//! maximization — the primary contribution of *"Efficient and Provable
+//! Multi-Query Optimization"* (Kathuria & Sudarshan, PODS 2017).
+//!
+//! Pipeline:
+//!
+//! 1. [`batch::BatchDag`] — insert a batch of queries into one memo,
+//!    expand under the transformation rules, add the dummy root, and
+//!    compute the shareable-node universe (Section 2.2).
+//! 2. [`engine::BestCostEngine`] — the compiled `bestCost(Q, S)` oracle
+//!    with incremental recomputation (Section 5.1's optimizations).
+//! 3. [`benefit::MbFunction`] — the materialization benefit
+//!    `mb(S) = bc(∅) − bc(S)` as a set function (Section 2.4), with the
+//!    canonical decomposition of Proposition 1.
+//! 4. [`strategies`] — stand-alone Volcano, Greedy (Algorithm 1),
+//!    MarginalGreedy (Algorithm 2), their lazy accelerations, the
+//!    materialize-everything baseline, and the Section 5.3
+//!    cardinality-constrained variant.
+//! 5. [`consolidated::ConsolidatedPlan`] — the extracted physical artifact
+//!    (materialization productions + per-query plans).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use mqo_core::batch::BatchDag;
+//! use mqo_core::strategies::{optimize, Strategy};
+//! use mqo_volcano::cost::DiskCostModel;
+//! use mqo_volcano::rules::RuleSet;
+//!
+//! # fn queries() -> (mqo_volcano::DagContext, Vec<mqo_volcano::PlanNode>) { unimplemented!() }
+//! let (ctx, qs) = queries();
+//! let batch = BatchDag::build(ctx, &qs, &RuleSet::default());
+//! let report = optimize(&batch, &DiskCostModel::paper(), Strategy::MarginalGreedy);
+//! println!("cost {} vs volcano {}", report.total_cost, report.volcano_cost);
+//! ```
+
+pub mod batch;
+pub mod benefit;
+pub mod consolidated;
+pub mod engine;
+pub mod strategies;
+
+pub use batch::BatchDag;
+pub use benefit::MbFunction;
+pub use consolidated::ConsolidatedPlan;
+pub use engine::BestCostEngine;
+pub use strategies::{compare, optimize, RunReport, Strategy};

@@ -1,0 +1,296 @@
+//! Optimization strategies and run reports: the algorithms the paper's
+//! experiments compare (stand-alone Volcano, Greedy of Roy et al.,
+//! MarginalGreedy, and their lazy accelerations), plus the
+//! materialize-everything baseline of Silva et al. [26].
+
+use std::time::{Duration, Instant};
+
+use mqo_submod::algorithms::cardinality::cardinality_marginal_greedy;
+use mqo_submod::algorithms::greedy::{self as greedy_mod, Config as GreedyConfig};
+use mqo_submod::algorithms::lazy::lazy_marginal_greedy;
+use mqo_submod::algorithms::marginal_greedy::{marginal_greedy, Config as MarginalConfig};
+use mqo_submod::bitset::BitSet;
+use mqo_submod::function::SetFunction;
+use mqo_volcano::cost::CostModel;
+use mqo_volcano::memo::GroupId;
+
+use crate::batch::BatchDag;
+use crate::benefit::MbFunction;
+use crate::engine::BestCostEngine;
+
+/// The optimization strategies of the experimental section.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Stand-alone Volcano: no materialization (`S = ∅`).
+    Volcano,
+    /// Algorithm 1 (Roy et al.): pick the node minimizing `bc(X ∪ {x})`
+    /// while it improves.
+    Greedy,
+    /// Algorithm 1 with the Minoux-style heap (Pyro's "monotonicity
+    /// heuristic" acceleration).
+    LazyGreedy,
+    /// Algorithm 2 with the canonical decomposition (this paper).
+    MarginalGreedy,
+    /// Algorithm 2 with the Section 5.2 heap acceleration.
+    LazyMarginalGreedy,
+    /// Materialize every shareable node (the heuristic of Silva et al.
+    /// [26]; "horribly inefficient" when costs outweigh benefits).
+    MaterializeAll,
+    /// MarginalGreedy under a cardinality constraint (Section 5.3), with or
+    /// without the Theorem 4 universe reduction.
+    CardinalityMarginalGreedy { k: usize, reduce_universe: bool },
+    /// MarginalGreedy followed by a removal cleanup pass — an *extension*
+    /// beyond the paper that quantifies how far the workload's benefit
+    /// function deviates from the submodularity assumption (a no-op when
+    /// the assumption holds).
+    MarginalGreedyCleanup,
+    /// Exhaustive search over all 2^n materialization sets — the ground
+    /// truth the paper calls untenable in general (O(n^n) with plan
+    /// enumeration; 2^n bc calls here thanks to the bc oracle). Only
+    /// usable on small universes; `optimize` panics above 20 shareable
+    /// nodes.
+    Exhaustive,
+}
+
+impl Strategy {
+    /// Display name used in reports and tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Volcano => "Volcano",
+            Strategy::Greedy => "Greedy",
+            Strategy::LazyGreedy => "LazyGreedy",
+            Strategy::MarginalGreedy => "MarginalGreedy",
+            Strategy::LazyMarginalGreedy => "LazyMarginalGreedy",
+            Strategy::MaterializeAll => "MaterializeAll",
+            Strategy::CardinalityMarginalGreedy { .. } => "CardinalityMarginalGreedy",
+            Strategy::MarginalGreedyCleanup => "MarginalGreedy+Cleanup",
+            Strategy::Exhaustive => "Exhaustive",
+        }
+    }
+}
+
+/// The outcome of optimizing one batch with one strategy.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Strategy display name.
+    pub strategy: String,
+    /// `bc(S)` of the chosen set: the consolidated plan cost.
+    pub total_cost: f64,
+    /// `bc(∅)`: the stand-alone Volcano cost.
+    pub volcano_cost: f64,
+    /// `mb(S) = bc(∅) − bc(S)`.
+    pub benefit: f64,
+    /// The materialized equivalence nodes.
+    pub materialized: Vec<GroupId>,
+    /// Optimization wall-clock time (the Figure 4c / 5c metric).
+    pub opt_time: Duration,
+    /// Number of `bc` oracle invocations.
+    pub bc_calls: u64,
+    /// Shareable-universe size.
+    pub universe: usize,
+}
+
+impl RunReport {
+    /// Percentage improvement over stand-alone Volcano.
+    pub fn improvement_pct(&self) -> f64 {
+        if self.volcano_cost <= 0.0 {
+            0.0
+        } else {
+            100.0 * (self.volcano_cost - self.total_cost) / self.volcano_cost
+        }
+    }
+}
+
+/// Optimizes a batch with the given strategy and cost model.
+pub fn optimize(batch: &BatchDag, cm: &dyn CostModel, strategy: Strategy) -> RunReport {
+    let start = Instant::now();
+    let engine = BestCostEngine::new(&batch.memo, cm, batch.root, &batch.shareable);
+    let mb = MbFunction::new(engine);
+    let n = mb.universe();
+    let full = BitSet::full(n);
+
+    let chosen: BitSet = match strategy {
+        Strategy::Volcano => BitSet::empty(n),
+        Strategy::Greedy => greedy_mod::greedy(&mb, &full, GreedyConfig::default()).set,
+        Strategy::LazyGreedy => greedy_mod::lazy_greedy(&mb, &full, GreedyConfig::default()).set,
+        Strategy::MarginalGreedy => {
+            let decomp = mb.canonical_decomposition();
+            marginal_greedy(&mb, &decomp, &full, MarginalConfig::default()).set
+        }
+        Strategy::LazyMarginalGreedy => {
+            let decomp = mb.canonical_decomposition();
+            lazy_marginal_greedy(&mb, &decomp, &full, MarginalConfig::default()).set
+        }
+        Strategy::MaterializeAll => full.clone(),
+        Strategy::CardinalityMarginalGreedy { k, reduce_universe } => {
+            let decomp = mb.canonical_decomposition();
+            cardinality_marginal_greedy(&mb, &decomp, &full, k, reduce_universe).set
+        }
+        Strategy::MarginalGreedyCleanup => {
+            let decomp = mb.canonical_decomposition();
+            let out = marginal_greedy(&mb, &decomp, &full, MarginalConfig::default());
+            mqo_submod::algorithms::cleanup::cleanup(&mb, &out.set).set
+        }
+        Strategy::Exhaustive => {
+            assert!(
+                n <= 20,
+                "exhaustive MQO is limited to 20 shareable nodes (got {n})"
+            );
+            mqo_submod::algorithms::exhaustive::exhaustive_max(&mb, &full).0
+        }
+    };
+
+    let total_cost = mb.bc(&chosen);
+    let opt_time = start.elapsed();
+    let materialized: Vec<GroupId> = chosen.iter().map(|e| batch.shareable[e]).collect();
+    RunReport {
+        strategy: strategy.name().to_string(),
+        total_cost,
+        volcano_cost: mb.bc_empty(),
+        benefit: mb.bc_empty() - total_cost,
+        materialized,
+        opt_time,
+        bc_calls: mb.bc_calls(),
+        universe: n,
+    }
+}
+
+/// Runs several strategies on the same batch (recompiling the engine per
+/// strategy so timings are comparable).
+pub fn compare(batch: &BatchDag, cm: &dyn CostModel, strategies: &[Strategy]) -> Vec<RunReport> {
+    strategies
+        .iter()
+        .map(|&s| optimize(batch, cm, s))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqo_catalog::{Catalog, TableBuilder};
+    use mqo_volcano::cost::DiskCostModel;
+    use mqo_volcano::rules::RuleSet;
+    use mqo_volcano::{Constraint, DagContext, PlanNode, Predicate};
+
+    fn batch() -> BatchDag {
+        let mut cat = Catalog::new();
+        for (name, rows) in [("a", 50_000.0), ("b", 100_000.0), ("c", 25_000.0), ("d", 10_000.0)] {
+            cat.add_table(
+                TableBuilder::new(name, rows)
+                    .key_column(format!("{name}_key"), 4)
+                    .column(format!("{name}_fk"), rows / 50.0, (0, (rows as i64) / 50 - 1), 4)
+                    .column(format!("{name}_x"), 100.0, (0, 99), 8)
+                    .primary_key(&[&format!("{name}_key")])
+                    .build(),
+            );
+        }
+        let mut ctx = DagContext::new(cat);
+        let a = ctx.instance_by_name("a", 0);
+        let b = ctx.instance_by_name("b", 0);
+        let c = ctx.instance_by_name("c", 0);
+        let d = ctx.instance_by_name("d", 0);
+        let p_ab = Predicate::join(ctx.col(a, "a_key"), ctx.col(b, "b_fk"));
+        let p_bc = Predicate::join(ctx.col(b, "b_key"), ctx.col(c, "c_fk"));
+        let p_bd = Predicate::join(ctx.col(b, "b_key"), ctx.col(d, "d_fk"));
+        let sel = Predicate::on(ctx.col(b, "b_x"), Constraint::eq(7));
+        let q1 = PlanNode::scan(a).join(PlanNode::scan(b).select(sel.clone()), p_ab);
+        let q2 = PlanNode::scan(b)
+            .select(sel.clone())
+            .join(PlanNode::scan(c), p_bc);
+        let q3 = PlanNode::scan(b).select(sel).join(PlanNode::scan(d), p_bd);
+        BatchDag::build(ctx, &[q1, q2, q3], &RuleSet::default())
+    }
+
+    #[test]
+    fn all_mqo_strategies_beat_or_match_volcano() {
+        let b = batch();
+        let cm = DiskCostModel::paper();
+        for s in [
+            Strategy::Greedy,
+            Strategy::LazyGreedy,
+            Strategy::MarginalGreedy,
+            Strategy::LazyMarginalGreedy,
+        ] {
+            let r = optimize(&b, &cm, s);
+            assert!(
+                r.total_cost <= r.volcano_cost + 1e-6,
+                "{}: {} > volcano {}",
+                r.strategy,
+                r.total_cost,
+                r.volcano_cost
+            );
+            assert!(r.benefit >= -1e-6);
+        }
+    }
+
+    #[test]
+    fn sharing_strictly_helps_on_this_batch() {
+        let b = batch();
+        let cm = DiskCostModel::paper();
+        let greedy = optimize(&b, &cm, Strategy::Greedy);
+        assert!(
+            greedy.benefit > 0.0,
+            "three queries share σ(b); materialization must pay off"
+        );
+        assert!(!greedy.materialized.is_empty());
+    }
+
+    #[test]
+    fn lazy_variants_match_eager() {
+        let b = batch();
+        let cm = DiskCostModel::paper();
+        let eager_g = optimize(&b, &cm, Strategy::Greedy);
+        let lazy_g = optimize(&b, &cm, Strategy::LazyGreedy);
+        assert_eq!(eager_g.materialized, lazy_g.materialized);
+        let eager_m = optimize(&b, &cm, Strategy::MarginalGreedy);
+        let lazy_m = optimize(&b, &cm, Strategy::LazyMarginalGreedy);
+        assert_eq!(eager_m.materialized, lazy_m.materialized);
+    }
+
+    #[test]
+    fn volcano_report_is_baseline() {
+        let b = batch();
+        let cm = DiskCostModel::paper();
+        let r = optimize(&b, &cm, Strategy::Volcano);
+        assert_eq!(r.total_cost, r.volcano_cost);
+        assert_eq!(r.benefit, 0.0);
+        assert!(r.materialized.is_empty());
+        assert_eq!(r.improvement_pct(), 0.0);
+    }
+
+    #[test]
+    fn materialize_all_is_worse_than_greedy() {
+        let b = batch();
+        let cm = DiskCostModel::paper();
+        let all = optimize(&b, &cm, Strategy::MaterializeAll);
+        let greedy = optimize(&b, &cm, Strategy::Greedy);
+        assert!(
+            all.total_cost >= greedy.total_cost - 1e-6,
+            "cost-blind materialize-everything must not beat greedy"
+        );
+    }
+
+    #[test]
+    fn cardinality_constraint_limits_materializations() {
+        let b = batch();
+        let cm = DiskCostModel::paper();
+        let r = optimize(
+            &b,
+            &cm,
+            Strategy::CardinalityMarginalGreedy {
+                k: 1,
+                reduce_universe: false,
+            },
+        );
+        assert!(r.materialized.len() <= 1);
+        let pruned = optimize(
+            &b,
+            &cm,
+            Strategy::CardinalityMarginalGreedy {
+                k: 1,
+                reduce_universe: true,
+            },
+        );
+        assert_eq!(r.materialized, pruned.materialized, "Theorem 4");
+    }
+}

@@ -1,0 +1,320 @@
+//! Cardinality-constrained selection (Section 5.3) and the Theorem 4
+//! universe reduction.
+//!
+//! A storage budget may cap the number of materialized nodes at `k`. The
+//! paper adapts MarginalGreedy by simply stopping after `k` picks, and gives
+//! a *pruning* preprocessing step (Theorem 4): order the elements by
+//! `f'_M(e, U\{e})/c(e)` descending and keep only
+//! `U' = { e : f_M({e})/c(e) ≥ f'_M(e_k, U\{e_k})/c(e_k) }`.
+//! The greedy run on `U'` provably returns the same answer as on `U`.
+
+use crate::bitset::BitSet;
+use crate::decompose::Decomposition;
+use crate::function::SetFunction;
+
+use super::marginal_greedy::{marginal_greedy, Config};
+use super::{Outcome, Pick};
+
+/// The result of the Theorem 4 universe-reduction preprocessing.
+#[derive(Clone, Debug)]
+pub struct ReducedUniverse {
+    /// The kept candidate set `U'`.
+    pub kept: BitSet,
+    /// Number of elements pruned away.
+    pub pruned: usize,
+    /// Oracle evaluations spent on the reduction itself.
+    pub evaluations: u64,
+}
+
+/// Computes the Theorem 4 reduction `U'` for cardinality bound `k`.
+///
+/// When `k >= n` the check is provably vacuous (Case 1 of the proof shows
+/// every element survives), so the full universe is returned without
+/// spending any oracle calls — exactly the short-circuit the paper
+/// recommends.
+pub fn universe_reduction<F: SetFunction>(
+    f: &F,
+    decomp: &Decomposition,
+    candidates: &BitSet,
+    k: usize,
+) -> ReducedUniverse {
+    let n = f.universe();
+    let m = candidates.len();
+    if k >= m || k == 0 {
+        // k >= n: Case 1 of the proof — every element survives, skip the
+        // oracle calls. k == 0: the greedy picks nothing regardless, no
+        // threshold exists.
+        return ReducedUniverse {
+            kept: candidates.clone(),
+            pruned: 0,
+            evaluations: 0,
+        };
+    }
+
+    let mut evaluations = 0u64;
+    let full = {
+        // "U" in Theorem 4 is the candidate set itself.
+        let mut u = BitSet::empty(n);
+        u.union_with(candidates);
+        u
+    };
+
+    // Top-of-lattice ratios f'_M(e, U\{e}) / c(e), defining the ordering.
+    // Elements with non-positive cost are outside the ratio ordering: the
+    // greedy loop never ranks them (they are added in the free phase), so
+    // they are always kept and do not contribute a threshold.
+    let mut top_ratios: Vec<(usize, f64)> = Vec::with_capacity(m);
+    for e in candidates.iter() {
+        let cost = decomp.cost(e);
+        if cost <= 0.0 {
+            continue;
+        }
+        let ratio = decomp.monotone_marginal(f, e, &full.without(e)) / cost;
+        evaluations += 1;
+        top_ratios.push((e, ratio));
+    }
+    if top_ratios.len() <= k {
+        // Fewer rankable elements than the budget: nothing can be pruned.
+        return ReducedUniverse {
+            kept: candidates.clone(),
+            pruned: 0,
+            evaluations,
+        };
+    }
+    top_ratios.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let threshold = top_ratios[k - 1].1;
+
+    // Keep e iff its singleton ratio f_M({e})/c(e) meets the threshold.
+    let empty = BitSet::empty(n);
+    let mut kept = BitSet::empty(n);
+    for e in candidates.iter() {
+        let cost = decomp.cost(e);
+        if cost <= 0.0 {
+            kept.insert(e);
+            continue;
+        }
+        let singleton_ratio = decomp.monotone_marginal(f, e, &empty) / cost;
+        evaluations += 1;
+        // `>=` with a relative tolerance: under the canonical decomposition
+        // the top-of-lattice ratios are exactly zero in exact arithmetic, and
+        // floating-point noise must not prune elements the theorem keeps.
+        // Keeping a borderline element is always safe (U' only needs to
+        // contain every element the greedy could pick).
+        if crate::function::ge_approx(singleton_ratio, threshold) {
+            kept.insert(e);
+        }
+    }
+
+    let pruned = m - kept.len();
+    ReducedUniverse {
+        kept,
+        pruned,
+        evaluations,
+    }
+}
+
+/// MarginalGreedy under a cardinality constraint `k`, optionally preceded by
+/// the Theorem 4 universe reduction.
+pub fn cardinality_marginal_greedy<F: SetFunction>(
+    f: &F,
+    decomp: &Decomposition,
+    candidates: &BitSet,
+    k: usize,
+    reduce_universe: bool,
+) -> Outcome {
+    let cfg = Config {
+        max_picks: Some(k),
+        ..Default::default()
+    };
+    if reduce_universe {
+        let reduction = universe_reduction(f, decomp, candidates, k);
+        let mut out = marginal_greedy(f, decomp, &reduction.kept, cfg);
+        out.evaluations += reduction.evaluations;
+        out
+    } else {
+        marginal_greedy(f, decomp, candidates, cfg)
+    }
+}
+
+/// The classic (1 − 1/e) greedy of Nemhauser–Wolsey–Fisher for *monotone*
+/// submodular maximization under a cardinality constraint: pick the largest
+/// marginal until `k` elements are chosen.
+///
+/// Provided as the textbook baseline the paper builds on ([19]); unlike
+/// Algorithm 1 it does not stop early on non-improving steps (marginals of a
+/// monotone function are never negative anyway).
+pub fn cardinality_greedy_monotone<F: SetFunction>(f: &F, candidates: &BitSet, k: usize) -> Outcome {
+    let n = f.universe();
+    let mut out = Outcome::new(n);
+    let mut value = f.eval(&out.set);
+    out.evaluations += 1;
+    let mut active: Vec<usize> = candidates.iter().collect();
+
+    for _ in 0..k {
+        if active.is_empty() {
+            break;
+        }
+        let mut best: Option<(usize, usize, f64)> = None;
+        for (pos, &e) in active.iter().enumerate() {
+            let gain = f.marginal(e, &out.set);
+            out.evaluations += 1;
+            if best.is_none_or(|(_, _, g)| gain > g) {
+                best = Some((pos, e, gain));
+            }
+        }
+        let (pos, e, gain) = best.expect("active is non-empty");
+        out.set.insert(e);
+        value += gain;
+        out.picks.push(Pick {
+            element: e,
+            score: gain,
+            value_after: value,
+        });
+        active.swap_remove(pos);
+    }
+
+    out.value = f.eval(&out.set);
+    out.evaluations += 1;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::exhaustive::exhaustive_max_k;
+    use crate::instances::coverage::WeightedCoverage;
+    use crate::instances::random::{random_coverage_minus_cost, CoverageParams};
+
+    #[test]
+    fn reduction_is_identity_when_k_equals_n() {
+        let f = random_coverage_minus_cost(CoverageParams::default(), 1.0, 1);
+        let d = Decomposition::canonical(&f);
+        let full = BitSet::full(8);
+        let r = universe_reduction(&f, &d, &full, 8);
+        assert_eq!(r.kept, full);
+        assert_eq!(r.pruned, 0);
+        assert_eq!(r.evaluations, 0, "k = n short-circuit must be free");
+    }
+
+    #[test]
+    fn theorem4_pruned_equals_unpruned() {
+        // The heart of Theorem 4: the constrained greedy returns the same
+        // answer with or without the universe reduction.
+        for seed in 0..30 {
+            let f = random_coverage_minus_cost(
+                CoverageParams {
+                    n_sets: 12,
+                    n_items: 20,
+                    ..Default::default()
+                },
+                1.0,
+                seed,
+            );
+            let d = Decomposition::canonical(&f);
+            let full = BitSet::full(12);
+            for k in [1, 2, 4, 6] {
+                let with = cardinality_marginal_greedy(&f, &d, &full, k, true);
+                let without = cardinality_marginal_greedy(&f, &d, &full, k, false);
+                assert_eq!(
+                    with.set, without.set,
+                    "Theorem 4 violated at seed {seed}, k {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_decomposition_never_prunes() {
+        // A consequence of Proposition 1 the paper does not spell out: under
+        // the canonical decomposition, f'_M(e, U\{e}) = f(U) − f(U\{e}) +
+        // c*(e) = 0 for every element, so the Theorem 4 threshold is 0 while
+        // singleton ratios are >= 0 by monotonicity of f*_M — the reduction
+        // keeps everything. (Consistent with the paper's remark that "this
+        // strategy may not always lead to a reduction".)
+        for seed in 0..10 {
+            let f = random_coverage_minus_cost(
+                CoverageParams {
+                    n_sets: 14,
+                    n_items: 10,
+                    density: 0.5,
+                    ..Default::default()
+                },
+                1.2,
+                seed,
+            );
+            let d = Decomposition::canonical(&f);
+            let r = universe_reduction(&f, &d, &BitSet::full(14), 2);
+            assert_eq!(r.pruned, 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn reduction_can_prune_under_natural_decomposition() {
+        // Under the "natural" decomposition (f_M = coverage, c = raw costs)
+        // pruning does bite: elements 0..k uniquely cover high-weight items
+        // (large top-of-lattice ratio), the rest cover shared cheap items
+        // (singleton ratio below the threshold).
+        use crate::instances::coverage::WeightedCoverage;
+        let k = 2;
+        // Items 0,1 weigh 100 and are uniquely covered by sets 0,1; items
+        // 2,3 weigh 1 and are covered by all remaining sets.
+        let cover = WeightedCoverage::new(
+            4,
+            vec![
+                vec![0],
+                vec![1],
+                vec![2, 3],
+                vec![2, 3],
+                vec![2, 3],
+            ],
+            vec![100.0, 100.0, 1.0, 1.0],
+        );
+        let costs = [1.0, 1.0, 1.0, 1.0, 1.0];
+        let f = crate::function::FnSetFunction::new(5, move |s| {
+            crate::function::SetFunction::eval(&cover, s)
+                - s.iter().map(|e| costs[e]).sum::<f64>()
+        });
+        let d = Decomposition::from_costs(vec![1.0; 5]);
+        let r = universe_reduction(&f, &d, &BitSet::full(5), k);
+        // Top ratios: sets 0,1 keep ratio 100 even at the top (unique
+        // items); threshold = 100. Sets 2..4 have singleton ratio 2 < 100.
+        assert_eq!(r.pruned, 3);
+        assert!(r.kept.contains(0) && r.kept.contains(1));
+        // And Theorem 4 still holds: same greedy output either way.
+        let with = cardinality_marginal_greedy(&f, &d, &BitSet::full(5), k, true);
+        let without = cardinality_marginal_greedy(&f, &d, &BitSet::full(5), k, false);
+        assert_eq!(with.set, without.set);
+    }
+
+    #[test]
+    fn classic_greedy_achieves_1_minus_1_over_e() {
+        // On pure coverage (monotone), compare to the exhaustive k-optimum.
+        for seed in 0..10 {
+            let f = crate::instances::random::random_coverage(
+                CoverageParams {
+                    n_sets: 10,
+                    n_items: 15,
+                    ..Default::default()
+                },
+                seed,
+            );
+            let k = 3;
+            let out = cardinality_greedy_monotone(&f, &BitSet::full(10), k);
+            let (_, opt) = exhaustive_max_k(&f, &BitSet::full(10), k);
+            let ratio = 1.0 - 1.0 / std::f64::consts::E;
+            assert!(
+                out.value >= ratio * opt - 1e-9,
+                "seed {seed}: {} < (1-1/e)·{opt}",
+                out.value
+            );
+        }
+    }
+
+    #[test]
+    fn classic_greedy_fills_budget_on_monotone() {
+        let f = WeightedCoverage::unweighted(4, vec![vec![0], vec![1], vec![2], vec![3]]);
+        let out = cardinality_greedy_monotone(&f, &BitSet::full(4), 2);
+        assert_eq!(out.set.len(), 2);
+        assert_eq!(out.value, 2.0);
+    }
+}

@@ -1,0 +1,239 @@
+//! The Greedy algorithm of Roy et al. (Algorithm 1) and its lazy
+//! acceleration.
+//!
+//! Algorithm 1 iteratively picks the element whose addition yields the
+//! largest objective value `f(X ∪ {x})` (equivalently: minimizes
+//! `bc(X ∪ {x})` in the MQO setting) and stops as soon as no element
+//! strictly improves the objective. Unlike MarginalGreedy it needs no
+//! decomposition — it works on the raw benefit — and carries no
+//! approximation guarantee; it is the heuristic the paper compares against.
+//!
+//! [`lazy_greedy`] is the Minoux-style acceleration Pyro used under the
+//! "monotonicity heuristic" (supermodularity of `bestCost`, i.e.
+//! submodularity of the benefit). When the heuristic holds, stale benefits
+//! are upper bounds and lazy ≡ eager; when it does not, lazy may diverge —
+//! the paper reports that on their workloads the two produced identical
+//! plans, which our TPCD tests confirm for this implementation.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::bitset::BitSet;
+use crate::function::SetFunction;
+
+use super::{Outcome, Pick};
+
+/// Configuration for [`greedy`] / [`lazy_greedy`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Config {
+    /// Optional cardinality constraint: stop after `k` picks.
+    pub max_picks: Option<usize>,
+}
+
+/// Runs Algorithm 1: repeatedly add `argmax_x f(X ∪ {x})` while it strictly
+/// improves on `f(X)`.
+pub fn greedy<F: SetFunction>(f: &F, candidates: &BitSet, config: Config) -> Outcome {
+    let n = f.universe();
+    let mut out = Outcome::new(n);
+    let mut value = f.eval(&out.set);
+    out.evaluations += 1;
+
+    let mut active: Vec<usize> = candidates.iter().collect();
+    let budget = config.max_picks.unwrap_or(usize::MAX);
+
+    while out.picks.len() < budget && !active.is_empty() {
+        let mut best: Option<(usize, usize, f64)> = None; // (pos, elem, new value)
+        for (pos, &e) in active.iter().enumerate() {
+            let v = f.eval(&out.set.with(e));
+            out.evaluations += 1;
+            if best.is_none_or(|(_, _, bv)| v > bv) {
+                best = Some((pos, e, v));
+            }
+        }
+        match best {
+            Some((pos, e, v)) if v > value => {
+                out.set.insert(e);
+                out.picks.push(Pick {
+                    element: e,
+                    score: v - value,
+                    value_after: v,
+                });
+                value = v;
+                active.swap_remove(pos);
+            }
+            _ => break,
+        }
+    }
+
+    out.value = value;
+    out
+}
+
+/// Heap entry for the lazy variant: stale benefit upper bound.
+struct Entry {
+    bound: f64,
+    element: usize,
+    epoch: usize,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound && self.element == other.element
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.bound
+            .total_cmp(&other.bound)
+            .then_with(|| other.element.cmp(&self.element))
+    }
+}
+
+/// Runs the lazy (heap-accelerated) version of Algorithm 1.
+///
+/// Correctness of the acceleration rests on the monotonicity heuristic
+/// (`benefit(x, X) ≤ benefit(x, Y)` for `Y ⊆ X`): stale benefits then upper
+/// bound current ones. Produces the same result as [`greedy`] whenever the
+/// heuristic holds over the visited sets.
+pub fn lazy_greedy<F: SetFunction>(f: &F, candidates: &BitSet, config: Config) -> Outcome {
+    let n = f.universe();
+    let mut out = Outcome::new(n);
+    let mut value = f.eval(&out.set);
+    out.evaluations += 1;
+
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
+    for e in candidates.iter() {
+        let benefit = f.eval(&out.set.with(e)) - value;
+        out.evaluations += 1;
+        heap.push(Entry {
+            bound: benefit,
+            element: e,
+            epoch: 0,
+        });
+    }
+
+    let budget = config.max_picks.unwrap_or(usize::MAX);
+    let mut epoch = 0usize;
+
+    while out.picks.len() < budget {
+        let best = loop {
+            let Some(top) = heap.pop() else { break None };
+            if top.epoch == epoch {
+                break Some(top);
+            }
+            let benefit = f.eval(&out.set.with(top.element)) - value;
+            out.evaluations += 1;
+            let refreshed = Entry {
+                bound: benefit,
+                element: top.element,
+                epoch,
+            };
+            if heap.peek().is_none_or(|next| refreshed.cmp(next).is_ge()) {
+                break Some(refreshed);
+            }
+            heap.push(refreshed);
+        };
+
+        match best {
+            Some(entry) if entry.bound > 0.0 => {
+                out.set.insert(entry.element);
+                value += entry.bound;
+                out.picks.push(Pick {
+                    element: entry.element,
+                    score: entry.bound,
+                    value_after: value,
+                });
+                epoch += 1;
+            }
+            _ => break,
+        }
+    }
+
+    out.value = value;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::FnSetFunction;
+    use crate::instances::random::{random_coverage_minus_cost, CoverageParams};
+
+    #[test]
+    fn greedy_stops_when_no_improvement() {
+        // Only element 0 is profitable.
+        let f = FnSetFunction::new(3, |s: &BitSet| {
+            let mut v = 0.0;
+            if s.contains(0) {
+                v += 5.0;
+            }
+            if s.contains(1) {
+                v -= 1.0;
+            }
+            if s.contains(2) {
+                v -= 2.0;
+            }
+            v
+        });
+        let out = greedy(&f, &BitSet::full(3), Config::default());
+        assert_eq!(out.set, BitSet::from_iter(3, [0]));
+        assert_eq!(out.value, 5.0);
+        assert_eq!(out.picks.len(), 1);
+    }
+
+    #[test]
+    fn greedy_respects_cardinality() {
+        let f = FnSetFunction::new(5, |s: &BitSet| s.len() as f64);
+        let out = greedy(
+            &f,
+            &BitSet::full(5),
+            Config {
+                max_picks: Some(3),
+            },
+        );
+        assert_eq!(out.set.len(), 3);
+    }
+
+    #[test]
+    fn lazy_matches_eager_on_submodular_instances() {
+        for seed in 0..25 {
+            let f = random_coverage_minus_cost(
+                CoverageParams {
+                    n_sets: 12,
+                    n_items: 18,
+                    ..Default::default()
+                },
+                1.0,
+                seed,
+            );
+            let eager = greedy(&f, &BitSet::full(12), Config::default());
+            let lazy = lazy_greedy(&f, &BitSet::full(12), Config::default());
+            assert_eq!(eager.set, lazy.set, "seed {seed}");
+            assert!((eager.value - lazy.value).abs() < 1e-9);
+            assert!(lazy.evaluations <= eager.evaluations, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn greedy_value_never_negative_on_normalized_input() {
+        for seed in 0..10 {
+            let f = random_coverage_minus_cost(CoverageParams::default(), 2.0, seed);
+            let out = greedy(&f, &BitSet::full(8), Config::default());
+            assert!(out.value >= 0.0);
+        }
+    }
+
+    #[test]
+    fn greedy_on_empty_candidates() {
+        let f = FnSetFunction::new(4, |s: &BitSet| s.len() as f64);
+        let out = greedy(&f, &BitSet::empty(4), Config::default());
+        assert!(out.set.is_empty());
+        assert_eq!(out.value, 0.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! The LazyMarginalGreedy algorithm (Section 5.2).
+//!
+//! In each iteration MarginalGreedy needs the element maximizing the
+//! marginal-benefit to cost ratio `f'_M(e, X)/c(e)`. The cost denominator is
+//! fixed and, by submodularity of `f_M`, the numerator is nonincreasing over
+//! iterations — so a stale ratio is always an *upper bound* on the current
+//! one. The lazy variant keeps those stale bounds in a max-heap and only
+//! recomputes the ratio of the popped element; if the refreshed value still
+//! dominates the next heap top, it is the true argmax and no other element
+//! needs to be touched. This is Minoux's accelerated greedy [16] adapted to
+//! the ratio rule, and the same idea Pyro used under the "monotonicity
+//! heuristic".
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::bitset::BitSet;
+use crate::decompose::Decomposition;
+use crate::function::SetFunction;
+
+use super::marginal_greedy::Config;
+use super::{Outcome, Pick};
+
+/// Heap entry ordered by the (possibly stale) ratio upper bound.
+struct Entry {
+    bound: f64,
+    element: usize,
+    /// Iteration at which the bound was computed; entries refreshed in the
+    /// current iteration are exact.
+    epoch: usize,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound && self.element == other.element
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap by bound; ties broken by smaller element index so lazy and
+        // eager versions agree on tie-breaks deterministically.
+        self.bound
+            .total_cmp(&other.bound)
+            .then_with(|| other.element.cmp(&self.element))
+    }
+}
+
+/// Runs LazyMarginalGreedy; produces the same selection as
+/// [`super::marginal_greedy::marginal_greedy`] with strictly fewer (or equal)
+/// candidate evaluations.
+pub fn lazy_marginal_greedy<F: SetFunction>(
+    f: &F,
+    decomp: &Decomposition,
+    candidates: &BitSet,
+    config: Config,
+) -> Outcome {
+    let n = f.universe();
+    debug_assert_eq!(decomp.universe(), n);
+
+    let mut out = Outcome::new(n);
+    let mut value = f.eval(&out.set);
+    out.evaluations += 1;
+
+    let mut free: Vec<usize> = Vec::new();
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
+    // Initial exact ratios at X = ∅ (epoch 0 entries are exact for the first
+    // pick).
+    for e in candidates.iter() {
+        let cost = decomp.cost(e);
+        if cost <= 0.0 {
+            free.push(e);
+            continue;
+        }
+        let ratio = decomp.monotone_marginal(f, e, &out.set) / cost;
+        out.evaluations += 1;
+        if config.prune_ratio_below_one && ratio <= 1.0 {
+            continue;
+        }
+        heap.push(Entry {
+            bound: ratio,
+            element: e,
+            epoch: 0,
+        });
+    }
+
+    let budget = config.max_picks.unwrap_or(usize::MAX);
+    let mut epoch = 0usize;
+
+    while out.picks.len() < budget {
+        // Find the true argmax by refreshing stale heads.
+        let best = loop {
+            let Some(top) = heap.pop() else { break None };
+            if top.epoch == epoch {
+                // Exact for the current X: it dominated every other bound,
+                // and bounds overestimate, so it is the true argmax.
+                break Some(top);
+            }
+            let ratio = decomp.monotone_marginal(f, top.element, &out.set) / decomp.cost(top.element);
+            out.evaluations += 1;
+            if config.prune_ratio_below_one && ratio <= 1.0 {
+                continue; // permanently pruned
+            }
+            let refreshed = Entry {
+                bound: ratio,
+                element: top.element,
+                epoch,
+            };
+            if heap.peek().is_none_or(|next| refreshed.cmp(next).is_ge()) {
+                break Some(refreshed);
+            }
+            heap.push(refreshed);
+        };
+
+        match best {
+            Some(entry) if entry.bound > 1.0 => {
+                out.set.insert(entry.element);
+                value = f.eval(&out.set);
+                out.evaluations += 1;
+                out.picks.push(Pick {
+                    element: entry.element,
+                    score: entry.bound,
+                    value_after: value,
+                });
+                epoch += 1;
+            }
+            _ => break,
+        }
+    }
+
+    // Free phase with the same actual-marginal guard as the eager variant
+    // (see `marginal_greedy`): a no-op under true submodularity, protective
+    // on functions that violate the monotonicity heuristic.
+    for e in free {
+        if out.set.len() >= budget {
+            break;
+        }
+        let delta = f.marginal(e, &out.set);
+        out.evaluations += 1;
+        if delta >= 0.0 {
+            out.set.insert(e);
+            value += delta;
+            out.free_elements.push(e);
+        }
+    }
+
+    out.value = value;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::marginal_greedy::marginal_greedy;
+    use crate::instances::random::{random_coverage_minus_cost, random_cut_minus_cost, CoverageParams};
+
+    #[test]
+    fn lazy_matches_eager_on_random_instances() {
+        for seed in 0..25 {
+            let f = random_coverage_minus_cost(
+                CoverageParams {
+                    n_sets: 12,
+                    n_items: 20,
+                    ..Default::default()
+                },
+                1.0,
+                seed,
+            );
+            let decomp = Decomposition::canonical(&f);
+            let full = BitSet::full(12);
+            let eager = marginal_greedy(&f, &decomp, &full, Config::default());
+            let lazy = lazy_marginal_greedy(&f, &decomp, &full, Config::default());
+            assert_eq!(eager.set, lazy.set, "seed {seed}");
+            assert!((eager.value - lazy.value).abs() < 1e-9);
+            assert!(
+                lazy.evaluations <= eager.evaluations,
+                "lazy did more work than eager (seed {seed}: {} vs {})",
+                lazy.evaluations,
+                eager.evaluations
+            );
+        }
+    }
+
+    #[test]
+    fn lazy_matches_eager_on_cut_instances() {
+        for seed in 0..15 {
+            let f = random_cut_minus_cost(10, 0.4, seed);
+            let decomp = Decomposition::canonical(&f);
+            let full = BitSet::full(10);
+            let eager = marginal_greedy(&f, &decomp, &full, Config::default());
+            let lazy = lazy_marginal_greedy(&f, &decomp, &full, Config::default());
+            assert_eq!(eager.set, lazy.set, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn lazy_respects_cardinality_and_candidates() {
+        let f = random_coverage_minus_cost(CoverageParams::default(), 0.5, 3);
+        let decomp = Decomposition::canonical(&f);
+        let candidates = BitSet::from_iter(8, [0, 2, 4, 6]);
+        let cfg = Config {
+            max_picks: Some(2),
+            ..Default::default()
+        };
+        let eager = marginal_greedy(&f, &decomp, &candidates, cfg);
+        let lazy = lazy_marginal_greedy(&f, &decomp, &candidates, cfg);
+        assert_eq!(eager.set, lazy.set);
+        assert!(lazy.set.len() <= 2);
+        for e in lazy.set.iter() {
+            assert!(candidates.contains(e));
+        }
+    }
+}

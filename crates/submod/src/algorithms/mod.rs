@@ -1,0 +1,55 @@
+//! Algorithms for unconstrained normalized submodular maximization and the
+//! cardinality-constrained variant, as described in Sections 3 and 5 of the
+//! paper, plus baselines used in tests and benches.
+
+pub mod cardinality;
+pub mod cleanup;
+pub mod knapsack;
+pub mod double_greedy;
+pub mod exhaustive;
+pub mod greedy;
+pub mod lazy;
+pub mod marginal_greedy;
+
+use crate::bitset::BitSet;
+
+/// One accepted pick of a greedy run.
+#[derive(Clone, Debug)]
+pub struct Pick {
+    /// The element added.
+    pub element: usize,
+    /// The selection score at the time of the pick: the marginal-benefit to
+    /// cost ratio for MarginalGreedy, the benefit for Greedy.
+    pub score: f64,
+    /// Objective value `f(X)` just after the pick.
+    pub value_after: f64,
+}
+
+/// The result of a greedy run.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// The selected set.
+    pub set: BitSet,
+    /// `f(set)`.
+    pub value: f64,
+    /// Accepted picks, in order.
+    pub picks: Vec<Pick>,
+    /// Elements added in the final phase because their additive cost was
+    /// non-positive (MarginalGreedy only; empty for other algorithms).
+    pub free_elements: Vec<usize>,
+    /// Number of candidate (re-)evaluations performed; lazy variants do
+    /// fewer of these than their eager counterparts.
+    pub evaluations: u64,
+}
+
+impl Outcome {
+    pub(crate) fn new(universe: usize) -> Self {
+        Outcome {
+            set: BitSet::empty(universe),
+            value: 0.0,
+            picks: Vec::new(),
+            free_elements: Vec::new(),
+            evaluations: 0,
+        }
+    }
+}

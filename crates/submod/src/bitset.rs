@@ -1,0 +1,372 @@
+//! Fixed-universe bitsets used as the set type throughout the crate.
+//!
+//! All submodular-maximization algorithms in this crate work over a ground
+//! set `U = {0, 1, ..., n-1}`. A [`BitSet`] is a subset of such a universe,
+//! backed by a `Box<[u64]>` of words. The universe size is fixed at
+//! construction; operations on sets from different universes panic in debug
+//! builds.
+
+use std::fmt;
+
+/// Number of bits per storage word.
+const WORD_BITS: usize = 64;
+
+/// A subset of a fixed universe `{0, ..., n-1}`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    /// Number of elements in the universe (not the set).
+    universe: usize,
+    words: Box<[u64]>,
+}
+
+impl BitSet {
+    /// Creates the empty subset of a universe with `universe` elements.
+    pub fn empty(universe: usize) -> Self {
+        let n_words = universe.div_ceil(WORD_BITS).max(1);
+        BitSet {
+            universe,
+            words: vec![0u64; n_words].into_boxed_slice(),
+        }
+    }
+
+    /// Creates the full subset `{0, ..., universe-1}`.
+    pub fn full(universe: usize) -> Self {
+        let mut s = Self::empty(universe);
+        for w in s.words.iter_mut() {
+            *w = u64::MAX;
+        }
+        s.clear_tail();
+        s
+    }
+
+    /// Creates a set from an iterator of element indices.
+    pub fn from_iter<I: IntoIterator<Item = usize>>(universe: usize, iter: I) -> Self {
+        let mut s = Self::empty(universe);
+        for e in iter {
+            s.insert(e);
+        }
+        s
+    }
+
+    /// Zeroes any bits beyond the universe in the last word.
+    fn clear_tail(&mut self) {
+        let used = self.universe % WORD_BITS;
+        if used != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << used) - 1;
+            }
+        }
+        if self.universe == 0 {
+            for w in self.words.iter_mut() {
+                *w = 0;
+            }
+        }
+    }
+
+    /// The universe size this set lives in.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of elements currently in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Whether the set equals the whole universe.
+    pub fn is_full(&self) -> bool {
+        self.len() == self.universe
+    }
+
+    /// Tests membership of `e`.
+    #[inline]
+    pub fn contains(&self, e: usize) -> bool {
+        debug_assert!(e < self.universe, "element {e} outside universe {}", self.universe);
+        self.words[e / WORD_BITS] >> (e % WORD_BITS) & 1 == 1
+    }
+
+    /// Inserts `e`; returns `true` if it was newly added.
+    #[inline]
+    pub fn insert(&mut self, e: usize) -> bool {
+        debug_assert!(e < self.universe, "element {e} outside universe {}", self.universe);
+        let w = &mut self.words[e / WORD_BITS];
+        let mask = 1u64 << (e % WORD_BITS);
+        let added = *w & mask == 0;
+        *w |= mask;
+        added
+    }
+
+    /// Removes `e`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, e: usize) -> bool {
+        debug_assert!(e < self.universe, "element {e} outside universe {}", self.universe);
+        let w = &mut self.words[e / WORD_BITS];
+        let mask = 1u64 << (e % WORD_BITS);
+        let present = *w & mask != 0;
+        *w &= !mask;
+        present
+    }
+
+    /// Returns a copy of `self` with `e` inserted.
+    pub fn with(&self, e: usize) -> Self {
+        let mut s = self.clone();
+        s.insert(e);
+        s
+    }
+
+    /// Returns a copy of `self` with `e` removed.
+    pub fn without(&self, e: usize) -> Self {
+        let mut s = self.clone();
+        s.remove(e);
+        s
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(&self, other: &Self) -> bool {
+        debug_assert_eq!(self.universe, other.universe);
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &Self) {
+        debug_assert_eq!(self.universe, other.universe);
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &Self) {
+        debug_assert_eq!(self.universe, other.universe);
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference (`self \ other`).
+    pub fn difference_with(&mut self, other: &Self) {
+        debug_assert_eq!(self.universe, other.universe);
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= !b;
+        }
+    }
+
+    /// Returns `self ∪ other`.
+    pub fn union(&self, other: &Self) -> Self {
+        let mut s = self.clone();
+        s.union_with(other);
+        s
+    }
+
+    /// Returns `self ∩ other`.
+    pub fn intersection(&self, other: &Self) -> Self {
+        let mut s = self.clone();
+        s.intersect_with(other);
+        s
+    }
+
+    /// Returns `self \ other`.
+    pub fn difference(&self, other: &Self) -> Self {
+        let mut s = self.clone();
+        s.difference_with(other);
+        s
+    }
+
+    /// Returns the complement `U \ self`.
+    pub fn complement(&self) -> Self {
+        let mut s = self.clone();
+        for w in s.words.iter_mut() {
+            *w = !*w;
+        }
+        s.clear_tail();
+        s
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        for w in self.words.iter_mut() {
+            *w = 0;
+        }
+    }
+
+    /// Iterates over elements in increasing order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// Iterator over the elements of a [`BitSet`] in increasing order.
+pub struct Iter<'a> {
+    set: &'a BitSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * WORD_BITS + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a BitSet {
+    type Item = usize;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+/// Enumerates all `2^n` subsets of a universe of size `n` (for exhaustive
+/// search in tests; panics if `n > 25` to avoid accidental blow-ups).
+pub fn all_subsets(universe: usize) -> impl Iterator<Item = BitSet> {
+    assert!(
+        universe <= 25,
+        "exhaustive subset enumeration limited to universes of size <= 25"
+    );
+    (0u64..(1u64 << universe)).map(move |mask| {
+        let mut s = BitSet::empty(universe);
+        for e in 0..universe {
+            if mask >> e & 1 == 1 {
+                s.insert(e);
+            }
+        }
+        s
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        let e = BitSet::empty(10);
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        let f = BitSet::full(10);
+        assert!(f.is_full());
+        assert_eq!(f.len(), 10);
+        assert_eq!(f.complement(), e);
+        assert_eq!(e.complement(), f);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::empty(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(129));
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(64));
+        assert!(!s.contains(63));
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn with_without_do_not_mutate() {
+        let s = BitSet::from_iter(8, [1, 3]);
+        let t = s.with(5);
+        assert!(!s.contains(5));
+        assert!(t.contains(5));
+        let u = t.without(1);
+        assert!(t.contains(1));
+        assert!(!u.contains(1));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = BitSet::from_iter(70, [0, 1, 65]);
+        let b = BitSet::from_iter(70, [1, 2, 65, 69]);
+        assert_eq!(a.union(&b), BitSet::from_iter(70, [0, 1, 2, 65, 69]));
+        assert_eq!(a.intersection(&b), BitSet::from_iter(70, [1, 65]));
+        assert_eq!(a.difference(&b), BitSet::from_iter(70, [0]));
+        assert!(a.intersection(&b).is_subset(&a));
+        assert!(!a.is_subset(&b));
+        assert!(a.is_subset(&a.union(&b)));
+    }
+
+    #[test]
+    fn iteration_order() {
+        let s = BitSet::from_iter(200, [199, 0, 64, 63, 128]);
+        let v: Vec<usize> = s.iter().collect();
+        assert_eq!(v, vec![0, 63, 64, 128, 199]);
+    }
+
+    #[test]
+    fn complement_tail_bits_are_clear() {
+        // Universe 67 leaves 61 unused bits in the second word; complement
+        // must not set them, or len() would overcount.
+        let s = BitSet::from_iter(67, [0, 66]);
+        let c = s.complement();
+        assert_eq!(c.len(), 65);
+        assert!(!c.contains(0));
+        assert!(!c.contains(66));
+        assert!(c.contains(1));
+    }
+
+    #[test]
+    fn zero_universe() {
+        let s = BitSet::empty(0);
+        assert!(s.is_empty());
+        assert!(s.is_full());
+        assert_eq!(s.iter().count(), 0);
+        assert_eq!(BitSet::full(0), s);
+    }
+
+    #[test]
+    fn all_subsets_enumerates_powerset() {
+        let subsets: Vec<BitSet> = all_subsets(4).collect();
+        assert_eq!(subsets.len(), 16);
+        // All distinct.
+        for (i, a) in subsets.iter().enumerate() {
+            for b in subsets.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_word_boundary_universe() {
+        let f = BitSet::full(64);
+        assert_eq!(f.len(), 64);
+        assert!(f.is_full());
+        let c = f.complement();
+        assert!(c.is_empty());
+    }
+}

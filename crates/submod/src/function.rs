@@ -1,0 +1,331 @@
+//! Set-function traits and oracle wrappers.
+//!
+//! The paper treats `bestCost(Q, S)` — and hence the materialization benefit
+//! `mb(S)` — as a black-box oracle over subsets of the shareable nodes
+//! (Section 2.2: "The bc(S) function ... is treated as a black-box for the
+//! MQO algorithms"). [`SetFunction`] is that black box; everything in
+//! [`crate::algorithms`] is written against it.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+
+use crate::bitset::BitSet;
+
+/// A real-valued function on subsets of a fixed universe `{0, ..., n-1}`.
+///
+/// Implementations may use interior mutability for caching; `eval` therefore
+/// takes `&self`. Evaluation must be deterministic: the same set always maps
+/// to the same value.
+pub trait SetFunction {
+    /// Size `n` of the ground set.
+    fn universe(&self) -> usize;
+
+    /// Evaluates the function on `set`. `set.universe()` must equal
+    /// [`Self::universe`].
+    fn eval(&self, set: &BitSet) -> f64;
+
+    /// Marginal value `f(S ∪ {e}) − f(S)` (the paper's `f'(e, S)`).
+    ///
+    /// The default implementation performs two `eval` calls; implementations
+    /// with cheaper incremental evaluation should override it.
+    fn marginal(&self, e: usize, set: &BitSet) -> f64 {
+        debug_assert!(!set.contains(e), "marginal of an element already in the set");
+        self.eval(&set.with(e)) - self.eval(set)
+    }
+
+    /// `f(∅)`, used for normalization checks.
+    fn at_empty(&self) -> f64 {
+        self.eval(&BitSet::empty(self.universe()))
+    }
+}
+
+impl<F: SetFunction + ?Sized> SetFunction for &F {
+    fn universe(&self) -> usize {
+        (**self).universe()
+    }
+    fn eval(&self, set: &BitSet) -> f64 {
+        (**self).eval(set)
+    }
+    fn marginal(&self, e: usize, set: &BitSet) -> f64 {
+        (**self).marginal(e, set)
+    }
+}
+
+/// A set function given by an arbitrary closure (handy in tests).
+pub struct FnSetFunction<F: Fn(&BitSet) -> f64> {
+    universe: usize,
+    f: F,
+}
+
+impl<F: Fn(&BitSet) -> f64> FnSetFunction<F> {
+    /// Wraps `f` as a set function over `{0, ..., universe-1}`.
+    pub fn new(universe: usize, f: F) -> Self {
+        FnSetFunction { universe, f }
+    }
+}
+
+impl<F: Fn(&BitSet) -> f64> SetFunction for FnSetFunction<F> {
+    fn universe(&self) -> usize {
+        self.universe
+    }
+    fn eval(&self, set: &BitSet) -> f64 {
+        (self.f)(set)
+    }
+}
+
+/// Wrapper counting the number of oracle evaluations.
+///
+/// The paper's efficiency claims (Section 5) are about reducing the number of
+/// `bc(S)` invocations; this wrapper is how the benches and tests observe
+/// that number.
+pub struct CountingOracle<F: SetFunction> {
+    inner: F,
+    calls: Cell<u64>,
+}
+
+impl<F: SetFunction> CountingOracle<F> {
+    /// Wraps `inner`, starting the counter at zero.
+    pub fn new(inner: F) -> Self {
+        CountingOracle {
+            inner,
+            calls: Cell::new(0),
+        }
+    }
+
+    /// Number of `eval` calls made so far.
+    pub fn calls(&self) -> u64 {
+        self.calls.get()
+    }
+
+    /// Resets the counter.
+    pub fn reset(&self) {
+        self.calls.set(0);
+    }
+
+    /// Unwraps the inner function.
+    pub fn into_inner(self) -> F {
+        self.inner
+    }
+
+    /// Borrows the inner function.
+    pub fn inner(&self) -> &F {
+        &self.inner
+    }
+}
+
+impl<F: SetFunction> SetFunction for CountingOracle<F> {
+    fn universe(&self) -> usize {
+        self.inner.universe()
+    }
+    fn eval(&self, set: &BitSet) -> f64 {
+        self.calls.set(self.calls.get() + 1);
+        self.inner.eval(set)
+    }
+}
+
+/// Memoizing wrapper: caches values per set.
+///
+/// Useful when an algorithm revisits the same subsets (e.g. the greedy loop
+/// evaluating `bc(X ∪ {x})` where `X` grows by exactly the previously best
+/// candidate). Unbounded; intended for algorithm-internal lifetimes.
+pub struct MemoizedOracle<F: SetFunction> {
+    inner: F,
+    cache: std::cell::RefCell<HashMap<BitSet, f64>>,
+}
+
+impl<F: SetFunction> MemoizedOracle<F> {
+    /// Wraps `inner` with an empty cache.
+    pub fn new(inner: F) -> Self {
+        MemoizedOracle {
+            inner,
+            cache: std::cell::RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Number of distinct sets cached.
+    pub fn cached_sets(&self) -> usize {
+        self.cache.borrow().len()
+    }
+
+    /// Borrows the inner function.
+    pub fn inner(&self) -> &F {
+        &self.inner
+    }
+}
+
+impl<F: SetFunction> SetFunction for MemoizedOracle<F> {
+    fn universe(&self) -> usize {
+        self.inner.universe()
+    }
+    fn eval(&self, set: &BitSet) -> f64 {
+        if let Some(&v) = self.cache.borrow().get(set) {
+            return v;
+        }
+        let v = self.inner.eval(set);
+        self.cache.borrow_mut().insert(set.clone(), v);
+        v
+    }
+}
+
+/// An additive (modular) function `c(S) = Σ_{e∈S} weights[e]`
+/// (Definition 3 in the paper).
+#[derive(Clone, Debug)]
+pub struct Additive {
+    weights: Vec<f64>,
+}
+
+impl Additive {
+    /// Builds an additive function from per-element weights.
+    pub fn new(weights: Vec<f64>) -> Self {
+        Additive { weights }
+    }
+
+    /// The weight of a single element.
+    #[inline]
+    pub fn weight(&self, e: usize) -> f64 {
+        self.weights[e]
+    }
+
+    /// All weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl SetFunction for Additive {
+    fn universe(&self) -> usize {
+        self.weights.len()
+    }
+    fn eval(&self, set: &BitSet) -> f64 {
+        set.iter().map(|e| self.weights[e]).sum()
+    }
+    fn marginal(&self, e: usize, _set: &BitSet) -> f64 {
+        self.weights[e]
+    }
+}
+
+/// Numerical tolerance used by the structural checks below. Set-function
+/// values in this crate come from sums/differences of cost estimates, so a
+/// relative tolerance anchored at the magnitude of the operands is used.
+pub const EPS: f64 = 1e-7;
+
+/// Approximate `a >= b` with tolerance scaled to the operands.
+pub(crate) fn ge_approx(a: f64, b: f64) -> bool {
+    a >= b - EPS * (1.0 + a.abs().max(b.abs()))
+}
+
+/// Exhaustively checks submodularity (Definition 1) of `f` by testing
+/// `f'(u, A) >= f'(u, B)` for all `A ⊆ B`, `u ∉ B`. Exponential; universes
+/// larger than 12 are rejected.
+pub fn is_submodular<F: SetFunction>(f: &F) -> bool {
+    let n = f.universe();
+    assert!(n <= 12, "exhaustive submodularity check limited to n <= 12");
+    // Equivalent pairwise characterization: for all S and u != v not in S,
+    // f'(u, S) >= f'(u, S + v).
+    for set in crate::bitset::all_subsets(n) {
+        for u in 0..n {
+            if set.contains(u) {
+                continue;
+            }
+            for v in 0..n {
+                if v == u || set.contains(v) {
+                    continue;
+                }
+                let lhs = f.marginal(u, &set);
+                let rhs = f.marginal(u, &set.with(v));
+                if !ge_approx(lhs, rhs) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Exhaustively checks monotonicity (Definition 4): all marginals
+/// non-negative. Universes larger than 12 are rejected.
+pub fn is_monotone<F: SetFunction>(f: &F) -> bool {
+    let n = f.universe();
+    assert!(n <= 12, "exhaustive monotonicity check limited to n <= 12");
+    for set in crate::bitset::all_subsets(n) {
+        for u in 0..n {
+            if !set.contains(u) && !ge_approx(f.marginal(u, &set), 0.0) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Checks `f(∅) = 0` (Definition 5).
+pub fn is_normalized<F: SetFunction>(f: &F) -> bool {
+    f.at_empty().abs() <= EPS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn additive_eval_and_marginal() {
+        let c = Additive::new(vec![1.0, 2.0, 4.0]);
+        let s = BitSet::from_iter(3, [0, 2]);
+        assert_eq!(c.eval(&s), 5.0);
+        assert_eq!(c.marginal(1, &s), 2.0);
+        assert!(is_submodular(&c));
+        assert!(is_normalized(&c));
+    }
+
+    #[test]
+    fn counting_oracle_counts() {
+        let f = FnSetFunction::new(4, |s: &BitSet| s.len() as f64);
+        let counted = CountingOracle::new(f);
+        let s = BitSet::from_iter(4, [1, 2]);
+        assert_eq!(counted.eval(&s), 2.0);
+        counted.eval(&s);
+        assert_eq!(counted.calls(), 2);
+        counted.reset();
+        assert_eq!(counted.calls(), 0);
+    }
+
+    #[test]
+    fn memoized_oracle_hits_cache() {
+        let f = CountingOracle::new(FnSetFunction::new(4, |s: &BitSet| s.len() as f64));
+        let memo = MemoizedOracle::new(f);
+        let s = BitSet::from_iter(4, [0]);
+        memo.eval(&s);
+        memo.eval(&s);
+        memo.eval(&s);
+        assert_eq!(memo.inner().calls(), 1);
+        assert_eq!(memo.cached_sets(), 1);
+    }
+
+    #[test]
+    fn sqrt_of_cardinality_is_submodular_monotone() {
+        let f = FnSetFunction::new(6, |s: &BitSet| (s.len() as f64).sqrt());
+        assert!(is_submodular(&f));
+        assert!(is_monotone(&f));
+        assert!(is_normalized(&f));
+    }
+
+    #[test]
+    fn square_of_cardinality_is_not_submodular() {
+        let f = FnSetFunction::new(5, |s: &BitSet| (s.len() as f64).powi(2));
+        assert!(!is_submodular(&f));
+        assert!(is_monotone(&f));
+    }
+
+    #[test]
+    fn non_monotone_detected() {
+        // f(S) = |S| for |S| <= 1 else 2 - |S|: marginals go negative.
+        let f = FnSetFunction::new(5, |s: &BitSet| {
+            let k = s.len() as f64;
+            if k <= 1.0 {
+                k
+            } else {
+                2.0 - k
+            }
+        });
+        assert!(!is_monotone(&f));
+    }
+}

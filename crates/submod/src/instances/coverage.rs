@@ -1,0 +1,140 @@
+//! Weighted coverage functions.
+//!
+//! The coverage function `f(A) = |⋃_{S∈A} S|` is the canonical monotone
+//! submodular function; the paper's hardness reduction (Section 4) is built
+//! on Max Coverage instances. [`WeightedCoverage`] generalizes to weighted
+//! ground elements.
+
+use crate::bitset::BitSet;
+use crate::function::SetFunction;
+
+/// A weighted coverage function over a ground set of *items*; universe
+/// elements are *subsets* of items, and `f(A)` is the total weight of items
+/// covered by the chosen subsets.
+#[derive(Clone, Debug)]
+pub struct WeightedCoverage {
+    /// Per-universe-element membership bitmaps over items.
+    sets: Vec<BitSet>,
+    /// Per-item weights.
+    weights: Vec<f64>,
+    n_items: usize,
+}
+
+impl WeightedCoverage {
+    /// `n_items` ground items, `sets[j]` listing the items covered by
+    /// universe element `j`, and per-item `weights`.
+    ///
+    /// Panics if a set references an item out of range or if
+    /// `weights.len() != n_items`.
+    pub fn new(n_items: usize, sets: Vec<Vec<usize>>, weights: Vec<f64>) -> Self {
+        assert_eq!(weights.len(), n_items, "one weight per item required");
+        let bitmaps = sets
+            .into_iter()
+            .map(|items| BitSet::from_iter(n_items, items))
+            .collect();
+        WeightedCoverage {
+            sets: bitmaps,
+            weights,
+            n_items,
+        }
+    }
+
+    /// Unit-weight coverage.
+    pub fn unweighted(n_items: usize, sets: Vec<Vec<usize>>) -> Self {
+        let weights = vec![1.0; n_items];
+        Self::new(n_items, sets, weights)
+    }
+
+    /// Number of ground items.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// The items covered by choosing the universe elements in `chosen`.
+    pub fn covered(&self, chosen: &BitSet) -> BitSet {
+        let mut covered = BitSet::empty(self.n_items);
+        for j in chosen.iter() {
+            covered.union_with(&self.sets[j]);
+        }
+        covered
+    }
+
+    /// Items covered by a single universe element.
+    pub fn set(&self, j: usize) -> &BitSet {
+        &self.sets[j]
+    }
+}
+
+impl SetFunction for WeightedCoverage {
+    fn universe(&self) -> usize {
+        self.sets.len()
+    }
+
+    fn eval(&self, chosen: &BitSet) -> f64 {
+        self.covered(chosen)
+            .iter()
+            .map(|i| self.weights[i])
+            .sum()
+    }
+
+    fn marginal(&self, e: usize, chosen: &BitSet) -> f64 {
+        let covered = self.covered(chosen);
+        self.sets[e]
+            .difference(&covered)
+            .iter()
+            .map(|i| self.weights[i])
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::{is_monotone, is_normalized, is_submodular};
+
+    fn sample() -> WeightedCoverage {
+        WeightedCoverage::unweighted(
+            6,
+            vec![vec![0, 1, 2], vec![2, 3], vec![3, 4, 5], vec![0, 5]],
+        )
+    }
+
+    #[test]
+    fn eval_counts_union() {
+        let f = sample();
+        assert_eq!(f.eval(&BitSet::from_iter(4, [0])), 3.0);
+        assert_eq!(f.eval(&BitSet::from_iter(4, [0, 1])), 4.0);
+        assert_eq!(f.eval(&BitSet::from_iter(4, [0, 1, 2])), 6.0);
+        assert_eq!(f.eval(&BitSet::full(4)), 6.0);
+    }
+
+    #[test]
+    fn structural_properties() {
+        let f = sample();
+        assert!(is_submodular(&f));
+        assert!(is_monotone(&f));
+        assert!(is_normalized(&f));
+    }
+
+    #[test]
+    fn marginal_matches_default() {
+        let f = sample();
+        for s in crate::bitset::all_subsets(4) {
+            for e in 0..4 {
+                if !s.contains(e) {
+                    let fast = f.marginal(e, &s);
+                    let slow = f.eval(&s.with(e)) - f.eval(&s);
+                    assert!((fast - slow).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_items() {
+        let f = WeightedCoverage::new(3, vec![vec![0], vec![1, 2]], vec![5.0, 1.0, 2.0]);
+        assert_eq!(f.eval(&BitSet::from_iter(2, [0])), 5.0);
+        assert_eq!(f.eval(&BitSet::from_iter(2, [1])), 3.0);
+        assert_eq!(f.eval(&BitSet::full(2)), 8.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Graph cut functions — the classic *non-monotone* submodular family.
+//!
+//! `f(S) = Σ w(u,v)` over edges with exactly one endpoint in `S`. Cut
+//! functions are normalized and symmetric but not monotone, which makes them
+//! a good adversarial family for UNSM algorithms (the paper's setting allows
+//! `f` to take negative values once an additive cost is subtracted).
+
+use crate::bitset::BitSet;
+use crate::function::SetFunction;
+
+/// An undirected weighted graph whose cut function is exposed as a
+/// [`SetFunction`] over vertices.
+#[derive(Clone, Debug)]
+pub struct CutFunction {
+    n: usize,
+    /// Adjacency: for each vertex, (neighbor, weight).
+    adj: Vec<Vec<(usize, f64)>>,
+}
+
+impl CutFunction {
+    /// Builds a cut function over `n` vertices from weighted edges.
+    /// Self-loops are rejected; parallel edges accumulate.
+    pub fn new(n: usize, edges: &[(usize, usize, f64)]) -> Self {
+        let mut adj = vec![Vec::new(); n];
+        for &(u, v, w) in edges {
+            assert!(u < n && v < n, "edge endpoint out of range");
+            assert_ne!(u, v, "self-loops contribute nothing to a cut");
+            adj[u].push((v, w));
+            adj[v].push((u, w));
+        }
+        CutFunction { n, adj }
+    }
+
+    /// Cut minus an additive vertex cost: `f(S) = cut(S) − Σ_{v∈S} cost[v]`.
+    /// Normalized and submodular, generally non-monotone and possibly
+    /// negative — exactly the UNSM setting.
+    pub fn with_vertex_costs(self, costs: Vec<f64>) -> CutMinusCost {
+        assert_eq!(costs.len(), self.n);
+        CutMinusCost { cut: self, costs }
+    }
+}
+
+impl SetFunction for CutFunction {
+    fn universe(&self) -> usize {
+        self.n
+    }
+
+    fn eval(&self, set: &BitSet) -> f64 {
+        let mut total = 0.0;
+        for u in set.iter() {
+            for &(v, w) in &self.adj[u] {
+                if !set.contains(v) {
+                    total += w;
+                }
+            }
+        }
+        total
+    }
+
+    fn marginal(&self, e: usize, set: &BitSet) -> f64 {
+        // Adding e: edges from e to outside get cut, edges from e into S stop
+        // being cut.
+        let mut delta = 0.0;
+        for &(v, w) in &self.adj[e] {
+            if set.contains(v) {
+                delta -= w;
+            } else {
+                delta += w;
+            }
+        }
+        delta
+    }
+}
+
+/// `cut(S) − Σ_{v∈S} cost(v)`: a non-monotone normalized submodular function
+/// with possibly negative values.
+#[derive(Clone, Debug)]
+pub struct CutMinusCost {
+    cut: CutFunction,
+    costs: Vec<f64>,
+}
+
+impl SetFunction for CutMinusCost {
+    fn universe(&self) -> usize {
+        self.cut.universe()
+    }
+
+    fn eval(&self, set: &BitSet) -> f64 {
+        self.cut.eval(set) - set.iter().map(|v| self.costs[v]).sum::<f64>()
+    }
+
+    fn marginal(&self, e: usize, set: &BitSet) -> f64 {
+        self.cut.marginal(e, set) - self.costs[e]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::{is_normalized, is_submodular};
+
+    fn triangle() -> CutFunction {
+        CutFunction::new(3, &[(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)])
+    }
+
+    #[test]
+    fn cut_values() {
+        let f = triangle();
+        assert_eq!(f.eval(&BitSet::empty(3)), 0.0);
+        assert_eq!(f.eval(&BitSet::from_iter(3, [0])), 4.0);
+        assert_eq!(f.eval(&BitSet::from_iter(3, [1])), 3.0);
+        assert_eq!(f.eval(&BitSet::from_iter(3, [0, 1])), 5.0);
+        assert_eq!(f.eval(&BitSet::full(3)), 0.0);
+    }
+
+    #[test]
+    fn cut_is_submodular_not_monotone() {
+        let f = triangle();
+        assert!(is_submodular(&f));
+        assert!(is_normalized(&f));
+        assert!(!crate::function::is_monotone(&f));
+    }
+
+    #[test]
+    fn marginal_matches_eval_difference() {
+        let f = triangle();
+        for s in crate::bitset::all_subsets(3) {
+            for e in 0..3 {
+                if !s.contains(e) {
+                    let fast = f.marginal(e, &s);
+                    let slow = f.eval(&s.with(e)) - f.eval(&s);
+                    assert!((fast - slow).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cut_minus_cost_takes_negative_values() {
+        let f = triangle().with_vertex_costs(vec![10.0, 10.0, 10.0]);
+        assert!(f.eval(&BitSet::from_iter(3, [0])) < 0.0);
+        assert!(is_submodular(&f));
+        assert!(is_normalized(&f));
+    }
+}

@@ -1,0 +1,6 @@
+//! Instance families: the functions the algorithms are exercised on.
+
+pub mod coverage;
+pub mod cut;
+pub mod profitted;
+pub mod random;

@@ -1,0 +1,195 @@
+//! The Profitted Max Coverage problem (Problem 1 in the paper).
+//!
+//! Given a Max Coverage instance `(X, S, l)` and a constant `γ`, maximize
+//!
+//! ```text
+//! f(A) = (γ+1)/γ · |⋃_{S∈A} S| / n  −  1/γ · |A| / l
+//! ```
+//!
+//! This is the family on which the Theorem 2 hardness is proved: instances
+//! whose Max Coverage optimum covers the whole ground set with `l` sets have
+//! `f(Θ) = 1` and `f(Θ)/c(Θ) = γ`, matching the Theorem 1 factor. It also
+//! makes an excellent stress workload for the algorithms, so it doubles here
+//! as a test/bench instance family.
+
+use crate::bitset::BitSet;
+use crate::function::SetFunction;
+use crate::instances::coverage::WeightedCoverage;
+
+/// A Profitted Max Coverage instance.
+#[derive(Clone, Debug)]
+pub struct ProfittedMaxCoverage {
+    coverage: WeightedCoverage,
+    /// Coverage budget `l` of the underlying Max Coverage instance.
+    budget: usize,
+    /// The constant `γ`.
+    gamma: f64,
+}
+
+impl ProfittedMaxCoverage {
+    /// Builds the instance from ground items, sets, budget `l`, and `γ`.
+    pub fn new(n_items: usize, sets: Vec<Vec<usize>>, budget: usize, gamma: f64) -> Self {
+        assert!(budget >= 1, "budget l must be at least 1");
+        assert!(gamma > 0.0, "γ must be positive");
+        assert!(n_items >= 1, "ground set must be non-empty");
+        ProfittedMaxCoverage {
+            coverage: WeightedCoverage::unweighted(n_items, sets),
+            budget,
+            gamma,
+        }
+    }
+
+    /// The constant `γ`.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// The coverage budget `l`.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// The underlying coverage structure.
+    pub fn coverage(&self) -> &WeightedCoverage {
+        &self.coverage
+    }
+
+    /// `f_M(A) = (γ+1)/γ · |⋃ A| / n` — the monotone part as defined in
+    /// Problem 1.
+    pub fn monotone_part(&self, chosen: &BitSet) -> f64 {
+        let n = self.coverage.n_items() as f64;
+        (self.gamma + 1.0) / self.gamma * self.coverage.eval(chosen) / n
+    }
+
+    /// `c(A) = (1/γ) · |A| / l` — the additive part as defined in Problem 1.
+    pub fn cost_part(&self, chosen: &BitSet) -> f64 {
+        chosen.len() as f64 / (self.gamma * self.budget as f64)
+    }
+
+    /// Per-element cost `c({e}) = 1/(γ·l)` (uniform).
+    pub fn element_cost(&self) -> f64 {
+        1.0 / (self.gamma * self.budget as f64)
+    }
+
+    /// A "hard-style" instance: `k` disjoint blocks each fully covered by one
+    /// of `l = k` "good" sets, plus `redundant` overlapping decoy sets per
+    /// block. Every item is covered by multiple sets (the property the
+    /// soundness argument of Theorem 2 uses to show `c*(Θ) = c(Θ)`).
+    pub fn hard_instance(blocks: usize, block_size: usize, redundant: usize, gamma: f64) -> Self {
+        assert!(blocks >= 1 && block_size >= 2);
+        let n_items = blocks * block_size;
+        let mut sets = Vec::with_capacity(blocks * (1 + redundant));
+        for b in 0..blocks {
+            let items: Vec<usize> = (b * block_size..(b + 1) * block_size).collect();
+            // The good set covering the whole block.
+            sets.push(items.clone());
+            // Decoys: each covers the block minus one item plus one item of
+            // the next block, so no item is uniquely covered.
+            for r in 0..redundant {
+                let mut decoy: Vec<usize> = items.iter().copied().filter(|&i| i % block_size != r % block_size).collect();
+                decoy.push(((b + 1) % blocks) * block_size + (r % block_size));
+                sets.push(decoy);
+            }
+        }
+        Self::new(n_items, sets, blocks, gamma)
+    }
+}
+
+impl SetFunction for ProfittedMaxCoverage {
+    fn universe(&self) -> usize {
+        self.coverage.universe()
+    }
+
+    fn eval(&self, chosen: &BitSet) -> f64 {
+        self.monotone_part(chosen) - self.cost_part(chosen)
+    }
+
+    fn marginal(&self, e: usize, chosen: &BitSet) -> f64 {
+        let n = self.coverage.n_items() as f64;
+        (self.gamma + 1.0) / self.gamma * self.coverage.marginal(e, chosen) / n
+            - self.element_cost()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::{is_normalized, is_submodular};
+
+    /// The completeness instance: l disjoint sets covering everything.
+    fn complete_instance(gamma: f64) -> ProfittedMaxCoverage {
+        ProfittedMaxCoverage::new(
+            6,
+            vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![0, 2], vec![1, 4]],
+            3,
+            gamma,
+        )
+    }
+
+    #[test]
+    fn completeness_value_is_one() {
+        // Choosing exactly the covering collection G gives f(G) = 1
+        // (the [Completeness] step in the proof of Theorem 2).
+        let inst = complete_instance(2.0);
+        let g = BitSet::from_iter(5, [0, 1, 2]);
+        assert!((inst.eval(&g) - 1.0).abs() < 1e-12);
+        assert!((inst.eval(&g) / inst.cost_part(&g) - inst.gamma()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn is_normalized_and_submodular() {
+        let inst = complete_instance(1.5);
+        assert!(is_normalized(&inst));
+        assert!(is_submodular(&inst));
+    }
+
+    #[test]
+    fn too_many_sets_go_negative() {
+        // Soundness: choosing more than (γ+1)·l sets forces f < 0 when they
+        // add no coverage.
+        let inst = ProfittedMaxCoverage::new(
+            4,
+            vec![vec![0], vec![0], vec![0], vec![0], vec![0], vec![0], vec![0]],
+            1,
+            1.0,
+        );
+        let all = BitSet::full(7);
+        assert!(inst.eval(&all) < 0.0);
+    }
+
+    #[test]
+    fn hard_instance_shape() {
+        let inst = ProfittedMaxCoverage::hard_instance(3, 4, 2, 2.0);
+        assert_eq!(inst.budget(), 3);
+        assert_eq!(inst.universe(), 3 * 3); // 1 good + 2 decoys per block
+        // The three good sets cover everything with value exactly 1.
+        let good = BitSet::from_iter(inst.universe(), [0, 3, 6]);
+        assert!((inst.eval(&good) - 1.0).abs() < 1e-12);
+        // Every item is covered by at least two sets.
+        let n_items = inst.coverage().n_items();
+        for item in 0..n_items {
+            let mut count = 0;
+            for j in 0..inst.universe() {
+                if inst.coverage().set(j).contains(item) {
+                    count += 1;
+                }
+            }
+            assert!(count >= 2, "item {item} covered only {count} times");
+        }
+    }
+
+    #[test]
+    fn canonical_cost_matches_problem_cost_on_hard_instance() {
+        // The final step of the Theorem 2 proof: on hard-style instances
+        // (every item multiply covered), c*(e) = c(e) for every element,
+        // because dropping any single set leaves the union intact.
+        let inst = ProfittedMaxCoverage::hard_instance(3, 4, 2, 2.0);
+        let d = crate::decompose::Decomposition::canonical(&inst);
+        for e in 0..inst.universe() {
+            assert!(
+                (d.cost(e) - inst.element_cost()).abs() < 1e-12,
+                "c*({e}) != c({e})"
+            );
+        }
+    }
+}

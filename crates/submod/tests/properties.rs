@@ -1,0 +1,194 @@
+//! Property-based tests for the UNSM toolkit: the structural theorems of the
+//! paper checked on randomized instances.
+
+use proptest::prelude::*;
+
+use mqo_submod::algorithms::cardinality::cardinality_marginal_greedy;
+use mqo_submod::algorithms::exhaustive::exhaustive_max;
+use mqo_submod::algorithms::greedy::{greedy, lazy_greedy, Config as GreedyConfig};
+use mqo_submod::algorithms::lazy::lazy_marginal_greedy;
+use mqo_submod::algorithms::marginal_greedy::{marginal_greedy, Config};
+use mqo_submod::bitset::{all_subsets, BitSet};
+use mqo_submod::bounds::theorem1_lower_bound;
+use mqo_submod::decompose::Decomposition;
+use mqo_submod::function::{is_monotone, is_submodular, SetFunction};
+use mqo_submod::instances::random::{
+    random_coverage_minus_cost, random_cut_minus_cost, CoverageParams,
+};
+
+/// Strategy: a seeded coverage-minus-cost instance with n in [4, 10].
+fn instance_params() -> impl Strategy<Value = (usize, usize, f64, f64, u64)> {
+    (
+        4usize..=10,          // n_sets
+        5usize..=16,          // n_items
+        0.15f64..0.6,         // density
+        0.4f64..2.0,          // cost scale
+        any::<u64>(),         // seed
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Proposition 1: f = f*_M − c* exactly, on every subset.
+    #[test]
+    fn prop_decomposition_identity((n_sets, n_items, density, scale, seed) in instance_params()) {
+        let f = random_coverage_minus_cost(
+            CoverageParams { n_sets, n_items, density, ..Default::default() },
+            scale,
+            seed,
+        );
+        let d = Decomposition::canonical(&f);
+        for s in all_subsets(n_sets) {
+            let recomposed = d.monotone_value(&f, &s) - d.cost_of(&s);
+            prop_assert!((recomposed - f.eval(&s)).abs() < 1e-9);
+        }
+    }
+
+    /// Proposition 1: the canonical monotone part is monotone and submodular.
+    #[test]
+    fn prop_canonical_monotone_part((n_sets, n_items, density, scale, seed) in instance_params()) {
+        let f = random_coverage_minus_cost(
+            CoverageParams { n_sets, n_items, density, ..Default::default() },
+            scale,
+            seed,
+        );
+        let d = Decomposition::canonical(&f);
+        let fm = d.monotone_part(&f);
+        prop_assert!(is_monotone(&fm));
+        prop_assert!(is_submodular(&fm));
+    }
+
+    /// Proposition 2: the improvement procedure fixes the canonical
+    /// decomposition.
+    #[test]
+    fn prop_improvement_fixpoint((n_sets, n_items, density, scale, seed) in instance_params()) {
+        let f = random_coverage_minus_cost(
+            CoverageParams { n_sets, n_items, density, ..Default::default() },
+            scale,
+            seed,
+        );
+        let d = Decomposition::canonical(&f);
+        let improved = d.improve(&f);
+        for e in 0..n_sets {
+            prop_assert!((d.cost(e) - improved.cost(e)).abs() < 1e-9);
+        }
+    }
+
+    /// Theorem 1 on submodular instances: MarginalGreedy with the canonical
+    /// decomposition meets its guarantee relative to the exhaustive optimum.
+    #[test]
+    fn prop_theorem1_bound((n_sets, n_items, density, scale, seed) in instance_params()) {
+        let f = random_coverage_minus_cost(
+            CoverageParams { n_sets, n_items, density, ..Default::default() },
+            scale,
+            seed,
+        );
+        let d = Decomposition::canonical(&f);
+        let full = BitSet::full(n_sets);
+        let out = marginal_greedy(&f, &d, &full, Config::default());
+        let (opt_set, opt_val) = exhaustive_max(&f, &full);
+        // Theorem 1 is stated under the paper's convention that the additive
+        // part is positive everywhere except ∅ (remark after Proposition 1);
+        // skip optima containing non-positively-priced elements.
+        prop_assume!(opt_set.iter().all(|e| d.cost(e) > 0.0));
+        let bound = theorem1_lower_bound(opt_val, d.cost_of(&opt_set));
+        prop_assert!(
+            out.value >= bound - 1e-7,
+            "value {} < bound {} (opt {})", out.value, bound, opt_val
+        );
+    }
+
+    /// Lazy and eager MarginalGreedy agree, and lazy never does more work.
+    #[test]
+    fn prop_lazy_marginal_equals_eager((n_sets, n_items, density, scale, seed) in instance_params()) {
+        let f = random_coverage_minus_cost(
+            CoverageParams { n_sets, n_items, density, ..Default::default() },
+            scale,
+            seed,
+        );
+        let d = Decomposition::canonical(&f);
+        let full = BitSet::full(n_sets);
+        let eager = marginal_greedy(&f, &d, &full, Config::default());
+        let lazy = lazy_marginal_greedy(&f, &d, &full, Config::default());
+        prop_assert_eq!(&eager.set, &lazy.set);
+        prop_assert!(lazy.evaluations <= eager.evaluations);
+    }
+
+    /// Lazy and eager Greedy (Algorithm 1) agree on submodular instances.
+    #[test]
+    fn prop_lazy_greedy_equals_eager((n_sets, n_items, density, scale, seed) in instance_params()) {
+        let f = random_coverage_minus_cost(
+            CoverageParams { n_sets, n_items, density, ..Default::default() },
+            scale,
+            seed,
+        );
+        let full = BitSet::full(n_sets);
+        let eager = greedy(&f, &full, GreedyConfig::default());
+        let lazy = lazy_greedy(&f, &full, GreedyConfig::default());
+        prop_assert_eq!(&eager.set, &lazy.set);
+        prop_assert!(lazy.evaluations <= eager.evaluations);
+    }
+
+    /// Theorem 4: cardinality-constrained MarginalGreedy returns the same
+    /// answer with and without universe reduction.
+    #[test]
+    fn prop_theorem4_reduction_same_answer(
+        (n_sets, n_items, density, scale, seed) in instance_params(),
+        k in 1usize..=5,
+    ) {
+        let f = random_coverage_minus_cost(
+            CoverageParams { n_sets, n_items, density, ..Default::default() },
+            scale,
+            seed,
+        );
+        let d = Decomposition::canonical(&f);
+        let full = BitSet::full(n_sets);
+        let with = cardinality_marginal_greedy(&f, &d, &full, k, true);
+        let without = cardinality_marginal_greedy(&f, &d, &full, k, false);
+        prop_assert_eq!(with.set, without.set);
+    }
+
+    /// Normalization invariant: every algorithm returns f(X) >= 0 on
+    /// normalized inputs (each accepted step strictly improves).
+    #[test]
+    fn prop_outputs_nonnegative((n_sets, n_items, density, scale, seed) in instance_params()) {
+        let f = random_coverage_minus_cost(
+            CoverageParams { n_sets, n_items, density, ..Default::default() },
+            scale,
+            seed,
+        );
+        let d = Decomposition::canonical(&f);
+        let full = BitSet::full(n_sets);
+        prop_assert!(marginal_greedy(&f, &d, &full, Config::default()).value >= -1e-9);
+        prop_assert!(greedy(&f, &full, GreedyConfig::default()).value >= -1e-9);
+    }
+
+    /// Cut-minus-cost instances (non-monotone, often negative): lazy ≡ eager
+    /// and the Theorem 1 bound holds.
+    #[test]
+    fn prop_cuts_bound_and_lazy(n in 5usize..=9, p in 0.2f64..0.7, seed in any::<u64>()) {
+        let f = random_cut_minus_cost(n, p, seed);
+        let d = Decomposition::canonical(&f);
+        let full = BitSet::full(n);
+        let eager = marginal_greedy(&f, &d, &full, Config::default());
+        let lazy = lazy_marginal_greedy(&f, &d, &full, Config::default());
+        prop_assert_eq!(&eager.set, &lazy.set);
+        let (opt_set, opt_val) = exhaustive_max(&f, &full);
+        prop_assume!(opt_set.iter().all(|e| d.cost(e) > 0.0));
+        let bound = theorem1_lower_bound(opt_val, d.cost_of(&opt_set));
+        prop_assert!(eager.value >= bound - 1e-7);
+    }
+
+    /// BitSet sanity under random element sequences.
+    #[test]
+    fn prop_bitset_roundtrip(elems in proptest::collection::vec(0usize..64, 0..32)) {
+        let s = BitSet::from_iter(64, elems.iter().copied());
+        let mut sorted: Vec<usize> = elems.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let collected: Vec<usize> = s.iter().collect();
+        prop_assert_eq!(collected, sorted);
+        prop_assert_eq!(s.complement().complement(), s);
+    }
+}

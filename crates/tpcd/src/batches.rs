@@ -1,0 +1,95 @@
+//! Workload assembly: the composite batched queries BQ1..BQ6 of
+//! Experiment 1 and the stand-alone queries of Experiment 2.
+
+use mqo_volcano::{DagContext, PlanNode};
+
+use crate::queries::{QueryFactory, QueryId};
+use crate::schema::catalog;
+
+/// A named workload: a context plus the query plans to optimize together.
+pub struct Workload {
+    /// Display name (`BQ3`, `Q11`, ...).
+    pub name: String,
+    /// The shared context (catalog + instances + synthetic columns).
+    pub ctx: DagContext,
+    /// The batch members.
+    pub queries: Vec<PlanNode>,
+}
+
+/// Builds composite query `BQi` at scale factor `sf`: the first `i` queries
+/// of the sequence Q3, Q5, Q7, Q8, Q9, Q10, each instantiated twice with
+/// different selection constants (Section 6.1).
+pub fn batched(i: usize, sf: f64) -> Workload {
+    assert!((1..=6).contains(&i), "BQ1..BQ6");
+    let mut ctx = DagContext::new(catalog(sf));
+    let mut factory = QueryFactory::new();
+    let mut queries = Vec::with_capacity(2 * i);
+    for &q in QueryId::BATCH_SEQUENCE.iter().take(i) {
+        for variant in 0..2 {
+            queries.push(factory.build(&mut ctx, q, variant));
+        }
+    }
+    Workload {
+        name: format!("BQ{i}"),
+        ctx,
+        queries,
+    }
+}
+
+/// Builds a stand-alone Experiment 2 workload (`Q2`, `Q2-D`, `Q11`, `Q15`).
+pub fn standalone(name: &str, sf: f64) -> Workload {
+    let mut ctx = DagContext::new(catalog(sf));
+    let mut factory = QueryFactory::new();
+    let queries = match name {
+        "Q2" => vec![factory.build(&mut ctx, QueryId::Q2, 0)],
+        "Q2-D" => factory.q2_decorrelated(&mut ctx, 0),
+        "Q11" => vec![factory.build(&mut ctx, QueryId::Q11, 0)],
+        "Q15" => vec![factory.build(&mut ctx, QueryId::Q15, 0)],
+        other => panic!("unknown stand-alone workload {other:?}"),
+    };
+    Workload {
+        name: name.to_string(),
+        ctx,
+        queries,
+    }
+}
+
+/// The Experiment 2 workload names, in the paper's order.
+pub const STANDALONE_NAMES: [&str; 4] = ["Q2", "Q2-D", "Q11", "Q15"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batched_sizes() {
+        for i in 1..=6 {
+            let w = batched(i, 1.0);
+            assert_eq!(w.queries.len(), 2 * i);
+            assert_eq!(w.name, format!("BQ{i}"));
+        }
+    }
+
+    #[test]
+    fn standalone_workloads_build() {
+        for name in STANDALONE_NAMES {
+            let w = standalone(name, 1.0);
+            assert!(!w.queries.is_empty());
+            assert_eq!(w.name, name);
+        }
+        assert_eq!(standalone("Q2-D", 1.0).queries.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "BQ1..BQ6")]
+    fn bq0_rejected() {
+        let _ = batched(0, 1.0);
+    }
+
+    #[test]
+    fn scale_factor_propagates() {
+        let w = batched(1, 100.0);
+        let lineitem = w.ctx.catalog().table_id("lineitem").unwrap();
+        assert_eq!(w.ctx.catalog().table(lineitem).rows, 600_000_000.0);
+    }
+}

@@ -1,0 +1,16 @@
+//! The TPCD benchmark workload of the paper's experimental section.
+//!
+//! * [`schema`] — the TPCD catalog (row counts, column statistics, tuple
+//!   widths, clustered PK indices) at an arbitrary scale factor; SF 1 and
+//!   SF 100 correspond to the paper's 1 GB and 100 GB databases.
+//! * [`queries`] — logical plans for Q2, Q3, Q5, Q7, Q8, Q9, Q10, Q11, Q15
+//!   with parameterizable selection constants (two variants each).
+//! * [`batches`] — the composite batches BQ1..BQ6 of Experiment 1 and the
+//!   stand-alone workloads of Experiment 2.
+
+pub mod batches;
+pub mod queries;
+pub mod schema;
+
+pub use batches::{batched, standalone, Workload, STANDALONE_NAMES};
+pub use queries::{QueryFactory, QueryId};

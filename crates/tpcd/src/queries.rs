@@ -1,0 +1,738 @@
+//! The TPCD workload queries of Section 6, as logical plan builders.
+//!
+//! Each batched query (Q3, Q5, Q7, Q8, Q9, Q10) exists in two variants that
+//! differ in exactly one selection constant ("each query was repeated twice
+//! with different selection constants"). The stand-alone queries (Q2, Q2-D,
+//! Q11, Q15) contain common subexpressions *within themselves* — nested or
+//! decorrelated blocks that reference the same view twice.
+//!
+//! Queries are simplified to their select–project–join–aggregate skeletons:
+//! the join graph, the selections (the features the rule set of Section 6
+//! manipulates), and the aggregations. All queries use occurrence 0 of each
+//! table (occurrence 1 for self-joined `nation`), so identical
+//! subexpressions across queries unify in the combined DAG.
+
+use std::collections::HashMap;
+
+use mqo_catalog::ColumnStats;
+use mqo_volcano::{
+    AggCall, AggFunc, AggSpec, ColId, Constraint, DagContext, PlanNode, Predicate,
+};
+
+use crate::schema::date;
+
+/// Identifies a workload query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum QueryId {
+    Q2,
+    Q3,
+    Q5,
+    Q7,
+    Q8,
+    Q9,
+    Q10,
+    Q11,
+    Q15,
+}
+
+impl QueryId {
+    /// The batched-experiment sequence (Section 6.1).
+    pub const BATCH_SEQUENCE: [QueryId; 6] = [
+        QueryId::Q3,
+        QueryId::Q5,
+        QueryId::Q7,
+        QueryId::Q8,
+        QueryId::Q9,
+        QueryId::Q10,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryId::Q2 => "Q2",
+            QueryId::Q3 => "Q3",
+            QueryId::Q5 => "Q5",
+            QueryId::Q7 => "Q7",
+            QueryId::Q8 => "Q8",
+            QueryId::Q9 => "Q9",
+            QueryId::Q10 => "Q10",
+            QueryId::Q15 => "Q15",
+            QueryId::Q11 => "Q11",
+        }
+    }
+}
+
+/// Builds workload queries over a context, caching built plans so that the
+/// same `(query, variant)` always yields the identical plan (and therefore
+/// the identical synthetic aggregate-output columns — required for
+/// cross-reference sharing inside Q2/Q11/Q15).
+pub struct QueryFactory {
+    cache: HashMap<(QueryId, u8), PlanNode>,
+    decorrelated_cache: HashMap<u8, Vec<PlanNode>>,
+    synths: HashMap<String, ColId>,
+}
+
+impl QueryFactory {
+    /// An empty factory.
+    pub fn new() -> Self {
+        QueryFactory {
+            cache: HashMap::new(),
+            decorrelated_cache: HashMap::new(),
+            synths: HashMap::new(),
+        }
+    }
+
+    /// Builds (or returns the cached) `(query, variant)` plan. Variants 0
+    /// and 1 differ in one selection constant.
+    pub fn build(&mut self, ctx: &mut DagContext, q: QueryId, variant: u8) -> PlanNode {
+        assert!(variant < 2, "two variants per query");
+        if let Some(p) = self.cache.get(&(q, variant)) {
+            return p.clone();
+        }
+        let plan = match q {
+            QueryId::Q2 => self.q2(ctx, variant, false),
+            QueryId::Q3 => q3(self, ctx, variant),
+            QueryId::Q5 => q5(self, ctx, variant),
+            QueryId::Q7 => q7(self, ctx, variant),
+            QueryId::Q8 => q8(self, ctx, variant),
+            QueryId::Q9 => q9(self, ctx, variant),
+            QueryId::Q10 => q10(self, ctx, variant),
+            QueryId::Q11 => self.q11(ctx, variant).1,
+            QueryId::Q15 => self.q15(ctx, variant).1,
+        };
+        self.cache.insert((q, variant), plan.clone());
+        plan
+    }
+
+    /// Q2 (minimum-cost supplier): the outer block joined with the
+    /// min-supplycost subquery over the same relations. With
+    /// `decorrelated = false` this is the single correlated-style DAG; the
+    /// decorrelated form [`QueryFactory::q2_decorrelated`] submits the
+    /// subquery as its own batch member.
+    fn q2(&mut self, ctx: &mut DagContext, variant: u8, _decorrelated: bool) -> PlanNode {
+        let (inner, outer) = self.q2_blocks(ctx, variant);
+        let ps = ctx.instance_by_name("partsupp", 0);
+        let min_cost = self.q2_min_cost_col(ctx, variant);
+        let pred = Predicate::join(ctx.col(ps, "ps_supplycost"), min_cost);
+        outer.join(inner, pred)
+    }
+
+    /// The decorrelated Q2 ("Q2-D ... is actually a batch of queries"): the
+    /// aggregate subquery as one query, the main query (reusing the same
+    /// subexpression) as another.
+    pub fn q2_decorrelated(&mut self, ctx: &mut DagContext, variant: u8) -> Vec<PlanNode> {
+        if let Some(b) = self.decorrelated_cache.get(&variant) {
+            return b.clone();
+        }
+        let (inner, outer) = self.q2_blocks(ctx, variant);
+        let ps = ctx.instance_by_name("partsupp", 0);
+        let min_cost = self.q2_min_cost_col(ctx, variant);
+        let pred = Predicate::join(ctx.col(ps, "ps_supplycost"), min_cost);
+        let main = outer.join(inner.clone(), pred);
+        let batch = vec![inner, main];
+        self.decorrelated_cache.insert(variant, batch.clone());
+        batch
+    }
+
+    fn q2_min_cost_col(&mut self, ctx: &mut DagContext, variant: u8) -> ColId {
+        self.synth(
+            ctx,
+            format!("q2_min_cost_v{variant}"),
+            ColumnStats::new(50_000.0, 100, 100_000),
+            8,
+        )
+    }
+
+    /// `(inner aggregate block, outer block)` of Q2.
+    fn q2_blocks(&mut self, ctx: &mut DagContext, variant: u8) -> (PlanNode, PlanNode) {
+        let region_name = ["EUROPE", "ASIA"][variant as usize];
+        let r_code = dict_code(ctx, region_name);
+        let p = ctx.instance_by_name("part", 0);
+        let ps = ctx.instance_by_name("partsupp", 0);
+        let s = ctx.instance_by_name("supplier", 0);
+        let n = ctx.instance_by_name("nation", 0);
+        let r = ctx.instance_by_name("region", 0);
+
+        // Shared block: partsupp ⋈ supplier ⋈ nation ⋈ σ_{r_name}(region).
+        let shared = PlanNode::scan(ps)
+            .join(
+                PlanNode::scan(s),
+                Predicate::join(ctx.col(ps, "ps_suppkey"), ctx.col(s, "s_suppkey")),
+            )
+            .join(
+                PlanNode::scan(n),
+                Predicate::join(ctx.col(s, "s_nationkey"), ctx.col(n, "n_nationkey")),
+            )
+            .join(
+                PlanNode::scan(r).select(Predicate::on(
+                    ctx.col(r, "r_name"),
+                    Constraint::eq(r_code),
+                )),
+                Predicate::join(ctx.col(n, "n_regionkey"), ctx.col(r, "r_regionkey")),
+            );
+
+        let min_cost = self.q2_min_cost_col(ctx, variant);
+        let inner = shared.clone().aggregate(AggSpec::new(
+            vec![ctx.col(ps, "ps_partkey")],
+            vec![AggCall {
+                func: AggFunc::Min,
+                input: ctx.col(ps, "ps_supplycost"),
+                output: min_cost,
+            }],
+        ));
+
+        let outer = PlanNode::scan(p)
+            .select(
+                Predicate::on(ctx.col(p, "p_size"), Constraint::eq(15)).and(&Predicate::on(
+                    ctx.col(p, "p_type"),
+                    Constraint::eq(42 + i64::from(variant)),
+                )),
+            )
+            .join(
+                shared,
+                Predicate::join(ctx.col(p, "p_partkey"), ctx.col(ps, "ps_partkey")),
+            );
+        (inner, outer)
+    }
+
+    /// Q11 (important stock): per-part value vs. a scalar total over the
+    /// same `partsupp ⋈ supplier ⋈ σ_{n_name}(nation)` block. Returns
+    /// `(shared block, full query)`.
+    fn q11(&mut self, ctx: &mut DagContext, variant: u8) -> (PlanNode, PlanNode) {
+        let nation_name = ["GERMANY", "FRANCE"][variant as usize];
+        let n_code = dict_code(ctx, nation_name);
+        let ps = ctx.instance_by_name("partsupp", 0);
+        let s = ctx.instance_by_name("supplier", 0);
+        let n = ctx.instance_by_name("nation", 0);
+
+        let shared = PlanNode::scan(ps)
+            .join(
+                PlanNode::scan(s),
+                Predicate::join(ctx.col(ps, "ps_suppkey"), ctx.col(s, "s_suppkey")),
+            )
+            .join(
+                PlanNode::scan(n).select(Predicate::on(
+                    ctx.col(n, "n_name"),
+                    Constraint::eq(n_code),
+                )),
+                Predicate::join(ctx.col(s, "s_nationkey"), ctx.col(n, "n_nationkey")),
+            );
+
+        let value = self.synth(
+            ctx,
+            format!("q11_value_v{variant}"),
+            ColumnStats::new(30_000.0, 0, 1_000_000_000),
+            8,
+        );
+        let total = self.synth(
+            ctx,
+            format!("q11_total_v{variant}"),
+            ColumnStats::new(1.0, 0, 1_000_000_000_000),
+            8,
+        );
+        let by_part = shared.clone().aggregate(AggSpec::new(
+            vec![ctx.col(ps, "ps_partkey")],
+            vec![AggCall {
+                func: AggFunc::Sum,
+                input: ctx.col(ps, "ps_supplycost"),
+                output: value,
+            }],
+        ));
+        let scalar = shared.clone().aggregate(AggSpec::new(
+            vec![],
+            vec![AggCall {
+                func: AggFunc::Sum,
+                input: ctx.col(ps, "ps_supplycost"),
+                output: total,
+            }],
+        ));
+        // The HAVING comparison `value > fraction·total` modeled as the join
+        // of the grouped view with the one-row scalar view.
+        let q = by_part.join(scalar, Predicate::join(value, total));
+        (shared, q)
+    }
+
+    /// Q15 (top supplier): the revenue view over a shipdate quarter is used
+    /// both as a join input and under the scalar MAX. Returns
+    /// `(revenue view, full query)`.
+    fn q15(&mut self, ctx: &mut DagContext, variant: u8) -> (PlanNode, PlanNode) {
+        let l = ctx.instance_by_name("lineitem", 0);
+        let s = ctx.instance_by_name("supplier", 0);
+        let start = [date(1996, 1, 1), date(1996, 4, 1)][variant as usize];
+        let end = start + 90;
+
+        let revenue_col = self.synth(
+            ctx,
+            format!("q15_revenue_v{variant}"),
+            ColumnStats::new(10_000.0, 0, 1_000_000_000),
+            8,
+        );
+        let max_col = self.synth(
+            ctx,
+            format!("q15_max_revenue_v{variant}"),
+            ColumnStats::new(1.0, 0, 1_000_000_000),
+            8,
+        );
+
+        let revenue = PlanNode::scan(l)
+            .select(Predicate::on(
+                ctx.col(l, "l_shipdate"),
+                Constraint::range(Some(start), Some(end - 1)),
+            ))
+            .aggregate(AggSpec::new(
+                vec![ctx.col(l, "l_suppkey")],
+                vec![AggCall {
+                    func: AggFunc::Sum,
+                    input: ctx.col(l, "l_extendedprice"),
+                    output: revenue_col,
+                }],
+            ));
+        let max_view = revenue.clone().aggregate(AggSpec::new(
+            vec![],
+            vec![AggCall {
+                func: AggFunc::Max,
+                input: revenue_col,
+                output: max_col,
+            }],
+        ));
+        let q = PlanNode::scan(s)
+            .join(
+                revenue.clone(),
+                Predicate::join(ctx.col(s, "s_suppkey"), ctx.col(l, "l_suppkey")),
+            )
+            .join(max_view, Predicate::join(revenue_col, max_col));
+        (revenue, q)
+    }
+
+    /// Registers a synthetic column once per name; later calls with the
+    /// same name return the same column id (shared views must share their
+    /// output columns, and Q2's join predicate must reference the inner
+    /// block's aggregate output).
+    fn synth(&mut self, ctx: &mut DagContext, name: String, stats: ColumnStats, width: u32) -> ColId {
+        if let Some(&c) = self.synths.get(&name) {
+            return c;
+        }
+        let c = ctx.add_synth(name.clone(), stats, width);
+        self.synths.insert(name, c);
+        c
+    }
+}
+
+impl Default for QueryFactory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Resolves an interned dictionary code.
+fn dict_code(ctx: &DagContext, s: &str) -> i64 {
+    ctx.catalog()
+        .dict()
+        .code(s)
+        .unwrap_or_else(|| panic!("constant {s:?} not interned in the catalog"))
+}
+
+/// Q3 (shipping priority): customer ⋈ orders ⋈ lineitem with a market
+/// segment and two date selections; revenue per order. The variant flips
+/// the market segment.
+fn q3(f: &mut QueryFactory, ctx: &mut DagContext, variant: u8) -> PlanNode {
+    let seg = ["BUILDING", "AUTOMOBILE"][variant as usize];
+    let seg_code = dict_code(ctx, seg);
+    let c = ctx.instance_by_name("customer", 0);
+    let o = ctx.instance_by_name("orders", 0);
+    let l = ctx.instance_by_name("lineitem", 0);
+    let cutoff = date(1995, 3, 15);
+
+    PlanNode::scan(c)
+        .select(Predicate::on(
+            ctx.col(c, "c_mktsegment"),
+            Constraint::eq(seg_code),
+        ))
+        .join(
+            PlanNode::scan(o).select(Predicate::on(
+                ctx.col(o, "o_orderdate"),
+                Constraint::le(cutoff - 1),
+            )),
+            Predicate::join(ctx.col(c, "c_custkey"), ctx.col(o, "o_custkey")),
+        )
+        .join(
+            PlanNode::scan(l).select(Predicate::on(
+                ctx.col(l, "l_shipdate"),
+                Constraint::ge(cutoff + 1),
+            )),
+            Predicate::join(ctx.col(o, "o_orderkey"), ctx.col(l, "l_orderkey")),
+        )
+        .aggregate(AggSpec::new(
+            vec![
+                ctx.col(l, "l_orderkey"),
+                ctx.col(o, "o_orderdate"),
+                ctx.col(o, "o_shippriority"),
+            ],
+            vec![AggCall {
+                func: AggFunc::Sum,
+                input: ctx.col(l, "l_extendedprice"),
+                output: f.synth(
+                    ctx,
+                    format!("q3_revenue_v{variant}"),
+                    ColumnStats::new(100_000.0, 0, 1_000_000_000),
+                    8,
+                ),
+            }],
+        ))
+}
+
+/// Q5 (local supplier volume): six-way join restricted to one region and
+/// one order year; revenue per nation. The variant flips the region.
+fn q5(f: &mut QueryFactory, ctx: &mut DagContext, variant: u8) -> PlanNode {
+    let region = ["ASIA", "EUROPE"][variant as usize];
+    let r_code = dict_code(ctx, region);
+    let c = ctx.instance_by_name("customer", 0);
+    let o = ctx.instance_by_name("orders", 0);
+    let l = ctx.instance_by_name("lineitem", 0);
+    let s = ctx.instance_by_name("supplier", 0);
+    let n = ctx.instance_by_name("nation", 0);
+    let r = ctx.instance_by_name("region", 0);
+    let y0 = date(1994, 1, 1);
+    let y1 = date(1995, 1, 1);
+
+    PlanNode::scan(c)
+        .join(
+            PlanNode::scan(o).select(Predicate::on(
+                ctx.col(o, "o_orderdate"),
+                Constraint::range(Some(y0), Some(y1 - 1)),
+            )),
+            Predicate::join(ctx.col(c, "c_custkey"), ctx.col(o, "o_custkey")),
+        )
+        .join(
+            PlanNode::scan(l),
+            Predicate::join(ctx.col(o, "o_orderkey"), ctx.col(l, "l_orderkey")),
+        )
+        .join(
+            PlanNode::scan(s)
+                .join(
+                    PlanNode::scan(n).join(
+                        PlanNode::scan(r).select(Predicate::on(
+                            ctx.col(r, "r_name"),
+                            Constraint::eq(r_code),
+                        )),
+                        Predicate::join(ctx.col(n, "n_regionkey"), ctx.col(r, "r_regionkey")),
+                    ),
+                    Predicate::join(ctx.col(s, "s_nationkey"), ctx.col(n, "n_nationkey")),
+                ),
+            {
+                // Supplier and customer must share the nation: both equi
+                // atoms connect the two sides of this join.
+                let mut p = Predicate::join(ctx.col(l, "l_suppkey"), ctx.col(s, "s_suppkey"));
+                p.add_equi(ctx.col(c, "c_nationkey"), ctx.col(s, "s_nationkey"));
+                p
+            },
+        )
+        .aggregate(AggSpec::new(
+            vec![ctx.col(n, "n_name")],
+            vec![AggCall {
+                func: AggFunc::Sum,
+                input: ctx.col(l, "l_extendedprice"),
+                output: f.synth(
+                    ctx,
+                    format!("q5_revenue_v{variant}"),
+                    ColumnStats::new(25.0, 0, 1_000_000_000),
+                    8,
+                ),
+            }],
+        ))
+}
+
+/// Q7 (volume shipping): lineitems shipped between a supplier nation and a
+/// customer nation over two years. The variant flips the customer nation.
+fn q7(f: &mut QueryFactory, ctx: &mut DagContext, variant: u8) -> PlanNode {
+    let supp_nation = dict_code(ctx, "FRANCE");
+    let cust_nation = dict_code(ctx, ["GERMANY", "RUSSIA"][variant as usize]);
+    let s = ctx.instance_by_name("supplier", 0);
+    let l = ctx.instance_by_name("lineitem", 0);
+    let o = ctx.instance_by_name("orders", 0);
+    let c = ctx.instance_by_name("customer", 0);
+    let n1 = ctx.instance_by_name("nation", 0);
+    let n2 = ctx.instance_by_name("nation", 1);
+
+    PlanNode::scan(s)
+        .join(
+            PlanNode::scan(n1).select(Predicate::on(
+                ctx.col(n1, "n_name"),
+                Constraint::eq(supp_nation),
+            )),
+            Predicate::join(ctx.col(s, "s_nationkey"), ctx.col(n1, "n_nationkey")),
+        )
+        .join(
+            PlanNode::scan(l).select(Predicate::on(
+                ctx.col(l, "l_shipdate"),
+                Constraint::range(Some(date(1995, 1, 1)), Some(date(1996, 12, 31))),
+            )),
+            Predicate::join(ctx.col(s, "s_suppkey"), ctx.col(l, "l_suppkey")),
+        )
+        .join(
+            PlanNode::scan(o).join(
+                PlanNode::scan(c).join(
+                    PlanNode::scan(n2).select(Predicate::on(
+                        ctx.col(n2, "n_name"),
+                        Constraint::eq(cust_nation),
+                    )),
+                    Predicate::join(ctx.col(c, "c_nationkey"), ctx.col(n2, "n_nationkey")),
+                ),
+                Predicate::join(ctx.col(o, "o_custkey"), ctx.col(c, "c_custkey")),
+            ),
+            Predicate::join(ctx.col(l, "l_orderkey"), ctx.col(o, "o_orderkey")),
+        )
+        .aggregate(AggSpec::new(
+            vec![ctx.col(n1, "n_name"), ctx.col(n2, "n_name")],
+            vec![AggCall {
+                func: AggFunc::Sum,
+                input: ctx.col(l, "l_extendedprice"),
+                output: f.synth(
+                    ctx,
+                    format!("q7_volume_v{variant}"),
+                    ColumnStats::new(4.0, 0, 1_000_000_000),
+                    8,
+                ),
+            }],
+        ))
+}
+
+/// Q8 (national market share): eight-way join over an America-region
+/// customer base for one part type. The variant flips the part type.
+fn q8(f: &mut QueryFactory, ctx: &mut DagContext, variant: u8) -> PlanNode {
+    let r_code = dict_code(ctx, "AMERICA");
+    let p_type = 100 + i64::from(variant); // two adjacent type codes
+    let p = ctx.instance_by_name("part", 0);
+    let s = ctx.instance_by_name("supplier", 0);
+    let l = ctx.instance_by_name("lineitem", 0);
+    let o = ctx.instance_by_name("orders", 0);
+    let c = ctx.instance_by_name("customer", 0);
+    let n1 = ctx.instance_by_name("nation", 0);
+    let n2 = ctx.instance_by_name("nation", 1);
+    let r = ctx.instance_by_name("region", 0);
+
+    PlanNode::scan(p)
+        .select(Predicate::on(
+            ctx.col(p, "p_type"),
+            Constraint::eq(p_type),
+        ))
+        .join(
+            PlanNode::scan(l).join(
+                PlanNode::scan(o).select(Predicate::on(
+                    ctx.col(o, "o_orderdate"),
+                    Constraint::range(Some(date(1995, 1, 1)), Some(date(1996, 12, 31))),
+                )),
+                Predicate::join(ctx.col(l, "l_orderkey"), ctx.col(o, "o_orderkey")),
+            ),
+            Predicate::join(ctx.col(p, "p_partkey"), ctx.col(l, "l_partkey")),
+        )
+        .join(
+            PlanNode::scan(c).join(
+                PlanNode::scan(n1).join(
+                    PlanNode::scan(r).select(Predicate::on(
+                        ctx.col(r, "r_name"),
+                        Constraint::eq(r_code),
+                    )),
+                    Predicate::join(ctx.col(n1, "n_regionkey"), ctx.col(r, "r_regionkey")),
+                ),
+                Predicate::join(ctx.col(c, "c_nationkey"), ctx.col(n1, "n_nationkey")),
+            ),
+            Predicate::join(ctx.col(o, "o_custkey"), ctx.col(c, "c_custkey")),
+        )
+        .join(
+            PlanNode::scan(s).join(
+                PlanNode::scan(n2),
+                Predicate::join(ctx.col(s, "s_nationkey"), ctx.col(n2, "n_nationkey")),
+            ),
+            Predicate::join(ctx.col(l, "l_suppkey"), ctx.col(s, "s_suppkey")),
+        )
+        .aggregate(AggSpec::new(
+            vec![ctx.col(n2, "n_name")],
+            vec![AggCall {
+                func: AggFunc::Sum,
+                input: ctx.col(l, "l_extendedprice"),
+                output: f.synth(
+                    ctx,
+                    format!("q8_volume_v{variant}"),
+                    ColumnStats::new(25.0, 0, 1_000_000_000),
+                    8,
+                ),
+            }],
+        ))
+}
+
+/// Q9 (product type profit): six-way join over parts whose name matches a
+/// pattern (modeled as a key-range window selecting ~6% of parts); profit
+/// per nation. The variant shifts the window.
+fn q9(f: &mut QueryFactory, ctx: &mut DagContext, variant: u8) -> PlanNode {
+    let p = ctx.instance_by_name("part", 0);
+    let s = ctx.instance_by_name("supplier", 0);
+    let l = ctx.instance_by_name("lineitem", 0);
+    let ps = ctx.instance_by_name("partsupp", 0);
+    let o = ctx.instance_by_name("orders", 0);
+    let n = ctx.instance_by_name("nation", 0);
+    let part_rows = ctx
+        .catalog()
+        .table(ctx.catalog().table_id("part").unwrap())
+        .rows as i64;
+    let window = part_rows / 17;
+    let lo = i64::from(variant) * 4 * window;
+    let hi = lo + window;
+
+    PlanNode::scan(p)
+        .select(Predicate::on(
+            ctx.col(p, "p_name"),
+            Constraint::range(Some(lo), Some(hi)),
+        ))
+        .join(
+            PlanNode::scan(l),
+            Predicate::join(ctx.col(p, "p_partkey"), ctx.col(l, "l_partkey")),
+        )
+        .join(
+            PlanNode::scan(ps),
+            {
+                let mut pred =
+                    Predicate::join(ctx.col(ps, "ps_partkey"), ctx.col(l, "l_partkey"));
+                pred.add_equi(ctx.col(ps, "ps_suppkey"), ctx.col(l, "l_suppkey"));
+                pred
+            },
+        )
+        .join(
+            PlanNode::scan(s).join(
+                PlanNode::scan(n),
+                Predicate::join(ctx.col(s, "s_nationkey"), ctx.col(n, "n_nationkey")),
+            ),
+            Predicate::join(ctx.col(l, "l_suppkey"), ctx.col(s, "s_suppkey")),
+        )
+        .join(
+            PlanNode::scan(o),
+            Predicate::join(ctx.col(l, "l_orderkey"), ctx.col(o, "o_orderkey")),
+        )
+        .aggregate(AggSpec::new(
+            vec![ctx.col(n, "n_name")],
+            vec![AggCall {
+                func: AggFunc::Sum,
+                input: ctx.col(l, "l_extendedprice"),
+                output: f.synth(
+                    ctx,
+                    format!("q9_profit_v{variant}"),
+                    ColumnStats::new(25.0, 0, 1_000_000_000),
+                    8,
+                ),
+            }],
+        ))
+}
+
+/// Q10 (returned items): customer ⋈ orders ⋈ lineitem ⋈ nation over one
+/// order quarter and returned lineitems; revenue per customer. The variant
+/// shifts the quarter.
+fn q10(f: &mut QueryFactory, ctx: &mut DagContext, variant: u8) -> PlanNode {
+    let c = ctx.instance_by_name("customer", 0);
+    let o = ctx.instance_by_name("orders", 0);
+    let l = ctx.instance_by_name("lineitem", 0);
+    let n = ctx.instance_by_name("nation", 0);
+    let start = [date(1993, 10, 1), date(1994, 1, 1)][variant as usize];
+    let end = start + 90;
+
+    PlanNode::scan(c)
+        .join(
+            PlanNode::scan(o).select(Predicate::on(
+                ctx.col(o, "o_orderdate"),
+                Constraint::range(Some(start), Some(end - 1)),
+            )),
+            Predicate::join(ctx.col(c, "c_custkey"), ctx.col(o, "o_custkey")),
+        )
+        .join(
+            PlanNode::scan(l).select(Predicate::on(
+                ctx.col(l, "l_returnflag"),
+                Constraint::eq(2), // 'R'
+            )),
+            Predicate::join(ctx.col(o, "o_orderkey"), ctx.col(l, "l_orderkey")),
+        )
+        .join(
+            PlanNode::scan(n),
+            Predicate::join(ctx.col(c, "c_nationkey"), ctx.col(n, "n_nationkey")),
+        )
+        .aggregate(AggSpec::new(
+            vec![ctx.col(c, "c_custkey"), ctx.col(n, "n_name")],
+            vec![AggCall {
+                func: AggFunc::Sum,
+                input: ctx.col(l, "l_extendedprice"),
+                output: f.synth(
+                    ctx,
+                    format!("q10_revenue_v{variant}"),
+                    ColumnStats::new(50_000.0, 0, 1_000_000_000),
+                    8,
+                ),
+            }],
+        ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::catalog;
+
+    fn fresh_ctx() -> DagContext {
+        DagContext::new(catalog(1.0))
+    }
+
+    #[test]
+    fn all_queries_build() {
+        let mut ctx = fresh_ctx();
+        let mut f = QueryFactory::new();
+        for q in [
+            QueryId::Q2,
+            QueryId::Q3,
+            QueryId::Q5,
+            QueryId::Q7,
+            QueryId::Q8,
+            QueryId::Q9,
+            QueryId::Q10,
+            QueryId::Q11,
+            QueryId::Q15,
+        ] {
+            for v in 0..2 {
+                let _ = f.build(&mut ctx, q, v);
+            }
+        }
+    }
+
+    #[test]
+    fn factory_caches_per_variant() {
+        let mut ctx = fresh_ctx();
+        let mut f = QueryFactory::new();
+        let a = f.build(&mut ctx, QueryId::Q15, 0);
+        let synths_after_first = format!("{a:?}");
+        let b = f.build(&mut ctx, QueryId::Q15, 0);
+        assert_eq!(synths_after_first, format!("{b:?}"), "cached plan reused");
+    }
+
+    #[test]
+    fn variants_differ_in_exactly_one_constant_family() {
+        let mut ctx = fresh_ctx();
+        let mut f = QueryFactory::new();
+        let a = format!("{:?}", f.build(&mut ctx, QueryId::Q3, 0));
+        let b = format!("{:?}", f.build(&mut ctx, QueryId::Q3, 1));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn q2_decorrelated_is_a_batch_of_two() {
+        let mut ctx = fresh_ctx();
+        let mut f = QueryFactory::new();
+        let batch = f.q2_decorrelated(&mut ctx, 0);
+        assert_eq!(batch.len(), 2);
+    }
+
+    #[test]
+    fn self_joined_nation_uses_two_instances() {
+        let mut ctx = fresh_ctx();
+        let mut f = QueryFactory::new();
+        let _ = f.build(&mut ctx, QueryId::Q7, 0);
+        // nation occurrence 0 and 1 both registered.
+        let n0 = ctx.instance_by_name("nation", 0);
+        let n1 = ctx.instance_by_name("nation", 1);
+        assert_ne!(n0, n1);
+    }
+}

@@ -1,0 +1,234 @@
+//! The TPCD schema with catalog statistics at a given scale factor.
+//!
+//! Scale factor 1 corresponds to the 1 GB database of Section 6.1, scale
+//! factor 100 to the 100 GB database. Row counts follow the TPC-D
+//! specification (region 5, nation 25, supplier 10k·SF, customer 150k·SF,
+//! part 200k·SF, partsupp 800k·SF, orders 1.5M·SF, lineitem 6M·SF); row
+//! widths approximate the spec's average tuple sizes via explicit payload
+//! columns. Every base relation has a clustered index on its primary key
+//! (as in the experiments).
+//!
+//! Dates are encoded as day numbers since 1992-01-01; strings are interned
+//! in the catalog dictionary.
+
+use mqo_catalog::{Catalog, TableBuilder};
+
+/// TPCD populated date range: 1992-01-01 .. 1998-12-31, as day numbers.
+pub const DATE_MIN: i64 = 0;
+/// Upper end of the populated date range (~7 years).
+pub const DATE_MAX: i64 = 2557;
+
+/// Encodes a date as days since 1992-01-01 (30-day months — the precision
+/// needed for selectivity estimation, not calendar arithmetic).
+pub fn date(year: i64, month: i64, day: i64) -> i64 {
+    (year - 1992) * 365 + (month - 1) * 30 + (day - 1)
+}
+
+/// The market segments of `c_mktsegment`.
+pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+
+/// The region names of `r_name`.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// A few nation names (subset of the 25) used by the workload queries.
+pub const NATIONS: [&str; 8] = [
+    "FRANCE", "GERMANY", "BRAZIL", "INDIA", "JAPAN", "CANADA", "EGYPT", "RUSSIA",
+];
+
+/// Number of distinct `p_type` values in TPC-D.
+pub const N_PART_TYPES: i64 = 150;
+
+/// Builds the TPCD catalog at the given scale factor, pre-interning the
+/// workload's string constants.
+pub fn catalog(sf: f64) -> Catalog {
+    assert!(sf > 0.0, "scale factor must be positive");
+    let mut cat = Catalog::new();
+
+    // Pre-intern constants so queries can resolve codes deterministically.
+    for s in SEGMENTS {
+        cat.dict_mut().intern(s);
+    }
+    for s in REGIONS {
+        cat.dict_mut().intern(s);
+    }
+    for s in NATIONS {
+        cat.dict_mut().intern(s);
+    }
+
+    let supplier_rows = 10_000.0 * sf;
+    let customer_rows = 150_000.0 * sf;
+    let part_rows = 200_000.0 * sf;
+    let partsupp_rows = 800_000.0 * sf;
+    let orders_rows = 1_500_000.0 * sf;
+    let lineitem_rows = 6_000_000.0 * sf;
+
+    cat.add_table(
+        TableBuilder::new("region", 5.0)
+            .key_column("r_regionkey", 4)
+            .column("r_name", 5.0, (0, 63), 25)
+            .column("r_payload", 1.0, (0, 0), 95)
+            .primary_key(&["r_regionkey"])
+            .build(),
+    );
+
+    cat.add_table(
+        TableBuilder::new("nation", 25.0)
+            .key_column("n_nationkey", 4)
+            .column("n_name", 25.0, (0, 63), 25)
+            .column("n_regionkey", 5.0, (0, 4), 4)
+            .column("n_payload", 1.0, (0, 0), 95)
+            .primary_key(&["n_nationkey"])
+            .build(),
+    );
+
+    cat.add_table(
+        TableBuilder::new("supplier", supplier_rows)
+            .key_column("s_suppkey", 4)
+            .column("s_name", supplier_rows, (0, supplier_rows as i64 - 1), 25)
+            .column("s_nationkey", 25.0, (0, 24), 4)
+            .column("s_acctbal", 100_000.0, (-99_999, 999_999), 8)
+            .column("s_payload", 1.0, (0, 0), 119)
+            .primary_key(&["s_suppkey"])
+            .build(),
+    );
+
+    cat.add_table(
+        TableBuilder::new("customer", customer_rows)
+            .key_column("c_custkey", 4)
+            .column("c_name", customer_rows, (0, customer_rows as i64 - 1), 25)
+            .column("c_nationkey", 25.0, (0, 24), 4)
+            .column("c_mktsegment", 5.0, (0, 63), 10)
+            .column("c_acctbal", 100_000.0, (-99_999, 999_999), 8)
+            .column("c_payload", 1.0, (0, 0), 129)
+            .primary_key(&["c_custkey"])
+            .build(),
+    );
+
+    cat.add_table(
+        TableBuilder::new("part", part_rows)
+            .key_column("p_partkey", 4)
+            .column("p_name", part_rows, (0, part_rows as i64 - 1), 55)
+            .column("p_mfgr", 5.0, (0, 4), 25)
+            .column("p_brand", 25.0, (0, 24), 10)
+            .column("p_type", N_PART_TYPES as f64, (0, N_PART_TYPES - 1), 25)
+            .column("p_size", 50.0, (1, 50), 4)
+            .column("p_retailprice", 20_000.0, (90_000, 200_000), 8)
+            .column("p_payload", 1.0, (0, 0), 25)
+            .primary_key(&["p_partkey"])
+            .build(),
+    );
+
+    cat.add_table(
+        TableBuilder::new("partsupp", partsupp_rows)
+            .column("ps_partkey", part_rows, (0, part_rows as i64 - 1), 4)
+            .column("ps_suppkey", supplier_rows, (0, supplier_rows as i64 - 1), 4)
+            .column("ps_availqty", 9_999.0, (1, 9_999), 4)
+            .column("ps_supplycost", 100_000.0, (100, 100_000), 8)
+            .column("ps_payload", 1.0, (0, 0), 124)
+            .primary_key(&["ps_partkey", "ps_suppkey"])
+            .build(),
+    );
+
+    cat.add_table(
+        TableBuilder::new("orders", orders_rows)
+            .key_column("o_orderkey", 4)
+            .column("o_custkey", customer_rows, (0, customer_rows as i64 - 1), 4)
+            .column("o_orderdate", 2_406.0, (DATE_MIN, date(1998, 8, 2)), 4)
+            .column("o_orderpriority", 5.0, (0, 4), 15)
+            .column("o_shippriority", 1.0, (0, 0), 4)
+            .column("o_totalprice", 1_000_000.0, (1_000, 50_000_000), 8)
+            .column("o_payload", 1.0, (0, 0), 81)
+            .primary_key(&["o_orderkey"])
+            .build(),
+    );
+
+    cat.add_table(
+        TableBuilder::new("lineitem", lineitem_rows)
+            .column("l_orderkey", orders_rows, (0, orders_rows as i64 - 1), 4)
+            .column("l_partkey", part_rows, (0, part_rows as i64 - 1), 4)
+            .column("l_suppkey", supplier_rows, (0, supplier_rows as i64 - 1), 4)
+            .column("l_linenumber", 7.0, (1, 7), 4)
+            .column("l_quantity", 50.0, (1, 50), 4)
+            .column("l_extendedprice", 1_000_000.0, (900, 10_000_000), 8)
+            .column("l_discount", 11.0, (0, 10), 8)
+            .column("l_tax", 9.0, (0, 8), 8)
+            .column("l_returnflag", 3.0, (0, 2), 1)
+            .column("l_linestatus", 2.0, (0, 1), 1)
+            .column("l_shipdate", 2_526.0, (DATE_MIN + 1, DATE_MAX), 4)
+            .column("l_commitdate", 2_466.0, (DATE_MIN + 30, DATE_MAX - 30), 4)
+            .column("l_receiptdate", 2_554.0, (DATE_MIN + 2, DATE_MAX), 4)
+            .column("l_payload", 1.0, (0, 0), 54)
+            .primary_key(&["l_orderkey", "l_linenumber"])
+            .build(),
+    );
+
+    cat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_counts_scale() {
+        let c1 = catalog(1.0);
+        let c100 = catalog(100.0);
+        assert_eq!(c1.table(c1.table_id("lineitem").unwrap()).rows, 6_000_000.0);
+        assert_eq!(
+            c100.table(c100.table_id("lineitem").unwrap()).rows,
+            600_000_000.0
+        );
+        assert_eq!(c1.table(c1.table_id("region").unwrap()).rows, 5.0);
+        assert_eq!(c100.table(c100.table_id("region").unwrap()).rows, 5.0);
+    }
+
+    #[test]
+    fn total_size_is_about_1gb_at_sf1() {
+        let cat = catalog(1.0);
+        let total: f64 = cat.iter().map(|(_, t)| t.size_bytes()).sum();
+        let gb = total / (1024.0 * 1024.0 * 1024.0);
+        assert!(
+            (0.8..1.6).contains(&gb),
+            "expected ~1 GB at SF 1, got {gb:.2} GB"
+        );
+    }
+
+    #[test]
+    fn all_tables_have_clustered_pk() {
+        let cat = catalog(1.0);
+        for (_, t) in cat.iter() {
+            assert!(
+                !t.primary_key.is_empty(),
+                "table {} must have a clustered PK",
+                t.name
+            );
+        }
+    }
+
+    #[test]
+    fn date_encoding_is_monotone() {
+        assert!(date(1994, 1, 1) < date(1994, 6, 1));
+        assert!(date(1994, 12, 31) < date(1995, 1, 1));
+        assert_eq!(date(1992, 1, 1), 0);
+        assert!(date(1998, 8, 2) <= DATE_MAX);
+    }
+
+    #[test]
+    fn constants_are_interned() {
+        let cat = catalog(1.0);
+        assert!(cat.dict().code("ASIA").is_some());
+        assert!(cat.dict().code("BUILDING").is_some());
+        assert!(cat.dict().code("GERMANY").is_some());
+    }
+
+    #[test]
+    fn fk_columns_align_with_pk_domains() {
+        let cat = catalog(1.0);
+        let o_custkey = cat.resolve("orders", "o_custkey").unwrap();
+        let c_custkey = cat.resolve("customer", "c_custkey").unwrap();
+        assert_eq!(
+            cat.column(o_custkey).stats.distinct,
+            cat.column(c_custkey).stats.distinct
+        );
+    }
+}

@@ -1,0 +1,192 @@
+//! Structural tests of the TPCD workload DAGs: each query produces the
+//! join graph and sharing structure the experiments rely on.
+
+use mqo_volcano::logical::{Leaf, LogicalOp};
+use mqo_volcano::memo::Memo;
+use mqo_volcano::rules::{expand, RuleSet};
+use mqo_volcano::DagContext;
+use mqo_tpcd::{QueryFactory, QueryId};
+
+fn build_memo(queries: &[(QueryId, u8)]) -> (Memo, Vec<mqo_volcano::GroupId>) {
+    let mut ctx = DagContext::new(mqo_tpcd::schema::catalog(1.0));
+    let mut f = QueryFactory::new();
+    let plans: Vec<_> = queries
+        .iter()
+        .map(|&(q, v)| f.build(&mut ctx, q, v))
+        .collect();
+    let mut memo = Memo::new(ctx);
+    let roots: Vec<_> = plans.iter().map(|p| memo.insert_plan(p)).collect();
+    for &r in &roots {
+        memo.add_query_root(r);
+    }
+    (memo, roots)
+}
+
+/// Number of distinct base-table instances under a group.
+fn leaf_instances(memo: &Memo, g: mqo_volcano::GroupId) -> usize {
+    fn count(memo: &Memo, g: mqo_volcano::GroupId, seen: &mut std::collections::HashSet<mqo_volcano::InstanceId>) {
+        for leaf in &memo.props(g).leaves {
+            match leaf {
+                Leaf::Instance(i) => {
+                    seen.insert(*i);
+                }
+                Leaf::Agg(a) => {
+                    let a = memo.find(*a);
+                    for e in memo.group_exprs(a) {
+                        for &c in &memo.expr(e).children {
+                            count(memo, memo.find(c), seen);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut seen = std::collections::HashSet::new();
+    count(memo, g, &mut seen);
+    seen.len()
+}
+
+#[test]
+fn relation_counts_per_query() {
+    // The join-graph sizes of the simplified queries (counting distinct
+    // table instances reachable through views).
+    let expected = [
+        (QueryId::Q3, 3),
+        (QueryId::Q5, 6),
+        (QueryId::Q7, 6),
+        (QueryId::Q8, 8),
+        (QueryId::Q9, 6),
+        (QueryId::Q10, 4),
+        (QueryId::Q11, 3),
+        (QueryId::Q15, 2),
+        (QueryId::Q2, 5),
+    ];
+    for (q, n) in expected {
+        let (memo, roots) = build_memo(&[(q, 0)]);
+        assert_eq!(
+            leaf_instances(&memo, roots[0]),
+            n,
+            "{} must touch {n} table instances",
+            q.name()
+        );
+    }
+}
+
+#[test]
+fn q3_variants_share_all_but_the_segment_select() {
+    let (mut memo, roots) = build_memo(&[(QueryId::Q3, 0), (QueryId::Q3, 1)]);
+    assert_ne!(memo.find(roots[0]), memo.find(roots[1]));
+    // Before expansion the two variants already share the date-filtered
+    // orders and lineitem selections (identical constants).
+    let shared_selects = memo
+        .expr_ids()
+        .filter(|&e| {
+            matches!(memo.expr(e).op, LogicalOp::Select(_))
+                && memo.group_parents(memo.group_of(e)).len() >= 2
+        })
+        .count();
+    assert!(
+        shared_selects >= 2,
+        "date selections must be shared between the Q3 variants"
+    );
+    let _ = expand(&mut memo, &RuleSet::default());
+}
+
+#[test]
+fn q11_aggregates_share_their_join_block() {
+    let (memo, roots) = build_memo(&[(QueryId::Q11, 0)]);
+    // The top join's two children are aggregates over the same group.
+    let root_exprs: Vec<_> = memo.group_exprs(roots[0]).collect();
+    assert_eq!(root_exprs.len(), 1);
+    let top = memo.expr(root_exprs[0]);
+    assert!(matches!(top.op, LogicalOp::Join(_)));
+    let agg_children: Vec<_> = top
+        .children
+        .iter()
+        .map(|&c| {
+            let g = memo.find(c);
+            let aggs: Vec<_> = memo
+                .group_exprs(g)
+                .filter(|&e| matches!(memo.expr(e).op, LogicalOp::Aggregate(_)))
+                .collect();
+            assert_eq!(aggs.len(), 1, "each side is an aggregate view");
+            memo.find(memo.expr(aggs[0]).children[0])
+        })
+        .collect();
+    assert_eq!(
+        agg_children[0], agg_children[1],
+        "both aggregates must consume the same shared join block"
+    );
+}
+
+#[test]
+fn q15_revenue_view_used_twice() {
+    let (memo, roots) = build_memo(&[(QueryId::Q15, 0)]);
+    // Find the grouped revenue aggregate; it must have two distinct live
+    // parents (the supplier join and the scalar MAX).
+    let revenue = memo
+        .expr_ids()
+        .find_map(|e| match &memo.expr(e).op {
+            LogicalOp::Aggregate(spec) if !spec.is_scalar() => Some(memo.group_of(e)),
+            _ => None,
+        })
+        .expect("grouped revenue aggregate");
+    assert!(
+        memo.group_parents(revenue).len() >= 2,
+        "revenue view must have two consumers"
+    );
+    let _ = roots;
+}
+
+#[test]
+fn q2_decorrelated_shares_inner_block_with_main() {
+    let mut ctx = DagContext::new(mqo_tpcd::schema::catalog(1.0));
+    let mut f = QueryFactory::new();
+    let plans = f.q2_decorrelated(&mut ctx, 0);
+    let mut memo = Memo::new(ctx);
+    let roots: Vec<_> = plans.iter().map(|p| memo.insert_plan(p)).collect();
+    // The subquery root (first batch member) must be reachable from the
+    // main query (second member).
+    let reach = memo.reachable(roots[1]);
+    assert!(
+        reach.contains(&memo.find(roots[0])),
+        "the main query must reference the view query's root group"
+    );
+}
+
+#[test]
+fn variants_change_exactly_one_constant() {
+    // For every batched query, the two variants differ and unify on the
+    // non-varied subexpressions after insertion.
+    for q in QueryId::BATCH_SEQUENCE {
+        let (memo, roots) = build_memo(&[(q, 0), (q, 1)]);
+        assert_ne!(
+            memo.find(roots[0]),
+            memo.find(roots[1]),
+            "{} variants must be distinct queries",
+            q.name()
+        );
+        // At least the bare scans unify, so the memo has fewer groups than
+        // two disjoint copies would produce.
+        let reach0 = memo.reachable(roots[0]).len();
+        let reach1 = memo.reachable(roots[1]).len();
+        let total = memo.n_groups();
+        assert!(
+            total < reach0 + reach1,
+            "{}: no sharing between variants ({total} vs {reach0}+{reach1})",
+            q.name()
+        );
+    }
+}
+
+#[test]
+fn scale_factor_changes_only_statistics() {
+    let (memo1, _) = build_memo(&[(QueryId::Q5, 0)]);
+    let mut ctx = DagContext::new(mqo_tpcd::schema::catalog(100.0));
+    let mut f = QueryFactory::new();
+    let plan = f.build(&mut ctx, QueryId::Q5, 0);
+    let mut memo100 = Memo::new(ctx);
+    memo100.insert_plan(&plan);
+    assert_eq!(memo1.n_groups(), memo100.n_groups());
+    assert_eq!(memo1.n_exprs(), memo100.n_exprs());
+}

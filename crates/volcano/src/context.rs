@@ -1,0 +1,287 @@
+//! The DAG context: table instances and synthetic columns shared by every
+//! query in a batch.
+//!
+//! Cross-query common-subexpression detection requires consistent naming:
+//! the *k*-th occurrence of a table within any query maps to the same
+//! [`InstanceId`] across the whole batch, so `scan(lineitem)` in Q3 and in
+//! Q10 is literally the same equivalence node. Self-joins use distinct
+//! occurrence numbers (`nation` as `n1`/`n2` in TPCD Q7 are occurrences 0
+//! and 1).
+//!
+//! Aggregate outputs are *synthetic columns* registered here with their own
+//! statistics; two queries that reference the same aggregate subexpression
+//! share the synthetic column ids (the workload builders guarantee this, in
+//! the same way Pyro's DAG builder unifies identical subexpressions).
+
+use std::collections::HashMap;
+
+use mqo_catalog::{Catalog, ColumnStats, TableId};
+
+/// Identifies a table instance (table, occurrence) within a batch DAG.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstanceId(pub u32);
+
+/// A column reference usable in predicates: either a column of a table
+/// instance or a synthetic (aggregate-output) column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ColId {
+    /// Column `col` of table instance `inst`.
+    Base { inst: InstanceId, col: u32 },
+    /// A synthetic column registered in the [`DagContext`].
+    Synth(u32),
+}
+
+impl ColId {
+    /// Convenience constructor for synthetic columns.
+    pub fn synth(i: u32) -> Self {
+        ColId::Synth(i)
+    }
+}
+
+/// A registered table instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RelInstance {
+    pub table: TableId,
+    pub occurrence: u32,
+}
+
+/// A synthetic column (aggregate output).
+#[derive(Clone, Debug)]
+pub struct SynthCol {
+    /// Human-readable name for plan printing.
+    pub name: String,
+    /// Statistics for selectivity estimation on this column.
+    pub stats: ColumnStats,
+    /// Width in bytes.
+    pub width: u32,
+}
+
+/// Shared context for a batch of queries: catalog, table instances, and
+/// synthetic columns.
+#[derive(Debug)]
+pub struct DagContext {
+    catalog: Catalog,
+    instances: Vec<RelInstance>,
+    by_key: HashMap<(TableId, u32), InstanceId>,
+    synths: Vec<SynthCol>,
+}
+
+impl DagContext {
+    /// Creates a context over a catalog.
+    pub fn new(catalog: Catalog) -> Self {
+        DagContext {
+            catalog,
+            instances: Vec::new(),
+            by_key: HashMap::new(),
+            synths: Vec::new(),
+        }
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Registers (or reuses) the instance `(table, occurrence)`.
+    pub fn instance(&mut self, table: TableId, occurrence: u32) -> InstanceId {
+        if let Some(&id) = self.by_key.get(&(table, occurrence)) {
+            return id;
+        }
+        let id = InstanceId(self.instances.len() as u32);
+        assert!(
+            self.instances.len() < 64,
+            "at most 64 table instances per batch DAG"
+        );
+        self.instances.push(RelInstance { table, occurrence });
+        self.by_key.insert((table, occurrence), id);
+        id
+    }
+
+    /// Registers instance 0 of a table looked up by name.
+    pub fn instance_by_name(&mut self, table: &str, occurrence: u32) -> InstanceId {
+        let id = self
+            .catalog
+            .table_id(table)
+            .unwrap_or_else(|| panic!("unknown table {table:?}"));
+        self.instance(id, occurrence)
+    }
+
+    /// The instance metadata.
+    pub fn rel(&self, inst: InstanceId) -> RelInstance {
+        self.instances[inst.0 as usize]
+    }
+
+    /// Number of registered instances.
+    pub fn n_instances(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// A `Base` column id resolved by table-instance and column name.
+    pub fn col(&self, inst: InstanceId, name: &str) -> ColId {
+        let table = self.catalog.table(self.rel(inst).table);
+        let col = table
+            .column_index(name)
+            .unwrap_or_else(|| panic!("unknown column {name:?} of table {:?}", table.name));
+        ColId::Base { inst, col }
+    }
+
+    /// Registers a synthetic column, returning its id.
+    pub fn add_synth(&mut self, name: impl Into<String>, stats: ColumnStats, width: u32) -> ColId {
+        let id = self.synths.len() as u32;
+        self.synths.push(SynthCol {
+            name: name.into(),
+            stats,
+            width,
+        });
+        ColId::Synth(id)
+    }
+
+    /// Statistics of any column.
+    pub fn col_stats(&self, col: ColId) -> ColumnStats {
+        match col {
+            ColId::Base { inst, col } => {
+                let rel = self.rel(inst);
+                self.catalog
+                    .table(rel.table)
+                    .columns[col as usize]
+                    .stats
+            }
+            ColId::Synth(i) => self.synths[i as usize].stats,
+        }
+    }
+
+    /// Width in bytes of any column.
+    pub fn col_width(&self, col: ColId) -> u32 {
+        match col {
+            ColId::Base { inst, col } => {
+                let rel = self.rel(inst);
+                self.catalog.table(rel.table).columns[col as usize].width
+            }
+            ColId::Synth(i) => self.synths[i as usize].width,
+        }
+    }
+
+    /// Human-readable column name (for plan printing).
+    pub fn col_name(&self, col: ColId) -> String {
+        match col {
+            ColId::Base { inst, col } => {
+                let rel = self.rel(inst);
+                let table = self.catalog.table(rel.table);
+                if rel.occurrence == 0 {
+                    format!("{}.{}", table.name, table.columns[col as usize].name)
+                } else {
+                    format!(
+                        "{}#{}.{}",
+                        table.name, rel.occurrence, table.columns[col as usize].name
+                    )
+                }
+            }
+            ColId::Synth(i) => self.synths[i as usize].name.clone(),
+        }
+    }
+
+    /// Human-readable instance name.
+    pub fn instance_name(&self, inst: InstanceId) -> String {
+        let rel = self.rel(inst);
+        let table = self.catalog.table(rel.table);
+        if rel.occurrence == 0 {
+            table.name.clone()
+        } else {
+            format!("{}#{}", table.name, rel.occurrence)
+        }
+    }
+
+    /// Whether `col` is the leading primary-key column of its instance's
+    /// table (i.e. a clustered-index scan can apply a constraint on it).
+    pub fn is_clustered_key(&self, col: ColId) -> bool {
+        match col {
+            ColId::Base { inst, col } => {
+                let rel = self.rel(inst);
+                self.catalog.table(rel.table).clustered_on(col)
+            }
+            ColId::Synth(_) => false,
+        }
+    }
+
+    /// The sort order in which a clustered table instance is stored (its
+    /// primary-key columns), if any.
+    pub fn clustered_order(&self, inst: InstanceId) -> Vec<ColId> {
+        let rel = self.rel(inst);
+        self.catalog
+            .table(rel.table)
+            .primary_key
+            .iter()
+            .map(|&c| ColId::Base { inst, col: c })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqo_catalog::TableBuilder;
+
+    fn ctx() -> DagContext {
+        let mut cat = Catalog::new();
+        cat.add_table(
+            TableBuilder::new("nation", 25.0)
+                .key_column("n_nationkey", 4)
+                .column("n_name", 25.0, (0, 24), 25)
+                .column("n_regionkey", 5.0, (0, 4), 4)
+                .primary_key(&["n_nationkey"])
+                .build(),
+        );
+        DagContext::new(cat)
+    }
+
+    #[test]
+    fn instances_are_shared_per_occurrence() {
+        let mut ctx = ctx();
+        let a = ctx.instance_by_name("nation", 0);
+        let b = ctx.instance_by_name("nation", 0);
+        let c = ctx.instance_by_name("nation", 1);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(ctx.n_instances(), 2);
+    }
+
+    #[test]
+    fn column_resolution_and_stats() {
+        let mut ctx = ctx();
+        let n = ctx.instance_by_name("nation", 0);
+        let col = ctx.col(n, "n_regionkey");
+        assert_eq!(ctx.col_stats(col).distinct, 5.0);
+        assert_eq!(ctx.col_width(col), 4);
+        assert_eq!(ctx.col_name(col), "nation.n_regionkey");
+    }
+
+    #[test]
+    fn synthetic_columns() {
+        let mut ctx = ctx();
+        let c = ctx.add_synth("total_revenue", ColumnStats::new(10_000.0, 0, 1_000_000), 8);
+        assert_eq!(ctx.col_stats(c).distinct, 10_000.0);
+        assert_eq!(ctx.col_name(c), "total_revenue");
+        assert!(!ctx.is_clustered_key(c));
+    }
+
+    #[test]
+    fn clustered_key_detection_and_order() {
+        let mut ctx = ctx();
+        let n = ctx.instance_by_name("nation", 0);
+        let key = ctx.col(n, "n_nationkey");
+        let name = ctx.col(n, "n_name");
+        assert!(ctx.is_clustered_key(key));
+        assert!(!ctx.is_clustered_key(name));
+        assert_eq!(ctx.clustered_order(n), vec![key]);
+    }
+
+    #[test]
+    fn occurrence_names() {
+        let mut ctx = ctx();
+        let n0 = ctx.instance_by_name("nation", 0);
+        let n1 = ctx.instance_by_name("nation", 1);
+        assert_eq!(ctx.instance_name(n0), "nation");
+        assert_eq!(ctx.instance_name(n1), "nation#1");
+        assert_eq!(ctx.col_name(ctx.col(n1, "n_name")), "nation#1.n_name");
+    }
+}

@@ -1,0 +1,269 @@
+//! Cost models.
+//!
+//! The optimizer is agnostic to the cost estimates ("the cost estimator
+//! functions are taken as input to the optimizer", Section 2.2); it asks a
+//! [`CostModel`] for per-operator costs in terms of input/output *blocks*.
+//!
+//! [`DiskCostModel`] uses the paper's constants (Section 6): 4 KB blocks,
+//! 6 MB of memory per operator, 10 ms seek, 2 ms/block read, 4 ms/block
+//! write, 0.2 ms/block of CPU. [`UnitCostModel`] reproduces the illustrative
+//! costs of Example 1 (10 per scan, 100 per join, 10 per materialization
+//! write/read).
+
+/// Per-operator cost oracle. All quantities are in blocks; returned costs
+/// are in milliseconds (for the disk model) or abstract units.
+pub trait CostModel {
+    /// Block size in bytes (used to convert row counts into blocks).
+    fn block_size(&self) -> u32;
+
+    /// Full sequential scan of a base relation.
+    fn table_scan(&self, blocks: f64) -> f64;
+
+    /// Clustered-index range scan touching `matched_blocks`.
+    fn index_scan(&self, matched_blocks: f64) -> f64;
+
+    /// In-stream filter over `input_blocks` (CPU only).
+    fn filter(&self, input_blocks: f64) -> f64;
+
+    /// External merge sort of `blocks` (input arrives piped; output piped).
+    fn sort(&self, blocks: f64) -> f64;
+
+    /// Merge join of sorted streams (CPU only; sorting is paid by the
+    /// children or enforcers).
+    fn merge_join(&self, left_blocks: f64, right_blocks: f64, out_blocks: f64) -> f64;
+
+    /// Block nested-loops join. The first pass over the inner is produced
+    /// by the inner's plan (already costed); if more passes are needed the
+    /// inner is spooled and re-read.
+    fn nl_join(&self, outer_blocks: f64, inner_blocks: f64, out_blocks: f64) -> f64;
+
+    /// Sort-based aggregation over a sorted input stream.
+    fn sort_agg(&self, input_blocks: f64, out_blocks: f64) -> f64;
+
+    /// Ungrouped (scalar) aggregation.
+    fn scalar_agg(&self, input_blocks: f64) -> f64;
+
+    /// Writing a materialized result sequentially (Section 6: "the
+    /// materialization cost is the cost of writing out the results
+    /// sequentially").
+    fn materialize_write(&self, blocks: f64) -> f64;
+
+    /// Re-reading a materialized result.
+    fn materialize_read(&self, blocks: f64) -> f64;
+}
+
+/// The paper's resource-consumption model.
+#[derive(Clone, Copy, Debug)]
+pub struct DiskCostModel {
+    /// Block size in bytes (4 KB in the paper).
+    pub block_size: u32,
+    /// Memory per operator, in blocks (6 MB in the paper).
+    pub memory_blocks: f64,
+    /// Seek time per random access, ms.
+    pub seek_ms: f64,
+    /// Transfer time per block read, ms.
+    pub read_ms: f64,
+    /// Transfer time per block write, ms.
+    pub write_ms: f64,
+    /// CPU cost per block processed, ms.
+    pub cpu_ms: f64,
+}
+
+impl DiskCostModel {
+    /// The configuration of Section 6: 4 KB blocks, 6 MB per operator,
+    /// 10 ms seek, 2 ms/block read, 4 ms/block write, 0.2 ms/block CPU.
+    pub fn paper() -> Self {
+        DiskCostModel {
+            block_size: 4096,
+            memory_blocks: (6 * 1024 * 1024 / 4096) as f64, // 1536 blocks
+            seek_ms: 10.0,
+            read_ms: 2.0,
+            write_ms: 4.0,
+            cpu_ms: 0.2,
+        }
+    }
+
+    /// The paper's alternative 128 MB-per-operator configuration.
+    pub fn paper_128mb() -> Self {
+        DiskCostModel {
+            memory_blocks: (128usize * 1024 * 1024 / 4096) as f64,
+            ..Self::paper()
+        }
+    }
+
+    fn read_seq(&self, blocks: f64) -> f64 {
+        self.seek_ms + blocks * self.read_ms
+    }
+
+    fn write_seq(&self, blocks: f64) -> f64 {
+        self.seek_ms + blocks * self.write_ms
+    }
+}
+
+impl CostModel for DiskCostModel {
+    fn block_size(&self) -> u32 {
+        self.block_size
+    }
+
+    fn table_scan(&self, blocks: f64) -> f64 {
+        self.read_seq(blocks) + blocks * self.cpu_ms
+    }
+
+    fn index_scan(&self, matched_blocks: f64) -> f64 {
+        self.read_seq(matched_blocks) + matched_blocks * self.cpu_ms
+    }
+
+    fn filter(&self, input_blocks: f64) -> f64 {
+        input_blocks * self.cpu_ms
+    }
+
+    fn sort(&self, blocks: f64) -> f64 {
+        let m = self.memory_blocks.max(3.0);
+        if blocks <= m {
+            // In-memory sort, pipelined.
+            return blocks * self.cpu_ms;
+        }
+        let runs = (blocks / m).ceil();
+        let merge_passes = (runs.ln() / (m - 1.0).ln()).ceil().max(1.0);
+        // Run formation write + per-pass read/write + final pass read-only
+        // (output piped to the consumer).
+        let io = self.write_seq(blocks)
+            + (merge_passes - 1.0) * (self.read_seq(blocks) + self.write_seq(blocks))
+            + self.read_seq(blocks);
+        io + (merge_passes + 1.0) * blocks * self.cpu_ms
+    }
+
+    fn merge_join(&self, left_blocks: f64, right_blocks: f64, out_blocks: f64) -> f64 {
+        (left_blocks + right_blocks + out_blocks) * self.cpu_ms
+    }
+
+    fn nl_join(&self, outer_blocks: f64, inner_blocks: f64, out_blocks: f64) -> f64 {
+        let m = (self.memory_blocks - 2.0).max(1.0);
+        let passes = (outer_blocks / m).ceil().max(1.0);
+        let respool = if passes > 1.0 {
+            self.write_seq(inner_blocks) + (passes - 1.0) * self.read_seq(inner_blocks)
+        } else {
+            0.0
+        };
+        respool + (outer_blocks + passes * inner_blocks + out_blocks) * self.cpu_ms
+    }
+
+    fn sort_agg(&self, input_blocks: f64, out_blocks: f64) -> f64 {
+        (input_blocks + out_blocks) * self.cpu_ms
+    }
+
+    fn scalar_agg(&self, input_blocks: f64) -> f64 {
+        input_blocks * self.cpu_ms
+    }
+
+    fn materialize_write(&self, blocks: f64) -> f64 {
+        self.write_seq(blocks)
+    }
+
+    fn materialize_read(&self, blocks: f64) -> f64 {
+        self.read_seq(blocks) + blocks * self.cpu_ms
+    }
+}
+
+/// The illustrative model of Example 1: every base-relation access costs 10,
+/// every join costs 100, materializing costs 10 to write and 10 per re-read.
+/// Everything else is free. Result sizes are ignored.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UnitCostModel;
+
+impl CostModel for UnitCostModel {
+    fn block_size(&self) -> u32 {
+        4096
+    }
+    fn table_scan(&self, _blocks: f64) -> f64 {
+        10.0
+    }
+    fn index_scan(&self, _blocks: f64) -> f64 {
+        10.0
+    }
+    fn filter(&self, _blocks: f64) -> f64 {
+        0.0
+    }
+    fn sort(&self, _blocks: f64) -> f64 {
+        0.0
+    }
+    fn merge_join(&self, _l: f64, _r: f64, _o: f64) -> f64 {
+        100.0
+    }
+    fn nl_join(&self, _outer: f64, _inner: f64, _o: f64) -> f64 {
+        100.0
+    }
+    fn sort_agg(&self, _i: f64, _o: f64) -> f64 {
+        0.0
+    }
+    fn scalar_agg(&self, _i: f64) -> f64 {
+        0.0
+    }
+    fn materialize_write(&self, _blocks: f64) -> f64 {
+        10.0
+    }
+    fn materialize_read(&self, _blocks: f64) -> f64 {
+        10.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let m = DiskCostModel::paper();
+        assert_eq!(m.block_size(), 4096);
+        assert_eq!(m.memory_blocks, 1536.0);
+        // Scan of 100 blocks: 10 + 100*2 + 100*0.2 = 230 ms.
+        assert!((m.table_scan(100.0) - 230.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sort_in_memory_vs_external() {
+        let m = DiskCostModel::paper();
+        // 1000 blocks fit in 1536: CPU only.
+        assert!((m.sort(1000.0) - 200.0).abs() < 1e-9);
+        // 10_000 blocks: 7 runs, 1 merge pass.
+        let c = m.sort(10_000.0);
+        let expect = (10.0 + 10_000.0 * 4.0) // run formation write
+            + (10.0 + 10_000.0 * 2.0)        // final merge read
+            + 2.0 * 10_000.0 * 0.2; // cpu
+        assert!((c - expect).abs() < 1e-9, "{c} vs {expect}");
+        // Sorting more blocks costs more.
+        assert!(m.sort(20_000.0) > c);
+    }
+
+    #[test]
+    fn nl_join_respools_inner() {
+        let m = DiskCostModel::paper();
+        // Outer fits in memory: no respool.
+        let small = m.nl_join(100.0, 50.0, 10.0);
+        assert!((small - (100.0 + 50.0 + 10.0) * 0.2).abs() < 1e-9);
+        // Outer needs 2 passes: inner written once, re-read once.
+        let big = m.nl_join(3000.0, 50.0, 10.0);
+        let expect = (10.0 + 50.0 * 4.0) + (10.0 + 50.0 * 2.0)
+            + (3000.0 + 2.0 * 50.0 + 10.0) * 0.2;
+        assert!((big - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unit_model_matches_example1_numbers() {
+        let m = UnitCostModel;
+        assert_eq!(m.table_scan(12345.0), 10.0);
+        assert_eq!(m.nl_join(1.0, 1.0, 1.0), 100.0);
+        assert_eq!(m.materialize_write(9.0), 10.0);
+        assert_eq!(m.materialize_read(9.0), 10.0);
+    }
+
+    #[test]
+    fn costs_monotone_in_blocks() {
+        let m = DiskCostModel::paper();
+        for b in [1.0, 10.0, 100.0, 1000.0, 100_000.0] {
+            assert!(m.table_scan(b * 2.0) > m.table_scan(b));
+            assert!(m.sort(b * 2.0) >= m.sort(b));
+            assert!(m.materialize_write(b) > 0.0);
+        }
+    }
+}

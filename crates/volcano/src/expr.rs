@@ -1,0 +1,399 @@
+//! Scalar predicates over `i64`-encoded domains.
+//!
+//! Predicates are conjunctions, normalized into per-column [`Constraint`]s
+//! plus a set of equi-join atoms. Normalization is what keeps group
+//! cardinalities consistent across alternative derivations: the subsumption
+//! path `σ_{a=5}(σ_{a∈{5,10}}(R))` normalizes to the same constraint set as
+//! the direct `σ_{a=5}(R)`, so both land in the same equivalence class with
+//! the same estimated cardinality.
+
+use std::collections::BTreeMap;
+
+use mqo_catalog::ColumnStats;
+
+use crate::context::ColId;
+
+/// A per-column constraint: an optional IN-list (equality is a 1-element
+/// list) and optional inclusive bounds. Semantics: conjunction of all parts.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Constraint {
+    /// `col IN {values}` — sorted, deduplicated. `Some(vec![])` means
+    /// unsatisfiable.
+    pub in_list: Option<Vec<i64>>,
+    /// Lower bound: `col >= lo`.
+    pub lo: Option<i64>,
+    /// Upper bound: `col <= hi`.
+    pub hi: Option<i64>,
+}
+
+impl Constraint {
+    /// `col = v`.
+    pub fn eq(v: i64) -> Self {
+        Constraint {
+            in_list: Some(vec![v]),
+            lo: None,
+            hi: None,
+        }
+    }
+
+    /// `col IN {vs}`.
+    pub fn in_list(mut vs: Vec<i64>) -> Self {
+        vs.sort_unstable();
+        vs.dedup();
+        Constraint {
+            in_list: Some(vs),
+            lo: None,
+            hi: None,
+        }
+    }
+
+    /// `lo <= col <= hi` (either side optional).
+    pub fn range(lo: Option<i64>, hi: Option<i64>) -> Self {
+        Constraint {
+            in_list: None,
+            lo,
+            hi,
+        }
+    }
+
+    /// `col >= v`.
+    pub fn ge(v: i64) -> Self {
+        Self::range(Some(v), None)
+    }
+
+    /// `col <= v`.
+    pub fn le(v: i64) -> Self {
+        Self::range(None, Some(v))
+    }
+
+    /// Conjunction of two constraints on the same column, normalized.
+    pub fn intersect(&self, other: &Self) -> Self {
+        let lo = match (self.lo, other.lo) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        let hi = match (self.hi, other.hi) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let in_list = match (&self.in_list, &other.in_list) {
+            (Some(a), Some(b)) => {
+                let mut out: Vec<i64> = a.iter().filter(|v| b.contains(v)).copied().collect();
+                out.dedup();
+                Some(out)
+            }
+            (Some(a), None) => Some(a.clone()),
+            (None, Some(b)) => Some(b.clone()),
+            (None, None) => None,
+        };
+        Constraint { in_list, lo, hi }.normalized()
+    }
+
+    /// Disjunctive hull: the loosest constraint implied by `self OR other`
+    /// (used to build subsumer nodes; a superset of the union is fine, the
+    /// consumer re-applies its own predicate).
+    pub fn hull(&self, other: &Self) -> Self {
+        match (&self.in_list, &other.in_list) {
+            (Some(a), Some(b)) if self.lo.is_none() && self.hi.is_none()
+                && other.lo.is_none() && other.hi.is_none() =>
+            {
+                let mut vs = a.clone();
+                vs.extend_from_slice(b);
+                Constraint::in_list(vs)
+            }
+            _ => {
+                // Fall back to an interval hull.
+                let (slo, shi) = self.as_interval();
+                let (olo, ohi) = other.as_interval();
+                let lo = match (slo, olo) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    _ => None,
+                };
+                let hi = match (shi, ohi) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    _ => None,
+                };
+                Constraint::range(lo, hi)
+            }
+        }
+    }
+
+    /// The interval this constraint fits in.
+    fn as_interval(&self) -> (Option<i64>, Option<i64>) {
+        match &self.in_list {
+            Some(vs) if !vs.is_empty() => (Some(vs[0]), Some(*vs.last().expect("non-empty"))),
+            Some(_) => (Some(0), Some(-1)), // unsatisfiable: empty interval
+            None => (self.lo, self.hi),
+        }
+    }
+
+    /// Folds bounds into the IN-list (if any) and detects unsatisfiability.
+    pub fn normalized(mut self) -> Self {
+        if let Some(vs) = &mut self.in_list {
+            vs.retain(|v| self.lo.is_none_or(|lo| *v >= lo) && self.hi.is_none_or(|hi| *v <= hi));
+            self.lo = None;
+            self.hi = None;
+        }
+        self
+    }
+
+    /// Whether the constraint admits no values.
+    pub fn is_unsatisfiable(&self) -> bool {
+        match &self.in_list {
+            Some(vs) => vs.is_empty(),
+            None => matches!((self.lo, self.hi), (Some(lo), Some(hi)) if lo > hi),
+        }
+    }
+
+    /// Whether `self` implies `other` (every value satisfying `self`
+    /// satisfies `other`). Conservative: may return `false` on hard cases.
+    pub fn implies(&self, other: &Self) -> bool {
+        match (&self.in_list, &other.in_list) {
+            (Some(a), Some(b)) => a.iter().all(|v| b.contains(v)),
+            (Some(a), None) => {
+                a.iter().all(|v| {
+                    other.lo.is_none_or(|lo| *v >= lo) && other.hi.is_none_or(|hi| *v <= hi)
+                })
+            }
+            (None, Some(_)) => false,
+            (None, None) => {
+                other.lo.is_none_or(|olo| self.lo.is_some_and(|slo| slo >= olo))
+                    && other.hi.is_none_or(|ohi| self.hi.is_some_and(|shi| shi <= ohi))
+            }
+        }
+    }
+
+    /// Selectivity under the uniform model given the column's base stats.
+    pub fn selectivity(&self, stats: &ColumnStats) -> f64 {
+        if self.is_unsatisfiable() {
+            return 0.0;
+        }
+        match &self.in_list {
+            Some(vs) => stats.in_selectivity(vs),
+            None => {
+                let lo_sel = match self.lo {
+                    // col >= v  ≡  col > v-1 over integer domains.
+                    Some(v) => stats.gt_selectivity(v - 1),
+                    None => 1.0,
+                };
+                let hi_sel = match self.hi {
+                    Some(v) => stats.lt_selectivity(v + 1),
+                    None => 1.0,
+                };
+                // Overlap of the two half-ranges.
+                (lo_sel + hi_sel - 1.0).clamp(0.0, 1.0)
+            }
+        }
+    }
+}
+
+/// A normalized conjunction: per-column constraints plus equi-join pairs.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct Predicate {
+    /// Per-column constraints (normalized).
+    pub constraints: BTreeMap<ColId, Constraint>,
+    /// Equi-join atoms `left = right`, stored with `left < right`.
+    pub equi: Vec<(ColId, ColId)>,
+}
+
+impl Predicate {
+    /// The empty (always-true) predicate.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A single-column predicate.
+    pub fn on(col: ColId, c: Constraint) -> Self {
+        let mut p = Self::default();
+        p.add_constraint(col, c);
+        p
+    }
+
+    /// A single equi-join predicate.
+    pub fn join(a: ColId, b: ColId) -> Self {
+        let mut p = Self::default();
+        p.add_equi(a, b);
+        p
+    }
+
+    /// Conjoins a per-column constraint.
+    pub fn add_constraint(&mut self, col: ColId, c: Constraint) {
+        let entry = self
+            .constraints
+            .entry(col)
+            .or_default();
+        *entry = if *entry == Constraint::default() {
+            c.normalized()
+        } else {
+            entry.intersect(&c)
+        };
+    }
+
+    /// Conjoins an equi-join atom (canonicalized, deduplicated).
+    pub fn add_equi(&mut self, a: ColId, b: ColId) {
+        assert_ne!(a, b, "equi-join atom must relate distinct columns");
+        let pair = if a < b { (a, b) } else { (b, a) };
+        if let Err(pos) = self.equi.binary_search(&pair) {
+            self.equi.insert(pos, pair);
+        }
+    }
+
+    /// Conjunction of two predicates, normalized.
+    pub fn and(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        for (col, c) in &other.constraints {
+            out.add_constraint(*col, c.clone());
+        }
+        for &(a, b) in &other.equi {
+            out.add_equi(a, b);
+        }
+        out
+    }
+
+    /// Whether this predicate has no atoms.
+    pub fn is_trivial(&self) -> bool {
+        self.constraints.is_empty() && self.equi.is_empty()
+    }
+
+    /// Whether any constraint is unsatisfiable.
+    pub fn is_unsatisfiable(&self) -> bool {
+        self.constraints.values().any(Constraint::is_unsatisfiable)
+    }
+
+    /// All columns mentioned.
+    pub fn columns(&self) -> impl Iterator<Item = ColId> + '_ {
+        self.constraints
+            .keys()
+            .copied()
+            .chain(self.equi.iter().flat_map(|&(a, b)| [a, b]))
+    }
+
+    /// The atoms of `self` not already implied by `applied`: the residual a
+    /// consumer must still apply after reading a subsumer node.
+    pub fn residual_after(&self, applied: &Predicate) -> Predicate {
+        let mut out = Predicate::default();
+        for (col, c) in &self.constraints {
+            match applied.constraints.get(col) {
+                Some(ac) if ac.implies(c) => {}
+                _ => out.add_constraint(*col, c.clone()),
+            }
+        }
+        for &(a, b) in &self.equi {
+            if !applied.equi.contains(&(a, b)) {
+                out.add_equi(a, b);
+            }
+        }
+        out
+    }
+
+    /// Whether `self` implies `other` column-by-column.
+    pub fn implies(&self, other: &Predicate) -> bool {
+        other.constraints.iter().all(|(col, oc)| {
+            self.constraints
+                .get(col)
+                .is_some_and(|sc| sc.implies(oc))
+        }) && other.equi.iter().all(|pair| self.equi.contains(pair))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ColId;
+
+    fn col(i: u32) -> ColId {
+        ColId::synth(i)
+    }
+
+    #[test]
+    fn constraint_eq_and_range_selectivity() {
+        let stats = ColumnStats::new(100.0, 0, 999);
+        assert!((Constraint::eq(5).selectivity(&stats) - 0.01).abs() < 1e-12);
+        let r = Constraint::range(Some(0), Some(499));
+        assert!((r.selectivity(&stats) - 0.5).abs() < 0.01);
+        let half_open = Constraint::ge(500);
+        assert!((half_open.selectivity(&stats) - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn constraint_intersection() {
+        let a = Constraint::range(Some(0), Some(100));
+        let b = Constraint::range(Some(50), Some(200));
+        let i = a.intersect(&b);
+        assert_eq!(i.lo, Some(50));
+        assert_eq!(i.hi, Some(100));
+
+        let e = Constraint::in_list(vec![10, 60, 150]);
+        let j = e.intersect(&i);
+        assert_eq!(j.in_list, Some(vec![60]));
+    }
+
+    #[test]
+    fn constraint_unsat() {
+        let a = Constraint::eq(5).intersect(&Constraint::eq(7));
+        assert!(a.is_unsatisfiable());
+        let b = Constraint::range(Some(10), Some(5));
+        assert!(b.is_unsatisfiable());
+    }
+
+    #[test]
+    fn constraint_hull_of_eqs_is_in_list() {
+        let h = Constraint::eq(5).hull(&Constraint::eq(9));
+        assert_eq!(h.in_list, Some(vec![5, 9]));
+    }
+
+    #[test]
+    fn constraint_hull_of_ranges_is_interval_hull() {
+        let a = Constraint::range(Some(0), Some(10));
+        let b = Constraint::range(Some(20), Some(30));
+        let h = a.hull(&b);
+        assert_eq!((h.lo, h.hi), (Some(0), Some(30)));
+    }
+
+    #[test]
+    fn implication() {
+        assert!(Constraint::eq(5).implies(&Constraint::in_list(vec![5, 9])));
+        assert!(!Constraint::in_list(vec![5, 9]).implies(&Constraint::eq(5)));
+        assert!(Constraint::range(Some(5), Some(7)).implies(&Constraint::range(Some(0), Some(10))));
+        assert!(!Constraint::range(Some(0), Some(10)).implies(&Constraint::range(Some(5), Some(7))));
+        assert!(Constraint::eq(5).implies(&Constraint::range(Some(0), Some(10))));
+    }
+
+    #[test]
+    fn predicate_and_normalizes_same_column() {
+        let p1 = Predicate::on(col(0), Constraint::range(None, Some(10)));
+        let p2 = Predicate::on(col(0), Constraint::range(None, Some(5)));
+        let conj = p1.and(&p2);
+        assert_eq!(conj.constraints[&col(0)].hi, Some(5));
+        assert_eq!(conj.constraints.len(), 1);
+    }
+
+    #[test]
+    fn predicate_residual() {
+        // Reader predicate a=5 over subsumer a IN {5, 9}: residual keeps a=5.
+        let reader = Predicate::on(col(0), Constraint::eq(5));
+        let subsumer = Predicate::on(col(0), Constraint::in_list(vec![5, 9]));
+        let residual = reader.residual_after(&subsumer);
+        assert_eq!(residual.constraints[&col(0)], Constraint::eq(5));
+        // Reader a<=10 over subsumer a<=10: nothing left.
+        let r2 = Predicate::on(col(0), Constraint::le(10));
+        assert!(r2.residual_after(&r2).is_trivial());
+    }
+
+    #[test]
+    fn equi_atoms_canonicalized() {
+        let mut p = Predicate::none();
+        p.add_equi(col(3), col(1));
+        p.add_equi(col(1), col(3));
+        assert_eq!(p.equi, vec![(col(1), col(3))]);
+    }
+
+    #[test]
+    fn predicate_implies() {
+        let tight = Predicate::on(col(0), Constraint::eq(5))
+            .and(&Predicate::join(col(1), col(2)));
+        let loose = Predicate::on(col(0), Constraint::in_list(vec![5, 6]));
+        assert!(tight.implies(&loose));
+        assert!(!loose.implies(&tight));
+    }
+}

@@ -1,0 +1,476 @@
+//! Logical operators, plan trees, and logical properties of equivalence
+//! nodes.
+//!
+//! Logical properties (leaf multiset, applied predicate, cardinality, row
+//! width) are *group-consistent by construction*: cardinality is computed
+//! from the multiset of leaf inputs and the normalized set of applied
+//! predicate atoms, both of which are invariant under join reordering and
+//! predicate push-down/subsumption rewrites. Alternative expressions of the
+//! same result therefore always agree on the estimate.
+
+use crate::context::{ColId, DagContext, InstanceId};
+use crate::expr::Predicate;
+use crate::memo::GroupId;
+
+/// Aggregate functions. All but `Avg` are decomposable (an aggregate over a
+/// finer grouping can be re-aggregated to a coarser one), which is what the
+/// aggregate-subsumption rule exploits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AggFunc {
+    Sum,
+    Min,
+    Max,
+    Count,
+    Avg,
+}
+
+impl AggFunc {
+    /// The function used to re-aggregate partial results of `self`, if
+    /// decomposable.
+    pub fn reaggregate(self) -> Option<AggFunc> {
+        match self {
+            AggFunc::Sum => Some(AggFunc::Sum),
+            AggFunc::Min => Some(AggFunc::Min),
+            AggFunc::Max => Some(AggFunc::Max),
+            AggFunc::Count => Some(AggFunc::Sum),
+            AggFunc::Avg => None,
+        }
+    }
+}
+
+/// One aggregate call: `output := func(input)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AggCall {
+    pub func: AggFunc,
+    pub input: ColId,
+    /// The synthetic column holding the result (registered in the
+    /// [`DagContext`]). Shared subexpressions must share output columns.
+    pub output: ColId,
+}
+
+/// An aggregation: `GROUP BY group_by` computing `aggs`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct AggSpec {
+    /// Grouping columns, canonically sorted.
+    pub group_by: Vec<ColId>,
+    /// Aggregate calls, canonically sorted by output column.
+    pub aggs: Vec<AggCall>,
+}
+
+impl AggSpec {
+    /// Builds a spec with canonical ordering.
+    pub fn new(mut group_by: Vec<ColId>, mut aggs: Vec<AggCall>) -> Self {
+        group_by.sort_unstable();
+        group_by.dedup();
+        aggs.sort_unstable_by_key(|a| a.output);
+        AggSpec { group_by, aggs }
+    }
+
+    /// Whether this is a scalar (ungrouped) aggregate.
+    pub fn is_scalar(&self) -> bool {
+        self.group_by.is_empty()
+    }
+}
+
+/// A logical operator. Join children are stored in canonical order in the
+/// memo (commutativity is implicit; physical implementations consider both
+/// orientations).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum LogicalOp {
+    /// Scan of a base-table instance.
+    Scan(InstanceId),
+    /// Selection; one child.
+    Select(Predicate),
+    /// Inner join; two children. The predicate holds the atoms introduced
+    /// *at this join* (atoms applied below live in the children).
+    Join(Predicate),
+    /// Aggregation; one child.
+    Aggregate(AggSpec),
+    /// The dummy batch root (Section 2.2): "a dummy operation node, which
+    /// does nothing, but has the root equivalence nodes of all the queries
+    /// as its inputs". Arbitrarily many children.
+    Root,
+}
+
+impl LogicalOp {
+    /// Number of children the operator expects (`None` = variadic).
+    pub fn arity(&self) -> Option<usize> {
+        match self {
+            LogicalOp::Scan(_) => Some(0),
+            LogicalOp::Select(_) | LogicalOp::Aggregate(_) => Some(1),
+            LogicalOp::Join(_) => Some(2),
+            LogicalOp::Root => None,
+        }
+    }
+}
+
+/// A leaf input of an SPJ region: either a base-table instance or the output
+/// of an aggregate group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Leaf {
+    Instance(InstanceId),
+    Agg(GroupId),
+}
+
+/// Logical properties of an equivalence node.
+#[derive(Clone, Debug)]
+pub struct LogicalProps {
+    /// Sorted multiset of leaf inputs.
+    pub leaves: Vec<Leaf>,
+    /// Normalized conjunction of all predicate atoms applied within this SPJ
+    /// region (empty for aggregate/root groups).
+    pub applied: Predicate,
+    /// Estimated output cardinality.
+    pub rows: f64,
+    /// Estimated output row width in bytes.
+    pub width: u32,
+}
+
+impl LogicalProps {
+    /// Output size in blocks of `block_size` bytes (at least 1 when rows>0).
+    pub fn blocks(&self, block_size: u32) -> f64 {
+        if self.rows <= 0.0 {
+            // Even an empty result costs one block to touch.
+            return 1.0;
+        }
+        ((self.rows * f64::from(self.width)) / f64::from(block_size))
+            .ceil()
+            .max(1.0)
+    }
+
+    /// Whether this group's output exposes `col` (so a predicate on it can
+    /// be evaluated here). `producer` resolves a synthetic column to the
+    /// aggregate group producing it.
+    pub fn covers(&self, col: ColId, producer: impl Fn(ColId) -> Option<GroupId>) -> bool {
+        match col {
+            ColId::Base { inst, .. } => self.leaves.contains(&Leaf::Instance(inst)),
+            ColId::Synth(_) => producer(col)
+                .map(|g| self.leaves.contains(&Leaf::Agg(g)))
+                .unwrap_or(false),
+        }
+    }
+}
+
+/// Total selectivity of a normalized predicate, under attribute
+/// independence: product of per-column constraint selectivities times
+/// `1/max(V(a), V(b))` per equi-join atom.
+pub fn predicate_selectivity(pred: &Predicate, ctx: &DagContext) -> f64 {
+    let mut sel = 1.0;
+    for (col, c) in &pred.constraints {
+        sel *= c.selectivity(&ctx.col_stats(*col));
+    }
+    for &(a, b) in &pred.equi {
+        let va = ctx.col_stats(a).distinct;
+        let vb = ctx.col_stats(b).distinct;
+        sel *= 1.0 / va.max(vb).max(1.0);
+    }
+    sel
+}
+
+/// Computes the properties of a non-aggregate operator applied to resolved
+/// child properties. `leaf_rows` resolves an aggregate leaf group to its
+/// cardinality.
+pub fn compute_props(
+    op: &LogicalOp,
+    children: &[&LogicalProps],
+    ctx: &DagContext,
+    leaf_rows: impl Fn(GroupId) -> f64,
+    leaf_width: impl Fn(GroupId) -> u32,
+) -> LogicalProps {
+    match op {
+        LogicalOp::Scan(inst) => {
+            let table = ctx.catalog().table(ctx.rel(*inst).table);
+            LogicalProps {
+                leaves: vec![Leaf::Instance(*inst)],
+                applied: Predicate::none(),
+                rows: table.rows,
+                width: table.tuple_width(),
+            }
+        }
+        LogicalOp::Select(p) => {
+            let child = children[0];
+            let applied = child.applied.and(p);
+            spj_props(child.leaves.clone(), applied, ctx, leaf_rows, leaf_width)
+        }
+        LogicalOp::Join(p) => {
+            let (l, r) = (children[0], children[1]);
+            let mut leaves = l.leaves.clone();
+            leaves.extend_from_slice(&r.leaves);
+            leaves.sort_unstable();
+            let applied = l.applied.and(&r.applied).and(p);
+            spj_props(leaves, applied, ctx, leaf_rows, leaf_width)
+        }
+        LogicalOp::Aggregate(spec) => {
+            let child = children[0];
+            let rows = aggregate_rows(spec, child.rows, ctx);
+            let width = aggregate_width(spec, ctx);
+            // The leaf entry (Agg(self)) is patched in by the memo once the
+            // group id is known.
+            LogicalProps {
+                leaves: Vec::new(),
+                applied: Predicate::none(),
+                rows,
+                width,
+            }
+        }
+        LogicalOp::Root => LogicalProps {
+            leaves: Vec::new(),
+            applied: Predicate::none(),
+            rows: 0.0,
+            width: 0,
+        },
+    }
+}
+
+/// Properties of an SPJ region from its leaf multiset and the normalized
+/// applied predicate: `rows = Π leaf rows × Π atom selectivities`.
+fn spj_props(
+    leaves: Vec<Leaf>,
+    applied: Predicate,
+    ctx: &DagContext,
+    leaf_rows: impl Fn(GroupId) -> f64,
+    leaf_width: impl Fn(GroupId) -> u32,
+) -> LogicalProps {
+    let mut rows = 1.0;
+    let mut width = 0u32;
+    for leaf in &leaves {
+        match leaf {
+            Leaf::Instance(i) => {
+                let table = ctx.catalog().table(ctx.rel(*i).table);
+                rows *= table.rows;
+                width += table.tuple_width();
+            }
+            Leaf::Agg(g) => {
+                rows *= leaf_rows(*g);
+                width += leaf_width(*g);
+            }
+        }
+    }
+    rows *= predicate_selectivity(&applied, ctx);
+    LogicalProps {
+        leaves,
+        applied,
+        rows,
+        width,
+    }
+}
+
+/// Cardinality of an aggregation: `min(input, Π_g min(V(g), input))`; 1 for
+/// scalar aggregates.
+fn aggregate_rows(spec: &AggSpec, input_rows: f64, ctx: &DagContext) -> f64 {
+    if spec.is_scalar() {
+        return 1.0;
+    }
+    let mut groups = 1.0f64;
+    for g in &spec.group_by {
+        groups *= ctx.col_stats(*g).distinct.min(input_rows.max(1.0));
+        groups = groups.min(input_rows.max(1.0));
+    }
+    groups.min(input_rows.max(1.0))
+}
+
+/// Output width of an aggregation: group columns plus aggregate outputs.
+fn aggregate_width(spec: &AggSpec, ctx: &DagContext) -> u32 {
+    spec.group_by
+        .iter()
+        .map(|c| ctx.col_width(*c))
+        .sum::<u32>()
+        + spec
+            .aggs
+            .iter()
+            .map(|a| ctx.col_width(a.output))
+            .sum::<u32>()
+}
+
+/// A logical plan tree, built by workload code and inserted into the memo.
+#[derive(Clone, Debug)]
+pub enum PlanNode {
+    Scan {
+        inst: InstanceId,
+    },
+    Select {
+        pred: Predicate,
+        input: Box<PlanNode>,
+    },
+    Join {
+        pred: Predicate,
+        left: Box<PlanNode>,
+        right: Box<PlanNode>,
+    },
+    Aggregate {
+        spec: AggSpec,
+        input: Box<PlanNode>,
+    },
+}
+
+impl PlanNode {
+    /// Leaf scan.
+    pub fn scan(inst: InstanceId) -> Self {
+        PlanNode::Scan { inst }
+    }
+
+    /// Wraps `self` in a selection (no-op for trivial predicates).
+    pub fn select(self, pred: Predicate) -> Self {
+        if pred.is_trivial() {
+            return self;
+        }
+        PlanNode::Select {
+            pred,
+            input: Box::new(self),
+        }
+    }
+
+    /// Joins `self` with `other`.
+    pub fn join(self, other: PlanNode, pred: Predicate) -> Self {
+        PlanNode::Join {
+            pred,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// Aggregates `self`.
+    pub fn aggregate(self, spec: AggSpec) -> Self {
+        PlanNode::Aggregate {
+            spec,
+            input: Box::new(self),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Constraint;
+    use mqo_catalog::{Catalog, TableBuilder};
+
+    fn ctx() -> DagContext {
+        let mut cat = Catalog::new();
+        cat.add_table(
+            TableBuilder::new("r", 1000.0)
+                .key_column("r_key", 4)
+                .column("r_a", 10.0, (0, 9), 4)
+                .primary_key(&["r_key"])
+                .build(),
+        );
+        cat.add_table(
+            TableBuilder::new("s", 500.0)
+                .key_column("s_key", 4)
+                .column("s_rkey", 1000.0, (0, 999), 4)
+                .primary_key(&["s_key"])
+                .build(),
+        );
+        DagContext::new(cat)
+    }
+
+    #[test]
+    fn scan_props() {
+        let mut ctx = ctx();
+        let r = ctx.instance_by_name("r", 0);
+        let p = compute_props(&LogicalOp::Scan(r), &[], &ctx, |_| 0.0, |_| 0);
+        assert_eq!(p.rows, 1000.0);
+        assert_eq!(p.width, 8);
+        assert_eq!(p.leaves, vec![Leaf::Instance(r)]);
+    }
+
+    #[test]
+    fn select_props_multiply_selectivity() {
+        let mut ctx = ctx();
+        let r = ctx.instance_by_name("r", 0);
+        let scan = compute_props(&LogicalOp::Scan(r), &[], &ctx, |_| 0.0, |_| 0);
+        let pred = Predicate::on(ctx.col(r, "r_a"), Constraint::eq(3));
+        let sel = compute_props(&LogicalOp::Select(pred), &[&scan], &ctx, |_| 0.0, |_| 0);
+        assert!((sel.rows - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nested_selects_agree_with_direct() {
+        // σ_{a=3}(σ_{a∈{3,5}}(R)) must estimate like σ_{a=3}(R): the applied
+        // predicate normalizes identically.
+        let mut ctx = ctx();
+        let r = ctx.instance_by_name("r", 0);
+        let a = ctx.col(r, "r_a");
+        let scan = compute_props(&LogicalOp::Scan(r), &[], &ctx, |_| 0.0, |_| 0);
+        let wide = compute_props(
+            &LogicalOp::Select(Predicate::on(a, Constraint::in_list(vec![3, 5]))),
+            &[&scan],
+            &ctx,
+            |_| 0.0,
+            |_| 0,
+        );
+        let narrow_via_wide = compute_props(
+            &LogicalOp::Select(Predicate::on(a, Constraint::eq(3))),
+            &[&wide],
+            &ctx,
+            |_| 0.0,
+            |_| 0,
+        );
+        let narrow_direct = compute_props(
+            &LogicalOp::Select(Predicate::on(a, Constraint::eq(3))),
+            &[&scan],
+            &ctx,
+            |_| 0.0,
+            |_| 0,
+        );
+        assert!((narrow_via_wide.rows - narrow_direct.rows).abs() < 1e-9);
+        assert_eq!(narrow_via_wide.applied, narrow_direct.applied);
+    }
+
+    #[test]
+    fn join_props_use_fk_selectivity() {
+        let mut ctx = ctx();
+        let r = ctx.instance_by_name("r", 0);
+        let s = ctx.instance_by_name("s", 0);
+        let scan_r = compute_props(&LogicalOp::Scan(r), &[], &ctx, |_| 0.0, |_| 0);
+        let scan_s = compute_props(&LogicalOp::Scan(s), &[], &ctx, |_| 0.0, |_| 0);
+        let pred = Predicate::join(ctx.col(r, "r_key"), ctx.col(s, "s_rkey"));
+        let join = compute_props(
+            &LogicalOp::Join(pred),
+            &[&scan_r, &scan_s],
+            &ctx,
+            |_| 0.0,
+            |_| 0,
+        );
+        // 1000 * 500 / max(1000, 1000) = 500 (FK join keeps |S|).
+        assert!((join.rows - 500.0).abs() < 1e-9);
+        assert_eq!(join.width, 16);
+        assert_eq!(join.leaves.len(), 2);
+    }
+
+    #[test]
+    fn aggregate_rows_capped_by_input_and_distincts() {
+        let mut ctx = ctx();
+        let r = ctx.instance_by_name("r", 0);
+        let a = ctx.col(r, "r_a");
+        let out = ctx.add_synth("sum_x", mqo_catalog::ColumnStats::new(100.0, 0, 1_000), 8);
+        let scan = compute_props(&LogicalOp::Scan(r), &[], &ctx, |_| 0.0, |_| 0);
+        let spec = AggSpec::new(vec![a], vec![AggCall { func: AggFunc::Sum, input: a, output: out }]);
+        let agg = compute_props(&LogicalOp::Aggregate(spec), &[&scan], &ctx, |_| 0.0, |_| 0);
+        assert_eq!(agg.rows, 10.0); // V(r_a) = 10
+        assert_eq!(agg.width, 12); // 4 (group col) + 8 (sum output)
+
+        let scalar = AggSpec::new(vec![], vec![AggCall { func: AggFunc::Count, input: a, output: out }]);
+        let sagg = compute_props(&LogicalOp::Aggregate(scalar), &[&scan], &ctx, |_| 0.0, |_| 0);
+        assert_eq!(sagg.rows, 1.0);
+    }
+
+    #[test]
+    fn reaggregation_functions() {
+        assert_eq!(AggFunc::Count.reaggregate(), Some(AggFunc::Sum));
+        assert_eq!(AggFunc::Sum.reaggregate(), Some(AggFunc::Sum));
+        assert_eq!(AggFunc::Avg.reaggregate(), None);
+    }
+
+    #[test]
+    fn blocks_rounding() {
+        let p = LogicalProps {
+            leaves: vec![],
+            applied: Predicate::none(),
+            rows: 10.0,
+            width: 100,
+        };
+        assert_eq!(p.blocks(4096), 1.0);
+        let big = LogicalProps { rows: 1000.0, ..p.clone() };
+        assert_eq!(big.blocks(4096), 25.0);
+    }
+}

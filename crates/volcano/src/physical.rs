@@ -1,0 +1,172 @@
+//! Physical operators and physical properties (sort orders).
+//!
+//! The physical operator set matches Section 6: "sort-based aggregation,
+//! merge join, nested loop join, indexed selection and relation scan",
+//! plus the sort enforcer, the in-stream filter, and reads of materialized
+//! results. Physical properties are sort orders with prefix satisfaction:
+//! a stream sorted by `[a, b]` satisfies a requirement of `[a]`.
+
+use crate::context::{ColId, InstanceId};
+use crate::memo::{ExprId, GroupId};
+
+/// A sort order: the (possibly empty) list of columns the stream is sorted
+/// by, major first. Empty means "no particular order".
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SortOrder(pub Vec<ColId>);
+
+impl SortOrder {
+    /// The "no order" value.
+    pub fn none() -> Self {
+        SortOrder(Vec::new())
+    }
+
+    /// An order on the given columns.
+    pub fn on(cols: Vec<ColId>) -> Self {
+        SortOrder(cols)
+    }
+
+    /// Whether this is the trivial (unordered) property.
+    pub fn is_none(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Whether a stream with order `self` satisfies `required`: `required`
+    /// must be a prefix of `self` (the trivial requirement is always
+    /// satisfied).
+    pub fn satisfies(&self, required: &SortOrder) -> bool {
+        required.0.len() <= self.0.len()
+            && self.0[..required.0.len()] == required.0[..]
+    }
+}
+
+/// A physical operator choice for one memo expression (or a leaf read).
+#[derive(Clone, Debug, PartialEq)]
+pub enum PhysOp {
+    /// Sequential scan of a base table instance.
+    TableScan { inst: InstanceId },
+    /// Clustered-index range scan of a base table instance: applies the
+    /// selection's constraint on the leading primary-key column to touch
+    /// only the matching fraction, filtering the rest on the fly.
+    IndexScan { inst: InstanceId },
+    /// In-stream filter (order-preserving).
+    Filter,
+    /// Merge join on the given left/right key columns (inputs must arrive
+    /// sorted by them; output is sorted by the left keys).
+    MergeJoin {
+        left_keys: Vec<ColId>,
+        right_keys: Vec<ColId>,
+        /// Whether the memo expression's children are swapped (the second
+        /// child plays the left role).
+        swapped: bool,
+    },
+    /// Block nested-loops join (output unordered).
+    BlockNlJoin {
+        /// Whether the memo expression's children are swapped (the second
+        /// child is the outer).
+        swapped: bool,
+    },
+    /// Sort-based aggregation (input sorted by the group-by columns; output
+    /// sorted likewise).
+    SortAgg { group_by: Vec<ColId> },
+    /// Ungrouped aggregation producing one row.
+    ScalarAgg,
+    /// Explicit sort enforcer.
+    Sort { keys: Vec<ColId> },
+    /// Read of a materialized equivalence node.
+    MaterializedRead { group: GroupId },
+    /// The dummy batch root.
+    Root,
+}
+
+/// A fully extracted physical plan (an operator tree, for printing and
+/// inspection; costing happens in the optimizer's DP).
+#[derive(Clone, Debug)]
+pub struct PhysPlan {
+    pub op: PhysOp,
+    /// The memo expression this node implements, when applicable.
+    pub expr: Option<ExprId>,
+    /// The group whose result this node produces.
+    pub group: GroupId,
+    /// Cost of this operator alone.
+    pub op_cost: f64,
+    /// Cost of the whole subtree.
+    pub total_cost: f64,
+    /// Output sort order.
+    pub order: SortOrder,
+    /// Estimated output rows.
+    pub rows: f64,
+    pub children: Vec<PhysPlan>,
+}
+
+impl PhysPlan {
+    /// Pretty-prints the plan as an indented tree using `name` to render
+    /// operator details.
+    pub fn render(&self, name: impl Fn(&PhysPlan) -> String + Copy) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0, name);
+        out
+    }
+
+    fn render_into(
+        &self,
+        out: &mut String,
+        depth: usize,
+        name: impl Fn(&PhysPlan) -> String + Copy,
+    ) {
+        use std::fmt::Write;
+        let _ = writeln!(
+            out,
+            "{:indent$}{} (cost={:.1}, rows={:.0})",
+            "",
+            name(self),
+            self.total_cost,
+            self.rows,
+            indent = depth * 2
+        );
+        for c in &self.children {
+            c.render_into(out, depth + 1, name);
+        }
+    }
+
+    /// Iterates over all nodes of the tree.
+    pub fn nodes(&self) -> Vec<&PhysPlan> {
+        let mut out = vec![self];
+        let mut i = 0;
+        while i < out.len() {
+            let node: &PhysPlan = out[i];
+            for c in &node.children {
+                out.push(c);
+            }
+            i += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: u32) -> ColId {
+        ColId::Synth(i)
+    }
+
+    #[test]
+    fn prefix_satisfaction() {
+        let provided = SortOrder::on(vec![c(0), c(1), c(2)]);
+        assert!(provided.satisfies(&SortOrder::none()));
+        assert!(provided.satisfies(&SortOrder::on(vec![c(0)])));
+        assert!(provided.satisfies(&SortOrder::on(vec![c(0), c(1)])));
+        assert!(provided.satisfies(&provided));
+        assert!(!provided.satisfies(&SortOrder::on(vec![c(1)])));
+        assert!(!provided.satisfies(&SortOrder::on(vec![c(0), c(2)])));
+        assert!(!provided.satisfies(&SortOrder::on(vec![c(0), c(1), c(2), c(3)])));
+    }
+
+    #[test]
+    fn none_satisfies_only_none() {
+        let none = SortOrder::none();
+        assert!(none.satisfies(&SortOrder::none()));
+        assert!(!none.satisfies(&SortOrder::on(vec![c(0)])));
+    }
+}

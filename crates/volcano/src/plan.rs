@@ -1,0 +1,88 @@
+//! Plan rendering: human-readable physical plans.
+
+use crate::memo::Memo;
+use crate::physical::{PhysOp, PhysPlan};
+
+/// Renders a physical plan against its memo (resolving instance and column
+/// names).
+pub fn render_plan(plan: &PhysPlan, memo: &Memo) -> String {
+    plan.render(|node| describe(node, memo))
+}
+
+fn describe(node: &PhysPlan, memo: &Memo) -> String {
+    let ctx = memo.ctx();
+    match &node.op {
+        PhysOp::TableScan { inst } => format!("TableScan({})", ctx.instance_name(*inst)),
+        PhysOp::IndexScan { inst } => format!("IndexScan({})", ctx.instance_name(*inst)),
+        PhysOp::Filter => "Filter".to_string(),
+        PhysOp::MergeJoin {
+            left_keys,
+            right_keys,
+            ..
+        } => {
+            let keys: Vec<String> = left_keys
+                .iter()
+                .zip(right_keys.iter())
+                .map(|(l, r)| format!("{}={}", ctx.col_name(*l), ctx.col_name(*r)))
+                .collect();
+            format!("MergeJoin({})", keys.join(", "))
+        }
+        PhysOp::BlockNlJoin { .. } => "BlockNlJoin".to_string(),
+        PhysOp::SortAgg { group_by } => {
+            let cols: Vec<String> = group_by.iter().map(|c| ctx.col_name(*c)).collect();
+            format!("SortAgg(by {})", cols.join(", "))
+        }
+        PhysOp::ScalarAgg => "ScalarAgg".to_string(),
+        PhysOp::Sort { keys } => {
+            let cols: Vec<String> = keys.iter().map(|c| ctx.col_name(*c)).collect();
+            format!("Sort({})", cols.join(", "))
+        }
+        PhysOp::MaterializedRead { group } => format!("ReadMat(group {})", group.0),
+        PhysOp::Root => "Batch".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::DagContext;
+    use crate::cost::DiskCostModel;
+    use crate::expr::Predicate;
+    use crate::logical::PlanNode;
+    use crate::optimizer::{MatOverlay, Optimizer, PlanTable};
+    use crate::physical::SortOrder;
+    use mqo_catalog::{Catalog, TableBuilder};
+
+    #[test]
+    fn rendering_contains_operator_names() {
+        let mut cat = Catalog::new();
+        cat.add_table(
+            TableBuilder::new("t", 1000.0)
+                .key_column("t_key", 4)
+                .column("t_fk", 100.0, (0, 99), 4)
+                .primary_key(&["t_key"])
+                .build(),
+        );
+        cat.add_table(
+            TableBuilder::new("u", 500.0)
+                .key_column("u_key", 4)
+                .primary_key(&["u_key"])
+                .build(),
+        );
+        let mut ctx = DagContext::new(cat);
+        let t = ctx.instance_by_name("t", 0);
+        let u = ctx.instance_by_name("u", 0);
+        let p = Predicate::join(ctx.col(t, "t_fk"), ctx.col(u, "u_key"));
+        let q = PlanNode::scan(t).join(PlanNode::scan(u), p);
+        let mut memo = crate::memo::Memo::new(ctx);
+        let g = memo.insert_plan(&q);
+        let cm = DiskCostModel::paper();
+        let opt = Optimizer::new(&memo, &cm);
+        let mut table = PlanTable::new();
+        let _ = opt.best_use_cost(g, &MatOverlay::empty(), &mut table);
+        let plan = opt.extract_plan(g, &SortOrder::none(), &MatOverlay::empty(), &mut table);
+        let text = render_plan(&plan, &memo);
+        assert!(text.contains("Join"), "{text}");
+        assert!(text.contains("t") && text.contains("u"), "{text}");
+    }
+}

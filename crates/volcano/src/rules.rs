@@ -1,0 +1,731 @@
+//! Transformation rules and the fixpoint expansion engine.
+//!
+//! The rule set matches Section 6: "select push down, join commutativity
+//! and associativity (to generate bushy join trees), and select and
+//! aggregate subsumption". Commutativity is implicit (join children are
+//! canonically ordered in the memo; physical joins consider both
+//! orientations). Rules insert *logical* alternatives; where a rule knows
+//! the result group, hash-consing either lands there or triggers a group
+//! merge (unification).
+
+use crate::context::ColId;
+use crate::expr::Predicate;
+use crate::logical::{AggCall, AggSpec, LogicalOp};
+use crate::memo::{ExprId, GroupId, Memo};
+
+/// Which rules to apply during expansion.
+#[derive(Clone, Copy, Debug)]
+pub struct RuleSet {
+    /// Join associativity (generates the bushy space, no cross products).
+    pub join_associativity: bool,
+    /// Push selection atoms below joins.
+    pub select_pushdown: bool,
+    /// Collapse nested selections.
+    pub select_merge: bool,
+    /// Create disjunctive-subsumer nodes for sibling selections over the
+    /// same input and derive each from the subsumer.
+    pub select_subsumption: bool,
+    /// Derive coarser aggregates from finer ones with decomposable
+    /// functions.
+    pub aggregate_subsumption: bool,
+}
+
+impl Default for RuleSet {
+    fn default() -> Self {
+        RuleSet {
+            join_associativity: true,
+            select_pushdown: true,
+            select_merge: true,
+            select_subsumption: true,
+            aggregate_subsumption: true,
+        }
+    }
+}
+
+impl RuleSet {
+    /// Only the rules needed for plain join-order optimization.
+    pub fn joins_only() -> Self {
+        RuleSet {
+            join_associativity: true,
+            select_pushdown: true,
+            select_merge: true,
+            select_subsumption: false,
+            aggregate_subsumption: false,
+        }
+    }
+}
+
+/// Statistics of one expansion run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExpansionStats {
+    /// Full passes over the expression list until fixpoint.
+    pub passes: usize,
+    /// Live expressions after expansion.
+    pub exprs: usize,
+    /// Live groups after expansion.
+    pub groups: usize,
+}
+
+/// Hard cap on memo size; expansion aborts (panics) beyond this, which
+/// indicates a runaway rule rather than a legitimate workload.
+const MAX_EXPRS: usize = 500_000;
+
+/// Expands the memo to fixpoint under `rules`.
+pub fn expand(memo: &mut Memo, rules: &RuleSet) -> ExpansionStats {
+    let mut stats = ExpansionStats::default();
+    loop {
+        stats.passes += 1;
+        let before = memo.exprs_allocated();
+
+        // Per-expression rules; iterating by index picks up insertions made
+        // during the pass.
+        let mut i = 0u32;
+        while (i as usize) < memo.exprs_allocated() {
+            let e = ExprId(i);
+            i += 1;
+            if !memo.is_alive(e) {
+                continue;
+            }
+            if rules.join_associativity {
+                apply_associativity(memo, e);
+            }
+            if rules.select_pushdown {
+                apply_select_pushdown(memo, e);
+            }
+            if rules.select_merge {
+                apply_select_merge(memo, e);
+            }
+        }
+
+        // Pairwise rules (subsumption) need a stable snapshot per pass.
+        if rules.select_subsumption {
+            apply_select_subsumption(memo);
+        }
+        if rules.aggregate_subsumption {
+            apply_aggregate_subsumption(memo);
+        }
+
+        assert!(
+            memo.exprs_allocated() <= MAX_EXPRS,
+            "memo exploded past {MAX_EXPRS} expressions; runaway rule?"
+        );
+        if memo.exprs_allocated() == before {
+            break;
+        }
+    }
+    stats.exprs = memo.n_exprs();
+    stats.groups = memo.n_groups();
+    stats
+}
+
+/// Join associativity: for `(A ⋈ B) ⋈ C` in a group, derive `A ⋈ (B ⋈ C)`
+/// into the same group (and the mirrored variant). Predicate atoms are
+/// pooled and redistributed by column coverage; rewrites that would create a
+/// predicate-less (cross-product) join are skipped.
+fn apply_associativity(memo: &mut Memo, e: ExprId) {
+    let (top_pred, l, r) = match &memo.expr(e).op {
+        LogicalOp::Join(p) => {
+            let ch = &memo.expr(e).children;
+            (p.clone(), ch[0], ch[1])
+        }
+        _ => return,
+    };
+    let target = memo.group_of(e);
+
+    // Direction 1: left child is itself a join (A ⋈ B), pivot to A ⋈ (B ⋈ C).
+    let left_joins: Vec<(Predicate, GroupId, GroupId)> = memo
+        .group_exprs(l)
+        .filter_map(|le| match &memo.expr(le).op {
+            LogicalOp::Join(p) => {
+                let ch = &memo.expr(le).children;
+                Some((p.clone(), ch[0], ch[1]))
+            }
+            _ => None,
+        })
+        .collect();
+    for (low_pred, a, b) in left_joins {
+        pivot(memo, target, &top_pred, &low_pred, a, b, r);
+        // Commutativity of the lower join: also pivot keeping B.
+        pivot(memo, target, &top_pred, &low_pred, b, a, r);
+    }
+
+    // Direction 2 (mirror): right child is a join (B ⋈ C), pivot to
+    // (A ⋈ B) ⋈ C.
+    let right_joins: Vec<(Predicate, GroupId, GroupId)> = memo
+        .group_exprs(r)
+        .filter_map(|re| match &memo.expr(re).op {
+            LogicalOp::Join(p) => {
+                let ch = &memo.expr(re).children;
+                Some((p.clone(), ch[0], ch[1]))
+            }
+            _ => None,
+        })
+        .collect();
+    for (low_pred, b, c) in right_joins {
+        // A ⋈ (B ⋈ C)  →  (A ⋈ B) ⋈ C, i.e. pivot with "kept" side c.
+        pivot(memo, target, &top_pred, &low_pred, c, b, l);
+        pivot(memo, target, &top_pred, &low_pred, b, c, l);
+    }
+}
+
+/// Builds `kept ⋈ (other ⋈ outer)` inside `target`, redistributing the atoms
+/// of `top ∧ low` between the new lower join and the new top join.
+fn pivot(
+    memo: &mut Memo,
+    target: GroupId,
+    top_pred: &Predicate,
+    low_pred: &Predicate,
+    kept: GroupId,
+    other: GroupId,
+    outer: GroupId,
+) {
+    if memo.find(other) == memo.find(outer) || memo.find(kept) == memo.find(outer) {
+        // Degenerate pivot (shared view on both sides); skip.
+        return;
+    }
+    let pool = top_pred.and(low_pred);
+    let mut lower = Predicate::none();
+    let mut upper = Predicate::none();
+    let covered_by_lower = |memo: &Memo, col: ColId| {
+        memo.group_covers(other, col) || memo.group_covers(outer, col)
+    };
+    for (col, c) in &pool.constraints {
+        if covered_by_lower(memo, *col) {
+            lower.add_constraint(*col, c.clone());
+        } else {
+            upper.add_constraint(*col, c.clone());
+        }
+    }
+    for &(x, y) in &pool.equi {
+        if covered_by_lower(memo, x) && covered_by_lower(memo, y) {
+            lower.add_equi(x, y);
+        } else {
+            upper.add_equi(x, y);
+        }
+    }
+    // No cross products: the new lower join must be connected by at least
+    // one equi atom, and so must the new top.
+    if lower.equi.is_empty() || upper.equi.is_empty() {
+        return;
+    }
+    let lower_group = memo.insert(LogicalOp::Join(lower), vec![other, outer], None);
+    if memo.find(lower_group) == memo.find(target) {
+        // Would nest the target inside itself (can happen with shared-view
+        // self joins); skip.
+        return;
+    }
+    memo.insert(LogicalOp::Join(upper), vec![kept, lower_group], Some(target));
+}
+
+/// Select push-down: `σ_p(A ⋈_j B)` derives `σ_pA(A) ⋈_{j ∧ p_rest} σ_pB(B)`
+/// in the same group.
+fn apply_select_pushdown(memo: &mut Memo, e: ExprId) {
+    let (pred, child) = match &memo.expr(e).op {
+        LogicalOp::Select(p) => (p.clone(), memo.expr(e).children[0]),
+        _ => return,
+    };
+    let target = memo.group_of(e);
+    let joins: Vec<(Predicate, GroupId, GroupId)> = memo
+        .group_exprs(child)
+        .filter_map(|je| match &memo.expr(je).op {
+            LogicalOp::Join(p) => {
+                let ch = &memo.expr(je).children;
+                Some((p.clone(), ch[0], ch[1]))
+            }
+            _ => None,
+        })
+        .collect();
+    for (jp, l, r) in joins {
+        let mut pl = Predicate::none();
+        let mut pr = Predicate::none();
+        let mut rest = jp.clone();
+        for (col, c) in &pred.constraints {
+            if memo.group_covers(l, *col) {
+                pl.add_constraint(*col, c.clone());
+            } else if memo.group_covers(r, *col) {
+                pr.add_constraint(*col, c.clone());
+            } else {
+                rest.add_constraint(*col, c.clone());
+            }
+        }
+        for &(x, y) in &pred.equi {
+            if memo.group_covers(l, x) && memo.group_covers(l, y) {
+                pl.add_equi(x, y);
+            } else if memo.group_covers(r, x) && memo.group_covers(r, y) {
+                pr.add_equi(x, y);
+            } else {
+                rest.add_equi(x, y);
+            }
+        }
+        if pl.is_trivial() && pr.is_trivial() {
+            continue;
+        }
+        let new_l = if pl.is_trivial() {
+            l
+        } else {
+            memo.insert(LogicalOp::Select(pl), vec![l], None)
+        };
+        let new_r = if pr.is_trivial() {
+            r
+        } else {
+            memo.insert(LogicalOp::Select(pr), vec![r], None)
+        };
+        memo.insert(LogicalOp::Join(rest), vec![new_l, new_r], Some(target));
+    }
+}
+
+/// Select merge: `σ_p(σ_q(E))` derives `σ_{p∧q}(E)` in the same group.
+fn apply_select_merge(memo: &mut Memo, e: ExprId) {
+    let (pred, child) = match &memo.expr(e).op {
+        LogicalOp::Select(p) => (p.clone(), memo.expr(e).children[0]),
+        _ => return,
+    };
+    let target = memo.group_of(e);
+    let inner: Vec<(Predicate, GroupId)> = memo
+        .group_exprs(child)
+        .filter_map(|se| match &memo.expr(se).op {
+            LogicalOp::Select(q) => Some((q.clone(), memo.expr(se).children[0])),
+            _ => None,
+        })
+        .collect();
+    for (q, grandchild) in inner {
+        memo.insert(
+            LogicalOp::Select(pred.and(&q)),
+            vec![grandchild],
+            Some(target),
+        );
+    }
+}
+
+/// Select subsumption: for sibling selections `σ_{p1}(E)`, `σ_{p2}(E)` over
+/// the same input, either derive the tighter from the looser (when one
+/// implies the other) or build the disjunctive subsumer `σ_{p1 ⊔ p2}(E)` and
+/// derive both from it (Section 6's "select subsumption"; this is how the
+/// batched workload's repeated queries with different constants share work).
+fn apply_select_subsumption(memo: &mut Memo) {
+    // Snapshot: all live selects grouped by child group.
+    let mut by_child: std::collections::HashMap<GroupId, Vec<(ExprId, Predicate)>> =
+        std::collections::HashMap::new();
+    for e in memo.expr_ids().collect::<Vec<_>>() {
+        if let LogicalOp::Select(p) = &memo.expr(e).op {
+            let child = memo.find(memo.expr(e).children[0]);
+            by_child.entry(child).or_default().push((e, p.clone()));
+        }
+    }
+    for (child, sels) in by_child {
+        for i in 0..sels.len() {
+            for j in (i + 1)..sels.len() {
+                let (e1, p1) = &sels[i];
+                let (e2, p2) = &sels[j];
+                let g1 = memo.group_of(*e1);
+                let g2 = memo.group_of(*e2);
+                if g1 == g2 {
+                    continue;
+                }
+                if p1.implies(p2) {
+                    // σ_{p1} derivable by filtering σ_{p2}'s result.
+                    let residual = p1.residual_after(p2);
+                    if !residual.is_trivial() {
+                        memo.insert(LogicalOp::Select(residual), vec![g2], Some(g1));
+                    }
+                    continue;
+                }
+                if p2.implies(p1) {
+                    let residual = p2.residual_after(p1);
+                    if !residual.is_trivial() {
+                        memo.insert(LogicalOp::Select(residual), vec![g1], Some(g2));
+                    }
+                    continue;
+                }
+                // Disjunctive subsumer: only when the two predicates
+                // constrain the same columns with the same equi atoms and
+                // differ on exactly one column (the "different selection
+                // constants" pattern).
+                if let Some(subsumer) = disjunctive_subsumer(p1, p2) {
+                    if memo.props(child).applied.implies(&subsumer) {
+                        // The child group already satisfies the subsumer
+                        // predicate: the child *is* the subsumer, and the
+                        // direct derivations already exist. Creating
+                        // σ_subsumer(child) would add a no-op layer (and,
+                        // through later merges, self-referencing nodes).
+                        continue;
+                    }
+                    let gs = memo.insert(LogicalOp::Select(subsumer.clone()), vec![child], None);
+                    if memo.find(gs) == memo.find(child) {
+                        continue;
+                    }
+                    let r1 = p1.residual_after(&subsumer);
+                    let r2 = p2.residual_after(&subsumer);
+                    let g1 = memo.group_of(*e1);
+                    let g2 = memo.group_of(*e2);
+                    if !r1.is_trivial() && memo.find(gs) != g1 {
+                        memo.insert(LogicalOp::Select(r1), vec![gs], Some(g1));
+                    }
+                    if !r2.is_trivial() && memo.find(gs) != g2 {
+                        memo.insert(LogicalOp::Select(r2), vec![gs], Some(g2));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The disjunctive subsumer of two predicates, if they have identical equi
+/// atoms, the same constrained column set, and differ on at most `2`
+/// columns (hulls widen estimates, so subsumption is kept tight).
+fn disjunctive_subsumer(p1: &Predicate, p2: &Predicate) -> Option<Predicate> {
+    if p1.equi != p2.equi {
+        return None;
+    }
+    let cols1: Vec<ColId> = p1.constraints.keys().copied().collect();
+    let cols2: Vec<ColId> = p2.constraints.keys().copied().collect();
+    if cols1 != cols2 || cols1.is_empty() {
+        return None;
+    }
+    let mut out = Predicate::none();
+    let mut differing = 0;
+    for col in cols1 {
+        let c1 = &p1.constraints[&col];
+        let c2 = &p2.constraints[&col];
+        if c1 == c2 {
+            out.add_constraint(col, c1.clone());
+        } else {
+            differing += 1;
+            out.add_constraint(col, c1.hull(c2));
+        }
+    }
+    for &(a, b) in &p1.equi {
+        out.add_equi(a, b);
+    }
+    if differing == 0 || differing > 2 {
+        return None;
+    }
+    Some(out)
+}
+
+/// Aggregate subsumption: `γ_{G1,F1}(E)` derivable by re-aggregating
+/// `γ_{G2,F2}(E)` when `G1 ⊆ G2` and every call in `F1` appears in `F2`
+/// with a decomposable function.
+fn apply_aggregate_subsumption(memo: &mut Memo) {
+    let mut by_child: std::collections::HashMap<GroupId, Vec<(ExprId, AggSpec)>> =
+        std::collections::HashMap::new();
+    for e in memo.expr_ids().collect::<Vec<_>>() {
+        if let LogicalOp::Aggregate(spec) = &memo.expr(e).op {
+            let child = memo.find(memo.expr(e).children[0]);
+            by_child.entry(child).or_default().push((e, spec.clone()));
+        }
+    }
+    for (_, aggs) in by_child {
+        for i in 0..aggs.len() {
+            for j in 0..aggs.len() {
+                if i == j {
+                    continue;
+                }
+                let (coarse_e, coarse) = &aggs[i];
+                let (fine_e, fine) = &aggs[j];
+                if memo.group_of(*coarse_e) == memo.group_of(*fine_e) {
+                    continue;
+                }
+                if !coarse.group_by.iter().all(|g| fine.group_by.contains(g)) {
+                    continue;
+                }
+                if coarse.group_by == fine.group_by {
+                    continue;
+                }
+                let derived: Option<Vec<AggCall>> = coarse
+                    .aggs
+                    .iter()
+                    .map(|call| {
+                        let fine_call = fine
+                            .aggs
+                            .iter()
+                            .find(|fc| fc.func == call.func && fc.input == call.input)?;
+                        let func = call.func.reaggregate()?;
+                        Some(AggCall {
+                            func,
+                            input: fine_call.output,
+                            output: call.output,
+                        })
+                    })
+                    .collect();
+                let Some(derived) = derived else { continue };
+                let fine_group = memo.group_of(*fine_e);
+                let coarse_group = memo.group_of(*coarse_e);
+                memo.insert(
+                    LogicalOp::Aggregate(AggSpec::new(coarse.group_by.clone(), derived)),
+                    vec![fine_group],
+                    Some(coarse_group),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::DagContext;
+    use crate::expr::Constraint;
+    use crate::logical::{AggFunc, PlanNode};
+    use mqo_catalog::{Catalog, ColumnStats, TableBuilder};
+
+    fn chain_ctx() -> DagContext {
+        let mut cat = Catalog::new();
+        for (name, rows) in [("a", 1000.0), ("b", 2000.0), ("c", 500.0), ("d", 300.0)] {
+            cat.add_table(
+                TableBuilder::new(name, rows)
+                    .key_column(format!("{name}_key"), 4)
+                    .column(format!("{name}_next"), rows, (0, rows as i64 - 1), 4)
+                    .column(format!("{name}_x"), 10.0, (0, 9), 4)
+                    .primary_key(&[&format!("{name}_key")])
+                    .build(),
+            );
+        }
+        DagContext::new(cat)
+    }
+
+    /// Builds the left-deep chain ((a⋈b)⋈c) with join atoms a_next=b_key,
+    /// b_next=c_key.
+    fn chain3(ctx: &mut DagContext) -> PlanNode {
+        let a = ctx.instance_by_name("a", 0);
+        let b = ctx.instance_by_name("b", 0);
+        let c = ctx.instance_by_name("c", 0);
+        let p_ab = Predicate::join(ctx.col(a, "a_next"), ctx.col(b, "b_key"));
+        let p_bc = Predicate::join(ctx.col(b, "b_next"), ctx.col(c, "c_key"));
+        PlanNode::scan(a)
+            .join(PlanNode::scan(b), p_ab)
+            .join(PlanNode::scan(c), p_bc)
+    }
+
+    #[test]
+    fn associativity_generates_alternatives() {
+        let mut ctx = chain_ctx();
+        let q = chain3(&mut ctx);
+        let mut memo = Memo::new(ctx);
+        let root = memo.insert_plan(&q);
+        let before = memo.group_exprs(root).count();
+        expand(&mut memo, &RuleSet::joins_only());
+        let after = memo.group_exprs(root).count();
+        assert!(after > before, "expected new join orders in the root group");
+        // Chain of 3 without cross products: root should now contain both
+        // (a⋈b)⋈c and a⋈(b⋈c).
+        assert_eq!(after, 2);
+    }
+
+    #[test]
+    fn two_queries_unify_via_associativity() {
+        // Q1 = (a⋈b)⋈c built left-deep; Q2 = a⋈(b⋈c) built right-deep. After
+        // expansion both roots must be the same group (Example 1's premise).
+        let mut ctx = chain_ctx();
+        let a = ctx.instance_by_name("a", 0);
+        let b = ctx.instance_by_name("b", 0);
+        let c = ctx.instance_by_name("c", 0);
+        let p_ab = Predicate::join(ctx.col(a, "a_next"), ctx.col(b, "b_key"));
+        let p_bc = Predicate::join(ctx.col(b, "b_next"), ctx.col(c, "c_key"));
+        let q1 = PlanNode::scan(a)
+            .join(PlanNode::scan(b), p_ab.clone())
+            .join(PlanNode::scan(c), p_bc.clone());
+        let q2 = PlanNode::scan(a).join(
+            PlanNode::scan(b).join(PlanNode::scan(c), p_bc),
+            p_ab,
+        );
+        let mut memo = Memo::new(ctx);
+        let r1 = memo.insert_plan(&q1);
+        let r2 = memo.insert_plan(&q2);
+        assert_ne!(memo.find(r1), memo.find(r2));
+        expand(&mut memo, &RuleSet::joins_only());
+        assert_eq!(memo.find(r1), memo.find(r2), "roots must unify");
+    }
+
+    #[test]
+    fn no_cross_products_generated() {
+        let mut ctx = chain_ctx();
+        let q = chain3(&mut ctx);
+        let mut memo = Memo::new(ctx);
+        memo.insert_plan(&q);
+        expand(&mut memo, &RuleSet::joins_only());
+        for e in memo.expr_ids() {
+            if let LogicalOp::Join(p) = &memo.expr(e).op {
+                assert!(
+                    !p.equi.is_empty(),
+                    "cross-product join generated: {:?}",
+                    memo.expr(e)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn select_pushdown_creates_pushed_variant() {
+        let mut ctx = chain_ctx();
+        let a = ctx.instance_by_name("a", 0);
+        let b = ctx.instance_by_name("b", 0);
+        let p_ab = Predicate::join(ctx.col(a, "a_next"), ctx.col(b, "b_key"));
+        let sel = Predicate::on(ctx.col(a, "a_x"), Constraint::eq(3));
+        let q = PlanNode::scan(a)
+            .join(PlanNode::scan(b), p_ab)
+            .select(sel.clone());
+        let mut memo = Memo::new(ctx);
+        let root = memo.insert_plan(&q);
+        expand(&mut memo, &RuleSet::joins_only());
+        // Root group must now contain a Join expr (the pushed-down form).
+        let has_join = memo
+            .group_exprs(root)
+            .any(|e| matches!(memo.expr(e).op, LogicalOp::Join(_)));
+        assert!(has_join, "pushdown should add a join-rooted alternative");
+        // And σ_{a_x=3}(a) must exist somewhere.
+        let has_pushed = memo.expr_ids().any(|e| {
+            matches!(&memo.expr(e).op, LogicalOp::Select(p) if p == &sel
+                && memo.group_children(memo.group_of(e)).len() == 1)
+        });
+        assert!(has_pushed);
+    }
+
+    #[test]
+    fn select_merge_collapses_nested() {
+        let mut ctx = chain_ctx();
+        let a = ctx.instance_by_name("a", 0);
+        let ax = ctx.col(a, "a_x");
+        let akey = ctx.col(a, "a_key");
+        let q = PlanNode::scan(a)
+            .select(Predicate::on(ax, Constraint::eq(3)))
+            .select(Predicate::on(akey, Constraint::le(100)));
+        let mut memo = Memo::new(ctx);
+        let root = memo.insert_plan(&q);
+        expand(&mut memo, &RuleSet::joins_only());
+        // The root group must contain a single-select form over the scan.
+        let has_merged = memo.group_exprs(root).any(|e| {
+            if let LogicalOp::Select(p) = &memo.expr(e).op {
+                p.constraints.len() == 2
+            } else {
+                false
+            }
+        });
+        assert!(has_merged);
+    }
+
+    #[test]
+    fn select_subsumption_on_equality_constants() {
+        // σ_{x=3}(a) and σ_{x=5}(a): expect subsumer σ_{x∈{3,5}}(a) plus
+        // derivations.
+        let mut ctx = chain_ctx();
+        let a = ctx.instance_by_name("a", 0);
+        let ax = ctx.col(a, "a_x");
+        let q1 = PlanNode::scan(a).select(Predicate::on(ax, Constraint::eq(3)));
+        let q2 = PlanNode::scan(a).select(Predicate::on(ax, Constraint::eq(5)));
+        let mut memo = Memo::new(ctx);
+        let g1 = memo.insert_plan(&q1);
+        let _g2 = memo.insert_plan(&q2);
+        expand(&mut memo, &RuleSet::default());
+        let subsumer_pred = Predicate::on(ax, Constraint::in_list(vec![3, 5]));
+        let subsumer = memo.expr_ids().find_map(|e| match &memo.expr(e).op {
+            LogicalOp::Select(p) if *p == subsumer_pred => Some(memo.group_of(e)),
+            _ => None,
+        });
+        let subsumer = subsumer.expect("subsumer node must exist");
+        // g1 must now have an expr reading from the subsumer group.
+        let derives = memo.group_exprs(g1).any(|e| {
+            memo.expr(e)
+                .children
+                .iter()
+                .any(|&c| memo.find(c) == memo.find(subsumer))
+        });
+        assert!(derives, "σ_(x=3) must be derivable from the subsumer");
+    }
+
+    #[test]
+    fn select_subsumption_via_implication() {
+        // σ_{key<=100}(a) is derivable from σ_{key<=200}(a) directly.
+        let mut ctx = chain_ctx();
+        let a = ctx.instance_by_name("a", 0);
+        let ak = ctx.col(a, "a_key");
+        let tight = PlanNode::scan(a).select(Predicate::on(ak, Constraint::le(100)));
+        let loose = PlanNode::scan(a).select(Predicate::on(ak, Constraint::le(200)));
+        let mut memo = Memo::new(ctx);
+        let gt = memo.insert_plan(&tight);
+        let gl = memo.insert_plan(&loose);
+        expand(&mut memo, &RuleSet::default());
+        let derives = memo.group_exprs(gt).any(|e| {
+            memo.expr(e)
+                .children
+                .iter()
+                .any(|&c| memo.find(c) == memo.find(gl))
+        });
+        assert!(derives, "tight select must be derivable from the loose one");
+    }
+
+    #[test]
+    fn aggregate_subsumption_derives_coarse_from_fine() {
+        let mut ctx = chain_ctx();
+        let a = ctx.instance_by_name("a", 0);
+        let ax = ctx.col(a, "a_x");
+        let akey = ctx.col(a, "a_key");
+        let s_fine = ctx.add_synth("sum_fine", ColumnStats::new(500.0, 0, 100_000), 8);
+        let s_coarse = ctx.add_synth("sum_coarse", ColumnStats::new(10.0, 0, 100_000), 8);
+        let fine = PlanNode::scan(a).aggregate(AggSpec::new(
+            vec![ax, akey],
+            vec![AggCall { func: AggFunc::Sum, input: akey, output: s_fine }],
+        ));
+        let coarse = PlanNode::scan(a).aggregate(AggSpec::new(
+            vec![ax],
+            vec![AggCall { func: AggFunc::Sum, input: akey, output: s_coarse }],
+        ));
+        let mut memo = Memo::new(ctx);
+        let gf = memo.insert_plan(&fine);
+        let gc = memo.insert_plan(&coarse);
+        expand(&mut memo, &RuleSet::default());
+        let derives = memo.group_exprs(gc).any(|e| {
+            memo.expr(e)
+                .children
+                .iter()
+                .any(|&c| memo.find(c) == memo.find(gf))
+        });
+        assert!(derives, "coarse aggregate must re-aggregate the fine one");
+    }
+
+    #[test]
+    fn expansion_is_idempotent() {
+        let mut ctx = chain_ctx();
+        let q = chain3(&mut ctx);
+        let mut memo = Memo::new(ctx);
+        memo.insert_plan(&q);
+        let s1 = expand(&mut memo, &RuleSet::default());
+        let s2 = expand(&mut memo, &RuleSet::default());
+        assert_eq!(s1.exprs, s2.exprs);
+        assert_eq!(s1.groups, s2.groups);
+        assert_eq!(s2.passes, 1);
+    }
+
+    #[test]
+    fn four_way_chain_generates_bushy_space() {
+        let mut ctx = chain_ctx();
+        let a = ctx.instance_by_name("a", 0);
+        let b = ctx.instance_by_name("b", 0);
+        let c = ctx.instance_by_name("c", 0);
+        let d = ctx.instance_by_name("d", 0);
+        let p_ab = Predicate::join(ctx.col(a, "a_next"), ctx.col(b, "b_key"));
+        let p_bc = Predicate::join(ctx.col(b, "b_next"), ctx.col(c, "c_key"));
+        let p_cd = Predicate::join(ctx.col(c, "c_next"), ctx.col(d, "d_key"));
+        let q = PlanNode::scan(a)
+            .join(PlanNode::scan(b), p_ab)
+            .join(PlanNode::scan(c), p_bc)
+            .join(PlanNode::scan(d), p_cd);
+        let mut memo = Memo::new(ctx);
+        let root = memo.insert_plan(&q);
+        expand(&mut memo, &RuleSet::joins_only());
+        // Chain a-b-c-d: connected subsets {ab, bc, cd, abc, bcd, abcd} plus
+        // 4 scans = 10 groups.
+        assert_eq!(memo.n_groups(), 10);
+        // Root group exprs are joins of *group pairs*: ABC⋈D, AB⋈CD, A⋈BCD.
+        assert_eq!(memo.group_exprs(root).count(), 3);
+        // The 3-subchain groups each hold both shapes, giving the full
+        // bushy space of 5 plan shapes overall.
+        let abc = memo
+            .group_children(root)
+            .into_iter()
+            .find(|&g| memo.props(g).leaves.len() == 3 && memo.group_exprs(g).count() > 0
+                && memo.group_exprs(g).all(|e| !matches!(memo.expr(e).op, LogicalOp::Scan(_))))
+            .expect("3-way subchain group");
+        assert_eq!(memo.group_exprs(abc).count(), 2);
+    }
+}

@@ -1,0 +1,40 @@
+//! Stand-alone TPCD queries — the Experiment 2 workload.
+//!
+//! Single queries whose own structure contains common subexpressions:
+//! Q2 (correlated nested subquery), Q2-D (decorrelated into a batch), Q11
+//! (per-part value vs. scalar total over the same join), Q15 (revenue view
+//! used as join input and under a scalar MAX). Multi-query optimization
+//! pays off even for a single query — the paper's point in Section 1.
+//!
+//! Run with `cargo run --release --example standalone_tpcd`.
+
+use mqo_core::batch::BatchDag;
+use mqo_core::consolidated::ConsolidatedPlan;
+use mqo_core::strategies::{optimize, Strategy};
+use mqo_volcano::cost::DiskCostModel;
+use mqo_volcano::rules::RuleSet;
+
+fn main() {
+    let cm = DiskCostModel::paper();
+    for name in mqo_tpcd::STANDALONE_NAMES {
+        let w = mqo_tpcd::standalone(name, 1.0);
+        let batch = BatchDag::build(w.ctx, &w.queries, &RuleSet::default());
+        let volcano = optimize(&batch, &cm, Strategy::Volcano);
+        let greedy = optimize(&batch, &cm, Strategy::Greedy);
+        let marginal = optimize(&batch, &cm, Strategy::MarginalGreedy);
+        println!(
+            "{name:5}  volcano {:>10.0}  greedy {:>10.0} ({:>4.1}%)  marginal {:>10.0} ({:>4.1}%)",
+            volcano.total_cost,
+            greedy.total_cost,
+            greedy.improvement_pct(),
+            marginal.total_cost,
+            marginal.improvement_pct(),
+        );
+        if name == "Q15" {
+            // Show the consolidated artifact for the most illustrative case:
+            // the revenue view computed once, read twice.
+            let plan = ConsolidatedPlan::extract(&batch, &cm, &greedy.materialized);
+            println!("\nQ15 consolidated plan:\n{}", plan.render(&batch));
+        }
+    }
+}

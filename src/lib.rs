@@ -1,0 +1,25 @@
+//! `provable-mqo` — a reproduction of *"Efficient and Provable Multi-Query
+//! Optimization"* (Kathuria & Sudarshan, PODS 2017).
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`submod`] — unconstrained normalized submodular maximization: the
+//!   canonical decomposition (Proposition 1), MarginalGreedy (Algorithm 2)
+//!   and its accelerations, Greedy (Algorithm 1), the Theorem 1 bound, and
+//!   the Profitted Max Coverage hardness family (Theorem 2).
+//! * [`catalog`] — relational catalog and statistics.
+//! * [`volcano`] — the Volcano/Cascades optimizer substrate: AND-OR DAG
+//!   memo, transformation rules, physical operators, disk cost model.
+//! * [`core`] — MQO proper: combined DAG, `bestCost` oracle with
+//!   incremental recomputation, materialization benefit, strategies.
+//! * [`tpcd`] — the TPCD workload of the experimental section.
+//!
+//! See `examples/quickstart.rs` for a complete end-to-end example, and the
+//! `mqo-bench` crate for the binaries regenerating every figure of the
+//! paper.
+
+pub use mqo_catalog as catalog;
+pub use mqo_core as core;
+pub use mqo_submod as submod;
+pub use mqo_tpcd as tpcd;
+pub use mqo_volcano as volcano;

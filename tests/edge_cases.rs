@@ -1,0 +1,157 @@
+//! Edge cases and failure injection: degenerate batches, unsatisfiable
+//! predicates, and alternative cost-model configurations.
+
+use mqo_catalog::{Catalog, TableBuilder};
+use mqo_core::batch::BatchDag;
+use mqo_core::strategies::{optimize, Strategy};
+use mqo_volcano::cost::{CostModel, DiskCostModel};
+use mqo_volcano::rules::RuleSet;
+use mqo_volcano::{Constraint, DagContext, PlanNode, Predicate};
+
+fn tiny_catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    for (name, rows) in [("r", 10_000.0), ("s", 5_000.0)] {
+        cat.add_table(
+            TableBuilder::new(name, rows)
+                .key_column(format!("{name}_key"), 4)
+                .column(format!("{name}_fk"), rows / 10.0, (0, (rows as i64) / 10 - 1), 4)
+                .column(format!("{name}_x"), 20.0, (0, 19), 4)
+                .primary_key(&[&format!("{name}_key")])
+                .build(),
+        );
+    }
+    cat
+}
+
+#[test]
+fn single_query_with_no_sharing_yields_empty_universe_effect() {
+    // A lone scan-select query: nothing shareable, every strategy returns
+    // the Volcano plan.
+    let mut ctx = DagContext::new(tiny_catalog());
+    let r = ctx.instance_by_name("r", 0);
+    let q = PlanNode::scan(r).select(Predicate::on(ctx.col(r, "r_x"), Constraint::eq(3)));
+    let batch = BatchDag::build(ctx, &[q], &RuleSet::default());
+    let cm = DiskCostModel::paper();
+    let volcano = optimize(&batch, &cm, Strategy::Volcano);
+    for s in [Strategy::Greedy, Strategy::MarginalGreedy, Strategy::MaterializeAll] {
+        let r = optimize(&batch, &cm, s);
+        if s == Strategy::MaterializeAll {
+            // Materializing unshared nodes can only hurt or tie.
+            assert!(r.total_cost >= volcano.total_cost - 1e-9);
+        } else {
+            assert_eq!(r.total_cost, volcano.total_cost, "{}", r.strategy);
+            assert!(r.materialized.is_empty());
+        }
+    }
+}
+
+#[test]
+fn identical_duplicate_queries_share_their_whole_root() {
+    // The same query submitted twice: the root group unifies; materializing
+    // it computes the query once.
+    let mut ctx = DagContext::new(tiny_catalog());
+    let r = ctx.instance_by_name("r", 0);
+    let s = ctx.instance_by_name("s", 0);
+    let pred = Predicate::join(ctx.col(r, "r_key"), ctx.col(s, "s_fk"));
+    let sel = Predicate::on(ctx.col(r, "r_x"), Constraint::eq(3));
+    let q = PlanNode::scan(r).select(sel).join(PlanNode::scan(s), pred);
+    let batch = BatchDag::build(ctx, &[q.clone(), q], &RuleSet::default());
+    assert_eq!(
+        batch.memo.find(batch.query_roots[0]),
+        batch.memo.find(batch.query_roots[1]),
+        "identical queries must land on the same root group"
+    );
+    let cm = DiskCostModel::paper();
+    let volcano = optimize(&batch, &cm, Strategy::Volcano);
+    let greedy = optimize(&batch, &cm, Strategy::Greedy);
+    assert!(
+        greedy.total_cost < volcano.total_cost,
+        "sharing a duplicated query must pay off ({} vs {})",
+        greedy.total_cost,
+        volcano.total_cost
+    );
+}
+
+#[test]
+fn unsatisfiable_predicate_yields_zero_row_groups_but_valid_plans() {
+    let mut ctx = DagContext::new(tiny_catalog());
+    let r = ctx.instance_by_name("r", 0);
+    let x = ctx.col(r, "r_x");
+    // x = 3 AND x = 5: unsatisfiable after normalization.
+    let q = PlanNode::scan(r).select(
+        Predicate::on(x, Constraint::eq(3)).and(&Predicate::on(x, Constraint::eq(5))),
+    );
+    let batch = BatchDag::build(ctx, &[q], &RuleSet::default());
+    let root = batch.query_roots[0];
+    assert_eq!(batch.memo.props(root).rows, 0.0);
+    let cm = DiskCostModel::paper();
+    let rep = optimize(&batch, &cm, Strategy::Volcano);
+    assert!(rep.total_cost.is_finite() && rep.total_cost > 0.0);
+}
+
+#[test]
+fn out_of_domain_constant_estimates_zero_rows() {
+    let mut ctx = DagContext::new(tiny_catalog());
+    let r = ctx.instance_by_name("r", 0);
+    let q = PlanNode::scan(r).select(Predicate::on(ctx.col(r, "r_x"), Constraint::eq(999)));
+    let batch = BatchDag::build(ctx, &[q], &RuleSet::default());
+    assert_eq!(batch.memo.props(batch.query_roots[0]).rows, 0.0);
+}
+
+#[test]
+fn paper_128mb_memory_configuration_runs() {
+    // Section 6: "we also conducted experiments with memory sizes of
+    // 128MB". More memory never makes plans more expensive (fewer external
+    // sort passes, fewer NL-join respools).
+    let cm_6mb = DiskCostModel::paper();
+    let cm_128mb = DiskCostModel::paper_128mb();
+    assert!(cm_128mb.memory_blocks > cm_6mb.memory_blocks);
+    for i in [2usize, 3] {
+        let w6 = mqo_tpcd::batched(i, 1.0);
+        let b6 = BatchDag::build(w6.ctx, &w6.queries, &RuleSet::default());
+        let w128 = mqo_tpcd::batched(i, 1.0);
+        let b128 = BatchDag::build(w128.ctx, &w128.queries, &RuleSet::default());
+        for s in [Strategy::Volcano, Strategy::Greedy] {
+            let r6 = optimize(&b6, &cm_6mb, s);
+            let r128 = optimize(&b128, &cm_128mb, s);
+            assert!(
+                r128.total_cost <= r6.total_cost + 1e-6,
+                "BQ{i} {}: 128MB {} should not exceed 6MB {}",
+                r6.strategy,
+                r128.total_cost,
+                r6.total_cost
+            );
+        }
+    }
+}
+
+#[test]
+fn sort_cost_reflects_memory_budget() {
+    let cm_6mb = DiskCostModel::paper();
+    let cm_128mb = DiskCostModel::paper_128mb();
+    // 10k blocks: external under 6MB (1536 blocks), in-memory under 128MB.
+    let b = 10_000.0;
+    assert!(cm_6mb.sort(b) > cm_128mb.sort(b));
+    assert_eq!(cm_128mb.sort(b), b * 0.2);
+}
+
+#[test]
+fn empty_candidate_strategies_are_stable_under_rule_subsets() {
+    // Running with only the join rules (no subsumption) must still produce
+    // valid, consistent results — just possibly fewer sharing options.
+    let w_full = mqo_tpcd::batched(2, 1.0);
+    let full = BatchDag::build(w_full.ctx, &w_full.queries, &RuleSet::default());
+    let w_joins = mqo_tpcd::batched(2, 1.0);
+    let joins = BatchDag::build(w_joins.ctx, &w_joins.queries, &RuleSet::joins_only());
+    let cm = DiskCostModel::paper();
+    let r_full = optimize(&full, &cm, Strategy::Greedy);
+    let r_joins = optimize(&joins, &cm, Strategy::Greedy);
+    // The richer rule set can only expose more sharing.
+    assert!(
+        r_full.total_cost <= r_joins.total_cost + 1e-6,
+        "subsumption rules must not hurt: {} vs {}",
+        r_full.total_cost,
+        r_joins.total_cost
+    );
+    assert!(full.universe_size() >= joins.universe_size());
+}
