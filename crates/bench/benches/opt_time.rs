@@ -1,13 +1,15 @@
-//! Criterion benchmark behind Figures 4c and 5c: optimization time of
-//! stand-alone Volcano, Greedy, and MarginalGreedy per workload.
+//! Benchmark behind Figures 4c and 5c: optimization time of stand-alone
+//! Volcano, Greedy, and MarginalGreedy per workload.
 //!
 //! The paper plots these in log scale to show Greedy and MarginalGreedy
-//! nearly coinciding; the criterion groups here measure the same quantity
-//! (DAG construction is excluded — the paper measures the node-selection
-//! phase on an already-built DAG).
+//! nearly coinciding; the groups here measure the same quantity (DAG
+//! construction is excluded — the paper measures the node-selection phase
+//! on an already-built DAG).
+//!
+//! Runs under the in-repo timing harness (`mqo_bench::timing`), not
+//! criterion — the build is offline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use mqo_bench::timing::{bench_id, BenchGroup};
 use mqo_core::batch::BatchDag;
 use mqo_core::strategies::{optimize, Strategy};
 use mqo_volcano::cost::DiskCostModel;
@@ -18,40 +20,36 @@ fn build(i: usize) -> BatchDag {
     BatchDag::build(w.ctx, &w.queries, &RuleSet::default())
 }
 
-fn bench_batched(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figure4c_opt_time");
+fn bench_batched() {
+    let mut group = BenchGroup::new("figure4c_opt_time");
     group.sample_size(10);
     for i in [2usize, 4, 6] {
         let batch = build(i);
         let cm = DiskCostModel::paper();
         for s in [Strategy::Volcano, Strategy::Greedy, Strategy::MarginalGreedy] {
-            group.bench_with_input(
-                BenchmarkId::new(s.name(), format!("BQ{i}")),
-                &batch,
-                |b, batch| b.iter(|| optimize(batch, &cm, s)),
-            );
+            group.bench(bench_id(s.name(), format!("BQ{i}")), || {
+                optimize(&batch, &cm, s)
+            });
         }
     }
     group.finish();
 }
 
-fn bench_standalone(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figure5c_opt_time");
+fn bench_standalone() {
+    let mut group = BenchGroup::new("figure5c_opt_time");
     group.sample_size(10);
     for name in mqo_tpcd::STANDALONE_NAMES {
         let w = mqo_tpcd::standalone(name, 1.0);
         let batch = BatchDag::build(w.ctx, &w.queries, &RuleSet::default());
         let cm = DiskCostModel::paper();
         for s in [Strategy::Volcano, Strategy::Greedy, Strategy::MarginalGreedy] {
-            group.bench_with_input(
-                BenchmarkId::new(s.name(), name),
-                &batch,
-                |b, batch| b.iter(|| optimize(batch, &cm, s)),
-            );
+            group.bench(bench_id(s.name(), name), || optimize(&batch, &cm, s));
         }
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_batched, bench_standalone);
-criterion_main!(benches);
+fn main() {
+    bench_batched();
+    bench_standalone();
+}

@@ -2,9 +2,11 @@
 //! abstract level): eager vs lazy MarginalGreedy, the §5.1 ratio pruning,
 //! and the Greedy/LazyGreedy pair, on Profitted Max Coverage and random
 //! coverage-minus-cost instances.
+//!
+//! Runs under the in-repo timing harness (`mqo_bench::timing`), not
+//! criterion — the build is offline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use mqo_bench::timing::{bench_id, BenchGroup};
 use mqo_submod::algorithms::greedy::{greedy, lazy_greedy, Config as GreedyConfig};
 use mqo_submod::algorithms::lazy::lazy_marginal_greedy;
 use mqo_submod::algorithms::marginal_greedy::{marginal_greedy, Config};
@@ -14,8 +16,8 @@ use mqo_submod::function::SetFunction;
 use mqo_submod::instances::profitted::ProfittedMaxCoverage;
 use mqo_submod::instances::random::{random_coverage_minus_cost, CoverageParams};
 
-fn bench_marginal_variants(c: &mut Criterion) {
-    let mut group = c.benchmark_group("marginal_greedy_variants");
+fn bench_marginal_variants() {
+    let mut group = BenchGroup::new("marginal_greedy_variants");
     for n_sets in [32usize, 96, 192] {
         let f = random_coverage_minus_cost(
             CoverageParams {
@@ -29,35 +31,29 @@ fn bench_marginal_variants(c: &mut Criterion) {
         );
         let d = Decomposition::canonical(&f);
         let full = BitSet::full(n_sets);
-        group.bench_with_input(BenchmarkId::new("eager", n_sets), &n_sets, |b, _| {
-            b.iter(|| marginal_greedy(&f, &d, &full, Config::default()))
+        group.bench(bench_id("eager", n_sets), || {
+            marginal_greedy(&f, &d, &full, Config::default())
         });
-        group.bench_with_input(BenchmarkId::new("lazy", n_sets), &n_sets, |b, _| {
-            b.iter(|| lazy_marginal_greedy(&f, &d, &full, Config::default()))
+        group.bench(bench_id("lazy", n_sets), || {
+            lazy_marginal_greedy(&f, &d, &full, Config::default())
         });
-        group.bench_with_input(
-            BenchmarkId::new("eager_no_pruning", n_sets),
-            &n_sets,
-            |b, _| {
-                b.iter(|| {
-                    marginal_greedy(
-                        &f,
-                        &d,
-                        &full,
-                        Config {
-                            prune_ratio_below_one: false,
-                            ..Default::default()
-                        },
-                    )
-                })
-            },
-        );
+        group.bench(bench_id("eager_no_pruning", n_sets), || {
+            marginal_greedy(
+                &f,
+                &d,
+                &full,
+                Config {
+                    prune_ratio_below_one: false,
+                    ..Default::default()
+                },
+            )
+        });
     }
     group.finish();
 }
 
-fn bench_greedy_variants(c: &mut Criterion) {
-    let mut group = c.benchmark_group("greedy_variants");
+fn bench_greedy_variants() {
+    let mut group = BenchGroup::new("greedy_variants");
     for n_sets in [32usize, 96] {
         let f = random_coverage_minus_cost(
             CoverageParams {
@@ -70,29 +66,32 @@ fn bench_greedy_variants(c: &mut Criterion) {
             11,
         );
         let full = BitSet::full(n_sets);
-        group.bench_with_input(BenchmarkId::new("eager", n_sets), &n_sets, |b, _| {
-            b.iter(|| greedy(&f, &full, GreedyConfig::default()))
+        group.bench(bench_id("eager", n_sets), || {
+            greedy(&f, &full, GreedyConfig::default())
         });
-        group.bench_with_input(BenchmarkId::new("lazy", n_sets), &n_sets, |b, _| {
-            b.iter(|| lazy_greedy(&f, &full, GreedyConfig::default()))
+        group.bench(bench_id("lazy", n_sets), || {
+            lazy_greedy(&f, &full, GreedyConfig::default())
         });
     }
     group.finish();
 }
 
-fn bench_profitted(c: &mut Criterion) {
-    let mut group = c.benchmark_group("profitted_max_coverage");
+fn bench_profitted() {
+    let mut group = BenchGroup::new("profitted_max_coverage");
     for blocks in [8usize, 16] {
         let inst = ProfittedMaxCoverage::hard_instance(blocks, 6, 3, 2.0);
         let n = inst.universe();
         let d = Decomposition::canonical(&inst);
         let full = BitSet::full(n);
-        group.bench_with_input(BenchmarkId::new("marginal_greedy", n), &n, |b, _| {
-            b.iter(|| marginal_greedy(&inst, &d, &full, Config::default()))
+        group.bench(bench_id("marginal_greedy", n), || {
+            marginal_greedy(&inst, &d, &full, Config::default())
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_marginal_variants, bench_greedy_variants, bench_profitted);
-criterion_main!(benches);
+fn main() {
+    bench_marginal_variants();
+    bench_greedy_variants();
+    bench_profitted();
+}

@@ -1,0 +1,131 @@
+//! A tiny zero-dependency timing harness for the `harness = false` bench
+//! targets.
+//!
+//! The build environment is offline, so the workspace cannot pull in
+//! criterion; this module provides the subset the benches need: named
+//! groups, per-benchmark warmup, N timed samples, and a median report.
+//! Bench IDs keep criterion's `group/function/parameter` shape so existing
+//! tooling that greps bench output keeps working.
+//!
+//! Environment knobs:
+//!
+//! * `MQO_BENCH_SAMPLES` — timed samples per benchmark (default 5; the
+//!   reported figure is their median). Set to 1 for a smoke run.
+//! * `MQO_BENCH_WARMUP` — warmup iterations per benchmark (default 1;
+//!   0 is honored, timing the cold first iteration).
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] for benchmark bodies.
+pub use std::hint::black_box;
+
+fn env_usize(name: &str, default: usize, min: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= min)
+        .unwrap_or(default)
+}
+
+/// A named group of benchmarks, the criterion `benchmark_group`
+/// equivalent.
+pub struct BenchGroup {
+    name: String,
+    samples: usize,
+    warmup: usize,
+}
+
+impl BenchGroup {
+    /// Creates a group; sample and warmup counts come from the
+    /// `MQO_BENCH_SAMPLES` / `MQO_BENCH_WARMUP` environment variables.
+    pub fn new(name: impl Into<String>) -> Self {
+        BenchGroup {
+            name: name.into(),
+            // At least one sample (a median needs data); warmup may be 0
+            // to time the cold first iteration.
+            samples: env_usize("MQO_BENCH_SAMPLES", 5, 1),
+            warmup: env_usize("MQO_BENCH_WARMUP", 1, 0),
+        }
+    }
+
+    /// Sets the number of timed samples (criterion's `sample_size`).
+    /// `MQO_BENCH_SAMPLES`, when set to a valid count, wins — so smoke
+    /// runs can force 1 sample everywhere regardless of per-group tuning.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = env_usize("MQO_BENCH_SAMPLES", n.max(1), 1);
+        self
+    }
+
+    /// Times `f` (warmup, then the configured number of samples) and
+    /// prints the median under `group/id`. Each sample is one call of `f`;
+    /// the return value is routed through [`black_box`] so the work is not
+    /// optimized away.
+    pub fn bench<R>(&mut self, id: impl std::fmt::Display, mut f: impl FnMut() -> R) {
+        for _ in 0..self.warmup {
+            black_box(f());
+        }
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(f());
+                start.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        let median = times[times.len() / 2];
+        println!(
+            "{}/{id}: median {} over {} sample(s)  [min {}, max {}]",
+            self.name,
+            fmt_duration(median),
+            times.len(),
+            fmt_duration(times[0]),
+            fmt_duration(times[times.len() - 1]),
+        );
+    }
+
+    /// Ends the group (prints a separating blank line, mirroring
+    /// criterion's `finish`).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Formats a criterion-style `function/parameter` bench ID.
+pub fn bench_id(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> String {
+    format!("{function}/{parameter}")
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_at_least_once_and_reports() {
+        let mut calls = 0usize;
+        let mut g = BenchGroup::new("timing_smoke");
+        g.sample_size(2);
+        g.bench(bench_id("count", 1), || {
+            calls += 1;
+            calls
+        });
+        g.finish();
+        // warmup (>= 1) + samples (>= 1)
+        assert!(calls >= 2, "{calls}");
+    }
+
+    #[test]
+    fn id_has_criterion_shape() {
+        assert_eq!(bench_id("eager", 32), "eager/32");
+    }
+}

@@ -70,13 +70,12 @@ mod tests {
             let cut = crate::instances::cut::CutFunction::new(
                 8,
                 &{
-                    use rand::{Rng, SeedableRng};
-                    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                    let mut rng = crate::prng::Prng::seed_from_u64(seed);
                     let mut edges = Vec::new();
                     for u in 0..8usize {
                         for v in (u + 1)..8 {
-                            if rng.random_bool(0.5) {
-                                edges.push((u, v, rng.random_range(0.5..2.0)));
+                            if rng.gen_bool(0.5) {
+                                edges.push((u, v, rng.gen_range(0.5..2.0)));
                             }
                         }
                     }

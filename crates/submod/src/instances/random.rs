@@ -3,12 +3,10 @@
 //! Every generator takes an explicit seed so property tests and benches are
 //! reproducible.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::instances::coverage::WeightedCoverage;
 use crate::instances::cut::{CutFunction, CutMinusCost};
 use crate::instances::profitted::ProfittedMaxCoverage;
+use crate::prng::Prng;
 
 /// Parameters for random coverage-minus-cost instances.
 #[derive(Clone, Copy, Debug)]
@@ -36,17 +34,17 @@ impl Default for CoverageParams {
 
 /// A random weighted coverage function (monotone, submodular, normalized).
 pub fn random_coverage(params: CoverageParams, seed: u64) -> WeightedCoverage {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     let sets = (0..params.n_sets)
         .map(|_| {
             (0..params.n_items)
-                .filter(|_| rng.random_bool(params.density.clamp(0.0, 1.0)))
+                .filter(|_| rng.gen_bool(params.density))
                 .collect()
         })
         .collect();
     let (lo, hi) = params.weight_range;
     let weights = (0..params.n_items)
-        .map(|_| rng.random_range(lo..hi))
+        .map(|_| rng.gen_range(lo..hi))
         .collect();
     WeightedCoverage::new(params.n_items, sets, weights)
 }
@@ -93,29 +91,29 @@ pub fn random_coverage_minus_cost(
     seed: u64,
 ) -> CoverageMinusCost {
     let coverage = random_coverage(params, seed);
-    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x9E3779B97F4A7C15));
+    let mut rng = Prng::seed_from_u64(seed.wrapping_add(0x9E3779B97F4A7C15));
     // Mean marginal weight of a set is density * n_items * mean_weight; scale
     // costs relative to that so instances straddle profitability.
     let mean_w = (params.weight_range.0 + params.weight_range.1) / 2.0;
     let base = params.density * params.n_items as f64 * mean_w;
     let costs = (0..params.n_sets)
-        .map(|_| rng.random_range(0.1..1.0) * base * cost_scale)
+        .map(|_| rng.gen_range(0.1..1.0) * base * cost_scale)
         .collect();
     CoverageMinusCost { coverage, costs }
 }
 
 /// A random Erdős–Rényi cut-minus-cost instance.
 pub fn random_cut_minus_cost(n: usize, edge_prob: f64, seed: u64) -> CutMinusCost {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     let mut edges = Vec::new();
     for u in 0..n {
         for v in (u + 1)..n {
-            if rng.random_bool(edge_prob.clamp(0.0, 1.0)) {
-                edges.push((u, v, rng.random_range(0.5..3.0)));
+            if rng.gen_bool(edge_prob) {
+                edges.push((u, v, rng.gen_range(0.5..3.0)));
             }
         }
     }
-    let costs = (0..n).map(|_| rng.random_range(0.0..2.0)).collect();
+    let costs = (0..n).map(|_| rng.gen_range(0.0..2.0)).collect();
     CutFunction::new(n, &edges).with_vertex_costs(costs)
 }
 

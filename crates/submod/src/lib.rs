@@ -42,6 +42,7 @@ pub mod bounds;
 pub mod decompose;
 pub mod function;
 pub mod instances;
+pub mod prng;
 
 pub use bitset::BitSet;
 pub use decompose::Decomposition;

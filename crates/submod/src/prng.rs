@@ -1,0 +1,294 @@
+//! A small, zero-dependency, seeded PRNG for tests, benches, and random
+//! instance generators.
+//!
+//! The build environment is offline, so the workspace cannot pull in the
+//! `rand` crate; this module provides the subset the repo needs: a
+//! deterministic 64-bit generator (xoshiro256** seeded through SplitMix64)
+//! with `gen_range`/`gen_bool` equivalents over the integer and float
+//! ranges used by the instance generators and the seeded-sweep property
+//! tests.
+//!
+//! Not cryptographically secure — statistical quality only.
+//!
+//! # Example
+//!
+//! ```
+//! use mqo_submod::prng::Prng;
+//!
+//! let mut rng = Prng::seed_from_u64(42);
+//! let x = rng.gen_range(0.5_f64..2.0);
+//! assert!((0.5..2.0).contains(&x));
+//! let k = rng.gen_range(4_usize..=10);
+//! assert!((4..=10).contains(&k));
+//! // Same seed, same stream.
+//! let mut again = Prng::seed_from_u64(42);
+//! assert_eq!(again.gen_range(0.5_f64..2.0), x);
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64 step: the standard seeding/stream-splitting mixer.
+///
+/// Used to expand a single `u64` seed into the generator state and to
+/// derive independent child seeds (`Prng::derive_seed`).
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded xoshiro256** generator.
+///
+/// Deterministic: the same seed always produces the same stream, on every
+/// platform and in every run. Distinct seeds produce (statistically)
+/// independent streams because the state is expanded through SplitMix64.
+#[derive(Clone, Debug)]
+pub struct Prng {
+    s: [u64; 4],
+}
+
+impl Prng {
+    /// Creates a generator from a 64-bit seed (the `rand`
+    /// `SeedableRng::seed_from_u64` equivalent).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Prng { s }
+    }
+
+    /// Derives an independent child seed; useful for seeded-sweep property
+    /// tests that need one fresh instance seed per case index.
+    pub fn derive_seed(base: u64, index: u64) -> u64 {
+        let mut sm = base ^ index.wrapping_mul(0xA076_1D64_78BD_642F);
+        splitmix64(&mut sm)
+    }
+
+    /// The next raw 64 bits (xoshiro256** output function).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 random mantissa bits).
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// A uniform draw from `range` (the `rand` `Rng::gen_range` /
+    /// `Rng::random_range` equivalent). Accepts `lo..hi` and `lo..=hi`
+    /// over `f64`, `usize`, `u64`, `i64`, and `u8`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn gen_range<R: UniformRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// A uniform `u64` in `[0, bound)` via the multiply-shift method
+    /// (bias at most 2⁻⁶⁴·bound, negligible for every use here).
+    #[inline]
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// Runs `body` once per derived seed — the offline replacement for a
+/// proptest runner.
+///
+/// Each case gets its own [`Prng`] seeded with `Prng::derive_seed(base_seed,
+/// i)`. A panic inside `body` (a failed assertion) is re-raised with the
+/// property name, case index, and the exact offending seed, so failures
+/// reproduce directly (`Prng::seed_from_u64(<printed seed>)`) without any
+/// shrinking machinery.
+///
+/// Cases that do not apply (the `prop_assume!` equivalent) should simply
+/// `return` early from `body`.
+pub fn seeded_sweep<F>(name: &str, base_seed: u64, cases: u64, body: F)
+where
+    F: Fn(&mut Prng),
+{
+    for i in 0..cases {
+        let seed = Prng::derive_seed(base_seed, i);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut rng = Prng::seed_from_u64(seed);
+            body(&mut rng);
+        }));
+        if let Err(payload) = outcome {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&'static str>().copied())
+                .unwrap_or("non-string panic payload");
+            panic!(
+                "property `{name}`: case {i}/{cases} failed \
+                 (reproduce with seed {seed:#018x}): {msg}"
+            );
+        }
+    }
+}
+
+/// Ranges [`Prng::gen_range`] can sample from.
+pub trait UniformRange {
+    type Output;
+    fn sample(self, rng: &mut Prng) -> Self::Output;
+}
+
+impl UniformRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut Prng) -> f64 {
+        assert!(self.start < self.end, "empty range {:?}", self);
+        let x = self.start + (self.end - self.start) * rng.next_f64();
+        // Floating-point rounding can land exactly on `end`; clamp back
+        // into the half-open interval.
+        if x >= self.end {
+            self.end.next_down()
+        } else {
+            x
+        }
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Prng) -> $t {
+                assert!(self.start < self.end, "empty range {:?}", self);
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl UniformRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Prng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range {lo}..={hi}");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Full-width i64/u64 range: any u64 is uniform.
+                    return (lo as i128 + rng.next_u64() as i128) as $t;
+                }
+                (lo as i128 + rng.below(span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(usize, u64, i64, u8, u32, i32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_runs_for_fixed_seed() {
+        let mut a = Prng::seed_from_u64(12345);
+        let mut b = Prng::seed_from_u64(12345);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_streams() {
+        let mut a = Prng::seed_from_u64(1);
+        let mut b = Prng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+        // Even a 1-bit seed difference decorrelates (SplitMix64 expansion).
+        let mut c = Prng::seed_from_u64(1 << 63 | 1);
+        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn regression_known_seed_prefix() {
+        // Pins the exact first outputs of seed 0 so any accidental change
+        // to the seeding or output function is caught: instance generators
+        // and seeded-sweep tests all depend on this stream being stable.
+        let mut rng = Prng::seed_from_u64(0);
+        let got: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![
+                11091344671253066420,
+                13793997310169335082,
+                1900383378846508768,
+                7684712102626143532,
+            ]
+        );
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = Prng::seed_from_u64(7);
+        for _ in 0..2000 {
+            let x = rng.gen_range(0.5_f64..2.0);
+            assert!((0.5..2.0).contains(&x), "{x}");
+            let k = rng.gen_range(4_usize..=10);
+            assert!((4..=10).contains(&k), "{k}");
+            let v = rng.gen_range(-1000_i64..1000);
+            assert!((-1000..1000).contains(&v), "{v}");
+            let m = rng.gen_range(1_u8..8);
+            assert!((1..8).contains(&m), "{m}");
+        }
+    }
+
+    #[test]
+    fn gen_range_hits_both_endpoints_inclusive() {
+        let mut rng = Prng::seed_from_u64(11);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[rng.gen_range(0_usize..=2)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_is_calibrated() {
+        let mut rng = Prng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2700..3300).contains(&hits), "{hits}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn derive_seed_is_injective_in_practice() {
+        let seeds: Vec<u64> = (0..64).map(|i| Prng::derive_seed(99, i)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len());
+    }
+}

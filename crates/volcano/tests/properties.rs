@@ -1,15 +1,21 @@
 //! Property-based tests for the optimizer substrate: estimation and memo
 //! invariants under randomized inputs.
-
-use proptest::prelude::*;
+//!
+//! The build is offline, so instead of proptest these run as deterministic
+//! seeded sweeps (see `mqo_submod::prng`): each case derives its inputs
+//! from a per-case seed, and failures panic with that seed.
 
 use mqo_catalog::{Catalog, ColumnStats, TableBuilder};
+use mqo_submod::prng::{seeded_sweep, Prng};
 use mqo_volcano::cost::{CostModel, DiskCostModel};
 use mqo_volcano::logical::LogicalOp;
 use mqo_volcano::memo::Memo;
 use mqo_volcano::optimizer::{MatOverlay, Optimizer, PlanTable};
 use mqo_volcano::rules::{expand, RuleSet};
 use mqo_volcano::{Constraint, DagContext, PlanNode, Predicate};
+
+const CASES: u64 = 48;
+const SWEEP_SEED: u64 = 0x5EED_0002;
 
 /// A catalog with `k` chained tables (table i joins table i+1 via `next`).
 fn chain_catalog(k: usize, base_rows: f64) -> Catalog {
@@ -52,19 +58,24 @@ fn chain_query(ctx: &mut DagContext, k: usize, sels: &[Option<i64>]) -> PlanNode
     plan
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// A per-table selection mask drawn from the low bits of `mask`.
+fn draw_sels(rng: &mut Prng, k: usize, constant: i64) -> Vec<Option<i64>> {
+    let mask = rng.gen_range(0u8..16);
+    (0..k)
+        .map(|i| (mask >> i & 1 == 1).then_some(constant))
+        .collect()
+}
 
-    /// Constraint selectivities are probabilities; intersections never
-    /// increase selectivity.
-    #[test]
-    fn prop_selectivity_in_unit_interval(
-        distinct in 1.0f64..10_000.0,
-        min in -1000i64..1000,
-        span in 1i64..100_000,
-        v1 in -2000i64..110_000,
-        v2 in -2000i64..110_000,
-    ) {
+/// Constraint selectivities are probabilities; intersections never
+/// increase selectivity.
+#[test]
+fn prop_selectivity_in_unit_interval() {
+    seeded_sweep("selectivity_in_unit_interval", SWEEP_SEED, CASES, |rng| {
+        let distinct = rng.gen_range(1.0f64..10_000.0);
+        let min = rng.gen_range(-1000i64..1000);
+        let span = rng.gen_range(1i64..100_000);
+        let v1 = rng.gen_range(-2000i64..110_000);
+        let v2 = rng.gen_range(-2000i64..110_000);
         let stats = ColumnStats::new(distinct, min, min + span);
         for c in [
             Constraint::eq(v1),
@@ -74,58 +85,54 @@ proptest! {
             Constraint::in_list(vec![v1, v2]),
         ] {
             let s = c.selectivity(&stats);
-            prop_assert!((0.0..=1.0).contains(&s), "{c:?} -> {s}");
+            assert!((0.0..=1.0).contains(&s), "{c:?} -> {s}");
         }
         let a = Constraint::le(v1.max(v2));
         let b = Constraint::ge(v1.min(v2));
         let both = a.intersect(&b);
-        prop_assert!(both.selectivity(&stats) <= a.selectivity(&stats) + 1e-12);
-        prop_assert!(both.selectivity(&stats) <= b.selectivity(&stats) + 1e-12);
-    }
+        assert!(both.selectivity(&stats) <= a.selectivity(&stats) + 1e-12);
+        assert!(both.selectivity(&stats) <= b.selectivity(&stats) + 1e-12);
+    });
+}
 
-    /// Inserting the same plan twice is a no-op; expansion is idempotent;
-    /// all costs are finite and positive.
-    #[test]
-    fn prop_memo_idempotent_and_costs_finite(
-        k in 2usize..5,
-        base_rows in 100.0f64..50_000.0,
-        sel_mask in 0u8..16,
-    ) {
+/// Inserting the same plan twice is a no-op; expansion is idempotent;
+/// all costs are finite and positive.
+#[test]
+fn prop_memo_idempotent_and_costs_finite() {
+    seeded_sweep("memo_idempotent", SWEEP_SEED + 1, CASES, |rng| {
+        let k = rng.gen_range(2usize..5);
+        let base_rows = rng.gen_range(100.0f64..50_000.0);
         let cat = chain_catalog(k, base_rows);
         let mut ctx = DagContext::new(cat);
-        let sels: Vec<Option<i64>> = (0..k)
-            .map(|i| (sel_mask >> i & 1 == 1).then_some(7))
-            .collect();
+        let sels = draw_sels(rng, k, 7);
         let q = chain_query(&mut ctx, k, &sels);
         let mut memo = Memo::new(ctx);
         let g1 = memo.insert_plan(&q);
         let g2 = memo.insert_plan(&q);
-        prop_assert_eq!(memo.find(g1), memo.find(g2));
+        assert_eq!(memo.find(g1), memo.find(g2));
 
         let s1 = expand(&mut memo, &RuleSet::default());
         let s2 = expand(&mut memo, &RuleSet::default());
-        prop_assert_eq!(s1.exprs, s2.exprs);
-        prop_assert_eq!(s2.passes, 1);
+        assert_eq!(s1.exprs, s2.exprs);
+        assert_eq!(s2.passes, 1);
 
         let cm = DiskCostModel::paper();
         let opt = Optimizer::new(&memo, &cm);
         let mut table = PlanTable::new();
         let cost = opt.best_use_cost(g1, &MatOverlay::empty(), &mut table);
-        prop_assert!(cost.is_finite() && cost > 0.0);
-    }
+        assert!(cost.is_finite() && cost > 0.0, "cost {cost}");
+    });
+}
 
-    /// Group logical properties stay consistent after expansion: every
-    /// expression's recomputed row estimate matches its group's.
-    #[test]
-    fn prop_group_cardinalities_consistent(
-        k in 2usize..5,
-        sel_mask in 0u8..16,
-    ) {
+/// Group logical properties stay consistent after expansion: every
+/// expression's recomputed row estimate matches its group's.
+#[test]
+fn prop_group_cardinalities_consistent() {
+    seeded_sweep("group_cardinalities", SWEEP_SEED + 2, CASES, |rng| {
+        let k = rng.gen_range(2usize..5);
         let cat = chain_catalog(k, 1000.0);
         let mut ctx = DagContext::new(cat);
-        let sels: Vec<Option<i64>> = (0..k)
-            .map(|i| (sel_mask >> i & 1 == 1).then_some(3))
-            .collect();
+        let sels = draw_sels(rng, k, 3);
         let q = chain_query(&mut ctx, k, &sels);
         let mut memo = Memo::new(ctx);
         memo.insert_plan(&q);
@@ -135,23 +142,24 @@ proptest! {
         for e in memo.expr_ids() {
             let g = memo.group_of(e);
             let props = memo.props(g);
-            prop_assert!(props.rows.is_finite() && props.rows >= 0.0);
+            assert!(props.rows.is_finite() && props.rows >= 0.0, "rows {}", props.rows);
             if let LogicalOp::Join(_) = &memo.expr(e).op {
                 let ch = &memo.expr(e).children;
                 let l = memo.props(memo.find(ch[0])).leaves.len();
                 let r = memo.props(memo.find(ch[1])).leaves.len();
-                prop_assert_eq!(l + r, props.leaves.len());
+                assert_eq!(l + r, props.leaves.len());
             }
         }
-    }
+    });
+}
 
-    /// Materialization monotonicity: adding a group to the overlay never
-    /// increases the best-use cost of any other group.
-    #[test]
-    fn prop_overlay_monotone(
-        k in 2usize..4,
-        sel in proptest::option::of(0i64..64),
-    ) {
+/// Materialization monotonicity: adding a group to the overlay never
+/// increases the best-use cost of any other group.
+#[test]
+fn prop_overlay_monotone() {
+    seeded_sweep("overlay_monotone", SWEEP_SEED + 3, CASES, |rng| {
+        let k = rng.gen_range(2usize..4);
+        let sel = rng.gen_bool(0.5).then(|| rng.gen_range(0i64..64));
         let cat = chain_catalog(k, 20_000.0);
         let mut ctx = DagContext::new(cat);
         let sels: Vec<Option<i64>> = std::iter::once(sel)
@@ -175,24 +183,28 @@ proptest! {
             let overlay = MatOverlay::new(&memo, [g]);
             let mut t = PlanTable::new();
             let with = opt.best_use_cost(root, &overlay, &mut t);
-            prop_assert!(
+            assert!(
                 with <= plain + 1e-9 * (1.0 + plain),
                 "overlaying {g:?} increased buc: {with} > {plain}"
             );
         }
-    }
+    });
+}
 
-    /// The disk cost model is monotone in blocks for every operator.
-    #[test]
-    fn prop_cost_model_monotone(b1 in 1.0f64..1e6, factor in 1.0f64..100.0) {
+/// The disk cost model is monotone in blocks for every operator.
+#[test]
+fn prop_cost_model_monotone() {
+    seeded_sweep("cost_model_monotone", SWEEP_SEED + 4, CASES, |rng| {
+        let b1 = rng.gen_range(1.0f64..1e6);
+        let factor = rng.gen_range(1.0f64..100.0);
         let m = DiskCostModel::paper();
         let b2 = b1 * factor;
-        prop_assert!(m.table_scan(b2) >= m.table_scan(b1));
-        prop_assert!(m.index_scan(b2) >= m.index_scan(b1));
-        prop_assert!(m.sort(b2) >= m.sort(b1) - 1e-9);
-        prop_assert!(m.materialize_write(b2) >= m.materialize_write(b1));
-        prop_assert!(m.materialize_read(b2) >= m.materialize_read(b1));
-        prop_assert!(m.nl_join(b2, 10.0, 1.0) >= m.nl_join(b1, 10.0, 1.0));
-        prop_assert!(m.merge_join(b2, 10.0, 1.0) >= m.merge_join(b1, 10.0, 1.0));
-    }
+        assert!(m.table_scan(b2) >= m.table_scan(b1));
+        assert!(m.index_scan(b2) >= m.index_scan(b1));
+        assert!(m.sort(b2) >= m.sort(b1) - 1e-9);
+        assert!(m.materialize_write(b2) >= m.materialize_write(b1));
+        assert!(m.materialize_read(b2) >= m.materialize_read(b1));
+        assert!(m.nl_join(b2, 10.0, 1.0) >= m.nl_join(b1, 10.0, 1.0));
+        assert!(m.merge_join(b2, 10.0, 1.0) >= m.merge_join(b1, 10.0, 1.0));
+    });
 }

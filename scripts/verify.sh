@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Canonical tier-1 verification entrypoint (CI/tooling).
+#
+# The workspace has zero external dependencies, so everything here runs
+# with --offline against an empty registry cache. Steps:
+#   1. release build of every default-member crate
+#   2. full test suite (unit + integration + doc-tests, warning-free)
+#   3. all remaining targets: examples, benches, experiment binaries
+#   4. one smoke iteration of each bench target via the in-repo harness
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+echo "==> cargo build --all-targets --offline (examples, benches, bins)"
+cargo build --all-targets --offline
+
+echo "==> bench smoke (1 sample per benchmark)"
+for b in submod_algos bestcost opt_time; do
+    MQO_BENCH_SAMPLES=1 MQO_BENCH_WARMUP=1 cargo bench --offline -q -p mqo-bench --bench "$b"
+done
+
+echo "==> tier-1 verification passed"
