@@ -1,0 +1,173 @@
+//! Microbenchmark of the `bestCost` oracle itself: raw `bc(S)` evaluation
+//! throughput (evals/sec) on the TPCD 4-query batch, comparing
+//!
+//! * `full` — every evaluation runs the full bottom-up DP (`force_full`),
+//! * `incremental` — the overlay path relative to the committed base
+//!   (Section 5.1 / Roy et al.'s incremental recomputation),
+//! * `batched` — `bc_many`, evaluating a whole greedy round's candidates
+//!   against one shared base.
+//!
+//! The evaluation schedule replays what the greedy strategies actually do:
+//! a growing base set `X`, and per round one `bc(X ∪ {x})` probe for every
+//! remaining candidate `x`. All three modes see the identical schedule, so
+//! evals/sec is directly comparable.
+//!
+//! Set `MQO_BENCH_JSON=<path>` to additionally record the results as a JSON
+//! baseline (`scripts/verify.sh --bench-smoke` writes
+//! `BENCH_bc_oracle.json` at the repo root this way).
+
+use std::time::Instant;
+
+use mqo_core::batch::BatchDag;
+use mqo_core::engine::BestCostEngine;
+use mqo_submod::bitset::BitSet;
+use mqo_volcano::cost::DiskCostModel;
+use mqo_volcano::rules::RuleSet;
+
+/// One measured mode.
+struct ModeResult {
+    mode: &'static str,
+    evals: u64,
+    secs: f64,
+}
+
+impl ModeResult {
+    fn evals_per_sec(&self) -> f64 {
+        self.evals as f64 / self.secs.max(1e-12)
+    }
+}
+
+/// The greedy-round evaluation schedule: for each round, the base set and
+/// the candidate elements probed on top of it.
+fn schedule(n: usize) -> Vec<(BitSet, Vec<usize>)> {
+    let mut rounds = Vec::new();
+    let mut base = BitSet::empty(n);
+    let mut remaining: Vec<usize> = (0..n).collect();
+    // Deterministic pick order: keep adding the middle remaining element so
+    // the base grows exactly like a greedy run would.
+    while !remaining.is_empty() {
+        rounds.push((base.clone(), remaining.clone()));
+        let pick = remaining.remove(remaining.len() / 2);
+        base.insert(pick);
+    }
+    rounds
+}
+
+fn run_sequential(engine: &mut BestCostEngine, rounds: &[(BitSet, Vec<usize>)]) -> u64 {
+    let mut evals = 0u64;
+    let mut acc = 0.0f64;
+    for (base, candidates) in rounds {
+        for &e in candidates {
+            acc += engine.bc(&base.with(e));
+            evals += 1;
+        }
+    }
+    std::hint::black_box(acc);
+    evals
+}
+
+fn run_batched(engine: &mut BestCostEngine, rounds: &[(BitSet, Vec<usize>)]) -> u64 {
+    let mut evals = 0u64;
+    let mut acc = 0.0f64;
+    for (base, candidates) in rounds {
+        let sets: Vec<BitSet> = candidates.iter().map(|&e| base.with(e)).collect();
+        for v in engine.bc_many(&sets) {
+            acc += v;
+            evals += 1;
+        }
+    }
+    std::hint::black_box(acc);
+    evals
+}
+
+fn main() {
+    let w = mqo_tpcd::batched(4, 1.0);
+    let batch = BatchDag::build(w.ctx, &w.queries, &RuleSet::default());
+    let cm = DiskCostModel::paper();
+    let n = batch.universe_size();
+    let rounds = schedule(n);
+    let total_evals: u64 = rounds.iter().map(|(_, c)| c.len() as u64).sum();
+    println!(
+        "bc_oracle: TPCD BQ4, universe {n}, {} rounds, {} evals per pass",
+        rounds.len(),
+        total_evals
+    );
+
+    let samples: usize = std::env::var("MQO_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&s| s >= 1)
+        .unwrap_or(5);
+
+    let mut results: Vec<ModeResult> = Vec::new();
+    for mode in ["full", "incremental", "batched"] {
+        let mut engine = BestCostEngine::with_config(
+            &batch.memo,
+            &cm,
+            batch.root,
+            &batch.shareable,
+            mqo_core::engine::EngineConfig {
+                force_full: mode == "full",
+                ..Default::default()
+            },
+        );
+        // Warmup pass (grows scratch buffers to steady state).
+        match mode {
+            "batched" => run_batched(&mut engine, &rounds),
+            _ => run_sequential(&mut engine, &rounds),
+        };
+        let mut best_secs = f64::INFINITY;
+        let mut evals = 0u64;
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            evals = match mode {
+                "batched" => run_batched(&mut engine, &rounds),
+                _ => run_sequential(&mut engine, &rounds),
+            };
+            best_secs = best_secs.min(t0.elapsed().as_secs_f64());
+        }
+        let r = ModeResult {
+            mode,
+            evals,
+            secs: best_secs,
+        };
+        println!(
+            "bc_oracle/{}/BQ4: {:.0} evals/sec ({} evals in {:.3} ms, best of {samples})",
+            r.mode,
+            r.evals_per_sec(),
+            r.evals,
+            r.secs * 1e3
+        );
+        results.push(r);
+    }
+
+    let full = results[0].evals_per_sec();
+    let inc = results[1].evals_per_sec();
+    let bat = results[2].evals_per_sec();
+    println!(
+        "bc_oracle/speedup: incremental {:.1}x, batched {:.1}x over full",
+        inc / full,
+        bat / full
+    );
+
+    if let Ok(path) = std::env::var("MQO_BENCH_JSON") {
+        let entries: Vec<String> = results
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{\"mode\": \"{}\", \"evals\": {}, \"secs\": {:.6}, \"evals_per_sec\": {:.1}}}",
+                    r.mode,
+                    r.evals,
+                    r.secs,
+                    r.evals_per_sec()
+                )
+            })
+            .collect();
+        let json = format!(
+            "{{\n  \"bench\": \"bc_oracle\",\n  \"workload\": \"BQ4\",\n  \"universe\": {n},\n  \"samples\": {samples},\n  \"results\": [\n{}\n  ]\n}}\n",
+            entries.join(",\n")
+        );
+        std::fs::write(&path, json).expect("write MQO_BENCH_JSON baseline");
+        println!("bc_oracle: baseline written to {path}");
+    }
+}

@@ -26,7 +26,11 @@ fn bench_batched() {
     for i in [2usize, 4, 6] {
         let batch = build(i);
         let cm = DiskCostModel::paper();
-        for s in [Strategy::Volcano, Strategy::Greedy, Strategy::MarginalGreedy] {
+        for s in [
+            Strategy::Volcano,
+            Strategy::Greedy,
+            Strategy::MarginalGreedy,
+        ] {
             group.bench(bench_id(s.name(), format!("BQ{i}")), || {
                 optimize(&batch, &cm, s)
             });
@@ -42,7 +46,11 @@ fn bench_standalone() {
         let w = mqo_tpcd::standalone(name, 1.0);
         let batch = BatchDag::build(w.ctx, &w.queries, &RuleSet::default());
         let cm = DiskCostModel::paper();
-        for s in [Strategy::Volcano, Strategy::Greedy, Strategy::MarginalGreedy] {
+        for s in [
+            Strategy::Volcano,
+            Strategy::Greedy,
+            Strategy::MarginalGreedy,
+        ] {
             group.bench(bench_id(s.name(), name), || optimize(&batch, &cm, s));
         }
     }

@@ -11,13 +11,16 @@
 //!    vs an inflated one — achieved benefit comparison.
 //! 6. **Cleanup extension**: how far the workload's `mb` deviates from the
 //!    submodularity assumption.
+//! 7. **Rebase threshold** (`EngineConfig`): identical answers across
+//!    thresholds; the default of 4 balances overlay size against full
+//!    recomputations.
 
 use std::time::Instant;
 
 use mqo_core::batch::BatchDag;
 use mqo_core::benefit::MbFunction;
-use mqo_core::engine::BestCostEngine;
-use mqo_core::strategies::{optimize, Strategy};
+use mqo_core::engine::{BestCostEngine, EngineConfig};
+use mqo_core::strategies::{optimize, optimize_with, Strategy};
 use mqo_submod::algorithms::lazy::lazy_marginal_greedy;
 use mqo_submod::algorithms::marginal_greedy::{marginal_greedy, Config};
 use mqo_submod::bitset::BitSet;
@@ -65,9 +68,13 @@ fn main() {
         let mut times = Vec::new();
         let mut costs = Vec::new();
         for force_full in [false, true] {
-            let engine = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
+            let config = EngineConfig {
+                force_full,
+                ..Default::default()
+            };
+            let engine =
+                BestCostEngine::with_config(&batch.memo, &cm, batch.root, &batch.shareable, config);
             let mb = MbFunction::new(engine);
-            mb.set_force_full(force_full);
             let n = mb.universe();
             let d = mb.canonical_decomposition();
             let t0 = Instant::now();
@@ -122,11 +129,8 @@ fn main() {
         let canonical = mb.canonical_decomposition();
         // An inflated decomposition: canonical costs plus a positive linear
         // term (the paper's example of a strictly worse choice).
-        let inflated = Decomposition::from_costs(
-            (0..n)
-                .map(|e| canonical.cost(e).abs() + 1.0e5)
-                .collect(),
-        );
+        let inflated =
+            Decomposition::from_costs((0..n).map(|e| canonical.cost(e).abs() + 1.0e5).collect());
         let canon_out = marginal_greedy(&mb, &canonical, &full, Config::default());
         let infl_out = marginal_greedy(&mb, &inflated, &full, Config::default());
         println!(
@@ -148,5 +152,32 @@ fn main() {
             plain.materialized.len(),
             cleaned.materialized.len()
         );
+    }
+
+    println!("\n== 7. Rebase threshold (EngineConfig) ==");
+    {
+        let w = mqo_tpcd::batched(4, 1.0);
+        let batch = BatchDag::build(w.ctx, &w.queries, &RuleSet::default());
+        let reference = optimize(&batch, &cm, Strategy::Greedy);
+        for threshold in [0usize, 2, 8, usize::MAX] {
+            let config = EngineConfig {
+                rebase_threshold: threshold,
+                force_full: false,
+            };
+            let t0 = Instant::now();
+            let r = optimize_with(&batch, &cm, Strategy::Greedy, config);
+            let dt = t0.elapsed();
+            assert!((r.total_cost - reference.total_cost).abs() < 1e-6);
+            assert_eq!(r.materialized, reference.materialized);
+            let label = if threshold == usize::MAX {
+                "∞ (never rebase)".to_string()
+            } else {
+                threshold.to_string()
+            };
+            println!(
+                "BQ4, threshold {label}: cost {:.0} in {dt:?} (same answer as default)",
+                r.total_cost
+            );
+        }
     }
 }

@@ -47,8 +47,14 @@ fn main() {
     let marginal = optimize(&batch, &cm, Strategy::MarginalGreedy);
 
     println!("Example 1 (Figure 1):");
-    println!("  no sharing (locally optimal plans): {:>5.0}", volcano.total_cost);
-    println!("  sharing B ⋈ C (consolidated plan):  {:>5.0}", marginal.total_cost);
+    println!(
+        "  no sharing (locally optimal plans): {:>5.0}",
+        volcano.total_cost
+    );
+    println!(
+        "  sharing B ⋈ C (consolidated plan):  {:>5.0}",
+        marginal.total_cost
+    );
     assert_eq!(volcano.total_cost, 460.0);
     assert_eq!(marginal.total_cost, 370.0);
     assert_eq!(marginal.materialized.len(), 1);

@@ -14,13 +14,16 @@ use std::time::Duration;
 
 use mqo_core::batch::BatchDag;
 use mqo_core::strategies::{optimize, RunReport, Strategy};
+use mqo_tpcd::Workload;
 use mqo_volcano::cost::{CostModel, DiskCostModel};
 use mqo_volcano::rules::RuleSet;
-use mqo_tpcd::Workload;
 
 /// The three contenders of the paper's figures.
-pub const PAPER_STRATEGIES: [Strategy; 3] =
-    [Strategy::Volcano, Strategy::Greedy, Strategy::MarginalGreedy];
+pub const PAPER_STRATEGIES: [Strategy; 3] = [
+    Strategy::Volcano,
+    Strategy::Greedy,
+    Strategy::MarginalGreedy,
+];
 
 /// One row of an experiment table: a workload optimized by every strategy.
 pub struct ExperimentRow {
@@ -53,7 +56,13 @@ pub fn run_workload(w: Workload, cm: &dyn CostModel, strategies: &[Strategy]) ->
 /// Runs Experiment 1 (Figure 4) at the given scale factor.
 pub fn experiment1(sf: f64, strategies: &[Strategy]) -> Vec<ExperimentRow> {
     (1..=6)
-        .map(|i| run_workload(mqo_tpcd::batched(i, sf), &DiskCostModel::paper(), strategies))
+        .map(|i| {
+            run_workload(
+                mqo_tpcd::batched(i, sf),
+                &DiskCostModel::paper(),
+                strategies,
+            )
+        })
         .collect()
 }
 
@@ -89,11 +98,7 @@ pub fn print_cost_table(title: &str, rows: &[ExperimentRow]) {
     for row in rows {
         print!("{:<10} {:>9}", row.workload, row.universe);
         for r in &row.reports {
-            print!(
-                " {:>17.0} ({:>3} mat)",
-                r.total_cost,
-                r.materialized.len()
-            );
+            print!(" {:>17.0} ({:>3} mat)", r.total_cost, r.materialized.len());
         }
         println!();
     }

@@ -109,7 +109,12 @@ mod tests {
             cat.add_table(
                 TableBuilder::new(name, rows)
                     .key_column(format!("{name}_key"), 4)
-                    .column(format!("{name}_fk"), rows / 10.0, (0, (rows as i64) / 10 - 1), 4)
+                    .column(
+                        format!("{name}_fk"),
+                        rows / 10.0,
+                        (0, (rows as i64) / 10 - 1),
+                        4,
+                    )
                     .column(format!("{name}_x"), 10.0, (0, 9), 4)
                     .primary_key(&[&format!("{name}_key")])
                     .build(),
@@ -154,14 +159,10 @@ mod tests {
         let batch = BatchDag::build(ctx, &queries, &RuleSet::joins_only());
         // The B⋈C group is a child of joins in both queries: must be in the
         // shareable universe.
-        let bc = batch
-            .shareable
-            .iter()
-            .copied()
-            .find(|&g| {
-                let leaves = &batch.memo.props(g).leaves;
-                leaves.len() == 2
-            });
+        let bc = batch.shareable.iter().copied().find(|&g| {
+            let leaves = &batch.memo.props(g).leaves;
+            leaves.len() == 2
+        });
         assert!(bc.is_some(), "B⋈C (a 2-leaf group) must be shareable");
     }
 

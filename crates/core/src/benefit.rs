@@ -13,7 +13,7 @@ use mqo_submod::bitset::BitSet;
 use mqo_submod::decompose::Decomposition;
 use mqo_submod::function::SetFunction;
 
-use crate::engine::BestCostEngine;
+use crate::engine::{BestCostEngine, EngineConfig};
 
 /// `mb(S) = bc(∅) − bc(S)` with oracle-call counting.
 pub struct MbFunction {
@@ -48,6 +48,13 @@ impl MbFunction {
         self.engine.borrow_mut().bc(set)
     }
 
+    /// Batched `bc` over a greedy round's candidates (one shared base, one
+    /// overlay per candidate); see [`BestCostEngine::bc_many`].
+    pub fn bc_many(&self, sets: &[BitSet]) -> Vec<f64> {
+        self.calls.set(self.calls.get() + sets.len() as u64);
+        self.engine.borrow_mut().bc_many(sets)
+    }
+
     /// Number of `bc` invocations so far.
     pub fn bc_calls(&self) -> u64 {
         self.calls.get()
@@ -62,7 +69,12 @@ impl MbFunction {
 
     /// Toggles the full-recomputation ablation switch.
     pub fn set_force_full(&self, force: bool) {
-        self.engine.borrow_mut().force_full = force;
+        self.engine.borrow_mut().config.force_full = force;
+    }
+
+    /// Replaces the engine's evaluation configuration.
+    pub fn set_config(&self, config: EngineConfig) {
+        self.engine.borrow_mut().config = config;
     }
 
     /// The canonical decomposition of Proposition 1 for this function
@@ -85,6 +97,26 @@ impl SetFunction for MbFunction {
     fn eval(&self, set: &BitSet) -> f64 {
         self.bc_empty - self.bc(set)
     }
+
+    fn eval_many(&self, sets: &[BitSet]) -> Vec<f64> {
+        self.bc_many(sets)
+            .into_iter()
+            .map(|v| self.bc_empty - v)
+            .collect()
+    }
+
+    fn marginal_many(&self, elems: &[usize], set: &BitSet) -> Vec<f64> {
+        // One batched pass for the candidates plus one (base-aligned, cheap)
+        // evaluation of the shared set. The per-element arithmetic mirrors
+        // the default `marginal` exactly — (bc∅ − bc(S∪e)) − (bc∅ − bc(S)) —
+        // so batched and looped marginals are bit-identical.
+        let sets: Vec<BitSet> = elems.iter().map(|&e| set.with(e)).collect();
+        let vals = self.bc_many(&sets);
+        let f_set = self.bc_empty - self.bc(set);
+        vals.into_iter()
+            .map(|v| (self.bc_empty - v) - f_set)
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -102,7 +134,12 @@ mod tests {
             cat.add_table(
                 TableBuilder::new(name, rows)
                     .key_column(format!("{name}_key"), 4)
-                    .column(format!("{name}_fk"), rows / 30.0, (0, (rows as i64) / 30 - 1), 4)
+                    .column(
+                        format!("{name}_fk"),
+                        rows / 30.0,
+                        (0, (rows as i64) / 30 - 1),
+                        4,
+                    )
                     .column(format!("{name}_x"), 40.0, (0, 39), 8)
                     .primary_key(&[&format!("{name}_key")])
                     .build(),
@@ -116,9 +153,7 @@ mod tests {
         let p_bc = Predicate::join(ctx.col(b, "b_key"), ctx.col(c, "c_fk"));
         let sel = Predicate::on(ctx.col(b, "b_x"), Constraint::eq(3));
         let q1 = PlanNode::scan(a).join(PlanNode::scan(b).select(sel.clone()), p_ab);
-        let q2 = PlanNode::scan(b)
-            .select(sel)
-            .join(PlanNode::scan(c), p_bc);
+        let q2 = PlanNode::scan(b).select(sel).join(PlanNode::scan(c), p_bc);
         BatchDag::build(ctx, &[q1, q2], &RuleSet::default())
     }
 

@@ -87,7 +87,12 @@ mod tests {
             cat.add_table(
                 TableBuilder::new(name, rows)
                     .key_column(format!("{name}_key"), 4)
-                    .column(format!("{name}_fk"), rows / 50.0, (0, (rows as i64) / 50 - 1), 4)
+                    .column(
+                        format!("{name}_fk"),
+                        rows / 50.0,
+                        (0, (rows as i64) / 50 - 1),
+                        4,
+                    )
                     .column(format!("{name}_x"), 100.0, (0, 99), 8)
                     .primary_key(&[&format!("{name}_key")])
                     .build(),

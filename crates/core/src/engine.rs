@@ -18,21 +18,65 @@
 //! same semantics as Pyro's `bestCost` (which includes the cost of
 //! computing and materializing the chosen set).
 //!
-//! On top of the full DP sits the *incremental* evaluator (the third
-//! optimization of Section 5.1, inherited from Roy et al.): relative to a
-//! committed base set, evaluating a candidate set only recomputes the
-//! ancestor cone of the groups whose membership changed.
+//! # Memory layout
+//!
+//! All DP state lives in flat arenas in one CSR hierarchy over the dense
+//! topological order of [`TopoView`]:
+//!
+//! ```text
+//! group d   → states  state_off[d] .. state_off[d+1]   (one per sort order)
+//! state s   → options opt_off[s]   .. opt_off[s+1]
+//! option o  → children (flat state indices) child_off[o] .. child_off[o+1]
+//! ```
+//!
+//! `base_compute` / `base_use` (indexed by state) hold the DP solution of
+//! the committed base set. The incremental evaluator (the third
+//! optimization of Section 5.1, inherited from Roy et al.) recomputes only
+//! the ancestor cone of the groups whose membership changed, writing into
+//! epoch-stamped scratch arenas owned by the engine: a state's scratch
+//! value is live iff its stamp equals the current evaluation epoch, so the
+//! overlay is discarded by bumping one counter — the incremental path
+//! performs no allocation at steady state (every buffer is reused across
+//! calls).
+//!
+//! [`BestCostEngine::bc_many`] additionally evaluates a whole batch of
+//! candidate sets (a greedy round) against one shared base: it rebases to
+//! the intersection of the batch once, then answers every candidate from a
+//! minimal overlay.
 
-use std::collections::{BTreeSet, HashMap};
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
 
 use mqo_submod::bitset::BitSet;
 use mqo_volcano::cost::CostModel;
 use mqo_volcano::logical::LogicalOp;
-use mqo_volcano::memo::{GroupId, Memo};
+use mqo_volcano::memo::{GroupId, Memo, TopoView};
 use mqo_volcano::physical::SortOrder;
 
-/// One physical implementation option, compiled: a constant operator cost
-/// plus references to child `(group, order)` states.
+/// Tuning knobs of the evaluation strategy (satellite of the DP itself; the
+/// compiled structure is identical under every configuration).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Rebase (commit a full solve) when a candidate differs from the base
+    /// in more than this many universe elements; smaller diffs take the
+    /// overlay path. `0` rebases on every non-base evaluation.
+    pub rebase_threshold: usize,
+    /// When true, every evaluation runs the full DP (ablation switch).
+    pub force_full: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            rebase_threshold: 4,
+            force_full: false,
+        }
+    }
+}
+
+/// One physical implementation option during compilation: a constant
+/// operator cost plus references to child `(group, order)` states. Flattened
+/// into the CSR arenas before evaluation.
 #[derive(Clone, Debug)]
 struct CompiledOption {
     op_cost: f64,
@@ -51,57 +95,75 @@ enum OutOrder {
     InheritChild0,
 }
 
-/// Compiled per-group state.
-#[derive(Debug)]
-struct CompiledGroup {
-    /// Interesting orders; index 0 is always the unordered requirement.
-    orders: Vec<SortOrder>,
-    /// Implementation options per order index.
-    options: Vec<Vec<CompiledOption>>,
-    /// Cost of reading the materialized result per order index.
-    read: Vec<f64>,
-    /// Cost of writing the result once.
-    write: f64,
-    /// Cost of sorting the result (for enforcers).
-    sort: f64,
-    /// Parent groups (dense indices), deduplicated.
-    parents: Vec<u32>,
-}
-
-/// The compiled `bestCost` engine.
+/// The compiled `bestCost` engine. See the module docs for the arena
+/// layout.
 pub struct BestCostEngine {
-    /// Dense index (= topological position) → group.
-    dense_groups: Vec<GroupId>,
-    /// Raw group slot → dense index (only representatives are valid).
-    dense_of: HashMap<GroupId, u32>,
-    compiled: Vec<CompiledGroup>,
+    /// Dense topological view of the memo (owns the parent adjacency used
+    /// for dirty-cone propagation).
+    topo: TopoView,
+    /// Group → state range (CSR offsets; one state per interesting order,
+    /// index 0 is always the unordered requirement).
+    state_off: Vec<u32>,
+    /// State → option range.
+    opt_off: Vec<u32>,
+    /// Per-option constant operator cost.
+    opt_cost: Vec<f64>,
+    /// Option → children range.
+    child_off: Vec<u32>,
+    /// Flat child state indices.
+    opt_children: Vec<u32>,
+    /// Per-state cost of reading the materialized result.
+    read: Vec<f64>,
+    /// Per-group cost of writing the result once.
+    write: Vec<f64>,
+    /// Per-group cost of sorting the result (for enforcers).
+    sort: Vec<f64>,
     /// Dense index of the batch root.
     root: u32,
     /// Universe: element `i` of the shareable set ↔ dense index.
     universe_dense: Vec<u32>,
-    /// Base state: the committed materialized set (as a bitset over the
-    /// universe) and its DP solution.
-    base_set: BitSet,
-    base_compute: Vec<Vec<f64>>,
-    base_use: Vec<Vec<f64>>,
     /// Dense index → universe element (u32::MAX when not in the universe).
     elem_of_dense: Vec<u32>,
+    /// Base state: the committed materialized set and its DP solution
+    /// (flat, indexed by state).
+    base_set: BitSet,
+    base_compute: Vec<f64>,
+    base_use: Vec<f64>,
+    /// Epoch-stamped overlay scratch (reused across evaluations; a state's
+    /// scratch value is live iff `state_epoch[s] == epoch`).
+    scratch_compute: Vec<f64>,
+    scratch_use: Vec<f64>,
+    state_epoch: Vec<u64>,
+    epoch: u64,
+    /// Reusable dirty-cone worklist (min-heap over dense indices) and its
+    /// per-group queued stamp.
+    dirty: BinaryHeap<Reverse<u32>>,
+    queued_epoch: Vec<u64>,
+    /// Reusable symmetric-difference buffer.
+    diff_buf: Vec<usize>,
     /// Evaluation counters.
     full_evals: u64,
     incremental_evals: u64,
-    /// When true, every evaluation runs the full DP (ablation switch).
-    pub force_full: bool,
+    /// Evaluation strategy knobs.
+    pub config: EngineConfig,
 }
 
 impl BestCostEngine {
-    /// Compiles the engine for a memo, cost model, and shareable universe.
+    /// Compiles the engine for a memo, cost model, and shareable universe
+    /// with the default [`EngineConfig`].
     pub fn new(memo: &Memo, cm: &dyn CostModel, root: GroupId, universe: &[GroupId]) -> Self {
-        let topo = memo.topo_order();
-        let dense_of: HashMap<GroupId, u32> = topo
-            .iter()
-            .enumerate()
-            .map(|(i, &g)| (g, i as u32))
-            .collect();
+        Self::with_config(memo, cm, root, universe, EngineConfig::default())
+    }
+
+    /// Compiles the engine with an explicit [`EngineConfig`].
+    pub fn with_config(
+        memo: &Memo,
+        cm: &dyn CostModel,
+        root: GroupId,
+        universe: &[GroupId],
+        config: EngineConfig,
+    ) -> Self {
+        let topo = memo.topo_view();
         let n = topo.len();
 
         // 1. Interesting orders per group: demanded by join/aggregate
@@ -117,13 +179,13 @@ impl BestCostEngine {
                     let l = memo.find(expr.children[0]);
                     let r = memo.find(expr.children[1]);
                     if let Some((lk, rk)) = join_keys(memo, pred, l, r) {
-                        orders[dense_of[&l] as usize].insert(SortOrder::on(lk));
-                        orders[dense_of[&r] as usize].insert(SortOrder::on(rk));
+                        orders[topo.dense(l) as usize].insert(SortOrder::on(lk));
+                        orders[topo.dense(r) as usize].insert(SortOrder::on(rk));
                     }
                 }
                 LogicalOp::Aggregate(spec) if !spec.is_scalar() => {
-                    let c = memo.find(expr.children[0]);
-                    orders[dense_of[&c] as usize].insert(SortOrder::on(spec.group_by.clone()));
+                    let c = expr.children[0];
+                    orders[topo.dense(c) as usize].insert(SortOrder::on(spec.group_by.clone()));
                 }
                 _ => {}
             }
@@ -136,8 +198,8 @@ impl BestCostEngine {
                 if !matches!(expr.op, LogicalOp::Select(_)) {
                     continue;
                 }
-                let g = dense_of[&memo.group_of(e)] as usize;
-                let c = dense_of[&memo.find(expr.children[0])] as usize;
+                let g = topo.dense(memo.group_of(e)) as usize;
+                let c = topo.dense(expr.children[0]) as usize;
                 if g == c {
                     continue;
                 }
@@ -165,89 +227,108 @@ impl BestCostEngine {
             })
             .collect();
 
-        // 2. Compile options per (group, order index).
+        // 2. Compile options per (group, order index) — nested form first;
+        // flattened into the CSR arenas below.
         let blocks: Vec<f64> = topo
+            .order()
             .iter()
             .map(|&g| memo.props(g).blocks(cm.block_size()))
             .collect();
-        let mut compiled: Vec<CompiledGroup> = Vec::with_capacity(n);
-        for (gi, &g) in topo.iter().enumerate() {
-            let g_orders = &orders[gi];
-            let mut options: Vec<Vec<CompiledOption>> = vec![Vec::new(); g_orders.len()];
+        let mut options: Vec<Vec<Vec<CompiledOption>>> = Vec::with_capacity(n);
+        for (gi, &g) in topo.order().iter().enumerate() {
+            let mut g_options: Vec<Vec<CompiledOption>> = vec![Vec::new(); orders[gi].len()];
             for e in memo.group_exprs(g) {
-                compile_expr(
-                    memo,
-                    cm,
-                    e,
-                    gi,
-                    &dense_of,
-                    &orders,
-                    &blocks,
-                    &mut options,
-                );
+                compile_expr(memo, cm, e, gi, &topo, &orders, &blocks, &mut g_options);
             }
-            // Read costs are finalized after the natural storage orders are
-            // known (see below); start with the plain read cost.
-            let read: Vec<f64> = vec![cm.materialize_read(blocks[gi]); g_orders.len()];
-            compiled.push(CompiledGroup {
-                orders: g_orders.clone(),
-                options,
-                read,
-                write: cm.materialize_write(blocks[gi]),
-                sort: cm.sort(blocks[gi]),
-                parents: Vec::new(),
-            });
-        }
-        // Parent adjacency (dense).
-        for (gi, &g) in topo.iter().enumerate() {
-            let mut parents: Vec<u32> = memo
-                .group_parents(g)
-                .into_iter()
-                .map(|e| dense_of[&memo.group_of(e)])
-                .filter(|&p| p as usize != gi)
-                .collect();
-            parents.sort_unstable();
-            parents.dedup();
-            compiled[gi].parents = parents;
+            options.push(g_options);
         }
 
-        let universe_dense: Vec<u32> = universe
-            .iter()
-            .map(|g| dense_of[&memo.find(*g)])
-            .collect();
+        // 3. Flatten into the CSR arenas. A nested child `(group, order j)`
+        // becomes the flat state index `state_off[group] + j`.
+        let mut state_off: Vec<u32> = Vec::with_capacity(n + 1);
+        state_off.push(0);
+        for g_orders in &orders {
+            state_off.push(state_off.last().unwrap() + g_orders.len() as u32);
+        }
+        let n_states = *state_off.last().unwrap() as usize;
+
+        let mut read: Vec<f64> = Vec::with_capacity(n_states);
+        let mut write: Vec<f64> = Vec::with_capacity(n);
+        let mut sort: Vec<f64> = Vec::with_capacity(n);
+        let mut opt_off: Vec<u32> = Vec::with_capacity(n_states + 1);
+        let mut opt_cost: Vec<f64> = Vec::new();
+        let mut child_off: Vec<u32> = vec![0];
+        let mut opt_children: Vec<u32> = Vec::new();
+        opt_off.push(0);
+        for gi in 0..n {
+            // Read costs are finalized after the natural storage orders are
+            // known (see below); start with the plain read cost.
+            read.extend(std::iter::repeat_n(
+                cm.materialize_read(blocks[gi]),
+                orders[gi].len(),
+            ));
+            write.push(cm.materialize_write(blocks[gi]));
+            sort.push(cm.sort(blocks[gi]));
+            for state_opts in &options[gi] {
+                for opt in state_opts {
+                    opt_cost.push(opt.op_cost);
+                    for &(cg, cj) in &opt.children {
+                        opt_children.push(state_off[cg as usize] + cj as u32);
+                    }
+                    child_off.push(opt_children.len() as u32);
+                }
+                opt_off.push(opt_cost.len() as u32);
+            }
+        }
+
+        let universe_dense: Vec<u32> = universe.iter().map(|&g| topo.dense(g)).collect();
         let mut elem_of_dense = vec![u32::MAX; n];
         for (i, &d) in universe_dense.iter().enumerate() {
             elem_of_dense[d as usize] = i as u32;
         }
 
+        let root = topo.dense(root);
         let mut engine = BestCostEngine {
-            dense_groups: topo,
-            dense_of,
-            compiled,
-            root: 0,
+            topo,
+            state_off,
+            opt_off,
+            opt_cost,
+            child_off,
+            opt_children,
+            read,
+            write,
+            sort,
+            root,
             universe_dense,
+            elem_of_dense,
             base_set: BitSet::empty(universe.len()),
             base_compute: Vec::new(),
             base_use: Vec::new(),
-            elem_of_dense,
+            scratch_compute: vec![0.0; n_states],
+            scratch_use: vec![0.0; n_states],
+            state_epoch: vec![0; n_states],
+            epoch: 0,
+            dirty: BinaryHeap::new(),
+            queued_epoch: vec![0; n],
+            diff_buf: Vec::new(),
             full_evals: 0,
             incremental_evals: 0,
-            force_full: false,
+            config,
         };
-        engine.root = engine.dense_of[&memo.find(root)];
         // Solve the no-materialization state once; the winning production
         // plans determine the natural order each result would be stored in
         // (materialized results are written out by their cheapest production
         // plan; consumers whose demanded order is a prefix of the stored
         // order read them without sorting).
-        let (compute, use_) = engine.full_solve(&BitSet::empty(universe.len()));
-        let natural = engine.resolve_natural_orders(&use_);
+        let mut compute = Vec::new();
+        let mut use_ = Vec::new();
+        engine.full_solve_into(&BitSet::empty(universe.len()), &mut compute, &mut use_);
+        let natural = engine.resolve_natural_orders(&options, &orders, &use_);
         for (gi, nat) in natural.iter().enumerate() {
-            let sort = engine.compiled[gi].sort;
-            let orders = engine.compiled[gi].orders.clone();
-            for (j, req) in orders.iter().enumerate() {
+            let s0 = engine.state_off[gi] as usize;
+            for (j, req) in orders[gi].iter().enumerate() {
                 if !nat.satisfies(req) {
-                    engine.compiled[gi].read[j] += sort;
+                    engine.read[s0 + j] += engine.sort[gi];
                 }
             }
         }
@@ -259,15 +340,20 @@ impl BestCostEngine {
     /// Resolves the natural output order of each group's winning
     /// (unordered-requirement) production plan, bottom-up. `use_` must be
     /// the solved state for `S = ∅`.
-    fn resolve_natural_orders(&self, use_: &[Vec<f64>]) -> Vec<SortOrder> {
-        let n = self.compiled.len();
+    fn resolve_natural_orders(
+        &self,
+        options: &[Vec<Vec<CompiledOption>>],
+        orders: &[Vec<SortOrder>],
+        use_: &[f64],
+    ) -> Vec<SortOrder> {
+        let n = orders.len();
         let mut natural: Vec<SortOrder> = Vec::with_capacity(n);
-        for (d, cg) in self.compiled.iter().enumerate() {
+        for (d, g_options) in options.iter().enumerate() {
             let mut best: Option<(f64, &CompiledOption)> = None;
-            for opt in &cg.options[0] {
+            for opt in &g_options[0] {
                 let mut cost = opt.op_cost;
                 for &(child, jc) in &opt.children {
-                    cost += use_[child as usize][jc as usize];
+                    cost += use_[self.state_off[child as usize] as usize + jc as usize];
                 }
                 if best.is_none_or(|(b, _)| cost < b) {
                     best = Some((cost, opt));
@@ -296,15 +382,17 @@ impl BestCostEngine {
 
     /// The group at a dense (topological) index — diagnostics helper.
     pub fn dense_group(&self, d: usize) -> GroupId {
-        self.dense_groups[d]
+        self.topo.group_at(d)
     }
 
     /// Number of compiled `(group, order)` DP states.
     pub fn n_states(&self) -> usize {
-        self.compiled.iter().map(|c| c.orders.len()).sum()
+        self.read.len()
     }
 
-    /// `(full, incremental)` evaluation counts.
+    /// `(full, incremental)` evaluation counts. Batched candidates evaluated
+    /// through [`Self::bc_many`] count as incremental; the per-batch rebase
+    /// counts as one full evaluation.
     pub fn eval_counts(&self) -> (u64, u64) {
         (self.full_evals, self.incremental_evals)
     }
@@ -312,46 +400,93 @@ impl BestCostEngine {
     /// `bc(∅)`'s dense state is the committed base right after construction.
     pub fn bc(&mut self, set: &BitSet) -> f64 {
         debug_assert_eq!(set.universe(), self.universe_dense.len());
-        if self.force_full {
+        if self.config.force_full {
             self.full_evals += 1;
-            let (compute, _) = self.full_solve(set);
-            return self.total_from(set, |g, j| compute[g][j]);
+            return self.full_eval(set);
         }
-        let diff: Vec<usize> = symmetric_difference(set, &self.base_set);
-        if diff.is_empty() {
+        self.bc_incremental(set)
+    }
+
+    /// The non-ablation evaluation path: answer from the base, a small
+    /// overlay, or — past the rebase threshold — a committed full solve.
+    fn bc_incremental(&mut self, set: &BitSet) -> f64 {
+        self.load_diff(set);
+        if self.diff_buf.is_empty() {
             self.incremental_evals += 1;
-            return self.total_from(set, |g, j| self.base_compute[g][j]);
+            return self.total_from_base(set);
         }
-        if diff.len() > 4 {
+        if self.diff_buf.len() > self.config.rebase_threshold {
             // Too far from base: rebase (full solve) and answer from it.
             self.rebase(set);
-            return self.total_from(set, |g, j| self.base_compute[g][j]);
+            return self.total_from_base(set);
         }
         self.incremental_evals += 1;
-        let overlay = self.overlay_solve(set, &diff);
-        self.total_from(set, |g, j| {
-            overlay
-                .get(&(g as u32))
-                .map(|(c, _)| c[j])
-                .unwrap_or(self.base_compute[g][j])
-        })
+        self.overlay_eval(set)
+    }
+
+    /// Evaluates `bc` on every set of a batch — a greedy round's candidates
+    /// — against one shared base: the committed base is aligned with the
+    /// intersection of the batch once (one full solve), then every
+    /// candidate takes the normal incremental path. For round-shaped
+    /// batches (`X ∪ {x}` per candidate) every diff is a single element, so
+    /// each answer is a minimal overlay; a candidate that still sits past
+    /// the rebase threshold rebases exactly as [`Self::bc`] would, letting
+    /// the base drift along batches of mutually-far sets. Values are
+    /// identical to calling [`Self::bc`] per set; only the work differs.
+    pub fn bc_many(&mut self, sets: &[BitSet]) -> Vec<f64> {
+        if sets.is_empty() {
+            return Vec::new();
+        }
+        if self.config.force_full {
+            return sets
+                .iter()
+                .map(|s| {
+                    self.full_evals += 1;
+                    self.full_eval(s)
+                })
+                .collect();
+        }
+        // For candidates X ∪ {x} of a greedy round over base X, the
+        // intersection is exactly X.
+        let mut shared = sets[0].clone();
+        for s in &sets[1..] {
+            shared.intersect_with(s);
+        }
+        if shared != self.base_set {
+            self.rebase(&shared);
+        }
+        sets.iter().map(|s| self.bc_incremental(s)).collect()
     }
 
     /// Commits `set` as the new base state.
     pub fn rebase(&mut self, set: &BitSet) {
         self.full_evals += 1;
-        let (compute, use_) = self.full_solve(set);
+        let mut compute = std::mem::take(&mut self.base_compute);
+        let mut use_ = std::mem::take(&mut self.base_use);
+        self.full_solve_into(set, &mut compute, &mut use_);
         self.base_compute = compute;
         self.base_use = use_;
         self.base_set = set.clone();
     }
 
-    /// `bc(S)` from per-group compute costs.
-    fn total_from(&self, set: &BitSet, compute: impl Fn(usize, usize) -> f64) -> f64 {
-        let mut total = compute(self.root as usize, 0);
+    /// Fills `diff_buf` with the symmetric difference `set △ base`.
+    fn load_diff(&mut self, set: &BitSet) {
+        self.diff_buf.clear();
+        self.diff_buf
+            .extend(set.symmetric_difference_iter(&self.base_set));
+    }
+
+    /// `bc(S)` read directly off the base arenas (`S` must equal the base).
+    fn total_from_base(&self, set: &BitSet) -> f64 {
+        self.total_from_slice(set, &self.base_compute)
+    }
+
+    /// `bc(S)` from a fully solved per-state compute arena.
+    fn total_from_slice(&self, set: &BitSet, compute: &[f64]) -> f64 {
+        let mut total = compute[self.state_off[self.root as usize] as usize];
         for e in set.iter() {
             let d = self.universe_dense[e] as usize;
-            total += compute(d, 0) + self.compiled[d].write;
+            total += compute[self.state_off[d] as usize] + self.write[d];
         }
         total
     }
@@ -362,96 +497,150 @@ impl BestCostEngine {
         e != u32::MAX && set.contains(e as usize)
     }
 
-    /// Full bottom-up DP.
-    fn full_solve(&self, set: &BitSet) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
-        let n = self.compiled.len();
-        let mut compute: Vec<Vec<f64>> = Vec::with_capacity(n);
-        let mut use_: Vec<Vec<f64>> = Vec::with_capacity(n);
-        for d in 0..n {
-            let (c_vec, u_vec) = self.solve_group(d, set, |g, j| use_[g][j]);
-            compute.push(c_vec);
-            use_.push(u_vec);
-        }
-        (compute, use_)
+    /// Full evaluation without committing: solves into the scratch arenas
+    /// (reused, never reallocated) and totals from them.
+    fn full_eval(&mut self, set: &BitSet) -> f64 {
+        let mut compute = std::mem::take(&mut self.scratch_compute);
+        let mut use_ = std::mem::take(&mut self.scratch_use);
+        self.full_solve_into(set, &mut compute, &mut use_);
+        let total = self.total_from_slice(set, &compute);
+        // Stale epoch stamps never equal a future epoch, so clobbering the
+        // scratch values cannot leak into later overlay evaluations.
+        self.scratch_compute = compute;
+        self.scratch_use = use_;
+        total
     }
 
-    /// Solves one group given resolved child `use` costs.
-    fn solve_group(
-        &self,
-        d: usize,
-        set: &BitSet,
-        child_use: impl Fn(usize, usize) -> f64,
-    ) -> (Vec<f64>, Vec<f64>) {
-        let cg = &self.compiled[d];
-        let k = cg.orders.len();
-        let mut c_vec = vec![f64::INFINITY; k];
-        for j in 0..k {
-            let mut best = f64::INFINITY;
-            for opt in &cg.options[j] {
-                let mut cost = opt.op_cost;
-                for &(child, jc) in &opt.children {
-                    cost += child_use(child as usize, jc as usize);
-                }
-                if cost < best {
-                    best = cost;
-                }
-            }
-            if j > 0 {
-                let enforced = c_vec[0] + cg.sort;
-                if enforced < best {
-                    best = enforced;
-                }
-            }
-            c_vec[j] = best;
-        }
-        // A consumer "may or may not use the materialized nodes"
-        // (Section 2.4): reading is an *option*, recomputation remains
-        // available when cheaper.
-        let materialized = self.in_set(d, set);
-        let u_vec = (0..k)
-            .map(|j| {
-                if materialized {
-                    cg.read[j].min(c_vec[j])
+    /// Full bottom-up DP into caller-provided arenas (resized to fit).
+    fn full_solve_into(&self, set: &BitSet, compute: &mut Vec<f64>, use_: &mut Vec<f64>) {
+        let n_states = self.n_states();
+        compute.clear();
+        compute.resize(n_states, 0.0);
+        use_.clear();
+        use_.resize(n_states, 0.0);
+        for d in 0..self.topo.len() {
+            let s0 = self.state_off[d] as usize;
+            let s1 = self.state_off[d + 1] as usize;
+            let materialized = self.in_set(d, set);
+            // Children live in strictly earlier groups, so their `use` costs
+            // are fully resolved in the prefix below `s0`.
+            let (use_done, use_cur) = use_.split_at_mut(s0);
+            for s in s0..s1 {
+                let best = self.best_option(s, |c| use_done[c]);
+                let best = if s > s0 {
+                    best.min(compute[s0] + self.sort[d])
                 } else {
-                    c_vec[j]
-                }
-            })
-            .collect();
-        (c_vec, u_vec)
+                    best
+                };
+                compute[s] = best;
+                use_cur[s - s0] = if materialized {
+                    self.read[s].min(best)
+                } else {
+                    best
+                };
+            }
+        }
     }
 
-    /// Overlay DP: recompute only the cone above the changed groups.
-    fn overlay_solve(
-        &self,
-        set: &BitSet,
-        changed_elems: &[usize],
-    ) -> HashMap<u32, (Vec<f64>, Vec<f64>)> {
-        let mut overlay: HashMap<u32, (Vec<f64>, Vec<f64>)> = HashMap::new();
-        // Dense index == topological position, so a BTreeSet processes the
-        // dirty cone bottom-up.
-        let mut dirty: BTreeSet<u32> = changed_elems
-            .iter()
-            .map(|&e| self.universe_dense[e])
-            .collect();
-        while let Some(d) = dirty.pop_first() {
+    /// `min` over the options of state `s` given resolved child `use` costs.
+    #[inline]
+    fn best_option(&self, s: usize, child_use: impl Fn(usize) -> f64) -> f64 {
+        let mut best = f64::INFINITY;
+        for o in self.opt_off[s] as usize..self.opt_off[s + 1] as usize {
+            let mut cost = self.opt_cost[o];
+            for &c in &self.opt_children[self.child_off[o] as usize..self.child_off[o + 1] as usize]
+            {
+                cost += child_use(c as usize);
+            }
+            if cost < best {
+                best = cost;
+            }
+        }
+        best
+    }
+
+    /// Overlay DP: recompute only the cone above the groups in `diff_buf`,
+    /// writing into the epoch-stamped scratch arenas. Allocation-free at
+    /// steady state: the worklist heap and scratch arenas are engine-owned
+    /// and reused.
+    fn overlay_eval(&mut self, set: &BitSet) -> f64 {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let mut scratch_compute = std::mem::take(&mut self.scratch_compute);
+        let mut scratch_use = std::mem::take(&mut self.scratch_use);
+        let mut state_epoch = std::mem::take(&mut self.state_epoch);
+        let mut dirty = std::mem::take(&mut self.dirty);
+
+        for &e in &self.diff_buf {
+            let d = self.universe_dense[e];
+            if self.queued_epoch[d as usize] != epoch {
+                self.queued_epoch[d as usize] = epoch;
+                dirty.push(Reverse(d));
+            }
+        }
+        // Dense index == topological position, so the min-heap processes
+        // the dirty cone bottom-up; parents always rank above the group
+        // being processed, so nothing is ever re-queued after processing.
+        while let Some(Reverse(d)) = dirty.pop() {
             let du = d as usize;
-            let (c_vec, u_vec) = self.solve_group(du, set, |g, j| {
-                overlay
-                    .get(&(g as u32))
-                    .map(|(_, u)| u[j])
-                    .unwrap_or(self.base_use[g][j])
-            });
-            let changed = u_vec != self.base_use[du];
-            overlay.insert(d, (c_vec, u_vec));
+            let s0 = self.state_off[du] as usize;
+            let s1 = self.state_off[du + 1] as usize;
+            let materialized = self.in_set(du, set);
+            let mut changed = false;
+            for s in s0..s1 {
+                let best = self.best_option(s, |c| {
+                    if state_epoch[c] == epoch {
+                        scratch_use[c]
+                    } else {
+                        self.base_use[c]
+                    }
+                });
+                let best = if s > s0 {
+                    best.min(scratch_compute[s0] + self.sort[du])
+                } else {
+                    best
+                };
+                scratch_compute[s] = best;
+                let u = if materialized {
+                    self.read[s].min(best)
+                } else {
+                    best
+                };
+                scratch_use[s] = u;
+                state_epoch[s] = epoch;
+                if u != self.base_use[s] {
+                    changed = true;
+                }
+            }
             if changed {
-                for &p in &self.compiled[du].parents {
-                    if !overlay.contains_key(&p) {
-                        dirty.insert(p);
+                for &p in self.topo.parents(du) {
+                    if self.queued_epoch[p as usize] != epoch {
+                        self.queued_epoch[p as usize] = epoch;
+                        dirty.push(Reverse(p));
                     }
                 }
             }
         }
-        overlay
+
+        let compute_at = |d: usize| {
+            let s = self.state_off[d] as usize;
+            if state_epoch[s] == epoch {
+                scratch_compute[s]
+            } else {
+                self.base_compute[s]
+            }
+        };
+        let mut total = compute_at(self.root as usize);
+        for e in set.iter() {
+            let d = self.universe_dense[e] as usize;
+            total += compute_at(d) + self.write[d];
+        }
+
+        self.scratch_compute = scratch_compute;
+        self.scratch_use = scratch_use;
+        self.state_epoch = state_epoch;
+        self.dirty = dirty;
+        total
     }
 }
 
@@ -489,7 +678,7 @@ fn compile_expr(
     cm: &dyn CostModel,
     e: mqo_volcano::ExprId,
     gi: usize,
-    dense_of: &HashMap<GroupId, u32>,
+    topo: &TopoView,
     orders: &[Vec<SortOrder>],
     blocks: &[f64],
     options: &mut [Vec<CompiledOption>],
@@ -512,7 +701,7 @@ fn compile_expr(
         }
         LogicalOp::Select(pred) => {
             let c = memo.find(expr.children[0]);
-            let ci = dense_of[&c] as usize;
+            let ci = topo.dense(c) as usize;
             // Filter: child takes the same requirement.
             let filter_cost = cm.filter(blocks[ci]);
             for (j, req) in g_orders.iter().enumerate() {
@@ -532,7 +721,9 @@ fn compile_expr(
                     continue;
                 };
                 let pk_order = memo.ctx().clustered_order(inst);
-                let Some(&lead) = pk_order.first() else { continue };
+                let Some(&lead) = pk_order.first() else {
+                    continue;
+                };
                 let Some(constraint) = pred.constraints.get(&lead) else {
                     continue;
                 };
@@ -554,7 +745,7 @@ fn compile_expr(
         LogicalOp::Join(pred) => {
             let l = memo.find(expr.children[0]);
             let r = memo.find(expr.children[1]);
-            let (li, ri) = (dense_of[&l] as usize, dense_of[&r] as usize);
+            let (li, ri) = (topo.dense(l) as usize, topo.dense(r) as usize);
             let keys = join_keys(memo, pred, l, r);
             for swapped in [false, true] {
                 let (oi, ii) = if swapped { (ri, li) } else { (li, ri) };
@@ -596,7 +787,7 @@ fn compile_expr(
         }
         LogicalOp::Aggregate(spec) => {
             let c = memo.find(expr.children[0]);
-            let ci = dense_of[&c] as usize;
+            let ci = topo.dense(c) as usize;
             if spec.is_scalar() {
                 let op_cost = cm.scalar_agg(blocks[ci]);
                 // One row satisfies every ordering requirement.
@@ -629,7 +820,7 @@ fn compile_expr(
             let children: Vec<(u32, u8)> = expr
                 .children
                 .iter()
-                .map(|&c| (dense_of[&memo.find(c)], 0u8))
+                .map(|&c| (topo.dense(c), 0u8))
                 .collect();
             options[0].push(CompiledOption {
                 op_cost: 0.0,
@@ -638,14 +829,6 @@ fn compile_expr(
             });
         }
     }
-}
-
-/// Indices present in exactly one of the two sets.
-fn symmetric_difference(a: &BitSet, b: &BitSet) -> Vec<usize> {
-    let mut out: Vec<usize> = a.difference(b).iter().collect();
-    out.extend(b.difference(a).iter());
-    out.sort_unstable();
-    out
 }
 
 #[cfg(test)]
@@ -660,11 +843,21 @@ mod tests {
 
     fn build_batch() -> BatchDag {
         let mut cat = Catalog::new();
-        for (name, rows) in [("a", 20_000.0), ("b", 40_000.0), ("c", 10_000.0), ("d", 8_000.0)] {
+        for (name, rows) in [
+            ("a", 20_000.0),
+            ("b", 40_000.0),
+            ("c", 10_000.0),
+            ("d", 8_000.0),
+        ] {
             cat.add_table(
                 TableBuilder::new(name, rows)
                     .key_column(format!("{name}_key"), 4)
-                    .column(format!("{name}_fk"), rows / 20.0, (0, (rows as i64) / 20 - 1), 4)
+                    .column(
+                        format!("{name}_fk"),
+                        rows / 20.0,
+                        (0, (rows as i64) / 20 - 1),
+                        4,
+                    )
                     .column(format!("{name}_x"), 50.0, (0, 49), 8)
                     .primary_key(&[&format!("{name}_key")])
                     .build(),
@@ -692,8 +885,7 @@ mod tests {
     fn engine_matches_reference_optimizer_on_empty_set() {
         let batch = build_batch();
         let cm = DiskCostModel::paper();
-        let mut engine =
-            BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
+        let mut engine = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
         let bc_empty = engine.bc(&BitSet::empty(batch.universe_size()));
 
         let opt = Optimizer::new(&batch.memo, &cm);
@@ -709,8 +901,7 @@ mod tests {
     fn engine_matches_reference_on_singletons() {
         let batch = build_batch();
         let cm = DiskCostModel::paper();
-        let mut engine =
-            BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
+        let mut engine = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
         let opt = Optimizer::new(&batch.memo, &cm);
         let n = batch.universe_size();
         assert!(n > 0);
@@ -736,13 +927,23 @@ mod tests {
         let batch = build_batch();
         let cm = DiskCostModel::paper();
         let mut inc = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
-        let mut full = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
-        full.force_full = true;
+        let mut full = BestCostEngine::with_config(
+            &batch.memo,
+            &cm,
+            batch.root,
+            &batch.shareable,
+            EngineConfig {
+                force_full: true,
+                ..Default::default()
+            },
+        );
         let n = batch.universe_size();
         // Deterministic pseudo-random subsets.
         let mut state = 0x9E3779B97F4A7C15u64;
         for _ in 0..40 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let mut set = BitSet::empty(n);
             for e in 0..n {
                 if (state >> (e % 64)) & 1 == 1 && e % 3 != 0 {
@@ -756,13 +957,72 @@ mod tests {
     }
 
     #[test]
+    fn bc_many_matches_sequential_bc() {
+        let batch = build_batch();
+        let cm = DiskCostModel::paper();
+        let mut batched = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
+        let mut seq = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
+        let n = batch.universe_size();
+        // Greedy-round shape: a growing base plus one candidate per set.
+        let mut base = BitSet::empty(n);
+        for round in 0..n {
+            let candidates: Vec<BitSet> = (0..n)
+                .filter(|&e| !base.contains(e))
+                .map(|e| base.with(e))
+                .collect();
+            if candidates.is_empty() {
+                break;
+            }
+            let many = batched.bc_many(&candidates);
+            for (s, &v) in candidates.iter().zip(&many) {
+                let expect = seq.bc(s);
+                assert!(
+                    (v - expect).abs() < 1e-9 * (1.0 + expect.abs()),
+                    "round {round}: batched {v} vs sequential {expect}"
+                );
+            }
+            base.insert(round);
+        }
+        let (_, inc) = batched.eval_counts();
+        assert!(inc > 0, "batched candidates must take the incremental path");
+    }
+
+    #[test]
+    fn rebase_threshold_zero_always_rebases() {
+        let batch = build_batch();
+        let cm = DiskCostModel::paper();
+        let mut eager = BestCostEngine::with_config(
+            &batch.memo,
+            &cm,
+            batch.root,
+            &batch.shareable,
+            EngineConfig {
+                rebase_threshold: 0,
+                force_full: false,
+            },
+        );
+        let mut lazy = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
+        let n = batch.universe_size();
+        for e in 0..n.min(6) {
+            let set = BitSet::from_iter(n, [e]);
+            let a = eager.bc(&set);
+            let b = lazy.bc(&set);
+            assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()));
+        }
+        let (full_evals, _) = eager.eval_counts();
+        assert!(
+            full_evals >= n.min(6) as u64,
+            "threshold 0 must rebase per distinct set"
+        );
+    }
+
+    #[test]
     fn bc_empty_is_locally_optimal_cost() {
         // bc(∅) must not exceed the cost of any particular plan; a weak
         // sanity bound: it is positive and finite.
         let batch = build_batch();
         let cm = DiskCostModel::paper();
-        let mut engine =
-            BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
+        let mut engine = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
         let bc = engine.bc(&BitSet::empty(batch.universe_size()));
         assert!(bc.is_finite() && bc > 0.0);
     }
@@ -773,8 +1033,7 @@ mod tests {
         // must beat bc(∅).
         let batch = build_batch();
         let cm = DiskCostModel::paper();
-        let mut engine =
-            BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
+        let mut engine = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
         let n = batch.universe_size();
         let empty = engine.bc(&BitSet::empty(n));
         let best_single = (0..n)
@@ -790,8 +1049,7 @@ mod tests {
     fn rebase_keeps_answers_consistent() {
         let batch = build_batch();
         let cm = DiskCostModel::paper();
-        let mut engine =
-            BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
+        let mut engine = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
         let n = batch.universe_size();
         let set = BitSet::from_iter(n, (0..n).filter(|e| e % 2 == 0));
         let before = engine.bc(&set);

@@ -43,5 +43,5 @@ pub mod strategies;
 pub use batch::BatchDag;
 pub use benefit::MbFunction;
 pub use consolidated::ConsolidatedPlan;
-pub use engine::BestCostEngine;
-pub use strategies::{compare, optimize, RunReport, Strategy};
+pub use engine::{BestCostEngine, EngineConfig};
+pub use strategies::{compare, optimize, optimize_with, RunReport, Strategy};

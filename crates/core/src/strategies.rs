@@ -16,7 +16,7 @@ use mqo_volcano::memo::GroupId;
 
 use crate::batch::BatchDag;
 use crate::benefit::MbFunction;
-use crate::engine::BestCostEngine;
+use crate::engine::{BestCostEngine, EngineConfig};
 
 /// The optimization strategies of the experimental section.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -101,10 +101,22 @@ impl RunReport {
     }
 }
 
-/// Optimizes a batch with the given strategy and cost model.
+/// Optimizes a batch with the given strategy and cost model under the
+/// default [`EngineConfig`].
 pub fn optimize(batch: &BatchDag, cm: &dyn CostModel, strategy: Strategy) -> RunReport {
+    optimize_with(batch, cm, strategy, EngineConfig::default())
+}
+
+/// Optimizes a batch with an explicit engine configuration (rebase
+/// threshold, full-recomputation ablation).
+pub fn optimize_with(
+    batch: &BatchDag,
+    cm: &dyn CostModel,
+    strategy: Strategy,
+    config: EngineConfig,
+) -> RunReport {
     let start = Instant::now();
-    let engine = BestCostEngine::new(&batch.memo, cm, batch.root, &batch.shareable);
+    let engine = BestCostEngine::with_config(&batch.memo, cm, batch.root, &batch.shareable, config);
     let mb = MbFunction::new(engine);
     let n = mb.universe();
     let full = BitSet::full(n);
@@ -158,10 +170,7 @@ pub fn optimize(batch: &BatchDag, cm: &dyn CostModel, strategy: Strategy) -> Run
 /// Runs several strategies on the same batch (recompiling the engine per
 /// strategy so timings are comparable).
 pub fn compare(batch: &BatchDag, cm: &dyn CostModel, strategies: &[Strategy]) -> Vec<RunReport> {
-    strategies
-        .iter()
-        .map(|&s| optimize(batch, cm, s))
-        .collect()
+    strategies.iter().map(|&s| optimize(batch, cm, s)).collect()
 }
 
 #[cfg(test)]
@@ -174,11 +183,21 @@ mod tests {
 
     fn batch() -> BatchDag {
         let mut cat = Catalog::new();
-        for (name, rows) in [("a", 50_000.0), ("b", 100_000.0), ("c", 25_000.0), ("d", 10_000.0)] {
+        for (name, rows) in [
+            ("a", 50_000.0),
+            ("b", 100_000.0),
+            ("c", 25_000.0),
+            ("d", 10_000.0),
+        ] {
             cat.add_table(
                 TableBuilder::new(name, rows)
                     .key_column(format!("{name}_key"), 4)
-                    .column(format!("{name}_fk"), rows / 50.0, (0, (rows as i64) / 50 - 1), 4)
+                    .column(
+                        format!("{name}_fk"),
+                        rows / 50.0,
+                        (0, (rows as i64) / 50 - 1),
+                        4,
+                    )
                     .column(format!("{name}_x"), 100.0, (0, 99), 8)
                     .primary_key(&[&format!("{name}_key")])
                     .build(),

@@ -8,7 +8,7 @@
 
 use mqo_catalog::{Catalog, TableBuilder};
 use mqo_core::batch::BatchDag;
-use mqo_core::engine::BestCostEngine;
+use mqo_core::engine::{BestCostEngine, EngineConfig};
 use mqo_submod::bitset::BitSet;
 use mqo_submod::prng::{seeded_sweep, Prng};
 use mqo_volcano::cost::DiskCostModel;
@@ -24,10 +24,7 @@ const SWEEP_SEED: u64 = 0x5EED_0003;
 /// A randomized star-join batch: a central fact table joined with a random
 /// subset of dimensions, repeated for several queries with random
 /// selections.
-fn random_batch(
-    n_dims: usize,
-    query_specs: &[(u8, Option<i64>)],
-) -> BatchDag {
+fn random_batch(n_dims: usize, query_specs: &[(u8, Option<i64>)]) -> BatchDag {
     let mut cat = Catalog::new();
     cat.add_table(
         TableBuilder::new("fact", 500_000.0)
@@ -97,8 +94,16 @@ fn prop_incremental_equals_full() {
         let batch = random_batch(3, &specs);
         let cm = DiskCostModel::paper();
         let mut inc = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
-        let mut full = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
-        full.force_full = true;
+        let mut full = BestCostEngine::with_config(
+            &batch.memo,
+            &cm,
+            batch.root,
+            &batch.shareable,
+            EngineConfig {
+                force_full: true,
+                ..Default::default()
+            },
+        );
         let n = batch.universe_size();
         if n == 0 {
             return;

@@ -62,14 +62,19 @@ pub fn universe_reduction<F: SetFunction>(
     // Top-of-lattice ratios f'_M(e, U\{e}) / c(e), defining the ordering.
     // Elements with non-positive cost are outside the ratio ordering: the
     // greedy loop never ranks them (they are added in the free phase), so
-    // they are always kept and do not contribute a threshold.
+    // they are always kept and do not contribute a threshold. The marginal
+    // at the top of the lattice is f(U) − f(U \ {e}) + c(e), so one f(U)
+    // evaluation plus one eval_many batch covers the whole scan.
+    let ranked: Vec<usize> = candidates
+        .iter()
+        .filter(|&e| decomp.cost(e) > 0.0)
+        .collect();
+    let f_full = f.eval(&full);
+    let tops: Vec<BitSet> = ranked.iter().map(|&e| full.without(e)).collect();
+    let top_vals = f.eval_many(&tops);
     let mut top_ratios: Vec<(usize, f64)> = Vec::with_capacity(m);
-    for e in candidates.iter() {
-        let cost = decomp.cost(e);
-        if cost <= 0.0 {
-            continue;
-        }
-        let ratio = decomp.monotone_marginal(f, e, &full.without(e)) / cost;
+    for (&e, &v) in ranked.iter().zip(&top_vals) {
+        let ratio = (f_full - v + decomp.cost(e)) / decomp.cost(e);
         evaluations += 1;
         top_ratios.push((e, ratio));
     }
@@ -84,16 +89,23 @@ pub fn universe_reduction<F: SetFunction>(
     top_ratios.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     let threshold = top_ratios[k - 1].1;
 
-    // Keep e iff its singleton ratio f_M({e})/c(e) meets the threshold.
+    // Keep e iff its singleton ratio f_M({e})/c(e) meets the threshold
+    // (batched: one f(∅) evaluation plus one eval_many over singletons).
+    // Non-positive-cost elements sit outside the ratio ordering and are
+    // always kept.
     let empty = BitSet::empty(n);
+    let f_empty = f.eval(&empty);
+    let singletons: Vec<BitSet> = ranked.iter().map(|&e| empty.with(e)).collect();
+    let singleton_vals = f.eval_many(&singletons);
     let mut kept = BitSet::empty(n);
     for e in candidates.iter() {
-        let cost = decomp.cost(e);
-        if cost <= 0.0 {
+        if decomp.cost(e) <= 0.0 {
             kept.insert(e);
-            continue;
         }
-        let singleton_ratio = decomp.monotone_marginal(f, e, &empty) / cost;
+    }
+    for (&e, &v) in ranked.iter().zip(&singleton_vals) {
+        let cost = decomp.cost(e);
+        let singleton_ratio = (v - f_empty + cost) / cost;
         evaluations += 1;
         // `>=` with a relative tolerance: under the canonical decomposition
         // the top-of-lattice ratios are exactly zero in exact arithmetic, and
@@ -143,7 +155,11 @@ pub fn cardinality_marginal_greedy<F: SetFunction>(
 /// Provided as the textbook baseline the paper builds on ([19]); unlike
 /// Algorithm 1 it does not stop early on non-improving steps (marginals of a
 /// monotone function are never negative anyway).
-pub fn cardinality_greedy_monotone<F: SetFunction>(f: &F, candidates: &BitSet, k: usize) -> Outcome {
+pub fn cardinality_greedy_monotone<F: SetFunction>(
+    f: &F,
+    candidates: &BitSet,
+    k: usize,
+) -> Outcome {
     let n = f.universe();
     let mut out = Outcome::new(n);
     let mut value = f.eval(&out.set);
@@ -260,19 +276,12 @@ mod tests {
         // 2,3 weigh 1 and are covered by all remaining sets.
         let cover = WeightedCoverage::new(
             4,
-            vec![
-                vec![0],
-                vec![1],
-                vec![2, 3],
-                vec![2, 3],
-                vec![2, 3],
-            ],
+            vec![vec![0], vec![1], vec![2, 3], vec![2, 3], vec![2, 3]],
             vec![100.0, 100.0, 1.0, 1.0],
         );
         let costs = [1.0, 1.0, 1.0, 1.0, 1.0];
         let f = crate::function::FnSetFunction::new(5, move |s| {
-            crate::function::SetFunction::eval(&cover, s)
-                - s.iter().map(|e| costs[e]).sum::<f64>()
+            crate::function::SetFunction::eval(&cover, s) - s.iter().map(|e| costs[e]).sum::<f64>()
         });
         let d = Decomposition::from_costs(vec![1.0; 5]);
         let r = universe_reduction(&f, &d, &BitSet::full(5), k);

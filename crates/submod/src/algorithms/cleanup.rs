@@ -88,13 +88,11 @@ mod tests {
     fn removes_harmful_element() {
         // f rewards {0} but penalizes {0,1} jointly: starting from {0,1}
         // cleanup must drop 1.
-        let f = FnSetFunction::new(2, |s: &BitSet| {
-            match (s.contains(0), s.contains(1)) {
-                (false, false) => 0.0,
-                (true, false) => 5.0,
-                (false, true) => 1.0,
-                (true, true) => 3.0,
-            }
+        let f = FnSetFunction::new(2, |s: &BitSet| match (s.contains(0), s.contains(1)) {
+            (false, false) => 0.0,
+            (true, false) => 5.0,
+            (false, true) => 1.0,
+            (true, true) => 3.0,
         });
         let start = BitSet::full(2);
         let out = cleanup(&f, &start);
@@ -108,8 +106,8 @@ mod tests {
         // Both removals improve; the larger gain goes first.
         let f = FnSetFunction::new(2, |s: &BitSet| match (s.contains(0), s.contains(1)) {
             (false, false) => 10.0,
-            (true, false) => 8.0,  // removing 1 from {0,1} gains 8-0
-            (false, true) => 3.0,  // removing 0 from {0,1} gains 3-0
+            (true, false) => 8.0, // removing 1 from {0,1} gains 8-0
+            (false, true) => 3.0, // removing 0 from {0,1} gains 3-0
             (true, true) => 0.0,
         });
         let out = cleanup(&f, &BitSet::full(2));

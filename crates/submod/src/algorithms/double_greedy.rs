@@ -67,21 +67,18 @@ mod tests {
         // Pure cut functions are non-negative; double greedy must achieve
         // at least half the optimum.
         for seed in 0..15 {
-            let cut = crate::instances::cut::CutFunction::new(
-                8,
-                &{
-                    let mut rng = crate::prng::Prng::seed_from_u64(seed);
-                    let mut edges = Vec::new();
-                    for u in 0..8usize {
-                        for v in (u + 1)..8 {
-                            if rng.gen_bool(0.5) {
-                                edges.push((u, v, rng.gen_range(0.5..2.0)));
-                            }
+            let cut = crate::instances::cut::CutFunction::new(8, &{
+                let mut rng = crate::prng::Prng::seed_from_u64(seed);
+                let mut edges = Vec::new();
+                for u in 0..8usize {
+                    for v in (u + 1)..8 {
+                        if rng.gen_bool(0.5) {
+                            edges.push((u, v, rng.gen_range(0.5..2.0)));
                         }
                     }
-                    edges
-                },
-            );
+                }
+                edges
+            });
             let full = BitSet::full(8);
             let out = double_greedy(&cut, &full);
             let (_, opt) = exhaustive_max(&cut, &full);

@@ -32,6 +32,10 @@ pub struct Config {
 
 /// Runs Algorithm 1: repeatedly add `argmax_x f(X ∪ {x})` while it strictly
 /// improves on `f(X)`.
+///
+/// Each round's candidates are evaluated through one
+/// [`SetFunction::eval_many`] batch, so incremental oracles answer the
+/// whole round against a single shared base.
 pub fn greedy<F: SetFunction>(f: &F, candidates: &BitSet, config: Config) -> Outcome {
     let n = f.universe();
     let mut out = Outcome::new(n);
@@ -39,13 +43,16 @@ pub fn greedy<F: SetFunction>(f: &F, candidates: &BitSet, config: Config) -> Out
     out.evaluations += 1;
 
     let mut active: Vec<usize> = candidates.iter().collect();
+    let mut round_sets: Vec<BitSet> = Vec::with_capacity(active.len());
     let budget = config.max_picks.unwrap_or(usize::MAX);
 
     while out.picks.len() < budget && !active.is_empty() {
+        round_sets.clear();
+        round_sets.extend(active.iter().map(|&e| out.set.with(e)));
+        let vals = f.eval_many(&round_sets);
+        out.evaluations += active.len() as u64;
         let mut best: Option<(usize, usize, f64)> = None; // (pos, elem, new value)
-        for (pos, &e) in active.iter().enumerate() {
-            let v = f.eval(&out.set.with(e));
-            out.evaluations += 1;
+        for (pos, (&e, &v)) in active.iter().zip(&vals).enumerate() {
             if best.is_none_or(|(_, _, bv)| v > bv) {
                 best = Some((pos, e, v));
             }
@@ -190,13 +197,7 @@ mod tests {
     #[test]
     fn greedy_respects_cardinality() {
         let f = FnSetFunction::new(5, |s: &BitSet| s.len() as f64);
-        let out = greedy(
-            &f,
-            &BitSet::full(5),
-            Config {
-                max_picks: Some(3),
-            },
-        );
+        let out = greedy(&f, &BitSet::full(5), Config { max_picks: Some(3) });
         assert_eq!(out.set.len(), 3);
     }
 

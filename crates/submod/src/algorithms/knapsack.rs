@@ -121,13 +121,8 @@ pub fn sviridenko<F: SetFunction>(
             r.difference_with(&seeded);
             r
         };
-        let completion = knapsack_ratio_greedy_from(
-            f_m,
-            decomp,
-            &remaining,
-            budget - seed_cost,
-            &seeded,
-        );
+        let completion =
+            knapsack_ratio_greedy_from(f_m, decomp, &remaining, budget - seed_cost, &seeded);
         consider(completion, &mut best);
     }
     best.expect("at least the empty seed is feasible")

@@ -25,6 +25,9 @@ use super::{Outcome, Pick};
 struct Entry {
     bound: f64,
     element: usize,
+    /// `f'(element, X)` at the time the bound was computed, so accepting
+    /// the entry needs no extra oracle call.
+    marginal: f64,
     /// Iteration at which the bound was computed; entries refreshed in the
     /// current iteration are exact.
     epoch: usize,
@@ -70,14 +73,17 @@ pub fn lazy_marginal_greedy<F: SetFunction>(
     let mut free: Vec<usize> = Vec::new();
     let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
     // Initial exact ratios at X = ∅ (epoch 0 entries are exact for the first
-    // pick).
+    // pick). The marginal rides along in the entry so accepting a pick
+    // needs no extra oracle call — the same arithmetic as the eager
+    // variant, `(f'(e, X) + c(e)) / c(e)`.
     for e in candidates.iter() {
         let cost = decomp.cost(e);
         if cost <= 0.0 {
             free.push(e);
             continue;
         }
-        let ratio = decomp.monotone_marginal(f, e, &out.set) / cost;
+        let m = f.marginal(e, &out.set);
+        let ratio = (m + cost) / cost;
         out.evaluations += 1;
         if config.prune_ratio_below_one && ratio <= 1.0 {
             continue;
@@ -85,6 +91,7 @@ pub fn lazy_marginal_greedy<F: SetFunction>(
         heap.push(Entry {
             bound: ratio,
             element: e,
+            marginal: m,
             epoch: 0,
         });
     }
@@ -101,7 +108,9 @@ pub fn lazy_marginal_greedy<F: SetFunction>(
                 // and bounds overestimate, so it is the true argmax.
                 break Some(top);
             }
-            let ratio = decomp.monotone_marginal(f, top.element, &out.set) / decomp.cost(top.element);
+            let cost = decomp.cost(top.element);
+            let m = f.marginal(top.element, &out.set);
+            let ratio = (m + cost) / cost;
             out.evaluations += 1;
             if config.prune_ratio_below_one && ratio <= 1.0 {
                 continue; // permanently pruned
@@ -109,6 +118,7 @@ pub fn lazy_marginal_greedy<F: SetFunction>(
             let refreshed = Entry {
                 bound: ratio,
                 element: top.element,
+                marginal: m,
                 epoch,
             };
             if heap.peek().is_none_or(|next| refreshed.cmp(next).is_ge()) {
@@ -120,8 +130,9 @@ pub fn lazy_marginal_greedy<F: SetFunction>(
         match best {
             Some(entry) if entry.bound > 1.0 => {
                 out.set.insert(entry.element);
-                value = f.eval(&out.set);
-                out.evaluations += 1;
+                // The winner's marginal rode along in its heap entry; no
+                // extra oracle call.
+                value += entry.marginal;
                 out.picks.push(Pick {
                     element: entry.element,
                     score: entry.bound,
@@ -157,7 +168,9 @@ pub fn lazy_marginal_greedy<F: SetFunction>(
 mod tests {
     use super::*;
     use crate::algorithms::marginal_greedy::marginal_greedy;
-    use crate::instances::random::{random_coverage_minus_cost, random_cut_minus_cost, CoverageParams};
+    use crate::instances::random::{
+        random_coverage_minus_cost, random_cut_minus_cost, CoverageParams,
+    };
 
     #[test]
     fn lazy_matches_eager_on_random_instances() {

@@ -76,10 +76,17 @@ pub fn marginal_greedy<F: SetFunction>(
     let budget = config.max_picks.unwrap_or(usize::MAX);
 
     while out.picks.len() < budget && !active.is_empty() {
-        let mut best: Option<(usize, usize, f64)> = None; // (pos in kept, element, ratio)
+        // One marginal_many batch per round: functions with a specialized
+        // `marginal` keep it (the default is a marginal loop), while batched
+        // oracles like the bestCost engine answer the whole round against
+        // one shared base. The ratio arithmetic is exactly
+        // `decomp.monotone_marginal / cost`.
+        let marginals = f.marginal_many(&active, &out.set);
+        // (pos in kept, element, ratio, marginal)
+        let mut best: Option<(usize, usize, f64, f64)> = None;
         let mut kept = Vec::with_capacity(active.len());
-        for &e in &active {
-            let ratio = decomp.monotone_marginal(f, e, &out.set) / decomp.cost(e);
+        for (&e, &m) in active.iter().zip(&marginals) {
+            let ratio = (m + decomp.cost(e)) / decomp.cost(e);
             out.evaluations += 1;
             if config.prune_ratio_below_one && ratio <= 1.0 {
                 // Permanently pruned (Section 5.1): by submodularity of f_M
@@ -87,17 +94,18 @@ pub fn marginal_greedy<F: SetFunction>(
                 continue;
             }
             kept.push(e);
-            if best.is_none_or(|(_, _, r)| ratio > r) {
-                best = Some((kept.len() - 1, e, ratio));
+            if best.is_none_or(|(_, _, r, _)| ratio > r) {
+                best = Some((kept.len() - 1, e, ratio, m));
             }
         }
         active = kept;
 
         match best {
-            Some((pos, e, ratio)) if ratio > 1.0 => {
+            Some((pos, e, ratio, m)) if ratio > 1.0 => {
                 out.set.insert(e);
-                value = f.eval(&out.set);
-                out.evaluations += 1;
+                // The winner's marginal was already evaluated in the round's
+                // batch; no extra oracle call.
+                value += m;
                 out.picks.push(Pick {
                     element: e,
                     score: ratio,
@@ -277,9 +285,12 @@ mod tests {
 
     #[test]
     fn theorem1_bound_holds_on_profitted_instances() {
-        for (blocks, size, redundant, gamma) in
-            [(2, 3, 1, 1.0), (3, 3, 2, 2.0), (2, 4, 3, 0.5), (4, 2, 1, 4.0)]
-        {
+        for (blocks, size, redundant, gamma) in [
+            (2, 3, 1, 1.0),
+            (3, 3, 2, 2.0),
+            (2, 4, 3, 0.5),
+            (4, 2, 1, 4.0),
+        ] {
             let inst = ProfittedMaxCoverage::hard_instance(blocks, size, redundant, gamma);
             let n = inst.universe();
             if n > 14 {

@@ -4,10 +4,10 @@
 
 pub mod cardinality;
 pub mod cleanup;
-pub mod knapsack;
 pub mod double_greedy;
 pub mod exhaustive;
 pub mod greedy;
+pub mod knapsack;
 pub mod lazy;
 pub mod marginal_greedy;
 

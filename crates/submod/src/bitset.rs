@@ -87,14 +87,22 @@ impl BitSet {
     /// Tests membership of `e`.
     #[inline]
     pub fn contains(&self, e: usize) -> bool {
-        debug_assert!(e < self.universe, "element {e} outside universe {}", self.universe);
+        debug_assert!(
+            e < self.universe,
+            "element {e} outside universe {}",
+            self.universe
+        );
         self.words[e / WORD_BITS] >> (e % WORD_BITS) & 1 == 1
     }
 
     /// Inserts `e`; returns `true` if it was newly added.
     #[inline]
     pub fn insert(&mut self, e: usize) -> bool {
-        debug_assert!(e < self.universe, "element {e} outside universe {}", self.universe);
+        debug_assert!(
+            e < self.universe,
+            "element {e} outside universe {}",
+            self.universe
+        );
         let w = &mut self.words[e / WORD_BITS];
         let mask = 1u64 << (e % WORD_BITS);
         let added = *w & mask == 0;
@@ -105,7 +113,11 @@ impl BitSet {
     /// Removes `e`; returns `true` if it was present.
     #[inline]
     pub fn remove(&mut self, e: usize) -> bool {
-        debug_assert!(e < self.universe, "element {e} outside universe {}", self.universe);
+        debug_assert!(
+            e < self.universe,
+            "element {e} outside universe {}",
+            self.universe
+        );
         let w = &mut self.words[e / WORD_BITS];
         let mask = 1u64 << (e % WORD_BITS);
         let present = *w & mask != 0;
@@ -206,6 +218,23 @@ impl BitSet {
             current: self.words.first().copied().unwrap_or(0),
         }
     }
+
+    /// Iterates over the symmetric difference `self △ other` in increasing
+    /// order, XOR-ing word pairs on the fly — no intermediate set and no
+    /// allocation, unlike `a.difference(b)` / `b.difference(a)` chains.
+    /// This is the hot diff primitive of the incremental `bestCost` path.
+    pub fn symmetric_difference_iter<'a>(&'a self, other: &'a BitSet) -> SymmetricDifference<'a> {
+        debug_assert_eq!(self.universe, other.universe);
+        SymmetricDifference {
+            a: &self.words,
+            b: &other.words,
+            word_idx: 0,
+            current: match (self.words.first(), other.words.first()) {
+                (Some(&x), Some(&y)) => x ^ y,
+                _ => 0,
+            },
+        }
+    }
 }
 
 impl fmt::Debug for BitSet {
@@ -246,6 +275,34 @@ impl<'a> IntoIterator for &'a BitSet {
 
     fn into_iter(self) -> Iter<'a> {
         self.iter()
+    }
+}
+
+/// Iterator over `a △ b` (elements in exactly one of two same-universe
+/// sets) in increasing order; see [`BitSet::symmetric_difference_iter`].
+pub struct SymmetricDifference<'a> {
+    a: &'a [u64],
+    b: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for SymmetricDifference<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * WORD_BITS + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.a.len() {
+                return None;
+            }
+            self.current = self.a[self.word_idx] ^ self.b[self.word_idx];
+        }
     }
 }
 
@@ -357,6 +414,84 @@ mod tests {
         for (i, a) in subsets.iter().enumerate() {
             for b in subsets.iter().skip(i + 1) {
                 assert_ne!(a, b);
+            }
+        }
+    }
+
+    /// Reference symmetric difference via the allocating set algebra.
+    fn sym_diff_reference(a: &BitSet, b: &BitSet) -> Vec<usize> {
+        let mut out: Vec<usize> = a.difference(b).iter().collect();
+        out.extend(b.difference(a).iter());
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn symmetric_difference_iter_empty() {
+        let a = BitSet::empty(70);
+        let b = BitSet::empty(70);
+        assert_eq!(a.symmetric_difference_iter(&b).count(), 0);
+        // Equal non-empty sets also yield nothing.
+        let c = BitSet::from_iter(70, [3, 64, 69]);
+        assert_eq!(c.symmetric_difference_iter(&c.clone()).count(), 0);
+        // Zero-universe sets have one (all-zero) backing word.
+        let z = BitSet::empty(0);
+        assert_eq!(z.symmetric_difference_iter(&BitSet::empty(0)).count(), 0);
+    }
+
+    #[test]
+    fn symmetric_difference_iter_dense() {
+        // Full vs empty: every element differs, in increasing order.
+        let full = BitSet::full(130);
+        let empty = BitSet::empty(130);
+        let v: Vec<usize> = full.symmetric_difference_iter(&empty).collect();
+        assert_eq!(v, (0..130).collect::<Vec<_>>());
+        // Dense interleaved sets: evens vs odds differ everywhere.
+        let evens = BitSet::from_iter(130, (0..130).step_by(2));
+        let odds = BitSet::from_iter(130, (1..130).step_by(2));
+        let v: Vec<usize> = evens.symmetric_difference_iter(&odds).collect();
+        assert_eq!(v, (0..130).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn symmetric_difference_iter_word_boundaries() {
+        // Differences placed on and around the 64-bit word seams, including
+        // the last element of a non-multiple-of-64 universe.
+        let a = BitSet::from_iter(193, [0, 63, 64, 127, 128, 192]);
+        let b = BitSet::from_iter(193, [0, 64, 128, 191]);
+        let v: Vec<usize> = a.symmetric_difference_iter(&b).collect();
+        assert_eq!(v, vec![63, 127, 191, 192]);
+        // Exact word-multiple universe.
+        let c = BitSet::from_iter(128, [0, 127]);
+        let d = BitSet::from_iter(128, [127]);
+        let v: Vec<usize> = c.symmetric_difference_iter(&d).collect();
+        assert_eq!(v, vec![0]);
+    }
+
+    #[test]
+    fn symmetric_difference_iter_matches_reference_sweep() {
+        // Pseudo-random sweep against the allocating reference.
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for universe in [1usize, 64, 65, 100, 192, 200] {
+            for _ in 0..20 {
+                let bits_a = next();
+                let bits_b = next();
+                let a = BitSet::from_iter(
+                    universe,
+                    (0..universe).filter(|e| (bits_a >> (e % 64)) & 1 == 1),
+                );
+                let b = BitSet::from_iter(
+                    universe,
+                    (0..universe).filter(|e| (bits_b >> (e % 61)) & 1 == 1),
+                );
+                let got: Vec<usize> = a.symmetric_difference_iter(&b).collect();
+                assert_eq!(got, sym_diff_reference(&a, &b), "universe {universe}");
             }
         }
     }

@@ -31,9 +31,7 @@ impl Decomposition {
         let n = f.universe();
         let full = BitSet::full(n);
         let f_full = f.eval(&full);
-        let costs = (0..n)
-            .map(|e| f.eval(&full.without(e)) - f_full)
-            .collect();
+        let costs = (0..n).map(|e| f.eval(&full.without(e)) - f_full).collect();
         Decomposition { costs }
     }
 
@@ -160,7 +158,10 @@ mod tests {
         let d = Decomposition::canonical(&f);
         let fm = d.monotone_part(&f);
         assert!(is_monotone(&fm), "f*_M must be monotone (Proposition 1)");
-        assert!(is_submodular(&fm), "f*_M must be submodular (Proposition 1)");
+        assert!(
+            is_submodular(&fm),
+            "f*_M must be submodular (Proposition 1)"
+        );
     }
 
     #[test]
@@ -184,9 +185,8 @@ mod tests {
         // d(e) = f_M(U) - f_M(U\{e}) picks up the inflation.
         let f = sample();
         let canon = Decomposition::canonical(&f);
-        let inflated = Decomposition::from_costs(
-            (0..4).map(|e| canon.cost(e) + 1.5 + e as f64).collect(),
-        );
+        let inflated =
+            Decomposition::from_costs((0..4).map(|e| canon.cost(e) + 1.5 + e as f64).collect());
         let improved = inflated.improve(&f);
         for e in 0..4 {
             assert!(

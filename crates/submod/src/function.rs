@@ -29,8 +29,36 @@ pub trait SetFunction {
     /// The default implementation performs two `eval` calls; implementations
     /// with cheaper incremental evaluation should override it.
     fn marginal(&self, e: usize, set: &BitSet) -> f64 {
-        debug_assert!(!set.contains(e), "marginal of an element already in the set");
+        debug_assert!(
+            !set.contains(e),
+            "marginal of an element already in the set"
+        );
         self.eval(&set.with(e)) - self.eval(set)
+    }
+
+    /// Evaluates the function on every set of a batch, returning the values
+    /// in order. Equivalent to (and by default implemented as) an `eval`
+    /// loop; like `eval` it takes `&self`, with interior mutability for any
+    /// caching.
+    ///
+    /// Greedy strategies evaluate every candidate of a round against one
+    /// shared base set, so oracles with incremental evaluation (the
+    /// `bestCost` engine) override this to align their committed base with
+    /// the batch once and answer each candidate from a minimal overlay —
+    /// one full recomputation per round instead of one per candidate.
+    fn eval_many(&self, sets: &[BitSet]) -> Vec<f64> {
+        sets.iter().map(|s| self.eval(s)).collect()
+    }
+
+    /// Marginals `f(S ∪ {e}) − f(S)` for a batch of elements against one
+    /// shared base set, in order.
+    ///
+    /// The default is a [`Self::marginal`] loop, so functions with a
+    /// specialized (cheaper-than-two-evals) marginal keep that advantage;
+    /// batched oracles override this to route the whole round through
+    /// [`Self::eval_many`] instead.
+    fn marginal_many(&self, elems: &[usize], set: &BitSet) -> Vec<f64> {
+        elems.iter().map(|&e| self.marginal(e, set)).collect()
     }
 
     /// `f(∅)`, used for normalization checks.
@@ -48,6 +76,12 @@ impl<F: SetFunction + ?Sized> SetFunction for &F {
     }
     fn marginal(&self, e: usize, set: &BitSet) -> f64 {
         (**self).marginal(e, set)
+    }
+    fn eval_many(&self, sets: &[BitSet]) -> Vec<f64> {
+        (**self).eval_many(sets)
+    }
+    fn marginal_many(&self, elems: &[usize], set: &BitSet) -> Vec<f64> {
+        (**self).marginal_many(elems, set)
     }
 }
 
@@ -121,6 +155,10 @@ impl<F: SetFunction> SetFunction for CountingOracle<F> {
         self.calls.set(self.calls.get() + 1);
         self.inner.eval(set)
     }
+    fn eval_many(&self, sets: &[BitSet]) -> Vec<f64> {
+        self.calls.set(self.calls.get() + sets.len() as u64);
+        self.inner.eval_many(sets)
+    }
 }
 
 /// Memoizing wrapper: caches values per set.
@@ -164,6 +202,44 @@ impl<F: SetFunction> SetFunction for MemoizedOracle<F> {
         let v = self.inner.eval(set);
         self.cache.borrow_mut().insert(set.clone(), v);
         v
+    }
+    fn eval_many(&self, sets: &[BitSet]) -> Vec<f64> {
+        // Forward only the distinct cache misses to the inner batch (a
+        // duplicated set costs one inner evaluation, like the eval loop
+        // would pay after its first call), then stitch the results back in
+        // order.
+        let mut out = vec![f64::NAN; sets.len()];
+        let mut miss_slot: HashMap<BitSet, usize> = HashMap::new();
+        let mut miss_sets: Vec<BitSet> = Vec::new();
+        let mut slot_of: Vec<Option<usize>> = vec![None; sets.len()];
+        {
+            let cache = self.cache.borrow();
+            for (i, s) in sets.iter().enumerate() {
+                match cache.get(s) {
+                    Some(&v) => out[i] = v,
+                    None => {
+                        let slot = *miss_slot.entry(s.clone()).or_insert_with(|| {
+                            miss_sets.push(s.clone());
+                            miss_sets.len() - 1
+                        });
+                        slot_of[i] = Some(slot);
+                    }
+                }
+            }
+        }
+        if !miss_sets.is_empty() {
+            let vals = self.inner.eval_many(&miss_sets);
+            let mut cache = self.cache.borrow_mut();
+            for (s, &v) in miss_sets.iter().zip(&vals) {
+                cache.insert(s.clone(), v);
+            }
+            for (i, slot) in slot_of.iter().enumerate() {
+                if let Some(slot) = slot {
+                    out[i] = vals[*slot];
+                }
+            }
+        }
+        out
     }
 }
 
@@ -298,6 +374,30 @@ mod tests {
         memo.eval(&s);
         assert_eq!(memo.inner().calls(), 1);
         assert_eq!(memo.cached_sets(), 1);
+    }
+
+    #[test]
+    fn eval_many_matches_eval_loop_and_counts() {
+        let f = CountingOracle::new(FnSetFunction::new(5, |s: &BitSet| s.len() as f64));
+        let sets: Vec<BitSet> = (0..5).map(|e| BitSet::from_iter(5, [e])).collect();
+        let batch = f.eval_many(&sets);
+        let looped: Vec<f64> = sets.iter().map(|s| f.eval(s)).collect();
+        assert_eq!(batch, looped);
+        assert_eq!(f.calls(), 10, "both paths count one call per set");
+    }
+
+    #[test]
+    fn memoized_eval_many_only_forwards_misses() {
+        let f = CountingOracle::new(FnSetFunction::new(4, |s: &BitSet| s.len() as f64));
+        let memo = MemoizedOracle::new(f);
+        let a = BitSet::from_iter(4, [0]);
+        let b = BitSet::from_iter(4, [1, 2]);
+        memo.eval(&a);
+        let vals = memo.eval_many(&[a.clone(), b.clone(), a.clone()]);
+        assert_eq!(vals, vec![1.0, 2.0, 1.0]);
+        // Only `b` was a miss.
+        assert_eq!(memo.inner().calls(), 2);
+        assert_eq!(memo.cached_sets(), 2);
     }
 
     #[test]

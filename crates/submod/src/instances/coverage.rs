@@ -71,10 +71,7 @@ impl SetFunction for WeightedCoverage {
     }
 
     fn eval(&self, chosen: &BitSet) -> f64 {
-        self.covered(chosen)
-            .iter()
-            .map(|i| self.weights[i])
-            .sum()
+        self.covered(chosen).iter().map(|i| self.weights[i]).sum()
     }
 
     fn marginal(&self, e: usize, chosen: &BitSet) -> f64 {

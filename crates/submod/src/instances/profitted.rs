@@ -86,7 +86,11 @@ impl ProfittedMaxCoverage {
             // Decoys: each covers the block minus one item plus one item of
             // the next block, so no item is uniquely covered.
             for r in 0..redundant {
-                let mut decoy: Vec<usize> = items.iter().copied().filter(|&i| i % block_size != r % block_size).collect();
+                let mut decoy: Vec<usize> = items
+                    .iter()
+                    .copied()
+                    .filter(|&i| i % block_size != r % block_size)
+                    .collect();
                 decoy.push(((b + 1) % blocks) * block_size + (r % block_size));
                 sets.push(decoy);
             }
@@ -149,7 +153,15 @@ mod tests {
         // add no coverage.
         let inst = ProfittedMaxCoverage::new(
             4,
-            vec![vec![0], vec![0], vec![0], vec![0], vec![0], vec![0], vec![0]],
+            vec![
+                vec![0],
+                vec![0],
+                vec![0],
+                vec![0],
+                vec![0],
+                vec![0],
+                vec![0],
+            ],
             1,
             1.0,
         );
@@ -162,7 +174,7 @@ mod tests {
         let inst = ProfittedMaxCoverage::hard_instance(3, 4, 2, 2.0);
         assert_eq!(inst.budget(), 3);
         assert_eq!(inst.universe(), 3 * 3); // 1 good + 2 decoys per block
-        // The three good sets cover everything with value exactly 1.
+                                            // The three good sets cover everything with value exactly 1.
         let good = BitSet::from_iter(inst.universe(), [0, 3, 6]);
         assert!((inst.eval(&good) - 1.0).abs() < 1e-12);
         // Every item is covered by at least two sets.

@@ -43,9 +43,7 @@ pub fn random_coverage(params: CoverageParams, seed: u64) -> WeightedCoverage {
         })
         .collect();
     let (lo, hi) = params.weight_range;
-    let weights = (0..params.n_items)
-        .map(|_| rng.gen_range(lo..hi))
-        .collect();
+    let weights = (0..params.n_items).map(|_| rng.gen_range(lo..hi)).collect();
     WeightedCoverage::new(params.n_items, sets, weights)
 }
 
@@ -119,7 +117,12 @@ pub fn random_cut_minus_cost(n: usize, edge_prob: f64, seed: u64) -> CutMinusCos
 
 /// A random Profitted Max Coverage instance with a planted covering
 /// collection (optimal value 1 by the completeness argument).
-pub fn random_profitted(blocks: usize, block_size: usize, redundant: usize, gamma: f64) -> ProfittedMaxCoverage {
+pub fn random_profitted(
+    blocks: usize,
+    block_size: usize,
+    redundant: usize,
+    gamma: f64,
+) -> ProfittedMaxCoverage {
     ProfittedMaxCoverage::hard_instance(blocks, block_size, redundant, gamma)
 }
 

@@ -123,7 +123,10 @@ fn prop_theorem1_bound() {
     // Guard against the skip path silently eating the sweep (proptest
     // errored on excessive discards; this is the equivalent floor).
     let eff = effective.load(Ordering::Relaxed);
-    assert!(eff >= CASES / 4, "only {eff}/{CASES} cases checked the bound");
+    assert!(
+        eff >= CASES / 4,
+        "only {eff}/{CASES} cases checked the bound"
+    );
 }
 
 /// Lazy and eager MarginalGreedy agree, and lazy never does more work.
@@ -221,7 +224,10 @@ fn prop_cuts_bound_and_lazy() {
         );
     });
     let eff = effective.load(Ordering::Relaxed);
-    assert!(eff >= CASES / 4, "only {eff}/{CASES} cases checked the bound");
+    assert!(
+        eff >= CASES / 4,
+        "only {eff}/{CASES} cases checked the bound"
+    );
 }
 
 /// BitSet sanity under random element sequences.

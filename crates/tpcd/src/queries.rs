@@ -15,9 +15,7 @@
 use std::collections::HashMap;
 
 use mqo_catalog::ColumnStats;
-use mqo_volcano::{
-    AggCall, AggFunc, AggSpec, ColId, Constraint, DagContext, PlanNode, Predicate,
-};
+use mqo_volcano::{AggCall, AggFunc, AggSpec, ColId, Constraint, DagContext, PlanNode, Predicate};
 
 use crate::schema::date;
 
@@ -164,10 +162,8 @@ impl QueryFactory {
                 Predicate::join(ctx.col(s, "s_nationkey"), ctx.col(n, "n_nationkey")),
             )
             .join(
-                PlanNode::scan(r).select(Predicate::on(
-                    ctx.col(r, "r_name"),
-                    Constraint::eq(r_code),
-                )),
+                PlanNode::scan(r)
+                    .select(Predicate::on(ctx.col(r, "r_name"), Constraint::eq(r_code))),
                 Predicate::join(ctx.col(n, "n_regionkey"), ctx.col(r, "r_regionkey")),
             );
 
@@ -211,10 +207,8 @@ impl QueryFactory {
                 Predicate::join(ctx.col(ps, "ps_suppkey"), ctx.col(s, "s_suppkey")),
             )
             .join(
-                PlanNode::scan(n).select(Predicate::on(
-                    ctx.col(n, "n_name"),
-                    Constraint::eq(n_code),
-                )),
+                PlanNode::scan(n)
+                    .select(Predicate::on(ctx.col(n, "n_name"), Constraint::eq(n_code))),
                 Predicate::join(ctx.col(s, "s_nationkey"), ctx.col(n, "n_nationkey")),
             );
 
@@ -308,7 +302,13 @@ impl QueryFactory {
     /// same name return the same column id (shared views must share their
     /// output columns, and Q2's join predicate must reference the inner
     /// block's aggregate output).
-    fn synth(&mut self, ctx: &mut DagContext, name: String, stats: ColumnStats, width: u32) -> ColId {
+    fn synth(
+        &mut self,
+        ctx: &mut DagContext,
+        name: String,
+        stats: ColumnStats,
+        width: u32,
+    ) -> ColId {
         if let Some(&c) = self.synths.get(&name) {
             return c;
         }
@@ -408,17 +408,14 @@ fn q5(f: &mut QueryFactory, ctx: &mut DagContext, variant: u8) -> PlanNode {
             Predicate::join(ctx.col(o, "o_orderkey"), ctx.col(l, "l_orderkey")),
         )
         .join(
-            PlanNode::scan(s)
-                .join(
-                    PlanNode::scan(n).join(
-                        PlanNode::scan(r).select(Predicate::on(
-                            ctx.col(r, "r_name"),
-                            Constraint::eq(r_code),
-                        )),
-                        Predicate::join(ctx.col(n, "n_regionkey"), ctx.col(r, "r_regionkey")),
-                    ),
-                    Predicate::join(ctx.col(s, "s_nationkey"), ctx.col(n, "n_nationkey")),
+            PlanNode::scan(s).join(
+                PlanNode::scan(n).join(
+                    PlanNode::scan(r)
+                        .select(Predicate::on(ctx.col(r, "r_name"), Constraint::eq(r_code))),
+                    Predicate::join(ctx.col(n, "n_regionkey"), ctx.col(r, "r_regionkey")),
                 ),
+                Predicate::join(ctx.col(s, "s_nationkey"), ctx.col(n, "n_nationkey")),
+            ),
             {
                 // Supplier and customer must share the nation: both equi
                 // atoms connect the two sides of this join.
@@ -512,10 +509,7 @@ fn q8(f: &mut QueryFactory, ctx: &mut DagContext, variant: u8) -> PlanNode {
     let r = ctx.instance_by_name("region", 0);
 
     PlanNode::scan(p)
-        .select(Predicate::on(
-            ctx.col(p, "p_type"),
-            Constraint::eq(p_type),
-        ))
+        .select(Predicate::on(ctx.col(p, "p_type"), Constraint::eq(p_type)))
         .join(
             PlanNode::scan(l).join(
                 PlanNode::scan(o).select(Predicate::on(
@@ -529,10 +523,8 @@ fn q8(f: &mut QueryFactory, ctx: &mut DagContext, variant: u8) -> PlanNode {
         .join(
             PlanNode::scan(c).join(
                 PlanNode::scan(n1).join(
-                    PlanNode::scan(r).select(Predicate::on(
-                        ctx.col(r, "r_name"),
-                        Constraint::eq(r_code),
-                    )),
+                    PlanNode::scan(r)
+                        .select(Predicate::on(ctx.col(r, "r_name"), Constraint::eq(r_code))),
                     Predicate::join(ctx.col(n1, "n_regionkey"), ctx.col(r, "r_regionkey")),
                 ),
                 Predicate::join(ctx.col(c, "c_nationkey"), ctx.col(n1, "n_nationkey")),
@@ -588,15 +580,11 @@ fn q9(f: &mut QueryFactory, ctx: &mut DagContext, variant: u8) -> PlanNode {
             PlanNode::scan(l),
             Predicate::join(ctx.col(p, "p_partkey"), ctx.col(l, "l_partkey")),
         )
-        .join(
-            PlanNode::scan(ps),
-            {
-                let mut pred =
-                    Predicate::join(ctx.col(ps, "ps_partkey"), ctx.col(l, "l_partkey"));
-                pred.add_equi(ctx.col(ps, "ps_suppkey"), ctx.col(l, "l_suppkey"));
-                pred
-            },
-        )
+        .join(PlanNode::scan(ps), {
+            let mut pred = Predicate::join(ctx.col(ps, "ps_partkey"), ctx.col(l, "l_partkey"));
+            pred.add_equi(ctx.col(ps, "ps_suppkey"), ctx.col(l, "l_suppkey"));
+            pred
+        })
         .join(
             PlanNode::scan(s).join(
                 PlanNode::scan(n),

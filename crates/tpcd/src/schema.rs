@@ -25,7 +25,13 @@ pub fn date(year: i64, month: i64, day: i64) -> i64 {
 }
 
 /// The market segments of `c_mktsegment`.
-pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 
 /// The region names of `r_name`.
 pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
@@ -121,7 +127,12 @@ pub fn catalog(sf: f64) -> Catalog {
     cat.add_table(
         TableBuilder::new("partsupp", partsupp_rows)
             .column("ps_partkey", part_rows, (0, part_rows as i64 - 1), 4)
-            .column("ps_suppkey", supplier_rows, (0, supplier_rows as i64 - 1), 4)
+            .column(
+                "ps_suppkey",
+                supplier_rows,
+                (0, supplier_rows as i64 - 1),
+                4,
+            )
             .column("ps_availqty", 9_999.0, (1, 9_999), 4)
             .column("ps_supplycost", 100_000.0, (100, 100_000), 8)
             .column("ps_payload", 1.0, (0, 0), 124)

@@ -1,11 +1,11 @@
 //! Structural tests of the TPCD workload DAGs: each query produces the
 //! join graph and sharing structure the experiments rely on.
 
+use mqo_tpcd::{QueryFactory, QueryId};
 use mqo_volcano::logical::{Leaf, LogicalOp};
 use mqo_volcano::memo::Memo;
 use mqo_volcano::rules::{expand, RuleSet};
 use mqo_volcano::DagContext;
-use mqo_tpcd::{QueryFactory, QueryId};
 
 fn build_memo(queries: &[(QueryId, u8)]) -> (Memo, Vec<mqo_volcano::GroupId>) {
     let mut ctx = DagContext::new(mqo_tpcd::schema::catalog(1.0));
@@ -24,7 +24,11 @@ fn build_memo(queries: &[(QueryId, u8)]) -> (Memo, Vec<mqo_volcano::GroupId>) {
 
 /// Number of distinct base-table instances under a group.
 fn leaf_instances(memo: &Memo, g: mqo_volcano::GroupId) -> usize {
-    fn count(memo: &Memo, g: mqo_volcano::GroupId, seen: &mut std::collections::HashSet<mqo_volcano::InstanceId>) {
+    fn count(
+        memo: &Memo,
+        g: mqo_volcano::GroupId,
+        seen: &mut std::collections::HashSet<mqo_volcano::InstanceId>,
+    ) {
         for leaf in &memo.props(g).leaves {
             match leaf {
                 Leaf::Instance(i) => {

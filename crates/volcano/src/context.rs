@@ -141,10 +141,7 @@ impl DagContext {
         match col {
             ColId::Base { inst, col } => {
                 let rel = self.rel(inst);
-                self.catalog
-                    .table(rel.table)
-                    .columns[col as usize]
-                    .stats
+                self.catalog.table(rel.table).columns[col as usize].stats
             }
             ColId::Synth(i) => self.synths[i as usize].stats,
         }

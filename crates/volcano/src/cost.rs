@@ -243,8 +243,7 @@ mod tests {
         assert!((small - (100.0 + 50.0 + 10.0) * 0.2).abs() < 1e-9);
         // Outer needs 2 passes: inner written once, re-read once.
         let big = m.nl_join(3000.0, 50.0, 10.0);
-        let expect = (10.0 + 50.0 * 4.0) + (10.0 + 50.0 * 2.0)
-            + (3000.0 + 2.0 * 50.0 + 10.0) * 0.2;
+        let expect = (10.0 + 50.0 * 4.0) + (10.0 + 50.0 * 2.0) + (3000.0 + 2.0 * 50.0 + 10.0) * 0.2;
         assert!((big - expect).abs() < 1e-9);
     }
 

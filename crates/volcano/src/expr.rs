@@ -94,8 +94,11 @@ impl Constraint {
     /// consumer re-applies its own predicate).
     pub fn hull(&self, other: &Self) -> Self {
         match (&self.in_list, &other.in_list) {
-            (Some(a), Some(b)) if self.lo.is_none() && self.hi.is_none()
-                && other.lo.is_none() && other.hi.is_none() =>
+            (Some(a), Some(b))
+                if self.lo.is_none()
+                    && self.hi.is_none()
+                    && other.lo.is_none()
+                    && other.hi.is_none() =>
             {
                 let mut vs = a.clone();
                 vs.extend_from_slice(b);
@@ -150,15 +153,17 @@ impl Constraint {
     pub fn implies(&self, other: &Self) -> bool {
         match (&self.in_list, &other.in_list) {
             (Some(a), Some(b)) => a.iter().all(|v| b.contains(v)),
-            (Some(a), None) => {
-                a.iter().all(|v| {
-                    other.lo.is_none_or(|lo| *v >= lo) && other.hi.is_none_or(|hi| *v <= hi)
-                })
-            }
+            (Some(a), None) => a
+                .iter()
+                .all(|v| other.lo.is_none_or(|lo| *v >= lo) && other.hi.is_none_or(|hi| *v <= hi)),
             (None, Some(_)) => false,
             (None, None) => {
-                other.lo.is_none_or(|olo| self.lo.is_some_and(|slo| slo >= olo))
-                    && other.hi.is_none_or(|ohi| self.hi.is_some_and(|shi| shi <= ohi))
+                other
+                    .lo
+                    .is_none_or(|olo| self.lo.is_some_and(|slo| slo >= olo))
+                    && other
+                        .hi
+                        .is_none_or(|ohi| self.hi.is_some_and(|shi| shi <= ohi))
             }
         }
     }
@@ -218,10 +223,7 @@ impl Predicate {
 
     /// Conjoins a per-column constraint.
     pub fn add_constraint(&mut self, col: ColId, c: Constraint) {
-        let entry = self
-            .constraints
-            .entry(col)
-            .or_default();
+        let entry = self.constraints.entry(col).or_default();
         *entry = if *entry == Constraint::default() {
             c.normalized()
         } else {
@@ -288,11 +290,11 @@ impl Predicate {
 
     /// Whether `self` implies `other` column-by-column.
     pub fn implies(&self, other: &Predicate) -> bool {
-        other.constraints.iter().all(|(col, oc)| {
-            self.constraints
-                .get(col)
-                .is_some_and(|sc| sc.implies(oc))
-        }) && other.equi.iter().all(|pair| self.equi.contains(pair))
+        other
+            .constraints
+            .iter()
+            .all(|(col, oc)| self.constraints.get(col).is_some_and(|sc| sc.implies(oc)))
+            && other.equi.iter().all(|pair| self.equi.contains(pair))
     }
 }
 
@@ -390,8 +392,7 @@ mod tests {
 
     #[test]
     fn predicate_implies() {
-        let tight = Predicate::on(col(0), Constraint::eq(5))
-            .and(&Predicate::join(col(1), col(2)));
+        let tight = Predicate::on(col(0), Constraint::eq(5)).and(&Predicate::join(col(1), col(2)));
         let loose = Predicate::on(col(0), Constraint::in_list(vec![5, 6]));
         assert!(tight.implies(&loose));
         assert!(!loose.implies(&tight));

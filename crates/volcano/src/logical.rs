@@ -271,10 +271,7 @@ fn aggregate_rows(spec: &AggSpec, input_rows: f64, ctx: &DagContext) -> f64 {
 
 /// Output width of an aggregation: group columns plus aggregate outputs.
 fn aggregate_width(spec: &AggSpec, ctx: &DagContext) -> u32 {
-    spec.group_by
-        .iter()
-        .map(|c| ctx.col_width(*c))
-        .sum::<u32>()
+    spec.group_by.iter().map(|c| ctx.col_width(*c)).sum::<u32>()
         + spec
             .aggs
             .iter()
@@ -444,13 +441,33 @@ mod tests {
         let a = ctx.col(r, "r_a");
         let out = ctx.add_synth("sum_x", mqo_catalog::ColumnStats::new(100.0, 0, 1_000), 8);
         let scan = compute_props(&LogicalOp::Scan(r), &[], &ctx, |_| 0.0, |_| 0);
-        let spec = AggSpec::new(vec![a], vec![AggCall { func: AggFunc::Sum, input: a, output: out }]);
+        let spec = AggSpec::new(
+            vec![a],
+            vec![AggCall {
+                func: AggFunc::Sum,
+                input: a,
+                output: out,
+            }],
+        );
         let agg = compute_props(&LogicalOp::Aggregate(spec), &[&scan], &ctx, |_| 0.0, |_| 0);
         assert_eq!(agg.rows, 10.0); // V(r_a) = 10
         assert_eq!(agg.width, 12); // 4 (group col) + 8 (sum output)
 
-        let scalar = AggSpec::new(vec![], vec![AggCall { func: AggFunc::Count, input: a, output: out }]);
-        let sagg = compute_props(&LogicalOp::Aggregate(scalar), &[&scan], &ctx, |_| 0.0, |_| 0);
+        let scalar = AggSpec::new(
+            vec![],
+            vec![AggCall {
+                func: AggFunc::Count,
+                input: a,
+                output: out,
+            }],
+        );
+        let sagg = compute_props(
+            &LogicalOp::Aggregate(scalar),
+            &[&scan],
+            &ctx,
+            |_| 0.0,
+            |_| 0,
+        );
         assert_eq!(sagg.rows, 1.0);
     }
 
@@ -470,7 +487,10 @@ mod tests {
             width: 100,
         };
         assert_eq!(p.blocks(4096), 1.0);
-        let big = LogicalProps { rows: 1000.0, ..p.clone() };
+        let big = LogicalProps {
+            rows: 1000.0,
+            ..p.clone()
+        };
         assert_eq!(big.blocks(4096), 25.0);
     }
 }

@@ -213,7 +213,12 @@ impl Memo {
     ///   from `g` triggers a group merge.
     ///
     /// Returns the (representative) group now holding the expression.
-    pub fn insert(&mut self, op: LogicalOp, children: Vec<GroupId>, target: Option<GroupId>) -> GroupId {
+    pub fn insert(
+        &mut self,
+        op: LogicalOp,
+        children: Vec<GroupId>,
+        target: Option<GroupId>,
+    ) -> GroupId {
         if let Some(arity) = op.arity() {
             assert_eq!(children.len(), arity, "arity mismatch for {op:?}");
         }
@@ -492,6 +497,75 @@ impl Memo {
         out
     }
 
+    /// Builds the dense topological view of the live representative groups:
+    /// a contiguous index space (children before parents) with CSR
+    /// child/parent adjacency. Consumers that sweep the DAG bottom-up (the
+    /// `bestCost` engine) index flat arrays by dense position instead of
+    /// hashing `GroupId`s on every lookup.
+    pub fn topo_view(&self) -> TopoView {
+        let order = self.topo_order();
+        let n = order.len();
+        let mut dense_of_slot = vec![u32::MAX; self.groups.len()];
+        for (i, &g) in order.iter().enumerate() {
+            dense_of_slot[g.0 as usize] = i as u32;
+        }
+        // Merged-away slots resolve through their representative, so any
+        // GroupId — canonical or not — maps without a `find` at the caller.
+        for slot in 0..self.groups.len() {
+            if dense_of_slot[slot] == u32::MAX {
+                let rep = self.find(GroupId(slot as u32));
+                dense_of_slot[slot] = dense_of_slot[rep.0 as usize];
+            }
+        }
+
+        // CSR children: union over live expressions, deduplicated,
+        // self-edges excluded (an expression computing a group from itself
+        // is tombstoned, but group-level dedup is re-checked here anyway).
+        let mut children_off = Vec::with_capacity(n + 1);
+        let mut children = Vec::new();
+        let mut parents_count = vec![0u32; n];
+        children_off.push(0u32);
+        for (gi, &g) in order.iter().enumerate() {
+            let mut cs: Vec<u32> = self
+                .group_children(g)
+                .into_iter()
+                .map(|c| dense_of_slot[c.0 as usize])
+                .filter(|&c| c as usize != gi)
+                .collect();
+            cs.sort_unstable();
+            cs.dedup();
+            for &c in &cs {
+                parents_count[c as usize] += 1;
+            }
+            children.extend_from_slice(&cs);
+            children_off.push(children.len() as u32);
+        }
+
+        // CSR parents: exact transpose of the children adjacency.
+        let mut parents_off = Vec::with_capacity(n + 1);
+        parents_off.push(0u32);
+        for gi in 0..n {
+            parents_off.push(parents_off[gi] + parents_count[gi]);
+        }
+        let mut parents = vec![0u32; *parents_off.last().unwrap() as usize];
+        let mut cursor: Vec<u32> = parents_off[..n].to_vec();
+        for gi in 0..n {
+            for &c in &children[children_off[gi] as usize..children_off[gi + 1] as usize] {
+                parents[cursor[c as usize] as usize] = gi as u32;
+                cursor[c as usize] += 1;
+            }
+        }
+
+        TopoView {
+            order,
+            dense_of_slot,
+            children_off,
+            children,
+            parents_off,
+            parents,
+        }
+    }
+
     /// The set of live groups reachable from `start` (inclusive).
     pub fn reachable(&self, start: GroupId) -> Vec<GroupId> {
         let mut seen = vec![false; self.groups.len()];
@@ -513,6 +587,70 @@ impl Memo {
             }
         }
         out
+    }
+}
+
+/// A dense topological view of a [`Memo`]'s live representative groups.
+///
+/// Dense index `i` is the topological position of `order()[i]` (children
+/// before parents). Child and parent adjacency are stored in CSR form over
+/// dense indices: the neighbors of group `i` are a contiguous slice of a
+/// flat arena, so bottom-up DP sweeps touch no hash maps and no per-group
+/// heap allocations. The view is a snapshot — rebuilding it after further
+/// memo mutations is the caller's responsibility.
+#[derive(Clone, Debug)]
+pub struct TopoView {
+    order: Vec<GroupId>,
+    /// Raw group slot → dense position; merged-away slots point at their
+    /// representative's position.
+    dense_of_slot: Vec<u32>,
+    children_off: Vec<u32>,
+    children: Vec<u32>,
+    parents_off: Vec<u32>,
+    parents: Vec<u32>,
+}
+
+impl TopoView {
+    /// Number of live representative groups.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Groups in topological order (children before parents).
+    pub fn order(&self) -> &[GroupId] {
+        &self.order
+    }
+
+    /// The group at a dense position.
+    #[inline]
+    pub fn group_at(&self, dense: usize) -> GroupId {
+        self.order[dense]
+    }
+
+    /// Dense position of a group; accepts non-canonical ids (merged slots
+    /// resolve through their representative).
+    #[inline]
+    pub fn dense(&self, g: GroupId) -> u32 {
+        self.dense_of_slot[g.0 as usize]
+    }
+
+    /// Child groups (dense indices) of the group at a dense position,
+    /// deduplicated, ascending, self-edges excluded.
+    #[inline]
+    pub fn children(&self, dense: usize) -> &[u32] {
+        &self.children[self.children_off[dense] as usize..self.children_off[dense + 1] as usize]
+    }
+
+    /// Parent groups (dense indices) of the group at a dense position,
+    /// deduplicated, ascending, self-edges excluded.
+    #[inline]
+    pub fn parents(&self, dense: usize) -> &[u32] {
+        &self.parents[self.parents_off[dense] as usize..self.parents_off[dense + 1] as usize]
     }
 }
 
@@ -607,11 +745,14 @@ mod tests {
 
         // Two structurally different expressions of a⋈b: the base join and a
         // select-less "variant" group we then declare equal via target.
-        let ab1 = memo.insert_plan(&PlanNode::scan(a).join(PlanNode::scan(b), Predicate::join(ja, jb)));
+        let ab1 =
+            memo.insert_plan(&PlanNode::scan(a).join(PlanNode::scan(b), Predicate::join(ja, jb)));
         // A parent on top of ab1.
-        let top1 = memo.insert_plan(&PlanNode::scan(a)
-            .join(PlanNode::scan(b), Predicate::join(ja, jb))
-            .join(PlanNode::scan(c), Predicate::join(jb2, jc)));
+        let top1 = memo.insert_plan(
+            &PlanNode::scan(a)
+                .join(PlanNode::scan(b), Predicate::join(ja, jb))
+                .join(PlanNode::scan(c), Predicate::join(jb2, jc)),
+        );
 
         // An artificial second group equivalent to ab1: select with a
         // predicate over ab1's child... simpler: create a distinct group by
@@ -620,7 +761,11 @@ mod tests {
         let ab2 = {
             let scan_a = memo.insert(LogicalOp::Scan(a), vec![], None);
             let scan_b = memo.insert(LogicalOp::Scan(b), vec![], None);
-            let j = memo.insert(LogicalOp::Join(Predicate::join(ja, jb)), vec![scan_a, scan_b], None);
+            let j = memo.insert(
+                LogicalOp::Join(Predicate::join(ja, jb)),
+                vec![scan_a, scan_b],
+                None,
+            );
             memo.insert(LogicalOp::Select(sel), vec![j], None)
         };
         // Same-parent expr over ab2.
@@ -648,7 +793,8 @@ mod tests {
         let ja = ctx.col(a, "a_key");
         let jb = ctx.col(b, "b_x");
         let mut memo = Memo::new(ctx);
-        let top = memo.insert_plan(&PlanNode::scan(a).join(PlanNode::scan(b), Predicate::join(ja, jb)));
+        let top =
+            memo.insert_plan(&PlanNode::scan(a).join(PlanNode::scan(b), Predicate::join(ja, jb)));
         let order = memo.topo_order();
         let pos = |g: GroupId| order.iter().position(|&x| x == g).unwrap();
         for e in memo.group_exprs(top) {
@@ -656,6 +802,82 @@ mod tests {
                 assert!(pos(memo.find(c)) < pos(top));
             }
         }
+    }
+
+    #[test]
+    fn topo_view_matches_topo_order_and_adjacency() {
+        let mut ctx = test_ctx();
+        let a = ctx.instance_by_name("a", 0);
+        let b = ctx.instance_by_name("b", 0);
+        let c = ctx.instance_by_name("c", 0);
+        let ja = ctx.col(a, "a_key");
+        let jb = ctx.col(b, "b_x");
+        let jc = ctx.col(c, "c_key");
+        let jb2 = ctx.col(b, "b_key");
+        let mut memo = Memo::new(ctx);
+        let ab =
+            memo.insert_plan(&PlanNode::scan(a).join(PlanNode::scan(b), Predicate::join(ja, jb)));
+        let top = memo.insert_plan(
+            &PlanNode::scan(a)
+                .join(PlanNode::scan(b), Predicate::join(ja, jb))
+                .join(PlanNode::scan(c), Predicate::join(jb2, jc)),
+        );
+
+        let view = memo.topo_view();
+        assert_eq!(view.order(), memo.topo_order().as_slice());
+        assert_eq!(view.len(), memo.n_groups());
+        // dense() inverts order(), and children precede parents.
+        for (i, &g) in view.order().iter().enumerate() {
+            assert_eq!(view.dense(g) as usize, i);
+            assert_eq!(view.group_at(i), g);
+            for &ch in view.children(i) {
+                assert!((ch as usize) < i, "child after parent");
+            }
+            for &p in view.parents(i) {
+                assert!((p as usize) > i, "parent before child");
+            }
+        }
+        // CSR children match group_children; parents are the transpose.
+        for (i, &g) in view.order().iter().enumerate() {
+            let expect: Vec<u32> = memo
+                .group_children(g)
+                .into_iter()
+                .map(|cg| view.dense(cg))
+                .collect();
+            assert_eq!(view.children(i), expect.as_slice());
+            for &ch in view.children(i) {
+                assert!(view.parents(ch as usize).contains(&(i as u32)));
+            }
+        }
+        // Spot-check: ab's parents contain top.
+        let ab_d = view.dense(ab) as usize;
+        assert!(view.parents(ab_d).contains(&view.dense(top)));
+    }
+
+    #[test]
+    fn topo_view_resolves_merged_slots() {
+        let mut ctx = test_ctx();
+        let a = ctx.instance_by_name("a", 0);
+        let b = ctx.instance_by_name("b", 0);
+        let ja = ctx.col(a, "a_key");
+        let jb = ctx.col(b, "b_x");
+        let ja2 = ctx.col(a, "a_x");
+        let mut memo = Memo::new(ctx);
+        let j =
+            memo.insert_plan(&PlanNode::scan(a).join(PlanNode::scan(b), Predicate::join(ja, jb)));
+        // Two structurally different full-range selects over the same join:
+        // distinct groups with identical cardinalities, as a subsumption
+        // rule would discover before declaring them equal.
+        let sel1 = Predicate::on(jb, Constraint::range(Some(0), Some(9)));
+        let sel2 = Predicate::on(ja2, Constraint::range(Some(0), Some(9)));
+        let g1 = memo.insert(LogicalOp::Select(sel1), vec![j], None);
+        let g2 = memo.insert(LogicalOp::Select(sel2), vec![j], None);
+        assert_ne!(memo.find(g1), memo.find(g2));
+        memo.merge(g1, g2);
+        let view = memo.topo_view();
+        // Both pre-merge ids land on the representative's dense position.
+        assert_eq!(view.dense(g1), view.dense(g2));
+        assert_eq!(view.group_at(view.dense(g1) as usize), memo.find(g1));
     }
 
     #[test]
@@ -682,7 +904,8 @@ mod tests {
         let ja = ctx.col(a, "a_key");
         let jb = ctx.col(b, "b_x");
         let mut memo = Memo::new(ctx);
-        let top = memo.insert_plan(&PlanNode::scan(a).join(PlanNode::scan(b), Predicate::join(ja, jb)));
+        let top =
+            memo.insert_plan(&PlanNode::scan(a).join(PlanNode::scan(b), Predicate::join(ja, jb)));
         let r = memo.reachable(top);
         assert_eq!(r.len(), 3); // a, b, a⋈b
     }

@@ -321,7 +321,9 @@ impl<'a> Optimizer<'a> {
                         continue;
                     };
                     let pk_order = self.memo.ctx().clustered_order(inst);
-                    let Some(&lead) = pk_order.first() else { continue };
+                    let Some(&lead) = pk_order.first() else {
+                        continue;
+                    };
                     let Some(c) = pred.constraints.get(&lead) else {
                         continue;
                     };
@@ -611,7 +613,12 @@ mod tests {
             cat.add_table(
                 TableBuilder::new(name, rows)
                     .key_column(format!("{name}_key"), 4)
-                    .column(format!("{name}_fk"), rows / 10.0, (0, (rows as i64 / 10) - 1), 4)
+                    .column(
+                        format!("{name}_fk"),
+                        rows / 10.0,
+                        (0, (rows as i64 / 10) - 1),
+                        4,
+                    )
                     .column(format!("{name}_x"), 100.0, (0, 99), 4)
                     .primary_key(&[&format!("{name}_key")])
                     .build(),
@@ -735,11 +742,21 @@ mod tests {
         let opt = Optimizer::new(&memo, &cm);
         let mut table = PlanTable::new();
         // PK order comes free from the clustered scan.
-        let by_key = opt.best(g, &SortOrder::on(vec![akey]), &MatOverlay::empty(), &mut table);
+        let by_key = opt.best(
+            g,
+            &SortOrder::on(vec![akey]),
+            &MatOverlay::empty(),
+            &mut table,
+        );
         let unordered = opt.best_use_cost(g, &MatOverlay::empty(), &mut table);
         assert!((by_key - unordered).abs() < 1e-9);
         // A non-key order needs an enforcer.
-        let by_x = opt.best(g, &SortOrder::on(vec![ax]), &MatOverlay::empty(), &mut table);
+        let by_x = opt.best(
+            g,
+            &SortOrder::on(vec![ax]),
+            &MatOverlay::empty(),
+            &mut table,
+        );
         assert!(by_x > unordered);
     }
 

@@ -34,8 +34,7 @@ impl SortOrder {
     /// must be a prefix of `self` (the trivial requirement is always
     /// satisfied).
     pub fn satisfies(&self, required: &SortOrder) -> bool {
-        required.0.len() <= self.0.len()
-            && self.0[..required.0.len()] == required.0[..]
+        required.0.len() <= self.0.len() && self.0[..required.0.len()] == required.0[..]
     }
 }
 

@@ -186,9 +186,8 @@ fn pivot(
     let pool = top_pred.and(low_pred);
     let mut lower = Predicate::none();
     let mut upper = Predicate::none();
-    let covered_by_lower = |memo: &Memo, col: ColId| {
-        memo.group_covers(other, col) || memo.group_covers(outer, col)
-    };
+    let covered_by_lower =
+        |memo: &Memo, col: ColId| memo.group_covers(other, col) || memo.group_covers(outer, col);
     for (col, c) in &pool.constraints {
         if covered_by_lower(memo, *col) {
             lower.add_constraint(*col, c.clone());
@@ -214,7 +213,11 @@ fn pivot(
         // self joins); skip.
         return;
     }
-    memo.insert(LogicalOp::Join(upper), vec![kept, lower_group], Some(target));
+    memo.insert(
+        LogicalOp::Join(upper),
+        vec![kept, lower_group],
+        Some(target),
+    );
 }
 
 /// Select push-down: `σ_p(A ⋈_j B)` derives `σ_pA(A) ⋈_{j ∧ p_rest} σ_pB(B)`
@@ -525,10 +528,7 @@ mod tests {
         let q1 = PlanNode::scan(a)
             .join(PlanNode::scan(b), p_ab.clone())
             .join(PlanNode::scan(c), p_bc.clone());
-        let q2 = PlanNode::scan(a).join(
-            PlanNode::scan(b).join(PlanNode::scan(c), p_bc),
-            p_ab,
-        );
+        let q2 = PlanNode::scan(a).join(PlanNode::scan(b).join(PlanNode::scan(c), p_bc), p_ab);
         let mut memo = Memo::new(ctx);
         let r1 = memo.insert_plan(&q1);
         let r2 = memo.insert_plan(&q2);
@@ -664,11 +664,19 @@ mod tests {
         let s_coarse = ctx.add_synth("sum_coarse", ColumnStats::new(10.0, 0, 100_000), 8);
         let fine = PlanNode::scan(a).aggregate(AggSpec::new(
             vec![ax, akey],
-            vec![AggCall { func: AggFunc::Sum, input: akey, output: s_fine }],
+            vec![AggCall {
+                func: AggFunc::Sum,
+                input: akey,
+                output: s_fine,
+            }],
         ));
         let coarse = PlanNode::scan(a).aggregate(AggSpec::new(
             vec![ax],
-            vec![AggCall { func: AggFunc::Sum, input: akey, output: s_coarse }],
+            vec![AggCall {
+                func: AggFunc::Sum,
+                input: akey,
+                output: s_coarse,
+            }],
         ));
         let mut memo = Memo::new(ctx);
         let gf = memo.insert_plan(&fine);
@@ -723,8 +731,13 @@ mod tests {
         let abc = memo
             .group_children(root)
             .into_iter()
-            .find(|&g| memo.props(g).leaves.len() == 3 && memo.group_exprs(g).count() > 0
-                && memo.group_exprs(g).all(|e| !matches!(memo.expr(e).op, LogicalOp::Scan(_))))
+            .find(|&g| {
+                memo.props(g).leaves.len() == 3
+                    && memo.group_exprs(g).count() > 0
+                    && memo
+                        .group_exprs(g)
+                        .all(|e| !matches!(memo.expr(e).op, LogicalOp::Scan(_)))
+            })
             .expect("3-way subchain group");
         assert_eq!(memo.group_exprs(abc).count(), 2);
     }

@@ -49,10 +49,7 @@ fn chain_query(ctx: &mut DagContext, k: usize, sels: &[Option<i64>]) -> PlanNode
         if let Some(v) = sels[i] {
             rhs = rhs.select(Predicate::on(ctx.col(insts[i], "attr"), Constraint::eq(v)));
         }
-        let pred = Predicate::join(
-            ctx.col(insts[i - 1], "next"),
-            ctx.col(insts[i], "key"),
-        );
+        let pred = Predicate::join(ctx.col(insts[i - 1], "next"), ctx.col(insts[i], "key"));
         plan = plan.join(rhs, pred);
     }
     plan
@@ -142,7 +139,11 @@ fn prop_group_cardinalities_consistent() {
         for e in memo.expr_ids() {
             let g = memo.group_of(e);
             let props = memo.props(g);
-            assert!(props.rows.is_finite() && props.rows >= 0.0, "rows {}", props.rows);
+            assert!(
+                props.rows.is_finite() && props.rows >= 0.0,
+                "rows {}",
+                props.rows
+            );
             if let LogicalOp::Join(_) = &memo.expr(e).op {
                 let ch = &memo.expr(e).children;
                 let l = memo.props(memo.find(ch[0])).leaves.len();

@@ -24,7 +24,11 @@ fn main() {
             batch.expansion.groups,
             batch.universe_size()
         );
-        for s in [Strategy::Volcano, Strategy::Greedy, Strategy::MarginalGreedy] {
+        for s in [
+            Strategy::Volcano,
+            Strategy::Greedy,
+            Strategy::MarginalGreedy,
+        ] {
             let r = optimize(&batch, &cm, s);
             println!(
                 "{:16} cost {:>12.0} ms   improvement {:>5.1}%   {} materialized   ({} bc calls, {:?})",

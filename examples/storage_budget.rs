@@ -24,7 +24,10 @@ fn main() {
         batch.universe_size(),
         volcano.total_cost
     );
-    println!("{:>3} {:>14} {:>12} {:>10}  Theorem 4", "k", "cost", "benefit", "used");
+    println!(
+        "{:>3} {:>14} {:>12} {:>10}  Theorem 4",
+        "k", "cost", "benefit", "used"
+    );
     for k in [0usize, 1, 2, 3, 4, 6, 8] {
         let constrained = optimize(
             &batch,

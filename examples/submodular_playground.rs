@@ -19,9 +19,7 @@ use mqo_submod::function::SetFunction;
 use mqo_submod::instances::profitted::ProfittedMaxCoverage;
 
 fn main() {
-    for (blocks, block_size, redundant, gamma) in
-        [(3, 4, 2, 2.0), (4, 3, 1, 1.0), (2, 5, 3, 0.5)]
-    {
+    for (blocks, block_size, redundant, gamma) in [(3, 4, 2, 2.0), (4, 3, 1, 1.0), (2, 5, 3, 0.5)] {
         let inst = ProfittedMaxCoverage::hard_instance(blocks, block_size, redundant, gamma);
         let n = inst.universe();
         let full = BitSet::full(n);

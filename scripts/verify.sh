@@ -6,9 +6,34 @@
 #   1. release build of every default-member crate
 #   2. full test suite (unit + integration + doc-tests, warning-free)
 #   3. all remaining targets: examples, benches, experiment binaries
-#   4. one smoke iteration of each bench target via the in-repo harness
+#   4. clippy (all targets, warnings are errors) and rustfmt --check
+#   5. one smoke iteration of each bench target via the in-repo harness
+#
+# `scripts/verify.sh --bench-smoke` skips 1-4 and runs only the bench
+# smoke, additionally recording the bc_oracle throughput baseline to
+# BENCH_bc_oracle.json at the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+bench_smoke() {
+    local record="${1:-}"
+    echo "==> bench smoke (1 sample per benchmark)"
+    for b in submod_algos bestcost opt_time; do
+        MQO_BENCH_SAMPLES=1 MQO_BENCH_WARMUP=1 cargo bench --offline -q -p mqo-bench --bench "$b"
+    done
+    if [[ "$record" == "record" ]]; then
+        echo "==> bc_oracle (3 samples, recording BENCH_bc_oracle.json)"
+        MQO_BENCH_SAMPLES=3 MQO_BENCH_JSON="$PWD/BENCH_bc_oracle.json" \
+            cargo bench --offline -q -p mqo-bench --bench bc_oracle
+    else
+        MQO_BENCH_SAMPLES=1 cargo bench --offline -q -p mqo-bench --bench bc_oracle
+    fi
+}
+
+if [[ "${1:-}" == "--bench-smoke" ]]; then
+    bench_smoke record
+    exit 0
+fi
 
 echo "==> cargo build --release --offline"
 cargo build --release --offline
@@ -19,9 +44,12 @@ cargo test -q --offline
 echo "==> cargo build --all-targets --offline (examples, benches, bins)"
 cargo build --all-targets --offline
 
-echo "==> bench smoke (1 sample per benchmark)"
-for b in submod_algos bestcost opt_time; do
-    MQO_BENCH_SAMPLES=1 MQO_BENCH_WARMUP=1 cargo bench --offline -q -p mqo-bench --bench "$b"
-done
+echo "==> cargo clippy --offline --all-targets -- -D warnings"
+cargo clippy --offline --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+bench_smoke
 
 echo "==> tier-1 verification passed"

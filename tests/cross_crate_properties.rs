@@ -67,10 +67,7 @@ fn best_use_cost_is_monotone_nonincreasing_in_s() {
     }
     let mut prev = f64::INFINITY;
     for s in &sets {
-        let overlay = MatOverlay::new(
-            &batch.memo,
-            s.iter().map(|e| batch.shareable[e]),
-        );
+        let overlay = MatOverlay::new(&batch.memo, s.iter().map(|e| batch.shareable[e]));
         let mut table = PlanTable::new();
         let buc = opt.best_use_cost(batch.root, &overlay, &mut table);
         assert!(

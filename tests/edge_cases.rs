@@ -14,7 +14,12 @@ fn tiny_catalog() -> Catalog {
         cat.add_table(
             TableBuilder::new(name, rows)
                 .key_column(format!("{name}_key"), 4)
-                .column(format!("{name}_fk"), rows / 10.0, (0, (rows as i64) / 10 - 1), 4)
+                .column(
+                    format!("{name}_fk"),
+                    rows / 10.0,
+                    (0, (rows as i64) / 10 - 1),
+                    4,
+                )
                 .column(format!("{name}_x"), 20.0, (0, 19), 4)
                 .primary_key(&[&format!("{name}_key")])
                 .build(),
@@ -33,7 +38,11 @@ fn single_query_with_no_sharing_yields_empty_universe_effect() {
     let batch = BatchDag::build(ctx, &[q], &RuleSet::default());
     let cm = DiskCostModel::paper();
     let volcano = optimize(&batch, &cm, Strategy::Volcano);
-    for s in [Strategy::Greedy, Strategy::MarginalGreedy, Strategy::MaterializeAll] {
+    for s in [
+        Strategy::Greedy,
+        Strategy::MarginalGreedy,
+        Strategy::MaterializeAll,
+    ] {
         let r = optimize(&batch, &cm, s);
         if s == Strategy::MaterializeAll {
             // Materializing unshared nodes can only hurt or tie.
@@ -78,9 +87,8 @@ fn unsatisfiable_predicate_yields_zero_row_groups_but_valid_plans() {
     let r = ctx.instance_by_name("r", 0);
     let x = ctx.col(r, "r_x");
     // x = 3 AND x = 5: unsatisfiable after normalization.
-    let q = PlanNode::scan(r).select(
-        Predicate::on(x, Constraint::eq(3)).and(&Predicate::on(x, Constraint::eq(5))),
-    );
+    let q = PlanNode::scan(r)
+        .select(Predicate::on(x, Constraint::eq(3)).and(&Predicate::on(x, Constraint::eq(5))));
     let batch = BatchDag::build(ctx, &[q], &RuleSet::default());
     let root = batch.query_roots[0];
     assert_eq!(batch.memo.props(root).rows, 0.0);

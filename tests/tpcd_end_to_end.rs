@@ -78,12 +78,22 @@ fn q15_halves_and_q11_nearly_halves() {
     let q15 = build("Q15", 1.0);
     let v = optimize(&q15, &cm, Strategy::Volcano);
     let g = optimize(&q15, &cm, Strategy::Greedy);
-    assert!(g.total_cost < 0.6 * v.total_cost, "Q15: {} vs {}", g.total_cost, v.total_cost);
+    assert!(
+        g.total_cost < 0.6 * v.total_cost,
+        "Q15: {} vs {}",
+        g.total_cost,
+        v.total_cost
+    );
 
     let q11 = build("Q11", 1.0);
     let v = optimize(&q11, &cm, Strategy::Volcano);
     let g = optimize(&q11, &cm, Strategy::Greedy);
-    assert!(g.total_cost < 0.7 * v.total_cost, "Q11: {} vs {}", g.total_cost, v.total_cost);
+    assert!(
+        g.total_cost < 0.7 * v.total_cost,
+        "Q11: {} vs {}",
+        g.total_cost,
+        v.total_cost
+    );
 }
 
 #[test]
@@ -98,7 +108,11 @@ fn q2_decorrelated_batch_benefits_from_shared_view() {
         g.total_cost,
         v.total_cost
     );
-    assert_eq!(g.materialized.len(), 1, "one beneficial node (the paper's finding)");
+    assert_eq!(
+        g.materialized.len(),
+        1,
+        "one beneficial node (the paper's finding)"
+    );
 }
 
 #[test]
@@ -153,5 +167,10 @@ fn optimization_time_is_independent_of_scale() {
     // bc-call counts may differ slightly (different plans chosen), but stay
     // in the same ballpark.
     let ratio = r1.bc_calls as f64 / r100.bc_calls as f64;
-    assert!((0.5..2.0).contains(&ratio), "{} vs {}", r1.bc_calls, r100.bc_calls);
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "{} vs {}",
+        r1.bc_calls,
+        r100.bc_calls
+    );
 }
