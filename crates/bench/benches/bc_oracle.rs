@@ -5,11 +5,15 @@
 //! * `incremental` — the overlay path relative to the committed base
 //!   (Section 5.1 / Roy et al.'s incremental recomputation),
 //! * `batched` — `bc_many`, evaluating a whole greedy round's candidates
-//!   against one shared base.
+//!   against one shared base,
+//! * `sharded` — `bc_many` with `EngineConfig::threads` ∈ {1, 2, 4, 8}:
+//!   the same batched schedule fanned out over scoped worker threads,
+//!   each with its own `EngineScratch` over the shared arenas
+//!   (bit-identical values; only the wall-clock changes).
 //!
 //! The evaluation schedule replays what the greedy strategies actually do:
 //! a growing base set `X`, and per round one `bc(X ∪ {x})` probe for every
-//! remaining candidate `x`. All three modes see the identical schedule, so
+//! remaining candidate `x`. All modes see the identical schedule, so
 //! evals/sec is directly comparable.
 //!
 //! Set `MQO_BENCH_JSON=<path>` to additionally record the results as a JSON
@@ -19,7 +23,7 @@
 use std::time::Instant;
 
 use mqo_core::batch::BatchDag;
-use mqo_core::engine::BestCostEngine;
+use mqo_core::engine::{BestCostEngine, EngineConfig};
 use mqo_submod::bitset::BitSet;
 use mqo_volcano::cost::DiskCostModel;
 use mqo_volcano::rules::RuleSet;
@@ -27,6 +31,8 @@ use mqo_volcano::rules::RuleSet;
 /// One measured mode.
 struct ModeResult {
     mode: &'static str,
+    /// Worker threads (sharded modes only; 0 elsewhere).
+    threads: usize,
     evals: u64,
     secs: f64,
 }
@@ -34,6 +40,14 @@ struct ModeResult {
 impl ModeResult {
     fn evals_per_sec(&self) -> f64 {
         self.evals as f64 / self.secs.max(1e-12)
+    }
+
+    fn label(&self) -> String {
+        if self.threads > 0 {
+            format!("{}@{}", self.mode, self.threads)
+        } else {
+            self.mode.to_string()
+        }
     }
 }
 
@@ -99,41 +113,49 @@ fn main() {
         .filter(|&s| s >= 1)
         .unwrap_or(5);
 
+    // (mode, threads); threads > 0 selects the sharded bc_many fan-out.
+    let mut modes: Vec<(&'static str, usize)> =
+        vec![("full", 0), ("incremental", 0), ("batched", 0)];
+    modes.extend([1usize, 2, 4, 8].map(|t| ("sharded", t)));
+
     let mut results: Vec<ModeResult> = Vec::new();
-    for mode in ["full", "incremental", "batched"] {
+    for (mode, threads) in modes {
         let mut engine = BestCostEngine::with_config(
             &batch.memo,
             &cm,
             batch.root,
             &batch.shareable,
-            mqo_core::engine::EngineConfig {
+            EngineConfig {
                 force_full: mode == "full",
+                threads: threads.max(1),
                 ..Default::default()
             },
         );
+        let batched = mode != "full" && mode != "incremental";
         // Warmup pass (grows scratch buffers to steady state).
-        match mode {
-            "batched" => run_batched(&mut engine, &rounds),
-            _ => run_sequential(&mut engine, &rounds),
+        match batched {
+            true => run_batched(&mut engine, &rounds),
+            false => run_sequential(&mut engine, &rounds),
         };
         let mut best_secs = f64::INFINITY;
         let mut evals = 0u64;
         for _ in 0..samples {
             let t0 = Instant::now();
-            evals = match mode {
-                "batched" => run_batched(&mut engine, &rounds),
-                _ => run_sequential(&mut engine, &rounds),
+            evals = match batched {
+                true => run_batched(&mut engine, &rounds),
+                false => run_sequential(&mut engine, &rounds),
             };
             best_secs = best_secs.min(t0.elapsed().as_secs_f64());
         }
         let r = ModeResult {
             mode,
+            threads,
             evals,
             secs: best_secs,
         };
         println!(
             "bc_oracle/{}/BQ4: {:.0} evals/sec ({} evals in {:.3} ms, best of {samples})",
-            r.mode,
+            r.label(),
             r.evals_per_sec(),
             r.evals,
             r.secs * 1e3
@@ -149,14 +171,27 @@ fn main() {
         inc / full,
         bat / full
     );
+    let sharded_base = results
+        .iter()
+        .find(|r| r.mode == "sharded" && r.threads == 1)
+        .map(|r| r.evals_per_sec())
+        .unwrap_or(bat);
+    for r in results.iter().filter(|r| r.mode == "sharded") {
+        println!(
+            "bc_oracle/sharded@{}: {:.2}x over sharded@1",
+            r.threads,
+            r.evals_per_sec() / sharded_base
+        );
+    }
 
     if let Ok(path) = std::env::var("MQO_BENCH_JSON") {
         let entries: Vec<String> = results
             .iter()
             .map(|r| {
                 format!(
-                    "    {{\"mode\": \"{}\", \"evals\": {}, \"secs\": {:.6}, \"evals_per_sec\": {:.1}}}",
+                    "    {{\"mode\": \"{}\", \"threads\": {}, \"evals\": {}, \"secs\": {:.6}, \"evals_per_sec\": {:.1}}}",
                     r.mode,
+                    r.threads,
                     r.evals,
                     r.secs,
                     r.evals_per_sec()

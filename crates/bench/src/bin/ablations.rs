@@ -160,9 +160,13 @@ fn main() {
         let batch = BatchDag::build(w.ctx, &w.queries, &RuleSet::default());
         let reference = optimize(&batch, &cm, Strategy::Greedy);
         for threshold in [0usize, 2, 8, usize::MAX] {
+            // threads pinned to 1: this ablation isolates the rebase
+            // threshold, so an exported MQO_THREADS must not confound the
+            // timings with thread-spawn overhead.
             let config = EngineConfig {
                 rebase_threshold: threshold,
                 force_full: false,
+                threads: 1,
             };
             let t0 = Instant::now();
             let r = optimize_with(&batch, &cm, Strategy::Greedy, config);

@@ -49,7 +49,8 @@ impl MbFunction {
     }
 
     /// Batched `bc` over a greedy round's candidates (one shared base, one
-    /// overlay per candidate); see [`BestCostEngine::bc_many`].
+    /// overlay per candidate; sharded across threads when the engine's
+    /// config asks for it); see [`BestCostEngine::bc_many`].
     pub fn bc_many(&self, sets: &[BitSet]) -> Vec<f64> {
         self.calls.set(self.calls.get() + sets.len() as u64);
         self.engine.borrow_mut().bc_many(sets)
@@ -70,6 +71,13 @@ impl MbFunction {
     /// Toggles the full-recomputation ablation switch.
     pub fn set_force_full(&self, force: bool) {
         self.engine.borrow_mut().config.force_full = force;
+    }
+
+    /// Sets the worker-thread count for sharded batched evaluation
+    /// ([`crate::engine::EngineConfig::threads`]): `1` serial, `0` auto.
+    /// Values are bit-identical at every setting.
+    pub fn set_threads(&self, threads: usize) {
+        self.engine.borrow_mut().config.threads = threads;
     }
 
     /// Replaces the engine's evaluation configuration.

@@ -43,7 +43,22 @@
 //! candidate sets (a greedy round) against one shared base: it rebases to
 //! the intersection of the batch once, then answers every candidate from a
 //! minimal overlay.
+//!
+//! # Sharded evaluation
+//!
+//! All of the mutable per-evaluation state (overlay arenas, epoch stamps,
+//! dirty-cone worklist, diff buffer) lives in an [`EngineScratch`], while
+//! the compiled arenas and the committed base are immutable during a batch.
+//! With [`EngineConfig::threads`] > 1 (or the `MQO_THREADS` environment
+//! variable), [`BestCostEngine::bc_many`] rebases once to the round's
+//! shared intersection and then fans the candidates out over
+//! `std::thread::scope` workers, each with its own scratch over `&self`'s
+//! shared arenas. Every candidate is evaluated from the same committed
+//! base (no cross-candidate base drift in sharded mode), and the overlay
+//! DP is bit-exact with respect to the full solve, so sharded results are
+//! **bit-identical** to the serial path at every thread count.
 
+use std::borrow::Cow;
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap};
 
@@ -63,6 +78,12 @@ pub struct EngineConfig {
     pub rebase_threshold: usize,
     /// When true, every evaluation runs the full DP (ablation switch).
     pub force_full: bool,
+    /// Worker threads for sharded [`BestCostEngine::bc_many`]: `1` keeps
+    /// the serial path, `0` resolves to the machine's available
+    /// parallelism. The default reads the `MQO_THREADS` environment
+    /// variable (falling back to `1`). Results are bit-identical at every
+    /// setting; only the wall-clock changes.
+    pub threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -70,7 +91,129 @@ impl Default for EngineConfig {
         EngineConfig {
             rebase_threshold: 4,
             force_full: false,
+            threads: threads_from_env(),
         }
+    }
+}
+
+/// The `MQO_THREADS` environment override for [`EngineConfig::threads`]:
+/// unset or unparsable means `1` (serial); `0` means auto-detect.
+pub fn threads_from_env() -> usize {
+    std::env::var("MQO_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(1)
+}
+
+impl EngineConfig {
+    /// Resolves [`Self::threads`] to a concrete worker count for a batch of
+    /// `batch_len` candidates (auto-detection, capped by the batch size).
+    fn effective_threads(&self, batch_len: usize) -> usize {
+        let t = match self.threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            t => t,
+        };
+        t.clamp(1, batch_len.max(1))
+    }
+}
+
+/// Integer type of the overlay epoch stamps. The engine uses `u64`; tests
+/// substitute a deliberately tiny type to exercise the wrap path, which
+/// clears every stamped array instead of relying on the counter never
+/// wrapping.
+pub trait EpochInt: Copy + Eq + Send + std::fmt::Debug {
+    /// The stamp every scratch array starts at (and is cleared back to).
+    const ZERO: Self;
+    /// The last epoch before a wrap must reset the stamps.
+    const MAX: Self;
+    /// The next epoch. Only called strictly below [`Self::MAX`]: the wrap
+    /// is handled by [`EngineScratch`] clearing the stamps first.
+    fn succ(self) -> Self;
+}
+
+impl EpochInt for u64 {
+    const ZERO: Self = 0;
+    const MAX: Self = u64::MAX;
+    fn succ(self) -> Self {
+        self + 1
+    }
+}
+
+#[cfg(test)]
+impl EpochInt for u8 {
+    const ZERO: Self = 0;
+    const MAX: Self = u8::MAX;
+    fn succ(self) -> Self {
+        self + 1
+    }
+}
+
+/// The mutable per-evaluation state of a [`BestCostEngine`]: the overlay
+/// arenas, their epoch stamps, the dirty-cone worklist, and the diff
+/// buffer. Everything else in the engine is immutable during a batch, so
+/// sharded [`BestCostEngine::bc_many`] hands each worker thread its own
+/// `EngineScratch` over the shared arenas.
+#[derive(Clone, Debug, Default)]
+pub struct EngineScratch<E: EpochInt = u64> {
+    /// Overlay `compute` values (live iff the state's stamp is current).
+    compute: Vec<f64>,
+    /// Overlay `use` values (live iff the state's stamp is current).
+    use_: Vec<f64>,
+    /// Per-state epoch stamp.
+    state_epoch: Vec<E>,
+    /// Current evaluation epoch.
+    epoch: E,
+    /// Reusable dirty-cone worklist (min-heap over dense indices).
+    dirty: BinaryHeap<Reverse<u32>>,
+    /// Per-group queued stamp for the worklist.
+    queued_epoch: Vec<E>,
+    /// Reusable symmetric-difference buffer.
+    diff_buf: Vec<usize>,
+    /// Full evaluations performed through this scratch.
+    full_evals: u64,
+    /// Incremental (base/overlay) evaluations through this scratch.
+    incremental_evals: u64,
+}
+
+impl<E: EpochInt> EngineScratch<E> {
+    /// A zeroed scratch for `n_states` DP states over `n_groups` groups.
+    fn new(n_states: usize, n_groups: usize) -> Self {
+        EngineScratch {
+            compute: vec![0.0; n_states],
+            use_: vec![0.0; n_states],
+            state_epoch: vec![E::ZERO; n_states],
+            epoch: E::ZERO,
+            dirty: BinaryHeap::new(),
+            queued_epoch: vec![E::ZERO; n_groups],
+            diff_buf: Vec::new(),
+            full_evals: 0,
+            incremental_evals: 0,
+        }
+    }
+
+    /// Starts a new overlay evaluation and returns its epoch. When the
+    /// counter would wrap past [`EpochInt::MAX`], every stamped array is
+    /// explicitly cleared first — stale stamps can therefore never collide
+    /// with a post-wrap epoch, no matter how small the epoch type is.
+    fn advance_epoch(&mut self) -> E {
+        if self.epoch == E::MAX {
+            self.invalidate();
+        }
+        self.epoch = self.epoch.succ();
+        self.epoch
+    }
+
+    /// Clears every epoch stamp and resets the counter. Called on epoch
+    /// wrap and on rebase: after a rebase the overlay values are relative
+    /// to a dead base, so dropping all stamps (rather than trusting that
+    /// epochs only grow) keeps the live-value invariant independent of the
+    /// counter's history.
+    fn invalidate(&mut self) {
+        self.state_epoch.fill(E::ZERO);
+        self.queued_epoch.fill(E::ZERO);
+        self.epoch = E::ZERO;
     }
 }
 
@@ -129,21 +272,16 @@ pub struct BestCostEngine {
     base_set: BitSet,
     base_compute: Vec<f64>,
     base_use: Vec<f64>,
-    /// Epoch-stamped overlay scratch (reused across evaluations; a state's
-    /// scratch value is live iff `state_epoch[s] == epoch`).
-    scratch_compute: Vec<f64>,
-    scratch_use: Vec<f64>,
-    state_epoch: Vec<u64>,
-    epoch: u64,
-    /// Reusable dirty-cone worklist (min-heap over dense indices) and its
-    /// per-group queued stamp.
-    dirty: BinaryHeap<Reverse<u32>>,
-    queued_epoch: Vec<u64>,
-    /// Reusable symmetric-difference buffer.
-    diff_buf: Vec<usize>,
-    /// Evaluation counters.
-    full_evals: u64,
-    incremental_evals: u64,
+    /// Epoch-stamped overlay scratch (reused across serial evaluations; a
+    /// state's scratch value is live iff its stamp equals the current
+    /// epoch).
+    scratch: EngineScratch,
+    /// Pooled per-worker scratches for sharded batches, reused across
+    /// rounds (grown on demand, counters folded into `scratch` and reset
+    /// after each round). Stale overlay stamps are harmless across rounds:
+    /// each scratch's epoch only grows (the wrap path clears the stamps),
+    /// so a stale stamp never equals a later evaluation's epoch.
+    worker_scratches: Vec<EngineScratch>,
     /// Evaluation strategy knobs.
     pub config: EngineConfig,
 }
@@ -304,15 +442,8 @@ impl BestCostEngine {
             base_set: BitSet::empty(universe.len()),
             base_compute: Vec::new(),
             base_use: Vec::new(),
-            scratch_compute: vec![0.0; n_states],
-            scratch_use: vec![0.0; n_states],
-            state_epoch: vec![0; n_states],
-            epoch: 0,
-            dirty: BinaryHeap::new(),
-            queued_epoch: vec![0; n],
-            diff_buf: Vec::new(),
-            full_evals: 0,
-            incremental_evals: 0,
+            scratch: EngineScratch::new(n_states, n),
+            worker_scratches: Vec::new(),
             config,
         };
         // Solve the no-materialization state once; the winning production
@@ -392,36 +523,97 @@ impl BestCostEngine {
 
     /// `(full, incremental)` evaluation counts. Batched candidates evaluated
     /// through [`Self::bc_many`] count as incremental; the per-batch rebase
-    /// counts as one full evaluation.
+    /// counts as one full evaluation. Sharded batches fold each worker's
+    /// counts back into these totals.
     pub fn eval_counts(&self) -> (u64, u64) {
-        (self.full_evals, self.incremental_evals)
+        (self.scratch.full_evals, self.scratch.incremental_evals)
+    }
+
+    /// A fresh, zeroed scratch sized for this engine's arenas. The engine
+    /// owns one for serial evaluation; sharded [`Self::bc_many`] creates
+    /// one per worker thread.
+    fn new_scratch<E: EpochInt>(&self) -> EngineScratch<E> {
+        EngineScratch::new(self.n_states(), self.topo.len())
+    }
+
+    /// Validates a candidate set against the engine's shareable universe.
+    ///
+    /// A bit at or above [`Self::universe_size`] has no dense-map entry and
+    /// would index past `universe_dense`. Debug builds assert on any
+    /// universe mismatch; release builds **truncate** — out-of-range bits
+    /// are ignored (and a smaller universe is zero-extended), so `bc` of a
+    /// malformed set equals `bc` of its in-range projection.
+    fn sanitize<'a>(&self, set: &'a BitSet) -> Cow<'a, BitSet> {
+        let n = self.universe_size();
+        debug_assert_eq!(
+            set.universe(),
+            n,
+            "candidate set universe {} does not match the engine's shareable universe {n} \
+             (bits >= {n} are ignored in release builds)",
+            set.universe(),
+        );
+        self.truncate_to_universe(set)
+    }
+
+    /// The release-mode truncation behind [`Self::sanitize`]: projects a
+    /// set of any universe onto the engine's, dropping bits at or above
+    /// [`Self::universe_size`] and zero-extending smaller universes.
+    fn truncate_to_universe<'a>(&self, set: &'a BitSet) -> Cow<'a, BitSet> {
+        let n = self.universe_size();
+        if set.universe() == n {
+            Cow::Borrowed(set)
+        } else {
+            Cow::Owned(BitSet::from_iter(n, set.iter().filter(|&e| e < n)))
+        }
     }
 
     /// `bc(∅)`'s dense state is the committed base right after construction.
     pub fn bc(&mut self, set: &BitSet) -> f64 {
-        debug_assert_eq!(set.universe(), self.universe_dense.len());
-        if self.config.force_full {
-            self.full_evals += 1;
-            return self.full_eval(set);
-        }
-        self.bc_incremental(set)
+        let set = self.sanitize(set);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let v = self.bc_one(&mut scratch, set.as_ref());
+        self.scratch = scratch;
+        v
     }
 
-    /// The non-ablation evaluation path: answer from the base, a small
-    /// overlay, or — past the rebase threshold — a committed full solve.
-    fn bc_incremental(&mut self, set: &BitSet) -> f64 {
-        self.load_diff(set);
-        if self.diff_buf.is_empty() {
-            self.incremental_evals += 1;
+    /// One serial evaluation: ablation, base, overlay, or — past the rebase
+    /// threshold — a committed full solve (the base drifts with the query).
+    fn bc_one(&mut self, scratch: &mut EngineScratch, set: &BitSet) -> f64 {
+        if self.config.force_full {
+            scratch.full_evals += 1;
+            return self.full_eval_with(scratch, set);
+        }
+        self.load_diff(scratch, set);
+        if scratch.diff_buf.is_empty() {
+            scratch.incremental_evals += 1;
             return self.total_from_base(set);
         }
-        if self.diff_buf.len() > self.config.rebase_threshold {
+        if scratch.diff_buf.len() > self.config.rebase_threshold {
             // Too far from base: rebase (full solve) and answer from it.
-            self.rebase(set);
+            self.rebase_with(scratch, set);
             return self.total_from_base(set);
         }
-        self.incremental_evals += 1;
-        self.overlay_eval(set)
+        scratch.incremental_evals += 1;
+        self.overlay_eval_with(scratch, set)
+    }
+
+    /// One evaluation against the committed base **without mutating it** —
+    /// the sharded path, where the base is shared immutably across worker
+    /// threads. A candidate past the rebase threshold is answered by a
+    /// full (uncommitted) solve into the worker's scratch: same value as
+    /// the serial threshold-rebase, different bookkeeping.
+    fn bc_from_base<E: EpochInt>(&self, scratch: &mut EngineScratch<E>, set: &BitSet) -> f64 {
+        self.load_diff(scratch, set);
+        if scratch.diff_buf.is_empty() {
+            scratch.incremental_evals += 1;
+            return self.total_from_base(set);
+        }
+        if scratch.diff_buf.len() > self.config.rebase_threshold {
+            scratch.full_evals += 1;
+            return self.full_eval_with(scratch, set);
+        }
+        scratch.incremental_evals += 1;
+        self.overlay_eval_with(scratch, set)
     }
 
     /// Evaluates `bc` on every set of a batch — a greedy round's candidates
@@ -429,50 +621,118 @@ impl BestCostEngine {
     /// intersection of the batch once (one full solve), then every
     /// candidate takes the normal incremental path. For round-shaped
     /// batches (`X ∪ {x}` per candidate) every diff is a single element, so
-    /// each answer is a minimal overlay; a candidate that still sits past
-    /// the rebase threshold rebases exactly as [`Self::bc`] would, letting
-    /// the base drift along batches of mutually-far sets. Values are
-    /// identical to calling [`Self::bc`] per set; only the work differs.
+    /// each answer is a minimal overlay.
+    ///
+    /// With [`EngineConfig::threads`] > 1 the candidates are sharded over
+    /// `std::thread::scope` workers, each with its own [`EngineScratch`]
+    /// over the shared immutable arenas; every candidate is evaluated from
+    /// the same committed base. In serial mode a candidate past the rebase
+    /// threshold instead rebases exactly as [`Self::bc`] would, letting the
+    /// base drift along batches of mutually-far sets. Both paths — and
+    /// every thread count — return **bit-identical** values; only the work
+    /// distribution differs.
     pub fn bc_many(&mut self, sets: &[BitSet]) -> Vec<f64> {
         if sets.is_empty() {
             return Vec::new();
         }
+        let sets: Vec<Cow<BitSet>> = sets.iter().map(|s| self.sanitize(s)).collect();
         if self.config.force_full {
-            return sets
+            let mut scratch = std::mem::take(&mut self.scratch);
+            let out = sets
                 .iter()
                 .map(|s| {
-                    self.full_evals += 1;
-                    self.full_eval(s)
+                    scratch.full_evals += 1;
+                    self.full_eval_with(&mut scratch, s)
                 })
                 .collect();
+            self.scratch = scratch;
+            return out;
         }
         // For candidates X ∪ {x} of a greedy round over base X, the
         // intersection is exactly X.
-        let mut shared = sets[0].clone();
+        let mut shared = sets[0].clone().into_owned();
         for s in &sets[1..] {
             shared.intersect_with(s);
         }
         if shared != self.base_set {
             self.rebase(&shared);
         }
-        sets.iter().map(|s| self.bc_incremental(s)).collect()
+        let workers = self.config.effective_threads(sets.len());
+        if workers <= 1 {
+            let mut scratch = std::mem::take(&mut self.scratch);
+            let out = sets.iter().map(|s| self.bc_one(&mut scratch, s)).collect();
+            self.scratch = scratch;
+            return out;
+        }
+        self.bc_many_sharded(&sets, workers)
+    }
+
+    /// The sharded fan-out of [`Self::bc_many`]: contiguous candidate
+    /// chunks, one scoped worker thread per chunk, one fresh scratch each,
+    /// all reading the same committed base. Results land in their original
+    /// slots, so the output order — like the values — is independent of
+    /// the thread count.
+    fn bc_many_sharded(&mut self, sets: &[Cow<BitSet>], workers: usize) -> Vec<f64> {
+        let chunk = sets.len().div_ceil(workers);
+        let mut out = vec![0.0f64; sets.len()];
+        // Grow the pooled worker scratches on demand and reuse them across
+        // rounds — the sharded path allocates nothing at steady state,
+        // matching the serial overlay path.
+        while self.worker_scratches.len() < workers {
+            self.worker_scratches.push(self.new_scratch());
+        }
+        let mut scratches = std::mem::take(&mut self.worker_scratches);
+        let shared: &BestCostEngine = self;
+        std::thread::scope(|scope| {
+            for ((chunk_sets, chunk_out), scratch) in sets
+                .chunks(chunk)
+                .zip(out.chunks_mut(chunk))
+                .zip(scratches.iter_mut())
+            {
+                scope.spawn(move || {
+                    for (s, slot) in chunk_sets.iter().zip(chunk_out.iter_mut()) {
+                        *slot = shared.bc_from_base(scratch, s);
+                    }
+                });
+            }
+        });
+        for ws in &mut scratches {
+            self.scratch.full_evals += ws.full_evals;
+            self.scratch.incremental_evals += ws.incremental_evals;
+            ws.full_evals = 0;
+            ws.incremental_evals = 0;
+        }
+        self.worker_scratches = scratches;
+        out
     }
 
     /// Commits `set` as the new base state.
     pub fn rebase(&mut self, set: &BitSet) {
-        self.full_evals += 1;
+        let set = self.sanitize(set);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.rebase_with(&mut scratch, set.as_ref());
+        self.scratch = scratch;
+    }
+
+    /// [`Self::rebase`] against a caller-held scratch (whose stamps it
+    /// invalidates: the overlays were relative to the dead base).
+    fn rebase_with(&mut self, scratch: &mut EngineScratch, set: &BitSet) {
+        scratch.full_evals += 1;
         let mut compute = std::mem::take(&mut self.base_compute);
         let mut use_ = std::mem::take(&mut self.base_use);
         self.full_solve_into(set, &mut compute, &mut use_);
         self.base_compute = compute;
         self.base_use = use_;
         self.base_set = set.clone();
+        scratch.invalidate();
     }
 
-    /// Fills `diff_buf` with the symmetric difference `set △ base`.
-    fn load_diff(&mut self, set: &BitSet) {
-        self.diff_buf.clear();
-        self.diff_buf
+    /// Fills the scratch's diff buffer with the symmetric difference
+    /// `set △ base`.
+    fn load_diff<E: EpochInt>(&self, scratch: &mut EngineScratch<E>, set: &BitSet) {
+        scratch.diff_buf.clear();
+        scratch
+            .diff_buf
             .extend(set.symmetric_difference_iter(&self.base_set));
     }
 
@@ -497,17 +757,18 @@ impl BestCostEngine {
         e != u32::MAX && set.contains(e as usize)
     }
 
-    /// Full evaluation without committing: solves into the scratch arenas
-    /// (reused, never reallocated) and totals from them.
-    fn full_eval(&mut self, set: &BitSet) -> f64 {
-        let mut compute = std::mem::take(&mut self.scratch_compute);
-        let mut use_ = std::mem::take(&mut self.scratch_use);
+    /// Full evaluation without committing: solves into the scratch's
+    /// overlay arenas (reused, never reallocated) and totals from them.
+    fn full_eval_with<E: EpochInt>(&self, scratch: &mut EngineScratch<E>, set: &BitSet) -> f64 {
+        let mut compute = std::mem::take(&mut scratch.compute);
+        let mut use_ = std::mem::take(&mut scratch.use_);
         self.full_solve_into(set, &mut compute, &mut use_);
         let total = self.total_from_slice(set, &compute);
-        // Stale epoch stamps never equal a future epoch, so clobbering the
-        // scratch values cannot leak into later overlay evaluations.
-        self.scratch_compute = compute;
-        self.scratch_use = use_;
+        // Stale epoch stamps never equal a later epoch (the wrap path
+        // clears them), so clobbering the overlay values cannot leak into
+        // later overlay evaluations.
+        scratch.compute = compute;
+        scratch.use_ = use_;
         total
     }
 
@@ -559,22 +820,26 @@ impl BestCostEngine {
         best
     }
 
-    /// Overlay DP: recompute only the cone above the groups in `diff_buf`,
-    /// writing into the epoch-stamped scratch arenas. Allocation-free at
-    /// steady state: the worklist heap and scratch arenas are engine-owned
-    /// and reused.
-    fn overlay_eval(&mut self, set: &BitSet) -> f64 {
-        self.epoch += 1;
-        let epoch = self.epoch;
-        let mut scratch_compute = std::mem::take(&mut self.scratch_compute);
-        let mut scratch_use = std::mem::take(&mut self.scratch_use);
-        let mut state_epoch = std::mem::take(&mut self.state_epoch);
-        let mut dirty = std::mem::take(&mut self.dirty);
+    /// Overlay DP: recompute only the cone above the groups in the diff
+    /// buffer, writing into the scratch's epoch-stamped arenas.
+    /// Allocation-free at steady state: the worklist heap and overlay
+    /// arenas live in the scratch and are reused across evaluations.
+    fn overlay_eval_with<E: EpochInt>(&self, scratch: &mut EngineScratch<E>, set: &BitSet) -> f64 {
+        let epoch = scratch.advance_epoch();
+        let EngineScratch {
+            compute: scratch_compute,
+            use_: scratch_use,
+            state_epoch,
+            dirty,
+            queued_epoch,
+            diff_buf,
+            ..
+        } = scratch;
 
-        for &e in &self.diff_buf {
+        for &e in diff_buf.iter() {
             let d = self.universe_dense[e];
-            if self.queued_epoch[d as usize] != epoch {
-                self.queued_epoch[d as usize] = epoch;
+            if queued_epoch[d as usize] != epoch {
+                queued_epoch[d as usize] = epoch;
                 dirty.push(Reverse(d));
             }
         }
@@ -614,8 +879,8 @@ impl BestCostEngine {
             }
             if changed {
                 for &p in self.topo.parents(du) {
-                    if self.queued_epoch[p as usize] != epoch {
-                        self.queued_epoch[p as usize] = epoch;
+                    if queued_epoch[p as usize] != epoch {
+                        queued_epoch[p as usize] = epoch;
                         dirty.push(Reverse(p));
                     }
                 }
@@ -635,11 +900,6 @@ impl BestCostEngine {
             let d = self.universe_dense[e] as usize;
             total += compute_at(d) + self.write[d];
         }
-
-        self.scratch_compute = scratch_compute;
-        self.scratch_use = scratch_use;
-        self.state_epoch = state_epoch;
-        self.dirty = dirty;
         total
     }
 }
@@ -841,6 +1101,14 @@ mod tests {
     use mqo_volcano::rules::RuleSet;
     use mqo_volcano::{Constraint, DagContext, PlanNode, Predicate};
 
+    /// All subsets of a small universe (helper for exhaustive sweeps).
+    pub(super) fn all_small_subsets(n: usize) -> Vec<BitSet> {
+        assert!(n <= 8);
+        (0u32..(1 << n))
+            .map(|mask| BitSet::from_iter(n, (0..n).filter(|e| mask >> e & 1 == 1)))
+            .collect()
+    }
+
     fn build_batch() -> BatchDag {
         let mut cat = Catalog::new();
         for (name, rows) in [
@@ -998,7 +1266,7 @@ mod tests {
             &batch.shareable,
             EngineConfig {
                 rebase_threshold: 0,
-                force_full: false,
+                ..Default::default()
             },
         );
         let mut lazy = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
@@ -1043,6 +1311,202 @@ mod tests {
             best_single < empty,
             "no single materialization helps: best {best_single} vs empty {empty}"
         );
+    }
+
+    #[test]
+    fn sharded_bc_many_is_bit_identical_to_serial() {
+        let batch = build_batch();
+        let cm = DiskCostModel::paper();
+        let n = batch.universe_size();
+        let mut serial = BestCostEngine::with_config(
+            &batch.memo,
+            &cm,
+            batch.root,
+            &batch.shareable,
+            EngineConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        for threads in [2usize, 3, 8] {
+            let mut sharded = BestCostEngine::with_config(
+                &batch.memo,
+                &cm,
+                batch.root,
+                &batch.shareable,
+                EngineConfig {
+                    threads,
+                    ..Default::default()
+                },
+            );
+            let mut base = BitSet::empty(n);
+            for round in 0..n {
+                let candidates: Vec<BitSet> = (0..n)
+                    .filter(|&e| !base.contains(e))
+                    .map(|e| base.with(e))
+                    .collect();
+                if candidates.is_empty() {
+                    break;
+                }
+                let a = serial.bc_many(&candidates);
+                let b = sharded.bc_many(&candidates);
+                assert_eq!(
+                    a, b,
+                    "threads {threads}, round {round}: values must be bit-identical"
+                );
+                base.insert(round);
+            }
+            // Reset the serial engine's drifted base for the next sweep.
+            serial.rebase(&BitSet::empty(n));
+        }
+    }
+
+    #[test]
+    fn sharded_handles_far_candidates_and_odd_batches() {
+        // Batches whose candidates sit past the rebase threshold (workers
+        // must answer them by uncommitted full solves) and batch sizes that
+        // do not divide evenly across workers.
+        let batch = build_batch();
+        let cm = DiskCostModel::paper();
+        let n = batch.universe_size();
+        let mut full = BestCostEngine::with_config(
+            &batch.memo,
+            &cm,
+            batch.root,
+            &batch.shareable,
+            EngineConfig {
+                force_full: true,
+                ..Default::default()
+            },
+        );
+        let mut sharded = BestCostEngine::with_config(
+            &batch.memo,
+            &cm,
+            batch.root,
+            &batch.shareable,
+            EngineConfig {
+                rebase_threshold: 0,
+                threads: 3,
+                ..Default::default()
+            },
+        );
+        // More sets than workers (odd split) with every non-base candidate
+        // past the zero threshold.
+        let mut sets: Vec<BitSet> = crate::engine::tests::all_small_subsets(n);
+        sets.push(BitSet::from_iter(n, [0]));
+        let vals = sharded.bc_many(&sets);
+        for (s, &v) in sets.iter().zip(&vals) {
+            let expect = full.bc(s);
+            assert!(
+                (v - expect).abs() < 1e-9 * (1.0 + expect.abs()),
+                "sharded {v} vs full {expect} on {s:?}"
+            );
+        }
+        let (full_evals, _) = sharded.eval_counts();
+        assert!(full_evals > 0, "far candidates must take the full path");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "does not match the engine's shareable universe")]
+    fn bc_asserts_on_universe_mismatch_in_debug() {
+        let batch = build_batch();
+        let cm = DiskCostModel::paper();
+        let mut engine = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
+        let n = batch.universe_size();
+        // A set over a larger universe with a bit past the engine's dense
+        // map: debug builds must refuse it loudly.
+        let oversized = BitSet::from_iter(n + 64, [0, n + 7]);
+        engine.bc(&oversized);
+    }
+
+    #[test]
+    fn sanitize_truncates_out_of_range_bits() {
+        // The documented release-mode behavior: bits >= universe_size() are
+        // ignored, so a malformed set evaluates like its in-range
+        // projection. `sanitize` is exercised directly (the assertion in
+        // `bc` fires first under debug_assertions).
+        let batch = build_batch();
+        let cm = DiskCostModel::paper();
+        let mut engine = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
+        let n = batch.universe_size();
+        let oversized = BitSet::from_iter(n + 64, [0, 1, n + 7]);
+        let sanitized = engine.truncate_to_universe(&oversized).into_owned();
+        assert_eq!(sanitized, BitSet::from_iter(n, [0, 1]));
+        // A smaller universe zero-extends.
+        let undersized = BitSet::from_iter(1, [0]);
+        let sanitized = engine.truncate_to_universe(&undersized).into_owned();
+        assert_eq!(sanitized, BitSet::from_iter(n, [0]));
+        // And the sanitized set evaluates like its projection.
+        let a = engine.bc(&sanitized);
+        let b = engine.bc(&BitSet::from_iter(n, [0]));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tiny_epoch_type_survives_wraps() {
+        // Force the epoch counter to wrap several times with a u8 epoch:
+        // the wrap path must clear every stamp, so values stay exact long
+        // after 255 overlay evaluations.
+        let batch = build_batch();
+        let cm = DiskCostModel::paper();
+        let engine = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
+        let mut full = BestCostEngine::with_config(
+            &batch.memo,
+            &cm,
+            batch.root,
+            &batch.shareable,
+            EngineConfig {
+                force_full: true,
+                ..Default::default()
+            },
+        );
+        let n = batch.universe_size();
+        let mut tiny: EngineScratch<u8> = engine.new_scratch();
+        let mut state = 0xD1CEu64;
+        for i in 0..700 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Small diffs from the (empty) base so the overlay path runs.
+            let mut set = BitSet::empty(n);
+            for e in 0..3 {
+                let bit = ((state >> (8 * e)) as usize) % n;
+                set.insert(bit);
+            }
+            let a = engine.bc_from_base(&mut tiny, &set);
+            let b = full.bc(&set);
+            assert!(
+                (a - b).abs() < 1e-9 * (1.0 + b.abs()),
+                "iteration {i}: tiny-epoch overlay {a} vs full {b}"
+            );
+        }
+        assert!(
+            tiny.incremental_evals > 300,
+            "the sweep must actually exercise the overlay path across wraps"
+        );
+    }
+
+    #[test]
+    fn rebase_invalidates_scratch_stamps() {
+        // After a rebase the overlay values are relative to a dead base;
+        // the epoch hardening clears every stamp rather than trusting the
+        // counter to keep growing.
+        let batch = build_batch();
+        let cm = DiskCostModel::paper();
+        let mut engine = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
+        let n = batch.universe_size();
+        let _ = engine.bc(&BitSet::from_iter(n, [0]));
+        assert_ne!(engine.scratch.epoch, 0, "overlay path must have run");
+        engine.rebase(&BitSet::from_iter(n, [1]));
+        assert_eq!(engine.scratch.epoch, 0);
+        assert!(engine.scratch.state_epoch.iter().all(|&e| e == 0));
+        assert!(engine.scratch.queued_epoch.iter().all(|&e| e == 0));
+        // And evaluation right after the wipe stays correct.
+        let a = engine.bc(&BitSet::from_iter(n, [0]));
+        let mut fresh = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
+        let b = fresh.bc(&BitSet::from_iter(n, [0]));
+        assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()));
     }
 
     #[test]

@@ -102,13 +102,17 @@ impl RunReport {
 }
 
 /// Optimizes a batch with the given strategy and cost model under the
-/// default [`EngineConfig`].
+/// default [`EngineConfig`] (which honors the `MQO_THREADS` environment
+/// variable for sharded candidate evaluation).
 pub fn optimize(batch: &BatchDag, cm: &dyn CostModel, strategy: Strategy) -> RunReport {
     optimize_with(batch, cm, strategy, EngineConfig::default())
 }
 
 /// Optimizes a batch with an explicit engine configuration (rebase
-/// threshold, full-recomputation ablation).
+/// threshold, full-recomputation ablation, worker threads). The greedy
+/// strategies route each round's candidates through the batched oracle,
+/// so `config.threads > 1` shards their evaluation with no change in the
+/// chosen set or costs.
 pub fn optimize_with(
     batch: &BatchDag,
     cm: &dyn CostModel,

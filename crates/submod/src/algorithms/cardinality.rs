@@ -174,7 +174,7 @@ pub fn cardinality_greedy_monotone<F: SetFunction>(
         for (pos, &e) in active.iter().enumerate() {
             let gain = f.marginal(e, &out.set);
             out.evaluations += 1;
-            if best.is_none_or(|(_, _, g)| gain > g) {
+            if best.is_none_or(|(_, be, g)| super::better_score(gain, e, g, be)) {
                 best = Some((pos, e, gain));
             }
         }

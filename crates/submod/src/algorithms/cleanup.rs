@@ -41,7 +41,7 @@ pub fn cleanup<F: SetFunction>(f: &F, start: &BitSet) -> CleanupOutcome {
         for e in set.iter().collect::<Vec<_>>() {
             let v = f.eval(&set.without(e));
             evaluations += 1;
-            if v > value && best.is_none_or(|(_, bv)| v > bv) {
+            if v > value && best.is_none_or(|(be, bv)| super::better_score(v, e, bv, be)) {
                 best = Some((e, v));
             }
         }

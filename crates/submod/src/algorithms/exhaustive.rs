@@ -52,7 +52,12 @@ fn exhaustive_max_filtered<F: SetFunction>(
             continue;
         }
         let v = f.eval(&s);
-        if v > best_val {
+        // total_cmp: deterministic under -0.0; ties keep the
+        // lexicographically-first (smallest-mask) maximizer. NaN values
+        // are rejected outright — the same convention as the greedy
+        // acceptance guards — so a poisoned subset can never displace the
+        // true finite optimum.
+        if !v.is_nan() && v.total_cmp(&best_val).is_gt() {
             best_val = v;
             best_set = s;
         }

@@ -53,7 +53,7 @@ pub fn greedy<F: SetFunction>(f: &F, candidates: &BitSet, config: Config) -> Out
         out.evaluations += active.len() as u64;
         let mut best: Option<(usize, usize, f64)> = None; // (pos, elem, new value)
         for (pos, (&e, &v)) in active.iter().zip(&vals).enumerate() {
-            if best.is_none_or(|(_, _, bv)| v > bv) {
+            if best.is_none_or(|(_, be, bv)| super::better_score(v, e, bv, be)) {
                 best = Some((pos, e, v));
             }
         }
@@ -85,7 +85,9 @@ struct Entry {
 
 impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
-        self.bound == other.bound && self.element == other.element
+        // Consistent with `Ord`: IEEE `==` would violate the `Eq` contract
+        // for NaN bounds and order ±0.0 differently than `total_cmp`.
+        self.cmp(other) == Ordering::Equal
     }
 }
 impl Eq for Entry {}
@@ -96,6 +98,9 @@ impl PartialOrd for Entry {
 }
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap under the `total_cmp` total order (NaN ranks top and is
+        // then rejected by the `> 0.0` acceptance guard); ties break
+        // toward the smaller element, matching the eager scan.
         self.bound
             .total_cmp(&other.bound)
             .then_with(|| other.element.cmp(&self.element))
@@ -228,6 +233,43 @@ mod tests {
             let out = greedy(&f, &BitSet::full(8), Config::default());
             assert!(out.value >= 0.0);
         }
+    }
+
+    #[test]
+    fn nan_values_terminate_eager_and_lazy_identically() {
+        // Element 1 poisons its evaluation with NaN. Under the total_cmp
+        // ordering NaN ranks top in both the eager scan and the lazy heap,
+        // and both acceptance guards (`v > value`, `bound > 0.0`) reject
+        // it, so both variants stop without picking anything — no panic,
+        // no divergence, no element silently shadowed by a leading NaN.
+        let f = FnSetFunction::new(3, |s: &BitSet| {
+            if s.contains(1) {
+                f64::NAN
+            } else {
+                s.len() as f64 * 0.0 // all real marginals are 0: nothing improves
+            }
+        });
+        let eager = greedy(&f, &BitSet::full(3), Config::default());
+        let lazy = lazy_greedy(&f, &BitSet::full(3), Config::default());
+        assert_eq!(eager.set, lazy.set);
+        assert!(eager.set.is_empty());
+    }
+
+    #[test]
+    fn negative_zero_values_tie_break_deterministically() {
+        // -0.0 and +0.0 benefits must order the same way in the eager scan
+        // and the lazy heap (total_cmp: -0.0 < +0.0), so neither variant's
+        // outcome depends on scan or heap-pop order.
+        let f = FnSetFunction::new(2, |s: &BitSet| {
+            if s.contains(0) && !s.contains(1) {
+                -0.0
+            } else {
+                0.0
+            }
+        });
+        let eager = greedy(&f, &BitSet::full(2), Config::default());
+        let lazy = lazy_greedy(&f, &BitSet::full(2), Config::default());
+        assert_eq!(eager.set, lazy.set);
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub fn knapsack_ratio_greedy<F: SetFunction>(
             feasible.push(e);
             let ratio = f_m.marginal(e, &out.set) / decomp.cost(e);
             out.evaluations += 1;
-            if best.is_none_or(|(_, _, r)| ratio > r) {
+            if best.is_none_or(|(_, be, r)| super::better_score(ratio, e, r, be)) {
                 best = Some((feasible.len() - 1, e, ratio));
             }
         }
@@ -92,7 +92,17 @@ pub fn sviridenko<F: SetFunction>(
     );
     let mut best: Option<Outcome> = None;
     let consider = |out: Outcome, best: &mut Option<Outcome>| {
-        if best.as_ref().is_none_or(|b| out.value > b.value) {
+        // total_cmp keeps the winner well-defined under -0.0; ties keep
+        // the earlier (smaller-seed) completion. A NaN-valued completion
+        // ranks below every finite one (it is only kept while nothing
+        // else exists, so the final `expect` cannot fire).
+        let better = match best {
+            None => true,
+            Some(_) if out.value.is_nan() => false,
+            Some(b) if b.value.is_nan() => true,
+            Some(b) => out.value.total_cmp(&b.value).is_gt(),
+        };
+        if better {
             *best = Some(out);
         }
     };
@@ -158,7 +168,7 @@ fn knapsack_ratio_greedy_from<F: SetFunction>(
             feasible.push(e);
             let ratio = f_m.marginal(e, &out.set) / decomp.cost(e);
             out.evaluations += 1;
-            if best.is_none_or(|(_, _, r)| ratio > r) {
+            if best.is_none_or(|(_, be, r)| super::better_score(ratio, e, r, be)) {
                 best = Some((feasible.len() - 1, e, ratio));
             }
         }

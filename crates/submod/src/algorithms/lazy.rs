@@ -35,7 +35,11 @@ struct Entry {
 
 impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
-        self.bound == other.bound && self.element == other.element
+        // Consistent with `Ord` below: IEEE `==` on the bound would
+        // disagree with `total_cmp` for NaN (never equal to itself) and
+        // ±0.0 (equal but ordered), breaking the `Eq`/`Ord` contract the
+        // heap relies on.
+        self.cmp(other) == Ordering::Equal
     }
 }
 impl Eq for Entry {}
@@ -46,8 +50,11 @@ impl PartialOrd for Entry {
 }
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Max-heap by bound; ties broken by smaller element index so lazy and
-        // eager versions agree on tie-breaks deterministically.
+        // Max-heap by bound under the `total_cmp` total order (a NaN ratio
+        // ranks above +∞ and is then rejected by the `> 1.0` acceptance
+        // guard rather than silently misordering the heap); ties broken by
+        // smaller element index so lazy and eager versions agree on
+        // tie-breaks deterministically.
         self.bound
             .total_cmp(&other.bound)
             .then_with(|| other.element.cmp(&self.element))
@@ -209,6 +216,35 @@ mod tests {
             let lazy = lazy_marginal_greedy(&f, &decomp, &full, Config::default());
             assert_eq!(eager.set, lazy.set, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn nan_ratio_terminates_eager_and_lazy_identically() {
+        // Element 2's marginal is NaN, so its ratio is NaN. total_cmp ranks
+        // it above every finite ratio in both variants, and the `> 1.0`
+        // acceptance guard then rejects it in both — each run halts at the
+        // same point instead of panicking or diverging between eager and
+        // lazy (a NaN oracle conservatively stops the greedy loop).
+        use crate::function::FnSetFunction;
+        let f = FnSetFunction::new(3, |s: &BitSet| {
+            if s.contains(2) {
+                return f64::NAN;
+            }
+            let mut v = 0.0;
+            if s.contains(0) {
+                v += 5.0;
+            }
+            if s.contains(1) {
+                v += 3.0;
+            }
+            v
+        });
+        let decomp = crate::decompose::Decomposition::from_costs(vec![1.0, 1.0, 1.0]);
+        let full = BitSet::full(3);
+        let eager = marginal_greedy(&f, &decomp, &full, Config::default());
+        let lazy = lazy_marginal_greedy(&f, &decomp, &full, Config::default());
+        assert_eq!(eager.set, lazy.set);
+        assert!(!eager.set.contains(2));
     }
 
     #[test]

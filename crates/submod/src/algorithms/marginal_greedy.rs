@@ -94,7 +94,7 @@ pub fn marginal_greedy<F: SetFunction>(
                 continue;
             }
             kept.push(e);
-            if best.is_none_or(|(_, _, r, _)| ratio > r) {
+            if best.is_none_or(|(_, be, r, _)| super::better_score(ratio, e, r, be)) {
                 best = Some((kept.len() - 1, e, ratio, m));
             }
         }

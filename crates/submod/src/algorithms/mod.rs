@@ -13,6 +13,24 @@ pub mod marginal_greedy;
 
 use crate::bitset::BitSet;
 
+/// Whether candidate `(score, elem)` beats the incumbent `(best_score,
+/// best_elem)` in an eager argmax scan.
+///
+/// Scores are compared with [`f64::total_cmp`] — the same total order the
+/// lazy variants' heaps use — so eager and lazy selections agree on every
+/// input, including `NaN` (ranked above `+∞`, like the heaps rank it) and
+/// `-0.0` vs `+0.0` (distinct but deterministically ordered). Ties break
+/// toward the smaller element index, again matching the heap ordering;
+/// `partial_cmp`-style `>` comparisons would instead leave the winner
+/// dependent on scan order (and silently freeze a leading `NaN` in place).
+pub(crate) fn better_score(score: f64, elem: usize, best_score: f64, best_elem: usize) -> bool {
+    match score.total_cmp(&best_score) {
+        std::cmp::Ordering::Greater => true,
+        std::cmp::Ordering::Equal => elem < best_elem,
+        std::cmp::Ordering::Less => false,
+    }
+}
+
 /// One accepted pick of a greedy run.
 #[derive(Clone, Debug)]
 pub struct Pick {

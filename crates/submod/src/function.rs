@@ -45,7 +45,11 @@ pub trait SetFunction {
     /// shared base set, so oracles with incremental evaluation (the
     /// `bestCost` engine) override this to align their committed base with
     /// the batch once and answer each candidate from a minimal overlay —
-    /// one full recomputation per round instead of one per candidate.
+    /// one full recomputation per round instead of one per candidate. A
+    /// round is also the natural sharding unit: the candidates are
+    /// independent given the shared base, so batched oracles may fan them
+    /// out across threads as long as the values stay identical to the
+    /// `eval` loop.
     fn eval_many(&self, sets: &[BitSet]) -> Vec<f64> {
         sets.iter().map(|s| self.eval(s)).collect()
     }

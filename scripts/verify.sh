@@ -4,13 +4,16 @@
 # The workspace has zero external dependencies, so everything here runs
 # with --offline against an empty registry cache. Steps:
 #   1. release build of every default-member crate
-#   2. full test suite (unit + integration + doc-tests, warning-free)
+#   2. full test suite (unit + integration + doc-tests, warning-free),
+#      run twice: MQO_THREADS=1 (serial oracle) and MQO_THREADS=4
+#      (sharded bc_many) — results must be identical by construction
 #   3. all remaining targets: examples, benches, experiment binaries
 #   4. clippy (all targets, warnings are errors) and rustfmt --check
 #   5. one smoke iteration of each bench target via the in-repo harness
 #
 # `scripts/verify.sh --bench-smoke` skips 1-4 and runs only the bench
-# smoke, additionally recording the bc_oracle throughput baseline to
+# smoke, additionally recording the bc_oracle throughput baseline
+# (including the sharded threads ∈ {1,2,4,8} series) to
 # BENCH_bc_oracle.json at the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -38,8 +41,11 @@ fi
 echo "==> cargo build --release --offline"
 cargo build --release --offline
 
-echo "==> cargo test -q --offline"
-cargo test -q --offline
+echo "==> cargo test -q --offline (MQO_THREADS=1, serial oracle)"
+MQO_THREADS=1 cargo test -q --offline
+
+echo "==> cargo test -q --offline (MQO_THREADS=4, sharded bc_many)"
+MQO_THREADS=4 cargo test -q --offline
 
 echo "==> cargo build --all-targets --offline (examples, benches, bins)"
 cargo build --all-targets --offline

@@ -76,7 +76,7 @@ fn batched_matches_force_full_on_bq4() {
             &batch,
             EngineConfig {
                 rebase_threshold: threshold,
-                force_full: false,
+                ..Default::default()
             },
         ));
         seeded_sweep(

@@ -3,7 +3,8 @@
 
 use mqo_core::batch::BatchDag;
 use mqo_core::consolidated::ConsolidatedPlan;
-use mqo_core::strategies::{optimize, Strategy};
+use mqo_core::engine::EngineConfig;
+use mqo_core::strategies::{optimize, optimize_with, Strategy};
 use mqo_volcano::cost::DiskCostModel;
 use mqo_volcano::rules::RuleSet;
 
@@ -66,6 +67,51 @@ fn lazy_variants_agree_with_eager_on_tpcd() {
         let eager_m = optimize(&batch, &cm, Strategy::MarginalGreedy);
         let lazy_m = optimize(&batch, &cm, Strategy::LazyMarginalGreedy);
         assert_eq!(eager_m.materialized, lazy_m.materialized, "{wl} marginal");
+    }
+}
+
+#[test]
+fn sharded_strategies_choose_identical_plans_on_tpcd() {
+    // The sharded bc_many is bit-identical to the serial path, so every
+    // strategy must pick the same materializations and report the same
+    // costs at any thread count — here the whole stack (strategy → mb →
+    // engine) is exercised end to end, not just the oracle.
+    let cm = DiskCostModel::paper();
+    for wl in ["BQ3", "BQ4"] {
+        let batch = build(wl, 1.0);
+        for strategy in [Strategy::Greedy, Strategy::MarginalGreedy] {
+            let serial = optimize_with(
+                &batch,
+                &cm,
+                strategy,
+                EngineConfig {
+                    threads: 1,
+                    ..Default::default()
+                },
+            );
+            for threads in [2usize, 4] {
+                let sharded = optimize_with(
+                    &batch,
+                    &cm,
+                    strategy,
+                    EngineConfig {
+                        threads,
+                        ..Default::default()
+                    },
+                );
+                assert_eq!(
+                    serial.materialized, sharded.materialized,
+                    "{wl} {} with {threads} threads",
+                    serial.strategy
+                );
+                assert_eq!(
+                    serial.total_cost, sharded.total_cost,
+                    "{wl} {}: costs must be bit-identical",
+                    serial.strategy
+                );
+                assert_eq!(serial.bc_calls, sharded.bc_calls);
+            }
+        }
     }
 }
 
