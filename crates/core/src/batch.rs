@@ -10,10 +10,15 @@
 //! ("it is sufficient to search only over the set of shareable equivalence
 //! nodes").
 
+use std::sync::{Arc, Mutex, OnceLock};
+
+use mqo_volcano::cost::CostModel;
 use mqo_volcano::logical::LogicalOp;
-use mqo_volcano::memo::{GroupId, Memo};
-use mqo_volcano::rules::{expand, ExpansionStats, RuleSet};
+use mqo_volcano::memo::{GroupId, Memo, TopoView};
+use mqo_volcano::rules::{expand_threads_from_env, expand_with, ExpansionStats, RuleSet};
 use mqo_volcano::{DagContext, PlanNode};
+
+use crate::engine::{BestCostEngine, CompileCache, EngineConfig};
 
 /// A fully expanded combined DAG for a batch of queries.
 #[derive(Debug)]
@@ -29,17 +34,40 @@ pub struct BatchDag {
     pub shareable: Vec<GroupId>,
     /// Expansion statistics.
     pub expansion: ExpansionStats,
+    /// Lazily computed dense topological view of the (frozen) memo, plus
+    /// the memo fingerprint it was built from — every access re-checks the
+    /// fingerprint, so mutating the pub `memo` field after the view exists
+    /// fails loudly instead of serving stale topology.
+    topo: OnceLock<(Arc<TopoView>, (usize, usize, usize))>,
+    /// Reusable engine-compilation state shared by every
+    /// [`BatchDag::compile_engine`] call on this batch.
+    engine_cache: Mutex<CompileCache>,
 }
 
 impl BatchDag {
-    /// Builds, expands, and roots the combined DAG for `queries`.
+    /// Builds, expands, and roots the combined DAG for `queries`. Candidate
+    /// generation in the expansion fixpoint uses the `MQO_THREADS`
+    /// environment default (see [`BatchDag::build_with_threads`]).
     pub fn build(ctx: DagContext, queries: &[PlanNode], rules: &RuleSet) -> Self {
+        Self::build_with_threads(ctx, queries, rules, expand_threads_from_env())
+    }
+
+    /// [`BatchDag::build`] with an explicit worker-thread count for the
+    /// expansion fixpoint's candidate-generation phase. The memo is
+    /// bit-identical at every thread count (the commit phase is serial and
+    /// deterministic); only the wall-clock changes.
+    pub fn build_with_threads(
+        ctx: DagContext,
+        queries: &[PlanNode],
+        rules: &RuleSet,
+        threads: usize,
+    ) -> Self {
         let mut memo = Memo::new(ctx);
         for q in queries {
             let root = memo.insert_plan(q);
             memo.add_query_root(root);
         }
-        let expansion = expand(&mut memo, rules);
+        let expansion = expand_with(&mut memo, rules, threads);
         let root = memo.build_batch_root();
         let query_roots = memo.roots();
         let shareable = find_shareable(&memo, root);
@@ -49,12 +77,59 @@ impl BatchDag {
             query_roots,
             shareable,
             expansion,
+            topo: OnceLock::new(),
+            engine_cache: Mutex::new(CompileCache::new()),
         }
     }
 
     /// Number of shareable nodes (the `n` of the paper's analysis).
     pub fn universe_size(&self) -> usize {
         self.shareable.len()
+    }
+
+    /// The dense topological view of the expanded memo, computed once and
+    /// shared by every consumer (engine compilation, diagnostics). The
+    /// memo must not be mutated after the first call — that is asserted
+    /// via the fingerprint recorded at computation time (otherwise
+    /// `compile_engine`'s `prime_topo` would stamp a stale view with a
+    /// fresh signature and silently compile wrong topology).
+    pub fn topo_view(&self) -> &TopoView {
+        self.topo_arc()
+    }
+
+    /// The shared handle behind [`BatchDag::topo_view`] (compiled engines
+    /// hold clones of this `Arc`, so no arena is ever copied).
+    fn topo_arc(&self) -> &Arc<TopoView> {
+        let (view, sig) = self.topo.get_or_init(|| {
+            (
+                Arc::new(self.memo.topo_view()),
+                CompileCache::signature(&self.memo),
+            )
+        });
+        assert_eq!(
+            *sig,
+            CompileCache::signature(&self.memo),
+            "BatchDag::memo was mutated after its TopoView was computed"
+        );
+        view
+    }
+
+    /// Compiles a [`BestCostEngine`] for this batch through the shared
+    /// [`CompileCache`]: the first compile seeds the cache with
+    /// [`BatchDag::topo_view`], and every recompile (e.g.
+    /// `strategies::compare` building one engine per strategy) skips the
+    /// topological sort and reuses the compile scratch buffers.
+    pub fn compile_engine(&self, cm: &dyn CostModel, config: EngineConfig) -> BestCostEngine {
+        let mut cache = self.engine_cache.lock().expect("engine cache poisoned");
+        cache.prime_topo(&self.memo, self.topo_arc());
+        BestCostEngine::with_cache(
+            &self.memo,
+            cm,
+            self.root,
+            &self.shareable,
+            config,
+            &mut cache,
+        )
     }
 }
 
@@ -73,7 +148,7 @@ fn find_shareable(memo: &Memo, root: GroupId) -> Vec<GroupId> {
             }
             let is_bare_scan = memo
                 .group_exprs(g)
-                .all(|e| matches!(memo.expr(e).op, LogicalOp::Scan(_)));
+                .all(|e| matches!(memo.op(e), LogicalOp::Scan(_)));
             if is_bare_scan {
                 return false;
             }
@@ -85,8 +160,7 @@ fn find_shareable(memo: &Memo, root: GroupId) -> Vec<GroupId> {
                 .group_parents(g)
                 .into_iter()
                 .map(|e| {
-                    memo.expr(e)
-                        .children
+                    memo.children(e)
                         .iter()
                         .filter(|&&c| memo.find(c) == g)
                         .count()
@@ -207,6 +281,32 @@ mod tests {
             })
         });
         assert!(has_subsumer, "IN-subsumer must be shareable");
+    }
+
+    #[test]
+    #[should_panic(expected = "mutated after its TopoView")]
+    fn topo_view_rejects_post_build_memo_mutation() {
+        let mut ctx = ctx();
+        let a = ctx.instance_by_name("a", 0);
+        let b = ctx.instance_by_name("b", 0);
+        let ax = ctx.col(a, "a_x");
+        let p_ab = Predicate::join(ctx.col(a, "a_key"), ctx.col(b, "b_fk"));
+        let q = PlanNode::scan(a)
+            .select(Predicate::on(ax, Constraint::eq(3)))
+            .join(PlanNode::scan(b), p_ab);
+        let mut batch = BatchDag::build(ctx, &[q], &RuleSet::default());
+        let _ = batch.topo_view();
+        // Mutating the pub memo field after the view exists must fail
+        // loudly on the next access (a stale view handed to prime_topo
+        // would otherwise be stamped with a fresh signature and compiled
+        // against silently).
+        let scan_a = batch.memo.insert(LogicalOp::Scan(a), vec![], None);
+        batch.memo.insert(
+            LogicalOp::Select(Predicate::on(ax, Constraint::eq(7))),
+            vec![scan_a],
+            None,
+        );
+        let _ = batch.topo_view();
     }
 
     #[test]

@@ -61,6 +61,7 @@
 use std::borrow::Cow;
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap};
+use std::sync::Arc;
 
 use mqo_submod::bitset::BitSet;
 use mqo_volcano::cost::CostModel;
@@ -97,25 +98,18 @@ impl Default for EngineConfig {
 }
 
 /// The `MQO_THREADS` environment override for [`EngineConfig::threads`]:
-/// unset or unparsable means `1` (serial); `0` means auto-detect.
+/// unset or unparsable means `1` (serial); `0` means auto-detect. One
+/// definition serves the whole workspace — this delegates to the volcano
+/// expansion fixpoint's reader, so the conventions cannot drift apart.
 pub fn threads_from_env() -> usize {
-    std::env::var("MQO_THREADS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .unwrap_or(1)
+    mqo_volcano::rules::expand_threads_from_env()
 }
 
 impl EngineConfig {
     /// Resolves [`Self::threads`] to a concrete worker count for a batch of
     /// `batch_len` candidates (auto-detection, capped by the batch size).
     fn effective_threads(&self, batch_len: usize) -> usize {
-        let t = match self.threads {
-            0 => std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
-            t => t,
-        };
-        t.clamp(1, batch_len.max(1))
+        mqo_volcano::rules::effective_threads(self.threads, batch_len)
     }
 }
 
@@ -217,19 +211,6 @@ impl<E: EpochInt> EngineScratch<E> {
     }
 }
 
-/// One physical implementation option during compilation: a constant
-/// operator cost plus references to child `(group, order)` states. Flattened
-/// into the CSR arenas before evaluation.
-#[derive(Clone, Debug)]
-struct CompiledOption {
-    op_cost: f64,
-    /// `(dense group index, order index within that group)`.
-    children: Vec<(u32, u8)>,
-    /// Output order of this implementation (used to determine the natural
-    /// storage order of materialized results).
-    out: OutOrder,
-}
-
 /// Output order of a compiled option: fixed, or inherited from the first
 /// child's natural order (order-preserving operators like Filter).
 #[derive(Clone, Debug)]
@@ -238,12 +219,90 @@ enum OutOrder {
     InheritChild0,
 }
 
+/// Reusable compilation state for [`BestCostEngine::with_cache`]: the
+/// memo's [`TopoView`] (rebuilt only when the memo's fingerprint changes)
+/// plus the scratch buffers of the counted CSR build. Recompiling the same
+/// memo through one cache — as [`crate::batch::BatchDag::compile_engine`]
+/// does — skips the topological sort entirely and reuses every temporary
+/// buffer, so a recompile allocates only the engine's own arenas.
+#[derive(Debug, Default)]
+pub struct CompileCache {
+    topo: Option<Arc<TopoView>>,
+    /// Fingerprint of the memo the cached view was built from.
+    sig: (usize, usize, usize),
+    /// Per-state emitted-option counts (counted pass).
+    opt_cnt: Vec<u32>,
+    /// Emission-order option records: owning state, operator cost, output
+    /// order, and children (flat, with offsets).
+    tmp_state: Vec<u32>,
+    tmp_cost: Vec<f64>,
+    tmp_out: Vec<OutOrder>,
+    tmp_child: Vec<u32>,
+    tmp_child_off: Vec<u32>,
+    /// Emission index → final (state-sorted) option slot.
+    pos: Vec<u32>,
+    cursor: Vec<u32>,
+    child_cnt: Vec<u32>,
+    /// Final-slot output orders (consumed by natural-order resolution).
+    opt_out: Vec<OutOrder>,
+    /// Flat state index → dense group index.
+    group_of_state: Vec<u32>,
+}
+
+impl CompileCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A cheap fingerprint of the memo's structure: any insert grows the
+    /// allocation count, any merge shrinks the live-*group* count (even
+    /// when no expression is tombstoned), and tombstoning shrinks the
+    /// live-expression count. Callers must not mutate the memo between
+    /// compiles sharing one cache in ways that preserve all three (no
+    /// public `Memo` API does).
+    pub(crate) fn signature(memo: &Memo) -> (usize, usize, usize) {
+        (memo.exprs_allocated(), memo.n_groups(), memo.n_exprs())
+    }
+
+    /// The cached [`TopoView`] for `memo`, rebuilding it when the memo
+    /// changed since the last compile. The view is shared by `Arc`, so
+    /// handing it to an engine copies a pointer, not the arenas.
+    fn topo_for(&mut self, memo: &Memo) -> Arc<TopoView> {
+        let sig = Self::signature(memo);
+        if self.topo.is_none() || self.sig != sig {
+            self.topo = Some(Arc::new(memo.topo_view()));
+            self.sig = sig;
+        }
+        Arc::clone(self.topo.as_ref().expect("just ensured"))
+    }
+
+    /// Seeds the cached view from an externally computed one (cloning it),
+    /// so the first compile through this cache skips the topological sort
+    /// too.
+    ///
+    /// **Contract:** `topo` must have been built from `memo` in its
+    /// *current* state — the cache stamps it with the current fingerprint
+    /// and cannot tell a stale view apart from a fresh one. The only
+    /// in-repo caller, `BatchDag::compile_engine`, enforces this by
+    /// fingerprinting the memo when its `TopoView` is first computed and
+    /// asserting the memo is unchanged on every later access.
+    pub fn prime_topo(&mut self, memo: &Memo, topo: &Arc<TopoView>) {
+        let sig = Self::signature(memo);
+        if self.topo.is_none() || self.sig != sig {
+            self.topo = Some(Arc::clone(topo));
+            self.sig = sig;
+        }
+    }
+}
+
 /// The compiled `bestCost` engine. See the module docs for the arena
 /// layout.
 pub struct BestCostEngine {
-    /// Dense topological view of the memo (owns the parent adjacency used
-    /// for dirty-cone propagation).
-    topo: TopoView,
+    /// Dense topological view of the memo (shared with the compile cache
+    /// and the batch; owns the parent adjacency used for dirty-cone
+    /// propagation).
+    topo: Arc<TopoView>,
     /// Group → state range (CSR offsets; one state per interesting order,
     /// index 0 is always the unordered requirement).
     state_off: Vec<u32>,
@@ -301,29 +360,53 @@ impl BestCostEngine {
         universe: &[GroupId],
         config: EngineConfig,
     ) -> Self {
-        let topo = memo.topo_view();
+        Self::with_cache(memo, cm, root, universe, config, &mut CompileCache::new())
+    }
+
+    /// Compiles the engine through a reusable [`CompileCache`]: the cached
+    /// [`TopoView`] is reused whenever the memo is unchanged since the last
+    /// compile, and every temporary buffer of the counted CSR build is
+    /// recycled. This is the recompile path
+    /// [`crate::batch::BatchDag::compile_engine`] uses.
+    pub fn with_cache(
+        memo: &Memo,
+        cm: &dyn CostModel,
+        root: GroupId,
+        universe: &[GroupId],
+        config: EngineConfig,
+        cache: &mut CompileCache,
+    ) -> Self {
+        let topo = cache.topo_for(memo);
         let n = topo.len();
 
         // 1. Interesting orders per group: demanded by join/aggregate
-        // parents, propagated down through order-preserving selects.
+        // parents, propagated down through order-preserving selects (the
+        // fixpoint iterates a pre-collected select list, not the memo).
         let mut orders: Vec<BTreeSet<SortOrder>> = vec![BTreeSet::new(); n];
         for set in &mut orders {
             set.insert(SortOrder::none());
         }
+        let mut selects: Vec<(usize, usize)> = Vec::new();
         for e in memo.expr_ids() {
-            let expr = memo.expr(e);
-            match &expr.op {
+            match memo.op(e) {
                 LogicalOp::Join(pred) => {
-                    let l = memo.find(expr.children[0]);
-                    let r = memo.find(expr.children[1]);
+                    let ch = memo.children(e);
+                    let (l, r) = (memo.find(ch[0]), memo.find(ch[1]));
                     if let Some((lk, rk)) = join_keys(memo, pred, l, r) {
                         orders[topo.dense(l) as usize].insert(SortOrder::on(lk));
                         orders[topo.dense(r) as usize].insert(SortOrder::on(rk));
                     }
                 }
                 LogicalOp::Aggregate(spec) if !spec.is_scalar() => {
-                    let c = expr.children[0];
+                    let c = memo.children(e)[0];
                     orders[topo.dense(c) as usize].insert(SortOrder::on(spec.group_by.clone()));
+                }
+                LogicalOp::Select(_) => {
+                    let g = topo.dense(memo.group_of(e)) as usize;
+                    let c = topo.dense(memo.children(e)[0]) as usize;
+                    if g != c {
+                        selects.push((g, c));
+                    }
                 }
                 _ => {}
             }
@@ -331,16 +414,7 @@ impl BestCostEngine {
         // Propagate demands down through selects until fixpoint.
         loop {
             let mut changed = false;
-            for e in memo.expr_ids() {
-                let expr = memo.expr(e);
-                if !matches!(expr.op, LogicalOp::Select(_)) {
-                    continue;
-                }
-                let g = topo.dense(memo.group_of(e)) as usize;
-                let c = topo.dense(expr.children[0]) as usize;
-                if g == c {
-                    continue;
-                }
+            for &(g, c) in &selects {
                 let parent_orders: Vec<SortOrder> = orders[g].iter().cloned().collect();
                 for o in parent_orders {
                     if orders[c].insert(o) {
@@ -365,24 +439,13 @@ impl BestCostEngine {
             })
             .collect();
 
-        // 2. Compile options per (group, order index) — nested form first;
-        // flattened into the CSR arenas below.
+        // 2. State offsets: one counted pass over the per-group order
+        // lists, no per-state pushes downstream.
         let blocks: Vec<f64> = topo
             .order()
             .iter()
             .map(|&g| memo.props(g).blocks(cm.block_size()))
             .collect();
-        let mut options: Vec<Vec<Vec<CompiledOption>>> = Vec::with_capacity(n);
-        for (gi, &g) in topo.order().iter().enumerate() {
-            let mut g_options: Vec<Vec<CompiledOption>> = vec![Vec::new(); orders[gi].len()];
-            for e in memo.group_exprs(g) {
-                compile_expr(memo, cm, e, gi, &topo, &orders, &blocks, &mut g_options);
-            }
-            options.push(g_options);
-        }
-
-        // 3. Flatten into the CSR arenas. A nested child `(group, order j)`
-        // becomes the flat state index `state_off[group] + j`.
         let mut state_off: Vec<u32> = Vec::with_capacity(n + 1);
         state_off.push(0);
         for g_orders in &orders {
@@ -390,14 +453,101 @@ impl BestCostEngine {
         }
         let n_states = *state_off.last().unwrap() as usize;
 
+        let CompileCache {
+            opt_cnt,
+            tmp_state,
+            tmp_cost,
+            tmp_out,
+            tmp_child,
+            tmp_child_off,
+            pos,
+            cursor,
+            child_cnt,
+            opt_out,
+            group_of_state,
+            ..
+        } = cache;
+        group_of_state.clear();
+        group_of_state.resize(n_states, 0);
+        for gi in 0..n {
+            let (s0, s1) = (state_off[gi] as usize, state_off[gi + 1] as usize);
+            group_of_state[s0..s1].fill(gi as u32);
+        }
+
+        // 3. Emission pass: every expression's physical options are emitted
+        // once into flat reusable buffers (state, cost, out-order, child
+        // state indices), counting options per state as we go — no nested
+        // per-state vectors, no per-option allocations.
+        opt_cnt.clear();
+        opt_cnt.resize(n_states, 0);
+        tmp_state.clear();
+        tmp_cost.clear();
+        tmp_out.clear();
+        tmp_child.clear();
+        tmp_child_off.clear();
+        tmp_child_off.push(0);
+        for (gi, &g) in topo.order().iter().enumerate() {
+            let s_base = state_off[gi] as usize;
+            let mut emit = |j: usize, cost: f64, children: &[(u32, u8)], out: OutOrder| {
+                let s = s_base + j;
+                opt_cnt[s] += 1;
+                tmp_state.push(s as u32);
+                tmp_cost.push(cost);
+                tmp_out.push(out);
+                for &(cg, cj) in children {
+                    tmp_child.push(state_off[cg as usize] + cj as u32);
+                }
+                tmp_child_off.push(tmp_child.len() as u32);
+            };
+            for e in memo.group_exprs(g) {
+                compile_expr(memo, cm, e, gi, &topo, &orders, &blocks, &mut emit);
+            }
+        }
+
+        // 4. Final CSR arenas by counting placement: `opt_off` from the
+        // per-state counts, a stable scatter of the emitted records into
+        // state order, then the children arena from the per-slot counts.
+        let n_opts = tmp_cost.len();
+        let mut opt_off: Vec<u32> = Vec::with_capacity(n_states + 1);
+        opt_off.push(0);
+        for s in 0..n_states {
+            opt_off.push(opt_off[s] + opt_cnt[s]);
+        }
+        cursor.clear();
+        cursor.extend_from_slice(&opt_off[..n_states]);
+        pos.clear();
+        pos.resize(n_opts, 0);
+        for k in 0..n_opts {
+            let s = tmp_state[k] as usize;
+            pos[k] = cursor[s];
+            cursor[s] += 1;
+        }
+        child_cnt.clear();
+        child_cnt.resize(n_opts, 0);
+        for k in 0..n_opts {
+            child_cnt[pos[k] as usize] = tmp_child_off[k + 1] - tmp_child_off[k];
+        }
+        let mut child_off: Vec<u32> = Vec::with_capacity(n_opts + 1);
+        child_off.push(0);
+        for o in 0..n_opts {
+            child_off.push(child_off[o] + child_cnt[o]);
+        }
+        let mut opt_cost: Vec<f64> = vec![0.0; n_opts];
+        let mut opt_children: Vec<u32> = vec![0; *child_off.last().unwrap() as usize];
+        opt_out.clear();
+        opt_out.resize(n_opts, OutOrder::InheritChild0);
+        for k in 0..n_opts {
+            let slot = pos[k] as usize;
+            opt_cost[slot] = tmp_cost[k];
+            opt_out[slot] = tmp_out[k].clone();
+            let (cs, ce) = (tmp_child_off[k] as usize, tmp_child_off[k + 1] as usize);
+            let dst = child_off[slot] as usize;
+            opt_children[dst..dst + (ce - cs)].copy_from_slice(&tmp_child[cs..ce]);
+        }
+
         let mut read: Vec<f64> = Vec::with_capacity(n_states);
         let mut write: Vec<f64> = Vec::with_capacity(n);
         let mut sort: Vec<f64> = Vec::with_capacity(n);
-        let mut opt_off: Vec<u32> = Vec::with_capacity(n_states + 1);
-        let mut opt_cost: Vec<f64> = Vec::new();
-        let mut child_off: Vec<u32> = vec![0];
-        let mut opt_children: Vec<u32> = Vec::new();
-        opt_off.push(0);
         for gi in 0..n {
             // Read costs are finalized after the natural storage orders are
             // known (see below); start with the plain read cost.
@@ -407,16 +557,6 @@ impl BestCostEngine {
             ));
             write.push(cm.materialize_write(blocks[gi]));
             sort.push(cm.sort(blocks[gi]));
-            for state_opts in &options[gi] {
-                for opt in state_opts {
-                    opt_cost.push(opt.op_cost);
-                    for &(cg, cj) in &opt.children {
-                        opt_children.push(state_off[cg as usize] + cj as u32);
-                    }
-                    child_off.push(opt_children.len() as u32);
-                }
-                opt_off.push(opt_cost.len() as u32);
-            }
         }
 
         let universe_dense: Vec<u32> = universe.iter().map(|&g| topo.dense(g)).collect();
@@ -454,7 +594,7 @@ impl BestCostEngine {
         let mut compute = Vec::new();
         let mut use_ = Vec::new();
         engine.full_solve_into(&BitSet::empty(universe.len()), &mut compute, &mut use_);
-        let natural = engine.resolve_natural_orders(&options, &orders, &use_);
+        let natural = engine.resolve_natural_orders(opt_out, group_of_state, &use_);
         for (gi, nat) in natural.iter().enumerate() {
             let s0 = engine.state_off[gi] as usize;
             for (j, req) in orders[gi].iter().enumerate() {
@@ -469,32 +609,37 @@ impl BestCostEngine {
     }
 
     /// Resolves the natural output order of each group's winning
-    /// (unordered-requirement) production plan, bottom-up. `use_` must be
-    /// the solved state for `S = ∅`.
+    /// (unordered-requirement) production plan, bottom-up over the final
+    /// flat arenas. `use_` must be the solved state for `S = ∅`; `opt_out`
+    /// and `group_of_state` come from the [`CompileCache`].
     fn resolve_natural_orders(
         &self,
-        options: &[Vec<Vec<CompiledOption>>],
-        orders: &[Vec<SortOrder>],
+        opt_out: &[OutOrder],
+        group_of_state: &[u32],
         use_: &[f64],
     ) -> Vec<SortOrder> {
-        let n = orders.len();
+        let n = self.topo.len();
         let mut natural: Vec<SortOrder> = Vec::with_capacity(n);
-        for (d, g_options) in options.iter().enumerate() {
-            let mut best: Option<(f64, &CompiledOption)> = None;
-            for opt in &g_options[0] {
-                let mut cost = opt.op_cost;
-                for &(child, jc) in &opt.children {
-                    cost += use_[self.state_off[child as usize] as usize + jc as usize];
+        for d in 0..n {
+            let s0 = self.state_off[d] as usize;
+            let mut best: Option<(f64, usize)> = None;
+            for o in self.opt_off[s0] as usize..self.opt_off[s0 + 1] as usize {
+                let mut cost = self.opt_cost[o];
+                for &c in
+                    &self.opt_children[self.child_off[o] as usize..self.child_off[o + 1] as usize]
+                {
+                    cost += use_[c as usize];
                 }
                 if best.is_none_or(|(b, _)| cost < b) {
-                    best = Some((cost, opt));
+                    best = Some((cost, o));
                 }
             }
             let order = match best {
-                Some((_, opt)) => match &opt.out {
-                    OutOrder::Fixed(o) => o.clone(),
+                Some((_, o)) => match &opt_out[o] {
+                    OutOrder::Fixed(order) => order.clone(),
                     OutOrder::InheritChild0 => {
-                        let child = opt.children[0].0 as usize;
+                        let child_state = self.opt_children[self.child_off[o] as usize] as usize;
+                        let child = group_of_state[child_state] as usize;
                         debug_assert!(child < d, "children precede parents");
                         natural[child].clone()
                     }
@@ -930,8 +1075,10 @@ fn join_keys(
     }
 }
 
-/// Compiles the physical options of one memo expression into the per-order
-/// option lists of its group.
+/// Compiles the physical options of one memo expression, emitting each as
+/// `(order index, operator cost, child (group, order) refs, output order)`
+/// through `emit` — the caller owns the flat storage, so compilation
+/// performs no per-option allocation.
 #[allow(clippy::too_many_arguments)]
 fn compile_expr(
     memo: &Memo,
@@ -941,26 +1088,21 @@ fn compile_expr(
     topo: &TopoView,
     orders: &[Vec<SortOrder>],
     blocks: &[f64],
-    options: &mut [Vec<CompiledOption>],
+    emit: &mut impl FnMut(usize, f64, &[(u32, u8)], OutOrder),
 ) {
-    let expr = memo.expr(e);
     let g_orders = &orders[gi];
-    match &expr.op {
+    match memo.op(e) {
         LogicalOp::Scan(inst) => {
             let out = SortOrder::on(memo.ctx().clustered_order(*inst));
             let op_cost = cm.table_scan(blocks[gi]);
             for (j, req) in g_orders.iter().enumerate() {
                 if out.satisfies(req) {
-                    options[j].push(CompiledOption {
-                        op_cost,
-                        children: vec![],
-                        out: OutOrder::Fixed(out.clone()),
-                    });
+                    emit(j, op_cost, &[], OutOrder::Fixed(out.clone()));
                 }
             }
         }
         LogicalOp::Select(pred) => {
-            let c = memo.find(expr.children[0]);
+            let c = memo.find(memo.children(e)[0]);
             let ci = topo.dense(c) as usize;
             // Filter: child takes the same requirement.
             let filter_cost = cm.filter(blocks[ci]);
@@ -969,15 +1111,16 @@ fn compile_expr(
                     .iter()
                     .position(|o| o == req)
                     .expect("demand propagated to select child");
-                options[j].push(CompiledOption {
-                    op_cost: filter_cost,
-                    children: vec![(ci as u32, jc as u8)],
-                    out: OutOrder::InheritChild0,
-                });
+                emit(
+                    j,
+                    filter_cost,
+                    &[(ci as u32, jc as u8)],
+                    OutOrder::InheritChild0,
+                );
             }
             // Clustered-index scan.
             for ce in memo.group_exprs(c) {
-                let LogicalOp::Scan(inst) = memo.expr(ce).op else {
+                let &LogicalOp::Scan(inst) = memo.op(ce) else {
                     continue;
                 };
                 let pk_order = memo.ctx().clustered_order(inst);
@@ -993,29 +1136,27 @@ fn compile_expr(
                 let out = SortOrder::on(pk_order);
                 for (j, req) in g_orders.iter().enumerate() {
                     if out.satisfies(req) {
-                        options[j].push(CompiledOption {
-                            op_cost,
-                            children: vec![],
-                            out: OutOrder::Fixed(out.clone()),
-                        });
+                        emit(j, op_cost, &[], OutOrder::Fixed(out.clone()));
                     }
                 }
             }
         }
         LogicalOp::Join(pred) => {
-            let l = memo.find(expr.children[0]);
-            let r = memo.find(expr.children[1]);
+            let ch = memo.children(e);
+            let l = memo.find(ch[0]);
+            let r = memo.find(ch[1]);
             let (li, ri) = (topo.dense(l) as usize, topo.dense(r) as usize);
             let keys = join_keys(memo, pred, l, r);
             for swapped in [false, true] {
                 let (oi, ii) = if swapped { (ri, li) } else { (li, ri) };
                 // Block nested loops (unordered output): order index 0 only.
                 let nl_cost = cm.nl_join(blocks[oi], blocks[ii], blocks[gi]);
-                options[0].push(CompiledOption {
-                    op_cost: nl_cost,
-                    children: vec![(oi as u32, 0), (ii as u32, 0)],
-                    out: OutOrder::Fixed(SortOrder::none()),
-                });
+                emit(
+                    0,
+                    nl_cost,
+                    &[(oi as u32, 0), (ii as u32, 0)],
+                    OutOrder::Fixed(SortOrder::none()),
+                );
                 // Merge join.
                 if let Some((lk, rk)) = &keys {
                     let (ok, ik) = if swapped {
@@ -1035,28 +1176,30 @@ fn compile_expr(
                     let op_cost = cm.merge_join(blocks[oi], blocks[ii], blocks[gi]);
                     for (j, req) in g_orders.iter().enumerate() {
                         if out.satisfies(req) {
-                            options[j].push(CompiledOption {
+                            emit(
+                                j,
                                 op_cost,
-                                children: vec![(oi as u32, jo as u8), (ii as u32, ji as u8)],
-                                out: OutOrder::Fixed(out.clone()),
-                            });
+                                &[(oi as u32, jo as u8), (ii as u32, ji as u8)],
+                                OutOrder::Fixed(out.clone()),
+                            );
                         }
                     }
                 }
             }
         }
         LogicalOp::Aggregate(spec) => {
-            let c = memo.find(expr.children[0]);
+            let c = memo.find(memo.children(e)[0]);
             let ci = topo.dense(c) as usize;
             if spec.is_scalar() {
                 let op_cost = cm.scalar_agg(blocks[ci]);
                 // One row satisfies every ordering requirement.
-                for opts in options.iter_mut() {
-                    opts.push(CompiledOption {
+                for j in 0..g_orders.len() {
+                    emit(
+                        j,
                         op_cost,
-                        children: vec![(ci as u32, 0)],
-                        out: OutOrder::Fixed(SortOrder::none()),
-                    });
+                        &[(ci as u32, 0)],
+                        OutOrder::Fixed(SortOrder::none()),
+                    );
                 }
             } else {
                 let gb = SortOrder::on(spec.group_by.clone());
@@ -1067,26 +1210,23 @@ fn compile_expr(
                 let op_cost = cm.sort_agg(blocks[ci], blocks[gi]);
                 for (j, req) in g_orders.iter().enumerate() {
                     if gb.satisfies(req) {
-                        options[j].push(CompiledOption {
+                        emit(
+                            j,
                             op_cost,
-                            children: vec![(ci as u32, jc as u8)],
-                            out: OutOrder::Fixed(gb.clone()),
-                        });
+                            &[(ci as u32, jc as u8)],
+                            OutOrder::Fixed(gb.clone()),
+                        );
                     }
                 }
             }
         }
         LogicalOp::Root => {
-            let children: Vec<(u32, u8)> = expr
-                .children
+            let children: Vec<(u32, u8)> = memo
+                .children(e)
                 .iter()
                 .map(|&c| (topo.dense(c), 0u8))
                 .collect();
-            options[0].push(CompiledOption {
-                op_cost: 0.0,
-                children,
-                out: OutOrder::Fixed(SortOrder::none()),
-            });
+            emit(0, 0.0, &children, OutOrder::Fixed(SortOrder::none()));
         }
     }
 }
@@ -1507,6 +1647,77 @@ mod tests {
         let mut fresh = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
         let b = fresh.bc(&BitSet::from_iter(n, [0]));
         assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()));
+    }
+
+    #[test]
+    fn compile_cache_invalidates_on_expression_preserving_merge() {
+        // A group merge can change the memo's topology without allocating
+        // or tombstoning a single expression (two parentless groups with
+        // structurally distinct members). The cache fingerprint must still
+        // invalidate the cached TopoView — it keys on the live-group
+        // count, which every merge shrinks.
+        let mut cat = Catalog::new();
+        for (name, rows) in [("a", 1000.0), ("b", 2000.0)] {
+            cat.add_table(
+                TableBuilder::new(name, rows)
+                    .key_column(format!("{name}_key"), 4)
+                    .column(format!("{name}_x"), 10.0, (0, 9), 4)
+                    .primary_key(&[&format!("{name}_key")])
+                    .build(),
+            );
+        }
+        let mut ctx = DagContext::new(cat);
+        let a = ctx.instance_by_name("a", 0);
+        let b = ctx.instance_by_name("b", 0);
+        let ja = ctx.col(a, "a_key");
+        let jb = ctx.col(b, "b_x");
+        let ax = ctx.col(a, "a_x");
+        let mut memo = mqo_volcano::Memo::new(ctx);
+        let j =
+            memo.insert_plan(&PlanNode::scan(a).join(PlanNode::scan(b), Predicate::join(ja, jb)));
+        // Two structurally distinct full-range selects over the join:
+        // identical cardinalities, no parents.
+        let sel = |col, memo: &mut mqo_volcano::Memo| {
+            memo.insert(
+                mqo_volcano::logical::LogicalOp::Select(Predicate::on(
+                    col,
+                    Constraint::range(Some(0), Some(9)),
+                )),
+                vec![j],
+                None,
+            )
+        };
+        let g1 = sel(jb, &mut memo);
+        let g2 = sel(ax, &mut memo);
+        assert_ne!(memo.find(g1), memo.find(g2));
+
+        let cm = DiskCostModel::paper();
+        let cfg = EngineConfig {
+            threads: 1,
+            ..Default::default()
+        };
+        let mut cache = CompileCache::new();
+        let before = BestCostEngine::with_cache(&memo, &cm, g1, &[], cfg, &mut cache);
+        let counts = (memo.exprs_allocated(), memo.n_exprs(), memo.n_group_slots());
+        memo.merge(g1, g2);
+        // The merge preserved every allocation/liveness count an
+        // insufficient fingerprint might key on...
+        assert_eq!(
+            (memo.exprs_allocated(), memo.n_exprs(), memo.n_group_slots()),
+            counts
+        );
+        // ...but the recompile through the same cache must see the merged
+        // topology, exactly like a fresh compile.
+        let root = memo.find(g1);
+        let mut cached = BestCostEngine::with_cache(&memo, &cm, root, &[], cfg, &mut cache);
+        let mut fresh = BestCostEngine::with_config(&memo, &cm, root, &[], cfg);
+        assert!(
+            cached.n_states() < before.n_states(),
+            "stale TopoView survived the merge"
+        );
+        assert_eq!(cached.n_states(), fresh.n_states());
+        let empty = BitSet::empty(0);
+        assert_eq!(cached.bc(&empty), fresh.bc(&empty));
     }
 
     #[test]

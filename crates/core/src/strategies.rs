@@ -16,7 +16,7 @@ use mqo_volcano::memo::GroupId;
 
 use crate::batch::BatchDag;
 use crate::benefit::MbFunction;
-use crate::engine::{BestCostEngine, EngineConfig};
+use crate::engine::EngineConfig;
 
 /// The optimization strategies of the experimental section.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -112,7 +112,9 @@ pub fn optimize(batch: &BatchDag, cm: &dyn CostModel, strategy: Strategy) -> Run
 /// threshold, full-recomputation ablation, worker threads). The greedy
 /// strategies route each round's candidates through the batched oracle,
 /// so `config.threads > 1` shards their evaluation with no change in the
-/// chosen set or costs.
+/// chosen set or costs. Engine compilation goes through the batch's shared
+/// [`crate::engine::CompileCache`], so repeated strategies on one batch
+/// reuse the topological view and the compile scratch.
 pub fn optimize_with(
     batch: &BatchDag,
     cm: &dyn CostModel,
@@ -120,7 +122,7 @@ pub fn optimize_with(
     config: EngineConfig,
 ) -> RunReport {
     let start = Instant::now();
-    let engine = BestCostEngine::with_config(&batch.memo, cm, batch.root, &batch.shareable, config);
+    let engine = batch.compile_engine(cm, config);
     let mb = MbFunction::new(engine);
     let n = mb.universe();
     let full = BitSet::full(n);

@@ -37,7 +37,7 @@ fn leaf_instances(memo: &Memo, g: mqo_volcano::GroupId) -> usize {
                 Leaf::Agg(a) => {
                     let a = memo.find(*a);
                     for e in memo.group_exprs(a) {
-                        for &c in &memo.expr(e).children {
+                        for &c in memo.expr(e).children {
                             count(memo, memo.find(c), seen);
                         }
                     }

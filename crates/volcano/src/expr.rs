@@ -193,7 +193,11 @@ impl Constraint {
 }
 
 /// A normalized conjunction: per-column constraints plus equi-join pairs.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+///
+/// The `Ord` impl is purely structural (derived); the memo uses it to give
+/// join children a deterministic canonical order without formatting or
+/// cloning anything.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Predicate {
     /// Per-column constraints (normalized).
     pub constraints: BTreeMap<ColId, Constraint>,

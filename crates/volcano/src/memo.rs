@@ -8,6 +8,17 @@
 //! Section 2.2 ("a single bottom-up traversal of the LQDAG by using the
 //! memo structure").
 //!
+//! # Interned storage
+//!
+//! Operator payloads (predicates, aggregate specs) are interned once into a
+//! dense operator arena: every expression stores a 4-byte `OpId`, and the
+//! hash-consing index is keyed on `(OpId, children)` — so the deep hash of
+//! a predicate is paid once per *distinct* operator, while the per-insert
+//! probe and every merge-time re-hash touch only small integer keys.
+//! Expression children live in one flat arena (`ExprId` → offset range),
+//! so the memo performs no per-expression heap allocation beyond the
+//! arenas themselves.
+//!
 //! Transformation rules may discover that two existing groups are equal
 //! (e.g. associativity produces `A⋈(B⋈C)` inside the group built from
 //! `(A⋈B)⋈C`, while another query contributed `A⋈(B⋈C)` elsewhere). Groups
@@ -28,11 +39,16 @@ pub struct GroupId(pub u32);
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ExprId(pub u32);
 
-/// An operator node: operator plus child equivalence nodes.
-#[derive(Clone, Debug)]
-pub struct MExpr {
-    pub op: LogicalOp,
-    pub children: Vec<GroupId>,
+/// An interned operator payload (index into the operator arena).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct OpId(u32);
+
+/// A borrowed view of an operator node: interned operator plus the child
+/// slice in the flat children arena.
+#[derive(Clone, Copy, Debug)]
+pub struct MExpr<'m> {
+    pub op: &'m LogicalOp,
+    pub children: &'m [GroupId],
 }
 
 #[derive(Debug)]
@@ -43,6 +59,19 @@ struct GroupData {
     props: LogicalProps,
 }
 
+/// Mutation log consumed by the expansion fixpoint (`rules::expand`):
+/// which groups gained member expressions and which expressions had their
+/// child lists rewritten by a merge. Only recorded while a log is active.
+#[derive(Debug, Default)]
+pub(crate) struct ChangeLog {
+    active: bool,
+    /// Groups that gained at least one expression (insert into an existing
+    /// target, or a merge transferring the dropped group's expressions).
+    grown: Vec<GroupId>,
+    /// Live expressions whose children were rewritten during a merge.
+    rewritten: Vec<ExprId>,
+}
+
 /// The memo structure.
 #[derive(Debug)]
 pub struct Memo {
@@ -50,15 +79,27 @@ pub struct Memo {
     groups: Vec<GroupData>,
     /// Union-find over groups (index = GroupId.0).
     uf: Vec<u32>,
-    exprs: Vec<MExpr>,
+    /// Interned operator arena; `op_index` maps each distinct operator to
+    /// its dense id (the one deep hash per insert happens here).
+    ops: Vec<LogicalOp>,
+    op_index: HashMap<LogicalOp, OpId>,
+    /// Per-expression interned operator.
+    expr_op: Vec<OpId>,
+    /// Flat children arena: expression `e` owns
+    /// `child_arena[child_off[e] .. child_off[e+1]]`.
+    child_off: Vec<u32>,
+    child_arena: Vec<GroupId>,
     /// Liveness: duplicates produced by merges are tombstoned.
     alive: Vec<bool>,
     group_of: Vec<GroupId>,
-    index: HashMap<(LogicalOp, Vec<GroupId>), ExprId>,
+    /// Hash-consing index over `(interned op, child groups)`.
+    index: HashMap<(OpId, Vec<GroupId>), ExprId>,
     /// Synthetic column -> aggregate group producing it.
     producers: HashMap<ColId, GroupId>,
     /// Query roots, in insertion order.
     roots: Vec<GroupId>,
+    /// Expansion change log (inactive outside `rules::expand`).
+    log: ChangeLog,
 }
 
 impl Memo {
@@ -68,12 +109,17 @@ impl Memo {
             ctx,
             groups: Vec::new(),
             uf: Vec::new(),
-            exprs: Vec::new(),
+            ops: Vec::new(),
+            op_index: HashMap::new(),
+            expr_op: Vec::new(),
+            child_off: vec![0],
+            child_arena: Vec::new(),
             alive: Vec::new(),
             group_of: Vec::new(),
             index: HashMap::new(),
             producers: HashMap::new(),
             roots: Vec::new(),
+            log: ChangeLog::default(),
         }
     }
 
@@ -111,19 +157,43 @@ impl Memo {
     /// Number of expression slots allocated (including tombstones); grows
     /// monotonically, which the expansion fixpoint loop relies on.
     pub fn exprs_allocated(&self) -> usize {
-        self.exprs.len()
+        self.expr_op.len()
+    }
+
+    /// Number of distinct interned operator payloads.
+    pub fn n_interned_ops(&self) -> usize {
+        self.ops.len()
     }
 
     /// All live expression ids (stable iteration order).
     pub fn expr_ids(&self) -> impl Iterator<Item = ExprId> + '_ {
-        (0..self.exprs.len() as u32)
+        (0..self.expr_op.len() as u32)
             .map(ExprId)
             .filter(|e| self.alive[e.0 as usize])
     }
 
-    /// The expression data.
-    pub fn expr(&self, e: ExprId) -> &MExpr {
-        &self.exprs[e.0 as usize]
+    /// The expression data (borrowed view into the arenas).
+    #[inline]
+    pub fn expr(&self, e: ExprId) -> MExpr<'_> {
+        MExpr {
+            op: self.op(e),
+            children: self.children(e),
+        }
+    }
+
+    /// The expression's operator.
+    #[inline]
+    pub fn op(&self, e: ExprId) -> &LogicalOp {
+        &self.ops[self.expr_op[e.0 as usize].0 as usize]
+    }
+
+    /// The expression's child groups (representatives as of the last
+    /// rewrite).
+    #[inline]
+    pub fn children(&self, e: ExprId) -> &[GroupId] {
+        let s = self.child_off[e.0 as usize] as usize;
+        let t = self.child_off[e.0 as usize + 1] as usize;
+        &self.child_arena[s..t]
     }
 
     /// Whether the expression survived merging (not a tombstoned duplicate).
@@ -191,7 +261,7 @@ impl Memo {
     /// Whether the aggregate group `a` exposes `col` as a group-by column or
     /// an aggregate output.
     fn agg_exposes(&self, a: GroupId, col: ColId) -> bool {
-        self.group_exprs(a).any(|e| match &self.expr(e).op {
+        self.group_exprs(a).any(|e| match self.op(e) {
             LogicalOp::Aggregate(spec) => {
                 spec.group_by.contains(&col) || spec.aggs.iter().any(|c| c.output == col)
             }
@@ -202,6 +272,54 @@ impl Memo {
     /// Registered query roots.
     pub fn roots(&self) -> Vec<GroupId> {
         self.roots.iter().map(|&g| self.find(g)).collect()
+    }
+
+    /// Looks up the expression id an `(op, children)` pair is interned
+    /// under, if any (children are canonicalized the way [`Memo::insert`]
+    /// would). Probing never mutates the memo.
+    pub fn expr_id_of(&self, op: &LogicalOp, children: &[GroupId]) -> Option<ExprId> {
+        let mut ch: Vec<GroupId> = children.iter().map(|&c| self.find(c)).collect();
+        if let LogicalOp::Join(_) = op {
+            self.canonicalize_join_children(&mut ch);
+        }
+        let &op_id = self.op_index.get(op)?;
+        self.index.get(&(op_id, ch)).copied()
+    }
+
+    /// Starts recording the expansion change log (clearing any prior
+    /// entries).
+    pub(crate) fn log_start(&mut self) {
+        self.log.active = true;
+        self.log.grown.clear();
+        self.log.rewritten.clear();
+    }
+
+    /// Stops recording the change log.
+    pub(crate) fn log_stop(&mut self) {
+        self.log.active = false;
+    }
+
+    /// Groups that gained expressions since [`Memo::log_start`].
+    pub(crate) fn log_grown(&self) -> &[GroupId] {
+        &self.log.grown
+    }
+
+    /// Live-at-the-time expressions rewritten by merges since
+    /// [`Memo::log_start`] (entries may have been tombstoned later).
+    pub(crate) fn log_rewritten(&self) -> &[ExprId] {
+        &self.log.rewritten
+    }
+
+    /// Interns an operator payload, returning its dense id. This is the
+    /// single place a deep operator hash is paid per insert.
+    fn intern_op(&mut self, op: LogicalOp) -> OpId {
+        if let Some(&id) = self.op_index.get(&op) {
+            return id;
+        }
+        let id = OpId(self.ops.len() as u32);
+        self.ops.push(op.clone());
+        self.op_index.insert(op, id);
+        id
     }
 
     /// Inserts an expression, hash-consing on `(op, children)`.
@@ -247,7 +365,8 @@ impl Memo {
                 return t;
             }
         }
-        let key = (op.clone(), children.clone());
+        let op_id = self.intern_op(op);
+        let key = (op_id, children);
         if let Some(&e) = self.index.get(&key) {
             let owner = self.group_of(e);
             if let Some(t) = target {
@@ -259,39 +378,42 @@ impl Memo {
             }
             return owner;
         }
+        let (op_id, children) = key;
 
         // New expression.
-        let eid = ExprId(self.exprs.len() as u32);
+        let eid = ExprId(self.expr_op.len() as u32);
         let props = {
+            let op = &self.ops[op_id.0 as usize];
             let child_props: Vec<&LogicalProps> = children
                 .iter()
                 .map(|&c| &self.groups[c.0 as usize].props)
                 .collect();
             compute_props(
-                &op,
+                op,
                 &child_props,
                 &self.ctx,
                 |g| self.groups[self.find(g).0 as usize].props.rows,
                 |g| self.groups[self.find(g).0 as usize].props.width,
             )
         };
-        self.exprs.push(MExpr {
-            op: key.0.clone(),
-            children: children.clone(),
-        });
+        self.expr_op.push(op_id);
+        self.child_arena.extend_from_slice(&children);
+        self.child_off.push(self.child_arena.len() as u32);
         self.alive.push(true);
-        self.index.insert(key, eid);
 
         let group = match target {
             Some(t) => {
                 let t = self.find(t);
                 self.groups[t.0 as usize].exprs.push(eid);
+                if self.log.active {
+                    self.log.grown.push(t);
+                }
                 t
             }
             None => {
                 let gid = GroupId(self.groups.len() as u32);
                 let mut props = props;
-                if let LogicalOp::Aggregate(spec) = &self.exprs[eid.0 as usize].op {
+                if let LogicalOp::Aggregate(spec) = &self.ops[op_id.0 as usize] {
                     // The aggregate's own output is the leaf of its region.
                     props.leaves = vec![Leaf::Agg(gid)];
                     for call in &spec.aggs {
@@ -311,16 +433,18 @@ impl Memo {
         for &c in &children {
             self.groups[c.0 as usize].parents.push(eid);
         }
+        self.index.insert((op_id, children), eid);
         self.find(group)
     }
 
-    /// Canonical order for join children: by (leaves, applied) of the child
-    /// groups, so commutative variants hash identically.
+    /// Canonical order for join children: by `(leaves, applied)` of the
+    /// child groups, so commutative variants hash identically. Pure
+    /// structural comparison — no formatting, no cloning.
     fn canonicalize_join_children(&self, children: &mut [GroupId]) {
         debug_assert_eq!(children.len(), 2);
         let key = |g: GroupId| {
             let p = &self.groups[g.0 as usize].props;
-            (p.leaves.clone(), format!("{:?}", p.applied))
+            (&p.leaves, &p.applied)
         };
         if key(children[1]) < key(children[0]) {
             children.swap(0, 1);
@@ -347,10 +471,27 @@ impl Memo {
                 self.groups[drop.0 as usize].props.rows
             );
             self.uf[drop.0 as usize] = keep.0;
+            if self.log.active {
+                self.log.grown.push(keep);
+            }
 
             let dropped_exprs = std::mem::take(&mut self.groups[drop.0 as usize].exprs);
             for e in &dropped_exprs {
                 self.group_of[e.0 as usize] = keep;
+            }
+            // A transferred expression whose children reference `keep`
+            // becomes a self-reference the moment it changes owner (e.g.
+            // σ(G) living in a group that merges into G). Parents of `drop`
+            // are caught by the rewrite loop below, but these reference
+            // `keep` directly and are never rehashed — tombstone them here,
+            // removing their index entries, or they survive as live
+            // self-referential duplicates (and fake cycles in topo_order).
+            for &e in &dropped_exprs {
+                if self.alive[e.0 as usize] && self.children(e).contains(&keep) {
+                    let key = (self.expr_op[e.0 as usize], self.children(e).to_vec());
+                    self.index.remove(&key);
+                    self.alive[e.0 as usize] = false;
+                }
             }
             self.groups[keep.0 as usize].exprs.extend(dropped_exprs);
             let dropped_parents = std::mem::take(&mut self.groups[drop.0 as usize].parents);
@@ -360,32 +501,33 @@ impl Memo {
                 if !self.alive[e.0 as usize] {
                     continue;
                 }
-                let old_key = (
-                    self.exprs[e.0 as usize].op.clone(),
-                    self.exprs[e.0 as usize].children.clone(),
-                );
-                self.index.remove(&old_key);
-                let mut new_children: Vec<GroupId> = self.exprs[e.0 as usize]
-                    .children
-                    .iter()
-                    .map(|&c| self.find(c))
-                    .collect();
-                if let LogicalOp::Join(_) = self.exprs[e.0 as usize].op {
-                    self.canonicalize_join_children(&mut new_children);
+                let op_id = self.expr_op[e.0 as usize];
+                let is_join = matches!(self.ops[op_id.0 as usize], LogicalOp::Join(_));
+                // Old key (children as stored), removed before the rewrite.
+                let mut key = (op_id, self.children(e).to_vec());
+                self.index.remove(&key);
+                for c in key.1.iter_mut() {
+                    *c = self.find(*c);
                 }
-                self.exprs[e.0 as usize].children = new_children.clone();
+                if is_join {
+                    self.canonicalize_join_children(&mut key.1);
+                }
+                let start = self.child_off[e.0 as usize] as usize;
+                self.child_arena[start..start + key.1.len()].copy_from_slice(&key.1);
                 // A merge can turn an expression into a self-reference
                 // (its child group became its own group); such expressions
                 // are useless for planning — tombstone them.
-                if new_children.contains(&self.group_of(e)) {
+                if key.1.contains(&self.group_of(e)) {
                     self.alive[e.0 as usize] = false;
                     continue;
                 }
                 self.groups[keep.0 as usize].parents.push(e);
-                let new_key = (self.exprs[e.0 as usize].op.clone(), new_children);
-                match self.index.entry(new_key) {
+                match self.index.entry(key) {
                     Entry::Vacant(v) => {
                         v.insert(e);
+                        if self.log.active {
+                            self.log.rewritten.push(e);
+                        }
                     }
                     Entry::Occupied(o) => {
                         let canonical = *o.get();
@@ -444,7 +586,7 @@ impl Memo {
     pub fn group_children(&self, g: GroupId) -> Vec<GroupId> {
         let mut out: Vec<GroupId> = self
             .group_exprs(g)
-            .flat_map(|e| self.expr(e).children.iter().map(|&c| self.find(c)))
+            .flat_map(|e| self.children(e).iter().map(|&c| self.find(c)))
             .collect();
         out.sort_unstable();
         out.dedup();
@@ -578,7 +720,7 @@ impl Memo {
             seen[g.0 as usize] = true;
             out.push(g);
             for e in self.group_exprs(g) {
-                for &c in &self.expr(e).children {
+                for &c in self.children(e) {
                     let c = self.find(c);
                     if !seen[c.0 as usize] {
                         stack.push(c);
@@ -587,6 +729,78 @@ impl Memo {
             }
         }
         out
+    }
+
+    /// Exhaustive structural consistency check; panics with a description
+    /// on the first violated invariant. Intended for tests (it is O(memo)
+    /// with hashing per expression):
+    ///
+    /// 1. the hash-consing index is a bijection onto the live expressions
+    ///    (in particular, no two live expressions share `(op, children)` —
+    ///    merges must never leave a stale duplicate behind);
+    /// 2. live expressions reference representative groups only, and never
+    ///    their own group;
+    /// 3. group membership and parent lists are mutually consistent.
+    pub fn check_consistency(&self) {
+        let mut live = 0usize;
+        for e in self.expr_ids() {
+            live += 1;
+            let owner = self.group_of(e);
+            let children = self.children(e);
+            for &c in children {
+                assert_eq!(
+                    self.find(c),
+                    c,
+                    "live expr {e:?} references non-representative child {c:?}"
+                );
+                assert_ne!(c, owner, "live expr {e:?} is a self-reference");
+                assert!(
+                    self.groups[c.0 as usize].parents.contains(&e),
+                    "child {c:?} of live expr {e:?} does not list it as parent"
+                );
+            }
+            let key = (self.expr_op[e.0 as usize], children.to_vec());
+            match self.index.get(&key) {
+                Some(&canonical) => assert_eq!(
+                    canonical, e,
+                    "live exprs {canonical:?} and {e:?} share (op, children): stale duplicate"
+                ),
+                None => panic!("live expr {e:?} missing from the hash-consing index"),
+            }
+            assert!(
+                self.groups[owner.0 as usize].exprs.contains(&e),
+                "group {owner:?} does not list its live expr {e:?}"
+            );
+        }
+        assert_eq!(
+            self.index.len(),
+            live,
+            "index size diverges from live expression count (dangling index entries)"
+        );
+        for (&_, &e) in &self.index {
+            assert!(
+                self.alive[e.0 as usize],
+                "index references tombstoned expr {e:?}"
+            );
+        }
+        for (slot, g) in self.groups.iter().enumerate() {
+            if self.uf[slot] != slot as u32 {
+                assert!(
+                    g.exprs.is_empty() && g.parents.is_empty(),
+                    "merged-away group slot {slot} still owns exprs/parents"
+                );
+                continue;
+            }
+            for &e in &g.exprs {
+                if self.alive[e.0 as usize] {
+                    assert_eq!(
+                        self.group_of(e),
+                        GroupId(slot as u32),
+                        "group slot {slot} lists expr {e:?} owned elsewhere"
+                    );
+                }
+            }
+        }
     }
 }
 
@@ -598,7 +812,7 @@ impl Memo {
 /// flat arena, so bottom-up DP sweeps touch no hash maps and no per-group
 /// heap allocations. The view is a snapshot — rebuilding it after further
 /// memo mutations is the caller's responsibility.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TopoView {
     order: Vec<GroupId>,
     /// Raw group slot → dense position; merged-away slots point at their
@@ -688,6 +902,7 @@ mod tests {
         assert_eq!(g1, g2);
         assert_eq!(memo.n_groups(), 1);
         assert_eq!(memo.n_exprs(), 1);
+        memo.check_consistency();
     }
 
     #[test]
@@ -729,6 +944,30 @@ mod tests {
         let g1 = memo.insert_plan(&PlanNode::scan(a).join(PlanNode::scan(b), p.clone()));
         let g2 = memo.insert_plan(&PlanNode::scan(b).join(PlanNode::scan(a), p));
         assert_eq!(g1, g2, "commutative variants must share a group");
+    }
+
+    #[test]
+    fn interning_is_idempotent_and_probe_matches() {
+        let mut ctx = test_ctx();
+        let a = ctx.instance_by_name("a", 0);
+        let b = ctx.instance_by_name("b", 0);
+        let ja = ctx.col(a, "a_key");
+        let jb = ctx.col(b, "b_x");
+        let mut memo = Memo::new(ctx);
+        let ga = memo.insert(LogicalOp::Scan(a), vec![], None);
+        let gb = memo.insert(LogicalOp::Scan(b), vec![], None);
+        let op = LogicalOp::Join(Predicate::join(ja, jb));
+        let before_exprs = memo.exprs_allocated();
+        let before_ops = memo.n_interned_ops();
+        let g = memo.insert(op.clone(), vec![ga, gb], None);
+        let e1 = memo.expr_id_of(&op, &[ga, gb]).expect("interned");
+        // Same logical expression again: same ExprId, no growth anywhere.
+        let g2 = memo.insert(op.clone(), vec![gb, ga], None);
+        assert_eq!(g, g2);
+        assert_eq!(memo.expr_id_of(&op, &[gb, ga]), Some(e1));
+        assert_eq!(memo.exprs_allocated(), before_exprs + 1);
+        assert_eq!(memo.n_interned_ops(), before_ops + 1);
+        memo.check_consistency();
     }
 
     #[test]
@@ -783,6 +1022,79 @@ mod tests {
         // Cascade: the two tops had identical (op, children) after the merge
         // and must have been unified.
         assert_eq!(memo.find(top1), memo.find(top2));
+        memo.check_consistency();
+    }
+
+    #[test]
+    fn merge_cascade_leaves_no_stale_duplicates() {
+        // Force a multi-level cascade: two parallel derivation chains over
+        // groups that are then declared equal at the bottom. Every level of
+        // parents collapses pairwise; afterwards the memo must contain no
+        // stale duplicate (two live expressions with identical operator and
+        // children) and the hash-consing index must stay a bijection.
+        let mut ctx = test_ctx();
+        let a = ctx.instance_by_name("a", 0);
+        let b = ctx.instance_by_name("b", 0);
+        let c = ctx.instance_by_name("c", 0);
+        let d = ctx.instance_by_name("d", 0);
+        let ja = ctx.col(a, "a_key");
+        let jb = ctx.col(b, "b_x");
+        let jbk = ctx.col(b, "b_key");
+        let jc = ctx.col(c, "c_key");
+        let jd = ctx.col(d, "d_key");
+        let mut memo = Memo::new(ctx);
+
+        // Chain 1: ab1 = a⋈b, l1 = ab1⋈c, t1 = l1⋈d.
+        let ab1 =
+            memo.insert_plan(&PlanNode::scan(a).join(PlanNode::scan(b), Predicate::join(ja, jb)));
+        let gc = memo.insert(LogicalOp::Scan(c), vec![], None);
+        let gd = memo.insert(LogicalOp::Scan(d), vec![], None);
+        let l1 = memo.insert(
+            LogicalOp::Join(Predicate::join(jbk, jc)),
+            vec![ab1, gc],
+            None,
+        );
+        let t1 = memo.insert(
+            LogicalOp::Join(Predicate::join(jbk, jd)),
+            vec![l1, gd],
+            None,
+        );
+        // Chain 2: the same shape over an artificially distinct bottom
+        // (full-range select over a⋈b, as a subsumption rule would build).
+        let sel = Predicate::on(jbk, Constraint::range(Some(0), Some(1_999)));
+        let ab2 = memo.insert(LogicalOp::Select(sel), vec![ab1], None);
+        let l2 = memo.insert(
+            LogicalOp::Join(Predicate::join(jbk, jc)),
+            vec![ab2, gc],
+            None,
+        );
+        let t2 = memo.insert(
+            LogicalOp::Join(Predicate::join(jbk, jd)),
+            vec![l2, gd],
+            None,
+        );
+        assert_ne!(memo.find(l1), memo.find(l2));
+        assert_ne!(memo.find(t1), memo.find(t2));
+
+        let exprs_before = memo.n_exprs();
+        memo.merge(ab1, ab2);
+        // The cascade must have collapsed both levels of parents...
+        assert_eq!(memo.find(l1), memo.find(l2));
+        assert_eq!(memo.find(t1), memo.find(t2));
+        // ...tombstoning one duplicate per collapsed level (the σ expr
+        // becomes a self-reference and dies too).
+        assert!(memo.n_exprs() < exprs_before);
+        // No stale duplicates / dangling index entries anywhere.
+        memo.check_consistency();
+        // Re-inserting the collapsed expressions is a no-op.
+        let before = memo.exprs_allocated();
+        let g = memo.insert(
+            LogicalOp::Join(Predicate::join(jbk, jc)),
+            vec![memo.find(ab1), gc],
+            None,
+        );
+        assert_eq!(g, memo.find(l1));
+        assert_eq!(memo.exprs_allocated(), before);
     }
 
     #[test]
@@ -798,7 +1110,7 @@ mod tests {
         let order = memo.topo_order();
         let pos = |g: GroupId| order.iter().position(|&x| x == g).unwrap();
         for e in memo.group_exprs(top) {
-            for &c in &memo.expr(e).children {
+            for &c in memo.children(e) {
                 assert!(pos(memo.find(c)) < pos(top));
             }
         }

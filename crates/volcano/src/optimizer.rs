@@ -278,8 +278,8 @@ impl<'a> Optimizer<'a> {
         consider: &mut dyn FnMut(Entry),
     ) {
         let out_blocks = self.blocks(g);
-        let expr = self.memo.expr(e).clone();
-        match &expr.op {
+        let expr = self.memo.expr(e);
+        match expr.op {
             LogicalOp::Scan(inst) => {
                 let order = SortOrder::on(self.memo.ctx().clustered_order(*inst));
                 if order.satisfies(req) {
@@ -317,7 +317,7 @@ impl<'a> Optimizer<'a> {
                 // (b) Clustered-index scan: child must be a bare table scan
                 // and the predicate must constrain the leading PK column.
                 for ce in self.memo.group_exprs(child) {
-                    let LogicalOp::Scan(inst) = self.memo.expr(ce).op else {
+                    let &LogicalOp::Scan(inst) = self.memo.op(ce) else {
                         continue;
                     };
                     let pk_order = self.memo.ctx().clustered_order(inst);
@@ -455,7 +455,7 @@ impl<'a> Optimizer<'a> {
                 if req.is_none() {
                     let mut total = 0.0;
                     let mut child_reqs = Vec::with_capacity(expr.children.len());
-                    for &c in &expr.children {
+                    for &c in expr.children {
                         total += self.best(self.memo.find(c), &SortOrder::none(), overlay, table);
                         child_reqs.push(SortOrder::none());
                     }
@@ -562,10 +562,9 @@ impl<'a> Optimizer<'a> {
             } => {
                 let children = self
                     .memo
-                    .expr(expr)
-                    .children
-                    .clone()
-                    .into_iter()
+                    .children(expr)
+                    .iter()
+                    .copied()
                     .zip(child_reqs.iter())
                     .map(|(c, creq)| self.extract_plan(self.memo.find(c), creq, overlay, table))
                     .collect::<Vec<_>>();

@@ -1,4 +1,4 @@
-//! Transformation rules and the fixpoint expansion engine.
+//! Transformation rules and the frontier-driven fixpoint expansion engine.
 //!
 //! The rule set matches Section 6: "select push down, join commutativity
 //! and associativity (to generate bushy join trees), and select and
@@ -7,6 +7,34 @@
 //! orientations). Rules insert *logical* alternatives; where a rule knows
 //! the result group, hash-consing either lands there or triggers a group
 //! merge (unification).
+//!
+//! # The fixpoint
+//!
+//! Expansion proceeds in rounds over a *frontier* of expressions instead of
+//! re-scanning the whole memo until quiescence. Each round:
+//!
+//! 1. **Generate** — every frontier expression is matched against the
+//!    per-expression rules on a frozen `&Memo` snapshot, producing
+//!    [`Candidate`] programs (small insert scripts) without mutating
+//!    anything. This phase is embarrassingly parallel: with `threads > 1`
+//!    the frontier is split into contiguous chunks and fanned out over
+//!    `std::thread::scope` workers.
+//! 2. **Commit** — a single thread replays the candidates in frontier
+//!    order through [`Memo::insert`], which hash-conses, merges, and logs
+//!    every change. The commit order is a pure function of the frontier,
+//!    so the resulting memo is **bit-identical at every thread count**
+//!    (pinned by `tests/memo_differential.rs`).
+//! 3. **Subsume** — the pairwise rules (select/aggregate subsumption) run
+//!    serially over the selects/aggregates that are new or were rewritten
+//!    this round, pairing each against its current siblings (the other
+//!    selects/aggregates over the same child group) instead of re-scanning
+//!    every pair in the memo.
+//!
+//! The next round's frontier is derived from the memo's change log: newly
+//! interned expressions, expressions whose children were rewritten by a
+//! merge, and the live parents of every group that gained expressions
+//! (their rules may now match the new members). Expansion terminates when
+//! a round changes nothing.
 
 use crate::context::ColId;
 use crate::expr::Predicate;
@@ -58,126 +86,290 @@ impl RuleSet {
 /// Statistics of one expansion run.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ExpansionStats {
-    /// Full passes over the expression list until fixpoint.
+    /// Fixpoint rounds (frontier generations) until quiescence.
     pub passes: usize,
     /// Live expressions after expansion.
     pub exprs: usize,
     /// Live groups after expansion.
     pub groups: usize,
+    /// Candidates generated across all rounds (commit replays each once).
+    pub candidates: usize,
 }
 
 /// Hard cap on memo size; expansion aborts (panics) beyond this, which
 /// indicates a runaway rule rather than a legitimate workload.
 const MAX_EXPRS: usize = 500_000;
 
-/// Expands the memo to fixpoint under `rules`.
+/// The `MQO_THREADS` environment default for the expansion fixpoint's
+/// candidate-generation phase: unset or unparsable means `1` (serial);
+/// `0` means auto-detect. Mirrors the engine-side `threads_from_env`.
+pub fn expand_threads_from_env() -> usize {
+    std::env::var("MQO_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(1)
+}
+
+/// Resolves a thread request to a concrete worker count for `n_items`
+/// work units (`0` = auto-detect, capped by the item count). Shared by the
+/// expansion fixpoint and `mqo-core`'s sharded oracle, so the
+/// `MQO_THREADS` conventions cannot drift apart.
+pub fn effective_threads(threads: usize, n_items: usize) -> usize {
+    let t = match threads {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        t => t,
+    };
+    t.clamp(1, n_items.max(1))
+}
+
+/// Expands the memo to fixpoint under `rules`, with the candidate
+/// generation thread count taken from `MQO_THREADS` (default serial).
 pub fn expand(memo: &mut Memo, rules: &RuleSet) -> ExpansionStats {
+    expand_with(memo, rules, expand_threads_from_env())
+}
+
+/// Expands the memo to fixpoint under `rules` with an explicit worker
+/// count for the candidate-generation phase. The resulting memo is
+/// bit-identical at every `threads` value; only the wall-clock changes.
+pub fn expand_with(memo: &mut Memo, rules: &RuleSet, threads: usize) -> ExpansionStats {
     let mut stats = ExpansionStats::default();
-    loop {
+    // Round 1 processes every live expression; later rounds only what the
+    // change log implicates.
+    let mut frontier: Vec<ExprId> = memo.expr_ids().collect();
+    // Per-frontier-entry candidate buffers, reused across rounds.
+    let mut candidates: Vec<Vec<Candidate>> = Vec::new();
+
+    while !frontier.is_empty() {
         stats.passes += 1;
-        let before = memo.exprs_allocated();
+        let watermark = memo.exprs_allocated();
 
-        // Per-expression rules; iterating by index picks up insertions made
-        // during the pass.
-        let mut i = 0u32;
-        while (i as usize) < memo.exprs_allocated() {
-            let e = ExprId(i);
-            i += 1;
-            if !memo.is_alive(e) {
-                continue;
+        // Phase 1: generate (read-only, parallel).
+        generate_all(memo, rules, &frontier, threads, &mut candidates);
+        stats.candidates += candidates.iter().map(Vec::len).sum::<usize>();
+
+        // Phase 2: commit (serial, deterministic order).
+        memo.log_start();
+        for slot in candidates.iter_mut() {
+            for cand in slot.drain(..) {
+                commit(memo, cand);
             }
-            if rules.join_associativity {
-                apply_associativity(memo, e);
-            }
-            if rules.select_pushdown {
-                apply_select_pushdown(memo, e);
-            }
-            if rules.select_merge {
-                apply_select_merge(memo, e);
-            }
+            assert!(
+                memo.exprs_allocated() <= MAX_EXPRS,
+                "memo exploded past {MAX_EXPRS} expressions; runaway rule?"
+            );
         }
 
-        // Pairwise rules (subsumption) need a stable snapshot per pass.
-        if rules.select_subsumption {
-            apply_select_subsumption(memo);
-        }
-        if rules.aggregate_subsumption {
-            apply_aggregate_subsumption(memo);
+        // Phase 3: pairwise subsumption over this round's new/rewritten
+        // selects and aggregates (plus, in round 1, the initial ones).
+        if rules.select_subsumption || rules.aggregate_subsumption {
+            let pair_frontier = pair_frontier(memo, &frontier, watermark);
+            for &e in &pair_frontier {
+                if !memo.is_alive(e) {
+                    continue;
+                }
+                match memo.op(e) {
+                    LogicalOp::Select(_) if rules.select_subsumption => {
+                        subsume_selects_of(memo, e, &pair_frontier);
+                    }
+                    LogicalOp::Aggregate(_) if rules.aggregate_subsumption => {
+                        subsume_aggregates_of(memo, e, &pair_frontier);
+                    }
+                    _ => {}
+                }
+            }
+            assert!(
+                memo.exprs_allocated() <= MAX_EXPRS,
+                "memo exploded past {MAX_EXPRS} expressions; runaway rule?"
+            );
         }
 
-        assert!(
-            memo.exprs_allocated() <= MAX_EXPRS,
-            "memo exploded past {MAX_EXPRS} expressions; runaway rule?"
-        );
-        if memo.exprs_allocated() == before {
-            break;
+        // Next frontier from the change log: new expressions, rewritten
+        // expressions, and live parents of every group that gained members.
+        frontier.clear();
+        frontier.extend((watermark as u32..memo.exprs_allocated() as u32).map(ExprId));
+        frontier.extend_from_slice(memo.log_rewritten());
+        for &g in memo.log_grown() {
+            frontier.extend(memo.group_parents(g));
         }
+        memo.log_stop();
+        frontier.sort_unstable();
+        frontier.dedup();
+        frontier.retain(|&e| memo.is_alive(e));
     }
+
     stats.exprs = memo.n_exprs();
     stats.groups = memo.n_groups();
     stats
+}
+
+/// The subsumption frontier of a round: the per-expression frontier plus
+/// everything interned or rewritten during this round's commit, sorted and
+/// deduplicated.
+fn pair_frontier(memo: &Memo, frontier: &[ExprId], watermark: usize) -> Vec<ExprId> {
+    let mut out: Vec<ExprId> = frontier.to_vec();
+    out.extend((watermark as u32..memo.exprs_allocated() as u32).map(ExprId));
+    out.extend_from_slice(memo.log_rewritten());
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Candidates: rule applications generated against a frozen snapshot and
+// replayed by the serial commit phase.
+// ---------------------------------------------------------------------------
+
+/// A child of a candidate step: an existing group, or the group produced by
+/// an earlier step of the same candidate.
+#[derive(Clone, Copy, Debug)]
+enum ChildRef {
+    Group(GroupId),
+    Step(u8),
+}
+
+/// One [`Memo::insert`] call of a candidate program.
+#[derive(Debug)]
+struct Step {
+    op: LogicalOp,
+    children: Vec<ChildRef>,
+    target: Option<GroupId>,
+}
+
+/// A rule application: a guard (pairs that must still be distinct groups at
+/// commit time — merges committed earlier in the round can invalidate a
+/// pivot) followed by insert steps.
+#[derive(Debug)]
+struct Candidate {
+    guards: Vec<(GroupId, GroupId)>,
+    steps: Vec<Step>,
+}
+
+/// Replays a candidate against the live memo.
+fn commit(memo: &mut Memo, cand: Candidate) {
+    for &(a, b) in &cand.guards {
+        if memo.find(a) == memo.find(b) {
+            return;
+        }
+    }
+    let mut results: Vec<GroupId> = Vec::with_capacity(cand.steps.len());
+    for step in cand.steps {
+        let children: Vec<GroupId> = step
+            .children
+            .iter()
+            .map(|r| match *r {
+                ChildRef::Group(g) => g,
+                ChildRef::Step(i) => results[i as usize],
+            })
+            .collect();
+        let g = memo.insert(step.op, children, step.target);
+        results.push(g);
+    }
+}
+
+/// Generates candidates for every frontier expression. With `threads > 1`
+/// the frontier is split into contiguous chunks processed by scoped worker
+/// threads; output slots are indexed by frontier position, so the result —
+/// and therefore the commit order — is independent of the fan-out.
+fn generate_all(
+    memo: &Memo,
+    rules: &RuleSet,
+    frontier: &[ExprId],
+    threads: usize,
+    out: &mut Vec<Vec<Candidate>>,
+) {
+    if out.len() < frontier.len() {
+        out.resize_with(frontier.len(), Vec::new);
+    }
+    let workers = effective_threads(threads, frontier.len());
+    if workers <= 1 {
+        for (slot, &e) in out.iter_mut().zip(frontier.iter()) {
+            generate(memo, rules, e, slot);
+        }
+        return;
+    }
+    let chunk = frontier.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (items, slots) in frontier.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (&e, slot) in items.iter().zip(slots.iter_mut()) {
+                    generate(memo, rules, e, slot);
+                }
+            });
+        }
+    });
+}
+
+/// Matches one expression against the per-expression rules.
+fn generate(memo: &Memo, rules: &RuleSet, e: ExprId, out: &mut Vec<Candidate>) {
+    if !memo.is_alive(e) {
+        return;
+    }
+    match memo.op(e) {
+        LogicalOp::Join(_) if rules.join_associativity => {
+            gen_associativity(memo, e, out);
+        }
+        LogicalOp::Select(_) => {
+            if rules.select_pushdown {
+                gen_select_pushdown(memo, e, out);
+            }
+            if rules.select_merge {
+                gen_select_merge(memo, e, out);
+            }
+        }
+        _ => {}
+    }
 }
 
 /// Join associativity: for `(A ⋈ B) ⋈ C` in a group, derive `A ⋈ (B ⋈ C)`
 /// into the same group (and the mirrored variant). Predicate atoms are
 /// pooled and redistributed by column coverage; rewrites that would create a
 /// predicate-less (cross-product) join are skipped.
-fn apply_associativity(memo: &mut Memo, e: ExprId) {
-    let (top_pred, l, r) = match &memo.expr(e).op {
-        LogicalOp::Join(p) => {
-            let ch = &memo.expr(e).children;
-            (p.clone(), ch[0], ch[1])
-        }
-        _ => return,
+fn gen_associativity(memo: &Memo, e: ExprId, out: &mut Vec<Candidate>) {
+    let LogicalOp::Join(top_pred) = memo.op(e) else {
+        return;
     };
+    let ch = memo.children(e);
+    let (l, r) = (ch[0], ch[1]);
     let target = memo.group_of(e);
 
     // Direction 1: left child is itself a join (A ⋈ B), pivot to A ⋈ (B ⋈ C).
-    let left_joins: Vec<(Predicate, GroupId, GroupId)> = memo
-        .group_exprs(l)
-        .filter_map(|le| match &memo.expr(le).op {
-            LogicalOp::Join(p) => {
-                let ch = &memo.expr(le).children;
-                Some((p.clone(), ch[0], ch[1]))
-            }
-            _ => None,
-        })
-        .collect();
-    for (low_pred, a, b) in left_joins {
-        pivot(memo, target, &top_pred, &low_pred, a, b, r);
-        // Commutativity of the lower join: also pivot keeping B.
-        pivot(memo, target, &top_pred, &low_pred, b, a, r);
+    for le in memo.group_exprs(l) {
+        if let LogicalOp::Join(low_pred) = memo.op(le) {
+            let lc = memo.children(le);
+            let (a, b) = (lc[0], lc[1]);
+            gen_pivot(memo, target, top_pred, low_pred, a, b, r, out);
+            // Commutativity of the lower join: also pivot keeping B.
+            gen_pivot(memo, target, top_pred, low_pred, b, a, r, out);
+        }
     }
 
     // Direction 2 (mirror): right child is a join (B ⋈ C), pivot to
     // (A ⋈ B) ⋈ C.
-    let right_joins: Vec<(Predicate, GroupId, GroupId)> = memo
-        .group_exprs(r)
-        .filter_map(|re| match &memo.expr(re).op {
-            LogicalOp::Join(p) => {
-                let ch = &memo.expr(re).children;
-                Some((p.clone(), ch[0], ch[1]))
-            }
-            _ => None,
-        })
-        .collect();
-    for (low_pred, b, c) in right_joins {
-        // A ⋈ (B ⋈ C)  →  (A ⋈ B) ⋈ C, i.e. pivot with "kept" side c.
-        pivot(memo, target, &top_pred, &low_pred, c, b, l);
-        pivot(memo, target, &top_pred, &low_pred, b, c, l);
+    for re in memo.group_exprs(r) {
+        if let LogicalOp::Join(low_pred) = memo.op(re) {
+            let rc = memo.children(re);
+            let (b, c) = (rc[0], rc[1]);
+            // A ⋈ (B ⋈ C)  →  (A ⋈ B) ⋈ C, i.e. pivot with "kept" side c.
+            gen_pivot(memo, target, top_pred, low_pred, c, b, l, out);
+            gen_pivot(memo, target, top_pred, low_pred, b, c, l, out);
+        }
     }
 }
 
-/// Builds `kept ⋈ (other ⋈ outer)` inside `target`, redistributing the atoms
+/// Emits `kept ⋈ (other ⋈ outer)` inside `target`, redistributing the atoms
 /// of `top ∧ low` between the new lower join and the new top join.
-fn pivot(
-    memo: &mut Memo,
+#[allow(clippy::too_many_arguments)]
+fn gen_pivot(
+    memo: &Memo,
     target: GroupId,
     top_pred: &Predicate,
     low_pred: &Predicate,
     kept: GroupId,
     other: GroupId,
     outer: GroupId,
+    out: &mut Vec<Candidate>,
 ) {
     if memo.find(other) == memo.find(outer) || memo.find(kept) == memo.find(outer) {
         // Degenerate pivot (shared view on both sides); skip.
@@ -207,38 +399,43 @@ fn pivot(
     if lower.equi.is_empty() || upper.equi.is_empty() {
         return;
     }
-    let lower_group = memo.insert(LogicalOp::Join(lower), vec![other, outer], None);
-    if memo.find(lower_group) == memo.find(target) {
-        // Would nest the target inside itself (can happen with shared-view
-        // self joins); skip.
-        return;
-    }
-    memo.insert(
-        LogicalOp::Join(upper),
-        vec![kept, lower_group],
-        Some(target),
-    );
+    // The commit replays: insert the lower join, then the upper join into
+    // `target` (Memo::insert refuses the upper step if the lower group has
+    // become `target` itself — the old "would nest the target inside
+    // itself" guard). The distinctness guards re-check the degeneracy
+    // conditions at commit time, since merges earlier in the round may
+    // have unified the snapshot's groups.
+    out.push(Candidate {
+        guards: vec![(other, outer), (kept, outer)],
+        steps: vec![
+            Step {
+                op: LogicalOp::Join(lower),
+                children: vec![ChildRef::Group(other), ChildRef::Group(outer)],
+                target: None,
+            },
+            Step {
+                op: LogicalOp::Join(upper),
+                children: vec![ChildRef::Group(kept), ChildRef::Step(0)],
+                target: Some(target),
+            },
+        ],
+    });
 }
 
 /// Select push-down: `σ_p(A ⋈_j B)` derives `σ_pA(A) ⋈_{j ∧ p_rest} σ_pB(B)`
 /// in the same group.
-fn apply_select_pushdown(memo: &mut Memo, e: ExprId) {
-    let (pred, child) = match &memo.expr(e).op {
-        LogicalOp::Select(p) => (p.clone(), memo.expr(e).children[0]),
-        _ => return,
+fn gen_select_pushdown(memo: &Memo, e: ExprId, out: &mut Vec<Candidate>) {
+    let LogicalOp::Select(pred) = memo.op(e) else {
+        return;
     };
+    let child = memo.children(e)[0];
     let target = memo.group_of(e);
-    let joins: Vec<(Predicate, GroupId, GroupId)> = memo
-        .group_exprs(child)
-        .filter_map(|je| match &memo.expr(je).op {
-            LogicalOp::Join(p) => {
-                let ch = &memo.expr(je).children;
-                Some((p.clone(), ch[0], ch[1]))
-            }
-            _ => None,
-        })
-        .collect();
-    for (jp, l, r) in joins {
+    for je in memo.group_exprs(child) {
+        let LogicalOp::Join(jp) = memo.op(je) else {
+            continue;
+        };
+        let jc = memo.children(je);
+        let (l, r) = (jc[0], jc[1]);
         let mut pl = Predicate::none();
         let mut pr = Predicate::none();
         let mut rest = jp.clone();
@@ -263,112 +460,151 @@ fn apply_select_pushdown(memo: &mut Memo, e: ExprId) {
         if pl.is_trivial() && pr.is_trivial() {
             continue;
         }
+        let mut steps = Vec::with_capacity(3);
         let new_l = if pl.is_trivial() {
-            l
+            ChildRef::Group(l)
         } else {
-            memo.insert(LogicalOp::Select(pl), vec![l], None)
+            steps.push(Step {
+                op: LogicalOp::Select(pl),
+                children: vec![ChildRef::Group(l)],
+                target: None,
+            });
+            ChildRef::Step(steps.len() as u8 - 1)
         };
         let new_r = if pr.is_trivial() {
-            r
+            ChildRef::Group(r)
         } else {
-            memo.insert(LogicalOp::Select(pr), vec![r], None)
+            steps.push(Step {
+                op: LogicalOp::Select(pr),
+                children: vec![ChildRef::Group(r)],
+                target: None,
+            });
+            ChildRef::Step(steps.len() as u8 - 1)
         };
-        memo.insert(LogicalOp::Join(rest), vec![new_l, new_r], Some(target));
+        steps.push(Step {
+            op: LogicalOp::Join(rest),
+            children: vec![new_l, new_r],
+            target: Some(target),
+        });
+        out.push(Candidate {
+            guards: Vec::new(),
+            steps,
+        });
     }
 }
 
 /// Select merge: `σ_p(σ_q(E))` derives `σ_{p∧q}(E)` in the same group.
-fn apply_select_merge(memo: &mut Memo, e: ExprId) {
-    let (pred, child) = match &memo.expr(e).op {
-        LogicalOp::Select(p) => (p.clone(), memo.expr(e).children[0]),
-        _ => return,
+fn gen_select_merge(memo: &Memo, e: ExprId, out: &mut Vec<Candidate>) {
+    let LogicalOp::Select(pred) = memo.op(e) else {
+        return;
     };
+    let child = memo.children(e)[0];
     let target = memo.group_of(e);
-    let inner: Vec<(Predicate, GroupId)> = memo
-        .group_exprs(child)
-        .filter_map(|se| match &memo.expr(se).op {
-            LogicalOp::Select(q) => Some((q.clone(), memo.expr(se).children[0])),
-            _ => None,
-        })
-        .collect();
-    for (q, grandchild) in inner {
-        memo.insert(
-            LogicalOp::Select(pred.and(&q)),
-            vec![grandchild],
-            Some(target),
-        );
+    for se in memo.group_exprs(child) {
+        let LogicalOp::Select(q) = memo.op(se) else {
+            continue;
+        };
+        let grandchild = memo.children(se)[0];
+        out.push(Candidate {
+            guards: Vec::new(),
+            steps: vec![Step {
+                op: LogicalOp::Select(pred.and(q)),
+                children: vec![ChildRef::Group(grandchild)],
+                target: Some(target),
+            }],
+        });
     }
 }
 
-/// Select subsumption: for sibling selections `σ_{p1}(E)`, `σ_{p2}(E)` over
-/// the same input, either derive the tighter from the looser (when one
-/// implies the other) or build the disjunctive subsumer `σ_{p1 ⊔ p2}(E)` and
-/// derive both from it (Section 6's "select subsumption"; this is how the
-/// batched workload's repeated queries with different constants share work).
-fn apply_select_subsumption(memo: &mut Memo) {
-    // Snapshot: all live selects grouped by child group.
-    let mut by_child: std::collections::HashMap<GroupId, Vec<(ExprId, Predicate)>> =
-        std::collections::HashMap::new();
-    for e in memo.expr_ids().collect::<Vec<_>>() {
-        if let LogicalOp::Select(p) = &memo.expr(e).op {
-            let child = memo.find(memo.expr(e).children[0]);
-            by_child.entry(child).or_default().push((e, p.clone()));
+// ---------------------------------------------------------------------------
+// Pairwise subsumption rules (serial; frontier-driven via sibling lookup).
+// ---------------------------------------------------------------------------
+
+/// Select subsumption: pairs the frontier select `e` against every sibling
+/// selection over the same input group. For each pair, either derive the
+/// tighter from the looser (when one implies the other) or build the
+/// disjunctive subsumer `σ_{p1 ⊔ p2}(E)` and derive both from it
+/// (Section 6's "select subsumption"; this is how the batched workload's
+/// repeated queries with different constants share work).
+fn subsume_selects_of(memo: &mut Memo, e: ExprId, pair_frontier: &[ExprId]) {
+    let child = memo.find(memo.children(e)[0]);
+    // A sibling that is itself in the (sorted, ascending-processed) pair
+    // frontier with a smaller id already evaluated this pair at its own
+    // turn — the pair logic is symmetric, so re-running it here would
+    // only repeat the same implication/subsumer work.
+    let siblings: Vec<ExprId> = memo
+        .group_parents(child)
+        .into_iter()
+        .filter(|&f| {
+            f != e
+                && !(f < e && pair_frontier.binary_search(&f).is_ok())
+                && matches!(memo.op(f), LogicalOp::Select(_))
+                && memo.children(f)[0] == child
+        })
+        .collect();
+    for f in siblings {
+        if !memo.is_alive(e) {
+            // A previous pair's merge can tombstone the frontier expr.
+            return;
         }
+        if !memo.is_alive(f) {
+            continue;
+        }
+        subsume_select_pair(memo, child, e, f);
     }
-    for (child, sels) in by_child {
-        for i in 0..sels.len() {
-            for j in (i + 1)..sels.len() {
-                let (e1, p1) = &sels[i];
-                let (e2, p2) = &sels[j];
-                let g1 = memo.group_of(*e1);
-                let g2 = memo.group_of(*e2);
-                if g1 == g2 {
-                    continue;
-                }
-                if p1.implies(p2) {
-                    // σ_{p1} derivable by filtering σ_{p2}'s result.
-                    let residual = p1.residual_after(p2);
-                    if !residual.is_trivial() {
-                        memo.insert(LogicalOp::Select(residual), vec![g2], Some(g1));
-                    }
-                    continue;
-                }
-                if p2.implies(p1) {
-                    let residual = p2.residual_after(p1);
-                    if !residual.is_trivial() {
-                        memo.insert(LogicalOp::Select(residual), vec![g1], Some(g2));
-                    }
-                    continue;
-                }
-                // Disjunctive subsumer: only when the two predicates
-                // constrain the same columns with the same equi atoms and
-                // differ on exactly one column (the "different selection
-                // constants" pattern).
-                if let Some(subsumer) = disjunctive_subsumer(p1, p2) {
-                    if memo.props(child).applied.implies(&subsumer) {
-                        // The child group already satisfies the subsumer
-                        // predicate: the child *is* the subsumer, and the
-                        // direct derivations already exist. Creating
-                        // σ_subsumer(child) would add a no-op layer (and,
-                        // through later merges, self-referencing nodes).
-                        continue;
-                    }
-                    let gs = memo.insert(LogicalOp::Select(subsumer.clone()), vec![child], None);
-                    if memo.find(gs) == memo.find(child) {
-                        continue;
-                    }
-                    let r1 = p1.residual_after(&subsumer);
-                    let r2 = p2.residual_after(&subsumer);
-                    let g1 = memo.group_of(*e1);
-                    let g2 = memo.group_of(*e2);
-                    if !r1.is_trivial() && memo.find(gs) != g1 {
-                        memo.insert(LogicalOp::Select(r1), vec![gs], Some(g1));
-                    }
-                    if !r2.is_trivial() && memo.find(gs) != g2 {
-                        memo.insert(LogicalOp::Select(r2), vec![gs], Some(g2));
-                    }
-                }
-            }
+}
+
+/// The pairwise select-subsumption body for sibling selects `e1`, `e2`
+/// over `child`.
+fn subsume_select_pair(memo: &mut Memo, child: GroupId, e1: ExprId, e2: ExprId) {
+    let g1 = memo.group_of(e1);
+    let g2 = memo.group_of(e2);
+    if g1 == g2 {
+        return;
+    }
+    let (LogicalOp::Select(p1), LogicalOp::Select(p2)) = (memo.op(e1), memo.op(e2)) else {
+        return;
+    };
+    let (p1, p2) = (p1.clone(), p2.clone());
+    if p1.implies(&p2) {
+        // σ_{p1} derivable by filtering σ_{p2}'s result.
+        let residual = p1.residual_after(&p2);
+        if !residual.is_trivial() {
+            memo.insert(LogicalOp::Select(residual), vec![g2], Some(g1));
+        }
+        return;
+    }
+    if p2.implies(&p1) {
+        let residual = p2.residual_after(&p1);
+        if !residual.is_trivial() {
+            memo.insert(LogicalOp::Select(residual), vec![g1], Some(g2));
+        }
+        return;
+    }
+    // Disjunctive subsumer: only when the two predicates constrain the
+    // same columns with the same equi atoms and differ on exactly one
+    // column (the "different selection constants" pattern).
+    if let Some(subsumer) = disjunctive_subsumer(&p1, &p2) {
+        if memo.props(child).applied.implies(&subsumer) {
+            // The child group already satisfies the subsumer predicate:
+            // the child *is* the subsumer, and the direct derivations
+            // already exist. Creating σ_subsumer(child) would add a no-op
+            // layer (and, through later merges, self-referencing nodes).
+            return;
+        }
+        let gs = memo.insert(LogicalOp::Select(subsumer.clone()), vec![child], None);
+        if memo.find(gs) == memo.find(child) {
+            return;
+        }
+        let r1 = p1.residual_after(&subsumer);
+        let r2 = p2.residual_after(&subsumer);
+        let g1 = memo.group_of(e1);
+        let g2 = memo.group_of(e2);
+        if !r1.is_trivial() && memo.find(gs) != g1 {
+            memo.insert(LogicalOp::Select(r1), vec![gs], Some(g1));
+        }
+        if !r2.is_trivial() && memo.find(gs) != g2 {
+            memo.insert(LogicalOp::Select(r2), vec![gs], Some(g2));
         }
     }
 }
@@ -406,62 +642,82 @@ fn disjunctive_subsumer(p1: &Predicate, p2: &Predicate) -> Option<Predicate> {
     Some(out)
 }
 
-/// Aggregate subsumption: `γ_{G1,F1}(E)` derivable by re-aggregating
-/// `γ_{G2,F2}(E)` when `G1 ⊆ G2` and every call in `F1` appears in `F2`
-/// with a decomposable function.
-fn apply_aggregate_subsumption(memo: &mut Memo) {
-    let mut by_child: std::collections::HashMap<GroupId, Vec<(ExprId, AggSpec)>> =
-        std::collections::HashMap::new();
-    for e in memo.expr_ids().collect::<Vec<_>>() {
-        if let LogicalOp::Aggregate(spec) = &memo.expr(e).op {
-            let child = memo.find(memo.expr(e).children[0]);
-            by_child.entry(child).or_default().push((e, spec.clone()));
+/// Aggregate subsumption: pairs the frontier aggregate `e` against every
+/// sibling aggregation over the same input group, trying both derivation
+/// directions: `γ_{G1,F1}(E)` derivable by re-aggregating `γ_{G2,F2}(E)`
+/// when `G1 ⊆ G2` and every call in `F1` appears in `F2` with a
+/// decomposable function.
+fn subsume_aggregates_of(memo: &mut Memo, e: ExprId, pair_frontier: &[ExprId]) {
+    let child = memo.find(memo.children(e)[0]);
+    // Same pair-dedup as the select phase: a smaller-id sibling in the
+    // frontier already tried both derivation directions for this pair.
+    let siblings: Vec<ExprId> = memo
+        .group_parents(child)
+        .into_iter()
+        .filter(|&f| {
+            f != e
+                && !(f < e && pair_frontier.binary_search(&f).is_ok())
+                && matches!(memo.op(f), LogicalOp::Aggregate(_))
+                && memo.children(f)[0] == child
+        })
+        .collect();
+    for f in siblings {
+        if !memo.is_alive(e) {
+            return;
         }
-    }
-    for (_, aggs) in by_child {
-        for i in 0..aggs.len() {
-            for j in 0..aggs.len() {
-                if i == j {
-                    continue;
-                }
-                let (coarse_e, coarse) = &aggs[i];
-                let (fine_e, fine) = &aggs[j];
-                if memo.group_of(*coarse_e) == memo.group_of(*fine_e) {
-                    continue;
-                }
-                if !coarse.group_by.iter().all(|g| fine.group_by.contains(g)) {
-                    continue;
-                }
-                if coarse.group_by == fine.group_by {
-                    continue;
-                }
-                let derived: Option<Vec<AggCall>> = coarse
-                    .aggs
-                    .iter()
-                    .map(|call| {
-                        let fine_call = fine
-                            .aggs
-                            .iter()
-                            .find(|fc| fc.func == call.func && fc.input == call.input)?;
-                        let func = call.func.reaggregate()?;
-                        Some(AggCall {
-                            func,
-                            input: fine_call.output,
-                            output: call.output,
-                        })
-                    })
-                    .collect();
-                let Some(derived) = derived else { continue };
-                let fine_group = memo.group_of(*fine_e);
-                let coarse_group = memo.group_of(*coarse_e);
-                memo.insert(
-                    LogicalOp::Aggregate(AggSpec::new(coarse.group_by.clone(), derived)),
-                    vec![fine_group],
-                    Some(coarse_group),
-                );
-            }
+        if !memo.is_alive(f) {
+            continue;
         }
+        try_reaggregate(memo, e, f);
+        if !memo.is_alive(e) || !memo.is_alive(f) {
+            continue;
+        }
+        try_reaggregate(memo, f, e);
     }
+}
+
+/// Tries to derive the coarse aggregate `coarse_e` by re-aggregating the
+/// fine aggregate `fine_e`.
+fn try_reaggregate(memo: &mut Memo, coarse_e: ExprId, fine_e: ExprId) {
+    if memo.group_of(coarse_e) == memo.group_of(fine_e) {
+        return;
+    }
+    let (LogicalOp::Aggregate(coarse), LogicalOp::Aggregate(fine)) =
+        (memo.op(coarse_e), memo.op(fine_e))
+    else {
+        return;
+    };
+    if !coarse.group_by.iter().all(|g| fine.group_by.contains(g)) {
+        return;
+    }
+    if coarse.group_by == fine.group_by {
+        return;
+    }
+    let derived: Option<Vec<AggCall>> = coarse
+        .aggs
+        .iter()
+        .map(|call| {
+            let fine_call = fine
+                .aggs
+                .iter()
+                .find(|fc| fc.func == call.func && fc.input == call.input)?;
+            let func = call.func.reaggregate()?;
+            Some(AggCall {
+                func,
+                input: fine_call.output,
+                output: call.output,
+            })
+        })
+        .collect();
+    let Some(derived) = derived else { return };
+    let spec = AggSpec::new(coarse.group_by.clone(), derived);
+    let fine_group = memo.group_of(fine_e);
+    let coarse_group = memo.group_of(coarse_e);
+    memo.insert(
+        LogicalOp::Aggregate(spec),
+        vec![fine_group],
+        Some(coarse_group),
+    );
 }
 
 #[cfg(test)]
@@ -513,6 +769,7 @@ mod tests {
         // Chain of 3 without cross products: root should now contain both
         // (a⋈b)⋈c and a⋈(b⋈c).
         assert_eq!(after, 2);
+        memo.check_consistency();
     }
 
     #[test]
@@ -535,6 +792,7 @@ mod tests {
         assert_ne!(memo.find(r1), memo.find(r2));
         expand(&mut memo, &RuleSet::joins_only());
         assert_eq!(memo.find(r1), memo.find(r2), "roots must unify");
+        memo.check_consistency();
     }
 
     #[test]
@@ -545,7 +803,7 @@ mod tests {
         memo.insert_plan(&q);
         expand(&mut memo, &RuleSet::joins_only());
         for e in memo.expr_ids() {
-            if let LogicalOp::Join(p) = &memo.expr(e).op {
+            if let LogicalOp::Join(p) = memo.op(e) {
                 assert!(
                     !p.equi.is_empty(),
                     "cross-product join generated: {:?}",
@@ -571,11 +829,11 @@ mod tests {
         // Root group must now contain a Join expr (the pushed-down form).
         let has_join = memo
             .group_exprs(root)
-            .any(|e| matches!(memo.expr(e).op, LogicalOp::Join(_)));
+            .any(|e| matches!(memo.op(e), LogicalOp::Join(_)));
         assert!(has_join, "pushdown should add a join-rooted alternative");
         // And σ_{a_x=3}(a) must exist somewhere.
         let has_pushed = memo.expr_ids().any(|e| {
-            matches!(&memo.expr(e).op, LogicalOp::Select(p) if p == &sel
+            matches!(memo.op(e), LogicalOp::Select(p) if p == &sel
                 && memo.group_children(memo.group_of(e)).len() == 1)
         });
         assert!(has_pushed);
@@ -595,7 +853,7 @@ mod tests {
         expand(&mut memo, &RuleSet::joins_only());
         // The root group must contain a single-select form over the scan.
         let has_merged = memo.group_exprs(root).any(|e| {
-            if let LogicalOp::Select(p) = &memo.expr(e).op {
+            if let LogicalOp::Select(p) = memo.op(e) {
                 p.constraints.len() == 2
             } else {
                 false
@@ -618,15 +876,14 @@ mod tests {
         let _g2 = memo.insert_plan(&q2);
         expand(&mut memo, &RuleSet::default());
         let subsumer_pred = Predicate::on(ax, Constraint::in_list(vec![3, 5]));
-        let subsumer = memo.expr_ids().find_map(|e| match &memo.expr(e).op {
+        let subsumer = memo.expr_ids().find_map(|e| match memo.op(e) {
             LogicalOp::Select(p) if *p == subsumer_pred => Some(memo.group_of(e)),
             _ => None,
         });
         let subsumer = subsumer.expect("subsumer node must exist");
         // g1 must now have an expr reading from the subsumer group.
         let derives = memo.group_exprs(g1).any(|e| {
-            memo.expr(e)
-                .children
+            memo.children(e)
                 .iter()
                 .any(|&c| memo.find(c) == memo.find(subsumer))
         });
@@ -646,8 +903,7 @@ mod tests {
         let gl = memo.insert_plan(&loose);
         expand(&mut memo, &RuleSet::default());
         let derives = memo.group_exprs(gt).any(|e| {
-            memo.expr(e)
-                .children
+            memo.children(e)
                 .iter()
                 .any(|&c| memo.find(c) == memo.find(gl))
         });
@@ -683,8 +939,7 @@ mod tests {
         let gc = memo.insert_plan(&coarse);
         expand(&mut memo, &RuleSet::default());
         let derives = memo.group_exprs(gc).any(|e| {
-            memo.expr(e)
-                .children
+            memo.children(e)
                 .iter()
                 .any(|&c| memo.find(c) == memo.find(gf))
         });
@@ -736,9 +991,36 @@ mod tests {
                     && memo.group_exprs(g).count() > 0
                     && memo
                         .group_exprs(g)
-                        .all(|e| !matches!(memo.expr(e).op, LogicalOp::Scan(_)))
+                        .all(|e| !matches!(memo.op(e), LogicalOp::Scan(_)))
             })
             .expect("3-way subchain group");
         assert_eq!(memo.group_exprs(abc).count(), 2);
+    }
+
+    #[test]
+    fn expand_with_threads_matches_serial() {
+        // Smoke-level determinism check (the full differential suite lives
+        // in tests/memo_differential.rs): the memo after parallel
+        // generation is identical to the serial one.
+        for rules in [RuleSet::default(), RuleSet::joins_only()] {
+            let mut ctx1 = chain_ctx();
+            let q1 = chain3(&mut ctx1);
+            let mut serial = Memo::new(ctx1);
+            serial.insert_plan(&q1);
+            let s1 = expand_with(&mut serial, &rules, 1);
+
+            let mut ctx2 = chain_ctx();
+            let q2 = chain3(&mut ctx2);
+            let mut parallel = Memo::new(ctx2);
+            parallel.insert_plan(&q2);
+            let s2 = expand_with(&mut parallel, &rules, 4);
+
+            assert_eq!(s1.exprs, s2.exprs);
+            assert_eq!(s1.groups, s2.groups);
+            assert_eq!(s1.passes, s2.passes);
+            assert_eq!(s1.candidates, s2.candidates);
+            assert_eq!(serial.exprs_allocated(), parallel.exprs_allocated());
+            assert_eq!(serial.topo_view(), parallel.topo_view());
+        }
     }
 }

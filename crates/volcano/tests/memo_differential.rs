@@ -1,0 +1,178 @@
+//! Differential suite for parallel memo expansion: the memo produced by
+//! `expand_with(.., threads)` must be **identical** to the serial one at
+//! every thread count — same group/expression counts, same dense
+//! topological view (which pins group identities, adjacency, and order),
+//! and identical optimized physical plans for every query root.
+//!
+//! The generation phase reads a frozen snapshot and the commit phase is
+//! serial in frontier order, so this holds bit-for-bit by construction;
+//! these sweeps pin the contract on the real TPCD batched workloads and on
+//! seeded random instances.
+
+use mqo_submod::prng::Prng;
+use mqo_volcano::cost::DiskCostModel;
+use mqo_volcano::logical::PlanNode;
+use mqo_volcano::memo::Memo;
+use mqo_volcano::optimizer::{MatOverlay, Optimizer, PlanTable};
+use mqo_volcano::physical::SortOrder;
+use mqo_volcano::rules::{expand_with, ExpansionStats, RuleSet};
+use mqo_volcano::{Constraint, DagContext, GroupId, Predicate};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Builds a memo from `queries`, expands it with `threads` workers, and
+/// roots it.
+fn build(
+    ctx: DagContext,
+    queries: &[PlanNode],
+    rules: &RuleSet,
+    threads: usize,
+) -> (Memo, GroupId, Vec<GroupId>, ExpansionStats) {
+    let mut memo = Memo::new(ctx);
+    for q in queries {
+        let root = memo.insert_plan(q);
+        memo.add_query_root(root);
+    }
+    let stats = expand_with(&mut memo, rules, threads);
+    let root = memo.build_batch_root();
+    let roots = memo.roots();
+    (memo, root, roots, stats)
+}
+
+/// The optimized physical plan of every query root (no materializations),
+/// rendered to strings for comparison, plus the costs.
+fn optimized_plans(memo: &Memo, roots: &[GroupId]) -> Vec<(String, f64)> {
+    let cm = DiskCostModel::paper();
+    let opt = Optimizer::new(memo, &cm);
+    let overlay = MatOverlay::empty();
+    roots
+        .iter()
+        .map(|&r| {
+            let mut table = PlanTable::new();
+            let cost = opt.best_use_cost(r, &overlay, &mut table);
+            let plan = opt.extract_plan(r, &SortOrder::none(), &overlay, &mut table);
+            (format!("{plan:?}"), cost)
+        })
+        .collect()
+}
+
+/// Asserts the serial and `threads`-worker expansions of the same workload
+/// agree on everything observable.
+fn assert_identical(make: impl Fn() -> (DagContext, Vec<PlanNode>), rules: &RuleSet, label: &str) {
+    let (ctx, queries) = make();
+    let (serial, s_root, s_roots, s_stats) = build(ctx, &queries, rules, 1);
+    serial.check_consistency();
+    let s_topo = serial.topo_view();
+    let s_plans = optimized_plans(&serial, &s_roots);
+    for t in THREADS.into_iter().skip(1) {
+        let (ctx, queries) = make();
+        let (par, p_root, p_roots, p_stats) = build(ctx, &queries, rules, t);
+        par.check_consistency();
+        assert_eq!(
+            serial.exprs_allocated(),
+            par.exprs_allocated(),
+            "{label} threads={t}: allocated expression slots diverge"
+        );
+        assert_eq!(serial.n_exprs(), par.n_exprs(), "{label} threads={t}");
+        assert_eq!(serial.n_groups(), par.n_groups(), "{label} threads={t}");
+        assert_eq!(s_stats.passes, p_stats.passes, "{label} threads={t}");
+        assert_eq!(
+            s_stats.candidates, p_stats.candidates,
+            "{label} threads={t}"
+        );
+        assert_eq!(s_root, p_root, "{label} threads={t}: batch root diverges");
+        assert_eq!(s_roots, p_roots, "{label} threads={t}: query roots");
+        assert_eq!(
+            s_topo,
+            par.topo_view(),
+            "{label} threads={t}: TopoView diverges"
+        );
+        assert_eq!(
+            s_plans,
+            optimized_plans(&par, &p_roots),
+            "{label} threads={t}: optimized plans diverge"
+        );
+    }
+}
+
+#[test]
+fn tpcd_batches_expand_identically_at_every_thread_count() {
+    for i in [3usize, 4] {
+        for rules in [RuleSet::default(), RuleSet::joins_only()] {
+            assert_identical(
+                || {
+                    let w = mqo_tpcd::batched(i, 1.0);
+                    (w.ctx, w.queries)
+                },
+                &rules,
+                &format!("BQ{i}"),
+            );
+        }
+    }
+}
+
+/// A random-instance context: `k` tables with key/link/value columns.
+fn random_ctx(k: usize) -> DagContext {
+    let mut cat = mqo_catalog::Catalog::new();
+    for i in 0..k {
+        let rows = 500.0 * (i + 1) as f64;
+        cat.add_table(
+            mqo_catalog::TableBuilder::new(format!("t{i}"), rows)
+                .key_column(format!("t{i}_key"), 4)
+                .column(format!("t{i}_next"), rows, (0, rows as i64 - 1), 4)
+                .column(format!("t{i}_x"), 20.0, (0, 19), 4)
+                .primary_key(&[&format!("t{i}_key")])
+                .build(),
+        );
+    }
+    DagContext::new(cat)
+}
+
+/// A random chain query over tables `[lo, hi)` with optional selections
+/// (constants drawn from the rng, so repeated queries share subsumable
+/// predicates).
+fn random_chain(ctx: &mut DagContext, rng: &mut Prng, lo: usize, hi: usize) -> PlanNode {
+    let mut plan: Option<PlanNode> = None;
+    for i in lo..hi {
+        let inst = ctx.instance_by_name(&format!("t{i}"), 0);
+        let mut node = PlanNode::scan(inst);
+        if rng.gen_bool(0.5) {
+            let x = ctx.col(inst, &format!("t{i}_x"));
+            let c = rng.gen_range(0_i64..=3);
+            node = node.select(Predicate::on(x, Constraint::eq(c)));
+        }
+        plan = Some(match plan {
+            None => node,
+            Some(prev) => {
+                let a = ctx.instance_by_name(&format!("t{}", i - 1), 0);
+                let link = Predicate::join(
+                    ctx.col(a, &format!("t{}_next", i - 1)),
+                    ctx.col(inst, &format!("t{i}_key")),
+                );
+                prev.join(node, link)
+            }
+        });
+    }
+    plan.expect("non-empty chain")
+}
+
+#[test]
+fn random_instances_expand_identically_at_every_thread_count() {
+    let k = 5;
+    for case in 0..8u64 {
+        let seed = Prng::derive_seed(0x4D45_4D4F, case);
+        let make = || {
+            let mut rng = Prng::seed_from_u64(seed);
+            let mut ctx = random_ctx(k);
+            let n_queries = rng.gen_range(2_usize..=4);
+            let mut queries = Vec::with_capacity(n_queries);
+            for _ in 0..n_queries {
+                let lo = rng.gen_range(0_usize..=1);
+                let hi = rng.gen_range((lo + 2).min(k)..=k);
+                queries.push(random_chain(&mut ctx, &mut rng, lo, hi));
+            }
+            (ctx, queries)
+        };
+        assert_identical(make, &RuleSet::default(), &format!("random case {case}"));
+    }
+}

@@ -192,6 +192,70 @@ fn prop_overlay_monotone() {
     });
 }
 
+/// Hash-consing soundness: interning the same logical expression twice
+/// yields the same [`mqo_volcano::memo::ExprId`] (and allocates nothing),
+/// and structurally distinct expressions never collide — checked against a
+/// naive structural-equality oracle over every pair of live expressions,
+/// independent of the interner's own index.
+#[test]
+fn prop_hash_consing_sound() {
+    seeded_sweep("hash_consing_sound", SWEEP_SEED + 5, CASES, |rng| {
+        let k = rng.gen_range(2usize..5);
+        let cat = chain_catalog(k, 1000.0);
+        let mut ctx = DagContext::new(cat);
+        let n_queries = rng.gen_range(1usize..4);
+        let queries: Vec<PlanNode> = (0..n_queries)
+            .map(|_| {
+                let constant = rng.gen_range(0i64..3);
+                let sels = draw_sels(rng, k, constant);
+                chain_query(&mut ctx, k, &sels)
+            })
+            .collect();
+        let mut memo = Memo::new(ctx);
+        for q in &queries {
+            let r = memo.insert_plan(q);
+            memo.add_query_root(r);
+        }
+        expand(&mut memo, &RuleSet::default());
+        memo.check_consistency();
+
+        // Naive oracle: no two live expressions are structurally equal
+        // (same operator payload, same find-resolved children).
+        let ids: Vec<_> = memo.expr_ids().collect();
+        for (i, &e1) in ids.iter().enumerate() {
+            let c1: Vec<_> = memo.children(e1).iter().map(|&c| memo.find(c)).collect();
+            for &e2 in &ids[i + 1..] {
+                let c2: Vec<_> = memo.children(e2).iter().map(|&c| memo.find(c)).collect();
+                assert!(
+                    memo.op(e1) != memo.op(e2) || c1 != c2,
+                    "live exprs {e1:?} and {e2:?} are structurally identical"
+                );
+            }
+        }
+
+        // Re-interning every live expression is the identity: same ExprId
+        // through the probe, same group through insert, no new slots.
+        for &e in &ids {
+            let op = memo.op(e).clone();
+            let children = memo.children(e).to_vec();
+            assert_eq!(
+                memo.expr_id_of(&op, &children),
+                Some(e),
+                "probe of a live expr must return its own id"
+            );
+            let owner = memo.group_of(e);
+            let before = memo.exprs_allocated();
+            let g = memo.insert(op, children, None);
+            assert_eq!(g, owner, "re-insert must land on the owning group");
+            assert_eq!(
+                memo.exprs_allocated(),
+                before,
+                "re-insert must not allocate"
+            );
+        }
+    });
+}
+
 /// The disk cost model is monotone in blocks for every operator.
 #[test]
 fn prop_cost_model_monotone() {

@@ -12,11 +12,25 @@
 #   5. one smoke iteration of each bench target via the in-repo harness
 #
 # `scripts/verify.sh --bench-smoke` skips 1-4 and runs only the bench
-# smoke, additionally recording the bc_oracle throughput baseline
-# (including the sharded threads ∈ {1,2,4,8} series) to
-# BENCH_bc_oracle.json at the repo root.
+# smoke, additionally recording the bc_oracle and memo_expand throughput
+# baselines (both carrying per-series `threads` fields) to
+# BENCH_bc_oracle.json / BENCH_memo_expand.json at the repo root. Any
+# BENCH_*.json baseline missing a `threads` field fails the run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+check_bench_baselines() {
+    # Every recorded baseline must carry the `threads` field, so the
+    # serial-vs-parallel provenance of a number is never ambiguous.
+    local f
+    for f in BENCH_*.json; do
+        [[ -e "$f" ]] || continue
+        if ! grep -q '"threads"' "$f"; then
+            echo "ERROR: $f is missing the \"threads\" field" >&2
+            exit 1
+        fi
+    done
+}
 
 bench_smoke() {
     local record="${1:-}"
@@ -28,9 +42,14 @@ bench_smoke() {
         echo "==> bc_oracle (3 samples, recording BENCH_bc_oracle.json)"
         MQO_BENCH_SAMPLES=3 MQO_BENCH_JSON="$PWD/BENCH_bc_oracle.json" \
             cargo bench --offline -q -p mqo-bench --bench bc_oracle
+        echo "==> memo_expand (3 samples, recording BENCH_memo_expand.json)"
+        MQO_BENCH_SAMPLES=3 MQO_BENCH_JSON="$PWD/BENCH_memo_expand.json" \
+            cargo bench --offline -q -p mqo-bench --bench memo_expand
     else
         MQO_BENCH_SAMPLES=1 cargo bench --offline -q -p mqo-bench --bench bc_oracle
+        MQO_BENCH_SAMPLES=1 cargo bench --offline -q -p mqo-bench --bench memo_expand
     fi
+    check_bench_baselines
 }
 
 if [[ "${1:-}" == "--bench-smoke" ]]; then
@@ -41,10 +60,13 @@ fi
 echo "==> cargo build --release --offline"
 cargo build --release --offline
 
-echo "==> cargo test -q --offline (MQO_THREADS=1, serial oracle)"
+# The two full-suite runs below are what executes the differential
+# suites (engine_differential, memo_differential) under both thread
+# settings — parallel ≡ serial bit-identity is pinned on every run.
+echo "==> cargo test -q --offline (MQO_THREADS=1: serial oracle + expansion, incl. differential suites)"
 MQO_THREADS=1 cargo test -q --offline
 
-echo "==> cargo test -q --offline (MQO_THREADS=4, sharded bc_many)"
+echo "==> cargo test -q --offline (MQO_THREADS=4: sharded bc_many + parallel expansion, incl. differential suites)"
 MQO_THREADS=4 cargo test -q --offline
 
 echo "==> cargo build --all-targets --offline (examples, benches, bins)"
