@@ -6,7 +6,7 @@
 //!   (Section 5.1 / Roy et al.'s incremental recomputation),
 //! * `batched` — `bc_many`, evaluating a whole greedy round's candidates
 //!   against one shared base,
-//! * `sharded` — `bc_many` with `EngineConfig::threads` ∈ {1, 2, 4, 8}:
+//! * `sharded` — `bc_many` with `MqoConfig::threads` ∈ {1, 2, 4, 8}:
 //!   the same batched schedule fanned out over scoped worker threads,
 //!   each with its own `EngineScratch` over the shared arenas
 //!   (bit-identical values; only the wall-clock changes).
@@ -23,7 +23,7 @@
 use std::time::Instant;
 
 use mqo_core::batch::BatchDag;
-use mqo_core::engine::{BestCostEngine, EngineConfig};
+use mqo_core::engine::{BestCostEngine, MqoConfig};
 use mqo_submod::bitset::BitSet;
 use mqo_volcano::cost::DiskCostModel;
 use mqo_volcano::rules::RuleSet;
@@ -121,11 +121,11 @@ fn main() {
     let mut results: Vec<ModeResult> = Vec::new();
     for (mode, threads) in modes {
         let mut engine = BestCostEngine::with_config(
-            &batch.memo,
+            batch.memo(),
             &cm,
-            batch.root,
-            &batch.shareable,
-            EngineConfig {
+            batch.root(),
+            batch.shareable(),
+            MqoConfig {
                 force_full: mode == "full",
                 threads: threads.max(1),
                 ..Default::default()

@@ -8,7 +8,7 @@
 use mqo_bench::timing::{bench_id, BenchGroup};
 use mqo_core::batch::BatchDag;
 use mqo_core::benefit::MbFunction;
-use mqo_core::engine::{BestCostEngine, EngineConfig};
+use mqo_core::engine::{BestCostEngine, MqoConfig};
 use mqo_submod::algorithms::greedy::{greedy, Config as GreedyConfig};
 use mqo_submod::bitset::BitSet;
 use mqo_submod::function::SetFunction;
@@ -25,7 +25,8 @@ fn bench_incremental_vs_full() {
         for force_full in [false, true] {
             let label = if force_full { "full" } else { "incremental" };
             group.bench(bench_id(label, format!("BQ{i}")), || {
-                let engine = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
+                let engine =
+                    BestCostEngine::new(batch.memo(), &cm, batch.root(), batch.shareable());
                 let mb = MbFunction::new(engine);
                 mb.set_force_full(force_full);
                 let n = mb.universe();
@@ -45,13 +46,13 @@ fn bench_engine_compile() {
         let cm = DiskCostModel::paper();
         // Fresh: every compile rebuilds the TopoView and its own scratch.
         group.bench(bench_id("fresh", format!("BQ{i}")), || {
-            BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable)
+            BestCostEngine::new(batch.memo(), &cm, batch.root(), batch.shareable())
         });
         // Cached: recompiles through the batch's shared CompileCache — the
-        // arena-reuse path `strategies::optimize_with` takes (the TopoView
+        // arena-reuse path every `OptimizedBatch::run` takes (the TopoView
         // is computed once and all compile scratch buffers are recycled).
         group.bench(bench_id("cached", format!("BQ{i}")), || {
-            batch.compile_engine(&cm, EngineConfig::default())
+            batch.compile_engine(&cm, MqoConfig::default())
         });
     }
     group.finish();

@@ -55,8 +55,8 @@ fn run_series(i: usize, threads: usize, samples: usize) -> SeriesResult {
         let t0 = Instant::now();
         let batch = BatchDag::build_with_threads(w.ctx, &w.queries, &RuleSet::default(), threads);
         best_secs = best_secs.min(t0.elapsed().as_secs_f64());
-        exprs = batch.expansion.exprs;
-        groups = batch.expansion.groups;
+        exprs = batch.expansion().exprs;
+        groups = batch.expansion().groups;
         std::hint::black_box(batch);
     }
     SeriesResult {

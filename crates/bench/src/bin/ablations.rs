@@ -11,7 +11,7 @@
 //!    vs an inflated one — achieved benefit comparison.
 //! 6. **Cleanup extension**: how far the workload's `mb` deviates from the
 //!    submodularity assumption.
-//! 7. **Rebase threshold** (`EngineConfig`): identical answers across
+//! 7. **Rebase threshold** (`MqoConfig`): identical answers across
 //!    thresholds; the default of 4 balances overlay size against full
 //!    recomputations.
 
@@ -19,8 +19,9 @@ use std::time::Instant;
 
 use mqo_core::batch::BatchDag;
 use mqo_core::benefit::MbFunction;
-use mqo_core::engine::{BestCostEngine, EngineConfig};
-use mqo_core::strategies::{optimize, optimize_with, Strategy};
+use mqo_core::engine::{BestCostEngine, MqoConfig};
+use mqo_core::session::Session;
+use mqo_core::strategies::Strategy;
 use mqo_submod::algorithms::lazy::lazy_marginal_greedy;
 use mqo_submod::algorithms::marginal_greedy::{marginal_greedy, Config};
 use mqo_submod::bitset::BitSet;
@@ -36,7 +37,7 @@ fn main() {
     for i in [3usize, 5] {
         let w = mqo_tpcd::batched(i, 1.0);
         let batch = BatchDag::build(w.ctx, &w.queries, &RuleSet::default());
-        let engine = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
+        let engine = BestCostEngine::new(batch.memo(), &cm, batch.root(), batch.shareable());
         let mb = MbFunction::new(engine);
         let n = mb.universe();
         let d = mb.canonical_decomposition();
@@ -68,12 +69,17 @@ fn main() {
         let mut times = Vec::new();
         let mut costs = Vec::new();
         for force_full in [false, true] {
-            let config = EngineConfig {
+            let config = MqoConfig {
                 force_full,
                 ..Default::default()
             };
-            let engine =
-                BestCostEngine::with_config(&batch.memo, &cm, batch.root, &batch.shareable, config);
+            let engine = BestCostEngine::with_config(
+                batch.memo(),
+                &cm,
+                batch.root(),
+                batch.shareable(),
+                config,
+            );
             let mb = MbFunction::new(engine);
             let n = mb.universe();
             let d = mb.canonical_decomposition();
@@ -94,23 +100,19 @@ fn main() {
     println!("\n== 4. Theorem 4 universe reduction under cardinality constraints ==");
     for k in [2usize, 4] {
         let w = mqo_tpcd::batched(4, 1.0);
-        let batch = BatchDag::build(w.ctx, &w.queries, &RuleSet::default());
-        let with = optimize(
-            &batch,
-            &cm,
-            Strategy::CardinalityMarginalGreedy {
-                k,
-                reduce_universe: true,
-            },
-        );
-        let without = optimize(
-            &batch,
-            &cm,
-            Strategy::CardinalityMarginalGreedy {
-                k,
-                reduce_universe: false,
-            },
-        );
+        let session = Session::builder()
+            .context(w.ctx)
+            .queries(w.queries)
+            .cost_model(cm)
+            .build();
+        let with = session.run(Strategy::CardinalityMarginalGreedy {
+            k,
+            reduce_universe: true,
+        });
+        let without = session.run(Strategy::CardinalityMarginalGreedy {
+            k,
+            reduce_universe: false,
+        });
         assert_eq!(with.materialized, without.materialized);
         println!(
             "BQ4, k={k}: cost {:.0} with reduction == {:.0} without (Theorem 4 verified)",
@@ -122,7 +124,7 @@ fn main() {
     {
         let w = mqo_tpcd::batched(4, 1.0);
         let batch = BatchDag::build(w.ctx, &w.queries, &RuleSet::default());
-        let engine = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
+        let engine = BestCostEngine::new(batch.memo(), &cm, batch.root(), batch.shareable());
         let mb = MbFunction::new(engine);
         let n = mb.universe();
         let full = BitSet::full(n);
@@ -142,9 +144,13 @@ fn main() {
     println!("\n== 6. Cleanup extension (submodularity-violation probe) ==");
     for name in ["Q11", "Q15"] {
         let w = mqo_tpcd::standalone(name, 1.0);
-        let batch = BatchDag::build(w.ctx, &w.queries, &RuleSet::default());
-        let plain = optimize(&batch, &cm, Strategy::MarginalGreedy);
-        let cleaned = optimize(&batch, &cm, Strategy::MarginalGreedyCleanup);
+        let session = Session::builder()
+            .context(w.ctx)
+            .queries(w.queries)
+            .cost_model(cm)
+            .build();
+        let plain = session.run(Strategy::MarginalGreedy);
+        let cleaned = session.run(Strategy::MarginalGreedyCleanup);
         println!(
             "{name}: MarginalGreedy {:.0} → +cleanup {:.0} ({} → {} materialized)",
             plain.total_cost,
@@ -154,22 +160,26 @@ fn main() {
         );
     }
 
-    println!("\n== 7. Rebase threshold (EngineConfig) ==");
+    println!("\n== 7. Rebase threshold (MqoConfig) ==");
     {
         let w = mqo_tpcd::batched(4, 1.0);
-        let batch = BatchDag::build(w.ctx, &w.queries, &RuleSet::default());
-        let reference = optimize(&batch, &cm, Strategy::Greedy);
+        let session = Session::builder()
+            .context(w.ctx)
+            .queries(w.queries)
+            .cost_model(cm)
+            .build();
+        let reference = session.run(Strategy::Greedy);
         for threshold in [0usize, 2, 8, usize::MAX] {
             // threads pinned to 1: this ablation isolates the rebase
             // threshold, so an exported MQO_THREADS must not confound the
             // timings with thread-spawn overhead.
-            let config = EngineConfig {
+            let config = MqoConfig {
                 rebase_threshold: threshold,
                 force_full: false,
                 threads: 1,
             };
             let t0 = Instant::now();
-            let r = optimize_with(&batch, &cm, Strategy::Greedy, config);
+            let r = session.run_with(Strategy::Greedy, config);
             let dt = t0.elapsed();
             assert!((r.total_cost - reference.total_cost).abs() < 1e-6);
             assert_eq!(r.materialized, reference.materialized);

@@ -6,9 +6,8 @@
 //! 460 in total; sharing `B ⋈ C` brings the consolidated cost to 370.
 
 use mqo_catalog::{Catalog, TableBuilder};
-use mqo_core::batch::BatchDag;
-use mqo_core::consolidated::ConsolidatedPlan;
-use mqo_core::strategies::{optimize, Strategy};
+use mqo_core::session::Session;
+use mqo_core::strategies::Strategy;
 use mqo_volcano::cost::UnitCostModel;
 use mqo_volcano::rules::RuleSet;
 use mqo_volcano::{DagContext, PlanNode, Predicate};
@@ -40,11 +39,15 @@ fn main() {
         .join(PlanNode::scan(c), p_bc)
         .join(PlanNode::scan(d), p_bd);
 
-    let batch = BatchDag::build(ctx, &[q1, q2], &RuleSet::joins_only());
-    let cm = UnitCostModel;
+    let session = Session::builder()
+        .context(ctx)
+        .queries([q1, q2])
+        .rules(RuleSet::joins_only())
+        .cost_model(UnitCostModel)
+        .build();
 
-    let volcano = optimize(&batch, &cm, Strategy::Volcano);
-    let marginal = optimize(&batch, &cm, Strategy::MarginalGreedy);
+    let volcano = session.run(Strategy::Volcano);
+    let marginal = session.run(Strategy::MarginalGreedy);
 
     println!("Example 1 (Figure 1):");
     println!(
@@ -59,6 +62,8 @@ fn main() {
     assert_eq!(marginal.total_cost, 370.0);
     assert_eq!(marginal.materialized.len(), 1);
 
-    let plan = ConsolidatedPlan::extract(&batch, &cm, &marginal.materialized);
-    println!("\nConsolidated plan:\n{}", plan.render(&batch));
+    println!(
+        "\nConsolidated plan:\n{}",
+        marginal.plan.render(session.batch())
+    );
 }

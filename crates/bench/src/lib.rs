@@ -12,8 +12,8 @@ pub mod timing;
 
 use std::time::Duration;
 
-use mqo_core::batch::BatchDag;
-use mqo_core::strategies::{optimize, RunReport, Strategy};
+use mqo_core::session::Session;
+use mqo_core::strategies::{RunReport, Strategy};
 use mqo_tpcd::Workload;
 use mqo_volcano::cost::{CostModel, DiskCostModel};
 use mqo_volcano::rules::RuleSet;
@@ -37,18 +37,26 @@ pub struct ExperimentRow {
     pub reports: Vec<RunReport>,
 }
 
-/// Builds the combined DAG for a workload and optimizes it with each
-/// strategy.
-pub fn run_workload(w: Workload, cm: &dyn CostModel, strategies: &[Strategy]) -> ExperimentRow {
-    let batch = BatchDag::build(w.ctx, &w.queries, &RuleSet::default());
-    let reports = strategies
-        .iter()
-        .map(|&s| optimize(&batch, cm, s))
-        .collect();
+/// Builds a `Session` for a workload and optimizes it with each strategy.
+pub fn run_workload(
+    w: Workload,
+    cm: impl CostModel + 'static,
+    strategies: &[Strategy],
+) -> ExperimentRow {
+    let session = Session::builder()
+        .context(w.ctx)
+        .queries(w.queries)
+        .rules(RuleSet::default())
+        .cost_model(cm)
+        .build();
+    let reports = session.run_all(strategies);
     ExperimentRow {
         workload: w.name,
-        universe: batch.universe_size(),
-        dag_size: (batch.expansion.groups, batch.expansion.exprs),
+        universe: session.universe_size(),
+        dag_size: (
+            session.batch().expansion().groups,
+            session.batch().expansion().exprs,
+        ),
         reports,
     }
 }
@@ -56,13 +64,7 @@ pub fn run_workload(w: Workload, cm: &dyn CostModel, strategies: &[Strategy]) ->
 /// Runs Experiment 1 (Figure 4) at the given scale factor.
 pub fn experiment1(sf: f64, strategies: &[Strategy]) -> Vec<ExperimentRow> {
     (1..=6)
-        .map(|i| {
-            run_workload(
-                mqo_tpcd::batched(i, sf),
-                &DiskCostModel::paper(),
-                strategies,
-            )
-        })
+        .map(|i| run_workload(mqo_tpcd::batched(i, sf), DiskCostModel::paper(), strategies))
         .collect()
 }
 
@@ -73,7 +75,7 @@ pub fn experiment2(sf: f64, strategies: &[Strategy]) -> Vec<ExperimentRow> {
         .map(|name| {
             run_workload(
                 mqo_tpcd::standalone(name, sf),
-                &DiskCostModel::paper(),
+                DiskCostModel::paper(),
                 strategies,
             )
         })
@@ -138,7 +140,7 @@ mod tests {
     fn experiment1_bq1_runs() {
         let row = run_workload(
             mqo_tpcd::batched(1, 1.0),
-            &DiskCostModel::paper(),
+            DiskCostModel::paper(),
             &PAPER_STRATEGIES,
         );
         assert_eq!(row.workload, "BQ1");
@@ -154,7 +156,7 @@ mod tests {
     fn experiment2_q15_halves_cost() {
         let row = run_workload(
             mqo_tpcd::standalone("Q15", 1.0),
-            &DiskCostModel::paper(),
+            DiskCostModel::paper(),
             &PAPER_STRATEGIES,
         );
         let volcano = row.reports[0].total_cost;

@@ -9,36 +9,41 @@
 //! scans and the root — form the ground set the MQO algorithms search over
 //! ("it is sufficient to search only over the set of shareable equivalence
 //! nodes").
+//!
+//! A `BatchDag` is immutable once built: the memo is frozen behind
+//! accessors, so the lazily computed [`TopoView`] can never go stale (the
+//! pre-`Session` API exposed the memo as a public field and had to guard
+//! the view with a runtime fingerprint assertion).
 
 use std::sync::{Arc, Mutex, OnceLock};
 
 use mqo_volcano::cost::CostModel;
 use mqo_volcano::logical::LogicalOp;
 use mqo_volcano::memo::{GroupId, Memo, TopoView};
-use mqo_volcano::rules::{expand_threads_from_env, expand_with, ExpansionStats, RuleSet};
+use mqo_volcano::rules::{expand_with, ExpansionStats, RuleSet};
 use mqo_volcano::{DagContext, PlanNode};
 
-use crate::engine::{BestCostEngine, CompileCache, EngineConfig};
+use crate::config::MqoConfig;
+use crate::engine::{BestCostEngine, CompileCache};
 
-/// A fully expanded combined DAG for a batch of queries.
+/// A fully expanded combined DAG for a batch of queries. Owned by a
+/// [`crate::session::OptimizedBatch`] in the `Session` API; constructed
+/// directly only by benchmarks and tests that measure the build itself.
 #[derive(Debug)]
 pub struct BatchDag {
-    /// The expanded memo.
-    pub memo: Memo,
+    /// The expanded memo (frozen after construction).
+    memo: Memo,
     /// The dummy batch root.
-    pub root: GroupId,
+    root: GroupId,
     /// Root group of each query, in submission order.
-    pub query_roots: Vec<GroupId>,
-    /// The shareable equivalence nodes (the MQO ground set); index order is
-    /// the universe element order used by the set-function layer.
-    pub shareable: Vec<GroupId>,
+    query_roots: Vec<GroupId>,
+    /// The shareable equivalence nodes (the MQO ground set), ascending;
+    /// index order is the universe element order of the set-function layer.
+    shareable: Vec<GroupId>,
     /// Expansion statistics.
-    pub expansion: ExpansionStats,
-    /// Lazily computed dense topological view of the (frozen) memo, plus
-    /// the memo fingerprint it was built from — every access re-checks the
-    /// fingerprint, so mutating the pub `memo` field after the view exists
-    /// fails loudly instead of serving stale topology.
-    topo: OnceLock<(Arc<TopoView>, (usize, usize, usize))>,
+    expansion: ExpansionStats,
+    /// Lazily computed dense topological view of the frozen memo.
+    topo: OnceLock<Arc<TopoView>>,
     /// Reusable engine-compilation state shared by every
     /// [`BatchDag::compile_engine`] call on this batch.
     engine_cache: Mutex<CompileCache>,
@@ -46,10 +51,11 @@ pub struct BatchDag {
 
 impl BatchDag {
     /// Builds, expands, and roots the combined DAG for `queries`. Candidate
-    /// generation in the expansion fixpoint uses the `MQO_THREADS`
-    /// environment default (see [`BatchDag::build_with_threads`]).
+    /// generation in the expansion fixpoint uses
+    /// [`MqoConfig::default`]'s thread count (the `MQO_THREADS`
+    /// environment default); see [`BatchDag::build_with_threads`].
     pub fn build(ctx: DagContext, queries: &[PlanNode], rules: &RuleSet) -> Self {
-        Self::build_with_threads(ctx, queries, rules, expand_threads_from_env())
+        Self::build_with_threads(ctx, queries, rules, MqoConfig::default().threads)
     }
 
     /// [`BatchDag::build`] with an explicit worker-thread count for the
@@ -82,17 +88,48 @@ impl BatchDag {
         }
     }
 
+    /// The expanded (frozen) memo.
+    pub fn memo(&self) -> &Memo {
+        &self.memo
+    }
+
+    /// The dummy batch root group.
+    pub fn root(&self) -> GroupId {
+        self.root
+    }
+
+    /// Root group of each query, in submission order.
+    pub fn query_roots(&self) -> &[GroupId] {
+        &self.query_roots
+    }
+
+    /// The shareable equivalence nodes (the MQO ground set), ascending by
+    /// group id; index `e` is universe element `e` of the set-function
+    /// layer.
+    pub fn shareable(&self) -> &[GroupId] {
+        &self.shareable
+    }
+
+    /// Universe element of a shareable group, if it is one (accepts
+    /// non-canonical ids).
+    pub fn shareable_index(&self, g: GroupId) -> Option<usize> {
+        self.shareable.binary_search(&self.memo.find(g)).ok()
+    }
+
+    /// Expansion statistics of the build.
+    pub fn expansion(&self) -> &ExpansionStats {
+        &self.expansion
+    }
+
     /// Number of shareable nodes (the `n` of the paper's analysis).
     pub fn universe_size(&self) -> usize {
         self.shareable.len()
     }
 
     /// The dense topological view of the expanded memo, computed once and
-    /// shared by every consumer (engine compilation, diagnostics). The
-    /// memo must not be mutated after the first call — that is asserted
-    /// via the fingerprint recorded at computation time (otherwise
-    /// `compile_engine`'s `prime_topo` would stamp a stale view with a
-    /// fresh signature and silently compile wrong topology).
+    /// shared by every consumer (engine compilation, plan extraction,
+    /// diagnostics). Safe to cache without revalidation: the memo is
+    /// frozen behind `&self` accessors after construction.
     pub fn topo_view(&self) -> &TopoView {
         self.topo_arc()
     }
@@ -100,26 +137,16 @@ impl BatchDag {
     /// The shared handle behind [`BatchDag::topo_view`] (compiled engines
     /// hold clones of this `Arc`, so no arena is ever copied).
     fn topo_arc(&self) -> &Arc<TopoView> {
-        let (view, sig) = self.topo.get_or_init(|| {
-            (
-                Arc::new(self.memo.topo_view()),
-                CompileCache::signature(&self.memo),
-            )
-        });
-        assert_eq!(
-            *sig,
-            CompileCache::signature(&self.memo),
-            "BatchDag::memo was mutated after its TopoView was computed"
-        );
-        view
+        self.topo.get_or_init(|| Arc::new(self.memo.topo_view()))
     }
 
     /// Compiles a [`BestCostEngine`] for this batch through the shared
     /// [`CompileCache`]: the first compile seeds the cache with
     /// [`BatchDag::topo_view`], and every recompile (e.g.
-    /// `strategies::compare` building one engine per strategy) skips the
-    /// topological sort and reuses the compile scratch buffers.
-    pub fn compile_engine(&self, cm: &dyn CostModel, config: EngineConfig) -> BestCostEngine {
+    /// [`crate::session::OptimizedBatch::run_all`] building one engine per
+    /// strategy) skips the topological sort and reuses the compile scratch
+    /// buffers.
+    pub fn compile_engine(&self, cm: &dyn CostModel, config: MqoConfig) -> BestCostEngine {
         let mut cache = self.engine_cache.lock().expect("engine cache poisoned");
         cache.prime_topo(&self.memo, self.topo_arc());
         BestCostEngine::with_cache(
@@ -134,41 +161,57 @@ impl BatchDag {
 }
 
 /// Shareable nodes: reachable from the batch root, with at least two
-/// distinct live parent operator nodes, excluding bare scans (materializing
-/// a base relation is never useful — it already resides on disk) and the
-/// root itself.
+/// references from live parent operator nodes, excluding bare scans
+/// (materializing a base relation is never useful — it already resides on
+/// disk) and the root itself. References are counted with multiplicity:
+/// one parent expression can reference the group twice (e.g. the batch
+/// root when the same query is submitted twice, or a self-join of a shared
+/// view).
+///
+/// Allocation-light by construction: one pass over the live expression
+/// arena accumulates reference counts into a flat per-slot buffer, and one
+/// DFS over group children marks reachability — no per-group parent-list
+/// vectors (the pre-`Session` implementation called
+/// `Memo::group_parents(g)`, which allocates and sorts a `Vec`, for every
+/// reachable group).
 fn find_shareable(memo: &Memo, root: GroupId) -> Vec<GroupId> {
-    let mut reachable = memo.reachable(root);
-    reachable.sort_unstable();
-    reachable
-        .into_iter()
-        .filter(|&g| {
-            if g == root {
-                return false;
-            }
+    let n_slots = memo.n_group_slots();
+    let root = memo.find(root);
+
+    // Pass 1: reference counts, with multiplicity, over all live exprs.
+    let mut refs = vec![0u32; n_slots];
+    for e in memo.expr_ids() {
+        for &c in memo.children(e) {
+            refs[memo.find(c).0 as usize] += 1;
+        }
+    }
+
+    // Pass 2: DFS reachability from the batch root, filtering as we go.
+    let mut seen = vec![false; n_slots];
+    let mut stack = vec![root];
+    seen[root.0 as usize] = true;
+    let mut out = Vec::new();
+    while let Some(g) = stack.pop() {
+        if g != root && refs[g.0 as usize] >= 2 {
             let is_bare_scan = memo
                 .group_exprs(g)
                 .all(|e| matches!(memo.op(e), LogicalOp::Scan(_)));
-            if is_bare_scan {
-                return false;
+            if !is_bare_scan {
+                out.push(g);
             }
-            // Shareability needs >= 2 references, counted with multiplicity:
-            // one parent expression can reference the group twice (e.g. the
-            // batch root when the same query is submitted twice, or a
-            // self-join of a shared view).
-            let references: usize = memo
-                .group_parents(g)
-                .into_iter()
-                .map(|e| {
-                    memo.children(e)
-                        .iter()
-                        .filter(|&&c| memo.find(c) == g)
-                        .count()
-                })
-                .sum();
-            references >= 2
-        })
-        .collect()
+        }
+        for e in memo.group_exprs(g) {
+            for &c in memo.children(e) {
+                let c = memo.find(c);
+                if !seen[c.0 as usize] {
+                    seen[c.0 as usize] = true;
+                    stack.push(c);
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
 }
 
 #[cfg(test)]
@@ -220,9 +263,9 @@ mod tests {
         let mut ctx = ctx();
         let queries = example1_queries(&mut ctx);
         let batch = BatchDag::build(ctx, &queries, &RuleSet::joins_only());
-        assert_eq!(batch.query_roots.len(), 2);
-        assert_ne!(batch.query_roots[0], batch.query_roots[1]);
-        let root_children = batch.memo.group_children(batch.root);
+        assert_eq!(batch.query_roots().len(), 2);
+        assert_ne!(batch.query_roots()[0], batch.query_roots()[1]);
+        let root_children = batch.memo().group_children(batch.root());
         assert_eq!(root_children.len(), 2);
     }
 
@@ -233,8 +276,8 @@ mod tests {
         let batch = BatchDag::build(ctx, &queries, &RuleSet::joins_only());
         // The B⋈C group is a child of joins in both queries: must be in the
         // shareable universe.
-        let bc = batch.shareable.iter().copied().find(|&g| {
-            let leaves = &batch.memo.props(g).leaves;
+        let bc = batch.shareable().iter().copied().find(|&g| {
+            let leaves = &batch.memo().props(g).leaves;
             leaves.len() == 2
         });
         assert!(bc.is_some(), "B⋈C (a 2-leaf group) must be shareable");
@@ -245,12 +288,12 @@ mod tests {
         let mut ctx = ctx();
         let queries = example1_queries(&mut ctx);
         let batch = BatchDag::build(ctx, &queries, &RuleSet::joins_only());
-        assert!(!batch.shareable.contains(&batch.root));
-        for &g in &batch.shareable {
+        assert!(!batch.shareable().contains(&batch.root()));
+        for &g in batch.shareable() {
             let all_scans = batch
-                .memo
+                .memo()
                 .group_exprs(g)
-                .all(|e| matches!(batch.memo.expr(e).op, LogicalOp::Scan(_)));
+                .all(|e| matches!(batch.memo().expr(e).op, LogicalOp::Scan(_)));
             assert!(!all_scans, "bare scan group {g:?} must not be shareable");
         }
     }
@@ -274,9 +317,9 @@ mod tests {
         let _ = akey;
         let batch = BatchDag::build(ctx, &[q1, q2], &RuleSet::default());
         // The subsumer σ_{x∈{3,5}}(a) has two derivation parents: shareable.
-        let has_subsumer = batch.shareable.iter().any(|&g| {
-            batch.memo.group_exprs(g).any(|e| {
-                matches!(&batch.memo.expr(e).op, LogicalOp::Select(p)
+        let has_subsumer = batch.shareable().iter().any(|&g| {
+            batch.memo().group_exprs(g).any(|e| {
+                matches!(&batch.memo().expr(e).op, LogicalOp::Select(p)
                     if p.constraints.values().any(|c| c.in_list.as_ref().is_some_and(|v| v.len() == 2)))
             })
         });
@@ -284,29 +327,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "mutated after its TopoView")]
-    fn topo_view_rejects_post_build_memo_mutation() {
+    fn shareable_index_maps_groups_to_universe_elements() {
         let mut ctx = ctx();
-        let a = ctx.instance_by_name("a", 0);
-        let b = ctx.instance_by_name("b", 0);
-        let ax = ctx.col(a, "a_x");
-        let p_ab = Predicate::join(ctx.col(a, "a_key"), ctx.col(b, "b_fk"));
-        let q = PlanNode::scan(a)
-            .select(Predicate::on(ax, Constraint::eq(3)))
-            .join(PlanNode::scan(b), p_ab);
-        let mut batch = BatchDag::build(ctx, &[q], &RuleSet::default());
-        let _ = batch.topo_view();
-        // Mutating the pub memo field after the view exists must fail
-        // loudly on the next access (a stale view handed to prime_topo
-        // would otherwise be stamped with a fresh signature and compiled
-        // against silently).
-        let scan_a = batch.memo.insert(LogicalOp::Scan(a), vec![], None);
-        batch.memo.insert(
-            LogicalOp::Select(Predicate::on(ax, Constraint::eq(7))),
-            vec![scan_a],
-            None,
-        );
-        let _ = batch.topo_view();
+        let queries = example1_queries(&mut ctx);
+        let batch = BatchDag::build(ctx, &queries, &RuleSet::default());
+        for (e, &g) in batch.shareable().iter().enumerate() {
+            assert_eq!(batch.shareable_index(g), Some(e));
+        }
+        assert_eq!(batch.shareable_index(batch.root()), None);
     }
 
     #[test]
@@ -317,6 +345,6 @@ mod tests {
         let mut ctx2 = ctx();
         let q2 = example1_queries(&mut ctx2);
         let b2 = BatchDag::build(ctx2, &q2, &RuleSet::default());
-        assert_eq!(b1.shareable, b2.shareable);
+        assert_eq!(b1.shareable(), b2.shareable());
     }
 }

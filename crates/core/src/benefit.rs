@@ -13,7 +13,7 @@ use mqo_submod::bitset::BitSet;
 use mqo_submod::decompose::Decomposition;
 use mqo_submod::function::SetFunction;
 
-use crate::engine::{BestCostEngine, EngineConfig};
+use crate::engine::{BestCostEngine, MqoConfig};
 
 /// `mb(S) = bc(∅) − bc(S)` with oracle-call counting.
 pub struct MbFunction {
@@ -74,14 +74,14 @@ impl MbFunction {
     }
 
     /// Sets the worker-thread count for sharded batched evaluation
-    /// ([`crate::engine::EngineConfig::threads`]): `1` serial, `0` auto.
+    /// ([`crate::engine::MqoConfig::threads`]): `1` serial, `0` auto.
     /// Values are bit-identical at every setting.
     pub fn set_threads(&self, threads: usize) {
         self.engine.borrow_mut().config.threads = threads;
     }
 
     /// Replaces the engine's evaluation configuration.
-    pub fn set_config(&self, config: EngineConfig) {
+    pub fn set_config(&self, config: MqoConfig) {
         self.engine.borrow_mut().config = config;
     }
 
@@ -167,7 +167,7 @@ mod tests {
 
     fn mb_of(batch: &BatchDag) -> MbFunction {
         let cm = DiskCostModel::paper();
-        let engine = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
+        let engine = BestCostEngine::new(batch.memo(), &cm, batch.root(), batch.shareable());
         MbFunction::new(engine)
     }
 

@@ -1,0 +1,94 @@
+//! The unified MQO configuration.
+//!
+//! One [`MqoConfig`] drives the whole pipeline a [`crate::Session`] owns:
+//! the expansion fixpoint's candidate-generation fan-out, the compiled
+//! `bestCost` oracle's evaluation strategy (rebase threshold, ablation
+//! switch), and the sharded batched evaluation. It absorbs what used to be
+//! `EngineConfig` plus the expansion thread count, so the `MQO_THREADS`
+//! environment variable is read in exactly one place:
+//! [`MqoConfig::default`].
+
+use mqo_volcano::rules::{effective_threads, expand_threads_from_env};
+
+/// Tuning knobs of the MQO pipeline. Every setting is
+/// behavior-preserving: the chosen materializations, costs, and plans are
+/// identical under any configuration (only wall-clock and bookkeeping
+/// change), except that `force_full` is an explicit ablation switch with
+/// the same results at higher cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MqoConfig {
+    /// Rebase (commit a full `bestCost` solve) when a candidate differs
+    /// from the committed base in more than this many universe elements;
+    /// smaller diffs take the allocation-free overlay path. `0` rebases on
+    /// every non-base evaluation.
+    pub rebase_threshold: usize,
+    /// When true, every oracle evaluation runs the full DP (ablation
+    /// switch).
+    pub force_full: bool,
+    /// Worker threads, used by both parallel phases of the pipeline: the
+    /// expansion fixpoint's candidate generation and the sharded
+    /// [`crate::engine::BestCostEngine::bc_many`]. `1` keeps everything
+    /// serial, `0` resolves to the machine's available parallelism. The
+    /// default reads the `MQO_THREADS` environment variable (falling back
+    /// to `1`) — this is the single place in the workspace that consults
+    /// it. Results are bit-identical at every setting.
+    pub threads: usize,
+}
+
+impl Default for MqoConfig {
+    fn default() -> Self {
+        MqoConfig {
+            rebase_threshold: 4,
+            force_full: false,
+            threads: expand_threads_from_env(),
+        }
+    }
+}
+
+impl MqoConfig {
+    /// The default configuration pinned to serial execution, ignoring
+    /// `MQO_THREADS` (useful for ablations that must not be confounded by
+    /// an exported thread count).
+    pub fn serial() -> Self {
+        MqoConfig {
+            threads: 1,
+            ..Default::default()
+        }
+    }
+
+    /// The default configuration with an explicit worker-thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        MqoConfig {
+            threads,
+            ..Default::default()
+        }
+    }
+
+    /// Resolves [`Self::threads`] to a concrete worker count for a batch
+    /// of `batch_len` work items (auto-detection, capped by the batch
+    /// size).
+    pub(crate) fn effective_threads(&self, batch_len: usize) -> usize {
+        effective_threads(self.threads, batch_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_with_threads_pin_the_thread_count() {
+        assert_eq!(MqoConfig::serial().threads, 1);
+        assert_eq!(MqoConfig::with_threads(7).threads, 7);
+        let d = MqoConfig::default();
+        assert_eq!(MqoConfig::serial().rebase_threshold, d.rebase_threshold);
+        assert!(!MqoConfig::serial().force_full);
+    }
+
+    #[test]
+    fn effective_threads_caps_by_batch() {
+        assert_eq!(MqoConfig::with_threads(8).effective_threads(3), 3);
+        assert_eq!(MqoConfig::with_threads(2).effective_threads(100), 2);
+        assert_eq!(MqoConfig::serial().effective_threads(100), 1);
+    }
+}

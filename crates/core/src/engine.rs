@@ -49,7 +49,7 @@
 //! All of the mutable per-evaluation state (overlay arenas, epoch stamps,
 //! dirty-cone worklist, diff buffer) lives in an [`EngineScratch`], while
 //! the compiled arenas and the committed base are immutable during a batch.
-//! With [`EngineConfig::threads`] > 1 (or the `MQO_THREADS` environment
+//! With [`MqoConfig::threads`] > 1 (or the `MQO_THREADS` environment
 //! variable), [`BestCostEngine::bc_many`] rebases once to the round's
 //! shared intersection and then fans the candidates out over
 //! `std::thread::scope` workers, each with its own scratch over `&self`'s
@@ -66,52 +66,10 @@ use std::sync::Arc;
 use mqo_submod::bitset::BitSet;
 use mqo_volcano::cost::CostModel;
 use mqo_volcano::logical::LogicalOp;
-use mqo_volcano::memo::{GroupId, Memo, TopoView};
-use mqo_volcano::physical::SortOrder;
+use mqo_volcano::memo::{ExprId, GroupId, Memo, TopoView};
+use mqo_volcano::physical::{PhysOp, SortOrder};
 
-/// Tuning knobs of the evaluation strategy (satellite of the DP itself; the
-/// compiled structure is identical under every configuration).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct EngineConfig {
-    /// Rebase (commit a full solve) when a candidate differs from the base
-    /// in more than this many universe elements; smaller diffs take the
-    /// overlay path. `0` rebases on every non-base evaluation.
-    pub rebase_threshold: usize,
-    /// When true, every evaluation runs the full DP (ablation switch).
-    pub force_full: bool,
-    /// Worker threads for sharded [`BestCostEngine::bc_many`]: `1` keeps
-    /// the serial path, `0` resolves to the machine's available
-    /// parallelism. The default reads the `MQO_THREADS` environment
-    /// variable (falling back to `1`). Results are bit-identical at every
-    /// setting; only the wall-clock changes.
-    pub threads: usize,
-}
-
-impl Default for EngineConfig {
-    fn default() -> Self {
-        EngineConfig {
-            rebase_threshold: 4,
-            force_full: false,
-            threads: threads_from_env(),
-        }
-    }
-}
-
-/// The `MQO_THREADS` environment override for [`EngineConfig::threads`]:
-/// unset or unparsable means `1` (serial); `0` means auto-detect. One
-/// definition serves the whole workspace — this delegates to the volcano
-/// expansion fixpoint's reader, so the conventions cannot drift apart.
-pub fn threads_from_env() -> usize {
-    mqo_volcano::rules::expand_threads_from_env()
-}
-
-impl EngineConfig {
-    /// Resolves [`Self::threads`] to a concrete worker count for a batch of
-    /// `batch_len` candidates (auto-detection, capped by the batch size).
-    fn effective_threads(&self, batch_len: usize) -> usize {
-        mqo_volcano::rules::effective_threads(self.threads, batch_len)
-    }
-}
+pub use crate::config::MqoConfig;
 
 /// Integer type of the overlay epoch stamps. The engine uses `u64`; tests
 /// substitute a deliberately tiny type to exercise the wrap path, which
@@ -214,7 +172,7 @@ impl<E: EpochInt> EngineScratch<E> {
 /// Output order of a compiled option: fixed, or inherited from the first
 /// child's natural order (order-preserving operators like Filter).
 #[derive(Clone, Debug)]
-enum OutOrder {
+pub(crate) enum OutOrder {
     Fixed(SortOrder),
     InheritChild0,
 }
@@ -237,6 +195,9 @@ pub struct CompileCache {
     tmp_state: Vec<u32>,
     tmp_cost: Vec<f64>,
     tmp_out: Vec<OutOrder>,
+    /// Emission-order plan provenance: the memo expression and physical
+    /// operator each option implements (consumed by plan extraction).
+    tmp_phys: Vec<(ExprId, PhysOp)>,
     tmp_child: Vec<u32>,
     tmp_child_off: Vec<u32>,
     /// Emission index → final (state-sorted) option slot.
@@ -302,30 +263,43 @@ pub struct BestCostEngine {
     /// Dense topological view of the memo (shared with the compile cache
     /// and the batch; owns the parent adjacency used for dirty-cone
     /// propagation).
-    topo: Arc<TopoView>,
+    pub(crate) topo: Arc<TopoView>,
     /// Group → state range (CSR offsets; one state per interesting order,
     /// index 0 is always the unordered requirement).
-    state_off: Vec<u32>,
+    pub(crate) state_off: Vec<u32>,
     /// State → option range.
-    opt_off: Vec<u32>,
+    pub(crate) opt_off: Vec<u32>,
     /// Per-option constant operator cost.
-    opt_cost: Vec<f64>,
+    pub(crate) opt_cost: Vec<f64>,
     /// Option → children range.
-    child_off: Vec<u32>,
+    pub(crate) child_off: Vec<u32>,
     /// Flat child state indices.
-    opt_children: Vec<u32>,
+    pub(crate) opt_children: Vec<u32>,
     /// Per-state cost of reading the materialized result.
-    read: Vec<f64>,
+    pub(crate) read: Vec<f64>,
     /// Per-group cost of writing the result once.
-    write: Vec<f64>,
+    pub(crate) write: Vec<f64>,
     /// Per-group cost of sorting the result (for enforcers).
-    sort: Vec<f64>,
+    pub(crate) sort: Vec<f64>,
     /// Dense index of the batch root.
-    root: u32,
+    pub(crate) root: u32,
     /// Universe: element `i` of the shareable set ↔ dense index.
-    universe_dense: Vec<u32>,
+    pub(crate) universe_dense: Vec<u32>,
     /// Dense index → universe element (u32::MAX when not in the universe).
     elem_of_dense: Vec<u32>,
+    /// Plan provenance per option (final slot order): the memo expression
+    /// and physical operator the option implements. Cold arenas — plan
+    /// extraction reads them, the `bc` hot path never does.
+    pub(crate) opt_phys: Vec<(ExprId, PhysOp)>,
+    /// Output order per option (final slot order), for extraction.
+    pub(crate) opt_out: Vec<OutOrder>,
+    /// The sort-order requirement of each DP state (flat, per state).
+    pub(crate) state_order: Vec<SortOrder>,
+    /// Natural storage order of each group's cheapest (`S = ∅`) production
+    /// plan — the order a materialized copy is written out in.
+    pub(crate) natural_order: Vec<SortOrder>,
+    /// Flat state index → dense group index.
+    pub(crate) group_of_state: Vec<u32>,
     /// Base state: the committed materialized set and its DP solution
     /// (flat, indexed by state).
     base_set: BitSet,
@@ -342,23 +316,23 @@ pub struct BestCostEngine {
     /// so a stale stamp never equals a later evaluation's epoch.
     worker_scratches: Vec<EngineScratch>,
     /// Evaluation strategy knobs.
-    pub config: EngineConfig,
+    pub config: MqoConfig,
 }
 
 impl BestCostEngine {
     /// Compiles the engine for a memo, cost model, and shareable universe
-    /// with the default [`EngineConfig`].
+    /// with the default [`MqoConfig`].
     pub fn new(memo: &Memo, cm: &dyn CostModel, root: GroupId, universe: &[GroupId]) -> Self {
-        Self::with_config(memo, cm, root, universe, EngineConfig::default())
+        Self::with_config(memo, cm, root, universe, MqoConfig::default())
     }
 
-    /// Compiles the engine with an explicit [`EngineConfig`].
+    /// Compiles the engine with an explicit [`MqoConfig`].
     pub fn with_config(
         memo: &Memo,
         cm: &dyn CostModel,
         root: GroupId,
         universe: &[GroupId],
-        config: EngineConfig,
+        config: MqoConfig,
     ) -> Self {
         Self::with_cache(memo, cm, root, universe, config, &mut CompileCache::new())
     }
@@ -373,7 +347,7 @@ impl BestCostEngine {
         cm: &dyn CostModel,
         root: GroupId,
         universe: &[GroupId],
-        config: EngineConfig,
+        config: MqoConfig,
         cache: &mut CompileCache,
     ) -> Self {
         let topo = cache.topo_for(memo);
@@ -458,6 +432,7 @@ impl BestCostEngine {
             tmp_state,
             tmp_cost,
             tmp_out,
+            tmp_phys,
             tmp_child,
             tmp_child_off,
             pos,
@@ -483,23 +458,26 @@ impl BestCostEngine {
         tmp_state.clear();
         tmp_cost.clear();
         tmp_out.clear();
+        tmp_phys.clear();
         tmp_child.clear();
         tmp_child_off.clear();
         tmp_child_off.push(0);
         for (gi, &g) in topo.order().iter().enumerate() {
             let s_base = state_off[gi] as usize;
-            let mut emit = |j: usize, cost: f64, children: &[(u32, u8)], out: OutOrder| {
-                let s = s_base + j;
-                opt_cnt[s] += 1;
-                tmp_state.push(s as u32);
-                tmp_cost.push(cost);
-                tmp_out.push(out);
-                for &(cg, cj) in children {
-                    tmp_child.push(state_off[cg as usize] + cj as u32);
-                }
-                tmp_child_off.push(tmp_child.len() as u32);
-            };
             for e in memo.group_exprs(g) {
+                let mut emit =
+                    |j: usize, cost: f64, children: &[(u32, u8)], out: OutOrder, phys: PhysOp| {
+                        let s = s_base + j;
+                        opt_cnt[s] += 1;
+                        tmp_state.push(s as u32);
+                        tmp_cost.push(cost);
+                        tmp_out.push(out);
+                        tmp_phys.push((e, phys));
+                        for &(cg, cj) in children {
+                            tmp_child.push(state_off[cg as usize] + cj as u32);
+                        }
+                        tmp_child_off.push(tmp_child.len() as u32);
+                    };
                 compile_expr(memo, cm, e, gi, &topo, &orders, &blocks, &mut emit);
             }
         }
@@ -536,14 +514,20 @@ impl BestCostEngine {
         let mut opt_children: Vec<u32> = vec![0; *child_off.last().unwrap() as usize];
         opt_out.clear();
         opt_out.resize(n_opts, OutOrder::InheritChild0);
+        let mut opt_phys: Vec<Option<(ExprId, PhysOp)>> = vec![None; n_opts];
         for k in 0..n_opts {
             let slot = pos[k] as usize;
             opt_cost[slot] = tmp_cost[k];
             opt_out[slot] = tmp_out[k].clone();
+            opt_phys[slot] = Some(tmp_phys[k].clone());
             let (cs, ce) = (tmp_child_off[k] as usize, tmp_child_off[k + 1] as usize);
             let dst = child_off[slot] as usize;
             opt_children[dst..dst + (ce - cs)].copy_from_slice(&tmp_child[cs..ce]);
         }
+        let opt_phys: Vec<(ExprId, PhysOp)> = opt_phys
+            .into_iter()
+            .map(|p| p.expect("every option slot scattered"))
+            .collect();
 
         let mut read: Vec<f64> = Vec::with_capacity(n_states);
         let mut write: Vec<f64> = Vec::with_capacity(n);
@@ -566,6 +550,7 @@ impl BestCostEngine {
         }
 
         let root = topo.dense(root);
+        let state_order: Vec<SortOrder> = orders.iter().flatten().cloned().collect();
         let mut engine = BestCostEngine {
             topo,
             state_off,
@@ -579,6 +564,11 @@ impl BestCostEngine {
             root,
             universe_dense,
             elem_of_dense,
+            opt_phys,
+            opt_out: opt_out.clone(),
+            state_order,
+            natural_order: Vec::new(),
+            group_of_state: group_of_state.clone(),
             base_set: BitSet::empty(universe.len()),
             base_compute: Vec::new(),
             base_use: Vec::new(),
@@ -594,7 +584,7 @@ impl BestCostEngine {
         let mut compute = Vec::new();
         let mut use_ = Vec::new();
         engine.full_solve_into(&BitSet::empty(universe.len()), &mut compute, &mut use_);
-        let natural = engine.resolve_natural_orders(opt_out, group_of_state, &use_);
+        let natural = engine.resolve_natural_orders(&use_);
         for (gi, nat) in natural.iter().enumerate() {
             let s0 = engine.state_off[gi] as usize;
             for (j, req) in orders[gi].iter().enumerate() {
@@ -603,6 +593,7 @@ impl BestCostEngine {
                 }
             }
         }
+        engine.natural_order = natural;
         engine.base_compute = compute;
         engine.base_use = use_;
         engine
@@ -610,36 +601,31 @@ impl BestCostEngine {
 
     /// Resolves the natural output order of each group's winning
     /// (unordered-requirement) production plan, bottom-up over the final
-    /// flat arenas. `use_` must be the solved state for `S = ∅`; `opt_out`
-    /// and `group_of_state` come from the [`CompileCache`].
-    fn resolve_natural_orders(
-        &self,
-        opt_out: &[OutOrder],
-        group_of_state: &[u32],
-        use_: &[f64],
-    ) -> Vec<SortOrder> {
+    /// flat arenas. `use_` must be the solved state for `S = ∅`.
+    fn resolve_natural_orders(&self, use_: &[f64]) -> Vec<SortOrder> {
         let n = self.topo.len();
         let mut natural: Vec<SortOrder> = Vec::with_capacity(n);
         for d in 0..n {
             let s0 = self.state_off[d] as usize;
             let mut best: Option<(f64, usize)> = None;
             for o in self.opt_off[s0] as usize..self.opt_off[s0 + 1] as usize {
-                let mut cost = self.opt_cost[o];
+                let mut cost = 0.0;
                 for &c in
                     &self.opt_children[self.child_off[o] as usize..self.child_off[o + 1] as usize]
                 {
                     cost += use_[c as usize];
                 }
+                cost += self.opt_cost[o];
                 if best.is_none_or(|(b, _)| cost < b) {
                     best = Some((cost, o));
                 }
             }
             let order = match best {
-                Some((_, o)) => match &opt_out[o] {
+                Some((_, o)) => match &self.opt_out[o] {
                     OutOrder::Fixed(order) => order.clone(),
                     OutOrder::InheritChild0 => {
                         let child_state = self.opt_children[self.child_off[o] as usize] as usize;
-                        let child = group_of_state[child_state] as usize;
+                        let child = self.group_of_state[child_state] as usize;
                         debug_assert!(child < d, "children precede parents");
                         natural[child].clone()
                     }
@@ -672,6 +658,24 @@ impl BestCostEngine {
     /// counts back into these totals.
     pub fn eval_counts(&self) -> (u64, u64) {
         (self.scratch.full_evals, self.scratch.incremental_evals)
+    }
+
+    /// Solves the full DP for `set` into fresh `(compute, use)` arenas for
+    /// plan extraction, returning the sanitized set alongside them. The
+    /// committed base and the overlay scratch are untouched — extraction
+    /// never perturbs the oracle's incremental state.
+    pub(crate) fn solve_for_extraction(&self, set: &BitSet) -> (BitSet, Vec<f64>, Vec<f64>) {
+        let set = self.sanitize(set).into_owned();
+        let mut compute = Vec::new();
+        let mut use_ = Vec::new();
+        self.full_solve_into(&set, &mut compute, &mut use_);
+        (set, compute, use_)
+    }
+
+    /// Whether dense group `d` is materialized under `set` (extraction
+    /// helper; `set` must be over this engine's universe).
+    pub(crate) fn materialized(&self, d: usize, set: &BitSet) -> bool {
+        self.in_set(d, set)
     }
 
     /// A fresh, zeroed scratch sized for this engine's arenas. The engine
@@ -768,7 +772,7 @@ impl BestCostEngine {
     /// batches (`X ∪ {x}` per candidate) every diff is a single element, so
     /// each answer is a minimal overlay.
     ///
-    /// With [`EngineConfig::threads`] > 1 the candidates are sharded over
+    /// With [`MqoConfig::threads`] > 1 the candidates are sharded over
     /// `std::thread::scope` workers, each with its own [`EngineScratch`]
     /// over the shared immutable arenas; every candidate is evaluated from
     /// the same committed base. In serial mode a candidate past the rebase
@@ -887,7 +891,7 @@ impl BestCostEngine {
     }
 
     /// `bc(S)` from a fully solved per-state compute arena.
-    fn total_from_slice(&self, set: &BitSet, compute: &[f64]) -> f64 {
+    pub(crate) fn total_from_slice(&self, set: &BitSet, compute: &[f64]) -> f64 {
         let mut total = compute[self.state_off[self.root as usize] as usize];
         for e in set.iter() {
             let d = self.universe_dense[e] as usize;
@@ -948,16 +952,22 @@ impl BestCostEngine {
         }
     }
 
-    /// `min` over the options of state `s` given resolved child `use` costs.
+    /// `min` over the options of state `s` given resolved child `use`
+    /// costs. Children are summed first and the operator cost added last —
+    /// the same association the reference optimizer uses — so the two
+    /// symmetric orientations of a join tie *exactly* and the first
+    /// emitted option wins, keeping extracted plans identical to the
+    /// reference extractor's.
     #[inline]
     fn best_option(&self, s: usize, child_use: impl Fn(usize) -> f64) -> f64 {
         let mut best = f64::INFINITY;
         for o in self.opt_off[s] as usize..self.opt_off[s + 1] as usize {
-            let mut cost = self.opt_cost[o];
+            let mut cost = 0.0;
             for &c in &self.opt_children[self.child_off[o] as usize..self.child_off[o + 1] as usize]
             {
                 cost += child_use(c as usize);
             }
+            cost += self.opt_cost[o];
             if cost < best {
                 best = cost;
             }
@@ -1076,9 +1086,10 @@ fn join_keys(
 }
 
 /// Compiles the physical options of one memo expression, emitting each as
-/// `(order index, operator cost, child (group, order) refs, output order)`
-/// through `emit` — the caller owns the flat storage, so compilation
-/// performs no per-option allocation.
+/// `(order index, operator cost, child (group, order) refs, output order,
+/// physical operator)` through `emit` — the caller owns the flat storage,
+/// so compilation performs no per-option allocation beyond the recorded
+/// operator provenance (cold data consumed only by plan extraction).
 #[allow(clippy::too_many_arguments)]
 fn compile_expr(
     memo: &Memo,
@@ -1088,7 +1099,7 @@ fn compile_expr(
     topo: &TopoView,
     orders: &[Vec<SortOrder>],
     blocks: &[f64],
-    emit: &mut impl FnMut(usize, f64, &[(u32, u8)], OutOrder),
+    emit: &mut impl FnMut(usize, f64, &[(u32, u8)], OutOrder, PhysOp),
 ) {
     let g_orders = &orders[gi];
     match memo.op(e) {
@@ -1097,7 +1108,13 @@ fn compile_expr(
             let op_cost = cm.table_scan(blocks[gi]);
             for (j, req) in g_orders.iter().enumerate() {
                 if out.satisfies(req) {
-                    emit(j, op_cost, &[], OutOrder::Fixed(out.clone()));
+                    emit(
+                        j,
+                        op_cost,
+                        &[],
+                        OutOrder::Fixed(out.clone()),
+                        PhysOp::TableScan { inst: *inst },
+                    );
                 }
             }
         }
@@ -1116,6 +1133,7 @@ fn compile_expr(
                     filter_cost,
                     &[(ci as u32, jc as u8)],
                     OutOrder::InheritChild0,
+                    PhysOp::Filter,
                 );
             }
             // Clustered-index scan.
@@ -1136,7 +1154,13 @@ fn compile_expr(
                 let out = SortOrder::on(pk_order);
                 for (j, req) in g_orders.iter().enumerate() {
                     if out.satisfies(req) {
-                        emit(j, op_cost, &[], OutOrder::Fixed(out.clone()));
+                        emit(
+                            j,
+                            op_cost,
+                            &[],
+                            OutOrder::Fixed(out.clone()),
+                            PhysOp::IndexScan { inst },
+                        );
                     }
                 }
             }
@@ -1156,6 +1180,7 @@ fn compile_expr(
                     nl_cost,
                     &[(oi as u32, 0), (ii as u32, 0)],
                     OutOrder::Fixed(SortOrder::none()),
+                    PhysOp::BlockNlJoin { swapped },
                 );
                 // Merge join.
                 if let Some((lk, rk)) = &keys {
@@ -1181,6 +1206,11 @@ fn compile_expr(
                                 op_cost,
                                 &[(oi as u32, jo as u8), (ii as u32, ji as u8)],
                                 OutOrder::Fixed(out.clone()),
+                                PhysOp::MergeJoin {
+                                    left_keys: ok.clone(),
+                                    right_keys: ik.clone(),
+                                    swapped,
+                                },
                             );
                         }
                     }
@@ -1192,13 +1222,16 @@ fn compile_expr(
             let ci = topo.dense(c) as usize;
             if spec.is_scalar() {
                 let op_cost = cm.scalar_agg(blocks[ci]);
-                // One row satisfies every ordering requirement.
-                for j in 0..g_orders.len() {
+                // One row satisfies every ordering requirement, so the
+                // output order is recorded as the requirement itself (the
+                // extraction path mirrors the reference optimizer here).
+                for (j, req) in g_orders.iter().enumerate() {
                     emit(
                         j,
                         op_cost,
                         &[(ci as u32, 0)],
-                        OutOrder::Fixed(SortOrder::none()),
+                        OutOrder::Fixed(req.clone()),
+                        PhysOp::ScalarAgg,
                     );
                 }
             } else {
@@ -1215,6 +1248,9 @@ fn compile_expr(
                             op_cost,
                             &[(ci as u32, jc as u8)],
                             OutOrder::Fixed(gb.clone()),
+                            PhysOp::SortAgg {
+                                group_by: spec.group_by.clone(),
+                            },
                         );
                     }
                 }
@@ -1226,7 +1262,13 @@ fn compile_expr(
                 .iter()
                 .map(|&c| (topo.dense(c), 0u8))
                 .collect();
-            emit(0, 0.0, &children, OutOrder::Fixed(SortOrder::none()));
+            emit(
+                0,
+                0.0,
+                &children,
+                OutOrder::Fixed(SortOrder::none()),
+                PhysOp::Root,
+            );
         }
     }
 }
@@ -1293,12 +1335,12 @@ mod tests {
     fn engine_matches_reference_optimizer_on_empty_set() {
         let batch = build_batch();
         let cm = DiskCostModel::paper();
-        let mut engine = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
+        let mut engine = BestCostEngine::new(batch.memo(), &cm, batch.root(), batch.shareable());
         let bc_empty = engine.bc(&BitSet::empty(batch.universe_size()));
 
-        let opt = Optimizer::new(&batch.memo, &cm);
+        let opt = Optimizer::new(batch.memo(), &cm);
         let mut table = PlanTable::new();
-        let reference = opt.best_use_cost(batch.root, &MatOverlay::empty(), &mut table);
+        let reference = opt.best_use_cost(batch.root(), &MatOverlay::empty(), &mut table);
         assert!(
             (bc_empty - reference).abs() < 1e-6,
             "engine {bc_empty} vs reference {reference}"
@@ -1309,18 +1351,18 @@ mod tests {
     fn engine_matches_reference_on_singletons() {
         let batch = build_batch();
         let cm = DiskCostModel::paper();
-        let mut engine = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
-        let opt = Optimizer::new(&batch.memo, &cm);
+        let mut engine = BestCostEngine::new(batch.memo(), &cm, batch.root(), batch.shareable());
+        let opt = Optimizer::new(batch.memo(), &cm);
         let n = batch.universe_size();
         assert!(n > 0);
         for e in 0..n {
             let set = BitSet::from_iter(n, [e]);
             let bc = engine.bc(&set);
             // Reference: buc(root | {g}) + produce(g) + write(g).
-            let g = batch.shareable[e];
-            let overlay = MatOverlay::new(&batch.memo, [g]);
+            let g = batch.shareable()[e];
+            let overlay = MatOverlay::new(batch.memo(), [g]);
             let mut t1 = PlanTable::new();
-            let buc = opt.best_use_cost(batch.root, &overlay, &mut t1);
+            let buc = opt.best_use_cost(batch.root(), &overlay, &mut t1);
             let produce = opt.produce_cost(g, &overlay);
             let reference = buc + produce + opt.write_cost(g);
             assert!(
@@ -1334,13 +1376,13 @@ mod tests {
     fn incremental_matches_full() {
         let batch = build_batch();
         let cm = DiskCostModel::paper();
-        let mut inc = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
+        let mut inc = BestCostEngine::new(batch.memo(), &cm, batch.root(), batch.shareable());
         let mut full = BestCostEngine::with_config(
-            &batch.memo,
+            batch.memo(),
             &cm,
-            batch.root,
-            &batch.shareable,
-            EngineConfig {
+            batch.root(),
+            batch.shareable(),
+            MqoConfig {
                 force_full: true,
                 ..Default::default()
             },
@@ -1368,8 +1410,8 @@ mod tests {
     fn bc_many_matches_sequential_bc() {
         let batch = build_batch();
         let cm = DiskCostModel::paper();
-        let mut batched = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
-        let mut seq = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
+        let mut batched = BestCostEngine::new(batch.memo(), &cm, batch.root(), batch.shareable());
+        let mut seq = BestCostEngine::new(batch.memo(), &cm, batch.root(), batch.shareable());
         let n = batch.universe_size();
         // Greedy-round shape: a growing base plus one candidate per set.
         let mut base = BitSet::empty(n);
@@ -1400,16 +1442,16 @@ mod tests {
         let batch = build_batch();
         let cm = DiskCostModel::paper();
         let mut eager = BestCostEngine::with_config(
-            &batch.memo,
+            batch.memo(),
             &cm,
-            batch.root,
-            &batch.shareable,
-            EngineConfig {
+            batch.root(),
+            batch.shareable(),
+            MqoConfig {
                 rebase_threshold: 0,
                 ..Default::default()
             },
         );
-        let mut lazy = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
+        let mut lazy = BestCostEngine::new(batch.memo(), &cm, batch.root(), batch.shareable());
         let n = batch.universe_size();
         for e in 0..n.min(6) {
             let set = BitSet::from_iter(n, [e]);
@@ -1430,7 +1472,7 @@ mod tests {
         // sanity bound: it is positive and finite.
         let batch = build_batch();
         let cm = DiskCostModel::paper();
-        let mut engine = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
+        let mut engine = BestCostEngine::new(batch.memo(), &cm, batch.root(), batch.shareable());
         let bc = engine.bc(&BitSet::empty(batch.universe_size()));
         assert!(bc.is_finite() && bc > 0.0);
     }
@@ -1441,7 +1483,7 @@ mod tests {
         // must beat bc(∅).
         let batch = build_batch();
         let cm = DiskCostModel::paper();
-        let mut engine = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
+        let mut engine = BestCostEngine::new(batch.memo(), &cm, batch.root(), batch.shareable());
         let n = batch.universe_size();
         let empty = engine.bc(&BitSet::empty(n));
         let best_single = (0..n)
@@ -1459,22 +1501,22 @@ mod tests {
         let cm = DiskCostModel::paper();
         let n = batch.universe_size();
         let mut serial = BestCostEngine::with_config(
-            &batch.memo,
+            batch.memo(),
             &cm,
-            batch.root,
-            &batch.shareable,
-            EngineConfig {
+            batch.root(),
+            batch.shareable(),
+            MqoConfig {
                 threads: 1,
                 ..Default::default()
             },
         );
         for threads in [2usize, 3, 8] {
             let mut sharded = BestCostEngine::with_config(
-                &batch.memo,
+                batch.memo(),
                 &cm,
-                batch.root,
-                &batch.shareable,
-                EngineConfig {
+                batch.root(),
+                batch.shareable(),
+                MqoConfig {
                     threads,
                     ..Default::default()
                 },
@@ -1510,21 +1552,21 @@ mod tests {
         let cm = DiskCostModel::paper();
         let n = batch.universe_size();
         let mut full = BestCostEngine::with_config(
-            &batch.memo,
+            batch.memo(),
             &cm,
-            batch.root,
-            &batch.shareable,
-            EngineConfig {
+            batch.root(),
+            batch.shareable(),
+            MqoConfig {
                 force_full: true,
                 ..Default::default()
             },
         );
         let mut sharded = BestCostEngine::with_config(
-            &batch.memo,
+            batch.memo(),
             &cm,
-            batch.root,
-            &batch.shareable,
-            EngineConfig {
+            batch.root(),
+            batch.shareable(),
+            MqoConfig {
                 rebase_threshold: 0,
                 threads: 3,
                 ..Default::default()
@@ -1552,7 +1594,7 @@ mod tests {
     fn bc_asserts_on_universe_mismatch_in_debug() {
         let batch = build_batch();
         let cm = DiskCostModel::paper();
-        let mut engine = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
+        let mut engine = BestCostEngine::new(batch.memo(), &cm, batch.root(), batch.shareable());
         let n = batch.universe_size();
         // A set over a larger universe with a bit past the engine's dense
         // map: debug builds must refuse it loudly.
@@ -1568,7 +1610,7 @@ mod tests {
         // `bc` fires first under debug_assertions).
         let batch = build_batch();
         let cm = DiskCostModel::paper();
-        let mut engine = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
+        let mut engine = BestCostEngine::new(batch.memo(), &cm, batch.root(), batch.shareable());
         let n = batch.universe_size();
         let oversized = BitSet::from_iter(n + 64, [0, 1, n + 7]);
         let sanitized = engine.truncate_to_universe(&oversized).into_owned();
@@ -1590,13 +1632,13 @@ mod tests {
         // after 255 overlay evaluations.
         let batch = build_batch();
         let cm = DiskCostModel::paper();
-        let engine = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
+        let engine = BestCostEngine::new(batch.memo(), &cm, batch.root(), batch.shareable());
         let mut full = BestCostEngine::with_config(
-            &batch.memo,
+            batch.memo(),
             &cm,
-            batch.root,
-            &batch.shareable,
-            EngineConfig {
+            batch.root(),
+            batch.shareable(),
+            MqoConfig {
                 force_full: true,
                 ..Default::default()
             },
@@ -1634,7 +1676,7 @@ mod tests {
         // counter to keep growing.
         let batch = build_batch();
         let cm = DiskCostModel::paper();
-        let mut engine = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
+        let mut engine = BestCostEngine::new(batch.memo(), &cm, batch.root(), batch.shareable());
         let n = batch.universe_size();
         let _ = engine.bc(&BitSet::from_iter(n, [0]));
         assert_ne!(engine.scratch.epoch, 0, "overlay path must have run");
@@ -1644,7 +1686,7 @@ mod tests {
         assert!(engine.scratch.queued_epoch.iter().all(|&e| e == 0));
         // And evaluation right after the wipe stays correct.
         let a = engine.bc(&BitSet::from_iter(n, [0]));
-        let mut fresh = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
+        let mut fresh = BestCostEngine::new(batch.memo(), &cm, batch.root(), batch.shareable());
         let b = fresh.bc(&BitSet::from_iter(n, [0]));
         assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()));
     }
@@ -1692,7 +1734,7 @@ mod tests {
         assert_ne!(memo.find(g1), memo.find(g2));
 
         let cm = DiskCostModel::paper();
-        let cfg = EngineConfig {
+        let cfg = MqoConfig {
             threads: 1,
             ..Default::default()
         };
@@ -1724,7 +1766,7 @@ mod tests {
     fn rebase_keeps_answers_consistent() {
         let batch = build_batch();
         let cm = DiskCostModel::paper();
-        let mut engine = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
+        let mut engine = BestCostEngine::new(batch.memo(), &cm, batch.root(), batch.shareable());
         let n = batch.universe_size();
         let set = BitSet::from_iter(n, (0..n).filter(|e| e % 2 == 0));
         let before = engine.bc(&set);

@@ -22,26 +22,34 @@
 //! # Example
 //!
 //! ```no_run
-//! use mqo_core::batch::BatchDag;
-//! use mqo_core::strategies::{optimize, Strategy};
+//! use mqo_core::session::Session;
+//! use mqo_core::strategies::Strategy;
 //! use mqo_volcano::cost::DiskCostModel;
-//! use mqo_volcano::rules::RuleSet;
 //!
 //! # fn queries() -> (mqo_volcano::DagContext, Vec<mqo_volcano::PlanNode>) { unimplemented!() }
 //! let (ctx, qs) = queries();
-//! let batch = BatchDag::build(ctx, &qs, &RuleSet::default());
-//! let report = optimize(&batch, &DiskCostModel::paper(), Strategy::MarginalGreedy);
+//! let batch = Session::builder()
+//!     .context(ctx)
+//!     .queries(qs)
+//!     .cost_model(DiskCostModel::paper())
+//!     .build();
+//! let report = batch.run(Strategy::MarginalGreedy);
 //! println!("cost {} vs volcano {}", report.total_cost, report.volcano_cost);
+//! println!("{}", report.plan.render(batch.batch()));
 //! ```
 
 pub mod batch;
 pub mod benefit;
+pub mod config;
 pub mod consolidated;
 pub mod engine;
+pub mod session;
 pub mod strategies;
 
 pub use batch::BatchDag;
 pub use benefit::MbFunction;
+pub use config::MqoConfig;
 pub use consolidated::ConsolidatedPlan;
-pub use engine::{BestCostEngine, EngineConfig};
-pub use strategies::{compare, optimize, optimize_with, RunReport, Strategy};
+pub use engine::BestCostEngine;
+pub use session::{OptimizedBatch, Session, SessionBuilder};
+pub use strategies::{RunReport, Strategy};

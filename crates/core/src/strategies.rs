@@ -1,7 +1,13 @@
 //! Optimization strategies and run reports: the algorithms the paper's
 //! experiments compare (stand-alone Volcano, Greedy of Roy et al.,
 //! MarginalGreedy, and their lazy accelerations), plus the
-//! materialize-everything baseline of Silva et al. [26].
+//! materialize-everything baseline of Silva et al. \[26].
+//!
+//! The entry point is the `Session` API
+//! ([`crate::session::OptimizedBatch::run`] /
+//! [`crate::session::OptimizedBatch::run_all`]); the free functions
+//! `optimize` / `optimize_with` / `compare` of earlier versions are gone
+//! (see the README migration guide).
 
 use std::time::{Duration, Instant};
 
@@ -16,7 +22,8 @@ use mqo_volcano::memo::GroupId;
 
 use crate::batch::BatchDag;
 use crate::benefit::MbFunction;
-use crate::engine::EngineConfig;
+use crate::config::MqoConfig;
+use crate::consolidated::ConsolidatedPlan;
 
 /// The optimization strategies of the experimental section.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -34,7 +41,7 @@ pub enum Strategy {
     /// Algorithm 2 with the Section 5.2 heap acceleration.
     LazyMarginalGreedy,
     /// Materialize every shareable node (the heuristic of Silva et al.
-    /// [26]; "horribly inefficient" when costs outweigh benefits).
+    /// \[26]; "horribly inefficient" when costs outweigh benefits).
     MaterializeAll,
     /// MarginalGreedy under a cardinality constraint (Section 5.3), with or
     /// without the Theorem 4 universe reduction.
@@ -47,8 +54,7 @@ pub enum Strategy {
     /// Exhaustive search over all 2^n materialization sets — the ground
     /// truth the paper calls untenable in general (O(n^n) with plan
     /// enumeration; 2^n bc calls here thanks to the bc oracle). Only
-    /// usable on small universes; `optimize` panics above 20 shareable
-    /// nodes.
+    /// usable on small universes; `run` panics above 20 shareable nodes.
     Exhaustive,
 }
 
@@ -82,8 +88,15 @@ pub struct RunReport {
     pub benefit: f64,
     /// The materialized equivalence nodes.
     pub materialized: Vec<GroupId>,
-    /// Optimization wall-clock time (the Figure 4c / 5c metric).
+    /// The extracted consolidated physical plan: every materialization's
+    /// production plan plus one plan per query, read straight off the
+    /// compiled engine's arenas.
+    pub plan: ConsolidatedPlan,
+    /// Node-selection wall-clock time (the Figure 4c / 5c metric; plan
+    /// extraction is excluded, as in the paper's measurements).
     pub opt_time: Duration,
+    /// Plan-extraction wall-clock time (the `extract` bench series).
+    pub extract_time: Duration,
     /// Number of `bc` oracle invocations.
     pub bc_calls: u64,
     /// Shareable-universe size.
@@ -101,25 +114,19 @@ impl RunReport {
     }
 }
 
-/// Optimizes a batch with the given strategy and cost model under the
-/// default [`EngineConfig`] (which honors the `MQO_THREADS` environment
-/// variable for sharded candidate evaluation).
-pub fn optimize(batch: &BatchDag, cm: &dyn CostModel, strategy: Strategy) -> RunReport {
-    optimize_with(batch, cm, strategy, EngineConfig::default())
-}
-
-/// Optimizes a batch with an explicit engine configuration (rebase
-/// threshold, full-recomputation ablation, worker threads). The greedy
-/// strategies route each round's candidates through the batched oracle,
-/// so `config.threads > 1` shards their evaluation with no change in the
-/// chosen set or costs. Engine compilation goes through the batch's shared
-/// [`crate::engine::CompileCache`], so repeated strategies on one batch
-/// reuse the topological view and the compile scratch.
-pub fn optimize_with(
+/// Optimizes a batch with one strategy under an explicit configuration:
+/// the node-selection phase (timed as `opt_time`), then consolidated-plan
+/// extraction off the same compiled engine (timed as `extract_time`). The
+/// greedy strategies route each round's candidates through the batched
+/// oracle, so `config.threads > 1` shards their evaluation with no change
+/// in the chosen set or costs. Engine compilation goes through the batch's
+/// shared [`crate::engine::CompileCache`], so repeated strategies on one
+/// batch reuse the topological view and the compile scratch.
+pub(crate) fn run_strategy(
     batch: &BatchDag,
     cm: &dyn CostModel,
     strategy: Strategy,
-    config: EngineConfig,
+    config: MqoConfig,
 ) -> RunReport {
     let start = Instant::now();
     let engine = batch.compile_engine(cm, config);
@@ -159,35 +166,40 @@ pub fn optimize_with(
     };
 
     let total_cost = mb.bc(&chosen);
+    let volcano_cost = mb.bc_empty();
+    let bc_calls = mb.bc_calls();
     let opt_time = start.elapsed();
-    let materialized: Vec<GroupId> = chosen.iter().map(|e| batch.shareable[e]).collect();
+
+    let extract_start = Instant::now();
+    let engine = mb.into_engine();
+    let plan = ConsolidatedPlan::extract_with_engine(batch, &engine, &chosen);
+    let extract_time = extract_start.elapsed();
+
+    let materialized: Vec<GroupId> = chosen.iter().map(|e| batch.shareable()[e]).collect();
     RunReport {
         strategy: strategy.name().to_string(),
         total_cost,
-        volcano_cost: mb.bc_empty(),
-        benefit: mb.bc_empty() - total_cost,
+        volcano_cost,
+        benefit: volcano_cost - total_cost,
         materialized,
+        plan,
         opt_time,
-        bc_calls: mb.bc_calls(),
+        extract_time,
+        bc_calls,
         universe: n,
     }
-}
-
-/// Runs several strategies on the same batch (recompiling the engine per
-/// strategy so timings are comparable).
-pub fn compare(batch: &BatchDag, cm: &dyn CostModel, strategies: &[Strategy]) -> Vec<RunReport> {
-    strategies.iter().map(|&s| optimize(batch, cm, s)).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::{OptimizedBatch, Session};
     use mqo_catalog::{Catalog, TableBuilder};
     use mqo_volcano::cost::DiskCostModel;
     use mqo_volcano::rules::RuleSet;
     use mqo_volcano::{Constraint, DagContext, PlanNode, Predicate};
 
-    fn batch() -> BatchDag {
+    fn session() -> OptimizedBatch {
         let mut cat = Catalog::new();
         for (name, rows) in [
             ("a", 50_000.0),
@@ -223,20 +235,24 @@ mod tests {
             .select(sel.clone())
             .join(PlanNode::scan(c), p_bc);
         let q3 = PlanNode::scan(b).select(sel).join(PlanNode::scan(d), p_bd);
-        BatchDag::build(ctx, &[q1, q2, q3], &RuleSet::default())
+        Session::builder()
+            .context(ctx)
+            .queries([q1, q2, q3])
+            .cost_model(DiskCostModel::paper())
+            .rules(RuleSet::default())
+            .build()
     }
 
     #[test]
     fn all_mqo_strategies_beat_or_match_volcano() {
-        let b = batch();
-        let cm = DiskCostModel::paper();
-        for s in [
+        let s = session();
+        for strat in [
             Strategy::Greedy,
             Strategy::LazyGreedy,
             Strategy::MarginalGreedy,
             Strategy::LazyMarginalGreedy,
         ] {
-            let r = optimize(&b, &cm, s);
+            let r = s.run(strat);
             assert!(
                 r.total_cost <= r.volcano_cost + 1e-6,
                 "{}: {} > volcano {}",
@@ -250,9 +266,8 @@ mod tests {
 
     #[test]
     fn sharing_strictly_helps_on_this_batch() {
-        let b = batch();
-        let cm = DiskCostModel::paper();
-        let greedy = optimize(&b, &cm, Strategy::Greedy);
+        let s = session();
+        let greedy = s.run(Strategy::Greedy);
         assert!(
             greedy.benefit > 0.0,
             "three queries share σ(b); materialization must pay off"
@@ -262,33 +277,46 @@ mod tests {
 
     #[test]
     fn lazy_variants_match_eager() {
-        let b = batch();
-        let cm = DiskCostModel::paper();
-        let eager_g = optimize(&b, &cm, Strategy::Greedy);
-        let lazy_g = optimize(&b, &cm, Strategy::LazyGreedy);
+        let s = session();
+        let eager_g = s.run(Strategy::Greedy);
+        let lazy_g = s.run(Strategy::LazyGreedy);
         assert_eq!(eager_g.materialized, lazy_g.materialized);
-        let eager_m = optimize(&b, &cm, Strategy::MarginalGreedy);
-        let lazy_m = optimize(&b, &cm, Strategy::LazyMarginalGreedy);
+        let eager_m = s.run(Strategy::MarginalGreedy);
+        let lazy_m = s.run(Strategy::LazyMarginalGreedy);
         assert_eq!(eager_m.materialized, lazy_m.materialized);
     }
 
     #[test]
     fn volcano_report_is_baseline() {
-        let b = batch();
-        let cm = DiskCostModel::paper();
-        let r = optimize(&b, &cm, Strategy::Volcano);
+        let s = session();
+        let r = s.run(Strategy::Volcano);
         assert_eq!(r.total_cost, r.volcano_cost);
         assert_eq!(r.benefit, 0.0);
         assert!(r.materialized.is_empty());
+        assert!(r.plan.materializations.is_empty());
+        assert_eq!(r.plan.query_plans.len(), 3);
         assert_eq!(r.improvement_pct(), 0.0);
     }
 
     #[test]
+    fn reports_carry_the_extracted_plan() {
+        let s = session();
+        let r = s.run(Strategy::Greedy);
+        assert_eq!(r.plan.materializations.len(), r.materialized.len());
+        assert_eq!(r.plan.query_plans.len(), 3);
+        assert!(
+            (r.plan.total_cost - r.total_cost).abs() <= 1e-9 * (1.0 + r.total_cost),
+            "plan total {} vs bc(S) {}",
+            r.plan.total_cost,
+            r.total_cost
+        );
+    }
+
+    #[test]
     fn materialize_all_is_worse_than_greedy() {
-        let b = batch();
-        let cm = DiskCostModel::paper();
-        let all = optimize(&b, &cm, Strategy::MaterializeAll);
-        let greedy = optimize(&b, &cm, Strategy::Greedy);
+        let s = session();
+        let all = s.run(Strategy::MaterializeAll);
+        let greedy = s.run(Strategy::Greedy);
         assert!(
             all.total_cost >= greedy.total_cost - 1e-6,
             "cost-blind materialize-everything must not beat greedy"
@@ -297,25 +325,16 @@ mod tests {
 
     #[test]
     fn cardinality_constraint_limits_materializations() {
-        let b = batch();
-        let cm = DiskCostModel::paper();
-        let r = optimize(
-            &b,
-            &cm,
-            Strategy::CardinalityMarginalGreedy {
-                k: 1,
-                reduce_universe: false,
-            },
-        );
+        let s = session();
+        let r = s.run(Strategy::CardinalityMarginalGreedy {
+            k: 1,
+            reduce_universe: false,
+        });
         assert!(r.materialized.len() <= 1);
-        let pruned = optimize(
-            &b,
-            &cm,
-            Strategy::CardinalityMarginalGreedy {
-                k: 1,
-                reduce_universe: true,
-            },
-        );
+        let pruned = s.run(Strategy::CardinalityMarginalGreedy {
+            k: 1,
+            reduce_universe: true,
+        });
         assert_eq!(r.materialized, pruned.materialized, "Theorem 4");
     }
 }

@@ -8,7 +8,7 @@
 use std::cell::RefCell;
 
 use mqo_core::batch::BatchDag;
-use mqo_core::engine::{BestCostEngine, EngineConfig};
+use mqo_core::engine::{BestCostEngine, MqoConfig};
 use mqo_submod::bitset::BitSet;
 use mqo_submod::prng::{seeded_sweep, Prng};
 use mqo_volcano::cost::DiskCostModel;
@@ -21,9 +21,9 @@ fn bq4() -> BatchDag {
     BatchDag::build(w.ctx, &w.queries, &RuleSet::default())
 }
 
-fn engine(batch: &BatchDag, config: EngineConfig) -> BestCostEngine {
+fn engine(batch: &BatchDag, config: MqoConfig) -> BestCostEngine {
     let cm = DiskCostModel::paper();
-    BestCostEngine::with_config(&batch.memo, &cm, batch.root, &batch.shareable, config)
+    BestCostEngine::with_config(batch.memo(), &cm, batch.root(), batch.shareable(), config)
 }
 
 fn random_subset(rng: &mut Prng, n: usize) -> BitSet {
@@ -56,7 +56,7 @@ fn sharded_bc_many_is_bit_identical_to_serial_on_bq4() {
     for threshold in [0usize, 4, usize::MAX] {
         let serial = RefCell::new(engine(
             &batch,
-            EngineConfig {
+            MqoConfig {
                 rebase_threshold: threshold,
                 threads: 1,
                 ..Default::default()
@@ -65,7 +65,7 @@ fn sharded_bc_many_is_bit_identical_to_serial_on_bq4() {
         for threads in [2usize, 3, 8] {
             let sharded = RefCell::new(engine(
                 &batch,
-                EngineConfig {
+                MqoConfig {
                     rebase_threshold: threshold,
                     threads,
                     ..Default::default()
@@ -101,7 +101,7 @@ fn sharded_bc_many_matches_force_full_on_bq4() {
     let n = batch.universe_size();
     let full = RefCell::new(engine(
         &batch,
-        EngineConfig {
+        MqoConfig {
             force_full: true,
             ..Default::default()
         },
@@ -109,7 +109,7 @@ fn sharded_bc_many_matches_force_full_on_bq4() {
     for threads in [2usize, 8] {
         let sharded = RefCell::new(engine(
             &batch,
-            EngineConfig {
+            MqoConfig {
                 threads,
                 ..Default::default()
             },
@@ -142,14 +142,14 @@ fn greedy_replay_is_bit_identical_across_thread_counts() {
     let n = batch.universe_size();
     let mut serial = engine(
         &batch,
-        EngineConfig {
+        MqoConfig {
             threads: 1,
             ..Default::default()
         },
     );
     let mut sharded = engine(
         &batch,
-        EngineConfig {
+        MqoConfig {
             threads: 8,
             ..Default::default()
         },

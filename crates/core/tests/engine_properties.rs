@@ -8,7 +8,7 @@
 
 use mqo_catalog::{Catalog, TableBuilder};
 use mqo_core::batch::BatchDag;
-use mqo_core::engine::{BestCostEngine, EngineConfig};
+use mqo_core::engine::{BestCostEngine, MqoConfig};
 use mqo_submod::bitset::BitSet;
 use mqo_submod::prng::{seeded_sweep, Prng};
 use mqo_volcano::cost::DiskCostModel;
@@ -93,13 +93,13 @@ fn prop_incremental_equals_full() {
         let subset_seed = rng.next_u64();
         let batch = random_batch(3, &specs);
         let cm = DiskCostModel::paper();
-        let mut inc = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
+        let mut inc = BestCostEngine::new(batch.memo(), &cm, batch.root(), batch.shareable());
         let mut full = BestCostEngine::with_config(
-            &batch.memo,
+            batch.memo(),
             &cm,
-            batch.root,
-            &batch.shareable,
-            EngineConfig {
+            batch.root(),
+            batch.shareable(),
+            MqoConfig {
                 force_full: true,
                 ..Default::default()
             },
@@ -131,13 +131,13 @@ fn prop_engine_matches_reference() {
         let specs = draw_specs(rng, 2, 3);
         let batch = random_batch(3, &specs);
         let cm = DiskCostModel::paper();
-        let mut engine = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
-        let opt = Optimizer::new(&batch.memo, &cm);
+        let mut engine = BestCostEngine::new(batch.memo(), &cm, batch.root(), batch.shareable());
+        let opt = Optimizer::new(batch.memo(), &cm);
         let n = batch.universe_size();
 
         let bc_empty = engine.bc(&BitSet::empty(n));
         let mut t = PlanTable::new();
-        let reference = opt.best_use_cost(batch.root, &MatOverlay::empty(), &mut t);
+        let reference = opt.best_use_cost(batch.root(), &MatOverlay::empty(), &mut t);
         assert!(
             (bc_empty - reference).abs() < 1e-6 * (1.0 + reference),
             "bc(empty) {bc_empty} vs reference {reference}"
@@ -146,10 +146,10 @@ fn prop_engine_matches_reference() {
         for e in 0..n.min(8) {
             let set = BitSet::from_iter(n, [e]);
             let bc = engine.bc(&set);
-            let g = batch.shareable[e];
-            let overlay = MatOverlay::new(&batch.memo, [g]);
+            let g = batch.shareable()[e];
+            let overlay = MatOverlay::new(batch.memo(), [g]);
             let mut t1 = PlanTable::new();
-            let buc = opt.best_use_cost(batch.root, &overlay, &mut t1);
+            let buc = opt.best_use_cost(batch.root(), &overlay, &mut t1);
             let produce = opt.produce_cost(g, &overlay);
             let expect = buc + produce + opt.write_cost(g);
             assert!(
@@ -168,7 +168,7 @@ fn prop_bc_sane() {
         let mask = rng.next_u64();
         let batch = random_batch(3, &specs);
         let cm = DiskCostModel::paper();
-        let mut engine = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
+        let mut engine = BestCostEngine::new(batch.memo(), &cm, batch.root(), batch.shareable());
         let n = batch.universe_size();
         let set = BitSet::from_iter(n, (0..n).filter(|e| (mask >> (e % 64)) & 1 == 1));
         let bc = engine.bc(&set);

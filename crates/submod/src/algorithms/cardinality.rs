@@ -152,7 +152,7 @@ pub fn cardinality_marginal_greedy<F: SetFunction>(
 /// submodular maximization under a cardinality constraint: pick the largest
 /// marginal until `k` elements are chosen.
 ///
-/// Provided as the textbook baseline the paper builds on ([19]); unlike
+/// Provided as the textbook baseline the paper builds on (\[19]); unlike
 /// Algorithm 1 it does not stop early on non-improving steps (marginals of a
 /// monotone function are never negative anyway).
 pub fn cardinality_greedy_monotone<F: SetFunction>(

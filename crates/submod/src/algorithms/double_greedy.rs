@@ -1,4 +1,4 @@
-//! The deterministic double greedy of Buchbinder et al. [2].
+//! The deterministic double greedy of Buchbinder et al. \[2].
 //!
 //! A linear-time 1/2-approximation for unconstrained *non-negative*
 //! submodular maximization. Included as the baseline the paper contrasts

@@ -1,5 +1,5 @@
 //! Monotone submodular maximization under a knapsack constraint —
-//! Sviridenko's algorithm [28], the stated inspiration for MarginalGreedy.
+//! Sviridenko's algorithm \[28], the stated inspiration for MarginalGreedy.
 //!
 //! The paper remarks (end of Section 3.1) that running the knapsack ratio
 //! greedy "for multiple values of the budget ... leads to the same answer

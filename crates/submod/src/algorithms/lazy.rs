@@ -7,7 +7,7 @@
 //! one. The lazy variant keeps those stale bounds in a max-heap and only
 //! recomputes the ratio of the popped element; if the refreshed value still
 //! dominates the next heap top, it is the true argmax and no other element
-//! needs to be touched. This is Minoux's accelerated greedy [16] adapted to
+//! needs to be touched. This is Minoux's accelerated greedy \[16] adapted to
 //! the ratio rule, and the same idea Pyro used under the "monotonicity
 //! heuristic".
 

@@ -13,7 +13,7 @@
 //!   Theorem 1 guarantee under the canonical decomposition.
 //! * [`algorithms::lazy`] — the LazyMarginalGreedy acceleration (§5.2).
 //! * [`algorithms::greedy`] — Algorithm 1, the Greedy heuristic of Roy et
-//!   al. [23], plus its LazyGreedy acceleration.
+//!   al. \[23], plus its LazyGreedy acceleration.
 //! * [`algorithms::cardinality`] — the §5.3 cardinality-constrained variant
 //!   with the Theorem 4 universe reduction.
 //! * [`algorithms::double_greedy`] — Buchbinder et al.'s 1/2-approximation

@@ -19,9 +19,11 @@
 //! * [`cost`] — the cost-model trait, the paper's disk cost model (4 KB
 //!   blocks, 6 MB per operator, 10 ms seek, 2/4 ms block read/write,
 //!   0.2 ms/block CPU) and the unit model of Example 1.
-//! * [`optimizer`] — the physical DP over `(group, required order)` with
-//!   sort enforcers and a materialized-node overlay: this is
-//!   `bestUseCost(Q, S)` from Section 2.4.
+//! * [`optimizer`] — the reference physical DP over
+//!   `(group, required order)` with sort enforcers and a
+//!   materialized-node overlay: this is `bestUseCost(Q, S)` from
+//!   Section 2.4, kept as the test oracle for `mqo-core`'s compiled
+//!   engine and arena-based plan extraction.
 //! * [`plan`] — extracted physical plans with pretty-printing.
 pub mod context;
 pub mod cost;

@@ -1,6 +1,12 @@
-//! The physical optimizer: dynamic programming over
+//! The *reference* physical optimizer: dynamic programming over
 //! `(equivalence node, required sort order)` with sort enforcers and a
 //! materialized-node overlay.
+//!
+//! This is the readable, hash-map-memoized specification of the DP — the
+//! test oracle the compiled engine and the arena-based plan extractor in
+//! `mqo-core` are differentially pinned against (its [`PlanTable`] hashes
+//! `(GroupId, SortOrder)` keys; the production paths index dense arenas
+//! instead). Nothing on a hot path calls it.
 //!
 //! `best_use_cost(root, overlay)` is exactly the paper's
 //! `bestUseCost(Q, S)` (Section 2.4): the cost of the best plan that may

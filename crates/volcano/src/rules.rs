@@ -15,7 +15,7 @@
 //!
 //! 1. **Generate** — every frontier expression is matched against the
 //!    per-expression rules on a frozen `&Memo` snapshot, producing
-//!    [`Candidate`] programs (small insert scripts) without mutating
+//!    `Candidate` programs (small insert scripts) without mutating
 //!    anything. This phase is embarrassingly parallel: with `threads > 1`
 //!    the frontier is split into contiguous chunks and fanned out over
 //!    `std::thread::scope` workers.
@@ -100,9 +100,11 @@ pub struct ExpansionStats {
 /// indicates a runaway rule rather than a legitimate workload.
 const MAX_EXPRS: usize = 500_000;
 
-/// The `MQO_THREADS` environment default for the expansion fixpoint's
-/// candidate-generation phase: unset or unparsable means `1` (serial);
-/// `0` means auto-detect. Mirrors the engine-side `threads_from_env`.
+/// The `MQO_THREADS` environment convention shared by the whole
+/// workspace: unset or unparsable means `1` (serial); `0` means
+/// auto-detect. The parsing lives here so expansion and the `mqo-core`
+/// oracle cannot drift apart, but the variable is *read* in exactly one
+/// place — `mqo_core`'s `MqoConfig::default()`.
 pub fn expand_threads_from_env() -> usize {
     std::env::var("MQO_THREADS")
         .ok()
@@ -124,10 +126,13 @@ pub fn effective_threads(threads: usize, n_items: usize) -> usize {
     t.clamp(1, n_items.max(1))
 }
 
-/// Expands the memo to fixpoint under `rules`, with the candidate
-/// generation thread count taken from `MQO_THREADS` (default serial).
+/// Expands the memo to fixpoint under `rules` with serial candidate
+/// generation. The resulting memo is bit-identical to any parallel
+/// [`expand_with`] run; callers wanting the fan-out (e.g. `mqo-core`'s
+/// `Session`) pass an explicit thread count instead of an environment
+/// read.
 pub fn expand(memo: &mut Memo, rules: &RuleSet) -> ExpansionStats {
-    expand_with(memo, rules, expand_threads_from_env())
+    expand_with(memo, rules, 1)
 }
 
 /// Expands the memo to fixpoint under `rules` with an explicit worker

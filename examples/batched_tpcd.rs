@@ -7,29 +7,29 @@
 //!
 //! Run with `cargo run --release --example batched_tpcd`.
 
-use mqo_core::batch::BatchDag;
-use mqo_core::strategies::{optimize, Strategy};
-use mqo_volcano::cost::DiskCostModel;
-use mqo_volcano::rules::RuleSet;
+use provable_mqo::prelude::*;
 
 fn main() {
-    let cm = DiskCostModel::paper();
     for i in 1..=4 {
         let w = mqo_tpcd::batched(i, 1.0);
         let name = w.name.clone();
-        let batch = BatchDag::build(w.ctx, &w.queries, &RuleSet::default());
+        let session = Session::builder()
+            .context(w.ctx)
+            .queries(w.queries)
+            .cost_model(DiskCostModel::paper())
+            .build();
+        let batch = session.batch();
         println!(
             "\n=== {name}: {} queries, {} groups, {} shareable nodes ===",
             2 * i,
-            batch.expansion.groups,
-            batch.universe_size()
+            batch.expansion().groups,
+            session.universe_size()
         );
-        for s in [
+        for r in session.run_all(&[
             Strategy::Volcano,
             Strategy::Greedy,
             Strategy::MarginalGreedy,
-        ] {
-            let r = optimize(&batch, &cm, s);
+        ]) {
             println!(
                 "{:16} cost {:>12.0} ms   improvement {:>5.1}%   {} materialized   ({} bc calls, {:?})",
                 r.strategy,
@@ -40,7 +40,7 @@ fn main() {
                 r.opt_time,
             );
             for &g in &r.materialized {
-                let props = batch.memo.props(g);
+                let props = batch.memo().props(g);
                 println!(
                     "    - group {:>4}: {} leaves, {:>12.0} rows",
                     g.0,

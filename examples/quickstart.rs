@@ -7,12 +7,7 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use mqo_catalog::{Catalog, TableBuilder};
-use mqo_core::batch::BatchDag;
-use mqo_core::strategies::{optimize, Strategy};
-use mqo_volcano::cost::UnitCostModel;
-use mqo_volcano::rules::RuleSet;
-use mqo_volcano::{DagContext, PlanNode, Predicate};
+use provable_mqo::prelude::*;
 
 fn main() {
     // 1. A catalog with four relations.
@@ -43,11 +38,17 @@ fn main() {
         .join(PlanNode::scan(c), p_bc)
         .join(PlanNode::scan(d), p_bd);
 
-    // 3. Build the combined DAG (expansion + common-subexpression
-    //    unification) and optimize.
-    let batch = BatchDag::build(ctx, &[q1, q2], &RuleSet::joins_only());
-    let volcano = optimize(&batch, &UnitCostModel, Strategy::Volcano);
-    let mqo = optimize(&batch, &UnitCostModel, Strategy::MarginalGreedy);
+    // 3. One Session owns the whole pipeline: DAG expansion +
+    //    common-subexpression unification, node selection, and
+    //    consolidated-plan extraction.
+    let batch = Session::builder()
+        .context(ctx)
+        .queries([q1, q2])
+        .rules(RuleSet::joins_only())
+        .cost_model(UnitCostModel)
+        .build();
+    let volcano = batch.run(Strategy::Volcano);
+    let mqo = batch.run(Strategy::MarginalGreedy);
 
     println!("stand-alone Volcano cost : {}", volcano.total_cost);
     println!("MarginalGreedy cost      : {}", mqo.total_cost);
@@ -56,6 +57,7 @@ fn main() {
         mqo.materialized.len()
     );
     println!("benefit                  : {}", mqo.benefit);
+    println!("\nconsolidated plan:\n{}", mqo.plan.render(batch.batch()));
     assert_eq!(volcano.total_cost, 460.0);
     assert_eq!(mqo.total_cost, 370.0);
 }

@@ -8,20 +8,19 @@
 //!
 //! Run with `cargo run --release --example standalone_tpcd`.
 
-use mqo_core::batch::BatchDag;
-use mqo_core::consolidated::ConsolidatedPlan;
-use mqo_core::strategies::{optimize, Strategy};
-use mqo_volcano::cost::DiskCostModel;
-use mqo_volcano::rules::RuleSet;
+use provable_mqo::prelude::*;
 
 fn main() {
-    let cm = DiskCostModel::paper();
     for name in mqo_tpcd::STANDALONE_NAMES {
         let w = mqo_tpcd::standalone(name, 1.0);
-        let batch = BatchDag::build(w.ctx, &w.queries, &RuleSet::default());
-        let volcano = optimize(&batch, &cm, Strategy::Volcano);
-        let greedy = optimize(&batch, &cm, Strategy::Greedy);
-        let marginal = optimize(&batch, &cm, Strategy::MarginalGreedy);
+        let session = Session::builder()
+            .context(w.ctx)
+            .queries(w.queries)
+            .cost_model(DiskCostModel::paper())
+            .build();
+        let volcano = session.run(Strategy::Volcano);
+        let greedy = session.run(Strategy::Greedy);
+        let marginal = session.run(Strategy::MarginalGreedy);
         println!(
             "{name:5}  volcano {:>10.0}  greedy {:>10.0} ({:>4.1}%)  marginal {:>10.0} ({:>4.1}%)",
             volcano.total_cost,
@@ -32,9 +31,12 @@ fn main() {
         );
         if name == "Q15" {
             // Show the consolidated artifact for the most illustrative case:
-            // the revenue view computed once, read twice.
-            let plan = ConsolidatedPlan::extract(&batch, &cm, &greedy.materialized);
-            println!("\nQ15 consolidated plan:\n{}", plan.render(&batch));
+            // the revenue view computed once, read twice. Every report
+            // carries the extracted plan — no separate extraction call.
+            println!(
+                "\nQ15 consolidated plan:\n{}",
+                greedy.plan.render(session.batch())
+            );
         }
     }
 }

@@ -9,19 +9,19 @@
 //!
 //! Run with `cargo run --release --example storage_budget`.
 
-use mqo_core::batch::BatchDag;
-use mqo_core::strategies::{optimize, Strategy};
-use mqo_volcano::cost::DiskCostModel;
-use mqo_volcano::rules::RuleSet;
+use provable_mqo::prelude::*;
 
 fn main() {
-    let cm = DiskCostModel::paper();
     let w = mqo_tpcd::batched(4, 1.0);
-    let batch = BatchDag::build(w.ctx, &w.queries, &RuleSet::default());
-    let volcano = optimize(&batch, &cm, Strategy::Volcano);
+    let session = Session::builder()
+        .context(w.ctx)
+        .queries(w.queries)
+        .cost_model(DiskCostModel::paper())
+        .build();
+    let volcano = session.run(Strategy::Volcano);
     println!(
         "BQ4 at SF 1: {} shareable nodes, Volcano cost {:.0}\n",
-        batch.universe_size(),
+        session.universe_size(),
         volcano.total_cost
     );
     println!(
@@ -29,22 +29,14 @@ fn main() {
         "k", "cost", "benefit", "used"
     );
     for k in [0usize, 1, 2, 3, 4, 6, 8] {
-        let constrained = optimize(
-            &batch,
-            &cm,
-            Strategy::CardinalityMarginalGreedy {
-                k,
-                reduce_universe: false,
-            },
-        );
-        let pruned = optimize(
-            &batch,
-            &cm,
-            Strategy::CardinalityMarginalGreedy {
-                k,
-                reduce_universe: true,
-            },
-        );
+        let constrained = session.run(Strategy::CardinalityMarginalGreedy {
+            k,
+            reduce_universe: false,
+        });
+        let pruned = session.run(Strategy::CardinalityMarginalGreedy {
+            k,
+            reduce_universe: true,
+        });
         assert_eq!(
             constrained.materialized, pruned.materialized,
             "Theorem 4: universe reduction must not change the answer"
@@ -57,7 +49,7 @@ fn main() {
             constrained.materialized.len(),
         );
     }
-    let unconstrained = optimize(&batch, &cm, Strategy::MarginalGreedy);
+    let unconstrained = session.run(Strategy::MarginalGreedy);
     println!(
         "\nunconstrained MarginalGreedy: cost {:.0}, {} nodes",
         unconstrained.total_cost,

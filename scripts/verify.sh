@@ -5,17 +5,23 @@
 # with --offline against an empty registry cache. Steps:
 #   1. release build of every default-member crate
 #   2. full test suite (unit + integration + doc-tests, warning-free),
-#      run twice: MQO_THREADS=1 (serial oracle) and MQO_THREADS=4
-#      (sharded bc_many) — results must be identical by construction
+#      run twice: MQO_THREADS=1 (serial oracle + expansion) and
+#      MQO_THREADS=4 (sharded bc_many + parallel expansion) — results
+#      must be identical by construction
 #   3. all remaining targets: examples, benches, experiment binaries
-#   4. clippy (all targets, warnings are errors) and rustfmt --check
-#   5. one smoke iteration of each bench target via the in-repo harness
+#   4. clippy (all targets, warnings are errors), rustfmt --check, and
+#      rustdoc with -D warnings (broken intra-doc links on the Session
+#      API fail the gate)
+#   5. API-surface gate: no example or bench source may reference the
+#      removed pre-Session free functions (optimize / optimize_with /
+#      compare) — the Session API is the only entry point
+#   6. one smoke iteration of each bench target via the in-repo harness
 #
-# `scripts/verify.sh --bench-smoke` skips 1-4 and runs only the bench
-# smoke, additionally recording the bc_oracle and memo_expand throughput
-# baselines (both carrying per-series `threads` fields) to
-# BENCH_bc_oracle.json / BENCH_memo_expand.json at the repo root. Any
-# BENCH_*.json baseline missing a `threads` field fails the run.
+# `scripts/verify.sh --bench-smoke` skips 1-5 and runs only the bench
+# smoke, additionally recording the bc_oracle, memo_expand, and opt_time
+# (extract series) throughput baselines (all carrying per-series
+# `threads` fields) to BENCH_*.json at the repo root. Any BENCH_*.json
+# baseline missing a `threads` field fails the run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,10 +38,22 @@ check_bench_baselines() {
     done
 }
 
+check_no_removed_free_functions() {
+    # The pre-Session free functions are gone; examples and bench
+    # binaries must route through Session::builder()/run. (Compilation
+    # would catch imports, but a grep also catches shadowing helpers
+    # that would resurrect the old API shape.)
+    if grep -RnE '\b(optimize|optimize_with|compare)\s*\(' examples crates/bench/src crates/bench/benches; then
+        echo "ERROR: an example or bench binary still references a removed free function" >&2
+        echo "       (optimize/optimize_with/compare); migrate it to the Session API" >&2
+        exit 1
+    fi
+}
+
 bench_smoke() {
     local record="${1:-}"
     echo "==> bench smoke (1 sample per benchmark)"
-    for b in submod_algos bestcost opt_time; do
+    for b in submod_algos bestcost; do
         MQO_BENCH_SAMPLES=1 MQO_BENCH_WARMUP=1 cargo bench --offline -q -p mqo-bench --bench "$b"
     done
     if [[ "$record" == "record" ]]; then
@@ -45,9 +63,13 @@ bench_smoke() {
         echo "==> memo_expand (3 samples, recording BENCH_memo_expand.json)"
         MQO_BENCH_SAMPLES=3 MQO_BENCH_JSON="$PWD/BENCH_memo_expand.json" \
             cargo bench --offline -q -p mqo-bench --bench memo_expand
+        echo "==> opt_time (3 samples, recording BENCH_opt_time.json extract series)"
+        MQO_BENCH_SAMPLES=3 MQO_BENCH_JSON="$PWD/BENCH_opt_time.json" \
+            cargo bench --offline -q -p mqo-bench --bench opt_time
     else
         MQO_BENCH_SAMPLES=1 cargo bench --offline -q -p mqo-bench --bench bc_oracle
         MQO_BENCH_SAMPLES=1 cargo bench --offline -q -p mqo-bench --bench memo_expand
+        MQO_BENCH_SAMPLES=1 MQO_BENCH_WARMUP=1 cargo bench --offline -q -p mqo-bench --bench opt_time
     fi
     check_bench_baselines
 }
@@ -61,8 +83,10 @@ echo "==> cargo build --release --offline"
 cargo build --release --offline
 
 # The two full-suite runs below are what executes the differential
-# suites (engine_differential, memo_differential) under both thread
-# settings — parallel ≡ serial bit-identity is pinned on every run.
+# suites (engine_differential, memo_differential,
+# plan_extraction_differential) under both thread settings — parallel ≡
+# serial bit-identity and arena ≡ PlanTable plan-extraction equivalence
+# are pinned on every run.
 echo "==> cargo test -q --offline (MQO_THREADS=1: serial oracle + expansion, incl. differential suites)"
 MQO_THREADS=1 cargo test -q --offline
 
@@ -77,6 +101,12 @@ cargo clippy --offline --all-targets -- -D warnings
 
 echo "==> cargo fmt --check"
 cargo fmt --check
+
+echo "==> cargo doc --no-deps --offline (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline -q
+
+echo "==> checking no example/bin references the removed free functions"
+check_no_removed_free_functions
 
 bench_smoke
 

@@ -10,9 +10,28 @@
 //! * [`catalog`] — relational catalog and statistics.
 //! * [`volcano`] — the Volcano/Cascades optimizer substrate: AND-OR DAG
 //!   memo, transformation rules, physical operators, disk cost model.
-//! * [`core`] — MQO proper: combined DAG, `bestCost` oracle with
-//!   incremental recomputation, materialization benefit, strategies.
+//! * [`core`] — MQO proper: the [`prelude::Session`] API over the combined
+//!   DAG, the `bestCost` oracle with incremental recomputation, the
+//!   materialization benefit, the strategies, and arena-based
+//!   consolidated-plan extraction.
 //! * [`tpcd`] — the TPCD workload of the experimental section.
+//!
+//! The one-stop entry point is [`prelude`]:
+//!
+//! ```no_run
+//! use provable_mqo::prelude::*;
+//!
+//! # fn queries() -> (DagContext, Vec<PlanNode>) { unimplemented!() }
+//! let (ctx, qs) = queries();
+//! let batch = Session::builder()
+//!     .context(ctx)
+//!     .queries(qs)
+//!     .cost_model(DiskCostModel::paper())
+//!     .build();
+//! let report = batch.run(Strategy::MarginalGreedy);
+//! println!("cost {} vs volcano {}", report.total_cost, report.volcano_cost);
+//! println!("{}", report.plan.render(batch.batch()));
+//! ```
 //!
 //! See `examples/quickstart.rs` for a complete end-to-end example, and the
 //! `mqo-bench` crate for the binaries regenerating every figure of the
@@ -23,3 +42,39 @@ pub use mqo_core as core;
 pub use mqo_submod as submod;
 pub use mqo_tpcd as tpcd;
 pub use mqo_volcano as volcano;
+
+/// Everything needed to build queries, run a [`Session`](prelude::Session),
+/// and inspect the resulting consolidated plans — one `use
+/// provable_mqo::prelude::*;` away.
+///
+/// Re-exports, by pipeline stage:
+///
+/// * **Catalog / context** — [`Catalog`](prelude::Catalog),
+///   [`TableBuilder`](prelude::TableBuilder),
+///   [`DagContext`](prelude::DagContext).
+/// * **Query construction** — [`PlanNode`](prelude::PlanNode),
+///   [`Predicate`](prelude::Predicate),
+///   [`Constraint`](prelude::Constraint), [`RuleSet`](prelude::RuleSet).
+/// * **Cost models** — [`CostModel`](prelude::CostModel),
+///   [`DiskCostModel`](prelude::DiskCostModel),
+///   [`UnitCostModel`](prelude::UnitCostModel).
+/// * **The session** — [`Session`](prelude::Session),
+///   [`SessionBuilder`](prelude::SessionBuilder),
+///   [`OptimizedBatch`](prelude::OptimizedBatch),
+///   [`MqoConfig`](prelude::MqoConfig).
+/// * **Results** — [`Strategy`](prelude::Strategy),
+///   [`RunReport`](prelude::RunReport),
+///   [`ConsolidatedPlan`](prelude::ConsolidatedPlan),
+///   [`PhysOp`](prelude::PhysOp), [`PhysPlan`](prelude::PhysPlan),
+///   [`GroupId`](prelude::GroupId).
+pub mod prelude {
+    pub use mqo_catalog::{Catalog, TableBuilder};
+    pub use mqo_core::{
+        BatchDag, ConsolidatedPlan, MqoConfig, OptimizedBatch, RunReport, Session, SessionBuilder,
+        Strategy,
+    };
+    pub use mqo_volcano::cost::{CostModel, DiskCostModel, UnitCostModel};
+    pub use mqo_volcano::physical::{PhysOp, PhysPlan, SortOrder};
+    pub use mqo_volcano::rules::RuleSet;
+    pub use mqo_volcano::{Constraint, DagContext, GroupId, PlanNode, Predicate};
+}

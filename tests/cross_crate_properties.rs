@@ -18,7 +18,7 @@ fn mb_for(workload: &str, sf: f64) -> (BatchDag, MbFunction) {
     };
     let batch = BatchDag::build(w.ctx, &w.queries, &RuleSet::default());
     let cm = DiskCostModel::paper();
-    let engine = BestCostEngine::new(&batch.memo, &cm, batch.root, &batch.shareable);
+    let engine = BestCostEngine::new(batch.memo(), &cm, batch.root(), batch.shareable());
     let mb = MbFunction::new(engine);
     (batch, mb)
 }
@@ -56,7 +56,7 @@ fn best_use_cost_is_monotone_nonincreasing_in_s() {
     let (batch, mb) = mb_for("BQ2", 1.0);
     let n = mb.universe();
     let cm = DiskCostModel::paper();
-    let opt = Optimizer::new(&batch.memo, &cm);
+    let opt = Optimizer::new(batch.memo(), &cm);
 
     let mut sets = vec![BitSet::empty(n)];
     // A nested chain ∅ ⊂ S1 ⊂ S2 ⊂ ... over the first few elements.
@@ -67,9 +67,9 @@ fn best_use_cost_is_monotone_nonincreasing_in_s() {
     }
     let mut prev = f64::INFINITY;
     for s in &sets {
-        let overlay = MatOverlay::new(&batch.memo, s.iter().map(|e| batch.shareable[e]));
+        let overlay = MatOverlay::new(batch.memo(), s.iter().map(|e| batch.shareable()[e]));
         let mut table = PlanTable::new();
-        let buc = opt.best_use_cost(batch.root, &overlay, &mut table);
+        let buc = opt.best_use_cost(batch.root(), &overlay, &mut table);
         assert!(
             buc <= prev + 1e-6,
             "buc must not increase as S grows: {buc} after {prev}"
@@ -83,7 +83,7 @@ fn engine_and_reference_agree_on_random_subsets() {
     let (batch, mb) = mb_for("BQ2", 1.0);
     let n = mb.universe();
     let cm = DiskCostModel::paper();
-    let opt = Optimizer::new(&batch.memo, &cm);
+    let opt = Optimizer::new(batch.memo(), &cm);
 
     let mut state = 0xDEADBEEFu64;
     for _ in 0..10 {
@@ -93,10 +93,10 @@ fn engine_and_reference_agree_on_random_subsets() {
         let set = BitSet::from_iter(n, (0..n).filter(|e| (state >> (e % 61)) & 3 == 0));
         let engine_bc = mb.bc(&set);
 
-        let groups: Vec<_> = set.iter().map(|e| batch.shareable[e]).collect();
-        let overlay = MatOverlay::new(&batch.memo, groups.iter().copied());
+        let groups: Vec<_> = set.iter().map(|e| batch.shareable()[e]).collect();
+        let overlay = MatOverlay::new(batch.memo(), groups.iter().copied());
         let mut table = PlanTable::new();
-        let mut reference = opt.best_use_cost(batch.root, &overlay, &mut table);
+        let mut reference = opt.best_use_cost(batch.root(), &overlay, &mut table);
         for &g in &groups {
             reference += opt.produce_cost(g, &overlay) + opt.write_cost(g);
         }
@@ -113,16 +113,16 @@ fn incremental_equals_full_on_real_mb() {
     let batch = BatchDag::build(w.ctx, &w.queries, &RuleSet::default());
     let cm = DiskCostModel::paper();
     let inc = MbFunction::new(BestCostEngine::new(
-        &batch.memo,
+        batch.memo(),
         &cm,
-        batch.root,
-        &batch.shareable,
+        batch.root(),
+        batch.shareable(),
     ));
     let full = MbFunction::new(BestCostEngine::new(
-        &batch.memo,
+        batch.memo(),
         &cm,
-        batch.root,
-        &batch.shareable,
+        batch.root(),
+        batch.shareable(),
     ));
     full.set_force_full(true);
     let n = inc.universe();

@@ -2,11 +2,24 @@
 //! predicates, and alternative cost-model configurations.
 
 use mqo_catalog::{Catalog, TableBuilder};
-use mqo_core::batch::BatchDag;
-use mqo_core::strategies::{optimize, Strategy};
+use mqo_core::session::{OptimizedBatch, Session};
+use mqo_core::strategies::Strategy;
 use mqo_volcano::cost::{CostModel, DiskCostModel};
 use mqo_volcano::rules::RuleSet;
 use mqo_volcano::{Constraint, DagContext, PlanNode, Predicate};
+
+fn session(
+    ctx: DagContext,
+    queries: Vec<PlanNode>,
+    cm: impl CostModel + 'static,
+) -> OptimizedBatch {
+    Session::builder()
+        .context(ctx)
+        .queries(queries)
+        .rules(RuleSet::default())
+        .cost_model(cm)
+        .build()
+}
 
 fn tiny_catalog() -> Catalog {
     let mut cat = Catalog::new();
@@ -35,15 +48,14 @@ fn single_query_with_no_sharing_yields_empty_universe_effect() {
     let mut ctx = DagContext::new(tiny_catalog());
     let r = ctx.instance_by_name("r", 0);
     let q = PlanNode::scan(r).select(Predicate::on(ctx.col(r, "r_x"), Constraint::eq(3)));
-    let batch = BatchDag::build(ctx, &[q], &RuleSet::default());
-    let cm = DiskCostModel::paper();
-    let volcano = optimize(&batch, &cm, Strategy::Volcano);
+    let batch = session(ctx, vec![q], DiskCostModel::paper());
+    let volcano = batch.run(Strategy::Volcano);
     for s in [
         Strategy::Greedy,
         Strategy::MarginalGreedy,
         Strategy::MaterializeAll,
     ] {
-        let r = optimize(&batch, &cm, s);
+        let r = batch.run(s);
         if s == Strategy::MaterializeAll {
             // Materializing unshared nodes can only hurt or tie.
             assert!(r.total_cost >= volcano.total_cost - 1e-9);
@@ -64,15 +76,14 @@ fn identical_duplicate_queries_share_their_whole_root() {
     let pred = Predicate::join(ctx.col(r, "r_key"), ctx.col(s, "s_fk"));
     let sel = Predicate::on(ctx.col(r, "r_x"), Constraint::eq(3));
     let q = PlanNode::scan(r).select(sel).join(PlanNode::scan(s), pred);
-    let batch = BatchDag::build(ctx, &[q.clone(), q], &RuleSet::default());
+    let batch = session(ctx, vec![q.clone(), q], DiskCostModel::paper());
     assert_eq!(
-        batch.memo.find(batch.query_roots[0]),
-        batch.memo.find(batch.query_roots[1]),
+        batch.batch().memo().find(batch.batch().query_roots()[0]),
+        batch.batch().memo().find(batch.batch().query_roots()[1]),
         "identical queries must land on the same root group"
     );
-    let cm = DiskCostModel::paper();
-    let volcano = optimize(&batch, &cm, Strategy::Volcano);
-    let greedy = optimize(&batch, &cm, Strategy::Greedy);
+    let volcano = batch.run(Strategy::Volcano);
+    let greedy = batch.run(Strategy::Greedy);
     assert!(
         greedy.total_cost < volcano.total_cost,
         "sharing a duplicated query must pay off ({} vs {})",
@@ -89,11 +100,10 @@ fn unsatisfiable_predicate_yields_zero_row_groups_but_valid_plans() {
     // x = 3 AND x = 5: unsatisfiable after normalization.
     let q = PlanNode::scan(r)
         .select(Predicate::on(x, Constraint::eq(3)).and(&Predicate::on(x, Constraint::eq(5))));
-    let batch = BatchDag::build(ctx, &[q], &RuleSet::default());
-    let root = batch.query_roots[0];
-    assert_eq!(batch.memo.props(root).rows, 0.0);
-    let cm = DiskCostModel::paper();
-    let rep = optimize(&batch, &cm, Strategy::Volcano);
+    let batch = session(ctx, vec![q], DiskCostModel::paper());
+    let root = batch.batch().query_roots()[0];
+    assert_eq!(batch.batch().memo().props(root).rows, 0.0);
+    let rep = batch.run(Strategy::Volcano);
     assert!(rep.total_cost.is_finite() && rep.total_cost > 0.0);
 }
 
@@ -102,8 +112,15 @@ fn out_of_domain_constant_estimates_zero_rows() {
     let mut ctx = DagContext::new(tiny_catalog());
     let r = ctx.instance_by_name("r", 0);
     let q = PlanNode::scan(r).select(Predicate::on(ctx.col(r, "r_x"), Constraint::eq(999)));
-    let batch = BatchDag::build(ctx, &[q], &RuleSet::default());
-    assert_eq!(batch.memo.props(batch.query_roots[0]).rows, 0.0);
+    let batch = session(ctx, vec![q], DiskCostModel::paper());
+    assert_eq!(
+        batch
+            .batch()
+            .memo()
+            .props(batch.batch().query_roots()[0])
+            .rows,
+        0.0
+    );
 }
 
 #[test]
@@ -116,12 +133,12 @@ fn paper_128mb_memory_configuration_runs() {
     assert!(cm_128mb.memory_blocks > cm_6mb.memory_blocks);
     for i in [2usize, 3] {
         let w6 = mqo_tpcd::batched(i, 1.0);
-        let b6 = BatchDag::build(w6.ctx, &w6.queries, &RuleSet::default());
+        let b6 = session(w6.ctx, w6.queries, cm_6mb);
         let w128 = mqo_tpcd::batched(i, 1.0);
-        let b128 = BatchDag::build(w128.ctx, &w128.queries, &RuleSet::default());
+        let b128 = session(w128.ctx, w128.queries, cm_128mb);
         for s in [Strategy::Volcano, Strategy::Greedy] {
-            let r6 = optimize(&b6, &cm_6mb, s);
-            let r128 = optimize(&b128, &cm_128mb, s);
+            let r6 = b6.run(s);
+            let r128 = b128.run(s);
             assert!(
                 r128.total_cost <= r6.total_cost + 1e-6,
                 "BQ{i} {}: 128MB {} should not exceed 6MB {}",
@@ -148,12 +165,16 @@ fn empty_candidate_strategies_are_stable_under_rule_subsets() {
     // Running with only the join rules (no subsumption) must still produce
     // valid, consistent results — just possibly fewer sharing options.
     let w_full = mqo_tpcd::batched(2, 1.0);
-    let full = BatchDag::build(w_full.ctx, &w_full.queries, &RuleSet::default());
+    let full = session(w_full.ctx, w_full.queries, DiskCostModel::paper());
     let w_joins = mqo_tpcd::batched(2, 1.0);
-    let joins = BatchDag::build(w_joins.ctx, &w_joins.queries, &RuleSet::joins_only());
-    let cm = DiskCostModel::paper();
-    let r_full = optimize(&full, &cm, Strategy::Greedy);
-    let r_joins = optimize(&joins, &cm, Strategy::Greedy);
+    let joins = Session::builder()
+        .context(w_joins.ctx)
+        .queries(w_joins.queries)
+        .rules(RuleSet::joins_only())
+        .cost_model(DiskCostModel::paper())
+        .build();
+    let r_full = full.run(Strategy::Greedy);
+    let r_joins = joins.run(Strategy::Greedy);
     // The richer rule set can only expose more sharing.
     assert!(
         r_full.total_cost <= r_joins.total_cost + 1e-6,

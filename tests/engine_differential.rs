@@ -8,7 +8,7 @@ use std::cell::RefCell;
 
 use mqo_core::batch::BatchDag;
 use mqo_core::benefit::MbFunction;
-use mqo_core::engine::{BestCostEngine, EngineConfig};
+use mqo_core::engine::{BestCostEngine, MqoConfig};
 use mqo_submod::bitset::BitSet;
 use mqo_submod::function::SetFunction;
 use mqo_submod::prng::{seeded_sweep, Prng};
@@ -22,9 +22,9 @@ fn bq4() -> BatchDag {
     BatchDag::build(w.ctx, &w.queries, &RuleSet::default())
 }
 
-fn engine(batch: &BatchDag, config: EngineConfig) -> BestCostEngine {
+fn engine(batch: &BatchDag, config: MqoConfig) -> BestCostEngine {
     let cm = DiskCostModel::paper();
-    BestCostEngine::with_config(&batch.memo, &cm, batch.root, &batch.shareable, config)
+    BestCostEngine::with_config(batch.memo(), &cm, batch.root(), batch.shareable(), config)
 }
 
 fn random_subset(rng: &mut Prng, n: usize) -> BitSet {
@@ -39,10 +39,10 @@ fn incremental_matches_force_full_on_bq4() {
     let batch = bq4();
     let n = batch.universe_size();
     assert!(n > 0);
-    let inc = RefCell::new(engine(&batch, EngineConfig::default()));
+    let inc = RefCell::new(engine(&batch, MqoConfig::default()));
     let full = RefCell::new(engine(
         &batch,
-        EngineConfig {
+        MqoConfig {
             force_full: true,
             ..Default::default()
         },
@@ -66,7 +66,7 @@ fn batched_matches_force_full_on_bq4() {
     let n = batch.universe_size();
     let full = RefCell::new(engine(
         &batch,
-        EngineConfig {
+        MqoConfig {
             force_full: true,
             ..Default::default()
         },
@@ -74,7 +74,7 @@ fn batched_matches_force_full_on_bq4() {
     for threshold in [0usize, 4, usize::MAX] {
         let batched = RefCell::new(engine(
             &batch,
-            EngineConfig {
+            MqoConfig {
                 rebase_threshold: threshold,
                 ..Default::default()
             },
@@ -114,16 +114,16 @@ fn marginal_many_equals_marginal_loop_on_mb() {
     let batch = bq4();
     let cm = DiskCostModel::paper();
     let mb_batched = MbFunction::new(BestCostEngine::new(
-        &batch.memo,
+        batch.memo(),
         &cm,
-        batch.root,
-        &batch.shareable,
+        batch.root(),
+        batch.shareable(),
     ));
     let mb_loop = MbFunction::new(BestCostEngine::new(
-        &batch.memo,
+        batch.memo(),
         &cm,
-        batch.root,
-        &batch.shareable,
+        batch.root(),
+        batch.shareable(),
     ));
     let n = mb_batched.universe();
     seeded_sweep(
@@ -157,16 +157,16 @@ fn eval_many_equals_eval_loop_on_mb() {
     let batch = bq4();
     let cm = DiskCostModel::paper();
     let mb_batched = MbFunction::new(BestCostEngine::new(
-        &batch.memo,
+        batch.memo(),
         &cm,
-        batch.root,
-        &batch.shareable,
+        batch.root(),
+        batch.shareable(),
     ));
     let mb_loop = MbFunction::new(BestCostEngine::new(
-        &batch.memo,
+        batch.memo(),
         &cm,
-        batch.root,
-        &batch.shareable,
+        batch.root(),
+        batch.shareable(),
     ));
     let n = mb_batched.universe();
     seeded_sweep("eval_many_vs_eval_loop", SWEEP_SEED + 2, 16, |rng| {

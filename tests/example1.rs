@@ -2,15 +2,14 @@
 //! exact published numbers.
 
 use mqo_catalog::{Catalog, TableBuilder};
-use mqo_core::batch::BatchDag;
-use mqo_core::consolidated::ConsolidatedPlan;
-use mqo_core::strategies::{optimize, Strategy};
+use mqo_core::session::{OptimizedBatch, Session};
+use mqo_core::strategies::Strategy;
 use mqo_volcano::cost::UnitCostModel;
 use mqo_volcano::physical::PhysOp;
 use mqo_volcano::rules::RuleSet;
 use mqo_volcano::{DagContext, PlanNode, Predicate};
 
-fn example1_batch() -> BatchDag {
+fn example1_batch() -> OptimizedBatch {
     let mut cat = Catalog::new();
     for name in ["a", "b", "c", "d"] {
         cat.add_table(
@@ -35,14 +34,19 @@ fn example1_batch() -> BatchDag {
     let q2 = PlanNode::scan(b)
         .join(PlanNode::scan(c), p_bc)
         .join(PlanNode::scan(d), p_bd);
-    BatchDag::build(ctx, &[q1, q2], &RuleSet::joins_only())
+    Session::builder()
+        .context(ctx)
+        .queries([q1, q2])
+        .rules(RuleSet::joins_only())
+        .cost_model(UnitCostModel)
+        .build()
 }
 
 #[test]
 fn volcano_cost_is_460() {
     // 6 base-relation accesses ×10 + 4 joins ×100 = 460 (Figure 1a).
     let batch = example1_batch();
-    let r = optimize(&batch, &UnitCostModel, Strategy::Volcano);
+    let r = batch.run(Strategy::Volcano);
     assert_eq!(r.total_cost, 460.0);
 }
 
@@ -58,12 +62,12 @@ fn sharing_b_join_c_costs_370() {
         Strategy::MarginalGreedy,
         Strategy::LazyMarginalGreedy,
     ] {
-        let r = optimize(&batch, &UnitCostModel, strategy);
+        let r = batch.run(strategy);
         assert_eq!(r.total_cost, 370.0, "{}", r.strategy);
         assert_eq!(r.benefit, 90.0);
         assert_eq!(r.materialized.len(), 1);
         // The materialized node is the two-leaf group (B⋈C).
-        let props = batch.memo.props(r.materialized[0]);
+        let props = batch.batch().memo().props(r.materialized[0]);
         assert_eq!(props.leaves.len(), 2);
     }
 }
@@ -71,8 +75,8 @@ fn sharing_b_join_c_costs_370() {
 #[test]
 fn consolidated_plan_reads_materialized_node_twice() {
     let batch = example1_batch();
-    let r = optimize(&batch, &UnitCostModel, Strategy::MarginalGreedy);
-    let plan = ConsolidatedPlan::extract(&batch, &UnitCostModel, &r.materialized);
+    let r = batch.run(Strategy::MarginalGreedy);
+    let plan = &r.plan;
     assert_eq!(plan.total_cost, 370.0);
     assert_eq!(plan.materializations.len(), 1);
     assert_eq!(plan.query_plans.len(), 2);
@@ -94,11 +98,12 @@ fn roots_unify_so_bc_is_a_single_dag() {
     // The expanded DAG contains exactly one group per connected relation
     // subset; B⋈C is shared between the two queries.
     let batch = example1_batch();
-    assert_eq!(batch.query_roots.len(), 2);
+    assert_eq!(batch.batch().query_roots().len(), 2);
     let bc_groups: Vec<_> = batch
-        .shareable
+        .batch()
+        .shareable()
         .iter()
-        .filter(|&&g| batch.memo.props(g).leaves.len() == 2)
+        .filter(|&&g| batch.batch().memo().props(g).leaves.len() == 2)
         .collect();
     // Exactly the B⋈C group is a shareable 2-leaf node reachable from both
     // queries (A⋈B and B⋈D exist but have a single relevant parent each —

@@ -3,24 +3,28 @@
 //! optimum (the ground truth the paper calls untenable at scale — here the
 //! `bc` oracle makes 2^n evaluations affordable for small n).
 
-use mqo_core::batch::BatchDag;
-use mqo_core::strategies::{optimize, Strategy};
+use mqo_core::session::{OptimizedBatch, Session};
+use mqo_core::strategies::Strategy;
 use mqo_volcano::cost::DiskCostModel;
 use mqo_volcano::rules::RuleSet;
 
-fn build(name: &str) -> BatchDag {
+fn build(name: &str) -> OptimizedBatch {
     let w = mqo_tpcd::standalone(name, 1.0);
-    BatchDag::build(w.ctx, &w.queries, &RuleSet::default())
+    Session::builder()
+        .context(w.ctx)
+        .queries(w.queries)
+        .rules(RuleSet::default())
+        .cost_model(DiskCostModel::paper())
+        .build()
 }
 
 #[test]
 fn greedy_is_optimal_on_q11_and_q15() {
-    let cm = DiskCostModel::paper();
     for name in ["Q11", "Q15"] {
         let batch = build(name);
         assert!(batch.universe_size() <= 20, "{name} universe too large");
-        let exhaustive = optimize(&batch, &cm, Strategy::Exhaustive);
-        let greedy = optimize(&batch, &cm, Strategy::Greedy);
+        let exhaustive = batch.run(Strategy::Exhaustive);
+        let greedy = batch.run(Strategy::Greedy);
         assert!(
             greedy.total_cost <= exhaustive.total_cost + 1e-6 * (1.0 + exhaustive.total_cost),
             "{name}: Greedy {} worse than optimal {}",
@@ -35,10 +39,9 @@ fn marginal_greedy_with_cleanup_closes_the_gap_on_q11() {
     // MarginalGreedy alone trails the optimum on Q11 (the mb function
     // violates submodularity there — see EXPERIMENTS.md); the cleanup
     // extension recovers it.
-    let cm = DiskCostModel::paper();
     let batch = build("Q11");
-    let exhaustive = optimize(&batch, &cm, Strategy::Exhaustive);
-    let cleaned = optimize(&batch, &cm, Strategy::MarginalGreedyCleanup);
+    let exhaustive = batch.run(Strategy::Exhaustive);
+    let cleaned = batch.run(Strategy::MarginalGreedyCleanup);
     assert!(
         cleaned.total_cost <= exhaustive.total_cost + 1e-6 * (1.0 + exhaustive.total_cost),
         "cleanup must reach the optimum on Q11: {} vs {}",
@@ -51,9 +54,8 @@ fn marginal_greedy_with_cleanup_closes_the_gap_on_q11() {
 fn exhaustive_never_beats_bc_empty_without_reason() {
     // Sanity: the exhaustive optimum is at most bc(∅) (the empty set is a
     // candidate) and matches Volcano exactly when nothing helps.
-    let cm = DiskCostModel::paper();
     let batch = build("Q2");
-    let volcano = optimize(&batch, &cm, Strategy::Volcano);
-    let exhaustive = optimize(&batch, &cm, Strategy::Exhaustive);
+    let volcano = batch.run(Strategy::Volcano);
+    let exhaustive = batch.run(Strategy::Exhaustive);
     assert!(exhaustive.total_cost <= volcano.total_cost + 1e-6);
 }

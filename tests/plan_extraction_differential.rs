@@ -1,0 +1,177 @@
+//! Differential test for consolidated-plan extraction: the arena-based
+//! extractor (`RunReport::plan`, reading winners off the compiled
+//! `BestCostEngine` arenas) against the pre-`Session` path — the reference
+//! `mqo_volcano::optimizer::Optimizer` with its `HashMap`-keyed
+//! `PlanTable`, replayed here exactly as the old
+//! `ConsolidatedPlan::extract` drove it.
+//!
+//! Pinned: identical plan trees (operators, groups, output orders, row
+//! estimates, child shapes) and matching costs on BQ3/BQ4 across every
+//! strategy and `threads ∈ {1, 4}`. This is the contract that allowed the
+//! old extraction path to be deleted from `mqo-core`.
+
+use mqo_core::config::MqoConfig;
+use mqo_core::session::{OptimizedBatch, Session};
+use mqo_core::strategies::Strategy;
+use mqo_volcano::cost::{CostModel, DiskCostModel};
+use mqo_volcano::memo::GroupId;
+use mqo_volcano::optimizer::{MatOverlay, Optimizer, PlanTable};
+use mqo_volcano::physical::{PhysPlan, SortOrder};
+use mqo_volcano::rules::RuleSet;
+
+fn build(i: usize) -> OptimizedBatch {
+    let w = mqo_tpcd::batched(i, 1.0);
+    Session::builder()
+        .context(w.ctx)
+        .queries(w.queries)
+        .rules(RuleSet::default())
+        .cost_model(DiskCostModel::paper())
+        .build()
+}
+
+/// The old extraction path, verbatim: reference optimizer + `PlanTable`
+/// per materialization (with the node's own read excluded) and per query.
+fn reference_extract(
+    batch: &mqo_core::batch::BatchDag,
+    cm: &dyn CostModel,
+    materialized: &[GroupId],
+) -> (Vec<(GroupId, PhysPlan)>, Vec<PhysPlan>, f64) {
+    let opt = Optimizer::new(batch.memo(), cm);
+    let overlay = MatOverlay::new(batch.memo(), materialized.iter().copied());
+    let mut total = 0.0;
+
+    let mut materializations = Vec::with_capacity(materialized.len());
+    for &g in materialized {
+        let g = batch.memo().find(g);
+        let produce_overlay = overlay.excluding(g);
+        let mut table = PlanTable::new();
+        let cost = opt.best_use_cost(g, &produce_overlay, &mut table);
+        let plan = opt.extract_plan(g, &SortOrder::none(), &produce_overlay, &mut table);
+        total += cost + opt.write_cost(g);
+        materializations.push((g, plan));
+    }
+
+    let mut query_plans = Vec::with_capacity(batch.query_roots().len());
+    for &q in batch.query_roots() {
+        let mut table = PlanTable::new();
+        let cost = opt.best_use_cost(q, &overlay, &mut table);
+        let plan = opt.extract_plan(q, &SortOrder::none(), &overlay, &mut table);
+        total += cost;
+        query_plans.push(plan);
+    }
+
+    (materializations, query_plans, total)
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-6 * (1.0 + a.abs().max(b.abs()))
+}
+
+/// Structural plan equality: identical operators, groups, and output
+/// orders at every node, with costs matching up to floating-point
+/// reassociation (the two paths sum identical terms in different orders).
+fn assert_plans_equal(arena: &PhysPlan, reference: &PhysPlan, path: &str) {
+    assert_eq!(
+        arena.op, reference.op,
+        "{path}: operator mismatch\narena: {arena:#?}\nreference: {reference:#?}"
+    );
+    assert_eq!(arena.group, reference.group, "{path}: group mismatch");
+    assert_eq!(arena.order, reference.order, "{path}: order mismatch");
+    assert_eq!(arena.rows, reference.rows, "{path}: row estimate mismatch");
+    assert!(
+        close(arena.op_cost, reference.op_cost),
+        "{path}: op_cost {} vs {}",
+        arena.op_cost,
+        reference.op_cost
+    );
+    assert!(
+        close(arena.total_cost, reference.total_cost),
+        "{path}: total_cost {} vs {}",
+        arena.total_cost,
+        reference.total_cost
+    );
+    assert_eq!(
+        arena.children.len(),
+        reference.children.len(),
+        "{path}: child count mismatch"
+    );
+    for (i, (a, r)) in arena
+        .children
+        .iter()
+        .zip(reference.children.iter())
+        .enumerate()
+    {
+        assert_plans_equal(a, r, &format!("{path}/{i}"));
+    }
+}
+
+fn all_strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::Volcano,
+        Strategy::Greedy,
+        Strategy::LazyGreedy,
+        Strategy::MarginalGreedy,
+        Strategy::LazyMarginalGreedy,
+        Strategy::MaterializeAll,
+        Strategy::MarginalGreedyCleanup,
+        Strategy::CardinalityMarginalGreedy {
+            k: 2,
+            reduce_universe: true,
+        },
+        // Exhaustive is omitted: the BQ3/BQ4 universes exceed its 20-node
+        // limit; its extraction path is identical to the others'.
+    ]
+}
+
+fn check_workload(i: usize) {
+    let cm = DiskCostModel::paper();
+    let session = build(i);
+    for strategy in all_strategies() {
+        for threads in [1usize, 4] {
+            let report = session.run_with(
+                strategy,
+                MqoConfig {
+                    threads,
+                    ..Default::default()
+                },
+            );
+            let (ref_mats, ref_queries, ref_total) =
+                reference_extract(session.batch(), &cm, &report.materialized);
+
+            assert!(
+                close(report.plan.total_cost, ref_total),
+                "BQ{i} {} @{threads}: arena total {} vs reference {}",
+                report.strategy,
+                report.plan.total_cost,
+                ref_total
+            );
+            assert_eq!(report.plan.materializations.len(), ref_mats.len());
+            for ((ag, ap), (rg, rp)) in report.plan.materializations.iter().zip(&ref_mats) {
+                assert_eq!(ag, rg, "BQ{i} {}: materialization order", report.strategy);
+                assert_plans_equal(
+                    ap,
+                    rp,
+                    &format!("BQ{i}/{}@{threads}/mat{}", report.strategy, ag.0),
+                );
+            }
+            assert_eq!(report.plan.query_plans.len(), ref_queries.len());
+            for (qi, (ap, rp)) in report.plan.query_plans.iter().zip(&ref_queries).enumerate() {
+                assert_plans_equal(
+                    ap,
+                    rp,
+                    &format!("BQ{i}/{}@{threads}/q{qi}", report.strategy),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn arena_extractor_matches_plantable_path_on_bq3() {
+    check_workload(3);
+}
+
+#[test]
+fn arena_extractor_matches_plantable_path_on_bq4() {
+    check_workload(4);
+}

@@ -1,30 +1,33 @@
-//! Integration tests: the TPCD workloads end to end, asserting the
-//! qualitative shapes the paper reports.
+//! Integration tests: the TPCD workloads end to end through the `Session`
+//! API, asserting the qualitative shapes the paper reports.
 
-use mqo_core::batch::BatchDag;
-use mqo_core::consolidated::ConsolidatedPlan;
-use mqo_core::engine::EngineConfig;
-use mqo_core::strategies::{optimize, optimize_with, Strategy};
+use mqo_core::config::MqoConfig;
+use mqo_core::session::{OptimizedBatch, Session};
+use mqo_core::strategies::Strategy;
 use mqo_volcano::cost::DiskCostModel;
 use mqo_volcano::rules::RuleSet;
 
-fn build(name_or_bq: &str, sf: f64) -> BatchDag {
+fn build(name_or_bq: &str, sf: f64) -> OptimizedBatch {
     let w = if let Some(i) = name_or_bq.strip_prefix("BQ") {
         mqo_tpcd::batched(i.parse().unwrap(), sf)
     } else {
         mqo_tpcd::standalone(name_or_bq, sf)
     };
-    BatchDag::build(w.ctx, &w.queries, &RuleSet::default())
+    Session::builder()
+        .context(w.ctx)
+        .queries(w.queries)
+        .rules(RuleSet::default())
+        .cost_model(DiskCostModel::paper())
+        .build()
 }
 
 #[test]
 fn mqo_never_worse_than_volcano_on_batches() {
-    let cm = DiskCostModel::paper();
     for i in 1..=6 {
         let batch = build(&format!("BQ{i}"), 1.0);
-        let volcano = optimize(&batch, &cm, Strategy::Volcano);
+        let volcano = batch.run(Strategy::Volcano);
         for s in [Strategy::Greedy, Strategy::MarginalGreedy] {
-            let r = optimize(&batch, &cm, s);
+            let r = batch.run(s);
             assert!(
                 r.total_cost <= volcano.total_cost + 1e-6,
                 "BQ{i} {}: {} > {}",
@@ -41,10 +44,9 @@ fn sharing_kicks_in_from_bq2() {
     // BQ2 onward mixes queries with overlapping subexpressions; the greedy
     // strategies must find strictly positive benefit (the paper reports
     // 12%..57% improvements).
-    let cm = DiskCostModel::paper();
     for i in 2..=6 {
         let batch = build(&format!("BQ{i}"), 1.0);
-        let r = optimize(&batch, &cm, Strategy::Greedy);
+        let r = batch.run(Strategy::Greedy);
         assert!(
             r.improvement_pct() > 5.0,
             "BQ{i}: expected materially positive improvement, got {:.1}%",
@@ -58,14 +60,13 @@ fn sharing_kicks_in_from_bq2() {
 fn lazy_variants_agree_with_eager_on_tpcd() {
     // The paper's experiments ran with the monotonicity-heuristic (lazy)
     // acceleration and observed identical plans; assert it on our DAGs.
-    let cm = DiskCostModel::paper();
     for wl in ["BQ3", "Q11", "Q15"] {
         let batch = build(wl, 1.0);
-        let eager = optimize(&batch, &cm, Strategy::Greedy);
-        let lazy = optimize(&batch, &cm, Strategy::LazyGreedy);
+        let eager = batch.run(Strategy::Greedy);
+        let lazy = batch.run(Strategy::LazyGreedy);
         assert_eq!(eager.materialized, lazy.materialized, "{wl} greedy");
-        let eager_m = optimize(&batch, &cm, Strategy::MarginalGreedy);
-        let lazy_m = optimize(&batch, &cm, Strategy::LazyMarginalGreedy);
+        let eager_m = batch.run(Strategy::MarginalGreedy);
+        let lazy_m = batch.run(Strategy::LazyMarginalGreedy);
         assert_eq!(eager_m.materialized, lazy_m.materialized, "{wl} marginal");
     }
 }
@@ -76,25 +77,20 @@ fn sharded_strategies_choose_identical_plans_on_tpcd() {
     // strategy must pick the same materializations and report the same
     // costs at any thread count — here the whole stack (strategy → mb →
     // engine) is exercised end to end, not just the oracle.
-    let cm = DiskCostModel::paper();
     for wl in ["BQ3", "BQ4"] {
         let batch = build(wl, 1.0);
         for strategy in [Strategy::Greedy, Strategy::MarginalGreedy] {
-            let serial = optimize_with(
-                &batch,
-                &cm,
+            let serial = batch.run_with(
                 strategy,
-                EngineConfig {
+                MqoConfig {
                     threads: 1,
                     ..Default::default()
                 },
             );
             for threads in [2usize, 4] {
-                let sharded = optimize_with(
-                    &batch,
-                    &cm,
+                let sharded = batch.run_with(
                     strategy,
-                    EngineConfig {
+                    MqoConfig {
                         threads,
                         ..Default::default()
                     },
@@ -120,10 +116,9 @@ fn q15_halves_and_q11_nearly_halves() {
     // Section 6.2: "For Q11, both the greedy algorithms lead to a plan of
     // approximately half the cost as that returned by Volcano. The
     // improvements for Q15 are similar."
-    let cm = DiskCostModel::paper();
     let q15 = build("Q15", 1.0);
-    let v = optimize(&q15, &cm, Strategy::Volcano);
-    let g = optimize(&q15, &cm, Strategy::Greedy);
+    let v = q15.run(Strategy::Volcano);
+    let g = q15.run(Strategy::Greedy);
     assert!(
         g.total_cost < 0.6 * v.total_cost,
         "Q15: {} vs {}",
@@ -132,8 +127,8 @@ fn q15_halves_and_q11_nearly_halves() {
     );
 
     let q11 = build("Q11", 1.0);
-    let v = optimize(&q11, &cm, Strategy::Volcano);
-    let g = optimize(&q11, &cm, Strategy::Greedy);
+    let v = q11.run(Strategy::Volcano);
+    let g = q11.run(Strategy::Greedy);
     assert!(
         g.total_cost < 0.7 * v.total_cost,
         "Q11: {} vs {}",
@@ -144,10 +139,9 @@ fn q15_halves_and_q11_nearly_halves() {
 
 #[test]
 fn q2_decorrelated_batch_benefits_from_shared_view() {
-    let cm = DiskCostModel::paper();
     let batch = build("Q2-D", 1.0);
-    let v = optimize(&batch, &cm, Strategy::Volcano);
-    let g = optimize(&batch, &cm, Strategy::Greedy);
+    let v = batch.run(Strategy::Volcano);
+    let g = batch.run(Strategy::Greedy);
     assert!(
         g.total_cost < 0.8 * v.total_cost,
         "Q2-D: {} vs {}",
@@ -165,26 +159,26 @@ fn q2_decorrelated_batch_benefits_from_shared_view() {
 fn costs_scale_with_the_database() {
     // Figure 4a vs 4b: 100 GB costs dwarf 1 GB costs; relative ordering is
     // preserved.
-    let cm = DiskCostModel::paper();
-    let small = optimize(&build("BQ3", 1.0), &cm, Strategy::Greedy);
-    let large = optimize(&build("BQ3", 100.0), &cm, Strategy::Greedy);
+    let small = build("BQ3", 1.0).run(Strategy::Greedy);
+    let large = build("BQ3", 100.0).run(Strategy::Greedy);
     assert!(large.total_cost > 50.0 * small.total_cost);
 }
 
 #[test]
-fn consolidated_plan_cost_matches_report_on_tpcd() {
-    // The compiled engine and the reference optimizer agree end to end.
-    let cm = DiskCostModel::paper();
+fn report_plan_cost_matches_report_on_tpcd() {
+    // The arena extractor totals the same solved arenas as bc(S): the
+    // consolidated plan carried by every report matches the reported cost.
     for wl in ["BQ2", "Q15"] {
         let batch = build(wl, 1.0);
-        let r = optimize(&batch, &cm, Strategy::Greedy);
-        let plan = ConsolidatedPlan::extract(&batch, &cm, &r.materialized);
+        let r = batch.run(Strategy::Greedy);
         assert!(
-            (plan.total_cost - r.total_cost).abs() <= 1e-6 * (1.0 + r.total_cost),
+            (r.plan.total_cost - r.total_cost).abs() <= 1e-6 * (1.0 + r.total_cost),
             "{wl}: consolidated {} vs engine {}",
-            plan.total_cost,
+            r.plan.total_cost,
             r.total_cost
         );
+        assert_eq!(r.plan.materializations.len(), r.materialized.len());
+        assert_eq!(r.plan.query_plans.len(), batch.batch().query_roots().len());
     }
 }
 
@@ -192,10 +186,9 @@ fn consolidated_plan_cost_matches_report_on_tpcd() {
 fn materialize_all_is_horribly_inefficient() {
     // Section 2.4: "the algorithm of [26], which chooses to materialize
     // every node[,] can be horribly inefficient."
-    let cm = DiskCostModel::paper();
     let batch = build("BQ4", 1.0);
-    let all = optimize(&batch, &cm, Strategy::MaterializeAll);
-    let greedy = optimize(&batch, &cm, Strategy::Greedy);
+    let all = batch.run(Strategy::MaterializeAll);
+    let greedy = batch.run(Strategy::Greedy);
     assert!(all.total_cost > 2.0 * greedy.total_cost);
 }
 
@@ -204,12 +197,11 @@ fn optimization_time_is_independent_of_scale() {
     // "While the execution cost of a query depends on the size of the
     // underlying data, the cost of optimization does not."  Same universe,
     // same number of bc calls at both scales.
-    let cm = DiskCostModel::paper();
     let b1 = build("BQ3", 1.0);
     let b100 = build("BQ3", 100.0);
     assert_eq!(b1.universe_size(), b100.universe_size());
-    let r1 = optimize(&b1, &cm, Strategy::Greedy);
-    let r100 = optimize(&b100, &cm, Strategy::Greedy);
+    let r1 = b1.run(Strategy::Greedy);
+    let r100 = b100.run(Strategy::Greedy);
     // bc-call counts may differ slightly (different plans chosen), but stay
     // in the same ballpark.
     let ratio = r1.bc_calls as f64 / r100.bc_calls as f64;
