@@ -21,7 +21,7 @@
 //! neither metric contaminates the other; knobs: `MQO_BENCH_SAMPLES`
 //! (zero-dependency harness, no criterion — the build is offline).
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use mqo_core::session::{OptimizedBatch, Session};
 use mqo_core::strategies::Strategy;
@@ -173,14 +173,100 @@ fn bench_extract(samples: usize) -> Vec<ExtractResult> {
     results
 }
 
+struct EvolveResult {
+    workload: String,
+    op: &'static str,
+    threads: usize,
+    secs: f64,
+}
+
+/// The `session_evolve` series: per batch BQ3..BQ6, the median time to
+/// `add_query` the batch's last query onto a live session of the others,
+/// to `retire_query` it again (restoring the base via the savepoint fast
+/// path), and — the comparison baseline — to rebuild the full batch from
+/// scratch with `Session::build` (insertion + fixpoint expansion +
+/// universe computation, i.e. everything the incremental add avoids
+/// repeating). An add/retire cycle leaves the session in its base state,
+/// so the cycles repeat on one long-lived session, exactly the serving
+/// pattern the evolvable API exists for.
+fn bench_session_evolve(samples: usize) -> Vec<EvolveResult> {
+    fn median(mut times: Vec<Duration>) -> f64 {
+        times.sort_unstable();
+        times[times.len() / 2].as_secs_f64()
+    }
+    let mut results = Vec::new();
+    for i in [3usize, 4, 5, 6] {
+        let w = mqo_tpcd::batched(i, 1.0);
+        let base: Vec<_> = w.queries[..w.queries.len() - 1].to_vec();
+        let last = w.queries.last().expect("non-empty batch").clone();
+        let mut session = Session::builder()
+            .context(w.ctx)
+            .queries(base)
+            .rules(RuleSet::default())
+            .cost_model(DiskCostModel::paper())
+            .build();
+        let threads = session.config().threads;
+        // Warmup cycle (also faults in the allocator's arenas).
+        let t = session.add_query(last.clone());
+        session.retire_query(t);
+        let (mut add_times, mut retire_times) = (Vec::new(), Vec::new());
+        for _ in 0..samples {
+            let start = Instant::now();
+            let t = session.add_query(last.clone());
+            add_times.push(start.elapsed());
+            let start = Instant::now();
+            session.retire_query(t);
+            retire_times.push(start.elapsed());
+        }
+        let rebuild_times: Vec<Duration> = (0..samples)
+            .map(|_| {
+                let w = mqo_tpcd::batched(i, 1.0);
+                let start = Instant::now();
+                let full = Session::builder()
+                    .context(w.ctx)
+                    .queries(w.queries)
+                    .rules(RuleSet::default())
+                    .cost_model(DiskCostModel::paper())
+                    .build();
+                let elapsed = start.elapsed();
+                drop(full);
+                elapsed
+            })
+            .collect();
+        let (add, retire, rebuild) = (
+            median(add_times),
+            median(retire_times),
+            median(rebuild_times),
+        );
+        println!(
+            "session_evolve/BQ{i}: add {} retire {} rebuild {} (add is {:.1}x faster than rebuild)",
+            fmt_duration(Duration::from_secs_f64(add)),
+            fmt_duration(Duration::from_secs_f64(retire)),
+            fmt_duration(Duration::from_secs_f64(rebuild)),
+            rebuild / add.max(1e-12),
+        );
+        for (op, secs) in [("add", add), ("retire", retire), ("rebuild", rebuild)] {
+            results.push(EvolveResult {
+                workload: format!("BQ{i}"),
+                op,
+                threads,
+                secs,
+            });
+        }
+    }
+    println!();
+    results
+}
+
 fn main() {
     let samples = samples_from_env(5);
     bench_batched(samples);
     bench_standalone(samples);
     let extract = bench_extract(samples);
+    let evolve = bench_session_evolve(samples);
 
     if let Ok(path) = std::env::var("MQO_BENCH_JSON") {
-        let entries: Vec<String> = extract
+        let mut entries: Vec<String> = extract
             .iter()
             .map(|r| {
                 format!(
@@ -189,6 +275,12 @@ fn main() {
                 )
             })
             .collect();
+        entries.extend(evolve.iter().map(|r| {
+            format!(
+                "    {{\"mode\": \"session_evolve\", \"workload\": \"{}\", \"op\": \"{}\", \"threads\": {}, \"secs\": {:.9}}}",
+                r.workload, r.op, r.threads, r.secs
+            )
+        }));
         let json = format!(
             "{{\n  \"bench\": \"opt_time\",\n  \"samples\": {samples},\n  \"results\": [\n{}\n  ]\n}}\n",
             entries.join(",\n")

@@ -10,39 +10,99 @@
 //! ("it is sufficient to search only over the set of shareable equivalence
 //! nodes").
 //!
-//! A `BatchDag` is immutable once built: the memo is frozen behind
-//! accessors, so the lazily computed [`TopoView`] can never go stale (the
-//! pre-`Session` API exposed the memo as a public field and had to guard
-//! the view with a runtime fingerprint assertion).
+//! A `BatchDag` exposes its memo only behind accessors, so the lazily
+//! computed [`TopoView`] can never silently go stale (the pre-`Session`
+//! API exposed the memo as a public field and had to guard the view with a
+//! runtime fingerprint assertion). Since PR 6 the batch is *evolvable*:
+//! [`BatchDag::add_query_with_threads`] and
+//! [`BatchDag::retire_query_with_threads`] grow and shrink the live batch
+//! in place — a commit rewinds/extends the memo via savepoints and the
+//! seeded expansion fixpoint, recomputes the shareable universe from the
+//! memo's [`MemoDelta`], and swaps in a fresh topological view, while
+//! universe *slots* stay stable across evolutions (retired elements are
+//! tombstoned, never renumbered).
 
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use mqo_volcano::cost::CostModel;
 use mqo_volcano::logical::LogicalOp;
-use mqo_volcano::memo::{GroupId, Memo, TopoView};
-use mqo_volcano::rules::{expand_with, ExpansionStats, RuleSet};
+use mqo_volcano::memo::{GroupId, Memo, MemoDelta, Savepoint, TopoView};
+use mqo_volcano::rules::{expand_seeded, expand_with, ExpansionStats, RuleSet};
 use mqo_volcano::{DagContext, PlanNode};
 
 use crate::config::MqoConfig;
 use crate::engine::{BestCostEngine, CompileCache};
+
+/// Handle to a query admitted into an evolvable batch; returned by
+/// `add_query` and consumed by `retire_query`. Tickets are never reused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct QueryTicket(pub(crate) u32);
+
+/// Per-query provenance inside an evolvable batch.
+#[derive(Clone, Debug)]
+struct QueryEntry {
+    /// The submitted logical plan (kept for replay on retire/rollback).
+    plan: PlanNode,
+    /// The query's root group in the current memo state.
+    root: GroupId,
+    /// Savepoint taken immediately before this query was admitted
+    /// incrementally; `None` for queries interned by a batch (re)build.
+    sp: Option<Savepoint>,
+    /// Whether the query is still part of the batch.
+    live: bool,
+}
+
+/// One slot of the stable universe: a shareable group matched across
+/// evolution steps by its structural fingerprint. Slots are append-only;
+/// retiring a query tombstones slots instead of renumbering survivors.
+#[derive(Clone, Debug)]
+struct UniverseSlot {
+    fingerprint: u64,
+    group: GroupId,
+    live: bool,
+}
 
 /// A fully expanded combined DAG for a batch of queries. Owned by a
 /// [`crate::session::OptimizedBatch`] in the `Session` API; constructed
 /// directly only by benchmarks and tests that measure the build itself.
 #[derive(Debug)]
 pub struct BatchDag {
-    /// The expanded memo (frozen after construction).
+    /// The expanded memo (mutated only by the evolution commits below).
     memo: Memo,
+    /// The rule set the batch was expanded under (evolution commits re-run
+    /// the same rules).
+    rules: RuleSet,
     /// The dummy batch root.
     root: GroupId,
-    /// Root group of each query, in submission order.
+    /// Root group of each live query, in submission order.
     query_roots: Vec<GroupId>,
-    /// The shareable equivalence nodes (the MQO ground set), ascending;
-    /// index order is the universe element order of the set-function layer.
+    /// Ticket-indexed query provenance (slotmap; dead entries keep their
+    /// slot so tickets are never reused).
+    entries: Vec<QueryEntry>,
+    /// The stable universe slots (live and tombstoned).
+    universe: Vec<UniverseSlot>,
+    /// The live shareable equivalence nodes (the MQO ground set) in stable
+    /// slot order; index order is the universe element order of the
+    /// set-function layer. On a freshly built batch this is ascending by
+    /// group id.
     shareable: Vec<GroupId>,
-    /// Expansion statistics.
+    /// Canonical group slot → universe element (`u32::MAX` = not in the
+    /// universe).
+    elem_of_group: Vec<u32>,
+    /// Per-group-slot reference counts (with multiplicity) over live
+    /// expressions; kept incrementally from evolution deltas.
+    refs: Vec<u32>,
+    /// Bumped whenever the universe changes shape across an evolution
+    /// commit; consumers (memoized oracles) invalidate on it.
+    universe_epoch: u64,
+    /// Cumulative expansion statistics (initial build plus evolutions).
     expansion: ExpansionStats,
-    /// Lazily computed dense topological view of the frozen memo.
+    /// Lazily computed dense topological view of the current memo state;
+    /// evolution commits swap in a fresh cell, so engines holding the old
+    /// `Arc` keep a consistent snapshot.
     topo: OnceLock<Arc<TopoView>>,
     /// Reusable engine-compilation state shared by every
     /// [`BatchDag::compile_engine`] call on this batch.
@@ -76,12 +136,41 @@ impl BatchDag {
         let expansion = expand_with(&mut memo, rules, threads);
         let root = memo.build_batch_root();
         let query_roots = memo.roots();
-        let shareable = find_shareable(&memo, root);
+        let entries = queries
+            .iter()
+            .zip(&query_roots)
+            .map(|(q, &r)| QueryEntry {
+                plan: q.clone(),
+                root: r,
+                sp: None,
+                live: true,
+            })
+            .collect();
+        let mut refs = Vec::new();
+        recompute_refs(&memo, &mut refs);
+        let shareable = find_shareable_with_refs(&memo, root, &refs);
+        // Initial universe: one live slot per shareable group, ascending.
+        let universe = shareable
+            .iter()
+            .zip(group_fingerprints(&memo, &shareable))
+            .map(|(&g, fingerprint)| UniverseSlot {
+                fingerprint,
+                group: g,
+                live: true,
+            })
+            .collect();
+        let elem_of_group = build_elem_of_group(&memo, &shareable);
         BatchDag {
             memo,
+            rules: *rules,
             root,
             query_roots,
+            entries,
+            universe,
             shareable,
+            elem_of_group,
+            refs,
+            universe_epoch: 0,
             expansion,
             topo: OnceLock::new(),
             engine_cache: Mutex::new(CompileCache::new()),
@@ -103,9 +192,11 @@ impl BatchDag {
         &self.query_roots
     }
 
-    /// The shareable equivalence nodes (the MQO ground set), ascending by
-    /// group id; index `e` is universe element `e` of the set-function
-    /// layer.
+    /// The shareable equivalence nodes (the MQO ground set) in stable
+    /// universe-slot order; index `e` is universe element `e` of the
+    /// set-function layer. Ascending by group id on a freshly built batch;
+    /// after evolution commits the order reflects slot stability, not id
+    /// order.
     pub fn shareable(&self) -> &[GroupId] {
         &self.shareable
     }
@@ -113,7 +204,61 @@ impl BatchDag {
     /// Universe element of a shareable group, if it is one (accepts
     /// non-canonical ids).
     pub fn shareable_index(&self, g: GroupId) -> Option<usize> {
-        self.shareable.binary_search(&self.memo.find(g)).ok()
+        let slot = self.memo.find(g).0 as usize;
+        match self.elem_of_group.get(slot) {
+            Some(&e) if e != u32::MAX => Some(e as usize),
+            _ => None,
+        }
+    }
+
+    /// Bumped whenever an evolution commit changes the universe; memoized
+    /// oracle layers invalidate on it.
+    pub fn universe_epoch(&self) -> u64 {
+        self.universe_epoch
+    }
+
+    /// Sorted structural fingerprints of the live universe: the id-free
+    /// identity of the shareable ground set, comparable across
+    /// independently built batches (an evolved batch and a fresh build of
+    /// its surviving queries agree here even though their group ids and
+    /// slot orders differ). Differential-harness hook.
+    pub fn universe_fingerprints(&self) -> Vec<u64> {
+        let mut fps = group_fingerprints(&self.memo, &self.shareable);
+        fps.sort_unstable();
+        fps
+    }
+
+    /// Total universe slots ever allocated (live plus tombstoned).
+    pub fn universe_slots(&self) -> usize {
+        self.universe.len()
+    }
+
+    /// Number of queries currently live in the batch.
+    pub fn live_queries(&self) -> usize {
+        self.entries.iter().filter(|e| e.live).count()
+    }
+
+    /// Tickets of the live queries, in submission order.
+    pub fn tickets(&self) -> Vec<QueryTicket> {
+        (0..self.entries.len() as u32)
+            .map(QueryTicket)
+            .filter(|t| self.entries[t.0 as usize].live)
+            .collect()
+    }
+
+    /// Whether a ticket refers to a live query.
+    pub fn is_live(&self, ticket: QueryTicket) -> bool {
+        self.entries.get(ticket.0 as usize).is_some_and(|e| e.live)
+    }
+
+    /// Root group of a live query.
+    ///
+    /// # Panics
+    /// If the ticket was retired (or never issued by this batch).
+    pub fn ticket_root(&self, ticket: QueryTicket) -> GroupId {
+        let entry = &self.entries[ticket.0 as usize];
+        assert!(entry.live, "ticket {ticket:?} was retired");
+        self.memo.find(entry.root)
     }
 
     /// Expansion statistics of the build.
@@ -149,14 +294,266 @@ impl BatchDag {
     pub fn compile_engine(&self, cm: &dyn CostModel, config: MqoConfig) -> BestCostEngine {
         let mut cache = self.engine_cache.lock().expect("engine cache poisoned");
         cache.prime_topo(&self.memo, self.topo_arc());
-        BestCostEngine::with_cache(
+        let mut engine = BestCostEngine::with_cache(
             &self.memo,
             cm,
             self.root,
             &self.shareable,
             config,
             &mut cache,
-        )
+        );
+        engine.set_universe_epoch(self.universe_epoch);
+        engine
+    }
+
+    // -----------------------------------------------------------------------
+    // Evolution: add/retire queries on the live batch.
+    // -----------------------------------------------------------------------
+
+    /// Admits a new query into the live batch without a full rebuild: the
+    /// plan is interned under a savepoint, the expansion fixpoint re-runs
+    /// seeded with only the freshly interned expressions, and the
+    /// shareable universe is extended incrementally from the memo delta
+    /// (new shareable groups append universe slots; existing slots keep
+    /// their element index).
+    pub fn add_query_with_threads(&mut self, plan: &PlanNode, threads: usize) -> QueryTicket {
+        let sp = self.memo.savepoint();
+        self.memo.delta_begin();
+        let watermark = self.memo.exprs_allocated() as u32;
+        let root = self.memo.insert_plan(plan);
+        self.memo.add_query_root(root);
+        let seeds = (watermark..self.memo.exprs_allocated() as u32).map(mqo_volcano::ExprId);
+        let stats = expand_seeded(&mut self.memo, &self.rules, threads, seeds);
+        self.root = self.memo.build_batch_root();
+        let delta = self.memo.delta_take();
+        self.expansion.passes += stats.passes;
+        self.expansion.candidates += stats.candidates;
+
+        let ticket = QueryTicket(self.entries.len() as u32);
+        self.entries.push(QueryEntry {
+            plan: plan.clone(),
+            root: self.memo.find(root),
+            sp: Some(sp),
+            live: true,
+        });
+        apply_delta_to_refs(&self.memo, &delta, &mut self.refs);
+        self.commit_evolution();
+        ticket
+    }
+
+    /// Retires a query from the live batch. Its private expressions are
+    /// reclaimed by rewinding the memo to the savepoint taken when the
+    /// query was admitted and replaying the (seeded, incremental)
+    /// admission of every later surviving query; shared expressions are
+    /// re-interned by the replay and keep their universe slots via
+    /// fingerprint matching. Universe slots whose group disappears are
+    /// tombstoned, never renumbered. Queries admitted by the initial batch
+    /// build have no savepoint; retiring one falls back to a full rebuild
+    /// of the survivors (same result, full cost).
+    ///
+    /// # Panics
+    /// If the ticket was already retired, or if it names the last live
+    /// query (a batch is never empty; see `SessionBuilder::build`).
+    pub fn retire_query_with_threads(&mut self, ticket: QueryTicket, threads: usize) {
+        let idx = ticket.0 as usize;
+        assert!(
+            self.entries.get(idx).is_some_and(|e| e.live),
+            "ticket {ticket:?} was already retired (or never issued)"
+        );
+        assert!(
+            self.live_queries() > 1,
+            "cannot retire the last live query: a batch must stay non-empty"
+        );
+        self.entries[idx].live = false;
+        let sp = self.entries[idx].sp.take();
+        match sp {
+            Some(sp) if self.memo.savepoint_valid(&sp) => {
+                self.memo.truncate_to(&sp);
+                // Replay every later surviving admission incrementally.
+                for i in idx + 1..self.entries.len() {
+                    if !self.entries[i].live {
+                        continue;
+                    }
+                    let sp = self.memo.savepoint();
+                    let watermark = self.memo.exprs_allocated() as u32;
+                    let plan = self.entries[i].plan.clone();
+                    let root = self.memo.insert_plan(&plan);
+                    self.memo.add_query_root(root);
+                    let seeds =
+                        (watermark..self.memo.exprs_allocated() as u32).map(mqo_volcano::ExprId);
+                    let stats = expand_seeded(&mut self.memo, &self.rules, threads, seeds);
+                    self.expansion.passes += stats.passes;
+                    self.expansion.candidates += stats.candidates;
+                    self.entries[i].root = self.memo.find(root);
+                    self.entries[i].sp = Some(sp);
+                }
+                self.root = self.memo.build_batch_root();
+                recompute_refs(&self.memo, &mut self.refs);
+                self.commit_evolution();
+            }
+            _ => self.rebuild_from_entries(threads),
+        }
+    }
+
+    /// Rebuilds the memo from the surviving entries' plans (exactly the
+    /// initial-build path), then re-matches the universe so surviving
+    /// shareable groups keep their slots. Fallback for retire/rollback
+    /// when no savepoint can rewind the memo.
+    fn rebuild_from_entries(&mut self, threads: usize) {
+        self.memo.reset();
+        for entry in self.entries.iter_mut().filter(|e| e.live) {
+            let root = self.memo.insert_plan(&entry.plan);
+            self.memo.add_query_root(root);
+            entry.root = root;
+            entry.sp = None;
+        }
+        let stats = expand_with(&mut self.memo, &self.rules, threads);
+        self.expansion.passes += stats.passes;
+        self.expansion.candidates += stats.candidates;
+        self.root = self.memo.build_batch_root();
+        for entry in self.entries.iter_mut().filter(|e| e.live) {
+            entry.root = self.memo.find(entry.root);
+        }
+        recompute_refs(&self.memo, &mut self.refs);
+        self.commit_evolution();
+    }
+
+    /// Shared tail of every evolution commit: recompute the shareable set
+    /// from the (already updated) reference counts, re-match it against
+    /// the stable universe slots by structural fingerprint, rebuild the
+    /// element index, refresh cached roots, and swap in a fresh topo cell
+    /// so `run*` consumers see a consistent new snapshot.
+    fn commit_evolution(&mut self) {
+        self.query_roots = self.memo.roots();
+        self.expansion.exprs = self.memo.n_exprs();
+        self.expansion.groups = self.memo.n_groups();
+        let new_shareable = find_shareable_with_refs(&self.memo, self.root, &self.refs);
+        let fps = group_fingerprints(&self.memo, &new_shareable);
+
+        // Match new shareable groups to existing slots by fingerprint
+        // (reviving tombstoned slots on an add-after-rollback replay);
+        // unmatched groups append fresh slots, unmatched slots die.
+        let mut slot_of_fp: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (i, slot) in self.universe.iter().enumerate() {
+            slot_of_fp.entry(slot.fingerprint).or_default().push(i);
+        }
+        let mut matched = vec![false; self.universe.len()];
+        for (&g, &fp) in new_shareable.iter().zip(&fps) {
+            let slot = slot_of_fp
+                .get_mut(&fp)
+                .and_then(|v| (!v.is_empty()).then(|| v.remove(0)));
+            match slot {
+                Some(i) => {
+                    self.universe[i].group = g;
+                    self.universe[i].live = true;
+                    matched[i] = true;
+                }
+                None => {
+                    matched.push(true);
+                    self.universe.push(UniverseSlot {
+                        fingerprint: fp,
+                        group: g,
+                        live: true,
+                    });
+                }
+            }
+        }
+        for (slot, &m) in self.universe.iter_mut().zip(&matched) {
+            if !m {
+                slot.live = false;
+            }
+        }
+        let old_shareable = std::mem::take(&mut self.shareable);
+        self.shareable = self
+            .universe
+            .iter()
+            .filter(|s| s.live)
+            .map(|s| s.group)
+            .collect();
+        self.elem_of_group = build_elem_of_group(&self.memo, &self.shareable);
+        if self.shareable != old_shareable {
+            self.universe_epoch += 1;
+        }
+        // Swap the topo cell: engines holding the old Arc keep a frozen
+        // consistent snapshot; new compiles see the evolved memo.
+        self.topo = OnceLock::new();
+    }
+}
+
+/// A consistent snapshot of a [`BatchDag`]'s evolution state, taken by
+/// [`BatchDag::savepoint`] for speculative admission. Rolling back rewinds
+/// the memo via the embedded [`Savepoint`] when it is still valid and
+/// falls back to a rebuild of the snapshot's live queries otherwise.
+#[derive(Debug)]
+pub struct BatchSavepoint {
+    memo_sp: Savepoint,
+    root: GroupId,
+    query_roots: Vec<GroupId>,
+    entries: Vec<QueryEntry>,
+    universe: Vec<UniverseSlot>,
+    shareable: Vec<GroupId>,
+    elem_of_group: Vec<u32>,
+    refs: Vec<u32>,
+    expansion: ExpansionStats,
+}
+
+impl BatchDag {
+    /// Captures the current evolution state for a later
+    /// [`BatchDag::rollback`]. Cheap: clones bookkeeping vectors, never
+    /// the memo arenas.
+    pub fn savepoint(&mut self) -> BatchSavepoint {
+        BatchSavepoint {
+            memo_sp: self.memo.savepoint(),
+            root: self.root,
+            query_roots: self.query_roots.clone(),
+            entries: self.entries.clone(),
+            universe: self.universe.clone(),
+            shareable: self.shareable.clone(),
+            elem_of_group: self.elem_of_group.clone(),
+            refs: self.refs.clone(),
+            expansion: self.expansion,
+        }
+    }
+
+    /// Rewinds every evolution commit made since `sp` was taken. The
+    /// universe epoch keeps increasing (consumers must still invalidate),
+    /// but slots, elements, tickets, and the memo return to the exact
+    /// snapshot state. If the memo savepoint was invalidated in the
+    /// meantime (e.g. a retire rewound past it), the snapshot's live
+    /// queries are rebuilt instead — same resulting state, full cost.
+    pub fn rollback(&mut self, sp: BatchSavepoint) {
+        self.rollback_with_threads(sp, MqoConfig::default().threads)
+    }
+
+    /// [`BatchDag::rollback`] with an explicit thread count for the
+    /// rebuild fallback's expansion fixpoint.
+    pub fn rollback_with_threads(&mut self, sp: BatchSavepoint, threads: usize) {
+        let BatchSavepoint {
+            memo_sp,
+            root,
+            query_roots,
+            entries,
+            universe,
+            shareable,
+            elem_of_group,
+            refs,
+            expansion,
+        } = sp;
+        self.entries = entries;
+        self.universe = universe;
+        self.expansion = expansion;
+        if self.memo.savepoint_valid(&memo_sp) {
+            self.memo.truncate_to(&memo_sp);
+            self.root = root;
+            self.query_roots = query_roots;
+            self.shareable = shareable;
+            self.elem_of_group = elem_of_group;
+            self.refs = refs;
+            self.universe_epoch += 1;
+            self.topo = OnceLock::new();
+        } else {
+            self.rebuild_from_entries(threads);
+        }
     }
 }
 
@@ -174,19 +571,11 @@ impl BatchDag {
 /// vectors (the pre-`Session` implementation called
 /// `Memo::group_parents(g)`, which allocates and sorts a `Vec`, for every
 /// reachable group).
-fn find_shareable(memo: &Memo, root: GroupId) -> Vec<GroupId> {
+fn find_shareable_with_refs(memo: &Memo, root: GroupId, refs: &[u32]) -> Vec<GroupId> {
     let n_slots = memo.n_group_slots();
     let root = memo.find(root);
 
-    // Pass 1: reference counts, with multiplicity, over all live exprs.
-    let mut refs = vec![0u32; n_slots];
-    for e in memo.expr_ids() {
-        for &c in memo.children(e) {
-            refs[memo.find(c).0 as usize] += 1;
-        }
-    }
-
-    // Pass 2: DFS reachability from the batch root, filtering as we go.
+    // DFS reachability from the batch root, filtering as we go.
     let mut seen = vec![false; n_slots];
     let mut stack = vec![root];
     seen[root.0 as usize] = true;
@@ -212,6 +601,100 @@ fn find_shareable(memo: &Memo, root: GroupId) -> Vec<GroupId> {
     }
     out.sort_unstable();
     out
+}
+
+/// Reference counts from scratch: one pass over the live expression arena
+/// (pass 1 of the original `find_shareable`). Used by the initial build
+/// and by the retire/rollback paths, whose memo rewind is not
+/// delta-describable.
+fn recompute_refs(memo: &Memo, refs: &mut Vec<u32>) {
+    refs.clear();
+    refs.resize(memo.n_group_slots(), 0);
+    for e in memo.expr_ids() {
+        for &c in memo.children(e) {
+            refs[memo.find(c).0 as usize] += 1;
+        }
+    }
+}
+
+/// Applies an evolution step's [`MemoDelta`] to the per-slot reference
+/// counts, maintaining the invariant `refs[s] = Σ multiplicity of s in
+/// find(children(e))` over live expressions — without rescanning the
+/// arena:
+///
+/// 1. each union transfers the dropped slot's count to the kept slot
+///    (every old reference now resolves there);
+/// 2. each tombstoned *pre-existing* expression subtracts its (current,
+///    post-rewrite) children — its original contribution was carried to
+///    exactly those slots by step 1, because stored children are only
+///    ever rewritten to representatives;
+/// 3. each surviving *new* expression adds its children. New-then-dead
+///    expressions cancel out and are skipped by both 2 and 3.
+fn apply_delta_to_refs(memo: &Memo, delta: &MemoDelta, refs: &mut Vec<u32>) {
+    refs.resize(memo.n_group_slots(), 0);
+    for &(keep, drop) in &delta.merges {
+        let moved = std::mem::replace(&mut refs[drop.0 as usize], 0);
+        refs[keep.0 as usize] += moved;
+    }
+    for &e in &delta.tombstoned {
+        if (e.0 as usize) < delta.exprs_before {
+            for &c in memo.children(e) {
+                refs[memo.find(c).0 as usize] -= 1;
+            }
+        }
+    }
+    for e in delta.new_exprs() {
+        if memo.is_alive(e) {
+            for &c in memo.children(e) {
+                refs[memo.find(c).0 as usize] += 1;
+            }
+        }
+    }
+}
+
+/// Structural fingerprints for `groups`: a bottom-up hash over the memo's
+/// live contents in which a group's fingerprint covers the sorted
+/// fingerprints of its member expressions, and an expression's covers its
+/// operator and child-group fingerprints. Invariant under group-id
+/// renumbering — two memo states interning the same logical DAG (an
+/// evolved batch and a fresh rebuild of the same queries) assign equal
+/// fingerprints — which is what keys universe slots across evolutions.
+fn group_fingerprints(memo: &Memo, groups: &[GroupId]) -> Vec<u64> {
+    let mut fp = vec![0u64; memo.n_group_slots()];
+    for g in memo.topo_order() {
+        let mut expr_fps: Vec<u64> = memo
+            .group_exprs(g)
+            .map(|e| {
+                let mut h = DefaultHasher::new();
+                memo.op(e).hash(&mut h);
+                for &c in memo.children(e) {
+                    fp[memo.find(c).0 as usize].hash(&mut h);
+                }
+                h.finish()
+            })
+            .collect();
+        expr_fps.sort_unstable();
+        let mut h = DefaultHasher::new();
+        expr_fps.hash(&mut h);
+        fp[g.0 as usize] = h.finish();
+    }
+    groups
+        .iter()
+        .map(|&g| fp[memo.find(g).0 as usize])
+        .collect()
+}
+
+/// Dense canonical-group-slot → universe-element map behind
+/// [`BatchDag::shareable_index`] (`u32::MAX` = not shareable). Replaces
+/// the pre-evolution binary search, which assumed the universe stays
+/// sorted by group id — stable-slot order after an evolution commit is
+/// not.
+fn build_elem_of_group(memo: &Memo, shareable: &[GroupId]) -> Vec<u32> {
+    let mut map = vec![u32::MAX; memo.n_group_slots()];
+    for (i, &g) in shareable.iter().enumerate() {
+        map[g.0 as usize] = i as u32;
+    }
+    map
 }
 
 #[cfg(test)]
@@ -346,5 +829,164 @@ mod tests {
         let q2 = example1_queries(&mut ctx2);
         let b2 = BatchDag::build(ctx2, &q2, &RuleSet::default());
         assert_eq!(b1.shareable(), b2.shareable());
+    }
+
+    /// Q3 = C⋈D, overlapping Q2's D and the B⋈C region.
+    fn third_query(ctx: &mut DagContext) -> PlanNode {
+        let c = ctx.instance_by_name("c", 0);
+        let d = ctx.instance_by_name("d", 0);
+        let p_cd = Predicate::join(ctx.col(c, "c_key"), ctx.col(d, "d_fk"));
+        PlanNode::scan(c).join(PlanNode::scan(d), p_cd)
+    }
+
+    /// Sorted live-universe fingerprints: the id-free identity of the
+    /// ground set, comparable across independently built memos.
+    fn universe_fps(batch: &BatchDag) -> Vec<u64> {
+        batch.universe_fingerprints()
+    }
+
+    /// Evolved and fresh batches over the same surviving queries must
+    /// agree on everything id-free: live counts and the universe
+    /// fingerprint set.
+    fn assert_equivalent(evolved: &BatchDag, fresh: &BatchDag, label: &str) {
+        evolved.memo().check_consistency();
+        assert_eq!(
+            evolved.memo().n_exprs(),
+            fresh.memo().n_exprs(),
+            "{label}: live expression counts diverge"
+        );
+        assert_eq!(
+            evolved.memo().n_groups(),
+            fresh.memo().n_groups(),
+            "{label}: live group counts diverge"
+        );
+        assert_eq!(
+            evolved.query_roots().len(),
+            fresh.query_roots().len(),
+            "{label}: query root counts diverge"
+        );
+        assert_eq!(
+            universe_fps(evolved),
+            universe_fps(fresh),
+            "{label}: universe fingerprint sets diverge"
+        );
+    }
+
+    #[test]
+    fn add_query_matches_fresh_build() {
+        let mut ctx1 = ctx();
+        let mut queries = example1_queries(&mut ctx1);
+        queries.push(third_query(&mut ctx1));
+        let fresh = BatchDag::build(ctx1, &queries, &RuleSet::default());
+
+        let mut ctx2 = ctx();
+        let base = example1_queries(&mut ctx2);
+        let q3 = third_query(&mut ctx2);
+        let mut evolved = BatchDag::build_with_threads(ctx2, &base, &RuleSet::default(), 1);
+        let epoch0 = evolved.universe_epoch();
+        let t = evolved.add_query_with_threads(&q3, 1);
+        assert!(evolved.is_live(t));
+        assert_eq!(evolved.live_queries(), 3);
+        assert_equivalent(&evolved, &fresh, "add q3");
+        let _ = epoch0;
+        // Stable slots: the base batch's universe elements keep their
+        // element indices after the add (new elements only append).
+        let base_universe = {
+            let mut c = ctx();
+            let q = example1_queries(&mut c);
+            BatchDag::build(c, &q, &RuleSet::default())
+                .shareable()
+                .to_vec()
+        };
+        assert_eq!(
+            &evolved.shareable()[..base_universe.len()],
+            &base_universe[..],
+            "pre-existing universe elements must keep their indices"
+        );
+    }
+
+    #[test]
+    fn retire_incrementally_added_query_restores_base_batch() {
+        let mut ctx1 = ctx();
+        let base_queries = example1_queries(&mut ctx1);
+        let fresh = BatchDag::build(ctx1, &base_queries, &RuleSet::default());
+
+        let mut ctx2 = ctx();
+        let base = example1_queries(&mut ctx2);
+        let q3 = third_query(&mut ctx2);
+        let mut evolved = BatchDag::build_with_threads(ctx2, &base, &RuleSet::default(), 1);
+        let t = evolved.add_query_with_threads(&q3, 1);
+        evolved.retire_query_with_threads(t, 1);
+        assert!(!evolved.is_live(t));
+        assert_eq!(evolved.live_queries(), 2);
+        assert_equivalent(&evolved, &fresh, "add+retire q3");
+    }
+
+    #[test]
+    fn retire_initial_query_rebuilds_survivors() {
+        let mut ctx1 = ctx();
+        let mut survivors = example1_queries(&mut ctx1);
+        let q3_1 = third_query(&mut ctx1);
+        survivors.remove(0);
+        survivors.push(q3_1);
+        let fresh = BatchDag::build(ctx1, &survivors, &RuleSet::default());
+
+        let mut ctx2 = ctx();
+        let base = example1_queries(&mut ctx2);
+        let q3 = third_query(&mut ctx2);
+        let mut evolved = BatchDag::build_with_threads(ctx2, &base, &RuleSet::default(), 1);
+        evolved.add_query_with_threads(&q3, 1);
+        // Ticket 0 is an initial-build entry (no savepoint): slow path.
+        evolved.retire_query_with_threads(QueryTicket(0), 1);
+        assert_eq!(evolved.live_queries(), 2);
+        assert_equivalent(&evolved, &fresh, "retire initial q1");
+    }
+
+    #[test]
+    fn rollback_restores_speculative_admission() {
+        let mut ctx1 = ctx();
+        let base_queries = example1_queries(&mut ctx1);
+        let fresh = BatchDag::build(ctx1, &base_queries, &RuleSet::default());
+
+        let mut ctx2 = ctx();
+        let base = example1_queries(&mut ctx2);
+        let q3 = third_query(&mut ctx2);
+        let mut evolved = BatchDag::build_with_threads(ctx2, &base, &RuleSet::default(), 1);
+        let shareable_before = evolved.shareable().to_vec();
+        let sp = evolved.savepoint();
+        let t = evolved.add_query_with_threads(&q3, 1);
+        assert_eq!(evolved.live_queries(), 3);
+        evolved.rollback_with_threads(sp, 1);
+        assert_eq!(evolved.live_queries(), 2);
+        assert!(!evolved.is_live(t));
+        assert_eq!(evolved.shareable(), &shareable_before[..]);
+        assert_equivalent(&evolved, &fresh, "rollback of speculative add");
+
+        // Add-after-rollback replay: the same admission commits cleanly.
+        let t2 = evolved.add_query_with_threads(&q3, 1);
+        assert!(evolved.is_live(t2));
+        assert_eq!(evolved.live_queries(), 3);
+        evolved.memo().check_consistency();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot retire the last live query")]
+    fn retiring_the_last_query_panics() {
+        let mut ctx1 = ctx();
+        let queries = example1_queries(&mut ctx1);
+        let mut batch = BatchDag::build_with_threads(ctx1, &queries[..1], &RuleSet::default(), 1);
+        batch.retire_query_with_threads(QueryTicket(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already retired")]
+    fn retiring_a_dead_ticket_panics() {
+        let mut ctx1 = ctx();
+        let mut queries = example1_queries(&mut ctx1);
+        queries.push(third_query(&mut ctx1));
+        let mut batch = BatchDag::build_with_threads(ctx1, &queries, &RuleSet::default(), 1);
+        let t = QueryTicket(0);
+        batch.retire_query_with_threads(t, 1);
+        batch.retire_query_with_threads(t, 1);
     }
 }

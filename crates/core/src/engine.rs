@@ -187,7 +187,7 @@ pub(crate) enum OutOrder {
 pub struct CompileCache {
     topo: Option<Arc<TopoView>>,
     /// Fingerprint of the memo the cached view was built from.
-    sig: (usize, usize, usize),
+    sig: (usize, usize, usize, u64),
     /// Per-state emitted-option counts (counted pass).
     opt_cnt: Vec<u32>,
     /// Emission-order option records: owning state, operator cost, output
@@ -219,11 +219,19 @@ impl CompileCache {
     /// A cheap fingerprint of the memo's structure: any insert grows the
     /// allocation count, any merge shrinks the live-*group* count (even
     /// when no expression is tombstoned), and tombstoning shrinks the
-    /// live-expression count. Callers must not mutate the memo between
-    /// compiles sharing one cache in ways that preserve all three (no
-    /// public `Memo` API does).
-    pub(crate) fn signature(memo: &Memo) -> (usize, usize, usize) {
-        (memo.exprs_allocated(), memo.n_groups(), memo.n_exprs())
+    /// live-expression count. The fourth component is the memo's monotone
+    /// delta epoch ([`Memo::version`]): batch evolution can rewind the
+    /// arenas to a state whose three counts alias an earlier compile
+    /// (savepoint rollback restores them exactly), but the version never
+    /// decreases, so a cached view can never be served across *any*
+    /// mutation — including a rollback or reset.
+    pub(crate) fn signature(memo: &Memo) -> (usize, usize, usize, u64) {
+        (
+            memo.exprs_allocated(),
+            memo.n_groups(),
+            memo.n_exprs(),
+            memo.version(),
+        )
     }
 
     /// The cached [`TopoView`] for `memo`, rebuilding it when the memo
@@ -315,6 +323,11 @@ pub struct BestCostEngine {
     /// each scratch's epoch only grows (the wrap path clears the stamps),
     /// so a stale stamp never equals a later evaluation's epoch.
     worker_scratches: Vec<EngineScratch>,
+    /// Universe epoch of the batch state this engine was compiled against
+    /// (0 for engines compiled outside an evolvable batch). Memoized
+    /// oracle layers key their caches on it so a universe resize across an
+    /// evolution step can never serve a stale bitset evaluation.
+    universe_epoch: u64,
     /// Evaluation strategy knobs.
     pub config: MqoConfig,
 }
@@ -335,6 +348,20 @@ impl BestCostEngine {
         config: MqoConfig,
     ) -> Self {
         Self::with_cache(memo, cm, root, universe, config, &mut CompileCache::new())
+    }
+
+    /// Universe epoch of the batch state this engine was compiled against
+    /// (see [`crate::batch::BatchDag::universe_epoch`]); 0 for engines
+    /// compiled directly, outside an evolvable batch.
+    pub fn universe_epoch(&self) -> u64 {
+        self.universe_epoch
+    }
+
+    /// Stamps the engine with its batch's universe epoch; called by
+    /// `BatchDag::compile_engine` so memoized oracle layers over this
+    /// engine can invalidate when the universe evolves.
+    pub fn set_universe_epoch(&mut self, epoch: u64) {
+        self.universe_epoch = epoch;
     }
 
     /// Compiles the engine through a reusable [`CompileCache`]: the cached
@@ -574,6 +601,7 @@ impl BestCostEngine {
             base_use: Vec::new(),
             scratch: EngineScratch::new(n_states, n),
             worker_scratches: Vec::new(),
+            universe_epoch: 0,
             config,
         };
         // Solve the no-materialization state once; the winning production
@@ -1291,7 +1319,9 @@ mod tests {
             .collect()
     }
 
-    fn build_batch() -> BatchDag {
+    /// The two-query fixture plus a third (A⋈D) plan kept aside for
+    /// evolution tests.
+    fn build_batch_and_extra() -> (BatchDag, PlanNode) {
         let mut cat = Catalog::new();
         for (name, rows) in [
             ("a", 20_000.0),
@@ -1321,6 +1351,7 @@ mod tests {
         let p_ab = Predicate::join(ctx.col(a, "a_key"), ctx.col(b, "b_fk"));
         let p_bc = Predicate::join(ctx.col(b, "b_key"), ctx.col(c, "c_fk"));
         let p_bd = Predicate::join(ctx.col(b, "b_key"), ctx.col(d, "d_fk"));
+        let p_ad = Predicate::join(ctx.col(a, "a_key"), ctx.col(d, "d_fk"));
         let sel = Predicate::on(ctx.col(c, "c_x"), Constraint::le(25));
         let q1 = PlanNode::scan(a)
             .join(PlanNode::scan(b), p_ab)
@@ -1328,7 +1359,12 @@ mod tests {
         let q2 = PlanNode::scan(b)
             .join(PlanNode::scan(c).select(sel), p_bc)
             .join(PlanNode::scan(d), p_bd);
-        BatchDag::build(ctx, &[q1, q2], &RuleSet::default())
+        let q3 = PlanNode::scan(a).join(PlanNode::scan(d), p_ad);
+        (BatchDag::build(ctx, &[q1, q2], &RuleSet::default()), q3)
+    }
+
+    fn build_batch() -> BatchDag {
+        build_batch_and_extra().0
     }
 
     #[test]
@@ -1666,6 +1702,54 @@ mod tests {
         assert!(
             tiny.incremental_evals > 300,
             "the sweep must actually exercise the overlay path across wraps"
+        );
+    }
+
+    #[test]
+    fn tiny_epoch_type_survives_wraps_across_evolution() {
+        // The wrap hardening must also hold on an engine compiled after
+        // the batch evolved: the universe resized, so the scratch arenas
+        // are re-sized and the tiny counter starts wrapping again from
+        // zero. Run a >255-evaluation sweep on the evolved engine and
+        // check every value against the full-recompute ablation.
+        let (mut batch, q3) = build_batch_and_extra();
+        let n_before = batch.universe_size();
+        batch.add_query_with_threads(&q3, 1);
+        let n = batch.universe_size();
+        assert!(n >= n_before, "admitting A⋈D must not shrink the universe");
+        let cm = DiskCostModel::paper();
+        let engine = BestCostEngine::new(batch.memo(), &cm, batch.root(), batch.shareable());
+        let mut full = BestCostEngine::with_config(
+            batch.memo(),
+            &cm,
+            batch.root(),
+            batch.shareable(),
+            MqoConfig {
+                force_full: true,
+                ..Default::default()
+            },
+        );
+        let mut tiny: EngineScratch<u8> = engine.new_scratch();
+        let mut state = 0xBEEFu64;
+        for i in 0..600 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let mut set = BitSet::empty(n);
+            for e in 0..3 {
+                let bit = ((state >> (8 * e)) as usize) % n;
+                set.insert(bit);
+            }
+            let a = engine.bc_from_base(&mut tiny, &set);
+            let b = full.bc(&set);
+            assert!(
+                (a - b).abs() < 1e-9 * (1.0 + b.abs()),
+                "iteration {i}: evolved tiny-epoch overlay {a} vs full {b}"
+            );
+        }
+        assert!(
+            tiny.incremental_evals > 255,
+            "the sweep must wrap the u8 epoch on the evolved engine"
         );
     }
 

@@ -46,7 +46,7 @@ pub mod engine;
 pub mod session;
 pub mod strategies;
 
-pub use batch::BatchDag;
+pub use batch::{BatchDag, BatchSavepoint, QueryTicket};
 pub use benefit::MbFunction;
 pub use config::MqoConfig;
 pub use consolidated::ConsolidatedPlan;

@@ -6,9 +6,12 @@
 //! framing) — and this module exposes it as one: a [`Session`] builder
 //! collects the [`DagContext`], the queries, the [`RuleSet`], the cost
 //! model, and one unified [`MqoConfig`], and [`SessionBuilder::build`]
-//! yields an immutable [`OptimizedBatch`] whose [`OptimizedBatch::run`] /
+//! yields an [`OptimizedBatch`] whose [`OptimizedBatch::run`] /
 //! [`OptimizedBatch::run_all`] return [`RunReport`]s carrying the
-//! extracted consolidated physical plan.
+//! extracted consolidated physical plan. The batch is also *evolvable*:
+//! [`OptimizedBatch::add_query`] / [`OptimizedBatch::retire_query`] mutate
+//! the live batch incrementally, and [`OptimizedBatch::savepoint`] /
+//! [`OptimizedBatch::rollback`] bracket speculative sequences.
 //!
 //! ```no_run
 //! use mqo_core::session::Session;
@@ -31,7 +34,7 @@ use mqo_volcano::cost::{CostModel, DiskCostModel};
 use mqo_volcano::rules::RuleSet;
 use mqo_volcano::{DagContext, PlanNode};
 
-use crate::batch::BatchDag;
+use crate::batch::{BatchDag, BatchSavepoint, QueryTicket};
 use crate::config::MqoConfig;
 use crate::strategies::{run_strategy, RunReport, Strategy};
 
@@ -112,7 +115,7 @@ impl SessionBuilder {
     /// Inserts the queries into one memo, expands the combined DAG to
     /// fixpoint (candidate generation fanned out over
     /// [`MqoConfig::threads`] workers), computes the shareable universe,
-    /// and returns the immutable, ready-to-run batch.
+    /// and returns the ready-to-run batch.
     ///
     /// # Panics
     ///
@@ -135,12 +138,24 @@ impl SessionBuilder {
     }
 }
 
-/// A fully expanded, immutable batch bound to a cost model and a
-/// configuration: the object the paper's experiments revolve around. Every
+/// A fully expanded batch bound to a cost model and a configuration: the
+/// object the paper's experiments revolve around. Every
 /// [`OptimizedBatch::run`] compiles the `bestCost` engine through the
 /// batch's shared compile cache (the topological view and compile scratch
 /// are reused across strategies), runs the strategy's node selection, and
 /// extracts the consolidated physical plan from the compiled arenas.
+///
+/// The batch is *evolvable*: [`OptimizedBatch::add_query`] admits a new
+/// query into the live memo (seeded incremental expansion, no rebuild) and
+/// returns a [`QueryTicket`]; [`OptimizedBatch::retire_query`] removes one;
+/// [`OptimizedBatch::savepoint`] / [`OptimizedBatch::rollback`] bracket
+/// speculative what-if admissions. Every evolution step leaves the batch
+/// exactly equivalent to a fresh [`SessionBuilder::build`] over the
+/// surviving queries — same live DAG, same shareable universe (modulo
+/// tombstoned slots), identical plans and `bestCost` values. Evolution
+/// takes `&mut self`; `run*` calls observe a consistent compiled snapshot
+/// because the compile cache is keyed on the memo's version counter and
+/// the engines are stamped with the universe epoch.
 pub struct OptimizedBatch {
     batch: BatchDag,
     cost_model: Box<dyn CostModel>,
@@ -189,6 +204,51 @@ impl OptimizedBatch {
     /// Number of shareable nodes (delegates to [`BatchDag`]).
     pub fn universe_size(&self) -> usize {
         self.batch.universe_size()
+    }
+
+    // -----------------------------------------------------------------------
+    // Evolution: the batch is a live session, not a frozen artifact.
+    // -----------------------------------------------------------------------
+
+    /// Admits `query` into the live batch without a full rebuild and
+    /// returns its ticket. The expansion fixpoint re-runs seeded with only
+    /// the freshly interned expressions, under the session's configured
+    /// thread count.
+    pub fn add_query(&mut self, query: PlanNode) -> QueryTicket {
+        self.batch
+            .add_query_with_threads(&query, self.config.threads)
+    }
+
+    /// Retires the query behind `ticket` from the live batch, reclaiming
+    /// its private expressions (savepoint rewind + incremental replay of
+    /// later survivors).
+    ///
+    /// # Panics
+    ///
+    /// If the ticket was already retired, or if it names the last live
+    /// query — a batch is never empty, mirroring [`SessionBuilder::build`].
+    pub fn retire_query(&mut self, ticket: QueryTicket) {
+        self.batch
+            .retire_query_with_threads(ticket, self.config.threads)
+    }
+
+    /// Snapshots the batch for a later [`OptimizedBatch::rollback`] —
+    /// bracket speculative `add_query`/`retire_query` sequences (what-if
+    /// admission probes) without paying for a rebuild on abandonment.
+    pub fn savepoint(&mut self) -> BatchSavepoint {
+        self.batch.savepoint()
+    }
+
+    /// Rewinds the batch to `sp`, undoing every evolution step since the
+    /// matching [`OptimizedBatch::savepoint`]. Tickets issued after the
+    /// savepoint are dead afterwards; tickets issued before it stay valid.
+    pub fn rollback(&mut self, sp: BatchSavepoint) {
+        self.batch.rollback_with_threads(sp, self.config.threads)
+    }
+
+    /// Tickets of the currently live queries, in admission order.
+    pub fn tickets(&self) -> Vec<QueryTicket> {
+        self.batch.tickets()
     }
 }
 
@@ -279,6 +339,57 @@ mod tests {
         let r = batch.run(Strategy::MarginalGreedy);
         assert!(r.total_cost.is_finite() && r.total_cost > 0.0);
         assert_eq!(r.plan.query_plans.len(), 1);
+    }
+
+    #[test]
+    fn session_evolves_and_rolls_back() {
+        let mut ctx1 = ctx();
+        let qs = two_queries(&mut ctx1);
+        let extra = {
+            let a = ctx1.instance_by_name("a", 0);
+            let c = ctx1.instance_by_name("c", 0);
+            let p = Predicate::join(ctx1.col(a, "a_key"), ctx1.col(c, "c_fk"));
+            PlanNode::scan(a).join(PlanNode::scan(c), p)
+        };
+        let mut batch = Session::builder()
+            .context(ctx1)
+            .queries(qs)
+            .threads(1)
+            .build();
+        let baseline = batch.run(Strategy::Greedy);
+        assert_eq!(baseline.plan.query_plans.len(), 2);
+
+        let sp = batch.savepoint();
+        let t3 = batch.add_query(extra);
+        assert_eq!(batch.tickets().len(), 3);
+        let grown = batch.run(Strategy::Greedy);
+        assert_eq!(grown.plan.query_plans.len(), 3);
+
+        batch.retire_query(t3);
+        assert_eq!(batch.tickets().len(), 2);
+        let shrunk = batch.run(Strategy::Greedy);
+        assert_eq!(shrunk.plan.query_plans.len(), 2);
+        assert_eq!(shrunk.total_cost, baseline.total_cost);
+
+        batch.rollback(sp);
+        let back = batch.run(Strategy::Greedy);
+        assert_eq!(back.plan.query_plans.len(), 2);
+        assert_eq!(back.total_cost, baseline.total_cost);
+    }
+
+    #[test]
+    #[should_panic(expected = "last live query")]
+    fn retiring_the_last_query_is_rejected() {
+        let mut ctx = ctx();
+        let qs = two_queries(&mut ctx);
+        let mut batch = Session::builder()
+            .context(ctx)
+            .queries(qs)
+            .threads(1)
+            .build();
+        let tickets = batch.tickets();
+        batch.retire_query(tickets[0]);
+        batch.retire_query(tickets[1]); // would empty the batch
     }
 
     #[test]

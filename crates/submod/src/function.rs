@@ -170,17 +170,33 @@ impl<F: SetFunction> SetFunction for CountingOracle<F> {
 /// Useful when an algorithm revisits the same subsets (e.g. the greedy loop
 /// evaluating `bc(X ∪ {x})` where `X` grows by exactly the previously best
 /// candidate). Unbounded; intended for algorithm-internal lifetimes.
+///
+/// Cache entries are keyed on raw bitsets, whose bit positions are only
+/// meaningful relative to a fixed universe. The wrapper therefore carries a
+/// *universe epoch* stamp ([`MemoizedOracle::set_universe_epoch`]) and
+/// additionally watches `inner.universe()` on every evaluation: if either
+/// changes — an evolvable batch grew, tombstoned, or re-slotted its
+/// shareable universe — the cache is discarded, so a stale value can never
+/// be served for a bitset whose bits now name different elements.
 pub struct MemoizedOracle<F: SetFunction> {
     inner: F,
     cache: std::cell::RefCell<HashMap<BitSet, f64>>,
+    /// Externally supplied universe epoch the cache was populated under.
+    epoch: std::cell::Cell<u64>,
+    /// `inner.universe()` as observed when the cache was last (re)used —
+    /// the automatic invalidation signal when no explicit epoch is fed.
+    seen_universe: std::cell::Cell<usize>,
 }
 
 impl<F: SetFunction> MemoizedOracle<F> {
     /// Wraps `inner` with an empty cache.
     pub fn new(inner: F) -> Self {
+        let seen_universe = inner.universe();
         MemoizedOracle {
             inner,
             cache: std::cell::RefCell::new(HashMap::new()),
+            epoch: std::cell::Cell::new(0),
+            seen_universe: std::cell::Cell::new(seen_universe),
         }
     }
 
@@ -193,6 +209,30 @@ impl<F: SetFunction> MemoizedOracle<F> {
     pub fn inner(&self) -> &F {
         &self.inner
     }
+
+    /// The universe epoch the cache is currently valid for.
+    pub fn universe_epoch(&self) -> u64 {
+        self.epoch.get()
+    }
+
+    /// Stamps the oracle with the universe epoch of the state it is about
+    /// to evaluate (e.g. `BatchDag::universe_epoch` after an evolution
+    /// commit). A changed epoch discards every cached value.
+    pub fn set_universe_epoch(&self, epoch: u64) {
+        if self.epoch.replace(epoch) != epoch {
+            self.cache.borrow_mut().clear();
+        }
+    }
+
+    /// Discards the cache if the inner function's universe changed since
+    /// it was populated (resize-based auto-invalidation; catches evolution
+    /// steps that never fed an explicit epoch).
+    fn check_universe(&self) {
+        let n = self.inner.universe();
+        if self.seen_universe.replace(n) != n {
+            self.cache.borrow_mut().clear();
+        }
+    }
 }
 
 impl<F: SetFunction> SetFunction for MemoizedOracle<F> {
@@ -200,6 +240,7 @@ impl<F: SetFunction> SetFunction for MemoizedOracle<F> {
         self.inner.universe()
     }
     fn eval(&self, set: &BitSet) -> f64 {
+        self.check_universe();
         if let Some(&v) = self.cache.borrow().get(set) {
             return v;
         }
@@ -208,6 +249,7 @@ impl<F: SetFunction> SetFunction for MemoizedOracle<F> {
         v
     }
     fn eval_many(&self, sets: &[BitSet]) -> Vec<f64> {
+        self.check_universe();
         // Forward only the distinct cache misses to the inner batch (a
         // duplicated set costs one inner evaluation, like the eval loop
         // would pay after its first call), then stitch the results back in
@@ -402,6 +444,73 @@ mod tests {
         // Only `b` was a miss.
         assert_eq!(memo.inner().calls(), 2);
         assert_eq!(memo.cached_sets(), 2);
+    }
+
+    /// Inner oracle whose universe and values can be mutated after
+    /// construction, simulating an evolvable batch growing or re-slotting
+    /// its shareable universe under a long-lived memoized wrapper.
+    struct MutableInner {
+        universe: Cell<usize>,
+        scale: Cell<f64>,
+    }
+
+    impl SetFunction for MutableInner {
+        fn universe(&self) -> usize {
+            self.universe.get()
+        }
+        fn eval(&self, set: &BitSet) -> f64 {
+            self.scale.get() * set.len() as f64
+        }
+    }
+
+    #[test]
+    fn memoized_oracle_invalidates_on_universe_resize() {
+        let memo = MemoizedOracle::new(MutableInner {
+            universe: Cell::new(4),
+            scale: Cell::new(1.0),
+        });
+        let s = BitSet::from_iter(4, [0, 2]);
+        assert_eq!(memo.eval(&s), 2.0);
+        assert_eq!(memo.cached_sets(), 1);
+
+        // Same universe: the (now wrong) cached value is served — that is
+        // exactly the memoization contract for a fixed ground set.
+        memo.inner().scale.set(10.0);
+        assert_eq!(memo.eval(&s), 2.0);
+
+        // The universe resized: every cached value must be discarded, so
+        // the fresh inner value comes back instead of the stale 2.0.
+        memo.inner().universe.set(5);
+        assert_eq!(memo.eval(&s), 20.0);
+        assert_eq!(memo.cached_sets(), 1, "stale entries were dropped");
+
+        // eval_many performs the same check.
+        memo.inner().scale.set(100.0);
+        memo.inner().universe.set(6);
+        assert_eq!(memo.eval_many(std::slice::from_ref(&s)), vec![200.0]);
+    }
+
+    #[test]
+    fn memoized_oracle_invalidates_on_epoch_change() {
+        let memo = MemoizedOracle::new(MutableInner {
+            universe: Cell::new(4),
+            scale: Cell::new(1.0),
+        });
+        let s = BitSet::from_iter(4, [1]);
+        assert_eq!(memo.eval(&s), 1.0);
+        memo.inner().scale.set(7.0);
+
+        // Re-stamping the current epoch keeps the cache.
+        memo.set_universe_epoch(memo.universe_epoch());
+        assert_eq!(memo.eval(&s), 1.0);
+        assert_eq!(memo.cached_sets(), 1);
+
+        // A new epoch (same universe *size*, e.g. a tombstoned slot was
+        // revived by a different query) discards the cache.
+        memo.set_universe_epoch(3);
+        assert_eq!(memo.universe_epoch(), 3);
+        assert_eq!(memo.cached_sets(), 0);
+        assert_eq!(memo.eval(&s), 7.0);
     }
 
     #[test]

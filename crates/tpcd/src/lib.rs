@@ -7,9 +7,12 @@
 //!   with parameterizable selection constants (two variants each).
 //! * [`batches`] — the composite batches BQ1..BQ6 of Experiment 1 and the
 //!   stand-alone workloads of Experiment 2.
+//! * [`random`] — seeded random chain workloads shared by the
+//!   differential and property suites (not part of the paper's workload).
 
 pub mod batches;
 pub mod queries;
+pub mod random;
 pub mod schema;
 
 pub use batches::{batched, standalone, Workload, STANDALONE_NAMES};

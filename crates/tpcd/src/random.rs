@@ -1,0 +1,141 @@
+//! Seeded random chain workloads shared by the differential and property
+//! suites.
+//!
+//! The TPCD batches pin behavior on the paper's fixed workload; the random
+//! instances here cover the shapes TPCD happens not to hit (deep chains,
+//! partially overlapping spans, subsumable selections with shared
+//! constants). Every generator is driven by [`mqo_submod::prng::Prng`], so
+//! a failing case reproduces from its seed alone. The same generators used
+//! to live copy-pasted in `mqo-volcano`'s differential/property tests and
+//! would have been copied a third time by the session-evolution harness —
+//! they are deduplicated here because a *divergent* copy would silently
+//! weaken differential coverage (two suites believing they test the same
+//! distribution while drawing from different ones).
+
+use mqo_catalog::{Catalog, TableBuilder};
+use mqo_submod::prng::Prng;
+use mqo_volcano::{Constraint, DagContext, PlanNode, Predicate};
+
+/// A catalog of `k` chained tables `t0..t{k-1}`: table `i` has
+/// `base_rows * (i+1)` rows, a clustered key `t{i}_key`, a link column
+/// `t{i}_next` joining to `t{i+1}_key`, and a low-cardinality value column
+/// `t{i}_x` (20 distinct values) for selections.
+pub fn chain_catalog(k: usize, base_rows: f64) -> Catalog {
+    let mut cat = Catalog::new();
+    for i in 0..k {
+        let rows = base_rows * (i + 1) as f64;
+        cat.add_table(
+            TableBuilder::new(format!("t{i}"), rows)
+                .key_column(format!("t{i}_key"), 4)
+                .column(format!("t{i}_next"), rows, (0, rows as i64 - 1), 4)
+                .column(format!("t{i}_x"), 20.0, (0, 19), 4)
+                .primary_key(&[&format!("t{i}_key")])
+                .build(),
+        );
+    }
+    cat
+}
+
+/// [`chain_catalog`] wrapped in a fresh [`DagContext`] at the default
+/// 500-row base (the differential suites' instance size).
+pub fn chain_ctx(k: usize) -> DagContext {
+    DagContext::new(chain_catalog(k, 500.0))
+}
+
+/// A random chain query over tables `[lo, hi)` with optional selections
+/// (constants drawn from the rng's low range, so repeated queries share
+/// subsumable predicates).
+pub fn random_chain(ctx: &mut DagContext, rng: &mut Prng, lo: usize, hi: usize) -> PlanNode {
+    let mut plan: Option<PlanNode> = None;
+    for i in lo..hi {
+        let inst = ctx.instance_by_name(&format!("t{i}"), 0);
+        let mut node = PlanNode::scan(inst);
+        if rng.gen_bool(0.5) {
+            let x = ctx.col(inst, &format!("t{i}_x"));
+            let c = rng.gen_range(0_i64..=3);
+            node = node.select(Predicate::on(x, Constraint::eq(c)));
+        }
+        plan = Some(match plan {
+            None => node,
+            Some(prev) => {
+                let a = ctx.instance_by_name(&format!("t{}", i - 1), 0);
+                let link = Predicate::join(
+                    ctx.col(a, &format!("t{}_next", i - 1)),
+                    ctx.col(inst, &format!("t{i}_key")),
+                );
+                prev.join(node, link)
+            }
+        });
+    }
+    plan.expect("non-empty chain")
+}
+
+/// A left-deep chain over all `k` tables with *deterministic* selections:
+/// `sels[i] = Some(v)` puts `σ(t{i}_x = v)` above scan `i`. The
+/// property-test counterpart of [`random_chain`] — the caller controls the
+/// selection mask exactly (e.g. to sweep all 2^k masks).
+pub fn chain_with_sels(ctx: &mut DagContext, k: usize, sels: &[Option<i64>]) -> PlanNode {
+    let insts: Vec<_> = (0..k)
+        .map(|i| ctx.instance_by_name(&format!("t{i}"), 0))
+        .collect();
+    let mut plan = PlanNode::scan(insts[0]);
+    if let Some(v) = sels[0] {
+        plan = plan.select(Predicate::on(ctx.col(insts[0], "t0_x"), Constraint::eq(v)));
+    }
+    for i in 1..k {
+        let mut rhs = PlanNode::scan(insts[i]);
+        if let Some(v) = sels[i] {
+            rhs = rhs.select(Predicate::on(
+                ctx.col(insts[i], &format!("t{i}_x")),
+                Constraint::eq(v),
+            ));
+        }
+        let pred = Predicate::join(
+            ctx.col(insts[i - 1], &format!("t{}_next", i - 1)),
+            ctx.col(insts[i], &format!("t{i}_key")),
+        );
+        plan = plan.join(rhs, pred);
+    }
+    plan
+}
+
+/// A complete random workload over `k` chained tables: 2–4 chain queries
+/// with overlapping spans, rebuilt deterministically from `seed`. This is
+/// the instance distribution both differential suites (parallel memo
+/// expansion, session evolution) sweep.
+pub fn random_workload(seed: u64, k: usize) -> (DagContext, Vec<PlanNode>) {
+    let mut rng = Prng::seed_from_u64(seed);
+    let mut ctx = chain_ctx(k);
+    let n_queries = rng.gen_range(2_usize..=4);
+    let mut queries = Vec::with_capacity(n_queries);
+    for _ in 0..n_queries {
+        let lo = rng.gen_range(0_usize..=1);
+        let hi = rng.gen_range((lo + 2).min(k)..=k);
+        queries.push(random_chain(&mut ctx, &mut rng, lo, hi));
+    }
+    (ctx, queries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_workload_is_deterministic_in_its_seed() {
+        let (_, a) = random_workload(42, 5);
+        let (_, b) = random_workload(42, 5);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert!((2..=4).contains(&a.len()));
+    }
+
+    #[test]
+    fn chain_with_sels_places_requested_selections() {
+        let mut ctx = chain_ctx(3);
+        let with = chain_with_sels(&mut ctx, 3, &[Some(1), None, Some(2)]);
+        let without = chain_with_sels(&mut ctx, 3, &[None, None, None]);
+        let (w, wo) = (format!("{with:?}"), format!("{without:?}"));
+        assert_eq!(w.matches("Select").count(), 2);
+        assert_eq!(wo.matches("Select").count(), 0);
+        assert_eq!(w.matches("Join").count(), 2);
+    }
+}

@@ -139,10 +139,47 @@ pub fn expand(memo: &mut Memo, rules: &RuleSet) -> ExpansionStats {
 /// count for the candidate-generation phase. The resulting memo is
 /// bit-identical at every `threads` value; only the wall-clock changes.
 pub fn expand_with(memo: &mut Memo, rules: &RuleSet, threads: usize) -> ExpansionStats {
-    let mut stats = ExpansionStats::default();
     // Round 1 processes every live expression; later rounds only what the
     // change log implicates.
-    let mut frontier: Vec<ExprId> = memo.expr_ids().collect();
+    let frontier: Vec<ExprId> = memo.expr_ids().collect();
+    expand_frontier(memo, rules, threads, frontier)
+}
+
+/// Expands the memo to fixpoint under `rules`, seeding the first round
+/// with `seeds` instead of every live expression. This is the incremental
+/// entry point for batch evolution: after `insert_plan` of a new query
+/// into an already-expanded memo, only the freshly interned expressions
+/// need processing — expansion is idempotent over the old ones, and any
+/// merge a seed triggers pulls the implicated old expressions into later
+/// rounds through the change log (while pairwise subsumption pairs new
+/// selects/aggregates against *all* their live siblings).
+///
+/// Dead or out-of-range seeds are ignored.
+pub fn expand_seeded(
+    memo: &mut Memo,
+    rules: &RuleSet,
+    threads: usize,
+    seeds: impl IntoIterator<Item = ExprId>,
+) -> ExpansionStats {
+    let n = memo.exprs_allocated() as u32;
+    let mut frontier: Vec<ExprId> = seeds
+        .into_iter()
+        .filter(|e| e.0 < n && memo.is_alive(*e))
+        .collect();
+    frontier.sort_unstable();
+    frontier.dedup();
+    expand_frontier(memo, rules, threads, frontier)
+}
+
+/// The shared fixpoint loop behind [`expand_with`] and [`expand_seeded`];
+/// `frontier` is the (sorted, deduplicated, live) round-1 work list.
+fn expand_frontier(
+    memo: &mut Memo,
+    rules: &RuleSet,
+    threads: usize,
+    mut frontier: Vec<ExprId>,
+) -> ExpansionStats {
+    let mut stats = ExpansionStats::default();
     // Per-frontier-entry candidate buffers, reused across rounds.
     let mut candidates: Vec<Vec<Candidate>> = Vec::new();
 
@@ -962,6 +999,56 @@ mod tests {
         assert_eq!(s1.exprs, s2.exprs);
         assert_eq!(s1.groups, s2.groups);
         assert_eq!(s2.passes, 1);
+    }
+
+    /// Inserting a second query into an already-expanded memo and running
+    /// the fixpoint seeded with only the new expressions must land on the
+    /// same live expression/group counts as expanding both queries from
+    /// scratch — including the cross-query subsumers between the old and
+    /// new selects.
+    #[test]
+    fn seeded_expansion_matches_batch_expansion() {
+        let selected_chain = |ctx: &mut DagContext, c: i64| {
+            let a = ctx.instance_by_name("a", 0);
+            let b = ctx.instance_by_name("b", 0);
+            let cc = ctx.instance_by_name("c", 0);
+            let p_ab = Predicate::join(ctx.col(a, "a_next"), ctx.col(b, "b_key"));
+            let p_bc = Predicate::join(ctx.col(b, "b_next"), ctx.col(cc, "c_key"));
+            let ax = ctx.col(a, "a_x");
+            PlanNode::scan(a)
+                .select(Predicate::on(ax, Constraint::eq(c)))
+                .join(PlanNode::scan(b), p_ab)
+                .join(PlanNode::scan(cc), p_bc)
+        };
+        let rules = RuleSet::default();
+
+        let mut ctx = chain_ctx();
+        let q1 = selected_chain(&mut ctx, 3);
+        let q2 = selected_chain(&mut ctx, 1);
+        let mut fresh = Memo::new(ctx);
+        fresh.insert_plan(&q1);
+        fresh.insert_plan(&q2);
+        expand_with(&mut fresh, &rules, 1);
+
+        let mut ctx = chain_ctx();
+        let q1 = selected_chain(&mut ctx, 3);
+        let q2 = selected_chain(&mut ctx, 1);
+        let mut evolved = Memo::new(ctx);
+        evolved.insert_plan(&q1);
+        expand_with(&mut evolved, &rules, 1);
+        let watermark = evolved.exprs_allocated() as u32;
+        evolved.insert_plan(&q2);
+        let seeds = (watermark..evolved.exprs_allocated() as u32).map(ExprId);
+        expand_seeded(&mut evolved, &rules, 1, seeds);
+        evolved.check_consistency();
+
+        assert_eq!(fresh.n_exprs(), evolved.n_exprs());
+        assert_eq!(fresh.n_groups(), evolved.n_groups());
+        // And the seeded fixpoint actually converged: re-expanding in full
+        // changes nothing.
+        let s = expand_with(&mut evolved, &rules, 1);
+        assert_eq!(s.passes, 1);
+        assert_eq!(s.exprs, evolved.n_exprs());
     }
 
     #[test]

@@ -16,7 +16,7 @@ use mqo_volcano::memo::Memo;
 use mqo_volcano::optimizer::{MatOverlay, Optimizer, PlanTable};
 use mqo_volcano::physical::SortOrder;
 use mqo_volcano::rules::{expand_with, ExpansionStats, RuleSet};
-use mqo_volcano::{Constraint, DagContext, GroupId, Predicate};
+use mqo_volcano::{DagContext, GroupId};
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
 
@@ -111,68 +111,13 @@ fn tpcd_batches_expand_identically_at_every_thread_count() {
     }
 }
 
-/// A random-instance context: `k` tables with key/link/value columns.
-fn random_ctx(k: usize) -> DagContext {
-    let mut cat = mqo_catalog::Catalog::new();
-    for i in 0..k {
-        let rows = 500.0 * (i + 1) as f64;
-        cat.add_table(
-            mqo_catalog::TableBuilder::new(format!("t{i}"), rows)
-                .key_column(format!("t{i}_key"), 4)
-                .column(format!("t{i}_next"), rows, (0, rows as i64 - 1), 4)
-                .column(format!("t{i}_x"), 20.0, (0, 19), 4)
-                .primary_key(&[&format!("t{i}_key")])
-                .build(),
-        );
-    }
-    DagContext::new(cat)
-}
-
-/// A random chain query over tables `[lo, hi)` with optional selections
-/// (constants drawn from the rng, so repeated queries share subsumable
-/// predicates).
-fn random_chain(ctx: &mut DagContext, rng: &mut Prng, lo: usize, hi: usize) -> PlanNode {
-    let mut plan: Option<PlanNode> = None;
-    for i in lo..hi {
-        let inst = ctx.instance_by_name(&format!("t{i}"), 0);
-        let mut node = PlanNode::scan(inst);
-        if rng.gen_bool(0.5) {
-            let x = ctx.col(inst, &format!("t{i}_x"));
-            let c = rng.gen_range(0_i64..=3);
-            node = node.select(Predicate::on(x, Constraint::eq(c)));
-        }
-        plan = Some(match plan {
-            None => node,
-            Some(prev) => {
-                let a = ctx.instance_by_name(&format!("t{}", i - 1), 0);
-                let link = Predicate::join(
-                    ctx.col(a, &format!("t{}_next", i - 1)),
-                    ctx.col(inst, &format!("t{i}_key")),
-                );
-                prev.join(node, link)
-            }
-        });
-    }
-    plan.expect("non-empty chain")
-}
-
 #[test]
 fn random_instances_expand_identically_at_every_thread_count() {
-    let k = 5;
+    // Instance distribution shared with the session-evolution harness:
+    // `mqo_tpcd::random` (5 chained tables, 2-4 overlapping chain queries).
     for case in 0..8u64 {
         let seed = Prng::derive_seed(0x4D45_4D4F, case);
-        let make = || {
-            let mut rng = Prng::seed_from_u64(seed);
-            let mut ctx = random_ctx(k);
-            let n_queries = rng.gen_range(2_usize..=4);
-            let mut queries = Vec::with_capacity(n_queries);
-            for _ in 0..n_queries {
-                let lo = rng.gen_range(0_usize..=1);
-                let hi = rng.gen_range((lo + 2).min(k)..=k);
-                queries.push(random_chain(&mut ctx, &mut rng, lo, hi));
-            }
-            (ctx, queries)
-        };
+        let make = || mqo_tpcd::random::random_workload(seed, 5);
         assert_identical(make, &RuleSet::default(), &format!("random case {case}"));
     }
 }
