@@ -177,6 +177,7 @@ fn main() {
                 rebase_threshold: threshold,
                 force_full: false,
                 threads: 1,
+                ..Default::default()
             };
             let t0 = Instant::now();
             let r = session.run_with(Strategy::Greedy, config);

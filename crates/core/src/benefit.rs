@@ -21,6 +21,10 @@ pub struct MbFunction {
     universe: usize,
     bc_empty: f64,
     calls: Cell<u64>,
+    /// Pooled candidate-set buffers for [`SetFunction::marginal_many`],
+    /// reused across greedy rounds (`S ∪ {e}` per candidate is rebuilt in
+    /// place via `copy_from`, never reallocated at steady state).
+    round_sets: RefCell<Vec<BitSet>>,
 }
 
 impl MbFunction {
@@ -34,7 +38,15 @@ impl MbFunction {
             universe,
             bc_empty,
             calls: Cell::new(0),
+            round_sets: RefCell::new(Vec::new()),
         }
+    }
+
+    /// Standalone materialization cost of each universe element (compute
+    /// from scratch + write), read off the compiled engine — the additive
+    /// cost vector of [`crate::config::DecompositionKind::MaterializationCost`].
+    pub fn materialization_costs(&self) -> Vec<f64> {
+        self.engine.borrow().materialization_costs().to_vec()
     }
 
     /// The no-sharing (Volcano) cost `bc(∅)`.
@@ -113,14 +125,32 @@ impl SetFunction for MbFunction {
             .collect()
     }
 
+    fn marginal(&self, e: usize, set: &BitSet) -> f64 {
+        // Route single marginals through the batched machinery: the default
+        // eval-difference would drift the engine base between its two `bc`
+        // calls and regroup the element sums, so a marginal loop and a
+        // `marginal_many` round would disagree by ulps of the (huge) totals.
+        self.marginal_many(std::slice::from_ref(&e), set)[0]
+    }
+
     fn marginal_many(&self, elems: &[usize], set: &BitSet) -> Vec<f64> {
-        // One batched pass for the candidates plus one (base-aligned, cheap)
-        // evaluation of the shared set. The per-element arithmetic mirrors
-        // the default `marginal` exactly — (bc∅ − bc(S∪e)) − (bc∅ − bc(S)) —
-        // so batched and looped marginals are bit-identical.
-        let sets: Vec<BitSet> = elems.iter().map(|&e| set.with(e)).collect();
-        let vals = self.bc_many(&sets);
+        // Commit `set` as the engine base first: every candidate `S ∪ {e}`
+        // is then a distance-1 overlay off the same committed arenas, and
+        // the per-element arithmetic — (bc∅ − bc(S∪e)) − (bc∅ − bc(S)) —
+        // reads identical bits whether the elements arrive as one batch or
+        // as a loop of singletons, making the two forms bit-identical.
+        self.rebase(set);
+        let mut sets = self.round_sets.take();
+        if sets.len() < elems.len() {
+            sets.resize_with(elems.len(), || BitSet::empty(self.universe));
+        }
+        for (buf, &e) in sets.iter_mut().zip(elems) {
+            buf.copy_from(set);
+            buf.insert(e);
+        }
+        let vals = self.bc_many(&sets[..elems.len()]);
         let f_set = self.bc_empty - self.bc(set);
+        self.round_sets.replace(sets);
         vals.into_iter()
             .map(|v| (self.bc_empty - v) - f_set)
             .collect()

@@ -10,11 +10,32 @@
 
 use mqo_volcano::rules::{effective_threads, expand_threads_from_env};
 
+/// Which decomposition `f = f_M − c` the marginal-greedy family and the
+/// universe-reduction pre-pass use.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DecompositionKind {
+    /// Proposition 1's canonical decomposition: `c({e}) = −f({e})` per
+    /// element. Carries the Theorem 1 guarantee, but its top-of-lattice
+    /// ratios make the Theorem 4 reduction vacuous (it never prunes).
+    #[default]
+    Canonical,
+    /// Cost the elements by their standalone materialization cost
+    /// (compute-from-scratch + write, read off the compiled engine). Same
+    /// greedy machinery, and the Theorem 4 reduction actually prunes —
+    /// this is the decomposition the scale pre-pass runs under.
+    MaterializationCost,
+}
+
 /// Tuning knobs of the MQO pipeline. Every setting is
 /// behavior-preserving: the chosen materializations, costs, and plans are
 /// identical under any configuration (only wall-clock and bookkeeping
 /// change), except that `force_full` is an explicit ablation switch with
-/// the same results at higher cost.
+/// the same results at higher cost, and `decomposition` /
+/// `universe_reduction` / `max_materializations` select *which* provable
+/// algorithm runs (Theorem 4 guarantees reduction-on ≡ reduction-off for
+/// the ratio-ranked greedy under a fixed decomposition — pinned by the
+/// differential suite — but changing the decomposition or adding a
+/// cardinality cap legitimately changes the chosen set).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MqoConfig {
     /// Rebase (commit a full `bestCost` solve) when a candidate differs
@@ -33,6 +54,20 @@ pub struct MqoConfig {
     /// to `1`) — this is the single place in the workspace that consults
     /// it. Results are bit-identical at every setting.
     pub threads: usize,
+    /// Decomposition used by the marginal-greedy strategy family and the
+    /// universe-reduction pre-pass.
+    pub decomposition: DecompositionKind,
+    /// Run the Theorem 4 universe-reduction pre-pass before ratio-ranked
+    /// greedy strategies: elements whose singleton benefit/cost ratio is
+    /// provably dominated are dropped from the candidate universe before
+    /// the greedy rounds ever see them. Output-identical to running on
+    /// the full universe (Theorem 4); off by default.
+    pub universe_reduction: bool,
+    /// Optional cardinality cap `k` on the number of materializations
+    /// (Section 5.3). Also the `k` the universe-reduction threshold is
+    /// computed against; `None` means unbounded (reduction then uses the
+    /// universe size, which only prunes ratio-zero elements).
+    pub max_materializations: Option<usize>,
 }
 
 impl Default for MqoConfig {
@@ -41,6 +76,9 @@ impl Default for MqoConfig {
             rebase_threshold: 4,
             force_full: false,
             threads: expand_threads_from_env(),
+            decomposition: DecompositionKind::Canonical,
+            universe_reduction: false,
+            max_materializations: None,
         }
     }
 }

@@ -265,6 +265,12 @@ impl CompileCache {
     }
 }
 
+/// Sentinel in `opt_c0`/`opt_c1`: this child slot is absent.
+const OPT_NONE: u32 = u32::MAX;
+/// Sentinel in `opt_c0`: the option has more than two children; its child
+/// list lives in the `child_off`/`opt_children` CSR.
+const OPT_SPILL: u32 = u32::MAX - 1;
+
 /// The compiled `bestCost` engine. See the module docs for the arena
 /// layout.
 pub struct BestCostEngine {
@@ -283,6 +289,15 @@ pub struct BestCostEngine {
     pub(crate) child_off: Vec<u32>,
     /// Flat child state indices.
     pub(crate) opt_children: Vec<u32>,
+    /// Packed first/second child state per option (SoA, hot). Almost every
+    /// option has ≤ 2 children (scans 0, selects/aggregates 1, joins 2), so
+    /// the DP inner loop reads these two flat arrays instead of chasing
+    /// `child_off` → `opt_children` — one indirection and one cache line
+    /// less per option at 10k+ states. [`OPT_NONE`] marks an absent slot;
+    /// [`OPT_SPILL`] in `opt_c0` sends the rare wide option (the batch
+    /// root) back to the CSR arenas.
+    pub(crate) opt_c0: Vec<u32>,
+    pub(crate) opt_c1: Vec<u32>,
     /// Per-state cost of reading the materialized result.
     pub(crate) read: Vec<f64>,
     /// Per-group cost of writing the result once.
@@ -308,11 +323,24 @@ pub struct BestCostEngine {
     pub(crate) natural_order: Vec<SortOrder>,
     /// Flat state index → dense group index.
     pub(crate) group_of_state: Vec<u32>,
+    /// Per-universe-element standalone materialization cost under `S = ∅`:
+    /// cheapest compute of the element's group plus its write cost. Free at
+    /// compile time (the ∅ solve already runs for natural-order
+    /// resolution); drives the cost-based decomposition of the
+    /// universe-reduction pre-pass.
+    pub(crate) mat_cost: Vec<f64>,
     /// Base state: the committed materialized set and its DP solution
     /// (flat, indexed by state).
     base_set: BitSet,
     base_compute: Vec<f64>,
     base_use: Vec<f64>,
+    /// `bc(base_set)` — the full element-sum total over the committed
+    /// base, refreshed at every commit. Overlay evaluations answer
+    /// `base_total + Δ`, accumulating `Δ` along the dirty cone instead of
+    /// re-summing the whole materialized set per evaluation (the
+    /// per-element sum is `O(|S|)` with cache-hostile indirection, and at
+    /// hundreds of materializations it dominates the cone DP itself).
+    base_total: f64,
     /// Epoch-stamped overlay scratch (reused across serial evaluations; a
     /// state's scratch value is live iff its stamp equals the current
     /// epoch).
@@ -323,6 +351,10 @@ pub struct BestCostEngine {
     /// each scratch's epoch only grows (the wrap path clears the stamps),
     /// so a stale stamp never equals a later evaluation's epoch.
     worker_scratches: Vec<EngineScratch>,
+    /// Pooled buffer for the per-round shared-intersection base of
+    /// [`Self::bc_many`], reused across rounds instead of cloning the
+    /// first candidate every round.
+    shared_buf: BitSet,
     /// Universe epoch of the batch state this engine was compiled against
     /// (0 for engines compiled outside an evolvable batch). Memoized
     /// oracle layers key their caches on it so a universe resize across an
@@ -556,6 +588,25 @@ impl BestCostEngine {
             .map(|p| p.expect("every option slot scattered"))
             .collect();
 
+        debug_assert!(
+            n_states < OPT_SPILL as usize,
+            "state count collides with packed-child sentinels"
+        );
+        let mut opt_c0: Vec<u32> = vec![OPT_NONE; n_opts];
+        let mut opt_c1: Vec<u32> = vec![OPT_NONE; n_opts];
+        for o in 0..n_opts {
+            let (cs, ce) = (child_off[o] as usize, child_off[o + 1] as usize);
+            match ce - cs {
+                0 => {}
+                1 => opt_c0[o] = opt_children[cs],
+                2 => {
+                    opt_c0[o] = opt_children[cs];
+                    opt_c1[o] = opt_children[cs + 1];
+                }
+                _ => opt_c0[o] = OPT_SPILL,
+            }
+        }
+
         let mut read: Vec<f64> = Vec::with_capacity(n_states);
         let mut write: Vec<f64> = Vec::with_capacity(n);
         let mut sort: Vec<f64> = Vec::with_capacity(n);
@@ -585,6 +636,8 @@ impl BestCostEngine {
             opt_cost,
             child_off,
             opt_children,
+            opt_c0,
+            opt_c1,
             read,
             write,
             sort,
@@ -596,11 +649,14 @@ impl BestCostEngine {
             state_order,
             natural_order: Vec::new(),
             group_of_state: group_of_state.clone(),
+            mat_cost: Vec::new(),
             base_set: BitSet::empty(universe.len()),
             base_compute: Vec::new(),
             base_use: Vec::new(),
+            base_total: 0.0,
             scratch: EngineScratch::new(n_states, n),
             worker_scratches: Vec::new(),
+            shared_buf: BitSet::empty(universe.len()),
             universe_epoch: 0,
             config,
         };
@@ -622,9 +678,23 @@ impl BestCostEngine {
             }
         }
         engine.natural_order = natural;
+        engine.mat_cost = engine
+            .universe_dense
+            .iter()
+            .map(|&d| compute[engine.state_off[d as usize] as usize] + engine.write[d as usize])
+            .collect();
         engine.base_compute = compute;
         engine.base_use = use_;
+        engine.base_total = engine.total_from_slice(&engine.base_set, &engine.base_compute);
         engine
+    }
+
+    /// Standalone (`S = ∅`) materialization cost of each universe element:
+    /// compute-from-scratch plus write. This is the additive cost vector
+    /// the cost-based decomposition of the universe-reduction pre-pass
+    /// uses.
+    pub fn materialization_costs(&self) -> &[f64] {
+        &self.mat_cost
     }
 
     /// Resolves the natural output order of each group's winning
@@ -760,16 +830,22 @@ impl BestCostEngine {
             scratch.full_evals += 1;
             return self.full_eval_with(scratch, set);
         }
-        self.load_diff(scratch, set);
-        if scratch.diff_buf.is_empty() {
+        // The rebase decision needs only `|set △ base|` vs the threshold,
+        // not the diff elements: the capped fused kernel answers it in one
+        // blocked pass with an early exit, and the diff buffer is
+        // materialized only when the overlay path actually consumes it.
+        let threshold = self.config.rebase_threshold;
+        let dist = set.symmetric_difference_len_capped(&self.base_set, threshold);
+        if dist == 0 {
             scratch.incremental_evals += 1;
-            return self.total_from_base(set);
+            return self.base_total;
         }
-        if scratch.diff_buf.len() > self.config.rebase_threshold {
+        if dist > threshold {
             // Too far from base: rebase (full solve) and answer from it.
             self.rebase_with(scratch, set);
-            return self.total_from_base(set);
+            return self.base_total;
         }
+        self.load_diff(scratch, set);
         scratch.incremental_evals += 1;
         self.overlay_eval_with(scratch, set)
     }
@@ -780,15 +856,17 @@ impl BestCostEngine {
     /// full (uncommitted) solve into the worker's scratch: same value as
     /// the serial threshold-rebase, different bookkeeping.
     fn bc_from_base<E: EpochInt>(&self, scratch: &mut EngineScratch<E>, set: &BitSet) -> f64 {
-        self.load_diff(scratch, set);
-        if scratch.diff_buf.is_empty() {
+        let threshold = self.config.rebase_threshold;
+        let dist = set.symmetric_difference_len_capped(&self.base_set, threshold);
+        if dist == 0 {
             scratch.incremental_evals += 1;
-            return self.total_from_base(set);
+            return self.base_total;
         }
-        if scratch.diff_buf.len() > self.config.rebase_threshold {
+        if dist > threshold {
             scratch.full_evals += 1;
             return self.full_eval_with(scratch, set);
         }
+        self.load_diff(scratch, set);
         scratch.incremental_evals += 1;
         self.overlay_eval_with(scratch, set)
     }
@@ -803,11 +881,14 @@ impl BestCostEngine {
     /// With [`MqoConfig::threads`] > 1 the candidates are sharded over
     /// `std::thread::scope` workers, each with its own [`EngineScratch`]
     /// over the shared immutable arenas; every candidate is evaluated from
-    /// the same committed base. In serial mode a candidate past the rebase
-    /// threshold instead rebases exactly as [`Self::bc`] would, letting the
-    /// base drift along batches of mutually-far sets. Both paths — and
-    /// every thread count — return **bit-identical** values; only the work
-    /// distribution differs.
+    /// the same committed base. The serial mode runs the identical
+    /// per-candidate code against the engine's own scratch (a candidate
+    /// past the rebase threshold full-solves into the scratch without
+    /// committing, so the base never drifts mid-batch), which is what
+    /// makes every thread count return **bit-identical** values — only
+    /// the work distribution differs. (The single-set [`Self::bc`] entry
+    /// point still commits a rebase on far sets and drifts with its
+    /// caller's query sequence.)
     pub fn bc_many(&mut self, sets: &[BitSet]) -> Vec<f64> {
         if sets.is_empty() {
             return Vec::new();
@@ -826,18 +907,30 @@ impl BestCostEngine {
             return out;
         }
         // For candidates X ∪ {x} of a greedy round over base X, the
-        // intersection is exactly X.
-        let mut shared = sets[0].clone().into_owned();
+        // intersection is exactly X. The pooled buffer makes the whole
+        // round allocation-free at steady state.
+        let mut shared = std::mem::replace(&mut self.shared_buf, BitSet::empty(0));
+        shared.copy_from(&sets[0]);
         for s in &sets[1..] {
             shared.intersect_with(s);
         }
         if shared != self.base_set {
             self.rebase(&shared);
         }
+        self.shared_buf = shared;
         let workers = self.config.effective_threads(sets.len());
         if workers <= 1 {
+            // Same drift-free path as the sharded workers (a far candidate
+            // full-solves into the scratch instead of committing a rebase):
+            // serial and sharded runs execute identical per-candidate code
+            // from the identical committed base, so bit-identity across
+            // thread counts holds by construction — including the
+            // floating-point grouping of the overlay path's delta totals.
             let mut scratch = std::mem::take(&mut self.scratch);
-            let out = sets.iter().map(|s| self.bc_one(&mut scratch, s)).collect();
+            let out = sets
+                .iter()
+                .map(|s| self.bc_from_base(&mut scratch, s))
+                .collect();
             self.scratch = scratch;
             return out;
         }
@@ -893,7 +986,27 @@ impl BestCostEngine {
 
     /// [`Self::rebase`] against a caller-held scratch (whose stamps it
     /// invalidates: the overlays were relative to the dead base).
+    ///
+    /// A target within `rebase_threshold` elements of the current base is
+    /// committed *incrementally* ([`Self::commit_diff`]): the greedy's
+    /// every-round commit moves the base by exactly one element (the new
+    /// pick), and a full bottom-up solve per round is the dominant fixed
+    /// cost of large-universe selection. Past the threshold — or while the
+    /// base arenas are not yet solved — the full solve runs as before.
     fn rebase_with(&mut self, scratch: &mut EngineScratch, set: &BitSet) {
+        if self.base_compute.len() == self.n_states() {
+            let cap = self.config.rebase_threshold;
+            let dist = set.symmetric_difference_len_capped(&self.base_set, cap);
+            if dist == 0 {
+                // The base already *is* this set; its arenas are exact.
+                return;
+            }
+            if dist <= cap {
+                self.load_diff(scratch, set);
+                self.commit_diff(scratch, set);
+                return;
+            }
+        }
         scratch.full_evals += 1;
         let mut compute = std::mem::take(&mut self.base_compute);
         let mut use_ = std::mem::take(&mut self.base_use);
@@ -901,6 +1014,76 @@ impl BestCostEngine {
         self.base_compute = compute;
         self.base_use = use_;
         self.base_set = set.clone();
+        self.base_total = self.total_from_slice(set, &self.base_compute);
+        scratch.invalidate();
+    }
+
+    /// Commits a near-base target by running the overlay recurrence
+    /// *through* the base arenas: only the dirty cone above the changed
+    /// elements (the scratch's diff buffer) is recomputed, in dense
+    /// topological order off the same min-heap worklist the overlay path
+    /// uses. Bit-identical to the full solve it replaces: a state outside
+    /// the cone has no changed input (children's `use` and its own
+    /// materialization flag are unchanged), so a full solve would
+    /// recompute exactly the value it already holds; a state inside the
+    /// cone applies the identical accumulation order over identical child
+    /// values.
+    fn commit_diff(&mut self, scratch: &mut EngineScratch, set: &BitSet) {
+        let epoch = scratch.advance_epoch();
+        let mut compute = std::mem::take(&mut self.base_compute);
+        let mut use_ = std::mem::take(&mut self.base_use);
+        let EngineScratch {
+            dirty,
+            queued_epoch,
+            diff_buf,
+            ..
+        } = scratch;
+        for &e in diff_buf.iter() {
+            let d = self.universe_dense[e];
+            if queued_epoch[d as usize] != epoch {
+                queued_epoch[d as usize] = epoch;
+                dirty.push(Reverse(d));
+            }
+        }
+        while let Some(Reverse(d)) = dirty.pop() {
+            let du = d as usize;
+            let s0 = self.state_off[du] as usize;
+            let s1 = self.state_off[du + 1] as usize;
+            let materialized = self.in_set(du, set);
+            let mut changed = false;
+            for s in s0..s1 {
+                // Children live in strictly earlier groups: if dirty, the
+                // heap already popped and committed them.
+                let best = self.best_option(s, |c| use_[c]);
+                let best = if s > s0 {
+                    best.min(compute[s0] + self.sort[du])
+                } else {
+                    best
+                };
+                compute[s] = best;
+                let u = if materialized {
+                    self.read[s].min(best)
+                } else {
+                    best
+                };
+                if u != use_[s] {
+                    changed = true;
+                }
+                use_[s] = u;
+            }
+            if changed {
+                for &p in self.topo.parents(du) {
+                    if queued_epoch[p as usize] != epoch {
+                        queued_epoch[p as usize] = epoch;
+                        dirty.push(Reverse(p));
+                    }
+                }
+            }
+        }
+        self.base_compute = compute;
+        self.base_use = use_;
+        self.base_set.copy_from(set);
+        self.base_total = self.total_from_slice(set, &self.base_compute);
         scratch.invalidate();
     }
 
@@ -911,11 +1094,6 @@ impl BestCostEngine {
         scratch
             .diff_buf
             .extend(set.symmetric_difference_iter(&self.base_set));
-    }
-
-    /// `bc(S)` read directly off the base arenas (`S` must equal the base).
-    fn total_from_base(&self, set: &BitSet) -> f64 {
-        self.total_from_slice(set, &self.base_compute)
     }
 
     /// `bc(S)` from a fully solved per-state compute arena.
@@ -981,21 +1159,19 @@ impl BestCostEngine {
     }
 
     /// `min` over the options of state `s` given resolved child `use`
-    /// costs. Children are summed first and the operator cost added last —
-    /// the same association the reference optimizer uses — so the two
-    /// symmetric orientations of a join tie *exactly* and the first
-    /// emitted option wins, keeping extracted plans identical to the
-    /// reference extractor's.
+    /// costs. Children are summed first (in child order) and the operator
+    /// cost added last — the same association the reference optimizer uses
+    /// — so the two symmetric orientations of a join tie *exactly* and the
+    /// first emitted option wins, keeping extracted plans identical to the
+    /// reference extractor's. Reads the packed `opt_c0`/`opt_c1` child
+    /// slots; only a rare wide option ([`OPT_SPILL`], the batch root)
+    /// falls back to the `child_off`/`opt_children` CSR, with the same
+    /// left-to-right summation.
     #[inline]
     fn best_option(&self, s: usize, child_use: impl Fn(usize) -> f64) -> f64 {
         let mut best = f64::INFINITY;
         for o in self.opt_off[s] as usize..self.opt_off[s + 1] as usize {
-            let mut cost = 0.0;
-            for &c in &self.opt_children[self.child_off[o] as usize..self.child_off[o + 1] as usize]
-            {
-                cost += child_use(c as usize);
-            }
-            cost += self.opt_cost[o];
+            let cost = self.option_cost(o, &child_use);
             if cost < best {
                 best = cost;
             }
@@ -1003,10 +1179,46 @@ impl BestCostEngine {
         best
     }
 
+    /// Cost of one option given resolved child `use` costs — the exact
+    /// inner summation of [`Self::best_option`] (children left-to-right,
+    /// operator cost last), shared with the dirty-option fast path so a
+    /// selectively recomputed option is bit-identical to a full rescan's.
+    #[inline]
+    fn option_cost(&self, o: usize, child_use: &impl Fn(usize) -> f64) -> f64 {
+        let c0 = self.opt_c0[o];
+        let mut cost = 0.0;
+        if c0 == OPT_SPILL {
+            for &c in &self.opt_children[self.child_off[o] as usize..self.child_off[o + 1] as usize]
+            {
+                cost += child_use(c as usize);
+            }
+        } else if c0 != OPT_NONE {
+            cost += child_use(c0 as usize);
+            let c1 = self.opt_c1[o];
+            if c1 != OPT_NONE {
+                cost += child_use(c1 as usize);
+            }
+        }
+        cost + self.opt_cost[o]
+    }
+
     /// Overlay DP: recompute only the cone above the groups in the diff
     /// buffer, writing into the scratch's epoch-stamped arenas.
     /// Allocation-free at steady state: the worklist heap and overlay
     /// arenas live in the scratch and are reused across evaluations.
+    ///
+    /// The total is answered as `base_total + Δ` rather than re-summing
+    /// every materialized element: a group outside the dirty cone holds
+    /// exactly its base value (bit-identical — the cone DP reads identical
+    /// inputs in identical order), so only cone groups can shift the
+    /// element sum, and `Δ` is accumulated while they are processed. The
+    /// accumulation order follows the cone walk (deterministic: a min-heap
+    /// over dense topological indices), so the returned value is a pure
+    /// function of `(base, set)` — identical across thread counts and
+    /// shard boundaries — though its floating-point grouping differs from
+    /// a from-scratch full solve's flat sum by design (the differential
+    /// suites pin overlay ≡ full to 1e-9 relative, and serial ≡ sharded
+    /// bitwise).
     fn overlay_eval_with<E: EpochInt>(&self, scratch: &mut EngineScratch<E>, set: &BitSet) -> f64 {
         let epoch = scratch.advance_epoch();
         let EngineScratch {
@@ -1029,6 +1241,7 @@ impl BestCostEngine {
         // Dense index == topological position, so the min-heap processes
         // the dirty cone bottom-up; parents always rank above the group
         // being processed, so nothing is ever re-queued after processing.
+        let mut delta = 0.0f64;
         while let Some(Reverse(d)) = dirty.pop() {
             let du = d as usize;
             let s0 = self.state_off[du] as usize;
@@ -1060,6 +1273,21 @@ impl BestCostEngine {
                     changed = true;
                 }
             }
+            // Element-sum correction for this group: a materialized
+            // element contributes `compute[s0] + write`; the base total
+            // already carries the base-side term whenever the element is
+            // in the base set. (Diff elements are always seeded into the
+            // cone, so a membership flip is never missed.)
+            let in_base = self.in_set(du, &self.base_set);
+            if materialized {
+                if in_base {
+                    delta += scratch_compute[s0] - self.base_compute[s0];
+                } else {
+                    delta += scratch_compute[s0] + self.write[du];
+                }
+            } else if in_base {
+                delta -= self.base_compute[s0] + self.write[du];
+            }
             if changed {
                 for &p in self.topo.parents(du) {
                     if queued_epoch[p as usize] != epoch {
@@ -1070,20 +1298,13 @@ impl BestCostEngine {
             }
         }
 
-        let compute_at = |d: usize| {
-            let s = self.state_off[d] as usize;
-            if state_epoch[s] == epoch {
-                scratch_compute[s]
-            } else {
-                self.base_compute[s]
-            }
-        };
-        let mut total = compute_at(self.root as usize);
-        for e in set.iter() {
-            let d = self.universe_dense[e] as usize;
-            total += compute_at(d) + self.write[d];
+        // Root correction: the base total's leading term is the root
+        // compute, which shifts only if the cone reached the root.
+        let root_s = self.state_off[self.root as usize] as usize;
+        if state_epoch[root_s] == epoch {
+            delta += scratch_compute[root_s] - self.base_compute[root_s];
         }
-        total
+        self.base_total + delta
     }
 }
 

@@ -48,7 +48,7 @@ pub mod strategies;
 
 pub use batch::{BatchDag, BatchSavepoint, QueryTicket};
 pub use benefit::MbFunction;
-pub use config::MqoConfig;
+pub use config::{DecompositionKind, MqoConfig};
 pub use consolidated::ConsolidatedPlan;
 pub use engine::BestCostEngine;
 pub use session::{OptimizedBatch, Session, SessionBuilder};

@@ -310,6 +310,7 @@ mod tests {
             rebase_threshold: 0,
             force_full: true,
             threads: 1,
+            ..Default::default()
         };
         let batch = Session::builder()
             .context(ctx)

@@ -11,18 +11,19 @@
 
 use std::time::{Duration, Instant};
 
-use mqo_submod::algorithms::cardinality::cardinality_marginal_greedy;
+use mqo_submod::algorithms::cardinality::{cardinality_marginal_greedy, universe_reduction};
 use mqo_submod::algorithms::greedy::{self as greedy_mod, Config as GreedyConfig};
 use mqo_submod::algorithms::lazy::lazy_marginal_greedy;
 use mqo_submod::algorithms::marginal_greedy::{marginal_greedy, Config as MarginalConfig};
 use mqo_submod::bitset::BitSet;
+use mqo_submod::decompose::Decomposition;
 use mqo_submod::function::SetFunction;
 use mqo_volcano::cost::CostModel;
 use mqo_volcano::memo::GroupId;
 
 use crate::batch::BatchDag;
 use crate::benefit::MbFunction;
-use crate::config::MqoConfig;
+use crate::config::{DecompositionKind, MqoConfig};
 use crate::consolidated::ConsolidatedPlan;
 
 /// The optimization strategies of the experimental section.
@@ -101,6 +102,11 @@ pub struct RunReport {
     pub bc_calls: u64,
     /// Shareable-universe size.
     pub universe: usize,
+    /// Candidate-universe size the strategy actually ranked, after the
+    /// optional Theorem 4 universe-reduction pre-pass
+    /// ([`MqoConfig::universe_reduction`]); equals `universe` when the
+    /// pre-pass is off, pruned nothing, or does not apply to the strategy.
+    pub candidates: usize,
 }
 
 impl RunReport {
@@ -112,6 +118,36 @@ impl RunReport {
             100.0 * (self.volcano_cost - self.total_cost) / self.volcano_cost
         }
     }
+}
+
+/// Resolves the decomposition `f = f_M − c` the ratio-ranked strategy
+/// family uses under this configuration.
+fn decomposition_for(mb: &MbFunction, config: &MqoConfig) -> Decomposition {
+    match config.decomposition {
+        DecompositionKind::Canonical => mb.canonical_decomposition(),
+        DecompositionKind::MaterializationCost => {
+            Decomposition::from_costs(mb.materialization_costs())
+        }
+    }
+}
+
+/// Applies the Theorem 4 universe-reduction pre-pass when the
+/// configuration asks for it, returning the candidate set a ratio-ranked
+/// greedy should run on. The cardinality bound is
+/// [`MqoConfig::max_materializations`]; without one the reduction is
+/// provably vacuous (`k = n` short-circuits) and the full universe comes
+/// back untouched.
+fn reduced_candidates(
+    mb: &MbFunction,
+    decomp: &Decomposition,
+    full: &BitSet,
+    config: &MqoConfig,
+) -> BitSet {
+    if !config.universe_reduction {
+        return full.clone();
+    }
+    let k = config.max_materializations.unwrap_or(full.len());
+    universe_reduction(mb, decomp, full, k).kept
 }
 
 /// Optimizes a batch with one strategy under an explicit configuration:
@@ -134,26 +170,44 @@ pub(crate) fn run_strategy(
     let n = mb.universe();
     let full = BitSet::full(n);
 
+    // The cardinality cap threads into every greedy variant; the
+    // universe-reduction pre-pass applies to the ratio-ranked (marginal)
+    // family, where Theorem 4 proves it output-preserving.
+    let greedy_cfg = GreedyConfig {
+        max_picks: config.max_materializations,
+    };
+    let marginal_cfg = MarginalConfig {
+        max_picks: config.max_materializations,
+        ..Default::default()
+    };
+    let mut candidates = n;
     let chosen: BitSet = match strategy {
         Strategy::Volcano => BitSet::empty(n),
-        Strategy::Greedy => greedy_mod::greedy(&mb, &full, GreedyConfig::default()).set,
-        Strategy::LazyGreedy => greedy_mod::lazy_greedy(&mb, &full, GreedyConfig::default()).set,
+        Strategy::Greedy => greedy_mod::greedy(&mb, &full, greedy_cfg).set,
+        Strategy::LazyGreedy => greedy_mod::lazy_greedy(&mb, &full, greedy_cfg).set,
         Strategy::MarginalGreedy => {
-            let decomp = mb.canonical_decomposition();
-            marginal_greedy(&mb, &decomp, &full, MarginalConfig::default()).set
+            let decomp = decomposition_for(&mb, &config);
+            let cands = reduced_candidates(&mb, &decomp, &full, &config);
+            candidates = cands.len();
+            marginal_greedy(&mb, &decomp, &cands, marginal_cfg).set
         }
         Strategy::LazyMarginalGreedy => {
-            let decomp = mb.canonical_decomposition();
-            lazy_marginal_greedy(&mb, &decomp, &full, MarginalConfig::default()).set
+            let decomp = decomposition_for(&mb, &config);
+            let cands = reduced_candidates(&mb, &decomp, &full, &config);
+            candidates = cands.len();
+            lazy_marginal_greedy(&mb, &decomp, &cands, marginal_cfg).set
         }
         Strategy::MaterializeAll => full.clone(),
         Strategy::CardinalityMarginalGreedy { k, reduce_universe } => {
-            let decomp = mb.canonical_decomposition();
-            cardinality_marginal_greedy(&mb, &decomp, &full, k, reduce_universe).set
+            let decomp = decomposition_for(&mb, &config);
+            let reduce = reduce_universe || config.universe_reduction;
+            cardinality_marginal_greedy(&mb, &decomp, &full, k, reduce).set
         }
         Strategy::MarginalGreedyCleanup => {
-            let decomp = mb.canonical_decomposition();
-            let out = marginal_greedy(&mb, &decomp, &full, MarginalConfig::default());
+            let decomp = decomposition_for(&mb, &config);
+            let cands = reduced_candidates(&mb, &decomp, &full, &config);
+            candidates = cands.len();
+            let out = marginal_greedy(&mb, &decomp, &cands, marginal_cfg);
             mqo_submod::algorithms::cleanup::cleanup(&mb, &out.set).set
         }
         Strategy::Exhaustive => {
@@ -187,6 +241,7 @@ pub(crate) fn run_strategy(
         extract_time,
         bc_calls,
         universe: n,
+        candidates,
     }
 }
 

@@ -1,0 +1,167 @@
+//! Differential suite for the Theorem 4 universe-reduction pre-pass:
+//! under a **fixed** decomposition and cardinality cap, reduction-on must
+//! return exactly the same answer as reduction-off — same materialized
+//! set, bit-identical total cost, identical consolidated plan — at every
+//! thread count. The generated workloads sweep all four generator shapes
+//! plus a mid-size chain where the pre-pass actually prunes (under the
+//! materialization-cost decomposition; the canonical decomposition is
+//! provably vacuous and must never prune).
+
+use mqo_core::config::{DecompositionKind, MqoConfig};
+use mqo_core::session::{OptimizedBatch, Session};
+use mqo_core::strategies::Strategy;
+use mqo_tpcd::workloads::{generate, Shape, WorkloadSpec};
+use mqo_volcano::cost::DiskCostModel;
+
+fn build(spec: &WorkloadSpec) -> OptimizedBatch {
+    let w = generate(spec);
+    Session::builder()
+        .context(w.ctx)
+        .queries(w.queries)
+        .cost_model(DiskCostModel::paper())
+        .build()
+}
+
+fn mid_chain(seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        shape: Shape::Chain,
+        tables: 32,
+        queries: 24,
+        span: (4, 6),
+        overlap: 0.3,
+        select_prob: 0.4,
+        base_rows: 500.0,
+        seed,
+    }
+}
+
+/// Runs the on/off pair for one (decomposition, k, threads) cell and
+/// asserts output identity. Returns whether the pre-pass pruned anything.
+fn assert_reduction_identity(
+    session: &OptimizedBatch,
+    decomposition: DecompositionKind,
+    k: usize,
+    threads: usize,
+    ctx: &str,
+) -> bool {
+    let base = MqoConfig {
+        decomposition,
+        max_materializations: Some(k),
+        threads,
+        ..MqoConfig::default()
+    };
+    let off = session.run_with(
+        Strategy::MarginalGreedy,
+        MqoConfig {
+            universe_reduction: false,
+            ..base
+        },
+    );
+    let on = session.run_with(
+        Strategy::MarginalGreedy,
+        MqoConfig {
+            universe_reduction: true,
+            ..base
+        },
+    );
+    assert_eq!(off.materialized, on.materialized, "{ctx}: materialized set");
+    assert_eq!(
+        off.total_cost.to_bits(),
+        on.total_cost.to_bits(),
+        "{ctx}: total cost must be bit-identical"
+    );
+    assert_eq!(
+        format!("{:?}", off.plan),
+        format!("{:?}", on.plan),
+        "{ctx}: consolidated plan"
+    );
+    assert_eq!(off.candidates, off.universe, "{ctx}: off ranks everything");
+    assert!(
+        on.candidates <= off.candidates,
+        "{ctx}: reduction can only shrink the ranked universe"
+    );
+    // Note: no vacuity assertion for the canonical decomposition here. On
+    // *exactly* submodular functions it provably never prunes (pinned by
+    // the submod crate's unit suite); the engine's `mb`, however, carries
+    // the sort-order coupling's small submodularity deviations, so a
+    // singleton marginal can genuinely dip below its top-of-lattice
+    // marginal and prune — which Theorem 4 still keeps answer-preserving,
+    // exactly what the assertions above pin.
+    on.candidates < on.universe
+}
+
+#[test]
+fn reduction_is_identity_across_shapes_ks_decompositions_and_threads() {
+    for shape in Shape::ALL {
+        let spec = WorkloadSpec::smoke(shape, 0xA4B1);
+        let session = build(&spec);
+        for decomposition in [
+            DecompositionKind::Canonical,
+            DecompositionKind::MaterializationCost,
+        ] {
+            for k in [1usize, 3, 8] {
+                for threads in [1usize, 4] {
+                    let ctx = format!(
+                        "{}, {:?}, k {k}, threads {threads}",
+                        shape.name(),
+                        decomposition
+                    );
+                    assert_reduction_identity(&session, decomposition, k, threads, &ctx);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn reduction_prunes_and_stays_identical_on_mid_chain() {
+    let session = build(&mid_chain(0x0C8A_117E));
+    let mut pruned_somewhere = false;
+    for k in [1usize, 4, 12] {
+        for threads in [1usize, 4] {
+            let ctx = format!("mid-chain, MaterializationCost, k {k}, threads {threads}");
+            pruned_somewhere |= assert_reduction_identity(
+                &session,
+                DecompositionKind::MaterializationCost,
+                k,
+                threads,
+                &ctx,
+            );
+        }
+    }
+    assert!(
+        pruned_somewhere,
+        "the materialization-cost decomposition must actually prune on the \
+         mid-size chain — a vacuous sweep would pin nothing"
+    );
+}
+
+#[test]
+fn uncapped_reduction_is_a_no_op_with_no_oracle_cost() {
+    // `max_materializations: None` resolves k to the universe size, where
+    // Theorem 4's Case 1 keeps every element — the pre-pass must
+    // short-circuit (same report, same ranked universe).
+    let session = build(&WorkloadSpec::smoke(Shape::Chain, 77));
+    let base = MqoConfig {
+        decomposition: DecompositionKind::MaterializationCost,
+        max_materializations: None,
+        ..MqoConfig::default()
+    };
+    let off = session.run_with(
+        Strategy::MarginalGreedy,
+        MqoConfig {
+            universe_reduction: false,
+            ..base
+        },
+    );
+    let on = session.run_with(
+        Strategy::MarginalGreedy,
+        MqoConfig {
+            universe_reduction: true,
+            ..base
+        },
+    );
+    assert_eq!(off.materialized, on.materialized);
+    assert_eq!(on.candidates, on.universe);
+    assert_eq!(off.bc_calls, on.bc_calls, "the short-circuit must be free");
+}

@@ -8,9 +8,30 @@
 //! `U' = { e : f_M({e})/c(e) ≥ f'_M(e_k, U\{e_k})/c(e_k) }`.
 //! The greedy run on `U'` provably returns the same answer as on `U`.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use crate::bitset::BitSet;
 use crate::decompose::Decomposition;
 use crate::function::SetFunction;
+
+/// Total-order f64 wrapper so top-of-lattice ratios can live in a heap.
+#[derive(Clone, Copy, PartialEq)]
+struct Tot(f64);
+
+impl Eq for Tot {}
+
+impl PartialOrd for Tot {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Tot {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
 
 use super::marginal_greedy::{marginal_greedy, Config};
 use super::{Outcome, Pick};
@@ -59,54 +80,99 @@ pub fn universe_reduction<F: SetFunction>(
         u
     };
 
-    // Top-of-lattice ratios f'_M(e, U\{e}) / c(e), defining the ordering.
-    // Elements with non-positive cost are outside the ratio ordering: the
-    // greedy loop never ranks them (they are added in the free phase), so
-    // they are always kept and do not contribute a threshold. The marginal
-    // at the top of the lattice is f(U) − f(U \ {e}) + c(e), so one f(U)
-    // evaluation plus one eval_many batch covers the whole scan.
+    // Elements with non-positive — or numerically negligible — cost are
+    // outside the ratio ordering: the greedy loop never ranks them (they
+    // are added in the free phase), so they are always kept and do not
+    // contribute a threshold. The cost floor matters: a ratio divides
+    // value-scale rounding noise by c(e), so a cost below the noise floor
+    // of the oracle's values (anchored at |f(U)|) yields a numerically
+    // meaningless ratio — excluding such elements from the ranking only
+    // ever *lowers* the threshold and keeps more, which Theorem 4 permits.
+    let f_full = f.eval(&full);
+    let cost_floor = crate::function::EPS * (1.0 + f_full.abs());
     let ranked: Vec<usize> = candidates
         .iter()
-        .filter(|&e| decomp.cost(e) > 0.0)
+        .filter(|&e| decomp.cost(e) > cost_floor)
         .collect();
-    let f_full = f.eval(&full);
-    let tops: Vec<BitSet> = ranked.iter().map(|&e| full.without(e)).collect();
-    let top_vals = f.eval_many(&tops);
-    let mut top_ratios: Vec<(usize, f64)> = Vec::with_capacity(m);
-    for (&e, &v) in ranked.iter().zip(&top_vals) {
-        let ratio = (f_full - v + decomp.cost(e)) / decomp.cost(e);
-        evaluations += 1;
-        top_ratios.push((e, ratio));
-    }
-    if top_ratios.len() <= k {
-        // Fewer rankable elements than the budget: nothing can be pruned.
+    if ranked.len() <= k {
+        // Fewer rankable elements than the budget: nothing can be pruned,
+        // and no per-element oracle calls are needed to know it.
         return ReducedUniverse {
             kept: candidates.clone(),
             pruned: 0,
             evaluations,
         };
     }
-    top_ratios.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-    let threshold = top_ratios[k - 1].1;
 
-    // Keep e iff its singleton ratio f_M({e})/c(e) meets the threshold
-    // (batched: one f(∅) evaluation plus one eval_many over singletons).
-    // Non-positive-cost elements sit outside the ratio ordering and are
-    // always kept.
+    // Singleton ratios f_M({e})/c(e) first — they are both the left-hand
+    // side of the keep test and, by submodularity of f_M (marginals shrink
+    // as the set grows), an upper bound on the top-of-lattice ratio
+    // f'_M(e, U\{e})/c(e) of the same element. Batched: one f(∅)
+    // evaluation plus one eval_many over the singletons, whose pooled
+    // intersection is ∅ — the cheapest batch an incremental oracle serves.
     let empty = BitSet::empty(n);
     let f_empty = f.eval(&empty);
     let singletons: Vec<BitSet> = ranked.iter().map(|&e| empty.with(e)).collect();
     let singleton_vals = f.eval_many(&singletons);
+    evaluations += ranked.len() as u64;
+    let singleton_ratios: Vec<f64> = ranked
+        .iter()
+        .zip(&singleton_vals)
+        .map(|(&e, &v)| {
+            let cost = decomp.cost(e);
+            (v - f_empty + cost) / cost
+        })
+        .collect();
+
+    // The threshold is only the k-th largest top-of-lattice ratio, so the
+    // tops are selected *lazily*: walk the elements in descending
+    // singleton-ratio order, maintain a min-heap of the k largest top
+    // ratios seen, and stop as soon as the next element's upper bound
+    // (its singleton ratio) falls strictly below the running k-th best —
+    // no later element can then displace anything in the heap. Each top is
+    // the marginal at the top of the lattice, f(U) − f(U\{e}) + c(e):
+    // evaluate them one by one right after re-anchoring the oracle at
+    // f(U), so every U\{e} is a cheap single-element overlay. (Batching
+    // through `eval_many` is exactly wrong here — the pooled intersection
+    // of the tops is near-empty, forcing a full recomputation per
+    // element.) Where the upper bound is violated by floating-point noise
+    // the computed threshold can only come out *lower* than the true k-th
+    // ratio, which keeps more elements — the direction Theorem 4 permits.
+    let mut order: Vec<usize> = (0..ranked.len()).collect();
+    order.sort_by(|&a, &b| {
+        singleton_ratios[b]
+            .total_cmp(&singleton_ratios[a])
+            .then_with(|| ranked[a].cmp(&ranked[b]))
+    });
+    let _ = f.eval(&full); // re-anchor after the singleton batch
+    let mut top_k: BinaryHeap<Reverse<Tot>> = BinaryHeap::with_capacity(k + 1);
+    for &i in &order {
+        if top_k.len() == k {
+            let kth = top_k.peek().expect("heap holds k elements").0 .0;
+            if singleton_ratios[i] < kth {
+                break;
+            }
+        }
+        let e = ranked[i];
+        let v = f.eval(&full.without(e));
+        evaluations += 1;
+        let ratio = (f_full - v + decomp.cost(e)) / decomp.cost(e);
+        top_k.push(Reverse(Tot(ratio)));
+        if top_k.len() > k {
+            top_k.pop();
+        }
+    }
+    let threshold = top_k.peek().expect("ranked.len() > k").0 .0;
+
+    // Keep e iff its singleton ratio meets the threshold. Elements below
+    // the cost floor sit outside the ratio ordering and are always kept.
     let mut kept = BitSet::empty(n);
     for e in candidates.iter() {
-        if decomp.cost(e) <= 0.0 {
+        if decomp.cost(e) <= cost_floor {
             kept.insert(e);
         }
     }
-    for (&e, &v) in ranked.iter().zip(&singleton_vals) {
-        let cost = decomp.cost(e);
-        let singleton_ratio = (v - f_empty + cost) / cost;
-        evaluations += 1;
+    for (&e, &singleton_ratio) in ranked.iter().zip(&singleton_ratios) {
         // `>=` with a relative tolerance: under the canonical decomposition
         // the top-of-lattice ratios are exactly zero in exact arithmetic, and
         // floating-point noise must not prune elements the theorem keeps.

@@ -3,13 +3,45 @@
 //! All submodular-maximization algorithms in this crate work over a ground
 //! set `U = {0, 1, ..., n-1}`. A [`BitSet`] is a subset of such a universe,
 //! backed by a `Box<[u64]>` of words. The universe size is fixed at
-//! construction; operations on sets from different universes panic in debug
-//! builds.
+//! construction.
+//!
+//! # Cross-universe operations panic
+//!
+//! Every binary operation (`union_with`, `intersect_with`,
+//! `difference_with`, `is_subset`, the fused popcount kernels, the
+//! symmetric-difference iterator) **panics** when the two operands come
+//! from different universes — in release builds too, not just debug. An
+//! earlier version only `debug_assert`ed and silently truncated the
+//! word-wise zip to the shorter operand in release builds, which turns a
+//! caller bug into a wrong answer; a universe mismatch is always a logic
+//! error, so it is now pinned as a hard contract (element-level
+//! out-of-range handling, where a policy other than panicking is wanted,
+//! lives in the consumers — see `BestCostEngine::truncate_to_universe`).
+//!
+//! # Word-parallel kernels
+//!
+//! The hot paths of the MQO pipeline at large universes (10k+ candidate
+//! sets span 157+ words) are set *comparisons*, not mutations: the rebase
+//! decision of the incremental `bestCost` oracle measures `|A △ B|`
+//! against a threshold, and greedy argmax rounds compare candidate sets
+//! against a shared base. The fused kernels ([`BitSet::intersection_len`],
+//! [`BitSet::union_len`], [`BitSet::difference_len`],
+//! [`BitSet::symmetric_difference_len`],
+//! [`BitSet::symmetric_difference_len_capped`], [`BitSet::is_disjoint`])
+//! combine the word-wise operation with the popcount in one pass — no
+//! intermediate set, no allocation — and [`BitSet::is_subset`] and the
+//! symmetric-difference iterator process 4-word blocks so sparse diffs
+//! skip equal regions at memory-bandwidth speed.
 
 use std::fmt;
 
 /// Number of bits per storage word.
 const WORD_BITS: usize = 64;
+
+/// Words per block for the blocked kernels: 4 × u64 = one 32-byte lane
+/// pair, small enough to stay in registers, large enough that skipping an
+/// all-equal block amortizes the loop overhead on multi-hundred-word sets.
+const BLOCK_WORDS: usize = 4;
 
 /// A subset of a fixed universe `{0, ..., n-1}`.
 #[derive(Clone, PartialEq, Eq, Hash)]
@@ -139,18 +171,38 @@ impl BitSet {
         s
     }
 
-    /// Whether `self ⊆ other`.
+    /// Panics (in every build profile) unless `other` lives in the same
+    /// universe; see the module docs for the cross-universe contract.
+    #[inline]
+    #[track_caller]
+    fn check_same_universe(&self, other: &Self) {
+        assert_eq!(
+            self.universe, other.universe,
+            "BitSet universe mismatch: {} vs {}",
+            self.universe, other.universe
+        );
+    }
+
+    /// Whether `self ⊆ other`. Blocked: 4-word chunks are tested with one
+    /// OR-combined violation mask each, so the common all-contained prefix
+    /// is scanned without per-word branching and the first violating block
+    /// exits early.
     pub fn is_subset(&self, other: &Self) -> bool {
-        debug_assert_eq!(self.universe, other.universe);
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .all(|(a, b)| a & !b == 0)
+        self.check_same_universe(other);
+        let (a_blocks, a_tail) = as_blocks(&self.words);
+        let (b_blocks, b_tail) = as_blocks(&other.words);
+        for (a, b) in a_blocks.zip(b_blocks) {
+            let violation = (a[0] & !b[0]) | (a[1] & !b[1]) | (a[2] & !b[2]) | (a[3] & !b[3]);
+            if violation != 0 {
+                return false;
+            }
+        }
+        a_tail.iter().zip(b_tail).all(|(a, b)| a & !b == 0)
     }
 
     /// In-place union.
     pub fn union_with(&mut self, other: &Self) {
-        debug_assert_eq!(self.universe, other.universe);
+        self.check_same_universe(other);
         for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
             *a |= b;
         }
@@ -158,7 +210,7 @@ impl BitSet {
 
     /// In-place intersection.
     pub fn intersect_with(&mut self, other: &Self) {
-        debug_assert_eq!(self.universe, other.universe);
+        self.check_same_universe(other);
         for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
             *a &= b;
         }
@@ -166,10 +218,110 @@ impl BitSet {
 
     /// In-place difference (`self \ other`).
     pub fn difference_with(&mut self, other: &Self) {
-        debug_assert_eq!(self.universe, other.universe);
+        self.check_same_universe(other);
         for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
             *a &= !b;
         }
+    }
+
+    /// Makes `self` a copy of `other` without allocating when the two sets
+    /// already share a universe (the common case: round buffers reused
+    /// across greedy iterations). Falls back to a fresh clone on a
+    /// universe change.
+    pub fn copy_from(&mut self, other: &Self) {
+        if self.universe == other.universe {
+            self.words.copy_from_slice(&other.words);
+        } else {
+            *self = other.clone();
+        }
+    }
+
+    /// `|self ∩ other|` without materializing the intersection: fused
+    /// AND + popcount per word.
+    pub fn intersection_len(&self, other: &Self) -> usize {
+        self.check_same_universe(other);
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `|self ∪ other|` without materializing the union: fused OR +
+    /// popcount per word.
+    pub fn union_len(&self, other: &Self) -> usize {
+        self.check_same_universe(other);
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a | b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `|self \ other|` without materializing the difference: fused
+    /// AND-NOT + popcount per word.
+    pub fn difference_len(&self, other: &Self) -> usize {
+        self.check_same_universe(other);
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a & !b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `|self △ other|` without materializing either difference: fused
+    /// XOR + popcount per word.
+    pub fn symmetric_difference_len(&self, other: &Self) -> usize {
+        self.check_same_universe(other);
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+
+    /// [`Self::symmetric_difference_len`] with an early exit: exact while
+    /// the count is `<= cap`, and otherwise some value `> cap` (the scan
+    /// stops at the first 4-word block that pushes the count past the
+    /// cap). This is the rebase-decision kernel of the incremental
+    /// `bestCost` oracle: "is this candidate within `threshold` elements
+    /// of the committed base?" needs no exact distance for far candidates.
+    pub fn symmetric_difference_len_capped(&self, other: &Self, cap: usize) -> usize {
+        self.check_same_universe(other);
+        let (a_blocks, a_tail) = as_blocks(&self.words);
+        let (b_blocks, b_tail) = as_blocks(&other.words);
+        let mut count = 0usize;
+        for (a, b) in a_blocks.zip(b_blocks) {
+            count += (a[0] ^ b[0]).count_ones() as usize
+                + (a[1] ^ b[1]).count_ones() as usize
+                + (a[2] ^ b[2]).count_ones() as usize
+                + (a[3] ^ b[3]).count_ones() as usize;
+            if count > cap {
+                return count;
+            }
+        }
+        for (a, b) in a_tail.iter().zip(b_tail) {
+            count += (a ^ b).count_ones() as usize;
+            if count > cap {
+                return count;
+            }
+        }
+        count
+    }
+
+    /// Whether `self ∩ other = ∅`, blocked with an early exit at the first
+    /// overlapping 4-word chunk.
+    pub fn is_disjoint(&self, other: &Self) -> bool {
+        self.check_same_universe(other);
+        let (a_blocks, a_tail) = as_blocks(&self.words);
+        let (b_blocks, b_tail) = as_blocks(&other.words);
+        for (a, b) in a_blocks.zip(b_blocks) {
+            let overlap = (a[0] & b[0]) | (a[1] & b[1]) | (a[2] & b[2]) | (a[3] & b[3]);
+            if overlap != 0 {
+                return false;
+            }
+        }
+        a_tail.iter().zip(b_tail).all(|(a, b)| a & b == 0)
     }
 
     /// Returns `self ∪ other`.
@@ -224,7 +376,7 @@ impl BitSet {
     /// allocation, unlike `a.difference(b)` / `b.difference(a)` chains.
     /// This is the hot diff primitive of the incremental `bestCost` path.
     pub fn symmetric_difference_iter<'a>(&'a self, other: &'a BitSet) -> SymmetricDifference<'a> {
-        debug_assert_eq!(self.universe, other.universe);
+        self.check_same_universe(other);
         SymmetricDifference {
             a: &self.words,
             b: &other.words,
@@ -235,6 +387,15 @@ impl BitSet {
             },
         }
     }
+}
+
+/// Splits a word slice into an iterator of full 4-word blocks plus the
+/// tail, for the blocked kernels.
+#[inline]
+fn as_blocks(words: &[u64]) -> (std::slice::ChunksExact<'_, u64>, &[u64]) {
+    let blocks = words.chunks_exact(BLOCK_WORDS);
+    let tail = blocks.remainder();
+    (blocks, tail)
 }
 
 impl fmt::Debug for BitSet {
@@ -298,6 +459,18 @@ impl Iterator for SymmetricDifference<'_> {
                 return Some(self.word_idx * WORD_BITS + bit);
             }
             self.word_idx += 1;
+            // Skip all-equal 4-word blocks with a single OR-combined XOR
+            // mask each; on the sparse diffs the incremental oracle feeds
+            // this iterator, most of the set is identical and this refill
+            // is the whole cost.
+            while self.word_idx + BLOCK_WORDS <= self.a.len() {
+                let a = &self.a[self.word_idx..self.word_idx + BLOCK_WORDS];
+                let b = &self.b[self.word_idx..self.word_idx + BLOCK_WORDS];
+                if (a[0] ^ b[0]) | (a[1] ^ b[1]) | (a[2] ^ b[2]) | (a[3] ^ b[3]) != 0 {
+                    break;
+                }
+                self.word_idx += BLOCK_WORDS;
+            }
             if self.word_idx >= self.a.len() {
                 return None;
             }
@@ -468,32 +641,123 @@ mod tests {
         assert_eq!(v, vec![0]);
     }
 
-    #[test]
-    fn symmetric_difference_iter_matches_reference_sweep() {
-        // Pseudo-random sweep against the allocating reference.
-        let mut state = 0x1234_5678_9ABC_DEF0u64;
-        let mut next = || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state
+    use crate::prng::{seeded_sweep, Prng};
+
+    /// Universes the kernel sweeps run at: word seams (63/64/65), an exact
+    /// block boundary (4 × 64 = 256 ± 1), and a multi-hundred-word size in
+    /// the regime the blocked kernels target.
+    const SWEEP_UNIVERSES: [usize; 8] = [1, 63, 64, 65, 128, 255, 257, 10_240];
+
+    /// Samples a random subset with density `p`, biased toward sparse and
+    /// dense extremes so the blocked skip paths (all-equal / all-different
+    /// chunks) are actually exercised.
+    fn random_set(rng: &mut Prng, universe: usize) -> BitSet {
+        let p = match rng.gen_range(0usize..4) {
+            0 => 0.02,
+            1 => 0.5,
+            2 => 0.98,
+            _ => rng.gen_range(0.0..1.0),
         };
-        for universe in [1usize, 64, 65, 100, 192, 200] {
-            for _ in 0..20 {
-                let bits_a = next();
-                let bits_b = next();
-                let a = BitSet::from_iter(
-                    universe,
-                    (0..universe).filter(|e| (bits_a >> (e % 64)) & 1 == 1),
-                );
-                let b = BitSet::from_iter(
-                    universe,
-                    (0..universe).filter(|e| (bits_b >> (e % 61)) & 1 == 1),
-                );
-                let got: Vec<usize> = a.symmetric_difference_iter(&b).collect();
-                assert_eq!(got, sym_diff_reference(&a, &b), "universe {universe}");
+        BitSet::from_iter(universe, (0..universe).filter(|_| rng.gen_bool(p)))
+    }
+
+    /// A near-copy of `base` with a few flipped elements — the shape the
+    /// rebase-decision kernels see (candidate vs committed base).
+    fn perturbed(rng: &mut Prng, base: &BitSet) -> BitSet {
+        let universe = base.universe();
+        let mut s = base.clone();
+        let flips = rng.gen_range(0usize..8.min(universe + 1));
+        for _ in 0..flips {
+            let e = rng.gen_range(0..universe.max(1)).min(universe - 1);
+            if s.contains(e) {
+                s.remove(e);
+            } else {
+                s.insert(e);
             }
         }
+        s
+    }
+
+    #[test]
+    fn symmetric_difference_iter_matches_reference_sweep() {
+        seeded_sweep("sym_diff_iter_vs_reference", 0x00B1_75E7_D1FF, 60, |rng| {
+            let universe = SWEEP_UNIVERSES[rng.gen_range(0..SWEEP_UNIVERSES.len())];
+            let a = random_set(rng, universe);
+            let b = if rng.gen_bool(0.5) {
+                random_set(rng, universe)
+            } else {
+                perturbed(rng, &a)
+            };
+            let got: Vec<usize> = a.symmetric_difference_iter(&b).collect();
+            assert_eq!(got, sym_diff_reference(&a, &b), "universe {universe}");
+        });
+    }
+
+    #[test]
+    fn fused_len_kernels_match_materialized_ops_sweep() {
+        seeded_sweep("fused_len_vs_materialized", 0xF05E_D1E5, 60, |rng| {
+            let universe = SWEEP_UNIVERSES[rng.gen_range(0..SWEEP_UNIVERSES.len())];
+            let a = random_set(rng, universe);
+            let b = random_set(rng, universe);
+            assert_eq!(a.intersection_len(&b), a.intersection(&b).len());
+            assert_eq!(a.union_len(&b), a.union(&b).len());
+            assert_eq!(a.difference_len(&b), a.difference(&b).len());
+            let sym = a.difference(&b).union(&b.difference(&a)).len();
+            assert_eq!(a.symmetric_difference_len(&b), sym);
+            assert_eq!(a.is_disjoint(&b), a.intersection(&b).is_empty());
+        });
+    }
+
+    #[test]
+    fn capped_symmetric_difference_len_sweep() {
+        seeded_sweep("sym_diff_len_capped", 0x00CA_99ED, 60, |rng| {
+            let universe = SWEEP_UNIVERSES[rng.gen_range(0..SWEEP_UNIVERSES.len())];
+            let a = random_set(rng, universe);
+            let b = if rng.gen_bool(0.5) {
+                random_set(rng, universe)
+            } else {
+                perturbed(rng, &a)
+            };
+            let exact = a.symmetric_difference_len(&b);
+            for cap in [0usize, 1, 4, 8, exact, exact + 1, usize::MAX] {
+                let got = a.symmetric_difference_len_capped(&b, cap);
+                if exact <= cap {
+                    assert_eq!(got, exact, "cap {cap} >= exact {exact} must be exact");
+                } else {
+                    assert!(got > cap, "cap {cap} < exact {exact}: got {got}");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn blocked_is_subset_matches_reference_sweep() {
+        seeded_sweep("is_subset_blocked_vs_reference", 0x5_0B5E7, 60, |rng| {
+            let universe = SWEEP_UNIVERSES[rng.gen_range(0..SWEEP_UNIVERSES.len())];
+            let b = random_set(rng, universe);
+            // Mix genuine subsets (intersections of b) with arbitrary sets
+            // so both outcomes occur at every universe size.
+            let a = if rng.gen_bool(0.5) {
+                random_set(rng, universe).intersection(&b)
+            } else {
+                random_set(rng, universe)
+            };
+            let reference = a.iter().all(|e| b.contains(e));
+            assert_eq!(a.is_subset(&b), reference);
+        });
+    }
+
+    #[test]
+    fn copy_from_reuses_and_reallocates() {
+        let src = BitSet::from_iter(300, [0, 64, 255, 299]);
+        let mut dst = BitSet::full(300);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        // Universe change falls back to a clone.
+        let mut other = BitSet::full(10);
+        other.copy_from(&src);
+        assert_eq!(other, src);
+        assert_eq!(other.universe(), 300);
     }
 
     #[test]
@@ -503,5 +767,46 @@ mod tests {
         assert!(f.is_full());
         let c = f.complement();
         assert!(c.is_empty());
+    }
+
+    // Cross-universe operations must panic in every build profile — the
+    // module-level contract pinned by satellite work in this PR.
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn cross_universe_union_panics() {
+        BitSet::empty(64).union_with(&BitSet::empty(65));
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn cross_universe_intersect_panics() {
+        BitSet::empty(65).intersect_with(&BitSet::empty(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn cross_universe_difference_panics() {
+        BitSet::empty(128).difference_with(&BitSet::empty(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn cross_universe_is_subset_panics() {
+        let _ = BitSet::empty(64).is_subset(&BitSet::empty(128));
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn cross_universe_fused_len_panics() {
+        let _ = BitSet::empty(64).intersection_len(&BitSet::empty(128));
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn cross_universe_sym_diff_iter_panics() {
+        let a = BitSet::empty(64);
+        let b = BitSet::empty(128);
+        let _ = a.symmetric_difference_iter(&b).count();
     }
 }

@@ -9,11 +9,17 @@
 //!   stand-alone workloads of Experiment 2.
 //! * [`random`] — seeded random chain workloads shared by the
 //!   differential and property suites (not part of the paper's workload).
+//! * [`workloads`] — the seeded scale-tier generator:
+//!   chain/star/clique/snowflake batches at controllable size and
+//!   subexpression overlap, up to hundreds of queries and 10k+
+//!   materialization candidates.
 
 pub mod batches;
 pub mod queries;
 pub mod random;
 pub mod schema;
+pub mod workloads;
 
 pub use batches::{batched, standalone, Workload, STANDALONE_NAMES};
 pub use queries::{QueryFactory, QueryId};
+pub use workloads::{generate, Shape, WorkloadSpec};

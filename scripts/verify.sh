@@ -18,10 +18,12 @@
 #   6. one smoke iteration of each bench target via the in-repo harness
 #
 # `scripts/verify.sh --bench-smoke` skips 1-5 and runs only the bench
-# smoke, additionally recording the bc_oracle, memo_expand, and opt_time
-# (extract series) throughput baselines (all carrying per-series
+# smoke, additionally recording the bc_oracle, memo_expand, opt_time
+# (extract series), and scale (universe × batch × threads, incl. the
+# 10k-candidate tier) throughput baselines (all carrying per-series
 # `threads` fields) to BENCH_*.json at the repo root. Any BENCH_*.json
-# baseline missing a `threads` field fails the run.
+# baseline missing a `threads` field fails the run, as does a missing
+# BENCH_scale.json or one without the scale-10k tier.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -42,6 +44,17 @@ check_bench_baselines() {
     # speedup claim unbacked.
     if [[ -e BENCH_opt_time.json ]] && ! grep -q '"session_evolve"' BENCH_opt_time.json; then
         echo "ERROR: BENCH_opt_time.json is missing the session_evolve series" >&2
+        exit 1
+    fi
+    # The scale baseline is the flagship series (universe × batch size ×
+    # threads on the seeded generator); it must exist and must cover the
+    # 10k-candidate tier, or the scaling claims in the README go unbacked.
+    if [[ ! -e BENCH_scale.json ]]; then
+        echo "ERROR: BENCH_scale.json is missing; record it with scripts/verify.sh --bench-smoke" >&2
+        exit 1
+    fi
+    if ! grep -q '"scale-10k"' BENCH_scale.json; then
+        echo "ERROR: BENCH_scale.json is missing the scale-10k tier" >&2
         exit 1
     fi
 }
@@ -74,10 +87,16 @@ bench_smoke() {
         echo "==> opt_time (3 samples, recording BENCH_opt_time.json extract series)"
         MQO_BENCH_SAMPLES=3 MQO_BENCH_JSON="$PWD/BENCH_opt_time.json" \
             cargo bench --offline -q -p mqo-bench --bench opt_time
+        echo "==> scale (3 samples, recording BENCH_scale.json incl. the scale-10k tier)"
+        MQO_BENCH_SAMPLES=3 MQO_BENCH_JSON="$PWD/BENCH_scale.json" \
+            cargo bench --offline -q -p mqo-bench --bench scale
     else
         MQO_BENCH_SAMPLES=1 cargo bench --offline -q -p mqo-bench --bench bc_oracle
         MQO_BENCH_SAMPLES=1 cargo bench --offline -q -p mqo-bench --bench memo_expand
         MQO_BENCH_SAMPLES=1 MQO_BENCH_WARMUP=1 cargo bench --offline -q -p mqo-bench --bench opt_time
+        # Non-recording path: smoke + mid tiers only (the 10k tier takes
+        # minutes and is covered by recording runs).
+        MQO_BENCH_SAMPLES=1 cargo bench --offline -q -p mqo-bench --bench scale
     fi
     check_bench_baselines
 }

@@ -70,8 +70,8 @@ pub use mqo_volcano as volcano;
 pub mod prelude {
     pub use mqo_catalog::{Catalog, TableBuilder};
     pub use mqo_core::{
-        BatchDag, ConsolidatedPlan, MqoConfig, OptimizedBatch, RunReport, Session, SessionBuilder,
-        Strategy,
+        BatchDag, ConsolidatedPlan, DecompositionKind, MqoConfig, OptimizedBatch, RunReport,
+        Session, SessionBuilder, Strategy,
     };
     pub use mqo_volcano::cost::{CostModel, DiskCostModel, UnitCostModel};
     pub use mqo_volcano::physical::{PhysOp, PhysPlan, SortOrder};
