@@ -22,7 +22,6 @@
 //! universe *slots* stay stable across evolutions (retired elements are
 //! tombstoned, never renumbered).
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -34,7 +33,7 @@ use mqo_volcano::rules::{expand_seeded, expand_with, ExpansionStats, RuleSet};
 use mqo_volcano::{DagContext, PlanNode};
 
 use crate::config::MqoConfig;
-use crate::engine::{BestCostEngine, CompileCache};
+use crate::engine::{BestCostEngine, CompileCache, EngineArenas, EngineState};
 
 /// Handle to a query admitted into an evolvable batch; returned by
 /// `add_query` and consumed by `retire_query`. Tickets are never reused.
@@ -44,6 +43,10 @@ pub struct QueryTicket(pub(crate) u32);
 /// Per-query provenance inside an evolvable batch.
 #[derive(Clone, Debug)]
 struct QueryEntry {
+    /// The stable ticket id issued for this query. Decoupled from the
+    /// entry's position so [`BatchDag::compact_history`] can drop retired
+    /// entries without invalidating outstanding tickets.
+    ticket: u32,
     /// The submitted logical plan (kept for replay on retire/rollback).
     plan: PlanNode,
     /// The query's root group in the current memo state.
@@ -79,9 +82,14 @@ pub struct BatchDag {
     root: GroupId,
     /// Root group of each live query, in submission order.
     query_roots: Vec<GroupId>,
-    /// Ticket-indexed query provenance (slotmap; dead entries keep their
-    /// slot so tickets are never reused).
+    /// Query provenance in admission order. Retired entries linger as
+    /// tombstones (their plans seed savepoint replays) until
+    /// [`BatchDag::compact_history`] drops them; tickets carry their own
+    /// stable ids, so compaction never invalidates one.
     entries: Vec<QueryEntry>,
+    /// Next ticket id to issue; never decreases, so tickets are unique for
+    /// the lifetime of the batch.
+    next_ticket: u32,
     /// The stable universe slots (live and tombstoned).
     universe: Vec<UniverseSlot>,
     /// The live shareable equivalence nodes (the MQO ground set) in stable
@@ -139,7 +147,9 @@ impl BatchDag {
         let entries = queries
             .iter()
             .zip(&query_roots)
-            .map(|(q, &r)| QueryEntry {
+            .enumerate()
+            .map(|(i, (q, &r))| QueryEntry {
+                ticket: i as u32,
                 plan: q.clone(),
                 root: r,
                 sp: None,
@@ -171,6 +181,7 @@ impl BatchDag {
             elem_of_group,
             refs,
             universe_epoch: 0,
+            next_ticket: queries.len() as u32,
             expansion,
             topo: OnceLock::new(),
             engine_cache: Mutex::new(CompileCache::new()),
@@ -240,15 +251,24 @@ impl BatchDag {
 
     /// Tickets of the live queries, in submission order.
     pub fn tickets(&self) -> Vec<QueryTicket> {
-        (0..self.entries.len() as u32)
-            .map(QueryTicket)
-            .filter(|t| self.entries[t.0 as usize].live)
+        self.entries
+            .iter()
+            .filter(|e| e.live)
+            .map(|e| QueryTicket(e.ticket))
             .collect()
+    }
+
+    /// Position of a ticket's entry in the provenance log, if it is still
+    /// there (compaction drops retired entries entirely, so `None` covers
+    /// both "retired and compacted away" and "never issued").
+    fn entry_index(&self, ticket: QueryTicket) -> Option<usize> {
+        self.entries.iter().position(|e| e.ticket == ticket.0)
     }
 
     /// Whether a ticket refers to a live query.
     pub fn is_live(&self, ticket: QueryTicket) -> bool {
-        self.entries.get(ticket.0 as usize).is_some_and(|e| e.live)
+        self.entry_index(ticket)
+            .is_some_and(|i| self.entries[i].live)
     }
 
     /// Root group of a live query.
@@ -256,7 +276,10 @@ impl BatchDag {
     /// # Panics
     /// If the ticket was retired (or never issued by this batch).
     pub fn ticket_root(&self, ticket: QueryTicket) -> GroupId {
-        let entry = &self.entries[ticket.0 as usize];
+        let entry = self
+            .entry_index(ticket)
+            .map(|i| &self.entries[i])
+            .unwrap_or_else(|| panic!("ticket {ticket:?} was never issued (or compacted away)"));
         assert!(entry.live, "ticket {ticket:?} was retired");
         self.memo.find(entry.root)
     }
@@ -306,6 +329,64 @@ impl BatchDag {
         engine
     }
 
+    /// Compiles an immutable [`EngineState`] snapshot of the current commit:
+    /// the shared engine arenas plus the universe and dense query roots,
+    /// stamped with the memo version so consumers can tell whether a held
+    /// snapshot is still current. Readers spin up per-caller
+    /// [`BestCostEngine`] handles from it ([`EngineState::engine`]) without
+    /// touching the batch again.
+    pub fn compile_state(&self, cm: &dyn CostModel) -> EngineState {
+        let mut cache = self.engine_cache.lock().expect("engine cache poisoned");
+        cache.prime_topo(&self.memo, self.topo_arc());
+        let arenas = Arc::new(EngineArenas::compile(
+            &self.memo,
+            cm,
+            self.root,
+            &self.shareable,
+            &mut cache,
+        ));
+        drop(cache);
+        let topo = self.topo_arc();
+        let query_roots = self.query_roots.iter().map(|&q| topo.dense(q)).collect();
+        EngineState::assemble(
+            self.memo.version(),
+            self.universe_epoch,
+            arenas,
+            self.shareable.clone(),
+            query_roots,
+        )
+    }
+
+    /// Structural fingerprints of the live universe in element order
+    /// (index `e` fingerprints shareable element `e`). Unlike
+    /// [`BatchDag::universe_fingerprints`] this is *not* sorted: it keys
+    /// per-element state (the serving layer's materialization cache)
+    /// across evolution commits.
+    pub fn shareable_fingerprints(&self) -> Vec<u64> {
+        group_fingerprints(&self.memo, &self.shareable)
+    }
+
+    /// Size of the evolution history: provenance entries (live plus
+    /// tombstoned) plus the memo's savepoint undo log. This is the state
+    /// that grows with every add/retire cycle and that
+    /// [`BatchDag::compact_history`] re-baselines away.
+    pub fn history_len(&self) -> usize {
+        self.entries.len() + self.memo.undo_len()
+    }
+
+    /// Re-baselines the batch: drops retired provenance entries and
+    /// rebuilds the memo from the survivors' plans, clearing the savepoint
+    /// undo log. Afterwards [`BatchDag::history_len`] depends only on the
+    /// live query count, not on how many add/retire cycles preceded it.
+    /// Outstanding tickets stay valid (they carry stable ids); universe
+    /// slots keep their identity via fingerprint matching, exactly as on
+    /// the retire fallback path.
+    pub fn compact_history(&mut self, threads: usize) {
+        self.entries.retain(|e| e.live);
+        self.universe.retain(|s| s.live);
+        self.rebuild_from_entries(threads);
+    }
+
     // -----------------------------------------------------------------------
     // Evolution: add/retire queries on the live batch.
     // -----------------------------------------------------------------------
@@ -329,8 +410,10 @@ impl BatchDag {
         self.expansion.passes += stats.passes;
         self.expansion.candidates += stats.candidates;
 
-        let ticket = QueryTicket(self.entries.len() as u32);
+        let ticket = QueryTicket(self.next_ticket);
+        self.next_ticket += 1;
         self.entries.push(QueryEntry {
+            ticket: ticket.0,
             plan: plan.clone(),
             root: self.memo.find(root),
             sp: Some(sp),
@@ -355,11 +438,10 @@ impl BatchDag {
     /// If the ticket was already retired, or if it names the last live
     /// query (a batch is never empty; see `SessionBuilder::build`).
     pub fn retire_query_with_threads(&mut self, ticket: QueryTicket, threads: usize) {
-        let idx = ticket.0 as usize;
-        assert!(
-            self.entries.get(idx).is_some_and(|e| e.live),
-            "ticket {ticket:?} was already retired (or never issued)"
-        );
+        let idx = self
+            .entry_index(ticket)
+            .filter(|&i| self.entries[i].live)
+            .unwrap_or_else(|| panic!("ticket {ticket:?} was already retired (or never issued)"));
         assert!(
             self.live_queries() > 1,
             "cannot retire the last live query: a batch must stay non-empty"
@@ -495,6 +577,7 @@ pub struct BatchSavepoint {
     elem_of_group: Vec<u32>,
     refs: Vec<u32>,
     expansion: ExpansionStats,
+    next_ticket: u32,
 }
 
 impl BatchDag {
@@ -512,6 +595,7 @@ impl BatchDag {
             elem_of_group: self.elem_of_group.clone(),
             refs: self.refs.clone(),
             expansion: self.expansion,
+            next_ticket: self.next_ticket,
         }
     }
 
@@ -538,10 +622,12 @@ impl BatchDag {
             elem_of_group,
             refs,
             expansion,
+            next_ticket,
         } = sp;
         self.entries = entries;
         self.universe = universe;
         self.expansion = expansion;
+        self.next_ticket = next_ticket;
         if self.memo.savepoint_valid(&memo_sp) {
             self.memo.truncate_to(&memo_sp);
             self.root = root;
@@ -661,20 +747,19 @@ fn apply_delta_to_refs(memo: &Memo, delta: &MemoDelta, refs: &mut Vec<u32>) {
 /// fingerprints — which is what keys universe slots across evolutions.
 fn group_fingerprints(memo: &Memo, groups: &[GroupId]) -> Vec<u64> {
     let mut fp = vec![0u64; memo.n_group_slots()];
+    let mut expr_fps: Vec<u64> = Vec::new();
     for g in memo.topo_order() {
-        let mut expr_fps: Vec<u64> = memo
-            .group_exprs(g)
-            .map(|e| {
-                let mut h = DefaultHasher::new();
-                memo.op(e).hash(&mut h);
-                for &c in memo.children(e) {
-                    fp[memo.find(c).0 as usize].hash(&mut h);
-                }
-                h.finish()
-            })
-            .collect();
+        expr_fps.clear();
+        expr_fps.extend(memo.group_exprs(g).map(|e| {
+            let mut h = FpHasher::default();
+            memo.op(e).hash(&mut h);
+            for &c in memo.children(e) {
+                fp[memo.find(c).0 as usize].hash(&mut h);
+            }
+            h.finish()
+        }));
         expr_fps.sort_unstable();
-        let mut h = DefaultHasher::new();
+        let mut h = FpHasher::default();
         expr_fps.hash(&mut h);
         fp[g.0 as usize] = h.finish();
     }
@@ -682,6 +767,64 @@ fn group_fingerprints(memo: &Memo, groups: &[GroupId]) -> Vec<u64> {
         .iter()
         .map(|&g| fp[memo.find(g).0 as usize])
         .collect()
+}
+
+/// Multiply-xor hasher for structural fingerprints. Every evolution
+/// commit hashes every live expression in the memo, and at that grain
+/// SipHash's per-hasher setup cost is the dominant term. Fingerprints
+/// never key untrusted input, so DoS resistance is not required — only
+/// 64-bit spread, which the Fx-style mix provides.
+#[derive(Default)]
+struct FpHasher(u64);
+
+impl FpHasher {
+    #[inline]
+    fn mix(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+impl std::hash::Hasher for FpHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            self.mix(u64::from_le_bytes(bytes[..8].try_into().unwrap()));
+            bytes = &bytes[8..];
+        }
+        if !bytes.is_empty() {
+            let mut rest = [0u8; 8];
+            rest[..bytes.len()].copy_from_slice(bytes);
+            // Length is folded in so a short tail never aliases its own
+            // zero-padding (std Hash impls already delimit variable-length
+            // data, this is belt and braces).
+            self.mix(u64::from_le_bytes(rest) ^ ((bytes.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.mix(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.mix(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.mix(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.mix(i as u64);
+    }
 }
 
 /// Dense canonical-group-slot → universe-element map behind

@@ -53,17 +53,26 @@ impl ConsolidatedPlan {
                     .expect("materialized node outside the shareable universe")
             }),
         );
-        Self::extract_with_engine(batch, &engine, &set)
+        let roots: Vec<u32> = batch
+            .query_roots()
+            .iter()
+            .map(|&q| engine.topo.dense(q))
+            .collect();
+        Self::extract_with_engine(&roots, &engine, &set)
     }
 
     /// Extraction against an already compiled engine (the path
-    /// `Session::run` takes after the selection phase).
+    /// `Session::run` takes after the selection phase). `query_roots` are
+    /// the dense topological indices of the live query roots; together
+    /// with the arenas' own row estimates this path never touches the
+    /// (mutable) memo, so it runs unchanged off an immutable
+    /// [`crate::engine::EngineState`] snapshot.
     pub(crate) fn extract_with_engine(
-        batch: &BatchDag,
+        query_roots: &[u32],
         engine: &BestCostEngine,
         set: &BitSet,
     ) -> Self {
-        let table = DensePlanTable::solve(batch, engine, set);
+        let table = DensePlanTable::solve(engine, set);
 
         let mut materializations = Vec::with_capacity(table.set.len());
         for e in table.set.iter() {
@@ -72,10 +81,9 @@ impl ConsolidatedPlan {
             materializations.push((engine.topo.group_at(d), plan));
         }
 
-        let query_plans = batch
-            .query_roots()
+        let query_plans = query_roots
             .iter()
-            .map(|&q| table.extract_use(engine.topo.dense(q) as usize, 0))
+            .map(|&q| table.extract_use(q as usize, 0))
             .collect();
 
         let total_cost = engine.total_from_slice(&table.set, &table.compute);
@@ -111,7 +119,6 @@ const ENFORCE: u32 = u32::MAX;
 /// through the engine's [`mqo_volcano::memo::TopoView`]-derived offsets —
 /// plain array lookups, no `(GroupId, SortOrder)` hashing anywhere.
 struct DensePlanTable<'a> {
-    batch: &'a BatchDag,
     engine: &'a BestCostEngine,
     /// The sanitized materialized set.
     set: BitSet,
@@ -128,7 +135,7 @@ impl<'a> DensePlanTable<'a> {
     /// linear pass over the option arenas. The winner recomputation
     /// mirrors the solve arithmetic term for term, so the recovered costs
     /// are bit-identical to the solved arenas.
-    fn solve(batch: &'a BatchDag, engine: &'a BestCostEngine, set: &BitSet) -> Self {
+    fn solve(engine: &'a BestCostEngine, set: &BitSet) -> Self {
         let (set, compute, use_) = engine.solve_for_extraction(set);
         let n_states = engine.n_states();
         let mut winner = vec![ENFORCE; n_states];
@@ -164,7 +171,6 @@ impl<'a> DensePlanTable<'a> {
             }
         }
         DensePlanTable {
-            batch,
             engine,
             set,
             compute,
@@ -197,7 +203,7 @@ impl<'a> DensePlanTable<'a> {
                 op_cost: e.read[s],
                 total_cost: e.read[s],
                 order,
-                rows: self.batch.memo().props(g).rows,
+                rows: e.rows[d],
                 children: vec![],
             };
         }
@@ -210,7 +216,7 @@ impl<'a> DensePlanTable<'a> {
         let e = self.engine;
         let s = e.state_off[d] as usize + slot;
         let g = e.topo.group_at(d);
-        let rows = self.batch.memo().props(g).rows;
+        let rows = e.rows[d];
         let w = self.winner[s];
         if w == ENFORCE {
             let inner = self.extract_compute(d, 0);

@@ -60,7 +60,7 @@
 
 use std::borrow::Cow;
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap};
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 use mqo_submod::bitset::BitSet;
@@ -204,8 +204,6 @@ pub struct CompileCache {
     pos: Vec<u32>,
     cursor: Vec<u32>,
     child_cnt: Vec<u32>,
-    /// Final-slot output orders (consumed by natural-order resolution).
-    opt_out: Vec<OutOrder>,
     /// Flat state index → dense group index.
     group_of_state: Vec<u32>,
 }
@@ -271,9 +269,14 @@ const OPT_NONE: u32 = u32::MAX;
 /// list lives in the `child_off`/`opt_children` CSR.
 const OPT_SPILL: u32 = u32::MAX - 1;
 
-/// The compiled `bestCost` engine. See the module docs for the arena
-/// layout.
-pub struct BestCostEngine {
+/// Every immutable post-compile artifact of the `bestCost` engine: the
+/// CSR option arenas, per-state read/write/sort costs, the dense universe
+/// maps, plan provenance, and the solved `S = ∅` state. Compiled once per
+/// batch commit and shared by `Arc` — a [`BestCostEngine`] is a thin
+/// per-caller handle over these arenas (its own base arenas + scratch),
+/// so concurrent readers each spin up a handle from the same snapshot
+/// without recompiling or blocking each other.
+pub struct EngineArenas {
     /// Dense topological view of the memo (shared with the compile cache
     /// and the batch; owns the parent adjacency used for dirty-cone
     /// propagation).
@@ -329,6 +332,27 @@ pub struct BestCostEngine {
     /// resolution); drives the cost-based decomposition of the
     /// universe-reduction pre-pass.
     pub(crate) mat_cost: Vec<f64>,
+    /// Estimated output rows per dense group, copied out of the memo's
+    /// logical properties at compile time so plan extraction over a
+    /// snapshot never reaches back into the (mutable) memo.
+    pub(crate) rows: Vec<f64>,
+    /// The solved `S = ∅` DP state (per-state compute/use arenas and the
+    /// no-sharing total). Handles clone these as their initial committed
+    /// base, so spinning up a per-caller engine from a snapshot is two
+    /// `memcpy`s — no DP solve.
+    empty_compute: Vec<f64>,
+    empty_use: Vec<f64>,
+    empty_total: f64,
+}
+
+/// The compiled `bestCost` engine: a per-caller handle over shared
+/// immutable [`EngineArenas`] (reached through `Deref`) plus the caller's
+/// own mutable state — the committed base set/arenas and the epoch-stamped
+/// overlay scratch. See the module docs for the arena layout.
+pub struct BestCostEngine {
+    /// The shared immutable compiled arenas. `Deref` exposes their fields
+    /// and methods directly on the engine.
+    arenas: Arc<EngineArenas>,
     /// Base state: the committed materialized set and its DP solution
     /// (flat, indexed by state).
     base_set: BitSet,
@@ -409,16 +433,83 @@ impl BestCostEngine {
         config: MqoConfig,
         cache: &mut CompileCache,
     ) -> Self {
+        Self::from_arenas(
+            Arc::new(EngineArenas::compile(memo, cm, root, universe, cache)),
+            config,
+        )
+    }
+
+    /// A fresh per-caller handle over already-compiled shared arenas: the
+    /// committed base starts at the stored `S = ∅` solution (two array
+    /// copies, no DP solve), with a zeroed scratch. This is how snapshot
+    /// readers ([`EngineState::engine`]) spin up engines without
+    /// recompiling — and what the serve bench reports as snapshot-clone
+    /// cost.
+    pub fn from_arenas(arenas: Arc<EngineArenas>, config: MqoConfig) -> Self {
+        let n_states = arenas.n_states();
+        let n_groups = arenas.topo.len();
+        let u = arenas.universe_size();
+        BestCostEngine {
+            base_set: BitSet::empty(u),
+            base_compute: arenas.empty_compute.clone(),
+            base_use: arenas.empty_use.clone(),
+            base_total: arenas.empty_total,
+            scratch: EngineScratch::new(n_states, n_groups),
+            worker_scratches: Vec::new(),
+            shared_buf: BitSet::empty(u),
+            universe_epoch: 0,
+            config,
+            arenas,
+        }
+    }
+
+    /// The shared immutable arenas this handle evaluates over.
+    pub fn arenas(&self) -> &Arc<EngineArenas> {
+        &self.arenas
+    }
+}
+
+/// Field and method access on a [`BestCostEngine`] falls through to its
+/// shared arenas: the split moved every immutable artifact behind an
+/// `Arc`, and `Deref` keeps the hot-path code (and its callers) reading
+/// `self.state_off`-style exactly as before.
+impl std::ops::Deref for BestCostEngine {
+    type Target = EngineArenas;
+    fn deref(&self) -> &EngineArenas {
+        &self.arenas
+    }
+}
+
+impl EngineArenas {
+    /// Compiles the immutable arenas for a memo, cost model, and shareable
+    /// universe through a reusable [`CompileCache`]: the cached
+    /// [`TopoView`] is reused whenever the memo is unchanged since the
+    /// last compile, and every temporary buffer of the counted CSR build
+    /// is recycled.
+    pub(crate) fn compile(
+        memo: &Memo,
+        cm: &dyn CostModel,
+        root: GroupId,
+        universe: &[GroupId],
+        cache: &mut CompileCache,
+    ) -> EngineArenas {
         let topo = cache.topo_for(memo);
         let n = topo.len();
 
         // 1. Interesting orders per group: demanded by join/aggregate
         // parents, propagated down through order-preserving selects (the
         // fixpoint iterates a pre-collected select list, not the memo).
-        let mut orders: Vec<BTreeSet<SortOrder>> = vec![BTreeSet::new(); n];
-        for set in &mut orders {
-            set.insert(SortOrder::none());
-        }
+        // Per-group lists stay deduplicated Vecs (2–4 entries each) and are
+        // sorted once at the end: the sorted order is canonical — it must
+        // not depend on memo expression enumeration order, or an evolved
+        // batch and a fresh rebuild of the same queries would break
+        // equal-cost ties between plans differently.
+        let mut orders: Vec<Vec<SortOrder>> = vec![vec![SortOrder::none()]; n];
+        let push_order = |orders: &mut Vec<Vec<SortOrder>>, d: usize, o: SortOrder| {
+            if !orders[d].contains(&o) {
+                orders[d].push(o);
+            }
+        };
         let mut selects: Vec<(usize, usize)> = Vec::new();
         for e in memo.expr_ids() {
             match memo.op(e) {
@@ -426,13 +517,17 @@ impl BestCostEngine {
                     let ch = memo.children(e);
                     let (l, r) = (memo.find(ch[0]), memo.find(ch[1]));
                     if let Some((lk, rk)) = join_keys(memo, pred, l, r) {
-                        orders[topo.dense(l) as usize].insert(SortOrder::on(lk));
-                        orders[topo.dense(r) as usize].insert(SortOrder::on(rk));
+                        push_order(&mut orders, topo.dense(l) as usize, SortOrder::on(lk));
+                        push_order(&mut orders, topo.dense(r) as usize, SortOrder::on(rk));
                     }
                 }
                 LogicalOp::Aggregate(spec) if !spec.is_scalar() => {
                     let c = memo.children(e)[0];
-                    orders[topo.dense(c) as usize].insert(SortOrder::on(spec.group_by.clone()));
+                    push_order(
+                        &mut orders,
+                        topo.dense(c) as usize,
+                        SortOrder::on(spec.group_by.clone()),
+                    );
                 }
                 LogicalOp::Select(_) => {
                     let g = topo.dense(memo.group_of(e)) as usize;
@@ -448,9 +543,11 @@ impl BestCostEngine {
         loop {
             let mut changed = false;
             for &(g, c) in &selects {
-                let parent_orders: Vec<SortOrder> = orders[g].iter().cloned().collect();
-                for o in parent_orders {
-                    if orders[c].insert(o) {
+                for i in 0..orders[g].len() {
+                    let o = &orders[g][i];
+                    if !orders[c].contains(o) {
+                        let o = o.clone();
+                        orders[c].push(o);
                         changed = true;
                     }
                 }
@@ -461,9 +558,9 @@ impl BestCostEngine {
         }
         let orders: Vec<Vec<SortOrder>> = orders
             .into_iter()
-            .map(|set| {
-                let mut v: Vec<SortOrder> = set.into_iter().collect();
-                // BTreeSet order puts the empty order first already, but be
+            .map(|mut v| {
+                v.sort_unstable();
+                // Sorting puts the empty order first already, but be
                 // explicit: index 0 must be the unordered requirement.
                 if let Some(pos) = v.iter().position(SortOrder::is_none) {
                     v.swap(0, pos);
@@ -497,7 +594,6 @@ impl BestCostEngine {
             pos,
             cursor,
             child_cnt,
-            opt_out,
             group_of_state,
             ..
         } = cache;
@@ -571,17 +667,23 @@ impl BestCostEngine {
         }
         let mut opt_cost: Vec<f64> = vec![0.0; n_opts];
         let mut opt_children: Vec<u32> = vec![0; *child_off.last().unwrap() as usize];
-        opt_out.clear();
-        opt_out.resize(n_opts, OutOrder::InheritChild0);
+        let mut opt_out: Vec<OutOrder> = vec![OutOrder::InheritChild0; n_opts];
         let mut opt_phys: Vec<Option<(ExprId, PhysOp)>> = vec![None; n_opts];
         for k in 0..n_opts {
             let slot = pos[k] as usize;
             opt_cost[slot] = tmp_cost[k];
-            opt_out[slot] = tmp_out[k].clone();
-            opt_phys[slot] = Some(tmp_phys[k].clone());
             let (cs, ce) = (tmp_child_off[k] as usize, tmp_child_off[k + 1] as usize);
             let dst = child_off[slot] as usize;
             opt_children[dst..dst + (ce - cs)].copy_from_slice(&tmp_child[cs..ce]);
+        }
+        // Out-order and provenance records own heap data (sort keys, scan
+        // names): scatter them by move so the engine arenas take ownership
+        // of the emitted records instead of cloning every option.
+        for (k, out) in tmp_out.drain(..).enumerate() {
+            opt_out[pos[k] as usize] = out;
+        }
+        for (k, p) in tmp_phys.drain(..).enumerate() {
+            opt_phys[pos[k] as usize] = Some(p);
         }
         let opt_phys: Vec<(ExprId, PhysOp)> = opt_phys
             .into_iter()
@@ -629,7 +731,8 @@ impl BestCostEngine {
 
         let root = topo.dense(root);
         let state_order: Vec<SortOrder> = orders.iter().flatten().cloned().collect();
-        let mut engine = BestCostEngine {
+        let rows: Vec<f64> = topo.order().iter().map(|&g| memo.props(g).rows).collect();
+        let mut arenas = EngineArenas {
             topo,
             state_off,
             opt_off,
@@ -645,20 +748,15 @@ impl BestCostEngine {
             universe_dense,
             elem_of_dense,
             opt_phys,
-            opt_out: opt_out.clone(),
+            opt_out,
             state_order,
             natural_order: Vec::new(),
             group_of_state: group_of_state.clone(),
             mat_cost: Vec::new(),
-            base_set: BitSet::empty(universe.len()),
-            base_compute: Vec::new(),
-            base_use: Vec::new(),
-            base_total: 0.0,
-            scratch: EngineScratch::new(n_states, n),
-            worker_scratches: Vec::new(),
-            shared_buf: BitSet::empty(universe.len()),
-            universe_epoch: 0,
-            config,
+            rows,
+            empty_compute: Vec::new(),
+            empty_use: Vec::new(),
+            empty_total: 0.0,
         };
         // Solve the no-materialization state once; the winning production
         // plans determine the natural order each result would be stored in
@@ -667,26 +765,28 @@ impl BestCostEngine {
         // order read them without sorting).
         let mut compute = Vec::new();
         let mut use_ = Vec::new();
-        engine.full_solve_into(&BitSet::empty(universe.len()), &mut compute, &mut use_);
-        let natural = engine.resolve_natural_orders(&use_);
+        arenas.full_solve_into(&BitSet::empty(universe.len()), &mut compute, &mut use_);
+        let natural = arenas.resolve_natural_orders(&use_);
         for (gi, nat) in natural.iter().enumerate() {
-            let s0 = engine.state_off[gi] as usize;
+            let s0 = arenas.state_off[gi] as usize;
             for (j, req) in orders[gi].iter().enumerate() {
                 if !nat.satisfies(req) {
-                    engine.read[s0 + j] += engine.sort[gi];
+                    arenas.read[s0 + j] += arenas.sort[gi];
                 }
             }
         }
-        engine.natural_order = natural;
-        engine.mat_cost = engine
+        arenas.natural_order = natural;
+        arenas.mat_cost = arenas
             .universe_dense
             .iter()
-            .map(|&d| compute[engine.state_off[d as usize] as usize] + engine.write[d as usize])
+            .map(|&d| compute[arenas.state_off[d as usize] as usize] + arenas.write[d as usize])
             .collect();
-        engine.base_compute = compute;
-        engine.base_use = use_;
-        engine.base_total = engine.total_from_slice(&engine.base_set, &engine.base_compute);
-        engine
+        // The solved ∅ state is kept in the arenas: every handle starts
+        // its committed base from these by copy.
+        arenas.empty_total = arenas.total_from_slice(&BitSet::empty(universe.len()), &compute);
+        arenas.empty_compute = compute;
+        arenas.empty_use = use_;
+        arenas
     }
 
     /// Standalone (`S = ∅`) materialization cost of each universe element:
@@ -750,14 +850,6 @@ impl BestCostEngine {
         self.read.len()
     }
 
-    /// `(full, incremental)` evaluation counts. Batched candidates evaluated
-    /// through [`Self::bc_many`] count as incremental; the per-batch rebase
-    /// counts as one full evaluation. Sharded batches fold each worker's
-    /// counts back into these totals.
-    pub fn eval_counts(&self) -> (u64, u64) {
-        (self.scratch.full_evals, self.scratch.incremental_evals)
-    }
-
     /// Solves the full DP for `set` into fresh `(compute, use)` arenas for
     /// plan extraction, returning the sanitized set alongside them. The
     /// committed base and the overlay scratch are untouched — extraction
@@ -812,6 +904,122 @@ impl BestCostEngine {
         } else {
             Cow::Owned(BitSet::from_iter(n, set.iter().filter(|&e| e < n)))
         }
+    }
+
+    /// `bc(S)` from a fully solved per-state compute arena.
+    pub(crate) fn total_from_slice(&self, set: &BitSet, compute: &[f64]) -> f64 {
+        let mut total = compute[self.state_off[self.root as usize] as usize];
+        for e in set.iter() {
+            let d = self.universe_dense[e] as usize;
+            total += compute[self.state_off[d] as usize] + self.write[d];
+        }
+        total
+    }
+
+    /// Whether dense group `d` is materialized under `set`.
+    fn in_set(&self, d: usize, set: &BitSet) -> bool {
+        let e = self.elem_of_dense[d];
+        e != u32::MAX && set.contains(e as usize)
+    }
+
+    /// Full evaluation without committing: solves into the scratch's
+    /// overlay arenas (reused, never reallocated) and totals from them.
+    fn full_eval_with<E: EpochInt>(&self, scratch: &mut EngineScratch<E>, set: &BitSet) -> f64 {
+        let mut compute = std::mem::take(&mut scratch.compute);
+        let mut use_ = std::mem::take(&mut scratch.use_);
+        self.full_solve_into(set, &mut compute, &mut use_);
+        let total = self.total_from_slice(set, &compute);
+        // Stale epoch stamps never equal a later epoch (the wrap path
+        // clears them), so clobbering the overlay values cannot leak into
+        // later overlay evaluations.
+        scratch.compute = compute;
+        scratch.use_ = use_;
+        total
+    }
+
+    /// Full bottom-up DP into caller-provided arenas (resized to fit).
+    fn full_solve_into(&self, set: &BitSet, compute: &mut Vec<f64>, use_: &mut Vec<f64>) {
+        let n_states = self.n_states();
+        compute.clear();
+        compute.resize(n_states, 0.0);
+        use_.clear();
+        use_.resize(n_states, 0.0);
+        for d in 0..self.topo.len() {
+            let s0 = self.state_off[d] as usize;
+            let s1 = self.state_off[d + 1] as usize;
+            let materialized = self.in_set(d, set);
+            // Children live in strictly earlier groups, so their `use` costs
+            // are fully resolved in the prefix below `s0`.
+            let (use_done, use_cur) = use_.split_at_mut(s0);
+            for s in s0..s1 {
+                let best = self.best_option(s, |c| use_done[c]);
+                let best = if s > s0 {
+                    best.min(compute[s0] + self.sort[d])
+                } else {
+                    best
+                };
+                compute[s] = best;
+                use_cur[s - s0] = if materialized {
+                    self.read[s].min(best)
+                } else {
+                    best
+                };
+            }
+        }
+    }
+
+    /// `min` over the options of state `s` given resolved child `use`
+    /// costs. Children are summed first (in child order) and the operator
+    /// cost added last — the same association the reference optimizer uses
+    /// — so the two symmetric orientations of a join tie *exactly* and the
+    /// first emitted option wins, keeping extracted plans identical to the
+    /// reference extractor's. Reads the packed `opt_c0`/`opt_c1` child
+    /// slots; only a rare wide option ([`OPT_SPILL`], the batch root)
+    /// falls back to the `child_off`/`opt_children` CSR, with the same
+    /// left-to-right summation.
+    #[inline]
+    fn best_option(&self, s: usize, child_use: impl Fn(usize) -> f64) -> f64 {
+        let mut best = f64::INFINITY;
+        for o in self.opt_off[s] as usize..self.opt_off[s + 1] as usize {
+            let cost = self.option_cost(o, &child_use);
+            if cost < best {
+                best = cost;
+            }
+        }
+        best
+    }
+
+    /// Cost of one option given resolved child `use` costs — the exact
+    /// inner summation of [`Self::best_option`] (children left-to-right,
+    /// operator cost last), shared with the dirty-option fast path so a
+    /// selectively recomputed option is bit-identical to a full rescan's.
+    #[inline]
+    fn option_cost(&self, o: usize, child_use: &impl Fn(usize) -> f64) -> f64 {
+        let c0 = self.opt_c0[o];
+        let mut cost = 0.0;
+        if c0 == OPT_SPILL {
+            for &c in &self.opt_children[self.child_off[o] as usize..self.child_off[o + 1] as usize]
+            {
+                cost += child_use(c as usize);
+            }
+        } else if c0 != OPT_NONE {
+            cost += child_use(c0 as usize);
+            let c1 = self.opt_c1[o];
+            if c1 != OPT_NONE {
+                cost += child_use(c1 as usize);
+            }
+        }
+        cost + self.opt_cost[o]
+    }
+}
+
+impl BestCostEngine {
+    /// `(full, incremental)` evaluation counts. Batched candidates evaluated
+    /// through [`Self::bc_many`] count as incremental; the per-batch rebase
+    /// counts as one full evaluation. Sharded batches fold each worker's
+    /// counts back into these totals.
+    pub fn eval_counts(&self) -> (u64, u64) {
+        (self.scratch.full_evals, self.scratch.incremental_evals)
     }
 
     /// `bc(∅)`'s dense state is the committed base right after construction.
@@ -1096,112 +1304,6 @@ impl BestCostEngine {
             .extend(set.symmetric_difference_iter(&self.base_set));
     }
 
-    /// `bc(S)` from a fully solved per-state compute arena.
-    pub(crate) fn total_from_slice(&self, set: &BitSet, compute: &[f64]) -> f64 {
-        let mut total = compute[self.state_off[self.root as usize] as usize];
-        for e in set.iter() {
-            let d = self.universe_dense[e] as usize;
-            total += compute[self.state_off[d] as usize] + self.write[d];
-        }
-        total
-    }
-
-    /// Whether dense group `d` is materialized under `set`.
-    fn in_set(&self, d: usize, set: &BitSet) -> bool {
-        let e = self.elem_of_dense[d];
-        e != u32::MAX && set.contains(e as usize)
-    }
-
-    /// Full evaluation without committing: solves into the scratch's
-    /// overlay arenas (reused, never reallocated) and totals from them.
-    fn full_eval_with<E: EpochInt>(&self, scratch: &mut EngineScratch<E>, set: &BitSet) -> f64 {
-        let mut compute = std::mem::take(&mut scratch.compute);
-        let mut use_ = std::mem::take(&mut scratch.use_);
-        self.full_solve_into(set, &mut compute, &mut use_);
-        let total = self.total_from_slice(set, &compute);
-        // Stale epoch stamps never equal a later epoch (the wrap path
-        // clears them), so clobbering the overlay values cannot leak into
-        // later overlay evaluations.
-        scratch.compute = compute;
-        scratch.use_ = use_;
-        total
-    }
-
-    /// Full bottom-up DP into caller-provided arenas (resized to fit).
-    fn full_solve_into(&self, set: &BitSet, compute: &mut Vec<f64>, use_: &mut Vec<f64>) {
-        let n_states = self.n_states();
-        compute.clear();
-        compute.resize(n_states, 0.0);
-        use_.clear();
-        use_.resize(n_states, 0.0);
-        for d in 0..self.topo.len() {
-            let s0 = self.state_off[d] as usize;
-            let s1 = self.state_off[d + 1] as usize;
-            let materialized = self.in_set(d, set);
-            // Children live in strictly earlier groups, so their `use` costs
-            // are fully resolved in the prefix below `s0`.
-            let (use_done, use_cur) = use_.split_at_mut(s0);
-            for s in s0..s1 {
-                let best = self.best_option(s, |c| use_done[c]);
-                let best = if s > s0 {
-                    best.min(compute[s0] + self.sort[d])
-                } else {
-                    best
-                };
-                compute[s] = best;
-                use_cur[s - s0] = if materialized {
-                    self.read[s].min(best)
-                } else {
-                    best
-                };
-            }
-        }
-    }
-
-    /// `min` over the options of state `s` given resolved child `use`
-    /// costs. Children are summed first (in child order) and the operator
-    /// cost added last — the same association the reference optimizer uses
-    /// — so the two symmetric orientations of a join tie *exactly* and the
-    /// first emitted option wins, keeping extracted plans identical to the
-    /// reference extractor's. Reads the packed `opt_c0`/`opt_c1` child
-    /// slots; only a rare wide option ([`OPT_SPILL`], the batch root)
-    /// falls back to the `child_off`/`opt_children` CSR, with the same
-    /// left-to-right summation.
-    #[inline]
-    fn best_option(&self, s: usize, child_use: impl Fn(usize) -> f64) -> f64 {
-        let mut best = f64::INFINITY;
-        for o in self.opt_off[s] as usize..self.opt_off[s + 1] as usize {
-            let cost = self.option_cost(o, &child_use);
-            if cost < best {
-                best = cost;
-            }
-        }
-        best
-    }
-
-    /// Cost of one option given resolved child `use` costs — the exact
-    /// inner summation of [`Self::best_option`] (children left-to-right,
-    /// operator cost last), shared with the dirty-option fast path so a
-    /// selectively recomputed option is bit-identical to a full rescan's.
-    #[inline]
-    fn option_cost(&self, o: usize, child_use: &impl Fn(usize) -> f64) -> f64 {
-        let c0 = self.opt_c0[o];
-        let mut cost = 0.0;
-        if c0 == OPT_SPILL {
-            for &c in &self.opt_children[self.child_off[o] as usize..self.child_off[o + 1] as usize]
-            {
-                cost += child_use(c as usize);
-            }
-        } else if c0 != OPT_NONE {
-            cost += child_use(c0 as usize);
-            let c1 = self.opt_c1[o];
-            if c1 != OPT_NONE {
-                cost += child_use(c1 as usize);
-            }
-        }
-        cost + self.opt_cost[o]
-    }
-
     /// Overlay DP: recompute only the cone above the groups in the diff
     /// buffer, writing into the scratch's epoch-stamped arenas.
     /// Allocation-free at steady state: the worklist heap and overlay
@@ -1305,6 +1407,95 @@ impl BestCostEngine {
             delta += scratch_compute[root_s] - self.base_compute[root_s];
         }
         self.base_total + delta
+    }
+}
+
+/// A versioned, immutable snapshot of everything a reader needs to
+/// optimize and extract plans for a committed batch: the compiled
+/// [`EngineArenas`], the shareable universe (element `i` ↔ `shareable[i]`),
+/// and the dense indices of the live query roots in ticket order.
+///
+/// Snapshots are published behind `Arc` by
+/// [`crate::session::OptimizedBatch::snapshot`] after every evolution
+/// commit; concurrent readers clone the `Arc`, spin up per-caller
+/// [`BestCostEngine`] handles via [`EngineState::engine`], and keep
+/// working off their snapshot even while a writer commits and publishes a
+/// newer one — snapshot isolation falls out of immutability.
+pub struct EngineState {
+    /// [`Memo::version`] at compile time — monotone, so two distinct
+    /// batch states can never share a snapshot version.
+    version: u64,
+    /// Universe epoch of the batch state this snapshot was compiled from.
+    universe_epoch: u64,
+    arenas: Arc<EngineArenas>,
+    /// Shareable universe: element `i` is group `shareable[i]`.
+    shareable: Vec<GroupId>,
+    /// Dense (topological) indices of the live query roots, ticket order.
+    query_roots: Vec<u32>,
+}
+
+impl EngineState {
+    /// Assembles a snapshot; callers guarantee `arenas` was compiled from
+    /// the batch state identified by `(version, universe_epoch)`.
+    pub(crate) fn assemble(
+        version: u64,
+        universe_epoch: u64,
+        arenas: Arc<EngineArenas>,
+        shareable: Vec<GroupId>,
+        query_roots: Vec<u32>,
+    ) -> Self {
+        EngineState {
+            version,
+            universe_epoch,
+            arenas,
+            shareable,
+            query_roots,
+        }
+    }
+
+    /// The memo version this snapshot was compiled at.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The universe epoch this snapshot was compiled at.
+    pub fn universe_epoch(&self) -> u64 {
+        self.universe_epoch
+    }
+
+    /// The shareable-universe size.
+    pub fn universe_size(&self) -> usize {
+        self.shareable.len()
+    }
+
+    /// The shareable universe: element `i` is group `shareable()[i]`.
+    pub fn shareable(&self) -> &[GroupId] {
+        &self.shareable
+    }
+
+    /// Number of live queries in the snapshot.
+    pub fn n_queries(&self) -> usize {
+        self.query_roots.len()
+    }
+
+    /// Dense indices of the live query roots (extraction input).
+    pub(crate) fn query_roots_dense(&self) -> &[u32] {
+        &self.query_roots
+    }
+
+    /// The shared compiled arenas.
+    pub fn arenas(&self) -> &Arc<EngineArenas> {
+        &self.arenas
+    }
+
+    /// A fresh per-caller engine handle over the snapshot's arenas (two
+    /// array copies and a zeroed scratch — no recompilation). Handles are
+    /// independent: each owns its committed base and overlay scratch, so
+    /// any number of readers can evaluate concurrently.
+    pub fn engine(&self, config: MqoConfig) -> BestCostEngine {
+        let mut engine = BestCostEngine::from_arenas(Arc::clone(&self.arenas), config);
+        engine.set_universe_epoch(self.universe_epoch);
+        engine
     }
 }
 
@@ -1431,30 +1622,29 @@ fn compile_expr(
                     OutOrder::Fixed(SortOrder::none()),
                     PhysOp::BlockNlJoin { swapped },
                 );
-                // Merge join.
+                // Merge join. The key lists are borrowed until an option is
+                // actually emitted — the position probes compare against
+                // the raw column lists so the common no-emission path
+                // allocates nothing.
                 if let Some((lk, rk)) = &keys {
-                    let (ok, ik) = if swapped {
-                        (rk.clone(), lk.clone())
-                    } else {
-                        (lk.clone(), rk.clone())
-                    };
-                    let out = SortOrder::on(ok.clone());
+                    let (ok, ik) = if swapped { (rk, lk) } else { (lk, rk) };
                     let jo = orders[oi]
                         .iter()
-                        .position(|o| *o == out)
+                        .position(|o| o.0 == *ok)
                         .expect("join key order registered for outer child");
                     let ji = orders[ii]
                         .iter()
-                        .position(|o| *o == SortOrder::on(ik.clone()))
+                        .position(|o| o.0 == *ik)
                         .expect("join key order registered for inner child");
                     let op_cost = cm.merge_join(blocks[oi], blocks[ii], blocks[gi]);
                     for (j, req) in g_orders.iter().enumerate() {
-                        if out.satisfies(req) {
+                        // `satisfies` on the raw key list: req is a prefix.
+                        if req.0.len() <= ok.len() && ok[..req.0.len()] == req.0[..] {
                             emit(
                                 j,
                                 op_cost,
                                 &[(oi as u32, jo as u8), (ii as u32, ji as u8)],
-                                OutOrder::Fixed(out.clone()),
+                                OutOrder::Fixed(SortOrder::on(ok.clone())),
                                 PhysOp::MergeJoin {
                                     left_keys: ok.clone(),
                                     right_keys: ik.clone(),

@@ -18,6 +18,10 @@
 //!    cardinality-constrained variant.
 //! 5. [`consolidated::ConsolidatedPlan`] — the extracted physical artifact
 //!    (materialization productions + per-query plans).
+//! 6. [`serve::MqoService`] — the concurrent serving layer: a single
+//!    writer coalesces concurrent admissions into optimization rounds and
+//!    publishes immutable [`engine::EngineState`] snapshots that any
+//!    number of readers optimize against without blocking it.
 //!
 //! # Example
 //!
@@ -43,6 +47,7 @@ pub mod benefit;
 pub mod config;
 pub mod consolidated;
 pub mod engine;
+pub mod serve;
 pub mod session;
 pub mod strategies;
 
@@ -50,6 +55,7 @@ pub use batch::{BatchDag, BatchSavepoint, QueryTicket};
 pub use benefit::MbFunction;
 pub use config::{DecompositionKind, MqoConfig};
 pub use consolidated::ConsolidatedPlan;
-pub use engine::BestCostEngine;
+pub use engine::{BestCostEngine, EngineState};
+pub use serve::{MqoService, ServeConfig, ServeStats};
 pub use session::{OptimizedBatch, Session, SessionBuilder};
 pub use strategies::{RunReport, Strategy};

@@ -1,0 +1,400 @@
+//! The concurrent serving layer: one writer, many snapshot readers.
+//!
+//! [`MqoService`] turns an [`OptimizedBatch`] into a long-lived shared
+//! service built directly on the session stack's ownership split:
+//!
+//! - the **batch** (behind the single writer lock) is the only mutable
+//!   state — the thin editor that admits, retires, and compacts;
+//! - every commit publishes an immutable [`EngineState`] snapshot
+//!   (shared compiled arenas + universe + query roots behind one `Arc`);
+//! - readers clone the published `Arc` and optimize through their own
+//!   per-caller engine handles — they never block the writer, and a
+//!   reader holding an old snapshot keeps a fully consistent frozen view
+//!   while the batch evolves underneath (snapshot isolation by
+//!   immutability).
+//!
+//! Admission uses *flat combining*: [`MqoService::submit_query`] enqueues
+//! the plan and then takes the writer lock. Whichever submitter gets the
+//! lock first becomes the writer for everyone — it drains the queue in
+//! optimization **rounds** (each round admits every plan queued so far and
+//! re-queues arrivals for the next), publishes the new snapshot, and only
+//! then releases the lock; the coalesced submitters wake up to find their
+//! ticket already filled in. A caller therefore never observes a published
+//! snapshot older than its own admission.
+//!
+//! Two maintenance duties ride on the writer:
+//!
+//! - **re-baselining** — when the evolution history (provenance entries
+//!   plus the memo's savepoint undo log) exceeds
+//!   [`ServeConfig::history_watermark`], the batch is compacted so history
+//!   size depends only on the live query count, not on how many
+//!   add/retire cycles the service has absorbed;
+//! - the **materialization cache** — when
+//!   [`ServeConfig::cache_capacity`] is non-zero, the service retains the
+//!   materializations the configured strategy keeps choosing, keyed by
+//!   structural fingerprint so entries survive evolution commits, and
+//!   evicts by the `bestCost` oracle's marginals: an entry whose
+//!   leave-one-out benefit `bc(C∖{e}) − bc(C)` is non-positive (or
+//!   smallest, once over capacity) goes first.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use mqo_submod::bitset::BitSet;
+use mqo_volcano::PlanNode;
+
+use crate::batch::{BatchSavepoint, QueryTicket};
+use crate::config::MqoConfig;
+use crate::engine::EngineState;
+use crate::session::OptimizedBatch;
+use crate::strategies::{RunReport, Strategy};
+
+/// Configuration of an [`MqoService`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Strategy used by [`MqoService::run`] and by the materialization
+    /// cache to seed candidates. Defaults to [`Strategy::MarginalGreedy`].
+    pub strategy: Strategy,
+    /// Re-baseline the batch after any round that leaves
+    /// [`OptimizedBatch::history_len`] above this. Defaults to
+    /// `usize::MAX` (never compact).
+    pub history_watermark: usize,
+    /// Capacity of the materialization cache. Defaults to 0 (disabled):
+    /// plain admission then skips the strategy run and oracle scoring the
+    /// cache refresh costs.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            strategy: Strategy::MarginalGreedy,
+            history_watermark: usize::MAX,
+            cache_capacity: 0,
+        }
+    }
+}
+
+/// Point-in-time counters of a service; see [`MqoService::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Optimization rounds the writer ran (one per queue drain, however
+    /// many submissions it coalesced).
+    pub rounds: u64,
+    /// Queries admitted.
+    pub admitted: u64,
+    /// Admissions that rode along in a round another submitter drove
+    /// (i.e. `admitted − coalesced` submitters became the writer).
+    pub coalesced: u64,
+    /// Queries retired.
+    pub retired: u64,
+    /// Re-baselining compactions triggered by the history watermark.
+    pub compactions: u64,
+    /// Materialization-cache entries evicted (benefit-driven or
+    /// universe-departure).
+    pub evictions: u64,
+}
+
+struct Counters {
+    rounds: AtomicU64,
+    admitted: AtomicU64,
+    coalesced: AtomicU64,
+    retired: AtomicU64,
+    compactions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// A queued admission: the plan plus the slot the draining writer fills
+/// with the issued ticket.
+struct PendingSubmit {
+    plan: PlanNode,
+    slot: Arc<Mutex<Option<QueryTicket>>>,
+}
+
+/// One retained materialization: the structural fingerprint of its
+/// shareable group (stable across evolution commits) and its last
+/// leave-one-out benefit under the `bestCost` oracle.
+struct MatEntry {
+    fingerprint: u64,
+    score: f64,
+}
+
+/// A shared, concurrent MQO service over one evolvable batch; see the
+/// module docs for the protocol. `&self`-driven throughout — share it by
+/// reference across scoped threads (it is `Sync`), no internal `Arc`
+/// required.
+pub struct MqoService {
+    /// The single writer: the batch editor plus its cost model and config.
+    core: Mutex<OptimizedBatch>,
+    /// The admission queue; drained in rounds by whichever submitter holds
+    /// the writer lock.
+    pending: Mutex<Vec<PendingSubmit>>,
+    /// The latest published snapshot; replaced (never mutated) on every
+    /// commit, before the writer lock is released.
+    published: Mutex<Arc<EngineState>>,
+    /// The materialization cache (empty when disabled).
+    cache: Mutex<Vec<MatEntry>>,
+    config: ServeConfig,
+    /// Copy of the session's [`MqoConfig`], so readers spin up engine
+    /// handles without touching the writer lock.
+    mqo_config: MqoConfig,
+    counters: Counters,
+}
+
+impl MqoService {
+    /// Wraps `batch`; called by [`OptimizedBatch::serve_with`]. Publishes
+    /// the initial snapshot eagerly so readers never wait on a first
+    /// compile.
+    pub(crate) fn new(batch: OptimizedBatch, config: ServeConfig) -> Self {
+        let mqo_config = batch.config();
+        let published = batch.snapshot();
+        MqoService {
+            core: Mutex::new(batch),
+            pending: Mutex::new(Vec::new()),
+            published: Mutex::new(published),
+            cache: Mutex::new(Vec::new()),
+            config,
+            mqo_config,
+            counters: Counters {
+                rounds: AtomicU64::new(0),
+                admitted: AtomicU64::new(0),
+                coalesced: AtomicU64::new(0),
+                retired: AtomicU64::new(0),
+                compactions: AtomicU64::new(0),
+                evictions: AtomicU64::new(0),
+            },
+        }
+    }
+
+    // -------------------------------------------------------------------
+    // Readers: never block the writer.
+    // -------------------------------------------------------------------
+
+    /// The latest published snapshot — one `Arc` clone, regardless of what
+    /// the writer is doing. Everything reachable from it is immutable;
+    /// optimize against it with [`EngineState::run`] or spin up a
+    /// per-caller engine handle with [`EngineState::engine`].
+    pub fn snapshot(&self) -> Arc<EngineState> {
+        Arc::clone(&self.published.lock().expect("published snapshot poisoned"))
+    }
+
+    /// Optimizes the latest snapshot with the configured strategy.
+    pub fn run(&self) -> RunReport {
+        self.snapshot().run(self.config.strategy, self.mqo_config)
+    }
+
+    /// Optimizes the latest snapshot with an explicit strategy.
+    pub fn run_with(&self, strategy: Strategy) -> RunReport {
+        self.snapshot().run(strategy, self.mqo_config)
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> ServeConfig {
+        self.config
+    }
+
+    /// Point-in-time counters (relaxed loads; exact once the writer is
+    /// quiescent).
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            rounds: self.counters.rounds.load(Ordering::Relaxed),
+            admitted: self.counters.admitted.load(Ordering::Relaxed),
+            coalesced: self.counters.coalesced.load(Ordering::Relaxed),
+            retired: self.counters.retired.load(Ordering::Relaxed),
+            compactions: self.counters.compactions.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Structural fingerprints of the currently cached materializations,
+    /// in descending benefit order.
+    pub fn cached_materializations(&self) -> Vec<u64> {
+        self.cache
+            .lock()
+            .expect("materialization cache poisoned")
+            .iter()
+            .map(|e| e.fingerprint)
+            .collect()
+    }
+
+    // -------------------------------------------------------------------
+    // Writer-side: admission, retirement, maintenance.
+    // -------------------------------------------------------------------
+
+    /// Admits `plan` into the live batch and returns its ticket. Safe to
+    /// call from any number of threads: submissions arriving while a
+    /// round is in flight are coalesced into the next round (the
+    /// in-flight writer admits them; this call just waits and picks its
+    /// ticket up). On return, the published snapshot includes the query.
+    pub fn submit_query(&self, plan: PlanNode) -> QueryTicket {
+        let slot = Arc::new(Mutex::new(None));
+        self.pending
+            .lock()
+            .expect("admission queue poisoned")
+            .push(PendingSubmit {
+                plan,
+                slot: Arc::clone(&slot),
+            });
+        let mut core = self.core.lock().expect("service writer poisoned");
+        // A writer that beat us to the lock may have admitted us already.
+        if let Some(t) = *slot.lock().expect("admission slot poisoned") {
+            return t;
+        }
+        self.drain(&mut core);
+        let t = slot
+            .lock()
+            .expect("admission slot poisoned")
+            .expect("draining writer fills every queued slot");
+        t
+    }
+
+    /// Retires the query behind `ticket` and publishes the shrunk
+    /// snapshot (also draining any queued admissions).
+    ///
+    /// # Panics
+    /// As [`OptimizedBatch::retire_query`]: retired/unknown tickets and
+    /// the last live query are rejected.
+    pub fn retire_query(&self, ticket: QueryTicket) {
+        let mut core = self.core.lock().expect("service writer poisoned");
+        core.retire_query(ticket);
+        self.counters.retired.fetch_add(1, Ordering::Relaxed);
+        self.drain(&mut core);
+    }
+
+    /// Snapshots the batch's evolution state for a later
+    /// [`MqoService::rollback`] (what-if admission probes).
+    pub fn savepoint(&self) -> BatchSavepoint {
+        self.core
+            .lock()
+            .expect("service writer poisoned")
+            .savepoint()
+    }
+
+    /// Rewinds to `sp` and publishes the restored snapshot. Tickets issued
+    /// since the savepoint are dead afterwards.
+    pub fn rollback(&self, sp: BatchSavepoint) {
+        let mut core = self.core.lock().expect("service writer poisoned");
+        core.rollback(sp);
+        self.drain(&mut core);
+    }
+
+    /// Tickets of the currently live queries, in admission order.
+    pub fn tickets(&self) -> Vec<QueryTicket> {
+        self.core.lock().expect("service writer poisoned").tickets()
+    }
+
+    /// Current evolution-history size; see [`OptimizedBatch::history_len`].
+    pub fn history_len(&self) -> usize {
+        self.core
+            .lock()
+            .expect("service writer poisoned")
+            .history_len()
+    }
+
+    /// Shuts the service down and hands the batch back, admitting any
+    /// still-queued plans first. (With scoped reader/writer threads joined
+    /// the queue is empty and this is free.)
+    pub fn finish(self) -> OptimizedBatch {
+        let mut core = self.core.into_inner().expect("service writer poisoned");
+        for p in self.pending.into_inner().expect("admission queue poisoned") {
+            let t = core.add_query(p.plan);
+            *p.slot.lock().expect("admission slot poisoned") = Some(t);
+        }
+        core
+    }
+
+    /// Drains the admission queue in rounds, then runs maintenance and
+    /// publishes. Caller holds the writer lock.
+    fn drain(&self, core: &mut OptimizedBatch) {
+        loop {
+            let round =
+                std::mem::take(&mut *self.pending.lock().expect("admission queue poisoned"));
+            if round.is_empty() {
+                break;
+            }
+            self.counters.rounds.fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .coalesced
+                .fetch_add(round.len() as u64 - 1, Ordering::Relaxed);
+            for p in round {
+                let t = core.add_query(p.plan);
+                self.counters.admitted.fetch_add(1, Ordering::Relaxed);
+                *p.slot.lock().expect("admission slot poisoned") = Some(t);
+            }
+        }
+        if core.history_len() > self.config.history_watermark {
+            core.compact_history();
+            self.counters.compactions.fetch_add(1, Ordering::Relaxed);
+        }
+        let state = core.snapshot();
+        if self.config.cache_capacity > 0 {
+            self.refresh_cache(core, &state);
+        }
+        // Publish before releasing the writer lock: a submitter whose slot
+        // was filled above cannot wake up before this store.
+        *self.published.lock().expect("published snapshot poisoned") = state;
+    }
+
+    /// Refreshes the materialization cache against the new commit: drops
+    /// entries whose group left the universe, folds in the configured
+    /// strategy's chosen set, re-scores every entry by its leave-one-out
+    /// benefit `bc(C∖{e}) − bc(C)`, and evicts non-positive scores plus
+    /// the smallest scores past capacity.
+    fn refresh_cache(&self, core: &OptimizedBatch, state: &Arc<EngineState>) {
+        let fps = core.batch().shareable_fingerprints();
+        let elem_of_fp: HashMap<u64, usize> =
+            fps.iter().enumerate().map(|(i, &f)| (f, i)).collect();
+        let report = state.run(self.config.strategy, self.mqo_config);
+
+        let mut cache = self.cache.lock().expect("materialization cache poisoned");
+        cache.retain(|e| elem_of_fp.contains_key(&e.fingerprint));
+        for &g in &report.materialized {
+            let e = core
+                .batch()
+                .shareable_index(g)
+                .expect("chosen materialization is a universe element");
+            let fp = fps[e];
+            if !cache.iter().any(|c| c.fingerprint == fp) {
+                cache.push(MatEntry {
+                    fingerprint: fp,
+                    score: 0.0,
+                });
+            }
+        }
+        let candidates = cache.len();
+        if candidates == 0 {
+            return;
+        }
+
+        let elems: Vec<usize> = cache.iter().map(|c| elem_of_fp[&c.fingerprint]).collect();
+        let mut set = BitSet::empty(state.universe_size());
+        for &e in &elems {
+            set.insert(e);
+        }
+        let mut engine = state.engine(self.mqo_config);
+        let full = engine.bc(&set);
+        let leave_one_out: Vec<BitSet> = elems
+            .iter()
+            .map(|&e| {
+                let mut s = set.clone();
+                s.remove(e);
+                s
+            })
+            .collect();
+        let without = engine.bc_many(&leave_one_out);
+        for (entry, w) in cache.iter_mut().zip(&without) {
+            entry.score = w - full;
+        }
+        cache.retain(|e| e.score > 0.0);
+        cache.sort_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then(a.fingerprint.cmp(&b.fingerprint))
+        });
+        cache.truncate(self.config.cache_capacity);
+        self.counters
+            .evictions
+            .fetch_add((candidates - cache.len()) as u64, Ordering::Relaxed);
+    }
+}

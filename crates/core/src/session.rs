@@ -30,12 +30,16 @@
 //! println!("{}", report.plan.render(batch.batch()));
 //! ```
 
+use std::sync::{Arc, Mutex};
+
 use mqo_volcano::cost::{CostModel, DiskCostModel};
 use mqo_volcano::rules::RuleSet;
 use mqo_volcano::{DagContext, PlanNode};
 
 use crate::batch::{BatchDag, BatchSavepoint, QueryTicket};
 use crate::config::MqoConfig;
+use crate::engine::EngineState;
+use crate::serve::{MqoService, ServeConfig};
 use crate::strategies::{run_strategy, RunReport, Strategy};
 
 /// Entry point of the MQO pipeline; see the module docs.
@@ -134,6 +138,7 @@ impl SessionBuilder {
             batch,
             cost_model: self.cost_model,
             config: self.config,
+            state: Mutex::new(None),
         }
     }
 }
@@ -154,19 +159,48 @@ impl SessionBuilder {
 /// surviving queries — same live DAG, same shareable universe (modulo
 /// tombstoned slots), identical plans and `bestCost` values. Evolution
 /// takes `&mut self`; `run*` calls observe a consistent compiled snapshot
-/// because the compile cache is keyed on the memo's version counter and
-/// the engines are stamped with the universe epoch.
+/// because they run off an immutable [`EngineState`] published by
+/// [`OptimizedBatch::snapshot`] and revalidated against the memo's
+/// version counter.
+///
+/// Ownership is split three ways (the serving layer is built on exactly
+/// this split): the **batch** is the thin mutable editor, the
+/// [`EngineState`] is the shared-immutable compiled artifact readers hold
+/// `Arc`s to, and each reader's [`crate::engine::BestCostEngine`] handle
+/// owns the only per-caller mutable state (DP overlays and scratch).
 pub struct OptimizedBatch {
     batch: BatchDag,
     cost_model: Box<dyn CostModel>,
     config: MqoConfig,
+    /// Cached [`EngineState`] snapshot of the current commit, revalidated
+    /// by memo version (monotone, so a stale snapshot is never reused).
+    state: Mutex<Option<Arc<EngineState>>>,
 }
 
 impl OptimizedBatch {
+    /// The immutable compiled snapshot of the current commit: shared
+    /// engine arenas, universe, and query roots behind one `Arc`. Cached
+    /// until the next evolution commit (the memo's version counter is the
+    /// validity stamp); cloning the `Arc` is the only cost on the hot
+    /// path. Readers holding an old snapshot keep a fully consistent
+    /// frozen view while the batch evolves underneath — snapshot
+    /// isolation by immutability.
+    pub fn snapshot(&self) -> Arc<EngineState> {
+        let mut cached = self.state.lock().expect("snapshot cache poisoned");
+        match cached.as_ref() {
+            Some(s) if s.version() == self.batch.memo().version() => Arc::clone(s),
+            _ => {
+                let s = Arc::new(self.batch.compile_state(self.cost_model.as_ref()));
+                *cached = Some(Arc::clone(&s));
+                s
+            }
+        }
+    }
+
     /// Optimizes the batch with one strategy under the session's
     /// configuration.
     pub fn run(&self, strategy: Strategy) -> RunReport {
-        run_strategy(&self.batch, self.cost_model.as_ref(), strategy, self.config)
+        run_strategy(&self.snapshot(), strategy, self.config)
     }
 
     /// Optimizes the batch with several strategies, recompiling the engine
@@ -182,7 +216,7 @@ impl OptimizedBatch {
     /// (ablations sweeping rebase thresholds or thread counts). The
     /// session's own configuration is untouched.
     pub fn run_with(&self, strategy: Strategy, config: MqoConfig) -> RunReport {
-        run_strategy(&self.batch, self.cost_model.as_ref(), strategy, config)
+        run_strategy(&self.snapshot(), strategy, config)
     }
 
     /// The expanded combined DAG (memo, roots, shareable universe,
@@ -249,6 +283,40 @@ impl OptimizedBatch {
     /// Tickets of the currently live queries, in admission order.
     pub fn tickets(&self) -> Vec<QueryTicket> {
         self.batch.tickets()
+    }
+
+    /// Size of the evolution history (provenance entries plus the memo's
+    /// savepoint undo log) — the state that grows with every add/retire
+    /// cycle until [`OptimizedBatch::compact_history`] re-baselines it.
+    pub fn history_len(&self) -> usize {
+        self.batch.history_len()
+    }
+
+    /// Re-baselines the batch: drops retired provenance, rebuilds the memo
+    /// from the survivors, and clears the savepoint undo log, so
+    /// [`OptimizedBatch::history_len`] afterwards depends only on the live
+    /// query count. Outstanding tickets stay valid.
+    pub fn compact_history(&mut self) {
+        self.batch.compact_history(self.config.threads);
+    }
+
+    // -----------------------------------------------------------------------
+    // Serving: hand the batch to the concurrent serving layer.
+    // -----------------------------------------------------------------------
+
+    /// Wraps the batch in an [`MqoService`] under
+    /// [`ServeConfig::default`]; see [`OptimizedBatch::serve_with`].
+    pub fn serve(self) -> MqoService {
+        self.serve_with(ServeConfig::default())
+    }
+
+    /// Wraps the batch in an [`MqoService`]: a shareable (`&self`-driven,
+    /// `Sync`) serving layer where concurrent `submit_query` calls are
+    /// coalesced into optimization rounds by a single writer and readers
+    /// answer off published [`EngineState`] snapshots without ever
+    /// blocking it. [`MqoService::finish`] hands the batch back.
+    pub fn serve_with(self, config: ServeConfig) -> MqoService {
+        MqoService::new(self, config)
     }
 }
 

@@ -18,13 +18,12 @@ use mqo_submod::algorithms::marginal_greedy::{marginal_greedy, Config as Margina
 use mqo_submod::bitset::BitSet;
 use mqo_submod::decompose::Decomposition;
 use mqo_submod::function::SetFunction;
-use mqo_volcano::cost::CostModel;
 use mqo_volcano::memo::GroupId;
 
-use crate::batch::BatchDag;
 use crate::benefit::MbFunction;
 use crate::config::{DecompositionKind, MqoConfig};
 use crate::consolidated::ConsolidatedPlan;
+use crate::engine::EngineState;
 
 /// The optimization strategies of the experimental section.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -150,22 +149,32 @@ fn reduced_candidates(
     universe_reduction(mb, decomp, full, k).kept
 }
 
-/// Optimizes a batch with one strategy under an explicit configuration:
-/// the node-selection phase (timed as `opt_time`), then consolidated-plan
-/// extraction off the same compiled engine (timed as `extract_time`). The
-/// greedy strategies route each round's candidates through the batched
-/// oracle, so `config.threads > 1` shards their evaluation with no change
-/// in the chosen set or costs. Engine compilation goes through the batch's
-/// shared [`crate::engine::CompileCache`], so repeated strategies on one
-/// batch reuse the topological view and the compile scratch.
+impl EngineState {
+    /// Optimizes the snapshot with one strategy under an explicit
+    /// configuration — the reader-side entry point: any number of callers
+    /// can `run` concurrently against the same snapshot, each through its
+    /// own per-caller engine handle, without blocking a writer evolving
+    /// the batch this snapshot came from.
+    pub fn run(&self, strategy: Strategy, config: MqoConfig) -> RunReport {
+        run_strategy(self, strategy, config)
+    }
+}
+
+/// Optimizes a committed snapshot with one strategy under an explicit
+/// configuration: the node-selection phase (timed as `opt_time`), then
+/// consolidated-plan extraction off the same engine handle (timed as
+/// `extract_time`). The greedy strategies route each round's candidates
+/// through the batched oracle, so `config.threads > 1` shards their
+/// evaluation with no change in the chosen set or costs. The per-run
+/// engine handle spins up from the snapshot's shared arenas (no
+/// recompilation).
 pub(crate) fn run_strategy(
-    batch: &BatchDag,
-    cm: &dyn CostModel,
+    state: &EngineState,
     strategy: Strategy,
     config: MqoConfig,
 ) -> RunReport {
     let start = Instant::now();
-    let engine = batch.compile_engine(cm, config);
+    let engine = state.engine(config);
     let mb = MbFunction::new(engine);
     let n = mb.universe();
     let full = BitSet::full(n);
@@ -226,10 +235,10 @@ pub(crate) fn run_strategy(
 
     let extract_start = Instant::now();
     let engine = mb.into_engine();
-    let plan = ConsolidatedPlan::extract_with_engine(batch, &engine, &chosen);
+    let plan = ConsolidatedPlan::extract_with_engine(state.query_roots_dense(), &engine, &chosen);
     let extract_time = extract_start.elapsed();
 
-    let materialized: Vec<GroupId> = chosen.iter().map(|e| batch.shareable()[e]).collect();
+    let materialized: Vec<GroupId> = chosen.iter().map(|e| state.shareable()[e]).collect();
     RunReport {
         strategy: strategy.name().to_string(),
         total_cost,

@@ -12,7 +12,12 @@
 
 /// Per-operator cost oracle. All quantities are in blocks; returned costs
 /// are in milliseconds (for the disk model) or abstract units.
-pub trait CostModel {
+///
+/// `Send + Sync` is a supertrait so sessions and the serving layer can own
+/// a `Box<dyn CostModel>` behind a shared writer lock; cost models are
+/// pure arithmetic over their constants, so this costs implementors
+/// nothing.
+pub trait CostModel: Send + Sync {
     /// Block size in bytes (used to convert row counts into blocks).
     fn block_size(&self) -> u32;
 

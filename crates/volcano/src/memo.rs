@@ -216,6 +216,10 @@ pub struct Memo {
     version: u64,
     /// The group produced by [`Memo::build_batch_root`], if built.
     batch_root: Option<GroupId>,
+    /// Scratch child-list buffer reused by the merge-cascade rehash loops,
+    /// so probing/removing `index` entries does not allocate per rehash;
+    /// ownership moves into the index only on an actual vacant insert.
+    rehash_key: Vec<GroupId>,
 }
 
 impl Memo {
@@ -242,6 +246,7 @@ impl Memo {
             next_sp_serial: 0,
             version: 0,
             batch_root: None,
+            rehash_key: Vec::new(),
         }
     }
 
@@ -485,6 +490,14 @@ impl Memo {
             n_roots: self.roots.len(),
             undo_len: self.undo.len(),
         }
+    }
+
+    /// Length of the in-place undo log. Non-empty only while savepoints
+    /// are outstanding; together with a batch's entry list this is the
+    /// evolution history a long-lived session accumulates (and what
+    /// re-baselining compacts away).
+    pub fn undo_len(&self) -> usize {
+        self.undo.len()
     }
 
     /// Whether a savepoint is still on the stack (it was not rolled past,
@@ -820,14 +833,18 @@ impl Memo {
             // self-referential duplicates (and fake cycles in topo_order).
             for &e in &dropped_exprs {
                 if self.alive[e.0 as usize] && self.children(e).contains(&keep) {
-                    let key = (self.expr_op[e.0 as usize], self.children(e).to_vec());
+                    let mut key_children = std::mem::take(&mut self.rehash_key);
+                    key_children.clear();
+                    key_children.extend_from_slice(self.children(e));
+                    let key = (self.expr_op[e.0 as usize], key_children);
                     self.index.remove(&key);
+                    let (_, key_children) = key;
                     self.alive[e.0 as usize] = false;
                     self.version += 1;
                     if self.recording() {
                         self.undo.push(Undo::Rewritten {
                             e,
-                            old_children: key.1,
+                            old_children: key_children.clone(),
                             was_killed: true,
                             now_indexed: false,
                         });
@@ -835,6 +852,7 @@ impl Memo {
                     if let Some(d) = self.delta.as_mut() {
                         d.tombstoned.push(e);
                     }
+                    self.rehash_key = key_children;
                 }
             }
             if self.recording() {
@@ -861,25 +879,31 @@ impl Memo {
                 let op_id = self.expr_op[e.0 as usize];
                 let is_join = matches!(self.ops[op_id.0 as usize], LogicalOp::Join(_));
                 // Old key (children as stored), removed before the rewrite.
-                let mut key = (op_id, self.children(e).to_vec());
+                // Built in the memo-owned scratch buffer: a rehash only
+                // allocates when its key is actually handed to the index.
+                let mut key_children = std::mem::take(&mut self.rehash_key);
+                key_children.clear();
+                key_children.extend_from_slice(self.children(e));
+                let key = (op_id, key_children);
                 self.index.remove(&key);
+                let (_, mut key_children) = key;
                 let old_children = if self.recording() {
-                    Some(key.1.clone())
+                    Some(key_children.clone())
                 } else {
                     None
                 };
-                for c in key.1.iter_mut() {
+                for c in key_children.iter_mut() {
                     *c = self.find(*c);
                 }
                 if is_join {
-                    self.canonicalize_join_children(&mut key.1);
+                    self.canonicalize_join_children(&mut key_children);
                 }
                 let start = self.child_off[e.0 as usize] as usize;
-                self.child_arena[start..start + key.1.len()].copy_from_slice(&key.1);
+                self.child_arena[start..start + key_children.len()].copy_from_slice(&key_children);
                 // A merge can turn an expression into a self-reference
                 // (its child group became its own group); such expressions
                 // are useless for planning — tombstone them.
-                if key.1.contains(&self.group_of(e)) {
+                if key_children.contains(&self.group_of(e)) {
                     self.alive[e.0 as usize] = false;
                     self.version += 1;
                     if let Some(old_children) = old_children {
@@ -893,15 +917,17 @@ impl Memo {
                     if let Some(d) = self.delta.as_mut() {
                         d.tombstoned.push(e);
                     }
+                    self.rehash_key = key_children;
                     continue;
                 }
                 self.groups[keep.0 as usize].parents.push(e);
                 if self.recording() {
                     self.undo.push(Undo::ParentPushed { group: keep });
                 }
-                match self.index.entry(key) {
-                    Entry::Vacant(v) => {
-                        v.insert(e);
+                let probe = (op_id, key_children);
+                match self.index.get(&probe).copied() {
+                    None => {
+                        self.index.insert(probe, e);
                         if let Some(old_children) = old_children {
                             self.undo.push(Undo::Rewritten {
                                 e,
@@ -915,8 +941,8 @@ impl Memo {
                             self.log.rewritten.push(e);
                         }
                     }
-                    Entry::Occupied(o) => {
-                        let canonical = *o.get();
+                    Some(canonical) => {
+                        self.rehash_key = probe.1;
                         if canonical == e {
                             if let Some(old_children) = old_children {
                                 self.undo.push(Undo::Rewritten {

@@ -19,11 +19,13 @@
 #
 # `scripts/verify.sh --bench-smoke` skips 1-5 and runs only the bench
 # smoke, additionally recording the bc_oracle, memo_expand, opt_time
-# (extract series), and scale (universe × batch × threads, incl. the
-# 10k-candidate tier) throughput baselines (all carrying per-series
-# `threads` fields) to BENCH_*.json at the repo root. Any BENCH_*.json
-# baseline missing a `threads` field fails the run, as does a missing
-# BENCH_scale.json or one without the scale-10k tier.
+# (extract series), scale (universe × batch × threads, incl. the
+# 10k-candidate tier), and serve (admission vs rebuild on the concurrent
+# serving layer) throughput baselines (all carrying per-series `threads`
+# fields) to BENCH_*.json at the repo root. Any BENCH_*.json baseline
+# missing a `threads` field fails the run, as does a missing
+# BENCH_scale.json, one without the scale-10k tier, or a missing
+# BENCH_serve.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -55,6 +57,17 @@ check_bench_baselines() {
     fi
     if ! grep -q '"scale-10k"' BENCH_scale.json; then
         echo "ERROR: BENCH_scale.json is missing the scale-10k tier" >&2
+        exit 1
+    fi
+    # The serve baseline backs the serving layer's admission-vs-rebuild
+    # claim; it must exist, and (like every baseline, re-checked here for
+    # an actionable message) its entries must carry `threads`.
+    if [[ ! -e BENCH_serve.json ]]; then
+        echo "ERROR: BENCH_serve.json is missing; record it with scripts/verify.sh --bench-smoke" >&2
+        exit 1
+    fi
+    if ! grep -q '"threads"' BENCH_serve.json; then
+        echo "ERROR: BENCH_serve.json entries are missing the \"threads\" field" >&2
         exit 1
     fi
 }
@@ -90,6 +103,9 @@ bench_smoke() {
         echo "==> scale (3 samples, recording BENCH_scale.json incl. the scale-10k tier)"
         MQO_BENCH_SAMPLES=3 MQO_BENCH_JSON="$PWD/BENCH_scale.json" \
             cargo bench --offline -q -p mqo-bench --bench scale
+        echo "==> serve (15 samples, recording BENCH_serve.json)"
+        MQO_BENCH_SAMPLES=15 MQO_BENCH_JSON="$PWD/BENCH_serve.json" \
+            cargo bench --offline -q -p mqo-bench --bench serve
     else
         MQO_BENCH_SAMPLES=1 cargo bench --offline -q -p mqo-bench --bench bc_oracle
         MQO_BENCH_SAMPLES=1 cargo bench --offline -q -p mqo-bench --bench memo_expand
@@ -97,6 +113,7 @@ bench_smoke() {
         # Non-recording path: smoke + mid tiers only (the 10k tier takes
         # minutes and is covered by recording runs).
         MQO_BENCH_SAMPLES=1 cargo bench --offline -q -p mqo-bench --bench scale
+        MQO_BENCH_SAMPLES=1 cargo bench --offline -q -p mqo-bench --bench serve
     fi
     check_bench_baselines
 }
@@ -119,6 +136,17 @@ MQO_THREADS=1 cargo test -q --offline
 
 echo "==> cargo test -q --offline (MQO_THREADS=4: sharded bc_many + parallel expansion, incl. differential suites)"
 MQO_THREADS=4 cargo test -q --offline
+
+# The serving-layer stress suite runs inside the full suites above, but
+# the concurrency gate is re-run here by name so a filtered or partial
+# test invocation can never silently skip it: concurrent
+# submit/retire/read interleavings must stay bit-identical to fresh
+# single-threaded builds of the surviving queries, under both engine
+# thread settings.
+echo "==> serve stress (concurrent service differential, MQO_THREADS=1)"
+MQO_THREADS=1 cargo test -q --offline -p mqo-core --test serve_stress
+echo "==> serve stress (concurrent service differential, MQO_THREADS=4)"
+MQO_THREADS=4 cargo test -q --offline -p mqo-core --test serve_stress
 
 echo "==> cargo build --all-targets --offline (examples, benches, bins)"
 cargo build --all-targets --offline

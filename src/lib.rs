@@ -67,11 +67,17 @@ pub use mqo_volcano as volcano;
 ///   [`ConsolidatedPlan`](prelude::ConsolidatedPlan),
 ///   [`PhysOp`](prelude::PhysOp), [`PhysPlan`](prelude::PhysPlan),
 ///   [`GroupId`](prelude::GroupId).
+/// * **Serving** — [`MqoService`](prelude::MqoService),
+///   [`ServeConfig`](prelude::ServeConfig),
+///   [`ServeStats`](prelude::ServeStats),
+///   [`EngineState`](prelude::EngineState),
+///   [`QueryTicket`](prelude::QueryTicket).
 pub mod prelude {
     pub use mqo_catalog::{Catalog, TableBuilder};
     pub use mqo_core::{
-        BatchDag, ConsolidatedPlan, DecompositionKind, MqoConfig, OptimizedBatch, RunReport,
-        Session, SessionBuilder, Strategy,
+        BatchDag, ConsolidatedPlan, DecompositionKind, EngineState, MqoConfig, MqoService,
+        OptimizedBatch, QueryTicket, RunReport, ServeConfig, ServeStats, Session, SessionBuilder,
+        Strategy,
     };
     pub use mqo_volcano::cost::{CostModel, DiskCostModel, UnitCostModel};
     pub use mqo_volcano::physical::{PhysOp, PhysPlan, SortOrder};
