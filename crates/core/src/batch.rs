@@ -24,6 +24,7 @@
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use mqo_volcano::cost::CostModel;
@@ -34,6 +35,11 @@ use mqo_volcano::{DagContext, PlanNode};
 
 use crate::config::MqoConfig;
 use crate::engine::{BestCostEngine, CompileCache, EngineArenas, EngineState};
+use crate::error::MqoError;
+use crate::fault::{self, FaultSite};
+
+/// Process-wide batch identity counter; see [`BatchDag::uid`].
+static NEXT_BATCH_UID: AtomicU64 = AtomicU64::new(0);
 
 /// Handle to a query admitted into an evolvable batch; returned by
 /// `add_query` and consumed by `retire_query`. Tickets are never reused.
@@ -115,6 +121,11 @@ pub struct BatchDag {
     /// Reusable engine-compilation state shared by every
     /// [`BatchDag::compile_engine`] call on this batch.
     engine_cache: Mutex<CompileCache>,
+    /// Process-unique batch identity, stamped into every
+    /// [`BatchSavepoint`] so [`BatchDag::try_rollback_with_threads`] can
+    /// reject savepoints from a different batch as
+    /// [`MqoError::StaleSavepoint`] instead of silently rebuilding.
+    uid: u64,
 }
 
 impl BatchDag {
@@ -185,6 +196,7 @@ impl BatchDag {
             expansion,
             topo: OnceLock::new(),
             engine_cache: Mutex::new(CompileCache::new()),
+            uid: NEXT_BATCH_UID.fetch_add(1, Ordering::Relaxed),
         }
     }
 
@@ -420,6 +432,10 @@ impl BatchDag {
             live: true,
         });
         apply_delta_to_refs(&self.memo, &delta, &mut self.refs);
+        // Chaos-test window: the memo has the new query's expressions but
+        // the evolution is not yet committed — exactly the state a serving
+        // round's savepoint rollback must be able to unwind.
+        fault::hit(FaultSite::AdmissionPrecommit);
         self.commit_evolution();
         ticket
     }
@@ -436,16 +452,37 @@ impl BatchDag {
     ///
     /// # Panics
     /// If the ticket was already retired, or if it names the last live
-    /// query (a batch is never empty; see `SessionBuilder::build`).
+    /// query (a batch is never empty; see `SessionBuilder::build`). The
+    /// fallible variant is [`BatchDag::try_retire_query_with_threads`].
     pub fn retire_query_with_threads(&mut self, ticket: QueryTicket, threads: usize) {
-        let idx = self
-            .entry_index(ticket)
-            .filter(|&i| self.entries[i].live)
-            .unwrap_or_else(|| panic!("ticket {ticket:?} was already retired (or never issued)"));
-        assert!(
-            self.live_queries() > 1,
-            "cannot retire the last live query: a batch must stay non-empty"
-        );
+        self.try_retire_query_with_threads(ticket, threads)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`BatchDag::retire_query_with_threads`]: rejects unknown,
+    /// compacted-away, and already-retired tickets
+    /// ([`MqoError::UnknownTicket`] / [`MqoError::TicketRetired`]) and a
+    /// retire that would empty the batch ([`MqoError::LastLiveQuery`])
+    /// without touching any state.
+    pub fn try_retire_query_with_threads(
+        &mut self,
+        ticket: QueryTicket,
+        threads: usize,
+    ) -> Result<(), MqoError> {
+        let idx = match self.entry_index(ticket) {
+            Some(i) => i,
+            // Issued tickets whose entry is gone were retired and then
+            // compacted away; ids at or past the issue watermark never
+            // existed.
+            None if ticket.0 < self.next_ticket => return Err(MqoError::TicketRetired(ticket)),
+            None => return Err(MqoError::UnknownTicket(ticket)),
+        };
+        if !self.entries[idx].live {
+            return Err(MqoError::TicketRetired(ticket));
+        }
+        if self.live_queries() <= 1 {
+            return Err(MqoError::LastLiveQuery(ticket));
+        }
         self.entries[idx].live = false;
         let sp = self.entries[idx].sp.take();
         match sp {
@@ -475,6 +512,7 @@ impl BatchDag {
             }
             _ => self.rebuild_from_entries(threads),
         }
+        Ok(())
     }
 
     /// Rebuilds the memo from the surviving entries' plans (exactly the
@@ -568,6 +606,9 @@ impl BatchDag {
 /// falls back to a rebuild of the snapshot's live queries otherwise.
 #[derive(Debug)]
 pub struct BatchSavepoint {
+    /// Identity of the batch this savepoint was taken on; see
+    /// [`BatchDag::try_rollback_with_threads`].
+    batch_uid: u64,
     memo_sp: Savepoint,
     root: GroupId,
     query_roots: Vec<GroupId>,
@@ -586,6 +627,7 @@ impl BatchDag {
     /// the memo arenas.
     pub fn savepoint(&mut self) -> BatchSavepoint {
         BatchSavepoint {
+            batch_uid: self.uid,
             memo_sp: self.memo.savepoint(),
             root: self.root,
             query_roots: self.query_roots.clone(),
@@ -599,12 +641,19 @@ impl BatchDag {
         }
     }
 
-    /// Rewinds every evolution commit made since `sp` was taken. The
-    /// universe epoch keeps increasing (consumers must still invalidate),
-    /// but slots, elements, tickets, and the memo return to the exact
-    /// snapshot state. If the memo savepoint was invalidated in the
-    /// meantime (e.g. a retire rewound past it), the snapshot's live
-    /// queries are rebuilt instead — same resulting state, full cost.
+    /// Rewinds every evolution commit made since `sp` was taken: slots,
+    /// elements, tickets, and the memo return to the exact snapshot state.
+    /// The universe epoch bumps only when the rewind actually changes the
+    /// shareable universe — an identical ground set means every memoized
+    /// oracle value is still correct, so consumers need not invalidate.
+    /// If the memo savepoint was invalidated in the meantime (e.g. a
+    /// retire rewound past it), the snapshot's live queries are rebuilt
+    /// instead — same resulting state, full cost.
+    ///
+    /// # Panics
+    /// If `sp` is stale: taken on a different batch, or already rolled
+    /// back past (its admission watermark is ahead of the batch's). The
+    /// fallible variant is [`BatchDag::try_rollback_with_threads`].
     pub fn rollback(&mut self, sp: BatchSavepoint) {
         self.rollback_with_threads(sp, MqoConfig::default().threads)
     }
@@ -612,7 +661,26 @@ impl BatchDag {
     /// [`BatchDag::rollback`] with an explicit thread count for the
     /// rebuild fallback's expansion fixpoint.
     pub fn rollback_with_threads(&mut self, sp: BatchSavepoint, threads: usize) {
+        self.try_rollback_with_threads(sp, threads)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`BatchDag::rollback_with_threads`]: rejects savepoints
+    /// from another batch and savepoints the batch was already rolled back
+    /// past as [`MqoError::StaleSavepoint`] without touching any state.
+    /// (Rolling back to an *older* savepoint of this batch's lineage is
+    /// fine and skips intermediate ones — those intermediates then become
+    /// stale.)
+    pub fn try_rollback_with_threads(
+        &mut self,
+        sp: BatchSavepoint,
+        threads: usize,
+    ) -> Result<(), MqoError> {
+        if sp.batch_uid != self.uid || sp.next_ticket > self.next_ticket {
+            return Err(MqoError::StaleSavepoint);
+        }
         let BatchSavepoint {
+            batch_uid: _,
             memo_sp,
             root,
             query_roots,
@@ -632,14 +700,17 @@ impl BatchDag {
             self.memo.truncate_to(&memo_sp);
             self.root = root;
             self.query_roots = query_roots;
+            if self.shareable != shareable {
+                self.universe_epoch += 1;
+            }
             self.shareable = shareable;
             self.elem_of_group = elem_of_group;
             self.refs = refs;
-            self.universe_epoch += 1;
             self.topo = OnceLock::new();
         } else {
             self.rebuild_from_entries(threads);
         }
+        Ok(())
     }
 }
 

@@ -36,7 +36,7 @@ pub enum DecompositionKind {
 /// the ratio-ranked greedy under a fixed decomposition — pinned by the
 /// differential suite — but changing the decomposition or adding a
 /// cardinality cap legitimately changes the chosen set).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MqoConfig {
     /// Rebase (commit a full `bestCost` solve) when a candidate differs
     /// from the committed base in more than this many universe elements;
@@ -68,6 +68,23 @@ pub struct MqoConfig {
     /// computed against; `None` means unbounded (reduction then uses the
     /// universe size, which only prunes ratio-zero elements).
     pub max_materializations: Option<usize>,
+    /// Wall-clock budget for a greedy run (anytime mode). When the budget
+    /// expires mid-run the greedy loop stops where it is, the partial
+    /// selection is extracted as usual, and the
+    /// [`crate::strategies::RunReport`] carries a
+    /// [`crate::strategies::GapCertificate`] bounding how much the
+    /// truncation may have cost. `None` (the default) never truncates.
+    /// Note this is the one knob that is *not* behavior-preserving across
+    /// machines: a slower machine truncates earlier. Determinism across
+    /// `MQO_THREADS` settings still holds for whatever prefix ran.
+    pub time_budget: Option<std::time::Duration>,
+    /// Benefit floor for the greedy stopping rules: a pick whose marginal
+    /// benefit does not *exceed* this value stops the run (early-exit on
+    /// diminishing returns). `0.0`, the default, is the paper's exact
+    /// stopping rule for Greedy and — combined with the `ratio > 1` rule —
+    /// for MarginalGreedy. A positive floor trades optimization time for a
+    /// certified gap, like `time_budget` but deterministic.
+    pub marginal_floor: f64,
 }
 
 impl Default for MqoConfig {
@@ -79,6 +96,8 @@ impl Default for MqoConfig {
             decomposition: DecompositionKind::Canonical,
             universe_reduction: false,
             max_materializations: None,
+            time_budget: None,
+            marginal_floor: 0.0,
         }
     }
 }

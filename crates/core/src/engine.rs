@@ -1024,6 +1024,10 @@ impl BestCostEngine {
 
     /// `bc(∅)`'s dense state is the committed base right after construction.
     pub fn bc(&mut self, set: &BitSet) -> f64 {
+        // Chaos-test site: fires on the calling thread at oracle entry, so
+        // an injected "oracle blows up" reproduces identically at every
+        // MQO_THREADS setting (worker shards never see the armed TLS).
+        crate::fault::hit(crate::fault::FaultSite::OracleEval);
         let set = self.sanitize(set);
         let mut scratch = std::mem::take(&mut self.scratch);
         let v = self.bc_one(&mut scratch, set.as_ref());
@@ -1098,6 +1102,8 @@ impl BestCostEngine {
     /// point still commits a rebase on far sets and drifts with its
     /// caller's query sequence.)
     pub fn bc_many(&mut self, sets: &[BitSet]) -> Vec<f64> {
+        // See `bc`: injected oracle faults fire here on the caller thread.
+        crate::fault::hit(crate::fault::FaultSite::OracleEval);
         if sets.is_empty() {
             return Vec::new();
         }

@@ -47,6 +47,8 @@ pub mod benefit;
 pub mod config;
 pub mod consolidated;
 pub mod engine;
+pub mod error;
+pub mod fault;
 pub mod serve;
 pub mod session;
 pub mod strategies;
@@ -56,6 +58,7 @@ pub use benefit::MbFunction;
 pub use config::{DecompositionKind, MqoConfig};
 pub use consolidated::ConsolidatedPlan;
 pub use engine::{BestCostEngine, EngineState};
-pub use serve::{MqoService, ServeConfig, ServeStats};
+pub use error::{MqoError, PlanFault, PlanValidator};
+pub use serve::{MqoService, PriorityClass, ServeConfig, ServeStats};
 pub use session::{OptimizedBatch, Session, SessionBuilder};
-pub use strategies::{RunReport, Strategy};
+pub use strategies::{GapCertificate, RunReport, Strategy};

@@ -36,10 +36,44 @@
 //!   evicts by the `bestCost` oracle's marginals: an entry whose
 //!   leave-one-out benefit `bc(C∖{e}) − bc(C)` is non-positive (or
 //!   smallest, once over capacity) goes first.
+//!
+//! # Fault tolerance
+//!
+//! The service is built to stay serveable through the failure of any one
+//! admission round (see the README's "Fault tolerance" section for the
+//! full state machine):
+//!
+//! - **Admission is the only door.** Every submitted plan is validated
+//!   against a lock-free [`PlanValidator`] snapshot of the session's
+//!   context *before* it is queued; a malformed plan comes back as
+//!   [`MqoError::InvalidPlan`] without ever reaching the writer, so one
+//!   bad client cannot fail a round shared with healthy submitters.
+//! - **Rounds are transactions.** The draining writer takes a
+//!   [`crate::batch::BatchSavepoint`] before each round and wraps the
+//!   round's admissions in [`std::panic::catch_unwind`]. A panic anywhere
+//!   inside (an oracle blowing up mid-evaluation, an admission dying
+//!   between savepoint and commit) rolls the batch back to the round's
+//!   entry savepoint; only that round's submitters observe it, each as
+//!   [`MqoError::RoundFailed`] in its slot. The previously published
+//!   snapshot stays live, and subsequent rounds proceed as if the failed
+//!   round had never been queued.
+//! - **Locks recover from poison.** Every internal lock site recovers the
+//!   guard from a [`std::sync::PoisonError`] instead of propagating it:
+//!   the writer's per-round rollback is what restores invariants, so a
+//!   panic that poisons a lock (even the writer lock itself, via a panic
+//!   escaping a submitter) never wedges the service for later callers.
+//! - **Deadline budgets degrade gracefully.** [`ServeConfig`] carries an
+//!   optional per-[`PriorityClass`] optimization budget;
+//!   [`MqoService::run_class`] caps the strategy's wall-clock with it and
+//!   the resulting [`RunReport`] carries a
+//!   [`crate::strategies::GapCertificate`] bounding what the truncation
+//!   may have cost.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
 
 use mqo_submod::bitset::BitSet;
 use mqo_volcano::PlanNode;
@@ -47,8 +81,32 @@ use mqo_volcano::PlanNode;
 use crate::batch::{BatchSavepoint, QueryTicket};
 use crate::config::MqoConfig;
 use crate::engine::EngineState;
+use crate::error::{MqoError, PlanValidator};
+use crate::fault::{self, FaultSite};
 use crate::session::OptimizedBatch;
 use crate::strategies::{RunReport, Strategy};
+
+/// Locks `m`, recovering the guard if a previous holder panicked. The
+/// serving layer's invariants are restored by the writer's per-round
+/// savepoint rollback, not by lock poisoning — a poisoned lock here means
+/// "a round failed", which the drain already handled (or is about to), so
+/// propagating the poison would only wedge innocent later callers.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Priority class of a serving-side optimization request; indexes
+/// [`ServeConfig::class_budgets`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PriorityClass {
+    /// Latency-critical: tightest budget, first to degrade to a certified
+    /// partial optimization.
+    Interactive = 0,
+    /// The default class.
+    Standard = 1,
+    /// Throughput-oriented: typically unbudgeted (run to convergence).
+    Batch = 2,
+}
 
 /// Configuration of an [`MqoService`].
 #[derive(Clone, Copy, Debug)]
@@ -64,6 +122,12 @@ pub struct ServeConfig {
     /// plain admission then skips the strategy run and oracle scoring the
     /// cache refresh costs.
     pub cache_capacity: usize,
+    /// Optional per-[`PriorityClass`] optimization budget, indexed by the
+    /// class discriminant. [`MqoService::run_class`] caps
+    /// [`MqoConfig::time_budget`] with the class's entry (taking the
+    /// minimum when the session already sets one); `None` leaves the
+    /// session's budget untouched. Defaults to all-`None`.
+    pub class_budgets: [Option<Duration>; 3],
 }
 
 impl Default for ServeConfig {
@@ -72,6 +136,7 @@ impl Default for ServeConfig {
             strategy: Strategy::MarginalGreedy,
             history_watermark: usize::MAX,
             cache_capacity: 0,
+            class_budgets: [None; 3],
         }
     }
 }
@@ -94,6 +159,13 @@ pub struct ServeStats {
     /// Materialization-cache entries evicted (benefit-driven or
     /// universe-departure).
     pub evictions: u64,
+    /// Admission rounds (or publish phases) that panicked, were rolled
+    /// back to their entry savepoint, and failed their submitters with
+    /// [`MqoError::RoundFailed`].
+    pub failed_rounds: u64,
+    /// Plans rejected by pre-admission validation
+    /// ([`MqoError::InvalidPlan`]); never queued, never part of a round.
+    pub rejected: u64,
 }
 
 struct Counters {
@@ -103,13 +175,16 @@ struct Counters {
     retired: AtomicU64,
     compactions: AtomicU64,
     evictions: AtomicU64,
+    failed_rounds: AtomicU64,
+    rejected: AtomicU64,
 }
 
 /// A queued admission: the plan plus the slot the draining writer fills
-/// with the issued ticket.
+/// with the issued ticket — or with the typed error of the round that
+/// failed it.
 struct PendingSubmit {
     plan: PlanNode,
-    slot: Arc<Mutex<Option<QueryTicket>>>,
+    slot: Arc<Mutex<Option<Result<QueryTicket, MqoError>>>>,
 }
 
 /// One retained materialization: the structural fingerprint of its
@@ -121,9 +196,9 @@ struct MatEntry {
 }
 
 /// A shared, concurrent MQO service over one evolvable batch; see the
-/// module docs for the protocol. `&self`-driven throughout — share it by
-/// reference across scoped threads (it is `Sync`), no internal `Arc`
-/// required.
+/// module docs for the protocol and the fault-tolerance contract.
+/// `&self`-driven throughout — share it by reference across scoped
+/// threads (it is `Sync`), no internal `Arc` required.
 pub struct MqoService {
     /// The single writer: the batch editor plus its cost model and config.
     core: Mutex<OptimizedBatch>,
@@ -135,6 +210,9 @@ pub struct MqoService {
     published: Mutex<Arc<EngineState>>,
     /// The materialization cache (empty when disabled).
     cache: Mutex<Vec<MatEntry>>,
+    /// Lock-free validation snapshot of the session's context; consulted
+    /// by every submission before it may enter the queue.
+    validator: PlanValidator,
     config: ServeConfig,
     /// Copy of the session's [`MqoConfig`], so readers spin up engine
     /// handles without touching the writer lock.
@@ -148,12 +226,14 @@ impl MqoService {
     /// compile.
     pub(crate) fn new(batch: OptimizedBatch, config: ServeConfig) -> Self {
         let mqo_config = batch.config();
+        let validator = PlanValidator::new(batch.batch().memo().ctx());
         let published = batch.snapshot();
         MqoService {
             core: Mutex::new(batch),
             pending: Mutex::new(Vec::new()),
             published: Mutex::new(published),
             cache: Mutex::new(Vec::new()),
+            validator,
             config,
             mqo_config,
             counters: Counters {
@@ -163,6 +243,8 @@ impl MqoService {
                 retired: AtomicU64::new(0),
                 compactions: AtomicU64::new(0),
                 evictions: AtomicU64::new(0),
+                failed_rounds: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
             },
         }
     }
@@ -176,7 +258,7 @@ impl MqoService {
     /// optimize against it with [`EngineState::run`] or spin up a
     /// per-caller engine handle with [`EngineState::engine`].
     pub fn snapshot(&self) -> Arc<EngineState> {
-        Arc::clone(&self.published.lock().expect("published snapshot poisoned"))
+        Arc::clone(&relock(&self.published))
     }
 
     /// Optimizes the latest snapshot with the configured strategy.
@@ -187,6 +269,22 @@ impl MqoService {
     /// Optimizes the latest snapshot with an explicit strategy.
     pub fn run_with(&self, strategy: Strategy) -> RunReport {
         self.snapshot().run(strategy, self.mqo_config)
+    }
+
+    /// Optimizes the latest snapshot with the configured strategy under
+    /// `class`'s deadline budget ([`ServeConfig::class_budgets`]). With a
+    /// budget set, the greedy run stops at the deadline and the report's
+    /// [`RunReport::gap_certificate`] bounds what the truncation may have
+    /// cost; without one this is [`MqoService::run`].
+    pub fn run_class(&self, class: PriorityClass) -> RunReport {
+        let mut config = self.mqo_config;
+        if let Some(budget) = self.config.class_budgets[class as usize] {
+            config.time_budget = Some(match config.time_budget {
+                Some(session) => session.min(budget),
+                None => budget,
+            });
+        }
+        self.snapshot().run(self.config.strategy, config)
     }
 
     /// The service configuration.
@@ -204,18 +302,15 @@ impl MqoService {
             retired: self.counters.retired.load(Ordering::Relaxed),
             compactions: self.counters.compactions.load(Ordering::Relaxed),
             evictions: self.counters.evictions.load(Ordering::Relaxed),
+            failed_rounds: self.counters.failed_rounds.load(Ordering::Relaxed),
+            rejected: self.counters.rejected.load(Ordering::Relaxed),
         }
     }
 
     /// Structural fingerprints of the currently cached materializations,
     /// in descending benefit order.
     pub fn cached_materializations(&self) -> Vec<u64> {
-        self.cache
-            .lock()
-            .expect("materialization cache poisoned")
-            .iter()
-            .map(|e| e.fingerprint)
-            .collect()
+        relock(&self.cache).iter().map(|e| e.fingerprint).collect()
     }
 
     // -------------------------------------------------------------------
@@ -227,26 +322,66 @@ impl MqoService {
     /// round is in flight are coalesced into the next round (the
     /// in-flight writer admits them; this call just waits and picks its
     /// ticket up). On return, the published snapshot includes the query.
+    ///
+    /// # Panics
+    /// If the plan fails pre-admission validation or its round failed;
+    /// the fallible variant is [`MqoService::try_submit_query`].
     pub fn submit_query(&self, plan: PlanNode) -> QueryTicket {
+        self.try_submit_query(plan)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`MqoService::submit_query`]: a malformed plan is rejected
+    /// at the door as [`MqoError::InvalidPlan`] (before it can enter a
+    /// round shared with healthy submitters), and a submission whose
+    /// coalesced admission round panicked comes back as
+    /// [`MqoError::RoundFailed`] — the batch was rolled back to the
+    /// round's entry savepoint, the published snapshot is unchanged, and
+    /// resubmitting is safe.
+    ///
+    /// ```
+    /// # use mqo_catalog::{Catalog, TableBuilder};
+    /// # use mqo_volcano::{DagContext, InstanceId, PlanNode};
+    /// use mqo_core::{MqoError, Session};
+    /// # let mut cat = Catalog::new();
+    /// # cat.add_table(TableBuilder::new("t", 100.0).key_column("t_key", 4).primary_key(&["t_key"]).build());
+    /// # let mut ctx = DagContext::new(cat);
+    /// # let t = ctx.instance_by_name("t", 0);
+    /// let service = Session::builder()
+    ///     .context(ctx)
+    ///     .query(PlanNode::scan(t))
+    ///     .threads(1)
+    ///     .build()
+    ///     .serve();
+    /// // Unknown table instance: rejected before any admission round.
+    /// assert!(matches!(
+    ///     service.try_submit_query(PlanNode::scan(InstanceId(99))),
+    ///     Err(MqoError::InvalidPlan { .. })
+    /// ));
+    /// // A well-formed plan is admitted as usual.
+    /// let ticket = service.try_submit_query(PlanNode::scan(t)).unwrap();
+    /// assert!(service.tickets().contains(&ticket));
+    /// ```
+    pub fn try_submit_query(&self, plan: PlanNode) -> Result<QueryTicket, MqoError> {
+        if let Err(fault) = self.validator.validate(&plan) {
+            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(MqoError::InvalidPlan { query: 0, fault });
+        }
         let slot = Arc::new(Mutex::new(None));
-        self.pending
-            .lock()
-            .expect("admission queue poisoned")
-            .push(PendingSubmit {
-                plan,
-                slot: Arc::clone(&slot),
-            });
-        let mut core = self.core.lock().expect("service writer poisoned");
-        // A writer that beat us to the lock may have admitted us already.
-        if let Some(t) = *slot.lock().expect("admission slot poisoned") {
-            return t;
+        relock(&self.pending).push(PendingSubmit {
+            plan,
+            slot: Arc::clone(&slot),
+        });
+        let mut core = relock(&self.core);
+        // A writer that beat us to the lock may have resolved us already.
+        if let Some(r) = relock(&slot).clone() {
+            return r;
         }
         self.drain(&mut core);
-        let t = slot
-            .lock()
-            .expect("admission slot poisoned")
-            .expect("draining writer fills every queued slot");
-        t
+        let r = relock(&slot)
+            .clone()
+            .expect("draining writer resolves every queued slot");
+        r
     }
 
     /// Retires the query behind `ticket` and publishes the shrunk
@@ -254,62 +389,154 @@ impl MqoService {
     ///
     /// # Panics
     /// As [`OptimizedBatch::retire_query`]: retired/unknown tickets and
-    /// the last live query are rejected.
+    /// the last live query are rejected. The fallible variant is
+    /// [`MqoService::try_retire_query`].
     pub fn retire_query(&self, ticket: QueryTicket) {
-        let mut core = self.core.lock().expect("service writer poisoned");
-        core.retire_query(ticket);
+        self.try_retire_query(ticket)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`MqoService::retire_query`]: an unknown or
+    /// already-retired ticket, or one whose retirement would empty the
+    /// batch, comes back as a typed error with the batch and published
+    /// snapshot untouched.
+    ///
+    /// ```
+    /// # use mqo_catalog::{Catalog, TableBuilder};
+    /// # use mqo_volcano::{DagContext, PlanNode};
+    /// use mqo_core::{MqoError, Session};
+    /// # let mut cat = Catalog::new();
+    /// # cat.add_table(TableBuilder::new("t", 100.0).key_column("t_key", 4).primary_key(&["t_key"]).build());
+    /// # let mut ctx = DagContext::new(cat);
+    /// # let t = ctx.instance_by_name("t", 0);
+    /// let service = Session::builder()
+    ///     .context(ctx)
+    ///     .query(PlanNode::scan(t))
+    ///     .threads(1)
+    ///     .build()
+    ///     .serve();
+    /// let ticket = service.tickets()[0];
+    /// // Retiring twice: the second call reports instead of panicking.
+    /// let extra = service.submit_query(PlanNode::scan(t));
+    /// service.retire_query(ticket);
+    /// assert!(matches!(
+    ///     service.try_retire_query(ticket),
+    ///     Err(MqoError::TicketRetired(_))
+    /// ));
+    /// # let _ = extra;
+    /// ```
+    pub fn try_retire_query(&self, ticket: QueryTicket) -> Result<(), MqoError> {
+        let mut core = relock(&self.core);
+        core.try_retire_query(ticket)?;
         self.counters.retired.fetch_add(1, Ordering::Relaxed);
         self.drain(&mut core);
+        Ok(())
     }
 
     /// Snapshots the batch's evolution state for a later
     /// [`MqoService::rollback`] (what-if admission probes).
     pub fn savepoint(&self) -> BatchSavepoint {
-        self.core
-            .lock()
-            .expect("service writer poisoned")
-            .savepoint()
+        relock(&self.core).savepoint()
     }
 
     /// Rewinds to `sp` and publishes the restored snapshot. Tickets issued
     /// since the savepoint are dead afterwards.
+    ///
+    /// # Panics
+    /// If `sp` is stale; the fallible variant is
+    /// [`MqoService::try_rollback`].
     pub fn rollback(&self, sp: BatchSavepoint) {
-        let mut core = self.core.lock().expect("service writer poisoned");
-        core.rollback(sp);
+        self.try_rollback(sp).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`MqoService::rollback`]: a savepoint from another batch,
+    /// or one the service already rolled back past (e.g. through a
+    /// concurrent caller), is rejected as [`MqoError::StaleSavepoint`]
+    /// with the batch and published snapshot untouched.
+    ///
+    /// ```
+    /// # use mqo_catalog::{Catalog, TableBuilder};
+    /// # use mqo_volcano::{DagContext, PlanNode};
+    /// use mqo_core::{MqoError, Session};
+    /// # let mut cat = Catalog::new();
+    /// # cat.add_table(TableBuilder::new("t", 100.0).key_column("t_key", 4).primary_key(&["t_key"]).build());
+    /// # let mut ctx = DagContext::new(cat);
+    /// # let t = ctx.instance_by_name("t", 0);
+    /// let service = Session::builder()
+    ///     .context(ctx)
+    ///     .query(PlanNode::scan(t))
+    ///     .threads(1)
+    ///     .build()
+    ///     .serve();
+    /// let outer = service.savepoint();
+    /// let _extra = service.submit_query(PlanNode::scan(t));
+    /// let inner = service.savepoint();
+    /// service.rollback(outer); // rewinds past `inner`
+    /// assert!(matches!(
+    ///     service.try_rollback(inner),
+    ///     Err(MqoError::StaleSavepoint)
+    /// ));
+    /// ```
+    pub fn try_rollback(&self, sp: BatchSavepoint) -> Result<(), MqoError> {
+        let mut core = relock(&self.core);
+        core.try_rollback(sp)?;
         self.drain(&mut core);
+        Ok(())
     }
 
     /// Tickets of the currently live queries, in admission order.
     pub fn tickets(&self) -> Vec<QueryTicket> {
-        self.core.lock().expect("service writer poisoned").tickets()
+        relock(&self.core).tickets()
     }
 
     /// Current evolution-history size; see [`OptimizedBatch::history_len`].
     pub fn history_len(&self) -> usize {
-        self.core
-            .lock()
-            .expect("service writer poisoned")
-            .history_len()
+        relock(&self.core).history_len()
     }
 
     /// Shuts the service down and hands the batch back, admitting any
     /// still-queued plans first. (With scoped reader/writer threads joined
     /// the queue is empty and this is free.)
     pub fn finish(self) -> OptimizedBatch {
-        let mut core = self.core.into_inner().expect("service writer poisoned");
-        for p in self.pending.into_inner().expect("admission queue poisoned") {
+        let mut core = self
+            .core
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
+        let pending = self
+            .pending
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
+        for p in pending {
             let t = core.add_query(p.plan);
-            *p.slot.lock().expect("admission slot poisoned") = Some(t);
+            *relock(&p.slot) = Some(Ok(t));
         }
         core
     }
 
-    /// Drains the admission queue in rounds, then runs maintenance and
-    /// publishes. Caller holds the writer lock.
+    /// Drains the admission queue in rounds, then compacts, snapshots,
+    /// refreshes the cache, and publishes. Caller holds the writer lock.
+    ///
+    /// Containment protocol: each round is bracketed by a batch savepoint
+    /// and `catch_unwind` — a panicking round is rolled back and fails
+    /// only its own submitters ([`MqoError::RoundFailed`]); later rounds
+    /// and the publish continue. The publish phase (compaction, snapshot
+    /// compile, cache refresh) is bracketed the same way against the
+    /// drain-entry savepoint: if *it* panics, every admission of this
+    /// drain is rolled back and failed, the cache is dropped (it may be
+    /// mid-update), and the previously published snapshot stays live —
+    /// so a published snapshot always reflects a fully committed state.
     fn drain(&self, core: &mut OptimizedBatch) {
+        // Chaos-test site: fires while the writer lock is held and before
+        // any mutation, so the panic escapes through the caller and
+        // poisons the writer lock itself (which `relock` must absorb).
+        fault::hit(FaultSite::ServeRound);
+        let entry_sp = core.savepoint();
+        // Successful admissions, resolved only after a successful publish:
+        // a submitter must never see Ok for a query the published snapshot
+        // will not contain.
+        let mut fills: Vec<(PendingSubmit, QueryTicket)> = Vec::new();
         loop {
-            let round =
-                std::mem::take(&mut *self.pending.lock().expect("admission queue poisoned"));
+            let round = std::mem::take(&mut *relock(&self.pending));
             if round.is_empty() {
                 break;
             }
@@ -317,23 +544,66 @@ impl MqoService {
             self.counters
                 .coalesced
                 .fetch_add(round.len() as u64 - 1, Ordering::Relaxed);
-            for p in round {
-                let t = core.add_query(p.plan);
-                self.counters.admitted.fetch_add(1, Ordering::Relaxed);
-                *p.slot.lock().expect("admission slot poisoned") = Some(t);
+            let sp = core.savepoint();
+            let tickets = catch_unwind(AssertUnwindSafe(|| {
+                round
+                    .iter()
+                    .map(|p| core.add_query(p.plan.clone()))
+                    .collect::<Vec<_>>()
+            }));
+            match tickets {
+                Ok(tickets) => {
+                    self.counters
+                        .admitted
+                        .fetch_add(tickets.len() as u64, Ordering::Relaxed);
+                    fills.extend(round.into_iter().zip(tickets));
+                }
+                Err(_) => {
+                    self.counters.failed_rounds.fetch_add(1, Ordering::Relaxed);
+                    core.rollback(sp);
+                    for p in &round {
+                        *relock(&p.slot) = Some(Err(MqoError::RoundFailed));
+                    }
+                }
             }
         }
-        if core.history_len() > self.config.history_watermark {
-            core.compact_history();
-            self.counters.compactions.fetch_add(1, Ordering::Relaxed);
+        let published = catch_unwind(AssertUnwindSafe(|| {
+            if core.history_len() > self.config.history_watermark {
+                core.compact_history();
+                self.counters.compactions.fetch_add(1, Ordering::Relaxed);
+            }
+            let state = core.snapshot();
+            if self.config.cache_capacity > 0 {
+                self.refresh_cache(core, &state);
+            }
+            state
+        }));
+        match published {
+            Ok(state) => {
+                // Publish before resolving slots (and before releasing the
+                // writer lock): a submitter whose slot resolves Ok cannot
+                // wake up to a snapshot older than its own admission.
+                *relock(&self.published) = state;
+                for (p, t) in fills {
+                    *relock(&p.slot) = Some(Ok(t));
+                }
+            }
+            Err(_) => {
+                // The publish phase itself blew up (e.g. the oracle
+                // panicked scoring the cache): roll every admission of
+                // this drain back and fail its submitters — the batch
+                // returns to the drain-entry state and the previously
+                // published snapshot stays live. The cache may have been
+                // mid-update when the panic hit; it is only a cache, so
+                // drop it rather than trust it.
+                self.counters.failed_rounds.fetch_add(1, Ordering::Relaxed);
+                core.rollback(entry_sp);
+                relock(&self.cache).clear();
+                for (p, _) in fills {
+                    *relock(&p.slot) = Some(Err(MqoError::RoundFailed));
+                }
+            }
         }
-        let state = core.snapshot();
-        if self.config.cache_capacity > 0 {
-            self.refresh_cache(core, &state);
-        }
-        // Publish before releasing the writer lock: a submitter whose slot
-        // was filled above cannot wake up before this store.
-        *self.published.lock().expect("published snapshot poisoned") = state;
     }
 
     /// Refreshes the materialization cache against the new commit: drops
@@ -347,7 +617,7 @@ impl MqoService {
             fps.iter().enumerate().map(|(i, &f)| (f, i)).collect();
         let report = state.run(self.config.strategy, self.mqo_config);
 
-        let mut cache = self.cache.lock().expect("materialization cache poisoned");
+        let mut cache = relock(&self.cache);
         cache.retain(|e| elem_of_fp.contains_key(&e.fingerprint));
         for &g in &report.materialized {
             let e = core

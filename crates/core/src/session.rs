@@ -39,6 +39,7 @@ use mqo_volcano::{DagContext, PlanNode};
 use crate::batch::{BatchDag, BatchSavepoint, QueryTicket};
 use crate::config::MqoConfig;
 use crate::engine::EngineState;
+use crate::error::{MqoError, PlanValidator};
 use crate::serve::{MqoService, ServeConfig};
 use crate::strategies::{run_strategy, RunReport, Strategy};
 
@@ -123,23 +124,49 @@ impl SessionBuilder {
     ///
     /// # Panics
     ///
-    /// When no [`DagContext`] was supplied or the query list is empty.
+    /// When no [`DagContext`] was supplied, the query list is empty, or a
+    /// query fails plan validation. The fallible variant is
+    /// [`SessionBuilder::try_build`].
     pub fn build(self) -> OptimizedBatch {
-        let ctx = self
-            .ctx
-            .expect("Session::builder(): a DagContext is required (call .context(ctx))");
-        assert!(
-            !self.queries.is_empty(),
-            "Session::builder(): at least one query is required (call .query(..) or .queries(..))"
-        );
+        self.try_build()
+            .unwrap_or_else(|e| panic!("Session::builder(): {e}"))
+    }
+
+    /// Fallible [`SessionBuilder::build`]: reports a missing context, an
+    /// empty query list, or a malformed query as a typed [`MqoError`]
+    /// instead of panicking. Every plan is validated against the context
+    /// (known table instances, resolvable column references, unambiguous
+    /// aggregate outputs) *before* any memo work starts, so a rejected
+    /// build has no side effects.
+    ///
+    /// ```
+    /// use mqo_core::{MqoError, Session};
+    ///
+    /// // Nothing supplied: the builder reports instead of panicking.
+    /// assert!(matches!(
+    ///     Session::builder().try_build(),
+    ///     Err(MqoError::MissingContext)
+    /// ));
+    /// ```
+    pub fn try_build(self) -> Result<OptimizedBatch, MqoError> {
+        let ctx = self.ctx.ok_or(MqoError::MissingContext)?;
+        if self.queries.is_empty() {
+            return Err(MqoError::EmptyBatch);
+        }
+        let validator = PlanValidator::new(&ctx);
+        for (query, plan) in self.queries.iter().enumerate() {
+            validator
+                .validate(plan)
+                .map_err(|fault| MqoError::InvalidPlan { query, fault })?;
+        }
         let batch =
             BatchDag::build_with_threads(ctx, &self.queries, &self.rules, self.config.threads);
-        OptimizedBatch {
+        Ok(OptimizedBatch {
             batch,
             cost_model: self.cost_model,
             config: self.config,
             state: Mutex::new(None),
-        }
+        })
     }
 }
 
@@ -248,9 +275,48 @@ impl OptimizedBatch {
     /// returns its ticket. The expansion fixpoint re-runs seeded with only
     /// the freshly interned expressions, under the session's configured
     /// thread count.
+    ///
+    /// # Panics
+    ///
+    /// If the plan fails validation; the fallible variant is
+    /// [`OptimizedBatch::try_add_query`].
     pub fn add_query(&mut self, query: PlanNode) -> QueryTicket {
-        self.batch
-            .add_query_with_threads(&query, self.config.threads)
+        self.try_add_query(query).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`OptimizedBatch::add_query`]: validates the plan against
+    /// the session's context first and rejects a malformed one as
+    /// [`MqoError::InvalidPlan`] with the batch untouched.
+    ///
+    /// ```
+    /// # use mqo_catalog::{Catalog, TableBuilder};
+    /// # use mqo_volcano::{DagContext, InstanceId, PlanNode};
+    /// use mqo_core::{MqoError, Session};
+    /// # let mut cat = Catalog::new();
+    /// # cat.add_table(TableBuilder::new("t", 100.0).key_column("t_key", 4).primary_key(&["t_key"]).build());
+    /// # let mut ctx = DagContext::new(cat);
+    /// # let t = ctx.instance_by_name("t", 0);
+    /// let mut batch = Session::builder()
+    ///     .context(ctx)
+    ///     .query(PlanNode::scan(t))
+    ///     .threads(1)
+    ///     .build();
+    /// // Scanning an instance the context never registered is rejected at
+    /// // the door; the live batch is unchanged.
+    /// let bad = PlanNode::scan(InstanceId(99));
+    /// assert!(matches!(
+    ///     batch.try_add_query(bad),
+    ///     Err(MqoError::InvalidPlan { .. })
+    /// ));
+    /// assert_eq!(batch.tickets().len(), 1);
+    /// ```
+    pub fn try_add_query(&mut self, query: PlanNode) -> Result<QueryTicket, MqoError> {
+        PlanValidator::new(self.batch.memo().ctx())
+            .validate(&query)
+            .map_err(|fault| MqoError::InvalidPlan { query: 0, fault })?;
+        Ok(self
+            .batch
+            .add_query_with_threads(&query, self.config.threads))
     }
 
     /// Retires the query behind `ticket` from the live batch, reclaiming
@@ -261,9 +327,40 @@ impl OptimizedBatch {
     ///
     /// If the ticket was already retired, or if it names the last live
     /// query — a batch is never empty, mirroring [`SessionBuilder::build`].
+    /// The fallible variant is [`OptimizedBatch::try_retire_query`].
     pub fn retire_query(&mut self, ticket: QueryTicket) {
         self.batch
             .retire_query_with_threads(ticket, self.config.threads)
+    }
+
+    /// Fallible [`OptimizedBatch::retire_query`]: an unknown or
+    /// already-retired ticket and a retire that would empty the batch come
+    /// back as typed errors with the batch untouched.
+    ///
+    /// ```
+    /// # use mqo_catalog::{Catalog, TableBuilder};
+    /// # use mqo_volcano::{DagContext, PlanNode};
+    /// use mqo_core::{MqoError, Session};
+    /// # let mut cat = Catalog::new();
+    /// # cat.add_table(TableBuilder::new("t", 100.0).key_column("t_key", 4).primary_key(&["t_key"]).build());
+    /// # let mut ctx = DagContext::new(cat);
+    /// # let t = ctx.instance_by_name("t", 0);
+    /// let mut batch = Session::builder()
+    ///     .context(ctx)
+    ///     .query(PlanNode::scan(t))
+    ///     .threads(1)
+    ///     .build();
+    /// let ticket = batch.tickets()[0];
+    /// // A batch always keeps one live query.
+    /// assert!(matches!(
+    ///     batch.try_retire_query(ticket),
+    ///     Err(MqoError::LastLiveQuery(_))
+    /// ));
+    /// assert!(batch.batch().is_live(ticket));
+    /// ```
+    pub fn try_retire_query(&mut self, ticket: QueryTicket) -> Result<(), MqoError> {
+        self.batch
+            .try_retire_query_with_threads(ticket, self.config.threads)
     }
 
     /// Snapshots the batch for a later [`OptimizedBatch::rollback`] —
@@ -276,8 +373,44 @@ impl OptimizedBatch {
     /// Rewinds the batch to `sp`, undoing every evolution step since the
     /// matching [`OptimizedBatch::savepoint`]. Tickets issued after the
     /// savepoint are dead afterwards; tickets issued before it stay valid.
+    ///
+    /// # Panics
+    ///
+    /// If `sp` is stale (from another batch, or already rolled back past);
+    /// the fallible variant is [`OptimizedBatch::try_rollback`].
     pub fn rollback(&mut self, sp: BatchSavepoint) {
         self.batch.rollback_with_threads(sp, self.config.threads)
+    }
+
+    /// Fallible [`OptimizedBatch::rollback`]: a savepoint from another
+    /// batch, or one the batch was already rolled back past, is rejected
+    /// as [`MqoError::StaleSavepoint`] with the batch untouched.
+    ///
+    /// ```
+    /// # use mqo_catalog::{Catalog, TableBuilder};
+    /// # use mqo_volcano::{DagContext, PlanNode};
+    /// use mqo_core::{MqoError, Session};
+    /// # let mut cat = Catalog::new();
+    /// # cat.add_table(TableBuilder::new("t", 100.0).key_column("t_key", 4).primary_key(&["t_key"]).build());
+    /// # let mut ctx = DagContext::new(cat);
+    /// # let t = ctx.instance_by_name("t", 0);
+    /// let mut batch = Session::builder()
+    ///     .context(ctx)
+    ///     .query(PlanNode::scan(t))
+    ///     .threads(1)
+    ///     .build();
+    /// let outer = batch.savepoint();
+    /// let _extra = batch.add_query(PlanNode::scan(t));
+    /// let inner = batch.savepoint();
+    /// batch.rollback(outer); // rewinds past `inner`
+    /// assert!(matches!(
+    ///     batch.try_rollback(inner),
+    ///     Err(MqoError::StaleSavepoint)
+    /// ));
+    /// ```
+    pub fn try_rollback(&mut self, sp: BatchSavepoint) -> Result<(), MqoError> {
+        self.batch
+            .try_rollback_with_threads(sp, self.config.threads)
     }
 
     /// Tickets of the currently live queries, in admission order.

@@ -15,6 +15,7 @@ use mqo_submod::algorithms::cardinality::{cardinality_marginal_greedy, universe_
 use mqo_submod::algorithms::greedy::{self as greedy_mod, Config as GreedyConfig};
 use mqo_submod::algorithms::lazy::lazy_marginal_greedy;
 use mqo_submod::algorithms::marginal_greedy::{marginal_greedy, Config as MarginalConfig};
+use mqo_submod::algorithms::Outcome;
 use mqo_submod::bitset::BitSet;
 use mqo_submod::decompose::Decomposition;
 use mqo_submod::function::SetFunction;
@@ -75,6 +76,38 @@ impl Strategy {
     }
 }
 
+/// A certified bound on how much an anytime (deadline- or floor-cut)
+/// greedy run may have left on the table, derived from the run's observed
+/// marginals under the monotonicity heuristic: stale marginals are upper
+/// bounds when the benefit function is submodular, so
+/// `achieved benefit + Σ max(0, m̂(e))` over unpicked candidates bounds the
+/// best achievable benefit, and `bc(∅) − that bound` lower-bounds the best
+/// achievable consolidated cost. On workloads that violate the
+/// submodularity assumption the bound inherits the heuristic's caveat —
+/// like the lazy variants' correctness, it is exact whenever they are.
+#[derive(Clone, Copy, Debug)]
+pub struct GapCertificate {
+    /// Upper bound on the best achievable benefit `mb(S*)` over the ranked
+    /// candidate set: achieved value plus certified headroom. `+∞` when
+    /// the run stopped before observing every candidate at least once
+    /// (the certificate is then vacuous, never wrong).
+    pub benefit_bound: f64,
+    /// `bc(∅) − benefit_bound`: lower bound on the best achievable
+    /// consolidated cost. Can be ≤ 0 when the benefit bound is loose (the
+    /// ratio is then reported as `+∞`).
+    pub cost_lower_bound: f64,
+    /// `total_cost / cost_lower_bound`: the certified approximation ratio
+    /// of the returned plan — the plan is within this factor of the best
+    /// plan any materialization choice could reach. `1.0` means certified
+    /// optimal (over the candidate set, under the heuristic); `+∞` means
+    /// the certificate is vacuous.
+    pub ratio: f64,
+    /// Whether the run actually stopped early (deadline or benefit floor).
+    /// When `false` the certificate reflects a converged run: the headroom
+    /// is whatever the stopping rule left (non-positive marginals only).
+    pub truncated: bool,
+}
+
 /// The outcome of optimizing one batch with one strategy.
 #[derive(Clone, Debug)]
 pub struct RunReport {
@@ -106,6 +139,12 @@ pub struct RunReport {
     /// ([`MqoConfig::universe_reduction`]); equals `universe` when the
     /// pre-pass is off, pruned nothing, or does not apply to the strategy.
     pub candidates: usize,
+    /// Certified optimality gap of the greedy run (the four greedy
+    /// strategies only; `None` for Volcano, MaterializeAll, the
+    /// cardinality/cleanup variants, and Exhaustive). Always present for
+    /// those strategies, not just truncated runs — a converged run simply
+    /// certifies a tight (often `1.0`-ish) ratio.
+    pub gap_certificate: Option<GapCertificate>,
 }
 
 impl RunReport {
@@ -182,29 +221,45 @@ pub(crate) fn run_strategy(
     // The cardinality cap threads into every greedy variant; the
     // universe-reduction pre-pass applies to the ratio-ranked (marginal)
     // family, where Theorem 4 proves it output-preserving.
+    // Anytime controls: the deadline is anchored at the start of node
+    // selection, so `time_budget` bounds the greedy rounds themselves.
+    let deadline = config.time_budget.map(|b| start + b);
     let greedy_cfg = GreedyConfig {
         max_picks: config.max_materializations,
+        deadline,
+        benefit_floor: config.marginal_floor,
     };
     let marginal_cfg = MarginalConfig {
         max_picks: config.max_materializations,
+        deadline,
+        benefit_floor: config.marginal_floor,
         ..Default::default()
     };
     let mut candidates = n;
+    // The four greedy strategies keep their full `Outcome` so the gap
+    // certificate below can read the achieved value and the certified
+    // headroom.
+    let mut anytime: Option<Outcome> = None;
+    let mut keep = |out: Outcome| -> BitSet {
+        let set = out.set.clone();
+        anytime = Some(out);
+        set
+    };
     let chosen: BitSet = match strategy {
         Strategy::Volcano => BitSet::empty(n),
-        Strategy::Greedy => greedy_mod::greedy(&mb, &full, greedy_cfg).set,
-        Strategy::LazyGreedy => greedy_mod::lazy_greedy(&mb, &full, greedy_cfg).set,
+        Strategy::Greedy => keep(greedy_mod::greedy(&mb, &full, greedy_cfg)),
+        Strategy::LazyGreedy => keep(greedy_mod::lazy_greedy(&mb, &full, greedy_cfg)),
         Strategy::MarginalGreedy => {
             let decomp = decomposition_for(&mb, &config);
             let cands = reduced_candidates(&mb, &decomp, &full, &config);
             candidates = cands.len();
-            marginal_greedy(&mb, &decomp, &cands, marginal_cfg).set
+            keep(marginal_greedy(&mb, &decomp, &cands, marginal_cfg))
         }
         Strategy::LazyMarginalGreedy => {
             let decomp = decomposition_for(&mb, &config);
             let cands = reduced_candidates(&mb, &decomp, &full, &config);
             candidates = cands.len();
-            lazy_marginal_greedy(&mb, &decomp, &cands, marginal_cfg).set
+            keep(lazy_marginal_greedy(&mb, &decomp, &cands, marginal_cfg))
         }
         Strategy::MaterializeAll => full.clone(),
         Strategy::CardinalityMarginalGreedy { k, reduce_universe } => {
@@ -233,6 +288,22 @@ pub(crate) fn run_strategy(
     let bc_calls = mb.bc_calls();
     let opt_time = start.elapsed();
 
+    let gap_certificate = anytime.map(|out| {
+        let benefit_bound = out.value + out.remaining_bound;
+        let cost_lower_bound = volcano_cost - benefit_bound;
+        let ratio = if cost_lower_bound > 0.0 {
+            total_cost / cost_lower_bound
+        } else {
+            f64::INFINITY
+        };
+        GapCertificate {
+            benefit_bound,
+            cost_lower_bound,
+            ratio,
+            truncated: out.truncated,
+        }
+    });
+
     let extract_start = Instant::now();
     let engine = mb.into_engine();
     let plan = ConsolidatedPlan::extract_with_engine(state.query_roots_dense(), &engine, &chosen);
@@ -251,6 +322,7 @@ pub(crate) fn run_strategy(
         bc_calls,
         universe: n,
         candidates,
+        gap_certificate,
     }
 }
 

@@ -21,10 +21,13 @@
 //! `MQO_THREADS=4`; the engine-side thread sweep below is explicit.
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 
+use mqo_core::fault::{self, FaultSite};
 use mqo_core::session::Session;
 use mqo_core::strategies::Strategy;
-use mqo_core::{MqoConfig, OptimizedBatch, ServeConfig};
+use mqo_core::{MqoConfig, MqoError, OptimizedBatch, PriorityClass, ServeConfig};
+use mqo_submod::prng::Prng;
 use mqo_volcano::cost::DiskCostModel;
 use mqo_volcano::{DagContext, PlanNode};
 
@@ -371,6 +374,114 @@ fn service_compacts_past_the_watermark() {
     let w2 = mqo_tpcd::batched(4, 1.0);
     let fresh = build(w2.ctx, &pool[..2], 1);
     assert_equivalent(&served, &fresh, "service compaction");
+}
+
+/// The chaos differential gate: concurrent submitters under seeded fault
+/// injection (oracle panics and admission-precommit panics, plus
+/// deadline-degraded reads riding along) must leave the service
+/// equivalent to a fresh single-threaded build of the *successful*
+/// survivors — every failed round was rolled back to its entry savepoint
+/// and must leave no trace in the universe, the costs, or the plans.
+///
+/// Failpoints are thread-local, so each worker's injections fire only in
+/// rounds that worker itself drives; a failed round also fails whatever
+/// coalesced submissions rode along, and those workers observe the same
+/// typed [`MqoError::RoundFailed`] and drop the plan from their survivor
+/// list — accounting stays exact under any interleaving.
+#[test]
+fn chaos_interleavings_match_fresh_build_of_survivors() {
+    for threads in THREADS {
+        let w = mqo_tpcd::batched(4, 1.0);
+        let pool = w.queries.clone();
+        assert!(pool.len() >= 4, "BQ4 must provide an add pool");
+        let base: Vec<PlanNode> = pool[..2].to_vec();
+        let extras: Vec<PlanNode> = pool[2..].to_vec();
+        let service = build(w.ctx, &base, threads).serve_with(ServeConfig {
+            // Cache refresh runs the oracle inside the publish phase:
+            // injected oracle panics exercise the publish-failure path.
+            cache_capacity: 4,
+            class_budgets: [Some(Duration::from_nanos(1)), None, None],
+            ..ServeConfig::default()
+        });
+
+        // One guaranteed, uncontended injection first: the round must
+        // fail with the typed error and leave zero trace.
+        fault::arm(FaultSite::OracleEval, 1);
+        let r = service.try_submit_query(extras[0].clone());
+        fault::disarm_all();
+        assert_eq!(r, Err(MqoError::RoundFailed));
+        assert_eq!(service.tickets().len(), base.len());
+
+        const WORKERS: usize = 4;
+        const OPS: usize = 8;
+        let mut per_worker: Vec<Vec<PlanNode>> = Vec::new();
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for wid in 0..WORKERS {
+                let service = &service;
+                let extras = &extras;
+                handles.push(s.spawn(move || {
+                    let mut rng = Prng::seed_from_u64(Prng::derive_seed(0xC4A05C4A05, wid as u64));
+                    let mut survivors = Vec::new();
+                    for k in 0..OPS {
+                        let i = rng.gen_range(0..extras.len());
+                        // Seeded chaos: ~1/3 of submissions go out with a
+                        // failpoint armed on this thread.
+                        match rng.next_u64() % 6 {
+                            0 => fault::arm(FaultSite::OracleEval, 1 + rng.next_u64() % 3),
+                            1 => fault::arm(FaultSite::AdmissionPrecommit, 1),
+                            _ => {}
+                        }
+                        let outcome = service.try_submit_query(extras[i].clone());
+                        fault::disarm_all();
+                        match outcome {
+                            Ok(t) => {
+                                if rng.gen_bool(0.5) {
+                                    service
+                                        .try_retire_query(t)
+                                        .expect("own live ticket must retire");
+                                } else {
+                                    survivors.push(extras[i].clone());
+                                }
+                            }
+                            // Rolled back: the plan left no trace, so it
+                            // is not a survivor.
+                            Err(MqoError::RoundFailed) => {}
+                            Err(e) => panic!("unexpected admission error: {e}"),
+                        }
+                        if k % 3 == 0 {
+                            // Deadline-degraded reads ride along; they
+                            // must always certify.
+                            let r = service.run_class(PriorityClass::Interactive);
+                            let cert = r.gap_certificate.expect("greedy strategies certify");
+                            assert!(cert.ratio >= 1.0);
+                            assert!(r.total_cost <= r.volcano_cost + 1e-6);
+                        }
+                    }
+                    survivors
+                }));
+            }
+            for h in handles {
+                per_worker.push(h.join().expect("chaos worker panicked"));
+            }
+        });
+
+        let stats = service.stats();
+        assert!(
+            stats.failed_rounds >= 1,
+            "the guaranteed injection must be counted"
+        );
+
+        let served = service.finish();
+        let mut survivors = base.clone();
+        for v in per_worker {
+            survivors.extend(v);
+        }
+        assert_eq!(served.tickets().len(), survivors.len());
+        let w2 = mqo_tpcd::batched(4, 1.0);
+        let fresh = build(w2.ctx, &survivors, 1);
+        assert_equivalent(&served, &fresh, &format!("BQ4 chaos threads={threads}"));
+    }
 }
 
 /// The materialization cache respects its capacity, scores every retained

@@ -17,17 +17,29 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::time::Instant;
 
 use crate::bitset::BitSet;
 use crate::function::SetFunction;
 
-use super::{Outcome, Pick};
+use super::{past_deadline, Outcome, Pick};
 
 /// Configuration for [`greedy`] / [`lazy_greedy`].
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Config {
     /// Optional cardinality constraint: stop after `k` picks.
     pub max_picks: Option<usize>,
+    /// Anytime mode: stop before any round (or lazy refresh) that would
+    /// start past this instant, marking the outcome
+    /// [`Outcome::truncated`]. The partial result is valid — greedy
+    /// prefixes are themselves greedy solutions — and
+    /// [`Outcome::remaining_bound`] certifies the headroom left behind.
+    pub deadline: Option<Instant>,
+    /// Benefit floor: a pick must improve `f` by strictly more than this
+    /// (default `0.0`, the classic stopping rule). A positive floor trades
+    /// tail picks of diminishing benefit for fewer oracle rounds; stopping
+    /// on the floor marks the outcome truncated.
+    pub benefit_floor: f64,
 }
 
 /// Runs Algorithm 1: repeatedly add `argmax_x f(X ∪ {x})` while it strictly
@@ -45,8 +57,17 @@ pub fn greedy<F: SetFunction>(f: &F, candidates: &BitSet, config: Config) -> Out
     let mut active: Vec<usize> = candidates.iter().collect();
     let mut round_sets: Vec<BitSet> = Vec::with_capacity(active.len());
     let budget = config.max_picks.unwrap_or(usize::MAX);
+    // Last observed improvement per element (`f(X∪e) − f(X)` at the round
+    // it was evaluated): stale values upper-bound current ones under
+    // submodularity, so summing their positive parts over the unpicked
+    // candidates certifies the headroom. +∞ until first observed.
+    let mut gain = vec![f64::INFINITY; n];
 
     while out.picks.len() < budget && !active.is_empty() {
+        if past_deadline(config.deadline) {
+            out.truncated = true;
+            break;
+        }
         // Round buffers persist across rounds: each candidate set is the
         // shared base plus one element, rebuilt in place via `copy_from`
         // instead of a fresh clone per candidate per round (the dominant
@@ -62,12 +83,13 @@ pub fn greedy<F: SetFunction>(f: &F, candidates: &BitSet, config: Config) -> Out
         out.evaluations += active.len() as u64;
         let mut best: Option<(usize, usize, f64)> = None; // (pos, elem, new value)
         for (pos, (&e, &v)) in active.iter().zip(&vals).enumerate() {
+            gain[e] = v - value;
             if best.is_none_or(|(_, be, bv)| super::better_score(v, e, bv, be)) {
                 best = Some((pos, e, v));
             }
         }
         match best {
-            Some((pos, e, v)) if v > value => {
+            Some((pos, e, v)) if v > value + config.benefit_floor => {
                 out.set.insert(e);
                 out.picks.push(Pick {
                     element: e,
@@ -77,10 +99,16 @@ pub fn greedy<F: SetFunction>(f: &F, candidates: &BitSet, config: Config) -> Out
                 value = v;
                 active.swap_remove(pos);
             }
+            Some((_, _, v)) if v > value => {
+                // A pick would still improve, but below the floor.
+                out.truncated = true;
+                break;
+            }
             _ => break,
         }
     }
 
+    out.remaining_bound = active.iter().map(|&e| gain[e].max(0.0)).sum();
     out.value = value;
     out
 }
@@ -130,7 +158,16 @@ pub fn lazy_greedy<F: SetFunction>(f: &F, candidates: &BitSet, config: Config) -
 
     let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
     let mut probe = BitSet::empty(n);
+    let mut seeded_all = true;
     for e in candidates.iter() {
+        if past_deadline(config.deadline) {
+            // Unseeded candidates were never observed: the headroom bound
+            // below would miss them, so it degrades to +∞ (vacuous, never
+            // wrong).
+            out.truncated = true;
+            seeded_all = false;
+            break;
+        }
         probe.copy_from(&out.set);
         probe.insert(e);
         let benefit = f.eval(&probe) - value;
@@ -145,8 +182,15 @@ pub fn lazy_greedy<F: SetFunction>(f: &F, candidates: &BitSet, config: Config) -
     let budget = config.max_picks.unwrap_or(usize::MAX);
     let mut epoch = 0usize;
 
-    while out.picks.len() < budget {
+    while seeded_all && out.picks.len() < budget {
+        let mut hit_deadline = false;
         let best = loop {
+            if past_deadline(config.deadline) {
+                // Entries stay in the heap: their stale bounds still feed
+                // the headroom certificate.
+                hit_deadline = true;
+                break None;
+            }
             let Some(top) = heap.pop() else { break None };
             if top.epoch == epoch {
                 break Some(top);
@@ -166,8 +210,12 @@ pub fn lazy_greedy<F: SetFunction>(f: &F, candidates: &BitSet, config: Config) -
             heap.push(refreshed);
         };
 
+        if hit_deadline {
+            out.truncated = true;
+            break;
+        }
         match best {
-            Some(entry) if entry.bound > 0.0 => {
+            Some(entry) if entry.bound > config.benefit_floor.max(0.0) => {
                 out.set.insert(entry.element);
                 value += entry.bound;
                 out.picks.push(Pick {
@@ -177,10 +225,24 @@ pub fn lazy_greedy<F: SetFunction>(f: &F, candidates: &BitSet, config: Config) -
                 });
                 epoch += 1;
             }
-            _ => break,
+            Some(entry) => {
+                if entry.bound > 0.0 {
+                    // Improving but below the floor: an early stop, and the
+                    // entry's bound still counts toward the headroom.
+                    out.truncated = true;
+                }
+                heap.push(entry);
+                break;
+            }
+            None => break,
         }
     }
 
+    out.remaining_bound = if seeded_all {
+        heap.iter().map(|e| e.bound.max(0.0)).sum()
+    } else {
+        f64::INFINITY
+    };
     out.value = value;
     out
 }
@@ -216,7 +278,14 @@ mod tests {
     #[test]
     fn greedy_respects_cardinality() {
         let f = FnSetFunction::new(5, |s: &BitSet| s.len() as f64);
-        let out = greedy(&f, &BitSet::full(5), Config { max_picks: Some(3) });
+        let out = greedy(
+            &f,
+            &BitSet::full(5),
+            Config {
+                max_picks: Some(3),
+                ..Config::default()
+            },
+        );
         assert_eq!(out.set.len(), 3);
     }
 

@@ -19,7 +19,7 @@ use crate::decompose::Decomposition;
 use crate::function::SetFunction;
 
 use super::marginal_greedy::Config;
-use super::{Outcome, Pick};
+use super::{past_deadline, Outcome, Pick};
 
 /// Heap entry ordered by the (possibly stale) ratio upper bound.
 struct Entry {
@@ -83,7 +83,15 @@ pub fn lazy_marginal_greedy<F: SetFunction>(
     // pick). The marginal rides along in the entry so accepting a pick
     // needs no extra oracle call — the same arithmetic as the eager
     // variant, `(f'(e, X) + c(e)) / c(e)`.
+    let mut seeded_all = true;
     for e in candidates.iter() {
+        if past_deadline(config.deadline) {
+            // Unseeded candidates were never observed: the headroom
+            // certificate below degrades to vacuous (+∞).
+            out.truncated = true;
+            seeded_all = false;
+            break;
+        }
         let cost = decomp.cost(e);
         if cost <= 0.0 {
             free.push(e);
@@ -93,6 +101,8 @@ pub fn lazy_marginal_greedy<F: SetFunction>(
         let ratio = (m + cost) / cost;
         out.evaluations += 1;
         if config.prune_ratio_below_one && ratio <= 1.0 {
+            // Pruned ⇒ m ≤ 0 (cost > 0), so the element contributes
+            // nothing to the headroom bound either.
             continue;
         }
         heap.push(Entry {
@@ -105,10 +115,17 @@ pub fn lazy_marginal_greedy<F: SetFunction>(
 
     let budget = config.max_picks.unwrap_or(usize::MAX);
     let mut epoch = 0usize;
+    let mut hit_deadline = false;
 
-    while out.picks.len() < budget {
+    while seeded_all && out.picks.len() < budget {
         // Find the true argmax by refreshing stale heads.
         let best = loop {
+            if past_deadline(config.deadline) {
+                // Leave unrefreshed entries in the heap: their stale
+                // bounds still feed the headroom certificate.
+                hit_deadline = true;
+                break None;
+            }
             let Some(top) = heap.pop() else { break None };
             if top.epoch == epoch {
                 // Exact for the current X: it dominated every other bound,
@@ -135,7 +152,7 @@ pub fn lazy_marginal_greedy<F: SetFunction>(
         };
 
         match best {
-            Some(entry) if entry.bound > 1.0 => {
+            Some(entry) if entry.bound > 1.0 && entry.marginal > config.benefit_floor => {
                 out.set.insert(entry.element);
                 // The winner's marginal rode along in its heap entry; no
                 // extra oracle call.
@@ -147,15 +164,41 @@ pub fn lazy_marginal_greedy<F: SetFunction>(
                 });
                 epoch += 1;
             }
-            _ => break,
+            Some(entry) if entry.bound > 1.0 => {
+                // Still profitable by the ratio rule, but below the floor.
+                // Push the winner back so its marginal feeds the headroom
+                // certificate.
+                out.truncated = true;
+                heap.push(entry);
+                break;
+            }
+            Some(entry) => {
+                // Converged: the true argmax fails the ratio rule. Push it
+                // back for the certificate (its max(0, m) is 0 or tiny).
+                heap.push(entry);
+                break;
+            }
+            None => {
+                if hit_deadline {
+                    out.truncated = true;
+                }
+                break;
+            }
         }
     }
 
     // Free phase with the same actual-marginal guard as the eager variant
     // (see `marginal_greedy`): a no-op under true submodularity, protective
     // on functions that violate the monotonicity heuristic.
+    let mut free_unobserved = false;
     for e in free {
         if out.set.len() >= budget {
+            free_unobserved = true;
+            break;
+        }
+        if past_deadline(config.deadline) {
+            out.truncated = true;
+            free_unobserved = true;
             break;
         }
         let delta = f.marginal(e, &out.set);
@@ -167,6 +210,19 @@ pub fn lazy_marginal_greedy<F: SetFunction>(
         }
     }
 
+    // Headroom certificate (see `Outcome::remaining_bound`): stale heap
+    // bounds are upper bounds under submodularity, pruned elements are
+    // provably ≤ 0, so the heap sum covers every non-free candidate that
+    // was observed at least once. Candidates never observed (seeding cut
+    // short, free elements unevaluated) make the bound vacuous.
+    out.remaining_bound = if !seeded_all || free_unobserved {
+        f64::INFINITY
+    } else {
+        heap.iter()
+            .filter(|entry| !out.set.contains(entry.element))
+            .map(|entry| entry.marginal.max(0.0))
+            .sum()
+    };
     out.value = value;
     out
 }

@@ -11,13 +11,16 @@
 //! Under the canonical decomposition of Proposition 1 the output satisfies
 //! the Theorem 1 guarantee, which Theorem 2 shows optimal unless P = NP.
 
+use std::time::Instant;
+
 use crate::bitset::BitSet;
 use crate::decompose::Decomposition;
 use crate::function::SetFunction;
 
-use super::{Outcome, Pick};
+use super::{past_deadline, Outcome, Pick};
 
-/// Configuration for [`marginal_greedy`].
+/// Configuration for [`marginal_greedy`] (and
+/// [`crate::algorithms::lazy::lazy_marginal_greedy`], which shares it).
 #[derive(Clone, Copy, Debug)]
 pub struct Config {
     /// Section 5.1: while scanning candidates, permanently drop any element
@@ -28,6 +31,16 @@ pub struct Config {
     /// Optional cardinality constraint `k` (Section 5.3): stop after `k`
     /// elements have been selected (free-element additions count too).
     pub max_picks: Option<usize>,
+    /// Anytime mode: stop before any round (or lazy refresh) that would
+    /// start past this instant, marking the outcome
+    /// [`Outcome::truncated`]; [`Outcome::remaining_bound`] certifies the
+    /// headroom left unexplored.
+    pub deadline: Option<Instant>,
+    /// Benefit floor: an accepted pick's marginal `f'_M(e, X)` must exceed
+    /// this in addition to the ratio rule (default `0.0`, the paper's
+    /// stopping rule — a ratio above 1 already implies a positive
+    /// marginal). Stopping on the floor marks the outcome truncated.
+    pub benefit_floor: f64,
 }
 
 impl Default for Config {
@@ -35,6 +48,8 @@ impl Default for Config {
         Config {
             prune_ratio_below_one: true,
             max_picks: None,
+            deadline: None,
+            benefit_floor: 0.0,
         }
     }
 }
@@ -74,8 +89,16 @@ pub fn marginal_greedy<F: SetFunction>(
     }
 
     let budget = config.max_picks.unwrap_or(usize::MAX);
+    // Last observed marginal per element; feeds the headroom certificate
+    // (see `greedy`). Pruned elements record their final (non-positive)
+    // marginal, so pruning never inflates the bound.
+    let mut gain = vec![f64::INFINITY; n];
 
     while out.picks.len() < budget && !active.is_empty() {
+        if past_deadline(config.deadline) {
+            out.truncated = true;
+            break;
+        }
         // One marginal_many batch per round: functions with a specialized
         // `marginal` keep it (the default is a marginal loop), while batched
         // oracles like the bestCost engine answer the whole round against
@@ -88,6 +111,7 @@ pub fn marginal_greedy<F: SetFunction>(
         for (&e, &m) in active.iter().zip(&marginals) {
             let ratio = (m + decomp.cost(e)) / decomp.cost(e);
             out.evaluations += 1;
+            gain[e] = m;
             if config.prune_ratio_below_one && ratio <= 1.0 {
                 // Permanently pruned (Section 5.1): by submodularity of f_M
                 // the ratio only decreases as X grows, so e can never win.
@@ -101,7 +125,7 @@ pub fn marginal_greedy<F: SetFunction>(
         active = kept;
 
         match best {
-            Some((pos, e, ratio, m)) if ratio > 1.0 => {
+            Some((pos, e, ratio, m)) if ratio > 1.0 && m > config.benefit_floor => {
                 out.set.insert(e);
                 // The winner's marginal was already evaluated in the round's
                 // batch; no extra oracle call.
@@ -112,6 +136,11 @@ pub fn marginal_greedy<F: SetFunction>(
                     value_after: value,
                 });
                 active.swap_remove(pos);
+            }
+            Some((_, _, ratio, _)) if ratio > 1.0 => {
+                // Still profitable by the ratio rule, but below the floor.
+                out.truncated = true;
+                break;
             }
             _ => break,
         }
@@ -128,8 +157,16 @@ pub fn marginal_greedy<F: SetFunction>(
         if out.set.len() >= budget {
             break;
         }
+        if past_deadline(config.deadline) {
+            // Unevaluated free elements stay at gain = +∞: the headroom
+            // bound degrades to vacuous rather than silently excluding
+            // them.
+            out.truncated = true;
+            break;
+        }
         let delta = f.marginal(e, &out.set);
         out.evaluations += 1;
+        gain[e] = delta;
         if delta >= 0.0 {
             out.set.insert(e);
             value += delta;
@@ -137,6 +174,11 @@ pub fn marginal_greedy<F: SetFunction>(
         }
     }
 
+    out.remaining_bound = candidates
+        .iter()
+        .filter(|&e| !out.set.contains(e))
+        .map(|e| gain[e].max(0.0))
+        .sum();
     out.value = value;
     out
 }

@@ -58,6 +58,19 @@ pub struct Outcome {
     /// Number of candidate (re-)evaluations performed; lazy variants do
     /// fewer of these than their eager counterparts.
     pub evaluations: u64,
+    /// True when the run stopped early — on a wall-clock deadline or a
+    /// benefit floor — rather than running its stopping rule to
+    /// convergence (anytime mode; see the `deadline` / `benefit_floor`
+    /// fields of the greedy configs).
+    pub truncated: bool,
+    /// Certified headroom: `Σ max(0, m̂(e))` over candidates outside the
+    /// selected set, where `m̂(e)` is the last observed marginal of `e`
+    /// (stale values are upper bounds under submodularity). Under the
+    /// monotonicity heuristic, `value + remaining_bound` upper-bounds the
+    /// optimal value over the candidate set — the raw material of a gap
+    /// certificate. `+∞` when the run stopped before observing every
+    /// candidate at least once (the bound is then vacuous, never wrong).
+    pub remaining_bound: f64,
 }
 
 impl Outcome {
@@ -68,6 +81,14 @@ impl Outcome {
             picks: Vec::new(),
             free_elements: Vec::new(),
             evaluations: 0,
+            truncated: false,
+            remaining_bound: 0.0,
         }
     }
+}
+
+/// Whether an anytime deadline has passed (`None` never fires).
+#[inline]
+pub(crate) fn past_deadline(deadline: Option<std::time::Instant>) -> bool {
+    deadline.is_some_and(|d| std::time::Instant::now() >= d)
 }

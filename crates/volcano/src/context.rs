@@ -116,6 +116,11 @@ impl DagContext {
         self.instances.len()
     }
 
+    /// Number of registered synthetic columns.
+    pub fn n_synths(&self) -> usize {
+        self.synths.len()
+    }
+
     /// A `Base` column id resolved by table-instance and column name.
     pub fn col(&self, inst: InstanceId, name: &str) -> ColId {
         let table = self.catalog.table(self.rel(inst).table);

@@ -38,6 +38,7 @@ fn main() {
             history_watermark: 64,
             // Keep the 4 highest-marginal-benefit materializations warm.
             cache_capacity: 4,
+            ..ServeConfig::default()
         });
 
     let before = service.snapshot();

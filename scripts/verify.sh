@@ -15,7 +15,10 @@
 #   5. API-surface gate: no example or bench source may reference the
 #      removed pre-Session free functions (optimize / optimize_with /
 #      compare) — the Session API is the only entry point
-#   6. one smoke iteration of each bench target via the in-repo harness
+#   6. fault-tolerance gates: the seeded fault-injection suite runs by
+#      name under both thread settings, and the serving layer may keep
+#      no `.expect("...poisoned")` lock site (poison must be recovered)
+#   7. one smoke iteration of each bench target via the in-repo harness
 #
 # `scripts/verify.sh --bench-smoke` skips 1-5 and runs only the bench
 # smoke, additionally recording the bc_oracle, memo_expand, opt_time
@@ -24,8 +27,9 @@
 # serving layer) throughput baselines (all carrying per-series `threads`
 # fields) to BENCH_*.json at the repo root. Any BENCH_*.json baseline
 # missing a `threads` field fails the run, as does a missing
-# BENCH_scale.json, one without the scale-10k tier, or a missing
-# BENCH_serve.json.
+# BENCH_scale.json, one without the scale-10k tier, a missing
+# BENCH_serve.json, or a BENCH_serve.json without the degraded_round
+# series and its certified_gap field.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -68,6 +72,30 @@ check_bench_baselines() {
     fi
     if ! grep -q '"threads"' BENCH_serve.json; then
         echo "ERROR: BENCH_serve.json entries are missing the \"threads\" field" >&2
+        exit 1
+    fi
+    # The fault-tolerance claim needs its number: the degraded_round
+    # series (deadline-hit admission latency) with its machine-independent
+    # certified gap must be recorded, or "degrades to a certified partial
+    # answer" is an unbacked sentence in the README.
+    if ! grep -q '"degraded_round"' BENCH_serve.json; then
+        echo "ERROR: BENCH_serve.json is missing the degraded_round series" >&2
+        exit 1
+    fi
+    if ! grep -q '"certified_gap"' BENCH_serve.json; then
+        echo "ERROR: BENCH_serve.json degraded_round entries are missing certified_gap" >&2
+        exit 1
+    fi
+}
+
+check_no_poisoning_lock_sites() {
+    # The serving layer must recover every lock from poison (a panic
+    # inside a contained round would otherwise wedge innocent callers
+    # forever). A `.expect("... poisoned")` site is exactly such a wedge;
+    # none may survive in serve.rs.
+    if grep -nE '\.expect\("[^"]*poisoned[^"]*"\)' crates/core/src/serve.rs; then
+        echo "ERROR: crates/core/src/serve.rs still propagates lock poisoning" >&2
+        echo "       (a .expect(\"...poisoned\") site); use the relock helper instead" >&2
         exit 1
     fi
 }
@@ -148,6 +176,15 @@ MQO_THREADS=1 cargo test -q --offline -p mqo-core --test serve_stress
 echo "==> serve stress (concurrent service differential, MQO_THREADS=4)"
 MQO_THREADS=4 cargo test -q --offline -p mqo-core --test serve_stress
 
+# Likewise the fault-injection suite (seeded failpoints: oracle panics,
+# admission-precommit panics, writer-lock poisoning, deadline budgets) is
+# re-run by name under both engine thread settings: a service that
+# survives chaos at MQO_THREADS=1 but wedges at 4 must fail the gate.
+echo "==> fault injection (seeded failpoints, MQO_THREADS=1)"
+MQO_THREADS=1 cargo test -q --offline -p mqo-core --test fault_injection
+echo "==> fault injection (seeded failpoints, MQO_THREADS=4)"
+MQO_THREADS=4 cargo test -q --offline -p mqo-core --test fault_injection
+
 echo "==> cargo build --all-targets --offline (examples, benches, bins)"
 cargo build --all-targets --offline
 
@@ -162,6 +199,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline -q
 
 echo "==> checking no example/bin references the removed free functions"
 check_no_removed_free_functions
+
+echo "==> checking the serving layer keeps no poisoning lock sites"
+check_no_poisoning_lock_sites
 
 bench_smoke
 

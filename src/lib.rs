@@ -70,14 +70,18 @@ pub use mqo_volcano as volcano;
 /// * **Serving** — [`MqoService`](prelude::MqoService),
 ///   [`ServeConfig`](prelude::ServeConfig),
 ///   [`ServeStats`](prelude::ServeStats),
+///   [`PriorityClass`](prelude::PriorityClass),
 ///   [`EngineState`](prelude::EngineState),
 ///   [`QueryTicket`](prelude::QueryTicket).
+/// * **Fault tolerance** — [`MqoError`](prelude::MqoError),
+///   [`PlanFault`](prelude::PlanFault),
+///   [`GapCertificate`](prelude::GapCertificate).
 pub mod prelude {
     pub use mqo_catalog::{Catalog, TableBuilder};
     pub use mqo_core::{
-        BatchDag, ConsolidatedPlan, DecompositionKind, EngineState, MqoConfig, MqoService,
-        OptimizedBatch, QueryTicket, RunReport, ServeConfig, ServeStats, Session, SessionBuilder,
-        Strategy,
+        BatchDag, ConsolidatedPlan, DecompositionKind, EngineState, GapCertificate, MqoConfig,
+        MqoError, MqoService, OptimizedBatch, PlanFault, PriorityClass, QueryTicket, RunReport,
+        ServeConfig, ServeStats, Session, SessionBuilder, Strategy,
     };
     pub use mqo_volcano::cost::{CostModel, DiskCostModel, UnitCostModel};
     pub use mqo_volcano::physical::{PhysOp, PhysPlan, SortOrder};
