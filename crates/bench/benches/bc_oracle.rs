@@ -1,3 +1,5 @@
+// mqo-lint: allow-file(wall-clock) -- measurement code: raw Instant reads are this file's
+// entire purpose; optimization decisions never depend on them.
 //! Microbenchmark of the `bestCost` oracle itself: raw `bc(S)` evaluation
 //! throughput (evals/sec) on the TPCD 4-query batch, comparing
 //!

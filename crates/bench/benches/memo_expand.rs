@@ -1,3 +1,5 @@
+// mqo-lint: allow-file(wall-clock) -- measurement code: raw Instant reads are this file's
+// entire purpose; optimization decisions never depend on them.
 //! Benchmark of the memo-expansion pipeline: end-to-end `BatchDag::build`
 //! wall time (query insertion + rule fixpoint + shareable-universe scan)
 //! and raw expansion throughput (live expressions produced per second) on

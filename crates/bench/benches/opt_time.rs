@@ -1,3 +1,5 @@
+// mqo-lint: allow-file(wall-clock) -- measurement code: raw Instant reads are this file's
+// entire purpose; optimization decisions never depend on them.
 //! Benchmark behind Figures 4c and 5c: optimization time of stand-alone
 //! Volcano, Greedy, and MarginalGreedy per workload — plus the `extract`
 //! series measuring consolidated-plan extraction off the compiled engine

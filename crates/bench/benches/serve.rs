@@ -1,3 +1,5 @@
+// mqo-lint: allow-file(wall-clock) -- measurement code: raw Instant reads are this file's
+// entire purpose; optimization decisions never depend on them.
 //! Serving-layer benchmark: what does it cost to keep a live MQO service
 //! hot, versus rebuilding the batch per arrival?
 //!

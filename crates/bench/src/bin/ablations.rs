@@ -1,3 +1,5 @@
+// mqo-lint: allow-file(wall-clock) -- measurement code: raw Instant reads are this file's
+// entire purpose; optimization decisions never depend on them.
 //! Ablations of the design choices called out in DESIGN.md.
 //!
 //! 1. **Lazy vs eager** (Section 5.2): identical answers, fewer candidate

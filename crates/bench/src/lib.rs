@@ -8,6 +8,8 @@
 //! * Ablations: lazy vs eager, incremental vs full `bestCost`, §5.1
 //!   pruning, Theorem 4 universe reduction, decomposition choice, cleanup.
 
+#![forbid(unsafe_code)]
+
 pub mod timing;
 
 use std::time::Duration;

@@ -12,6 +12,8 @@
 //! numbers, and strings through the catalog's [`Dictionary`]. This keeps
 //! predicate fingerprinting exact (no floating-point keys in the memo).
 
+#![forbid(unsafe_code)]
+
 pub mod dictionary;
 pub mod stats;
 

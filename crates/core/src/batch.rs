@@ -25,7 +25,7 @@
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 use mqo_volcano::cost::CostModel;
 use mqo_volcano::logical::LogicalOp;
@@ -320,6 +320,19 @@ impl BatchDag {
         self.topo.get_or_init(|| Arc::new(self.memo.topo_view()))
     }
 
+    /// Locks the compile cache, recovering from poison by *resetting* it:
+    /// a panic mid-compile (the chaos suites inject them on purpose) may
+    /// have left torn scratch behind, and a fresh cache is always correct
+    /// — it is only a cache — while propagating the poison would wedge
+    /// every later compile of this batch.
+    fn lock_engine_cache(&self) -> MutexGuard<'_, CompileCache> {
+        self.engine_cache.lock().unwrap_or_else(|poison| {
+            let mut guard = poison.into_inner();
+            *guard = CompileCache::new();
+            guard
+        })
+    }
+
     /// Compiles a [`BestCostEngine`] for this batch through the shared
     /// [`CompileCache`]: the first compile seeds the cache with
     /// [`BatchDag::topo_view`], and every recompile (e.g.
@@ -327,7 +340,7 @@ impl BatchDag {
     /// strategy) skips the topological sort and reuses the compile scratch
     /// buffers.
     pub fn compile_engine(&self, cm: &dyn CostModel, config: MqoConfig) -> BestCostEngine {
-        let mut cache = self.engine_cache.lock().expect("engine cache poisoned");
+        let mut cache = self.lock_engine_cache();
         cache.prime_topo(&self.memo, self.topo_arc());
         let mut engine = BestCostEngine::with_cache(
             &self.memo,
@@ -348,7 +361,7 @@ impl BatchDag {
     /// [`BestCostEngine`] handles from it ([`EngineState::engine`]) without
     /// touching the batch again.
     pub fn compile_state(&self, cm: &dyn CostModel) -> EngineState {
-        let mut cache = self.engine_cache.lock().expect("engine cache poisoned");
+        let mut cache = self.lock_engine_cache();
         cache.prime_topo(&self.memo, self.topo_arc());
         let arenas = Arc::new(EngineArenas::compile(
             &self.memo,

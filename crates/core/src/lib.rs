@@ -42,6 +42,8 @@
 //! println!("{}", report.plan.render(batch.batch()));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod batch;
 pub mod benefit;
 pub mod config;

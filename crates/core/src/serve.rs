@@ -70,6 +70,7 @@
 //!   may have cost.
 
 use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
@@ -86,13 +87,125 @@ use crate::fault::{self, FaultSite};
 use crate::session::OptimizedBatch;
 use crate::strategies::{RunReport, Strategy};
 
-/// Locks `m`, recovering the guard if a previous holder panicked. The
-/// serving layer's invariants are restored by the writer's per-round
-/// savepoint rollback, not by lock poisoning — a poisoned lock here means
-/// "a round failed", which the drain already handled (or is about to), so
-/// propagating the poison would only wedge innocent later callers.
-fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
+/// The serving layer's global lock-acquisition order. Every internal lock
+/// site names its rank, and debug builds maintain a thread-local
+/// acquisition stack that panics the moment two locks are taken in an
+/// order inverting this enum's derived `Ord` — a lock-order race detector
+/// in the spirit of lockdep, exercised (and required to stay silent) by
+/// the serve-stress and fault-injection suites. Release builds compile
+/// the detector out (the rank degenerates to an unread byte on the
+/// guard).
+///
+/// The order is the one the drain protocol already obeys: the writer lock
+/// is always outermost, the queue/published/cache locks are only ever
+/// taken under it (or alone), and per-submission slots are leaves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum LockRank {
+    /// [`MqoService::core`], the single-writer lock — always outermost.
+    Writer,
+    /// [`MqoService::pending`], the admission queue.
+    Queue,
+    /// [`MqoService::published`], the snapshot slot.
+    Published,
+    /// [`MqoService::cache`], the materialization cache.
+    Cache,
+    /// A [`PendingSubmit::slot`] result cell — a leaf; never hold one
+    /// while taking any other serve lock.
+    Slot,
+}
+
+/// Debug-build half of the detector: the thread-local stack of ranks this
+/// thread currently holds, checked *before* blocking on the mutex (so an
+/// inversion panics instead of deadlocking) and pushed after acquisition.
+#[cfg(debug_assertions)]
+mod lock_order {
+    use super::LockRank;
+    use std::cell::RefCell;
+
+    thread_local! {
+        static HELD: RefCell<Vec<LockRank>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Panics if taking `rank` now would invert the global order.
+    pub(super) fn check(rank: LockRank) {
+        HELD.with(|held| {
+            if let Some(&top) = held.borrow().last() {
+                assert!(
+                    rank > top,
+                    "serve lock-order inversion: acquiring {rank:?} while holding {top:?} \
+                     (global order: Writer < Queue < Published < Cache < Slot)"
+                );
+            }
+        });
+    }
+
+    pub(super) fn push(rank: LockRank) {
+        HELD.with(|held| held.borrow_mut().push(rank));
+    }
+
+    /// Guards can drop out of stack order; remove the *last* matching
+    /// entry.
+    pub(super) fn pop(rank: LockRank) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|&r| r == rank) {
+                held.remove(pos);
+            }
+        });
+    }
+}
+
+/// Release-build half: all no-ops, inlined to nothing.
+#[cfg(not(debug_assertions))]
+mod lock_order {
+    use super::LockRank;
+    #[inline(always)]
+    pub(super) fn check(_: LockRank) {}
+    #[inline(always)]
+    pub(super) fn push(_: LockRank) {}
+    #[inline(always)]
+    pub(super) fn pop(_: LockRank) {}
+}
+
+/// A [`MutexGuard`] that pops its rank off the thread's acquisition stack
+/// on drop (debug builds; free in release).
+struct RankedGuard<'a, T> {
+    guard: MutexGuard<'a, T>,
+    rank: LockRank,
+}
+
+impl<T> Deref for RankedGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> DerefMut for RankedGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<T> Drop for RankedGuard<'_, T> {
+    fn drop(&mut self) {
+        lock_order::pop(self.rank);
+    }
+}
+
+/// Locks `m` at `rank`, recovering the guard if a previous holder
+/// panicked. The serving layer's invariants are restored by the writer's
+/// per-round savepoint rollback, not by lock poisoning — a poisoned lock
+/// here means "a round failed", which the drain already handled (or is
+/// about to), so propagating the poison would only wedge innocent later
+/// callers. In debug builds the rank feeds the lock-order detector
+/// ([`LockRank`]); an out-of-order acquisition panics before it can
+/// block.
+fn relock<'a, T>(m: &'a Mutex<T>, rank: LockRank) -> RankedGuard<'a, T> {
+    lock_order::check(rank);
+    let guard = m.lock().unwrap_or_else(PoisonError::into_inner);
+    lock_order::push(rank);
+    RankedGuard { guard, rank }
 }
 
 /// Priority class of a serving-side optimization request; indexes
@@ -258,7 +371,7 @@ impl MqoService {
     /// optimize against it with [`EngineState::run`] or spin up a
     /// per-caller engine handle with [`EngineState::engine`].
     pub fn snapshot(&self) -> Arc<EngineState> {
-        Arc::clone(&relock(&self.published))
+        Arc::clone(&relock(&self.published, LockRank::Published))
     }
 
     /// Optimizes the latest snapshot with the configured strategy.
@@ -310,7 +423,10 @@ impl MqoService {
     /// Structural fingerprints of the currently cached materializations,
     /// in descending benefit order.
     pub fn cached_materializations(&self) -> Vec<u64> {
-        relock(&self.cache).iter().map(|e| e.fingerprint).collect()
+        relock(&self.cache, LockRank::Cache)
+            .iter()
+            .map(|e| e.fingerprint)
+            .collect()
     }
 
     // -------------------------------------------------------------------
@@ -368,17 +484,17 @@ impl MqoService {
             return Err(MqoError::InvalidPlan { query: 0, fault });
         }
         let slot = Arc::new(Mutex::new(None));
-        relock(&self.pending).push(PendingSubmit {
+        relock(&self.pending, LockRank::Queue).push(PendingSubmit {
             plan,
             slot: Arc::clone(&slot),
         });
-        let mut core = relock(&self.core);
+        let mut core = relock(&self.core, LockRank::Writer);
         // A writer that beat us to the lock may have resolved us already.
-        if let Some(r) = relock(&slot).clone() {
+        if let Some(r) = relock(&slot, LockRank::Slot).clone() {
             return r;
         }
         self.drain(&mut core);
-        let r = relock(&slot)
+        let r = relock(&slot, LockRank::Slot)
             .clone()
             .expect("draining writer resolves every queued slot");
         r
@@ -426,7 +542,7 @@ impl MqoService {
     /// # let _ = extra;
     /// ```
     pub fn try_retire_query(&self, ticket: QueryTicket) -> Result<(), MqoError> {
-        let mut core = relock(&self.core);
+        let mut core = relock(&self.core, LockRank::Writer);
         core.try_retire_query(ticket)?;
         self.counters.retired.fetch_add(1, Ordering::Relaxed);
         self.drain(&mut core);
@@ -436,7 +552,7 @@ impl MqoService {
     /// Snapshots the batch's evolution state for a later
     /// [`MqoService::rollback`] (what-if admission probes).
     pub fn savepoint(&self) -> BatchSavepoint {
-        relock(&self.core).savepoint()
+        relock(&self.core, LockRank::Writer).savepoint()
     }
 
     /// Rewinds to `sp` and publishes the restored snapshot. Tickets issued
@@ -478,7 +594,7 @@ impl MqoService {
     /// ));
     /// ```
     pub fn try_rollback(&self, sp: BatchSavepoint) -> Result<(), MqoError> {
-        let mut core = relock(&self.core);
+        let mut core = relock(&self.core, LockRank::Writer);
         core.try_rollback(sp)?;
         self.drain(&mut core);
         Ok(())
@@ -486,12 +602,12 @@ impl MqoService {
 
     /// Tickets of the currently live queries, in admission order.
     pub fn tickets(&self) -> Vec<QueryTicket> {
-        relock(&self.core).tickets()
+        relock(&self.core, LockRank::Writer).tickets()
     }
 
     /// Current evolution-history size; see [`OptimizedBatch::history_len`].
     pub fn history_len(&self) -> usize {
-        relock(&self.core).history_len()
+        relock(&self.core, LockRank::Writer).history_len()
     }
 
     /// Shuts the service down and hands the batch back, admitting any
@@ -508,7 +624,7 @@ impl MqoService {
             .unwrap_or_else(PoisonError::into_inner);
         for p in pending {
             let t = core.add_query(p.plan);
-            *relock(&p.slot) = Some(Ok(t));
+            *relock(&p.slot, LockRank::Slot) = Some(Ok(t));
         }
         core
     }
@@ -536,7 +652,7 @@ impl MqoService {
         // will not contain.
         let mut fills: Vec<(PendingSubmit, QueryTicket)> = Vec::new();
         loop {
-            let round = std::mem::take(&mut *relock(&self.pending));
+            let round = std::mem::take(&mut *relock(&self.pending, LockRank::Queue));
             if round.is_empty() {
                 break;
             }
@@ -562,7 +678,7 @@ impl MqoService {
                     self.counters.failed_rounds.fetch_add(1, Ordering::Relaxed);
                     core.rollback(sp);
                     for p in &round {
-                        *relock(&p.slot) = Some(Err(MqoError::RoundFailed));
+                        *relock(&p.slot, LockRank::Slot) = Some(Err(MqoError::RoundFailed));
                     }
                 }
             }
@@ -583,9 +699,9 @@ impl MqoService {
                 // Publish before resolving slots (and before releasing the
                 // writer lock): a submitter whose slot resolves Ok cannot
                 // wake up to a snapshot older than its own admission.
-                *relock(&self.published) = state;
+                *relock(&self.published, LockRank::Published) = state;
                 for (p, t) in fills {
-                    *relock(&p.slot) = Some(Ok(t));
+                    *relock(&p.slot, LockRank::Slot) = Some(Ok(t));
                 }
             }
             Err(_) => {
@@ -598,9 +714,9 @@ impl MqoService {
                 // drop it rather than trust it.
                 self.counters.failed_rounds.fetch_add(1, Ordering::Relaxed);
                 core.rollback(entry_sp);
-                relock(&self.cache).clear();
+                relock(&self.cache, LockRank::Cache).clear();
                 for (p, _) in fills {
-                    *relock(&p.slot) = Some(Err(MqoError::RoundFailed));
+                    *relock(&p.slot, LockRank::Slot) = Some(Err(MqoError::RoundFailed));
                 }
             }
         }
@@ -617,7 +733,7 @@ impl MqoService {
             fps.iter().enumerate().map(|(i, &f)| (f, i)).collect();
         let report = state.run(self.config.strategy, self.mqo_config);
 
-        let mut cache = relock(&self.cache);
+        let mut cache = relock(&self.cache, LockRank::Cache);
         cache.retain(|e| elem_of_fp.contains_key(&e.fingerprint));
         for &g in &report.materialized {
             let e = core
@@ -666,5 +782,83 @@ impl MqoService {
         self.counters
             .evictions
             .fetch_add((candidates - cache.len()) as u64, Ordering::Relaxed);
+    }
+}
+
+/// The lock-order detector's own contract tests; the full-service
+/// exercises (where the detector must stay *silent* under concurrent
+/// chaos) are the serve-stress and fault-injection suites.
+#[cfg(all(test, debug_assertions))]
+mod lock_order_tests {
+    use super::*;
+
+    #[test]
+    fn ordered_acquisition_is_silent() {
+        let writer = Mutex::new(0);
+        let queue = Mutex::new(0);
+        let cache = Mutex::new(0);
+        let _w = relock(&writer, LockRank::Writer);
+        let _q = relock(&queue, LockRank::Queue);
+        let _c = relock(&cache, LockRank::Cache);
+    }
+
+    #[test]
+    #[should_panic(expected = "serve lock-order inversion")]
+    fn inverted_acquisition_panics() {
+        let cache = Mutex::new(0);
+        let writer = Mutex::new(0);
+        let _c = relock(&cache, LockRank::Cache);
+        let _w = relock(&writer, LockRank::Writer);
+    }
+
+    #[test]
+    #[should_panic(expected = "serve lock-order inversion")]
+    fn same_rank_reacquisition_panics() {
+        // Two distinct mutexes at the same rank: still an inversion (the
+        // order is strict), catching self-deadlock-shaped protocols.
+        let a = Mutex::new(0);
+        let b = Mutex::new(0);
+        let _x = relock(&a, LockRank::Queue);
+        let _y = relock(&b, LockRank::Queue);
+    }
+
+    #[test]
+    fn release_unwinds_the_stack() {
+        let cache = Mutex::new(0);
+        let writer = Mutex::new(0);
+        {
+            let _c = relock(&cache, LockRank::Cache);
+        }
+        // Cache released: taking the writer afterwards is in-order.
+        let _w = relock(&writer, LockRank::Writer);
+    }
+
+    #[test]
+    fn out_of_order_drop_pops_the_right_rank() {
+        let writer = Mutex::new(0);
+        let queue = Mutex::new(0);
+        let published = Mutex::new(0);
+        let w = relock(&writer, LockRank::Writer);
+        let q = relock(&queue, LockRank::Queue);
+        drop(w); // drops a non-top rank: Writer sat below Queue
+                 // Queue is still held (now the top): Published is in-order, and
+                 // the stack did not mistakenly lose Queue when Writer left.
+        let _p = relock(&published, LockRank::Published);
+        drop(q);
+    }
+
+    #[test]
+    fn detector_survives_an_absorbed_panic() {
+        // A panic while holding a ranked guard (the poisoning scenario the
+        // chaos suites inject) must unwind the stack record too, or every
+        // later acquisition on this thread would falsely invert.
+        let writer = Mutex::new(0);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let _w = relock(&writer, LockRank::Writer);
+            panic!("poison the writer lock");
+        }));
+        assert!(caught.is_err());
+        // Stack is clean and the poison is absorbed.
+        let _w = relock(&writer, LockRank::Writer);
     }
 }

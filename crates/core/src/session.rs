@@ -213,7 +213,14 @@ impl OptimizedBatch {
     /// frozen view while the batch evolves underneath — snapshot
     /// isolation by immutability.
     pub fn snapshot(&self) -> Arc<EngineState> {
-        let mut cached = self.state.lock().expect("snapshot cache poisoned");
+        // Recover from poison by dropping the cached snapshot: a panic in
+        // a previous holder may have died between compile and store, and
+        // `None` just means "recompile" — always correct, never wedged.
+        let mut cached = self.state.lock().unwrap_or_else(|poison| {
+            let mut guard = poison.into_inner();
+            *guard = None;
+            guard
+        });
         match cached.as_ref() {
             Some(s) if s.version() == self.batch.memo().version() => Arc::clone(s),
             _ => {

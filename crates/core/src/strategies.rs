@@ -212,6 +212,7 @@ pub(crate) fn run_strategy(
     strategy: Strategy,
     config: MqoConfig,
 ) -> RunReport {
+    // mqo-lint: allow(wall-clock) -- the anytime-budget anchor (`deadline = start + time_budget`) and the paper's opt_time metric
     let start = Instant::now();
     let engine = state.engine(config);
     let mb = MbFunction::new(engine);
@@ -304,6 +305,7 @@ pub(crate) fn run_strategy(
         }
     });
 
+    // mqo-lint: allow(wall-clock) -- measures the reported extract_time metric; never feeds back into optimization
     let extract_start = Instant::now();
     let engine = mb.into_engine();
     let plan = ConsolidatedPlan::extract_with_engine(state.query_roots_dense(), &engine, &chosen);

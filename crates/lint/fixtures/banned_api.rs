@@ -1,0 +1,16 @@
+//! Fixture: every finding here must be `banned-api`.
+//! Linted as-if at `examples/fixture.rs`.
+
+fn main() {
+    let plans = [1, 2, 3];
+    optimize(&plans);
+    let _ = compare(&plans, &plans);
+}
+
+// Re-definitions count too: a local shadowing helper resurrects the old
+// API shape just as much as a call does.
+fn optimize(_: &[i32]) {}
+
+fn compare(a: &[i32], b: &[i32]) -> bool {
+    a.len() == b.len()
+}

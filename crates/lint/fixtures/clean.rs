@@ -1,0 +1,21 @@
+//! Fixture: benign look-alikes of every rule's pattern; zero findings.
+//! Linted as-if at `crates/core/src/engine.rs` (a commit-path module), so
+//! a lexer that misreads a literal or comment *will* misfire here.
+//!
+//! Doc-comment mentions of partial_cmp, Instant::now, SystemTime, and
+//! .lock().unwrap() must not fire either.
+
+use std::collections::HashMap;
+
+fn fixture<'a>(index: &'a HashMap<u64, usize>, key: u64) -> Option<&'a usize> {
+    // Pattern words inside string literals are not code:
+    let _s = "call .partial_cmp( and .lock().unwrap() and optimize(x)";
+    let _raw = r#"Instant::now() SystemTime "quoted" "#;
+    let _hashes = r##"a raw string with "# inside"##;
+    let _bytes = b"SystemTime::now()";
+    let _ch = 'x';
+    let _esc = '\'';
+    let _nested = 1; /* comment /* nested: Instant::now() */ still comment */
+    // Keyed lookup on a hash map is fine; only iteration is flagged.
+    index.get(&key)
+}

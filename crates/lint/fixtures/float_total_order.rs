@@ -1,0 +1,9 @@
+//! Fixture: every finding here must be `float-total-order`.
+//! Linted as-if at `crates/submod/src/fixture.rs`.
+
+fn fixture(xs: &mut [f64], score: f64, best_score: f64) -> bool {
+    // A partial_cmp call site: the PR 3 heap-bug shape.
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // IEEE ordering of two score expressions.
+    score > best_score
+}

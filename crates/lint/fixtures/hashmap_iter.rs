@@ -1,0 +1,12 @@
+//! Fixture: every finding here must be `hashmap-iter-determinism`.
+//! Linted as-if at `crates/core/src/engine.rs` (a commit-path module).
+
+use std::collections::{HashMap, HashSet};
+
+fn fixture(index: &HashMap<u64, usize>) -> usize {
+    let mut seen: HashSet<u64> = HashSet::new();
+    for (k, _) in index {
+        seen.insert(*k);
+    }
+    seen.iter().count() + index.keys().count()
+}

@@ -1,0 +1,12 @@
+//! Fixture: every finding here must be `lock-poison`.
+//! Linted as-if at `crates/core/src/fixture.rs`.
+
+use std::sync::{Mutex, RwLock};
+
+fn fixture(m: &Mutex<u32>, rw: &RwLock<u32>) -> u32 {
+    let a = *m.lock().unwrap();
+    let b = *m.lock().expect("poisoned");
+    let c = *rw.read().unwrap();
+    let d = *rw.write().expect("writer poisoned");
+    a + b + c + d
+}

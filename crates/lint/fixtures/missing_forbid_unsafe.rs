@@ -1,0 +1,7 @@
+//! Fixture: a crate root without `#![forbid(unsafe_code)]`; the only
+//! finding must be `forbid-unsafe-attr`.
+//! Linted as-if at `crates/fixture/src/lib.rs`.
+
+pub fn fixture() -> u32 {
+    42
+}

@@ -1,0 +1,17 @@
+//! Fixture: one violation per suppression form; zero findings must
+//! survive. Linted as-if at `crates/core/src/batch.rs` (a commit-path
+//! module inside mqo-core, so every scoped rule applies).
+
+// mqo-lint: allow-file(wall-clock) -- fixture: file-wide suppression form
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+fn fixture(m: &Mutex<u32>, index: &HashMap<u64, usize>, score: f64, best_score: f64) -> bool {
+    let _t = Instant::now(); // covered by the file-wide allow above
+    // mqo-lint: allow(lock-poison) -- fixture: marker on the line above the violation
+    let _v = *m.lock().unwrap();
+    let _n = index.keys().count(); // mqo-lint: allow(hashmap-iter-determinism) -- fixture: same-line marker
+    score > best_score // mqo-lint: allow(float-total-order) -- fixture: same-line marker
+}

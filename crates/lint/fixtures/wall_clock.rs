@@ -1,0 +1,8 @@
+//! Fixture: every finding here must be `wall-clock`.
+//! Linted as-if at `crates/core/src/fixture.rs`.
+
+fn fixture() -> bool {
+    let t = std::time::Instant::now();
+    let _epoch = std::time::SystemTime::now();
+    t.elapsed().as_nanos() > 0
+}

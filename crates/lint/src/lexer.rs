@@ -1,0 +1,439 @@
+//! A hand-rolled Rust lexer, sufficient for token-pattern linting.
+//!
+//! This is *not* a full Rust lexer — it is exactly the subset the rule
+//! engine needs to never misread a source file:
+//!
+//! * line comments (`//`, `///`, `//!`) and block comments (`/* */`,
+//!   **nesting** tracked), kept as [`TokKind::Comment`] tokens so the
+//!   suppression scanner can read `// mqo-lint: allow(...)` markers;
+//! * string literals with escapes, **raw strings** with any number of
+//!   hashes (`r"…"`, `r#"…"#`, `r###"…"###`), byte strings (`b"…"`,
+//!   `br#"…"#`), and C strings (`c"…"`) — so a pattern word inside a
+//!   literal can never be mistaken for code;
+//! * char literals vs lifetimes (`'a'` vs `'a`), including escaped chars
+//!   (`'\''`, `'\u{1F600}'`) and byte chars (`b'x'`);
+//! * raw identifiers (`r#match`) distinguished from raw strings;
+//! * numbers including exponents with signs (`1e-6`), so a following
+//!   comparison never sees a phantom `-` operand;
+//! * maximal-munch multi-character operators (`::`, `->`, `<=`, `>=`,
+//!   `==`, `!=`, `..=`, `<<=`, …) so `a <= b` is one operator token, not
+//!   `<` then `=`.
+//!
+//! Every token carries the 1-based line it starts on; newlines inside
+//! block comments and multi-line strings are counted.
+
+/// The kind of a [`Token`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`foo`, `fn`, `r#match` — raw idents are
+    /// reported with the `r#` stripped).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`), quote stripped.
+    Lifetime,
+    /// Numeric literal (`42`, `0xff_u32`, `1e-6`, `3.14f64`).
+    Num,
+    /// String-ish literal: `"…"`, `r#"…"#`, `b"…"`, `br"…"`, `c"…"`.
+    /// Text is the raw source slice including quotes/prefix.
+    Str,
+    /// Char or byte-char literal (`'a'`, `b'\n'`), quotes included.
+    Char,
+    /// Punctuation / operator, maximally munched (`::`, `<=`, `+`, …).
+    Punct,
+    /// A comment (`// …` including the slashes, or `/* … */`); line and
+    /// block comments both. Rule matchers skip these; the suppression
+    /// scanner reads them.
+    Comment,
+}
+
+/// One lexed token: kind, source text, and the 1-based line it starts on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The source text of the token (see [`TokKind`] for per-kind notes).
+    pub text: String,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+/// Multi-character operators, longest first so maximal munch is a plain
+/// prefix scan. Single characters fall through to one-char puncts.
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "..", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    /// Advances one byte, counting newlines.
+    fn bump(&mut self) {
+        if self.src[self.pos] == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn slice_from(&self, start: usize) -> String {
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    /// Consumes `// …` to end of line (newline not consumed).
+    fn line_comment(&mut self) -> String {
+        let start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if c == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        self.slice_from(start)
+    }
+
+    /// Consumes `/* … */` with nesting; tolerates EOF mid-comment.
+    fn block_comment(&mut self) -> String {
+        let start = self.pos;
+        self.bump_n(2); // "/*"
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump_n(2);
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump_n(2);
+                }
+                (Some(_), _) => self.bump(),
+                (None, _) => break,
+            }
+        }
+        self.slice_from(start)
+    }
+
+    /// Consumes a `"…"` body (opening quote already positioned at
+    /// `self.pos`), honoring `\` escapes; tolerates EOF.
+    fn quoted_string(&mut self) {
+        self.bump(); // opening quote
+        while let Some(c) = self.peek(0) {
+            match c {
+                b'\\' => {
+                    self.bump();
+                    if self.peek(0).is_some() {
+                        self.bump();
+                    }
+                }
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Consumes a raw string starting at the `r` (or after a `b`/`c`
+    /// prefix): `r`, then N hashes, then `"` … `"` + N hashes.
+    fn raw_string(&mut self) {
+        self.bump(); // 'r'
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) != Some(b'"') {
+            return; // not actually a raw string; caller guarded against this
+        }
+        self.bump(); // opening quote
+        'scan: while let Some(c) = self.peek(0) {
+            self.bump();
+            if c == b'"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some(b'#') {
+                        continue 'scan;
+                    }
+                }
+                self.bump_n(hashes);
+                return;
+            }
+        }
+    }
+
+    /// Consumes a char literal body: opening `'` at `self.pos`. Caller has
+    /// already decided this is a char, not a lifetime.
+    fn char_literal(&mut self) {
+        self.bump(); // opening quote
+        while let Some(c) = self.peek(0) {
+            match c {
+                b'\\' => {
+                    self.bump();
+                    if self.peek(0).is_some() {
+                        self.bump();
+                    }
+                }
+                b'\'' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    fn ident_like(&mut self) -> String {
+        let start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80 {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.slice_from(start)
+    }
+
+    /// Consumes a numeric literal, including `0x…`/`0b…`/`0o…`, `_`
+    /// separators, a fractional part, suffixes, and signed exponents
+    /// (`1e-6`, `2.5E+10`).
+    fn number(&mut self) {
+        let radix_prefix = self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x' | b'X' | b'b' | b'B' | b'o' | b'O'));
+        if radix_prefix {
+            self.bump_n(2);
+        }
+        while let Some(c) = self.peek(0) {
+            match c {
+                b'0'..=b'9'
+                | b'a'..=b'd'
+                | b'f'
+                | b'A'..=b'D'
+                | b'F'
+                | b'_'
+                | b'u'
+                | b'i'
+                | b's'
+                | b'z' => self.bump(),
+                b'e' | b'E' => {
+                    // Exponent (with optional sign) in decimal floats;
+                    // plain hex digit / suffix letter otherwise.
+                    if !radix_prefix
+                        && matches!(self.peek(1), Some(b'+' | b'-'))
+                        && self.peek(2).is_some_and(|d| d.is_ascii_digit())
+                    {
+                        self.bump_n(2);
+                    } else {
+                        self.bump();
+                    }
+                }
+                b'.' => {
+                    // `1.5` continues the number; `1..n` and `1.method()`
+                    // do not.
+                    if self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+}
+
+/// Lexes `src` into tokens (comments included as [`TokKind::Comment`]).
+///
+/// Never fails: malformed input degrades to single-character punct tokens
+/// rather than an error, which is the right behavior for a linter that
+/// must not crash on a file rustc itself will reject.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut lx = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(c) = lx.peek(0) {
+        let line = lx.line;
+        let start = lx.pos;
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                lx.bump();
+                continue;
+            }
+            b'/' if lx.peek(1) == Some(b'/') => {
+                let text = lx.line_comment();
+                out.push(Token {
+                    kind: TokKind::Comment,
+                    text,
+                    line,
+                });
+            }
+            b'/' if lx.peek(1) == Some(b'*') => {
+                let text = lx.block_comment();
+                out.push(Token {
+                    kind: TokKind::Comment,
+                    text,
+                    line,
+                });
+            }
+            b'"' => {
+                lx.quoted_string();
+                out.push(Token {
+                    kind: TokKind::Str,
+                    text: lx.slice_from(start),
+                    line,
+                });
+            }
+            b'r' | b'b' | b'c' => {
+                // Raw strings, byte strings, raw idents — or a plain
+                // identifier starting with r/b/c.
+                let one = lx.peek(1);
+                let two = lx.peek(2);
+                match (c, one, two) {
+                    // r"…" | r#"…"# (note r#ident is a raw ident, guarded
+                    // by `two` not being another hash or quote)
+                    (b'r', Some(b'"'), _) | (b'r', Some(b'#'), Some(b'"' | b'#')) => {
+                        lx.raw_string();
+                        out.push(Token {
+                            kind: TokKind::Str,
+                            text: lx.slice_from(start),
+                            line,
+                        });
+                    }
+                    // raw identifier r#match
+                    (b'r', Some(b'#'), _) => {
+                        lx.bump_n(2);
+                        let text = lx.ident_like();
+                        out.push(Token {
+                            kind: TokKind::Ident,
+                            text,
+                            line,
+                        });
+                    }
+                    // b"…" | c"…"
+                    (b'b' | b'c', Some(b'"'), _) => {
+                        lx.bump();
+                        lx.quoted_string();
+                        out.push(Token {
+                            kind: TokKind::Str,
+                            text: lx.slice_from(start),
+                            line,
+                        });
+                    }
+                    // br"…" | br#"…"# | cr…
+                    (b'b' | b'c', Some(b'r'), Some(b'"' | b'#')) => {
+                        lx.bump();
+                        lx.raw_string();
+                        out.push(Token {
+                            kind: TokKind::Str,
+                            text: lx.slice_from(start),
+                            line,
+                        });
+                    }
+                    // b'x'
+                    (b'b', Some(b'\''), _) => {
+                        lx.bump();
+                        lx.char_literal();
+                        out.push(Token {
+                            kind: TokKind::Char,
+                            text: lx.slice_from(start),
+                            line,
+                        });
+                    }
+                    _ => {
+                        let text = lx.ident_like();
+                        out.push(Token {
+                            kind: TokKind::Ident,
+                            text,
+                            line,
+                        });
+                    }
+                }
+            }
+            b'\'' => {
+                // Lifetime vs char literal. `'x` followed by ident chars
+                // and NOT a closing quote is a lifetime; everything else
+                // ('a', '\n', '(' …) is a char.
+                let is_lifetime = match (lx.peek(1), lx.peek(2)) {
+                    (Some(n), after) => {
+                        (n.is_ascii_alphabetic() || n == b'_') && after != Some(b'\'')
+                    }
+                    _ => false,
+                };
+                if is_lifetime {
+                    lx.bump(); // quote
+                    let text = lx.ident_like();
+                    out.push(Token {
+                        kind: TokKind::Lifetime,
+                        text,
+                        line,
+                    });
+                } else {
+                    lx.char_literal();
+                    out.push(Token {
+                        kind: TokKind::Char,
+                        text: lx.slice_from(start),
+                        line,
+                    });
+                }
+            }
+            b'0'..=b'9' => {
+                lx.number();
+                out.push(Token {
+                    kind: TokKind::Num,
+                    text: lx.slice_from(start),
+                    line,
+                });
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' || c >= 0x80 => {
+                let text = lx.ident_like();
+                out.push(Token {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                });
+            }
+            _ => {
+                let rest = &lx.src[lx.pos..];
+                let op = OPERATORS
+                    .iter()
+                    .find(|op| rest.starts_with(op.as_bytes()))
+                    .copied();
+                match op {
+                    Some(op) => {
+                        lx.bump_n(op.len());
+                        out.push(Token {
+                            kind: TokKind::Punct,
+                            text: op.to_string(),
+                            line,
+                        });
+                    }
+                    None => {
+                        lx.bump();
+                        out.push(Token {
+                            kind: TokKind::Punct,
+                            text: (c as char).to_string(),
+                            line,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,45 @@
+//! `mqo-lint`: in-tree invariant lints for the provable-MQO workspace.
+//!
+//! The paper's guarantees only hold in this reproduction because the code
+//! maintains hard invariants the compiler cannot see: bit-identical
+//! results at every thread count, `total_cmp`-only score ordering,
+//! poison-recovering serve locks, and no wall-clock reads outside the
+//! budget path. This crate machine-checks them on every verify run:
+//!
+//! * [`lexer`] — a hand-rolled Rust lexer (nested block comments, raw
+//!   strings, char-vs-lifetime disambiguation) so rule patterns never
+//!   misfire inside comments or literals;
+//! * [`rules`] — the token-pattern rule engine, six rules grounded in
+//!   past bugs, and `// mqo-lint: allow(<rule>)` suppressions;
+//! * [`report`] — text and `--json` output;
+//! * [`walk`] — workspace source discovery.
+//!
+//! The binary (`cargo run -p mqo-lint --release -- --json`) lints the
+//! whole workspace and exits non-zero on any finding; `scripts/verify.sh`
+//! runs it as a tier-1 gate. Zero dependencies, like the rest of the
+//! workspace.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+use std::io;
+use std::path::Path;
+
+pub use rules::{Finding, RULES};
+
+/// Lints every workspace source under `root`; findings come back sorted
+/// by file then line.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for path in walk::workspace_sources(root)? {
+        let src = std::fs::read_to_string(&path)?;
+        let key = walk::relative_key(root, &path);
+        findings.extend(rules::lint_source(&key, &src));
+    }
+    findings.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    Ok(findings)
+}

@@ -1,0 +1,66 @@
+//! The `mqo-lint` CLI.
+//!
+//! ```text
+//! mqo-lint [--json] [--root <dir>]
+//! ```
+//!
+//! Lints every workspace `.rs` source under the root (default: the
+//! current directory) and exits 1 if any finding survives suppression.
+//! `--json` emits a machine-readable array for CI; the default output is
+//! one `file:line: [rule] message` per finding.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mqo_lint::{lint_workspace, report};
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("mqo-lint: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: mqo-lint [--json] [--root <dir>]");
+                println!("rules: {}", mqo_lint::RULES.join(", "));
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("mqo-lint: unknown argument `{other}` (see --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let findings = match lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("mqo-lint: failed to read workspace sources: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", report::render_json(&findings));
+    } else if findings.is_empty() {
+        println!("mqo-lint: clean ({} rules)", mqo_lint::RULES.len());
+    } else {
+        print!("{}", report::render_text(&findings));
+        eprintln!("mqo-lint: {} finding(s)", findings.len());
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,474 @@
+//! The token-pattern rule engine and the six in-tree invariant rules.
+//!
+//! Each rule encodes an invariant the compiler cannot see but the paper's
+//! guarantees (and past bugs — see the README's rule table) depend on:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `float-total-order` | score ordering goes through `total_cmp`, never `partial_cmp` or IEEE comparison operators |
+//! | `lock-poison` | `mqo-core` never propagates lock poisoning (`relock`-style recovery is the sanctioned path) |
+//! | `wall-clock` | no `Instant::now`/`SystemTime` outside the bench timing harness and the anytime-budget path |
+//! | `hashmap-iter-determinism` | commit-path modules never iterate a `HashMap`/`HashSet` (ordering would leak into published state) |
+//! | `banned-api` | examples/bench never resurrect the removed pre-Session free functions |
+//! | `forbid-unsafe-attr` | every crate root carries `#![forbid(unsafe_code)]` |
+//!
+//! Suppressions: `// mqo-lint: allow(<rule>)` suppresses findings of that
+//! rule on the comment's own line and the line below it (so the marker can
+//! sit above the offending expression); `// mqo-lint: allow-file(<rule>)`
+//! anywhere in a file suppresses the rule for the whole file. A
+//! suppression naming an unknown rule is itself reported
+//! (`bad-suppression`), so a typo cannot silently disable a gate.
+
+use crate::lexer::{lex, TokKind, Token};
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (one of [`RULES`], or `bad-suppression`).
+    pub rule: &'static str,
+    /// Repo-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// All rule identifiers, in reporting order.
+pub const RULES: &[&str] = &[
+    "float-total-order",
+    "lock-poison",
+    "wall-clock",
+    "hashmap-iter-determinism",
+    "banned-api",
+    "forbid-unsafe-attr",
+];
+
+/// Identifier suffixes treated as f64 *score expressions* by
+/// `float-total-order`: the quantities the optimizer orders candidates
+/// by, where IEEE comparison semantics (NaN incomparable, `-0.0 == 0.0`)
+/// have produced real heap-ordering bugs.
+const SCORE_SUFFIXES: &[&str] = &["score", "benefit", "marginal", "bound", "gain", "ratio"];
+
+/// Iteration methods that observe a hash container's nondeterministic
+/// order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "retain",
+];
+
+/// Commit-path modules for `hashmap-iter-determinism`: files where
+/// iteration order can leak into published state (memo ids, universe
+/// slots, snapshots, cache contents).
+const COMMIT_PATH_MODULES: &[&str] = &[
+    "crates/volcano/src/memo.rs",
+    "crates/core/src/batch.rs",
+    "crates/core/src/serve.rs",
+    "crates/core/src/engine.rs",
+];
+
+/// The removed pre-Session free functions; calling (or re-defining) one
+/// of these names in examples/bench resurrects the old API shape.
+const BANNED_FREE_FNS: &[&str] = &["optimize", "optimize_with", "compare"];
+
+fn is_score_ident(t: &Token) -> bool {
+    t.kind == TokKind::Ident && SCORE_SUFFIXES.iter().any(|s| t.text.ends_with(s))
+}
+
+/// Lints one file: lexes, applies every path-applicable rule, then drops
+/// findings covered by `mqo-lint: allow` suppressions. `path` must be
+/// repo-relative with forward slashes — rule scoping keys on it.
+pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
+    let tokens = lex(src);
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| t.kind != TokKind::Comment)
+        .collect();
+
+    let mut findings = Vec::new();
+    float_total_order(path, &code, &mut findings);
+    lock_poison(path, &code, &mut findings);
+    wall_clock(path, &code, &mut findings);
+    hashmap_iter_determinism(path, &code, &mut findings);
+    banned_api(path, &code, &mut findings);
+    forbid_unsafe_attr(path, &code, &mut findings);
+
+    apply_suppressions(path, &tokens, findings)
+}
+
+// ---------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------
+
+struct Suppression {
+    rule: String,
+    line: u32,
+    file_wide: bool,
+}
+
+/// Parses `mqo-lint: allow(rule)` / `allow-file(rule)` markers out of
+/// comment tokens; malformed or unknown-rule markers become
+/// `bad-suppression` findings.
+fn collect_suppressions(
+    path: &str,
+    tokens: &[Token],
+    findings: &mut Vec<Finding>,
+) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for t in tokens {
+        if t.kind != TokKind::Comment {
+            continue;
+        }
+        // Doc comments (`///`, `//!`, `/**`, `/*!`) are prose *about* the
+        // lint, never suppressions — skip them so documentation of the
+        // marker syntax doesn't parse as a marker.
+        if t.text.starts_with("///")
+            || t.text.starts_with("//!")
+            || t.text.starts_with("/**")
+            || t.text.starts_with("/*!")
+        {
+            continue;
+        }
+        let Some(idx) = t.text.find("mqo-lint:") else {
+            continue;
+        };
+        let body = t.text[idx + "mqo-lint:".len()..].trim_start();
+        let (file_wide, rest) = if let Some(r) = body.strip_prefix("allow-file(") {
+            (true, r)
+        } else if let Some(r) = body.strip_prefix("allow(") {
+            (false, r)
+        } else {
+            findings.push(Finding {
+                rule: "bad-suppression",
+                file: path.to_string(),
+                line: t.line,
+                message: format!(
+                    "unparseable mqo-lint marker (expected `allow(<rule>)` or \
+                     `allow-file(<rule>)`): `{}`",
+                    body.trim_end()
+                ),
+            });
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            findings.push(Finding {
+                rule: "bad-suppression",
+                file: path.to_string(),
+                line: t.line,
+                message: "unterminated mqo-lint allow marker (missing `)`)".to_string(),
+            });
+            continue;
+        };
+        let rule = rest[..close].trim();
+        if !RULES.contains(&rule) {
+            findings.push(Finding {
+                rule: "bad-suppression",
+                file: path.to_string(),
+                line: t.line,
+                message: format!("mqo-lint allow names an unknown rule `{rule}`"),
+            });
+            continue;
+        }
+        out.push(Suppression {
+            rule: rule.to_string(),
+            line: t.line,
+            file_wide,
+        });
+    }
+    out
+}
+
+fn apply_suppressions(path: &str, tokens: &[Token], findings: Vec<Finding>) -> Vec<Finding> {
+    let mut kept = Vec::new();
+    let suppressions = collect_suppressions(path, tokens, &mut kept);
+    for f in findings {
+        let suppressed = suppressions
+            .iter()
+            .any(|s| s.rule == f.rule && (s.file_wide || f.line == s.line || f.line == s.line + 1));
+        if !suppressed {
+            kept.push(f);
+        }
+    }
+    kept.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.cmp(b.rule)));
+    kept
+}
+
+// ---------------------------------------------------------------------
+// Rule implementations
+// ---------------------------------------------------------------------
+
+/// `float-total-order`: flags `.partial_cmp(` call sites and IEEE
+/// comparison operators (`<`, `>`, `<=`, `>=`, `==`, `!=`) whose adjacent
+/// operand is a score identifier (suffix in [`SCORE_SUFFIXES`]). PR 3's
+/// heap bugs were exactly this: `partial_cmp`-based `PartialEq`/`Ord` on
+/// f64 bounds violating the `Eq` contract under NaN/-0.0; `total_cmp` is
+/// the sanctioned order.
+fn float_total_order(path: &str, code: &[&Token], findings: &mut Vec<Finding>) {
+    for (i, t) in code.iter().enumerate() {
+        if t.kind == TokKind::Ident && t.text == "partial_cmp" {
+            let is_call_site =
+                i > 0 && code[i - 1].text == "." && code.get(i + 1).is_some_and(|n| n.text == "(");
+            if is_call_site {
+                findings.push(Finding {
+                    rule: "float-total-order",
+                    file: path.to_string(),
+                    line: t.line,
+                    message: "`partial_cmp` on scores orders NaN/-0.0 inconsistently; \
+                              use `f64::total_cmp`"
+                        .to_string(),
+                });
+            }
+        }
+        if t.kind == TokKind::Punct
+            && matches!(t.text.as_str(), "<" | ">" | "<=" | ">=" | "==" | "!=")
+        {
+            // Only score-vs-score comparisons are flagged: ordering two
+            // scores by IEEE semantics is the PR 3 heap-bug class, while
+            // a score-vs-literal threshold check is NaN-conservative
+            // (compares false, rejecting the candidate) by design.
+            let lhs_score = i > 0 && is_score_ident(code[i - 1]);
+            // Right operand: allow a unary minus before the identifier,
+            // and see through a field path (`config.benefit_floor`).
+            let rhs_score = match code.get(i + 1) {
+                Some(n) if n.text == "-" => code.get(i + 2).is_some_and(|m| is_score_ident(m)),
+                Some(n) if n.kind == TokKind::Ident => {
+                    is_score_ident(n)
+                        || (code.get(i + 2).is_some_and(|d| d.text == ".")
+                            && code.get(i + 3).is_some_and(|m| is_score_ident(m)))
+                }
+                _ => false,
+            };
+            if lhs_score && rhs_score {
+                findings.push(Finding {
+                    rule: "float-total-order",
+                    file: path.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "IEEE `{}` ordering two score expressions (NaN compares false, \
+                         -0.0 == 0.0): argmax/heap order must go through `total_cmp`",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `lock-poison`: in `mqo-core`, flags `.lock().unwrap()` /
+/// `.lock().expect(…)` (and the `read`/`write` RwLock equivalents). A
+/// poisoned lock must be *recovered* (the `relock` idiom) — invariants
+/// are restored by savepoint rollback, and propagating the poison wedges
+/// every later caller of the serving layer.
+fn lock_poison(path: &str, code: &[&Token], findings: &mut Vec<Finding>) {
+    if !path.starts_with("crates/core/") {
+        return;
+    }
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident || !matches!(t.text.as_str(), "lock" | "read" | "write") {
+            continue;
+        }
+        // `.lock ( ) . unwrap|expect (`
+        let method_call = i > 0 && code[i - 1].text == ".";
+        if !method_call {
+            continue;
+        }
+        let [a, b, c, d] = [
+            code.get(i + 1).map(|t| t.text.as_str()),
+            code.get(i + 2).map(|t| t.text.as_str()),
+            code.get(i + 3).map(|t| t.text.as_str()),
+            code.get(i + 4).map(|t| t.text.as_str()),
+        ];
+        if a == Some("(")
+            && b == Some(")")
+            && c == Some(".")
+            && matches!(d, Some("unwrap" | "expect"))
+        {
+            findings.push(Finding {
+                rule: "lock-poison",
+                file: path.to_string(),
+                line: t.line,
+                message: format!(
+                    "`.{}().{}(…)` propagates lock poisoning and wedges later callers; \
+                     recover the guard (`relock` idiom: \
+                     `.unwrap_or_else(PoisonError::into_inner)`)",
+                    t.text,
+                    d.unwrap()
+                ),
+            });
+        }
+    }
+}
+
+/// `wall-clock`: flags `Instant::now` and any `SystemTime` use outside
+/// the bench timing harness. Wall-clock reads on optimization paths make
+/// runs irreproducible; the only sanctioned sites are `mqo_bench::timing`
+/// (the measurement harness, allow-listed here) and the anytime-budget
+/// path (annotated inline where the deadline is anchored and checked).
+fn wall_clock(path: &str, code: &[&Token], findings: &mut Vec<Finding>) {
+    if path == "crates/bench/src/timing.rs" {
+        return;
+    }
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let instant_now = t.text == "Instant"
+            && code.get(i + 1).is_some_and(|n| n.text == "::")
+            && code.get(i + 2).is_some_and(|n| n.text == "now");
+        if instant_now {
+            findings.push(Finding {
+                rule: "wall-clock",
+                file: path.to_string(),
+                line: t.line,
+                message: "`Instant::now` outside mqo_bench::timing / the budget path \
+                          makes runs irreproducible"
+                    .to_string(),
+            });
+        }
+        if t.text == "SystemTime" {
+            findings.push(Finding {
+                rule: "wall-clock",
+                file: path.to_string(),
+                line: t.line,
+                message: "`SystemTime` is wall-clock state; optimization results must not \
+                          depend on it"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// `hashmap-iter-determinism`: in commit-path modules, flags iteration
+/// over identifiers declared as `HashMap`/`HashSet` in the same file
+/// (`.iter()`/`.keys()`/`.values()`/`.drain()`/`.retain()`/… and
+/// `for … in &map`). Hash iteration order is nondeterministic per
+/// process; on a commit path it leaks into published state (slot
+/// numbering, cache contents), breaking the bit-identical-at-every-
+/// thread-count contract. Keyed *lookups* are fine.
+fn hashmap_iter_determinism(path: &str, code: &[&Token], findings: &mut Vec<Finding>) {
+    if !COMMIT_PATH_MODULES.contains(&path) {
+        return;
+    }
+    // Pass 1: identifiers bound to a hash container — field/param/let
+    // type annotations (`name: HashMap<…>`, with optional `&`/`mut`) and
+    // initializers (`name = HashMap::new()` etc.).
+    let mut map_idents: Vec<&str> = Vec::new();
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident || !matches!(t.text.as_str(), "HashMap" | "HashSet") {
+            continue;
+        }
+        let mut j = i;
+        while j > 0 && matches!(code[j - 1].text.as_str(), "&" | "&&" | "mut" | "<") {
+            j -= 1;
+        }
+        if j >= 2
+            && matches!(code[j - 1].text.as_str(), ":" | "=")
+            && code[j - 2].kind == TokKind::Ident
+        {
+            map_idents.push(code[j - 2].text.as_str());
+        }
+    }
+    // Pass 2: iteration over a tracked identifier.
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident || !map_idents.contains(&t.text.as_str()) {
+            continue;
+        }
+        let method_iter = code.get(i + 1).is_some_and(|n| n.text == ".")
+            && code
+                .get(i + 2)
+                .is_some_and(|n| ITER_METHODS.contains(&n.text.as_str()))
+            && code.get(i + 3).is_some_and(|n| n.text == "(");
+        // `for … in [&[mut]] [self.]map {`
+        let for_in = code.get(i + 1).is_some_and(|n| n.text == "{") && {
+            let mut j = i;
+            let mut found_in = false;
+            for _ in 0..5 {
+                if j == 0 {
+                    break;
+                }
+                j -= 1;
+                match code[j].text.as_str() {
+                    "in" => {
+                        found_in = true;
+                        break;
+                    }
+                    "&" | "mut" | "self" | "." => continue,
+                    _ => break,
+                }
+            }
+            found_in
+        };
+        if method_iter || for_in {
+            findings.push(Finding {
+                rule: "hashmap-iter-determinism",
+                file: path.to_string(),
+                line: t.line,
+                message: format!(
+                    "iterating hash container `{}` in a commit-path module: hash order is \
+                     nondeterministic and may leak into published state; iterate a sorted \
+                     key list instead",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// `banned-api`: the pre-Session free functions (`optimize`,
+/// `optimize_with`, `compare`) are deleted; examples and bench sources
+/// may not call or re-define anything with those names (promotion of
+/// verify.sh's old grep, same scope and semantics).
+fn banned_api(path: &str, code: &[&Token], findings: &mut Vec<Finding>) {
+    let scoped = path.starts_with("examples/")
+        || path.starts_with("crates/bench/src/")
+        || path.starts_with("crates/bench/benches/");
+    if !scoped {
+        return;
+    }
+    for (i, t) in code.iter().enumerate() {
+        if t.kind == TokKind::Ident
+            && BANNED_FREE_FNS.contains(&t.text.as_str())
+            && code.get(i + 1).is_some_and(|n| n.text == "(")
+        {
+            findings.push(Finding {
+                rule: "banned-api",
+                file: path.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{}(…)` resurrects a removed pre-Session free function; route through \
+                     `Session::builder()` / `OptimizedBatch::run*`",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// `forbid-unsafe-attr`: every crate root (`src/lib.rs` of a workspace
+/// member, or the facade's `src/lib.rs`) must carry
+/// `#![forbid(unsafe_code)]`. The codebase is unsafe-free; this locks it
+/// in at the compiler level and makes the lint's own soundness assumption
+/// (no `unsafe` to reason about) checkable.
+fn forbid_unsafe_attr(path: &str, code: &[&Token], findings: &mut Vec<Finding>) {
+    if !path.ends_with("src/lib.rs") {
+        return;
+    }
+    let pattern = ["#", "!", "[", "forbid", "(", "unsafe_code", ")", "]"];
+    let found = code
+        .windows(pattern.len())
+        .any(|w| w.iter().zip(pattern).all(|(t, p)| t.text == p));
+    if !found {
+        findings.push(Finding {
+            rule: "forbid-unsafe-attr",
+            file: path.to_string(),
+            line: 1,
+            message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+}

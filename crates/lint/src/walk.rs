@@ -1,0 +1,56 @@
+//! Workspace file discovery: every `.rs` file the lint gates, as
+//! repo-relative forward-slash paths.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Top-level directories scanned under the workspace root.
+const SCAN_ROOTS: &[&str] = &["src", "crates", "examples", "tests"];
+
+/// Directory names skipped anywhere in the walk: build output and the
+/// lint's own intentionally-violating fixture corpus.
+const SKIP_DIRS: &[&str] = &["target", "fixtures"];
+
+/// Collects every `.rs` file under `root`'s scan directories, sorted by
+/// repo-relative path so output and exit behavior are deterministic.
+pub fn workspace_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for dir in SCAN_ROOTS {
+        let p = root.join(dir);
+        if p.is_dir() {
+            visit(&p, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn visit(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            visit(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, with forward slashes — the path form rule
+/// scoping keys on.
+pub fn relative_key(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

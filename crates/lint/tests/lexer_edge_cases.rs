@@ -1,0 +1,157 @@
+//! Lexer edge cases: the constructs that break naive tokenizers and
+//! would make the rule engine misfire on (or miss) real code.
+
+use mqo_lint::lexer::{lex, TokKind, Token};
+
+fn kinds(src: &str) -> Vec<(TokKind, String)> {
+    lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+}
+
+fn non_comment(src: &str) -> Vec<Token> {
+    lex(src)
+        .into_iter()
+        .filter(|t| t.kind != TokKind::Comment)
+        .collect()
+}
+
+#[test]
+fn nested_block_comments_are_one_token() {
+    let toks = kinds("a /* outer /* inner */ still outer */ b");
+    assert_eq!(
+        toks,
+        vec![
+            (TokKind::Ident, "a".to_string()),
+            (
+                TokKind::Comment,
+                "/* outer /* inner */ still outer */".to_string()
+            ),
+            (TokKind::Ident, "b".to_string()),
+        ]
+    );
+}
+
+#[test]
+fn raw_string_with_hashes_swallows_embedded_quote_hash() {
+    let src = r####"let s = r##"has "# inside"##;"####;
+    let toks = non_comment(src);
+    let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+    assert_eq!(strs.len(), 1);
+    assert_eq!(strs[0].text, r###"r##"has "# inside"##"###);
+}
+
+#[test]
+fn char_vs_lifetime_disambiguation() {
+    let toks = non_comment("let c = 'a'; fn f<'a>(x: &'a str) -> &'static str { x }");
+    let chars: Vec<_> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Char)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(chars, vec!["'a'"]);
+    let lifetimes: Vec<_> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Lifetime)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(lifetimes, vec!["a", "a", "static"]);
+}
+
+#[test]
+fn escaped_quote_char_and_byte_char() {
+    let toks = non_comment(r"('\'', b'q', '\n')");
+    let chars: Vec<_> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Char)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(chars, vec![r"'\''", "b'q'", r"'\n'"]);
+}
+
+#[test]
+fn byte_and_raw_byte_strings() {
+    let toks = non_comment(r##"(b"bytes", br#"raw bytes"#)"##);
+    let strs: Vec<_> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Str)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(strs, vec![r#"b"bytes""#, r##"br#"raw bytes"#"##]);
+}
+
+#[test]
+fn raw_identifier_keeps_name_without_prefix() {
+    let toks = non_comment("let r#match = 1;");
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && t.text == "match"));
+}
+
+#[test]
+fn signed_exponent_is_a_single_number() {
+    let toks = non_comment("x > 1e-6");
+    let nums: Vec<_> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Num)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(nums, vec!["1e-6"]);
+}
+
+#[test]
+fn hex_with_suffix_is_a_single_number() {
+    let toks = non_comment("let v = 0xff_u32;");
+    let nums: Vec<_> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Num)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(nums, vec!["0xff_u32"]);
+}
+
+#[test]
+fn range_after_integer_is_not_a_float() {
+    let toks = non_comment("for i in 1..n {}");
+    let texts: Vec<_> = toks.iter().map(|t| t.text.as_str()).collect();
+    assert!(texts.contains(&"1"), "tokens: {texts:?}");
+    assert!(texts.contains(&".."), "tokens: {texts:?}");
+    assert!(texts.contains(&"n"), "tokens: {texts:?}");
+    // And a genuine float still lexes as one token.
+    let floats = non_comment("1.5");
+    assert_eq!(floats.len(), 1);
+    assert_eq!(floats[0].text, "1.5");
+}
+
+#[test]
+fn multiline_literals_advance_line_numbers() {
+    let src = "let a = \"line1\nline2\";\n/* c1\nc2 */\nlet b = 2;";
+    let toks = lex(src);
+    let b = toks
+        .iter()
+        .find(|t| t.kind == TokKind::Ident && t.text == "b")
+        .expect("ident b");
+    assert_eq!(b.line, 5, "tokens: {toks:?}");
+}
+
+#[test]
+fn operators_munch_maximally() {
+    let toks = non_comment("a <= b >>= c :: d .. e");
+    let puncts: Vec<_> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Punct)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(puncts, vec!["<=", ">>=", "::", ".."]);
+}
+
+#[test]
+fn line_comment_runs_to_newline_only() {
+    let toks = kinds("x // comment Instant::now()\ny");
+    assert_eq!(
+        toks,
+        vec![
+            (TokKind::Ident, "x".to_string()),
+            (TokKind::Comment, "// comment Instant::now()".to_string()),
+            (TokKind::Ident, "y".to_string()),
+        ]
+    );
+}

@@ -1,0 +1,176 @@
+//! Self-test: every fixture in `fixtures/` triggers exactly its intended
+//! rule (or, for the suppressed/clean fixtures, nothing at all), and the
+//! real tree is clean.
+//!
+//! Fixtures are linted under a *virtual path* so path-scoped rules see
+//! them where they would apply; the real workspace walk skips the
+//! `fixtures/` directory entirely.
+
+use std::fs;
+use std::path::Path;
+
+use mqo_lint::rules::lint_source;
+use mqo_lint::{lint_workspace, Finding};
+
+/// (fixture file, virtual repo-relative path, expected rule).
+const VIOLATING: &[(&str, &str, &str)] = &[
+    (
+        "float_total_order.rs",
+        "crates/submod/src/fixture.rs",
+        "float-total-order",
+    ),
+    (
+        "lock_poison.rs",
+        "crates/core/src/fixture.rs",
+        "lock-poison",
+    ),
+    ("wall_clock.rs", "crates/core/src/fixture.rs", "wall-clock"),
+    (
+        "hashmap_iter.rs",
+        "crates/core/src/engine.rs",
+        "hashmap-iter-determinism",
+    ),
+    ("banned_api.rs", "examples/fixture.rs", "banned-api"),
+    (
+        "missing_forbid_unsafe.rs",
+        "crates/fixture/src/lib.rs",
+        "forbid-unsafe-attr",
+    ),
+];
+
+fn read_fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn each_violating_fixture_triggers_exactly_its_rule() {
+    for &(file, vpath, expected) in VIOLATING {
+        let src = read_fixture(file);
+        let findings = lint_source(vpath, &src);
+        assert!(
+            !findings.is_empty(),
+            "{file}: expected at least one {expected} finding, got none"
+        );
+        for f in &findings {
+            assert_eq!(
+                f.rule, expected,
+                "{file}: stray {} finding at line {}: {}",
+                f.rule, f.line, f.message
+            );
+        }
+    }
+}
+
+#[test]
+fn suppressed_fixture_yields_no_findings() {
+    let src = read_fixture("suppressed.rs");
+    let findings = lint_source("crates/core/src/batch.rs", &src);
+    assert!(
+        findings.is_empty(),
+        "suppressions failed to silence: {:?}",
+        rules_of(&findings)
+    );
+}
+
+#[test]
+fn suppressed_fixture_violates_without_its_markers() {
+    // Strip the markers and the same source must light up; otherwise the
+    // suppressed fixture proves nothing.
+    let src = read_fixture("suppressed.rs");
+    let stripped: String = src
+        .lines()
+        .filter(|l| !l.contains("allow-file"))
+        .map(|l| match l.find("// mqo-lint:") {
+            Some(i) => format!("{}\n", &l[..i]),
+            None => format!("{l}\n"),
+        })
+        .collect();
+    let findings = lint_source("crates/core/src/batch.rs", &stripped);
+    let mut rules = rules_of(&findings);
+    rules.sort_unstable();
+    rules.dedup();
+    assert_eq!(
+        rules,
+        vec![
+            "float-total-order",
+            "hashmap-iter-determinism",
+            "lock-poison",
+            "wall-clock",
+        ],
+        "stripped suppressed.rs should trip all four rules"
+    );
+}
+
+#[test]
+fn clean_fixture_yields_no_findings() {
+    let src = read_fixture("clean.rs");
+    let findings = lint_source("crates/core/src/engine.rs", &src);
+    assert!(
+        findings.is_empty(),
+        "look-alike patterns misfired: {findings:?}"
+    );
+}
+
+#[test]
+fn whole_tree_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = lint_workspace(&root).expect("walk workspace");
+    assert!(
+        findings.is_empty(),
+        "tree has lint findings:\n{}",
+        mqo_lint::report::render_text(&findings)
+    );
+}
+
+#[test]
+fn allow_on_line_above_applies() {
+    let src = "\
+// mqo-lint: allow(lock-poison) -- test
+let g = m.lock().unwrap();
+";
+    assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn allow_two_lines_above_does_not_apply() {
+    let src = "\
+// mqo-lint: allow(lock-poison) -- test
+
+let g = m.lock().unwrap();
+";
+    let findings = lint_source("crates/core/src/x.rs", src);
+    assert_eq!(rules_of(&findings), vec!["lock-poison"]);
+}
+
+#[test]
+fn allow_file_covers_every_line() {
+    let src = "\
+// mqo-lint: allow-file(lock-poison) -- test
+let a = m.lock().unwrap();
+let b = m.lock().expect(\"poisoned\");
+";
+    assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn allow_does_not_cross_rules() {
+    let src = "\
+let g = m.lock().unwrap(); // mqo-lint: allow(wall-clock) -- wrong rule
+";
+    let findings = lint_source("crates/core/src/x.rs", src);
+    assert_eq!(rules_of(&findings), vec!["lock-poison"]);
+}
+
+#[test]
+fn unknown_rule_in_suppression_is_reported() {
+    let src = "// mqo-lint: allow(no-such-rule) -- typo\n";
+    let findings = lint_source("crates/core/src/x.rs", src);
+    assert_eq!(rules_of(&findings), vec!["bad-suppression"]);
+}

@@ -90,5 +90,6 @@ impl Outcome {
 /// Whether an anytime deadline has passed (`None` never fires).
 #[inline]
 pub(crate) fn past_deadline(deadline: Option<std::time::Instant>) -> bool {
+    // mqo-lint: allow(wall-clock) -- THE sanctioned budget check: every anytime deadline in the workspace routes through here
     deadline.is_some_and(|d| std::time::Instant::now() >= d)
 }

@@ -36,6 +36,8 @@
 //! assert!(out.value > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod algorithms;
 pub mod bitset;
 pub mod bounds;

@@ -14,6 +14,8 @@
 //!   subexpression overlap, up to hundreds of queries and 10k+
 //!   materialization candidates.
 
+#![forbid(unsafe_code)]
+
 pub mod batches;
 pub mod queries;
 pub mod random;

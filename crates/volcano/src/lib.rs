@@ -25,6 +25,8 @@
 //!   Section 2.4, kept as the test oracle for `mqo-core`'s compiled
 //!   engine and arena-based plan extraction.
 //! * [`plan`] — extracted physical plans with pretty-printing.
+#![forbid(unsafe_code)]
+
 pub mod context;
 pub mod cost;
 pub mod expr;

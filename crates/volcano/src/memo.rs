@@ -1254,6 +1254,7 @@ impl Memo {
             live,
             "index size diverges from live expression count (dangling index entries)"
         );
+        // mqo-lint: allow(hashmap-iter-determinism) -- assertion-only sweep: order-independent (all-or-nothing panics), nothing published
         for (&_, &e) in &self.index {
             assert!(
                 self.alive[e.0 as usize],

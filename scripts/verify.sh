@@ -12,12 +12,14 @@
 #   4. clippy (all targets, warnings are errors), rustfmt --check, and
 #      rustdoc with -D warnings (broken intra-doc links on the Session
 #      API fail the gate)
-#   5. API-surface gate: no example or bench source may reference the
-#      removed pre-Session free functions (optimize / optimize_with /
-#      compare) — the Session API is the only entry point
-#   6. fault-tolerance gates: the seeded fault-injection suite runs by
-#      name under both thread settings, and the serving layer may keep
-#      no `.expect("...poisoned")` lock site (poison must be recovered)
+#   5. invariant lints: `mqo-lint` (crates/lint) walks the tree with its
+#      six token-level rules (float-total-order, lock-poison, wall-clock,
+#      hashmap-iter-determinism, banned-api, forbid-unsafe-attr) and any
+#      finding fails the gate — this subsumes the old grep checks for
+#      poisoning lock sites and removed free functions
+#   6. fault-tolerance gate: the seeded fault-injection suite runs by
+#      name under both thread settings (in debug builds the serve-layer
+#      lock-order detector is live inside it)
 #   7. one smoke iteration of each bench target via the in-repo harness
 #
 # `scripts/verify.sh --bench-smoke` skips 1-5 and runs only the bench
@@ -84,30 +86,6 @@ check_bench_baselines() {
     fi
     if ! grep -q '"certified_gap"' BENCH_serve.json; then
         echo "ERROR: BENCH_serve.json degraded_round entries are missing certified_gap" >&2
-        exit 1
-    fi
-}
-
-check_no_poisoning_lock_sites() {
-    # The serving layer must recover every lock from poison (a panic
-    # inside a contained round would otherwise wedge innocent callers
-    # forever). A `.expect("... poisoned")` site is exactly such a wedge;
-    # none may survive in serve.rs.
-    if grep -nE '\.expect\("[^"]*poisoned[^"]*"\)' crates/core/src/serve.rs; then
-        echo "ERROR: crates/core/src/serve.rs still propagates lock poisoning" >&2
-        echo "       (a .expect(\"...poisoned\") site); use the relock helper instead" >&2
-        exit 1
-    fi
-}
-
-check_no_removed_free_functions() {
-    # The pre-Session free functions are gone; examples and bench
-    # binaries must route through Session::builder()/run. (Compilation
-    # would catch imports, but a grep also catches shadowing helpers
-    # that would resurrect the old API shape.)
-    if grep -RnE '\b(optimize|optimize_with|compare)\s*\(' examples crates/bench/src crates/bench/benches; then
-        echo "ERROR: an example or bench binary still references a removed free function" >&2
-        echo "       (optimize/optimize_with/compare); migrate it to the Session API" >&2
         exit 1
     fi
 }
@@ -197,11 +175,8 @@ cargo fmt --check
 echo "==> cargo doc --no-deps --offline (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline -q
 
-echo "==> checking no example/bin references the removed free functions"
-check_no_removed_free_functions
-
-echo "==> checking the serving layer keeps no poisoning lock sites"
-check_no_poisoning_lock_sites
+echo "==> mqo-lint (six invariant rules; any finding fails the gate)"
+cargo run --offline --release -q -p mqo-lint -- --json
 
 bench_smoke
 

@@ -37,6 +37,8 @@
 //! `mqo-bench` crate for the binaries regenerating every figure of the
 //! paper.
 
+#![forbid(unsafe_code)]
+
 pub use mqo_catalog as catalog;
 pub use mqo_core as core;
 pub use mqo_submod as submod;
